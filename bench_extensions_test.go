@@ -1,0 +1,139 @@
+// Benchmarks for the extension subsystems: the settlement comparators
+// (two-sided pricing, Shapley, social planner), the off-equilibrium
+// dynamics, the long-run investment process, the duopoly access market, the
+// equilibrium path tracer and the Monte-Carlo robustness study.
+package neutralnet_test
+
+import (
+	"testing"
+
+	"neutralnet/internal/duopoly"
+	"neutralnet/internal/dynamics"
+	"neutralnet/internal/econ"
+	"neutralnet/internal/experiments"
+	"neutralnet/internal/game"
+	"neutralnet/internal/isp"
+	"neutralnet/internal/longrun"
+	"neutralnet/internal/model"
+	"neutralnet/internal/montecarlo"
+	"neutralnet/internal/planner"
+	"neutralnet/internal/shapley"
+	"neutralnet/internal/twosided"
+)
+
+func benchSystem() *model.System {
+	mk := func(a, b, v float64) model.CP {
+		return model.CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	return &model.System{
+		CPs:  []model.CP{mk(5, 2, 1), mk(2, 5, 0.5), mk(3, 3, 0.8)},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+}
+
+func BenchmarkTwoSidedOptimalFee(b *testing.B) {
+	sys := benchSystem()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := twosided.OptimalFee(sys, 0.8, 1.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShapley(b *testing.B) {
+	sys := benchSystem()
+	for i := 0; i < b.N; i++ {
+		if _, err := shapley.Compute(sys, 0.8, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShapleyEightCP(b *testing.B) {
+	sys := experiments.EightCPGrid()
+	for i := 0; i < b.N; i++ {
+		if _, err := shapley.Compute(sys, 0.8, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanner(b *testing.B) {
+	sys := benchSystem()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Maximize(sys, 1, 1, planner.Welfare, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicsBR(b *testing.B) {
+	g, err := game.New(benchSystem(), 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := dynamics.Simulate(g, dynamics.Config{Process: dynamics.BestResponse, Eta: 0.6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLongrunInvestment(b *testing.B) {
+	sys := benchSystem()
+	for i := 0; i < b.N; i++ {
+		if _, err := longrun.Simulate(sys, 0.5, longrun.Config{P: 1, Q: 1, Cost: 0.1, Epochs: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDuopolyCPEquilibrium(b *testing.B) {
+	m := &duopoly.Market{
+		CPs:   benchSystem().CPs[:2],
+		Util:  econ.LinearUtilization{},
+		Mu:    [2]float64{0.5, 0.5},
+		Sigma: 3,
+		Q:     1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.CPEquilibrium([2]float64{0.9, 0.9}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTracePath(b *testing.B) {
+	sys := experiments.EightCPGrid()
+	grid := experiments.Grid(0.05, 2, 11)
+	for i := 0; i < b.N; i++ {
+		if _, err := game.Trace(func(p float64) (*game.Game, error) {
+			return game.New(sys, p, 0.45)
+		}, grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarloRobustness(b *testing.B) {
+	r := montecarlo.DefaultRanges()
+	for i := 0; i < b.N; i++ {
+		if _, err := montecarlo.Run(10, int64(i+1), 1, nil, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicyEffectTheorem8(b *testing.B) {
+	sys := benchSystem()
+	for i := 0; i < b.N; i++ {
+		if _, err := isp.PolicyEffectAt(sys, isp.FixedPrice{P: 1}, 0.6, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Benchmarks regenerating every figure of the paper's evaluation plus
+// ablations of the design choices called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Fig* benchmarks are the reproduction harness: each one recomputes the
+// data behind the corresponding figure (the paper has no numbered tables).
+// The reduced default resolution keeps -bench runs snappy; cmd/figures runs
+// the same generators at full resolution.
+package neutralnet_test
+
+import (
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/experiments"
+	"neutralnet/internal/flowsim"
+	"neutralnet/internal/game"
+	"neutralnet/internal/isp"
+	"neutralnet/internal/model"
+)
+
+const benchPts = 11 // price-grid resolution inside benchmarks
+
+// --- Figures 4-5: one-sided pricing ---------------------------------------
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(benchPts, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckFig4(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(benchPts, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckFig5(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 7-11: subsidization competition -------------------------------
+
+func benchSweep(b *testing.B, check func(*experiments.PolicySweep) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		sw, err := experiments.RunPolicySweep(benchPts, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := check(sw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B)  { benchSweep(b, experiments.CheckFig7) }
+func BenchmarkFig8(b *testing.B)  { benchSweep(b, experiments.CheckFig8) }
+func BenchmarkFig9(b *testing.B)  { benchSweep(b, experiments.CheckFig9) }
+func BenchmarkFig10(b *testing.B) { benchSweep(b, experiments.CheckFig10) }
+func BenchmarkFig11(b *testing.B) { benchSweep(b, experiments.CheckFig11) }
+
+// --- Kernel costs -----------------------------------------------------------
+
+func BenchmarkFixedPoint(b *testing.B) {
+	sys := experiments.EightCPGrid()
+	m := sys.PopulationsAt(sys.UniformPrices(0.5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SolveUtilization(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestResponse(b *testing.B) {
+	g, err := game.New(experiments.EightCPGrid(), 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := make([]float64, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.BestResponse(i%g.N(), s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveNash(b *testing.B) {
+	g, err := game.New(experiments.EightCPGrid(), 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.SolveNash(game.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSensitivity(b *testing.B) {
+	g, err := game.New(experiments.EightCPGrid(), 0.9, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eq, err := g.SolveNash(game.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.SensitivityAt(eq.S); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalPrice(b *testing.B) {
+	sys := experiments.EightCPGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := isp.OptimalPrice(sys, 1, 0.05, 2, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// BenchmarkAblationUtilization compares the equilibrium solve under the three
+// utilization families, showing the qualitative results (and costs) do not
+// hinge on the paper's linear Φ.
+func BenchmarkAblationUtilization(b *testing.B) {
+	families := []struct {
+		name string
+		util econ.Utilization
+	}{
+		{"linear", econ.LinearUtilization{}},
+		{"power1.5", econ.PowerUtilization{Gamma: 1.5}},
+		{"saturating", econ.SaturatingUtilization{}},
+	}
+	for _, fam := range families {
+		b.Run(fam.name, func(b *testing.B) {
+			sys := experiments.EightCPGrid()
+			sys.Util = fam.util
+			g, err := game.New(sys, 1, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := g.SolveNash(game.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSolver compares the Gauss-Seidel and damped-Jacobi Nash
+// iterations.
+func BenchmarkAblationSolver(b *testing.B) {
+	for _, m := range []struct {
+		name   string
+		method game.Method
+	}{{"gauss-seidel", game.GaussSeidel}, {"jacobi-damped", game.JacobiDamped}} {
+		b.Run(m.name, func(b *testing.B) {
+			g, err := game.New(experiments.EightCPGrid(), 1, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := g.SolveNash(game.Options{Method: m.method, MaxIter: 2000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDerivative compares the closed-form marginal utility
+// against numerical differentiation of the raw utility.
+func BenchmarkAblationDerivative(b *testing.B) {
+	g, err := game.New(experiments.EightCPGrid(), 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := make([]float64, g.N())
+	for i := range s {
+		s[i] = 0.2
+	}
+	b.Run("analytic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.MarginalUtility(i%g.N(), s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("numeric", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.MarginalUtilityNumeric(i%g.N(), s)
+		}
+	})
+}
+
+// BenchmarkFlowsim measures the grounding simulator's event throughput.
+func BenchmarkFlowsim(b *testing.B) {
+	c := flowsim.DefaultClass()
+	c.Users = 100
+	cfg := flowsim.Config{
+		Capacity: 8,
+		Classes:  []flowsim.Class{c},
+		Horizon:  120,
+		Warmup:   12,
+		Seed:     1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := flowsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCapacityPlan measures the future-work extension's joint search.
+func BenchmarkCapacityPlan(b *testing.B) {
+	sys := &model.System{
+		CPs:  experiments.EightCPGrid().CPs[:4],
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := isp.CapacityPlan(sys, 1, 0.1, 0.5, 2, 1.5, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

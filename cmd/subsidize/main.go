@@ -1,0 +1,237 @@
+// Command subsidize solves a subsidization-competition scenario: it reads a
+// JSON scenario (or uses a built-in demo), computes the Nash equilibrium of
+// the CPs' subsidy game at the given ISP price and policy cap, verifies it
+// against the paper's KKT/threshold characterizations, and prints the
+// equilibrium state, the ISP's revenue and the system welfare — optionally
+// with the Theorem 6 sensitivities ∂s/∂p and ∂s/∂q.
+//
+// Scenario format:
+//
+//	{
+//	  "capacity": 1.0,
+//	  "utilization": "linear",        // or "saturating", "power:<gamma>"
+//	  "price": 1.0,
+//	  "policy": 1.0,
+//	  "cps": [
+//	    {"name": "video", "alpha": 2, "beta": 5, "value": 1}
+//	  ]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+	"neutralnet/internal/report"
+)
+
+// scenario is the JSON input schema.
+type scenario struct {
+	Capacity    float64      `json:"capacity"`
+	Utilization string       `json:"utilization"`
+	Price       float64      `json:"price"`
+	Policy      float64      `json:"policy"`
+	CPs         []scenarioCP `json:"cps"`
+}
+
+type scenarioCP struct {
+	Name  string  `json:"name"`
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	Value float64 `json:"value"`
+	Scale float64 `json:"scale"` // optional population scale (default 1)
+	Peak  float64 `json:"peak"`  // optional peak throughput (default 1)
+}
+
+func main() {
+	file := flag.String("scenario", "", "path to a JSON scenario (empty: built-in demo)")
+	price := flag.Float64("p", -1, "override the ISP price")
+	policy := flag.Float64("q", -1, "override the policy cap")
+	sens := flag.Bool("sensitivity", false, "print Theorem 6 sensitivities")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	if err := run(*file, *price, *policy, *sens, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "subsidize:", err)
+		os.Exit(1)
+	}
+}
+
+// result is the machine-readable output schema of -json.
+type result struct {
+	Price       float64   `json:"price"`
+	Policy      float64   `json:"policy"`
+	Phi         float64   `json:"utilization"`
+	Revenue     float64   `json:"ispRevenue"`
+	Welfare     float64   `json:"welfare"`
+	Iterations  int       `json:"iterations"`
+	KKTResidual float64   `json:"kktResidual"`
+	CPs         []cpState `json:"cps"`
+}
+
+type cpState struct {
+	Name       string  `json:"name"`
+	Subsidy    float64 `json:"subsidy"`
+	UserPrice  float64 `json:"userPrice"`
+	Population float64 `json:"population"`
+	Throughput float64 `json:"throughput"`
+	Utility    float64 `json:"utility"`
+	DsDq       float64 `json:"dsdq,omitempty"`
+	DsDp       float64 `json:"dsdp,omitempty"`
+}
+
+func run(file string, price, policy float64, sens, jsonOut bool) error {
+	sc := demoScenario()
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return fmt.Errorf("parsing %s: %w", file, err)
+		}
+	}
+	if price >= 0 {
+		sc.Price = price
+	}
+	if policy >= 0 {
+		sc.Policy = policy
+	}
+
+	sys, err := buildSystem(sc)
+	if err != nil {
+		return err
+	}
+	g, err := game.New(sys, sc.Price, sc.Policy)
+	if err != nil {
+		return err
+	}
+	eq, err := g.SolveNash(game.Options{})
+	if err != nil {
+		return err
+	}
+	kkt, err := g.VerifyKKT(eq.S)
+	if err != nil {
+		return err
+	}
+
+	if jsonOut {
+		res := result{
+			Price: sc.Price, Policy: sc.Policy,
+			Phi: eq.State.Phi, Revenue: g.Revenue(eq.State), Welfare: g.Welfare(eq.State),
+			Iterations: eq.Iterations, KKTResidual: kkt.MaxViolation,
+		}
+		var sv game.Sensitivity
+		if sens {
+			if sv, err = g.SensitivityAt(eq.S); err != nil {
+				return err
+			}
+		}
+		for i, cp := range sys.CPs {
+			st := cpState{
+				Name: cp.Name, Subsidy: eq.S[i], UserPrice: sc.Price - eq.S[i],
+				Population: eq.State.M[i], Throughput: eq.State.Theta[i], Utility: eq.U[i],
+			}
+			if sens {
+				st.DsDq, st.DsDp = sv.DsDq[i], sv.DsDp[i]
+			}
+			res.CPs = append(res.CPs, st)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+
+	fmt.Printf("scenario: %d CPs, capacity=%g, price p=%g, policy cap q=%g\n",
+		sys.N(), sys.Mu, sc.Price, sc.Policy)
+	fmt.Printf("equilibrium: converged in %d iterations, KKT residual %.2e (%s)\n",
+		eq.Iterations, kkt.MaxViolation, kkt.Partition)
+	fmt.Printf("utilization phi=%.6f   ISP revenue R=%.6f   welfare W=%.6f\n\n",
+		eq.State.Phi, g.Revenue(eq.State), g.Welfare(eq.State))
+
+	t := report.NewTable("CP", "subsidy s", "user price t", "population m", "throughput th", "utility U")
+	for i, cp := range sys.CPs {
+		t.AddRow(cp.Name, eq.S[i], sc.Price-eq.S[i], eq.State.M[i], eq.State.Theta[i], eq.U[i])
+	}
+	fmt.Println(t)
+
+	if sens {
+		sv, err := g.SensitivityAt(eq.S)
+		if err != nil {
+			return err
+		}
+		st := report.NewTable("CP", "ds/dq", "ds/dp")
+		for i, cp := range sys.CPs {
+			st.AddRow(cp.Name, sv.DsDq[i], sv.DsDp[i])
+		}
+		fmt.Println(st)
+	}
+	return nil
+}
+
+func buildSystem(sc scenario) (*model.System, error) {
+	if len(sc.CPs) == 0 {
+		return nil, fmt.Errorf("scenario has no CPs")
+	}
+	util, err := parseUtilization(sc.Utilization)
+	if err != nil {
+		return nil, err
+	}
+	var cps []model.CP
+	for _, c := range sc.CPs {
+		scale, peak := c.Scale, c.Peak
+		if scale == 0 {
+			scale = 1
+		}
+		if peak == 0 {
+			peak = 1
+		}
+		cps = append(cps, model.CP{
+			Name:       c.Name,
+			Demand:     econ.ExpDemand{Alpha: c.Alpha, Scale: scale},
+			Throughput: econ.ExpThroughput{Beta: c.Beta, Peak: peak},
+			Value:      c.Value,
+		})
+	}
+	return &model.System{CPs: cps, Mu: sc.Capacity, Util: util}, nil
+}
+
+func parseUtilization(name string) (econ.Utilization, error) {
+	switch {
+	case name == "" || name == "linear":
+		return econ.LinearUtilization{}, nil
+	case name == "saturating":
+		return econ.SaturatingUtilization{}, nil
+	case strings.HasPrefix(name, "power:"):
+		gamma, err := strconv.ParseFloat(strings.TrimPrefix(name, "power:"), 64)
+		if err != nil || gamma <= 0 {
+			return nil, fmt.Errorf("invalid power utilization %q", name)
+		}
+		return econ.PowerUtilization{Gamma: gamma}, nil
+	default:
+		return nil, fmt.Errorf("unknown utilization %q (want linear, saturating, power:<gamma>)", name)
+	}
+}
+
+// demoScenario is the built-in example: a profitable video CP, a low-margin
+// startup, and a price-insensitive messaging CP.
+func demoScenario() scenario {
+	return scenario{
+		Capacity:    1,
+		Utilization: "linear",
+		Price:       1.0,
+		Policy:      1.0,
+		CPs: []scenarioCP{
+			{Name: "video", Alpha: 5, Beta: 2, Value: 1},
+			{Name: "startup", Alpha: 5, Beta: 5, Value: 0.3},
+			{Name: "messaging", Alpha: 2, Beta: 5, Value: 0.5},
+		},
+	}
+}

@@ -1,0 +1,58 @@
+package neutralnet_test
+
+import (
+	"fmt"
+
+	"neutralnet"
+)
+
+// ExampleSolveEquilibrium reproduces the library's one-screen story: build a
+// market, solve the subsidization competition, and read off who sponsors
+// whom.
+func ExampleSolveEquilibrium() {
+	sys := neutralnet.NewSystem(1.0,
+		neutralnet.NewCP("video", 5, 2, 1.0),
+		neutralnet.NewCP("messaging", 2, 5, 0.5),
+	)
+	eq, err := neutralnet.SolveEquilibrium(sys, 1.0, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("video sponsors %.2f per unit; messaging sponsors %.2f\n", eq.S[0], eq.S[1])
+	fmt.Printf("utilization %.3f\n", eq.State.Phi)
+	// Output:
+	// video sponsors 0.74 per unit; messaging sponsors 0.00
+	// utilization 0.222
+}
+
+// ExampleSolveOneSided shows the status quo baseline the paper starts from:
+// a uniform usage price and no CP-side payments.
+func ExampleSolveOneSided() {
+	sys := neutralnet.NewSystem(1.0,
+		neutralnet.NewCP("video", 5, 2, 1.0),
+		neutralnet.NewCP("messaging", 2, 5, 0.5),
+	)
+	st, err := neutralnet.SolveOneSided(sys, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("throughput %.4f at utilization %.4f\n", st.TotalThroughput(), st.Phi)
+	// Output:
+	// throughput 0.0913 at utilization 0.0913
+}
+
+// ExampleOptimalPrice finds the monopolist ISP's revenue-maximizing usage
+// price when subsidization is allowed.
+func ExampleOptimalPrice() {
+	sys := neutralnet.NewSystem(1.0,
+		neutralnet.NewCP("video", 5, 2, 1.0),
+		neutralnet.NewCP("messaging", 2, 5, 0.5),
+	)
+	p, out, err := neutralnet.OptimalPrice(sys, 1.0, 2.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("p* = %.2f with revenue %.3f\n", p, out.Revenue)
+	// Output:
+	// p* = 0.61 with revenue 0.291
+}

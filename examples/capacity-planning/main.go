@@ -1,0 +1,47 @@
+// Capacity planning: the paper's stated future-work direction (§6),
+// implemented as an extension. The ISP chooses capacity µ and price p to
+// maximize profit R(p; µ) − c·µ. The paper's investment-incentive argument
+// (Corollary 1) predicts that deregulating subsidization raises utilization
+// and revenue, and therefore the profit-maximizing capacity.
+//
+// This example solves the joint problem at several capacity costs, with and
+// without subsidization, and shows the chosen capacity rising under
+// deregulation.
+//
+// Run with: go run ./examples/capacity-planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neutralnet"
+)
+
+func main() {
+	sys := neutralnet.NewSystem(1.0,
+		neutralnet.NewCP("video", 5, 2, 1.0),
+		neutralnet.NewCP("cloud", 3, 3, 0.8),
+		neutralnet.NewCP("social", 2, 5, 0.5),
+	)
+
+	fmt.Println("capacity cost c    q=0: mu*   profit     q=1.5: mu*  profit    invest delta")
+	for _, c := range []float64{0.05, 0.10, 0.20} {
+		var mus [2]float64
+		var profits [2]float64
+		for k, q := range []float64{0, 1.5} {
+			res, err := neutralnet.PlanCapacity(sys, q, c, 0.25, 6.0, 2.0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mus[k], profits[k] = res.Mu, res.Profit
+		}
+		fmt.Printf("%.2f               %.3f      %.4f     %.3f       %.4f    %+.1f%%\n",
+			c, mus[0], profits[0], mus[1], profits[1], 100*(mus[1]-mus[0])/mus[0])
+	}
+
+	fmt.Println()
+	fmt.Println("-> at every capacity cost the deregulated market supports a larger network:")
+	fmt.Println("   subsidies raise utilization and revenue per unit of capacity, which is the")
+	fmt.Println("   paper's investment-incentive mechanism made operational.")
+}

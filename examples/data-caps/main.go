@@ -1,0 +1,66 @@
+// Data caps: the paper's §1 motivates subsidization with the tiered pricing
+// schemes carriers actually run — usage is free up to an allowance and
+// metered above it (Verizon/AT&T). The econ.CappedExpDemand family models
+// the resulting demand: users ignore marginal prices far below the
+// effective-cap threshold t0 and respond exponentially above it.
+//
+// This example shows the policy consequence: subsidization only has bite
+// where usage prices exceed the region the allowance hides. Sweeping the ISP
+// price across the threshold, equilibrium subsidies switch on exactly as the
+// price enters the elastic region — i.e. sponsored data matters for heavy
+// metered tiers, not for prices the cap absorbs.
+//
+// Run with: go run ./examples/data-caps
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+)
+
+func main() {
+	const t0 = 0.8 // effective-cap threshold: prices below this feel free
+	capped := func(name string, alpha, beta, v float64) model.CP {
+		return model.CP{
+			Name:       name,
+			Demand:     econ.CappedExpDemand{Alpha: alpha, T0: t0},
+			Throughput: econ.NewExpThroughput(beta),
+			Value:      v,
+		}
+	}
+	sys := &model.System{
+		CPs: []model.CP{
+			capped("video", 5, 2, 1.0),
+			capped("social", 3, 4, 0.6),
+		},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+
+	fmt.Printf("demand is inelastic below the cap threshold t0=%.1f and exponential above it\n\n", t0)
+	fmt.Println("ISP price p   s(video)  s(social)  phi      R        note")
+	for _, p := range []float64{0.2, 0.5, 0.8, 1.1, 1.4, 1.8} {
+		g, err := game.New(sys, p, 1.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eq, err := g.SolveNash(game.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := "price hidden by the allowance: subsidies buy nothing"
+		if eq.S[0] > 0.02 {
+			note = "metered region: sponsorship switches on"
+		}
+		fmt.Printf("%-13.1f %-9.3f %-10.3f %-8.4f %-8.4f %s\n",
+			p, eq.S[0], eq.S[1], eq.State.Phi, g.Revenue(eq.State), note)
+	}
+
+	fmt.Println("\n-> under tiered pricing the subsidization channel activates only once the")
+	fmt.Println("   ISP's marginal price climbs past the allowance region — consistent with")
+	fmt.Println("   sponsored data emerging alongside usage-based tiers (paper §1, §6).")
+}

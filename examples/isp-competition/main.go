@@ -1,0 +1,91 @@
+// ISP competition: §6 of the paper argues that "competition between ISPs
+// will also incentivize them to adopt subsidization schemes" and that a
+// competitive access market removes the need for price regulation.
+//
+// This example builds a two-ISP logit-choice market (the duopoly extension)
+// and compares it against a capacity-equivalent monopolist:
+//
+//   - equilibrium access prices under competition vs monopoly,
+//   - system welfare in each regime,
+//   - and the complementarity claim: at the competitive prices, letting CPs
+//     subsidize still raises both ISPs' revenues.
+//
+// Run with: go run ./examples/isp-competition
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neutralnet/internal/duopoly"
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+func main() {
+	mk := func(name string, a, b, v float64) model.CP {
+		return model.CP{
+			Name:       name,
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	m := &duopoly.Market{
+		CPs: []model.CP{
+			mk("video", 4, 2, 1.0),
+			mk("social", 2, 4, 0.5),
+		},
+		Util:  econ.LinearUtilization{},
+		Mu:    [2]float64{0.5, 0.5}, // two half-capacity access networks
+		Sigma: 3,                    // users' price sensitivity when picking an ISP
+		Q:     1,                    // subsidization allowed up to 1
+	}
+
+	pDuo, stDuo, err := m.PriceEquilibrium(2, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pMono, stMono, sMono, err := m.MonopolyBenchmark(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wMono := 0.0
+	for i, cp := range m.CPs {
+		wMono += cp.Value * stMono.Theta[i]
+	}
+
+	fmt.Println("regime        access price(s)      welfare   note")
+	fmt.Printf("monopoly      p*=%.3f              %.4f    subsidies %v\n", pMono, wMono, round2(sMono))
+	fmt.Printf("duopoly       p1=%.3f p2=%.3f      %.4f    competition disciplines the price\n",
+		pDuo[0], pDuo[1], m.Welfare(stDuo))
+
+	// Complementarity: at the competitive prices, subsidization still lifts
+	// both ISPs' revenue (Corollary 1 survives competition).
+	zero := make([]float64, len(m.CPs))
+	base, err := m.Solve(pDuo, zero)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, withSubs, err := m.CPEquilibrium(pDuo, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for k := 0; k < 2; k++ {
+		fmt.Printf("ISP %d revenue: %.4f (no subsidies) -> %.4f (with subsidies, %+.1f%%)\n",
+			k+1, base.Revenue(k), withSubs.Revenue(k),
+			100*(withSubs.Revenue(k)-base.Revenue(k))/base.Revenue(k))
+	}
+	fmt.Println("\n-> a competitive access market lowers prices AND keeps the subsidization")
+	fmt.Println("   channel valuable to ISPs — the paper's §6 claim that regulators can rely")
+	fmt.Println("   on competition instead of price caps where it exists.")
+}
+
+func round2(s []float64) []float64 {
+	out := make([]float64, len(s))
+	for i, v := range s {
+		out[i] = float64(int(v*1000+0.5)) / 1000
+	}
+	return out
+}

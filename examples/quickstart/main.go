@@ -1,0 +1,55 @@
+// Quickstart: build a small content market, solve the subsidization
+// competition at an ISP price and policy cap, and compare it with the
+// one-sided (no-subsidy) status quo.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neutralnet"
+)
+
+func main() {
+	// Three CP types with the paper's exponential demand/throughput forms:
+	// NewCP(name, α, β, v) — α is price sensitivity of user demand, β is
+	// congestion sensitivity of per-user throughput, v is per-unit profit.
+	sys := neutralnet.NewSystem(1.0, // access capacity µ
+		neutralnet.NewCP("video", 5, 2, 1.0),     // profitable, elastic demand
+		neutralnet.NewCP("startup", 5, 5, 0.3),   // low margin
+		neutralnet.NewCP("messaging", 2, 5, 0.5), // price-insensitive users
+	)
+
+	const p = 1.0 // ISP usage price
+	const q = 1.0 // regulator's subsidy cap
+
+	// Status quo: one-sided pricing, nobody subsidizes.
+	base, err := neutralnet.SolveOneSided(sys, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("status quo:      phi=%.4f  R=%.4f  W=%.4f\n",
+		base.Phi, p*base.TotalThroughput(), neutralnet.Welfare(sys, base))
+
+	// Deregulated subsidization: CPs compete in subsidies up to q.
+	eq, err := neutralnet.SolveEquilibrium(sys, p, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with subsidies:  %s\n\n", neutralnet.Describe(sys, p, eq))
+
+	for i, cp := range sys.CPs {
+		fmt.Printf("%-10s subsidy=%.3f  user price=%.3f  users: %.3f -> %.3f  throughput: %.4f -> %.4f\n",
+			cp.Name, eq.S[i], p-eq.S[i],
+			base.M[i], eq.State.M[i],
+			base.Theta[i], eq.State.Theta[i])
+	}
+
+	// The paper's headline (Corollary 1): with the price fixed, allowing
+	// subsidies raises utilization and the ISP's revenue — strengthening
+	// its incentive to invest in capacity.
+	fmt.Printf("\nISP revenue gain from deregulating subsidies: %+.2f%%\n",
+		100*(p*eq.State.TotalThroughput()-p*base.TotalThroughput())/(p*base.TotalThroughput()))
+}

@@ -1,0 +1,77 @@
+// Sponsored data: the AT&T-style plan the paper cites as the first special
+// case of subsidization — a CP fully sponsors its users' usage charges
+// (s_i = p, so the effective user price is zero).
+//
+// This example compares three regimes for a profitable video CP competing
+// with a non-sponsoring rival:
+//
+//  1. no sponsorship (one-sided pricing),
+//  2. unilateral full sponsorship by the video CP (s fixed at p, not an
+//     equilibrium — the marketing construct AT&T sells),
+//  3. the competitive equilibrium when every CP may sponsor up to q = p
+//     (the paper's neutral, uniform-option requirement from §6).
+//
+// Run with: go run ./examples/sponsored-data
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neutralnet"
+	"neutralnet/internal/game"
+)
+
+func main() {
+	sys := neutralnet.NewSystem(1.0,
+		neutralnet.NewCP("video", 4, 2, 1.2), // sponsor candidate: high profit
+		neutralnet.NewCP("news", 4, 2, 0.4),
+		neutralnet.NewCP("social", 2, 4, 0.6),
+	)
+	const p = 0.8
+
+	// Regime 1: nobody sponsors.
+	base, err := neutralnet.SolveOneSided(sys, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Regime 2: the video CP fully sponsors (s_video = p), others don't.
+	// This is a fixed strategy profile, not an equilibrium: we evaluate the
+	// induced physical state directly.
+	g, err := neutralnet.NewGame(sys, p, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sponsored := []float64{p, 0, 0}
+	spSt, err := g.State(sponsored)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Regime 3: everyone may sponsor up to q = p; competition decides.
+	eq, err := g.SolveNash(game.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("regime                       phi      R        th(video) th(news)  th(social)")
+	fmt.Printf("1. no sponsorship         %.4f  %.4f  %.4f    %.4f    %.4f\n",
+		base.Phi, p*base.TotalThroughput(), base.Theta[0], base.Theta[1], base.Theta[2])
+	fmt.Printf("2. video sponsors alone   %.4f  %.4f  %.4f    %.4f    %.4f\n",
+		spSt.Phi, p*spSt.TotalThroughput(), spSt.Theta[0], spSt.Theta[1], spSt.Theta[2])
+	fmt.Printf("3. open competition       %.4f  %.4f  %.4f    %.4f    %.4f\n",
+		eq.State.Phi, p*eq.State.TotalThroughput(), eq.State.Theta[0], eq.State.Theta[1], eq.State.Theta[2])
+
+	fmt.Printf("\nequilibrium sponsorships: video=%.3f news=%.3f social=%.3f (cap q=%.2f)\n",
+		eq.S[0], eq.S[1], eq.S[2], p)
+
+	// Lemma 3 in action: unilateral sponsorship raises the sponsor's
+	// throughput and depresses everyone else's.
+	fmt.Printf("\nunilateral sponsorship: video throughput %+.1f%%, news %+.1f%%, social %+.1f%%\n",
+		pct(spSt.Theta[0], base.Theta[0]), pct(spSt.Theta[1], base.Theta[1]), pct(spSt.Theta[2], base.Theta[2]))
+	fmt.Println("-> the FCC's concern about sponsored data is regime 2; the paper's fix is regime 3:")
+	fmt.Println("   give every CP the same subsidization option and let competition set the levels.")
+}
+
+func pct(a, b float64) float64 { return 100 * (a - b) / b }

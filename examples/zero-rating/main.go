@@ -1,0 +1,73 @@
+// Zero rating: §6 of the paper warns against *discriminatory* subsidization
+// — e.g. Comcast exempting its own Xbox XFinity traffic from data caps while
+// Netflix traffic still counts. That is an ISP-side subsidy available to one
+// CP only, unlike the paper's proposal where the subsidization option is
+// identical for all CPs.
+//
+// This example contrasts:
+//
+//  1. neutral baseline (nobody subsidized),
+//  2. discriminatory zero-rating (only the ISP's affiliate gets s = p),
+//  3. the paper's neutral subsidization competition (everyone may subsidize).
+//
+// and reports the rival's throughput loss under regime 2 — the
+// anti-competitive harm regulators worry about — versus regime 3 where the
+// rival can fight back with its own subsidy.
+//
+// Run with: go run ./examples/zero-rating
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neutralnet"
+	"neutralnet/internal/game"
+)
+
+func main() {
+	sys := neutralnet.NewSystem(1.0,
+		neutralnet.NewCP("affiliate-vod", 4, 3, 0.9), // the ISP's own service
+		neutralnet.NewCP("rival-vod", 4, 3, 0.9),     // identical competitor
+		neutralnet.NewCP("web", 2, 4, 0.5),
+	)
+	const p = 1.0
+
+	base, err := neutralnet.SolveOneSided(sys, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g, err := neutralnet.NewGame(sys, p, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Discriminatory zero-rating: only the affiliate's usage is free.
+	zr, err := g.State([]float64{p, 0, 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Neutral competition: both VoD services (and the web CP) may subsidize.
+	eq, err := g.SolveNash(game.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("regime                         th(affiliate)  th(rival)  rival vs affiliate")
+	fmt.Printf("1. neutral, no subsidies       %.4f         %.4f     %+.1f%%\n",
+		base.Theta[0], base.Theta[1], gap(base.Theta[1], base.Theta[0]))
+	fmt.Printf("2. discriminatory zero-rating  %.4f         %.4f     %+.1f%%\n",
+		zr.Theta[0], zr.Theta[1], gap(zr.Theta[1], zr.Theta[0]))
+	fmt.Printf("3. neutral competition         %.4f         %.4f     %+.1f%%\n",
+		eq.State.Theta[0], eq.State.Theta[1], gap(eq.State.Theta[1], eq.State.Theta[0]))
+
+	fmt.Printf("\nequilibrium subsidies under regime 3: affiliate=%.3f rival=%.3f web=%.3f\n",
+		eq.S[0], eq.S[1], eq.S[2])
+	fmt.Println("-> zero-rating hands the affiliate a large throughput lead over an identical")
+	fmt.Println("   rival; a uniform subsidization option restores symmetry, which is why the")
+	fmt.Println("   paper insists the option \"should be given to all CPs equally\".")
+}
+
+func gap(rival, affiliate float64) float64 { return 100 * (rival - affiliate) / affiliate }

@@ -1,0 +1,50 @@
+package neutralnet_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesAndCommandsRun executes every example and command end to end
+// via `go run`, asserting success and a key phrase in each output. This
+// keeps the runnable documentation honest: an API change that breaks an
+// example fails the suite, not a user.
+func TestExamplesAndCommandsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping subprocess smoke tests in -short mode")
+	}
+	cases := []struct {
+		pkg    string
+		args   []string
+		expect string
+	}{
+		{"./examples/quickstart", nil, "ISP revenue gain"},
+		{"./examples/sponsored-data", nil, "open competition"},
+		{"./examples/zero-rating", nil, "neutral competition"},
+		{"./examples/price-regulation", nil, "unregulated monopoly"},
+		{"./examples/capacity-planning", nil, "invest"},
+		{"./examples/isp-competition", nil, "duopoly"},
+		{"./examples/data-caps", nil, "metered region"},
+		{"./examples/investment", nil, "steady state"},
+		{"./cmd/figures", []string{"-points", "9", "-charts=false"}, "shape checks"},
+		{"./cmd/subsidize", nil, "equilibrium"},
+		{"./cmd/compare", nil, "subsidization (Nash)"},
+		{"./cmd/robustness", []string{"-markets", "5"}, "Corollary 1"},
+		{"./cmd/flowsim", []string{"-users", "150"}, "fit m(t)"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.pkg, "./"), func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", tc.pkg}, tc.args...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s failed: %v\n%s", tc.pkg, err, out)
+			}
+			if !strings.Contains(string(out), tc.expect) {
+				t.Fatalf("output of %s missing %q:\n%s", tc.pkg, tc.expect, out)
+			}
+		})
+	}
+}

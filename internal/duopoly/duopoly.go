@@ -1,0 +1,304 @@
+// Package duopoly extends the paper's single-ISP model with access-market
+// competition, the direction §6 sketches: "we believe that competition
+// between ISPs will also incentivize them to adopt subsidization schemes."
+//
+// Two access ISPs with capacities µ₁, µ₂ set usage prices p₁, p₂. Users
+// split between them by a logit price-attraction rule with sensitivity σ
+// (σ → ∞ approaches winner-takes-all; σ = 0 splits evenly). CPs choose one
+// subsidy s_i ∈ [0, q] that applies on both networks — a CP sponsors its
+// users' usage wherever they attach — and maximize the summed utility
+// U_i = (v_i − s_i)(θ_i¹ + θ_i²). Each network forms its own utilization
+// fixed point. On top of the CPs' equilibrium, the ISPs compete in prices
+// (best-response dynamics on revenue).
+//
+// The qualitative predictions this enables (tested in duopoly_test.go):
+// price competition pushes access prices and raises welfare relative to a
+// capacity-equivalent monopolist, and subsidization remains
+// revenue-improving for both competitors — the paper's argument that ISP
+// competition is a complement, not a substitute, for subsidization.
+package duopoly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+	"neutralnet/internal/numeric"
+)
+
+// Market is a two-ISP access market sharing one CP catalog.
+type Market struct {
+	CPs   []model.CP
+	Util  econ.Utilization
+	Mu    [2]float64 // per-ISP capacities
+	Sigma float64    // logit price sensitivity of ISP choice
+	Q     float64    // subsidy cap (policy)
+}
+
+// Validate checks the market's structural preconditions.
+func (m *Market) Validate() error {
+	if len(m.CPs) == 0 {
+		return errors.New("duopoly: no CPs")
+	}
+	if m.Mu[0] <= 0 || m.Mu[1] <= 0 {
+		return fmt.Errorf("duopoly: capacities must be positive: %v", m.Mu)
+	}
+	if m.Util == nil {
+		return errors.New("duopoly: nil utilization map")
+	}
+	if m.Sigma < 0 || m.Q < 0 {
+		return fmt.Errorf("duopoly: negative σ (%g) or q (%g)", m.Sigma, m.Q)
+	}
+	return nil
+}
+
+// Shares returns the logit user split (share₁, share₂) at prices (p₁, p₂).
+func (m *Market) Shares(p1, p2 float64) (float64, float64) {
+	e1 := math.Exp(-m.Sigma * p1)
+	e2 := math.Exp(-m.Sigma * p2)
+	return e1 / (e1 + e2), e2 / (e1 + e2)
+}
+
+// State is the solved two-network physical state under prices p and
+// subsidies s.
+type State struct {
+	P      [2]float64
+	Shares [2]float64
+	Net    [2]model.State // per-ISP utilization/populations/throughputs
+}
+
+// TotalThroughput returns θ_i¹ + θ_i² for CP i.
+func (st State) TotalThroughput(i int) float64 { return st.Net[0].Theta[i] + st.Net[1].Theta[i] }
+
+// Revenue returns ISP k's usage revenue p_k·Σθ^k.
+func (st State) Revenue(k int) float64 {
+	return st.P[k] * st.Net[k].TotalThroughput()
+}
+
+// network builds ISP k's single-network system.
+func (m *Market) network(k int) *model.System {
+	return &model.System{CPs: m.CPs, Mu: m.Mu[k], Util: m.Util}
+}
+
+// Solve computes both networks' fixed points at prices p and subsidies s.
+func (m *Market) Solve(p [2]float64, s []float64) (State, error) {
+	if len(s) != len(m.CPs) {
+		return State{}, fmt.Errorf("duopoly: %d subsidies for %d CPs", len(s), len(m.CPs))
+	}
+	st := State{P: p}
+	st.Shares[0], st.Shares[1] = m.Shares(p[0], p[1])
+	for k := 0; k < 2; k++ {
+		sys := m.network(k)
+		pops := make([]float64, len(m.CPs))
+		for i, cp := range m.CPs {
+			pops[i] = st.Shares[k] * cp.Demand.M(p[k]-s[i])
+		}
+		ns, err := sys.Solve(pops)
+		if err != nil {
+			return State{}, fmt.Errorf("duopoly: network %d: %w", k, err)
+		}
+		st.Net[k] = ns
+	}
+	return st, nil
+}
+
+// Utility returns CP i's summed utility at the state.
+func (m *Market) Utility(i int, s []float64, st State) float64 {
+	return (m.CPs[i].Value - s[i]) * st.TotalThroughput(i)
+}
+
+// CPEquilibrium solves the CPs' subsidization game at fixed prices by
+// Gauss–Seidel best responses (grid+golden per coordinate; the duopoly
+// utility has no closed-form marginal). warm may be nil.
+func (m *Market) CPEquilibrium(p [2]float64, warm []float64) ([]float64, State, error) {
+	n := len(m.CPs)
+	s := make([]float64, n)
+	if warm != nil {
+		copy(s, warm)
+		for i := range s {
+			s[i] = numeric.Clamp(s[i], 0, m.Q)
+		}
+	}
+	const tol = 1e-7
+	for iter := 0; iter < 200; iter++ {
+		moved := 0.0
+		for i := 0; i < n; i++ {
+			var evalErr error
+			f := func(x float64) float64 {
+				cand := append([]float64(nil), s...)
+				cand[i] = x
+				st, err := m.Solve(p, cand)
+				if err != nil {
+					evalErr = err
+					return math.Inf(-1)
+				}
+				return m.Utility(i, cand, st)
+			}
+			best := 0.0
+			if m.Q > 0 {
+				best, _ = numeric.MaximizeOnInterval(f, 0, m.Q, 17)
+			}
+			if evalErr != nil {
+				return nil, State{}, evalErr
+			}
+			if d := math.Abs(best - s[i]); d > moved {
+				moved = d
+			}
+			s[i] = best
+		}
+		if moved < tol {
+			st, err := m.Solve(p, s)
+			return s, st, err
+		}
+	}
+	return nil, State{}, errors.New("duopoly: CP equilibrium did not converge")
+}
+
+// PriceEquilibrium solves the ISPs' price competition on [0, pMax] by
+// alternating best responses, with the CPs re-equilibrating inside every
+// revenue evaluation. It returns the equilibrium prices and the final state.
+func (m *Market) PriceEquilibrium(pMax float64, maxRounds int) ([2]float64, State, error) {
+	if err := m.Validate(); err != nil {
+		return [2]float64{}, State{}, err
+	}
+	if pMax <= 0 {
+		return [2]float64{}, State{}, errors.New("duopoly: pMax must be positive")
+	}
+	if maxRounds <= 0 {
+		maxRounds = 30
+	}
+	p := [2]float64{pMax / 2, pMax / 2}
+	var warm []float64
+	revenueAt := func(k int, pk float64) float64 {
+		cand := p
+		cand[k] = pk
+		s, st, err := m.CPEquilibrium(cand, warm)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		warm = s
+		return st.Revenue(k)
+	}
+	const tol = 1e-4
+	for round := 0; round < maxRounds; round++ {
+		moved := 0.0
+		for k := 0; k < 2; k++ {
+			best, _ := numeric.MaximizeOnInterval(func(x float64) float64 { return revenueAt(k, x) }, 1e-3, pMax, 13)
+			if d := math.Abs(best - p[k]); d > moved {
+				moved = d
+			}
+			p[k] = best
+		}
+		if moved < tol {
+			break
+		}
+	}
+	s, st, err := m.CPEquilibrium(p, warm)
+	if err != nil {
+		return p, State{}, err
+	}
+	_ = s
+	return p, st, nil
+}
+
+// MonopolyBenchmark solves the capacity-equivalent single-ISP problem
+// (µ = µ₁+µ₂, all users attached) at its revenue-optimal price, for
+// comparison against the duopoly outcome.
+func (m *Market) MonopolyBenchmark(pMax float64) (p float64, st model.State, s []float64, err error) {
+	if err := m.Validate(); err != nil {
+		return 0, model.State{}, nil, err
+	}
+	sys := &model.System{CPs: m.CPs, Mu: m.Mu[0] + m.Mu[1], Util: m.Util}
+	best, bestP := math.Inf(-1), 0.0
+	var bestS []float64
+	var warm []float64
+	for k := 1; k <= 15; k++ {
+		pk := pMax * float64(k) / 15
+		g := singleGame{sys: sys, p: pk, q: m.Q}
+		sk, stk, err := g.equilibrium(warm)
+		if err != nil {
+			return 0, model.State{}, nil, err
+		}
+		warm = sk
+		if r := pk * stk.TotalThroughput(); r > best {
+			best, bestP, bestS = r, pk, sk
+		}
+	}
+	g := singleGame{sys: sys, p: bestP, q: m.Q}
+	sFin, stFin, err := g.equilibrium(bestS)
+	if err != nil {
+		return 0, model.State{}, nil, err
+	}
+	return bestP, stFin, sFin, nil
+}
+
+// singleGame is a minimal single-network subsidization solver mirroring the
+// game package's Gauss-Seidel loop (duplicated here in miniature to keep the
+// duopoly package's dependencies one-directional).
+type singleGame struct {
+	sys *model.System
+	p   float64
+	q   float64
+}
+
+func (g singleGame) state(s []float64) (model.State, error) {
+	pops := make([]float64, len(g.sys.CPs))
+	for i, cp := range g.sys.CPs {
+		pops[i] = cp.Demand.M(g.p - s[i])
+	}
+	return g.sys.Solve(pops)
+}
+
+func (g singleGame) equilibrium(warm []float64) ([]float64, model.State, error) {
+	n := len(g.sys.CPs)
+	s := make([]float64, n)
+	if warm != nil {
+		copy(s, warm)
+		for i := range s {
+			s[i] = numeric.Clamp(s[i], 0, g.q)
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		moved := 0.0
+		for i := 0; i < n; i++ {
+			var evalErr error
+			f := func(x float64) float64 {
+				cand := append([]float64(nil), s...)
+				cand[i] = x
+				st, err := g.state(cand)
+				if err != nil {
+					evalErr = err
+					return math.Inf(-1)
+				}
+				return (g.sys.CPs[i].Value - cand[i]) * st.Theta[i]
+			}
+			best := 0.0
+			if g.q > 0 {
+				best, _ = numeric.MaximizeOnInterval(f, 0, g.q, 17)
+			}
+			if evalErr != nil {
+				return nil, model.State{}, evalErr
+			}
+			if d := math.Abs(best - s[i]); d > moved {
+				moved = d
+			}
+			s[i] = best
+		}
+		if moved < 1e-7 {
+			st, err := g.state(s)
+			return s, st, err
+		}
+	}
+	return nil, model.State{}, errors.New("duopoly: monopoly benchmark did not converge")
+}
+
+// Welfare returns Σ v_i·(θ_i¹+θ_i²) at a duopoly state.
+func (m *Market) Welfare(st State) float64 {
+	w := 0.0
+	for i, cp := range m.CPs {
+		w += cp.Value * st.TotalThroughput(i)
+	}
+	return w
+}

@@ -1,0 +1,161 @@
+package duopoly
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+func smallMarket() *Market {
+	mk := func(a, b, v float64) model.CP {
+		return model.CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	return &Market{
+		CPs:   []model.CP{mk(4, 2, 1), mk(2, 4, 0.5)},
+		Util:  econ.LinearUtilization{},
+		Mu:    [2]float64{0.5, 0.5},
+		Sigma: 3,
+		Q:     1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := smallMarket().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := smallMarket()
+	bad.Mu[1] = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero capacity must be rejected")
+	}
+	bad2 := smallMarket()
+	bad2.Sigma = -1
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("negative sigma must be rejected")
+	}
+}
+
+func TestSharesLogit(t *testing.T) {
+	m := smallMarket()
+	s1, s2 := m.Shares(1, 1)
+	if math.Abs(s1-0.5) > 1e-12 || math.Abs(s2-0.5) > 1e-12 {
+		t.Fatalf("equal prices must split evenly: %v %v", s1, s2)
+	}
+	s1, s2 = m.Shares(0.5, 1.5)
+	if !(s1 > s2) {
+		t.Fatalf("cheaper ISP must win share: %v vs %v", s1, s2)
+	}
+	if math.Abs(s1+s2-1) > 1e-12 {
+		t.Fatal("shares must sum to 1")
+	}
+	m.Sigma = 0
+	s1, s2 = m.Shares(0.1, 1.9)
+	if s1 != 0.5 || s2 != 0.5 {
+		t.Fatal("σ=0 must split evenly regardless of prices")
+	}
+}
+
+func TestSolveConservation(t *testing.T) {
+	m := smallMarket()
+	st, err := m.Solve([2]float64{0.8, 1.2}, []float64{0.2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheaper network attracts more of every CP's population.
+	for i := range m.CPs {
+		if !(st.Net[0].M[i] > st.Net[1].M[i]) {
+			t.Fatalf("cheaper ISP did not win CP %d's users: %v vs %v", i, st.Net[0].M[i], st.Net[1].M[i])
+		}
+	}
+	if st.Revenue(0) <= 0 || st.Revenue(1) <= 0 {
+		t.Fatalf("revenues: %v %v", st.Revenue(0), st.Revenue(1))
+	}
+}
+
+func TestCPEquilibriumLooksLikeSingleISP(t *testing.T) {
+	// With equal prices and symmetric capacity split, subsidization
+	// incentives mirror the single-network game: the profitable CP
+	// subsidizes, the weak one does less.
+	m := smallMarket()
+	s, st, err := m.CPEquilibrium([2]float64{1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s[0] > s[1]) {
+		t.Fatalf("profitable CP should subsidize more: %v", s)
+	}
+	if !(s[0] > 0.1) {
+		t.Fatalf("profitable CP should subsidize materially: %v", s)
+	}
+	// Symmetric prices ⇒ symmetric networks.
+	if math.Abs(st.Net[0].Phi-st.Net[1].Phi) > 1e-9 {
+		t.Fatalf("symmetric market asymmetric utilizations: %v vs %v", st.Net[0].Phi, st.Net[1].Phi)
+	}
+}
+
+func TestPriceCompetitionUndercutsMonopoly(t *testing.T) {
+	// The §6 story: access competition disciplines prices; the duopoly
+	// equilibrium price sits below the capacity-equivalent monopolist's
+	// revenue-optimal price, and system welfare is no lower.
+	m := smallMarket()
+	pDuo, stDuo, err := m.PriceEquilibrium(2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMono, stMono, _, err := m.MonopolyBenchmark(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgDuo := (pDuo[0] + pDuo[1]) / 2
+	if !(avgDuo < pMono+1e-6) {
+		t.Fatalf("duopoly average price %v not below monopoly %v", avgDuo, pMono)
+	}
+	wDuo := m.Welfare(stDuo)
+	wMono := 0.0
+	for i, cp := range m.CPs {
+		wMono += cp.Value * stMono.Theta[i]
+	}
+	if wDuo < wMono-1e-6 {
+		t.Fatalf("duopoly welfare %v below monopoly %v", wDuo, wMono)
+	}
+}
+
+func TestSymmetricDuopolySymmetricPrices(t *testing.T) {
+	m := smallMarket()
+	p, _, err := m.PriceEquilibrium(2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-p[1]) > 0.05 {
+		t.Fatalf("symmetric duopoly should price symmetrically: %v", p)
+	}
+}
+
+func TestSubsidizationStillHelpsISPsUnderCompetition(t *testing.T) {
+	// Subsidies remain revenue-improving for both competitors at fixed
+	// prices — the paper's claim that competition and subsidization are
+	// complements.
+	m := smallMarket()
+	p := [2]float64{0.9, 0.9}
+	zero := make([]float64, len(m.CPs))
+	base, err := m.Solve(p, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := m.CPEquilibrium(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		if !(st.Revenue(k) > base.Revenue(k)) {
+			t.Fatalf("ISP %d revenue did not improve under subsidization: %v vs %v",
+				k, st.Revenue(k), base.Revenue(k))
+		}
+	}
+}

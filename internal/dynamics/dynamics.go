@@ -1,0 +1,146 @@
+// Package dynamics studies the off-equilibrium behavior the paper lists as
+// a limitation of its equilibrium analysis (§6: the model "might not be able
+// to capture short-term off-equilibrium types of system dynamics"). It
+// simulates discrete-time adjustment processes for the subsidization game —
+// simultaneous best-response dynamics with inertia, and projected gradient
+// (marginal-utility) dynamics — and reports whether and how fast they reach
+// the Nash equilibrium the static analysis predicts.
+//
+// The stability intuition comes from Corollary 1's Leontief/M-matrix
+// structure: off-diagonally monotone marginal utilities make the best
+// responses well-behaved near equilibrium, so damped adjustment converges.
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/numeric"
+)
+
+// Process selects the adjustment rule.
+type Process int
+
+const (
+	// BestResponse is s_{t+1} = (1−η)s_t + η·BR(s_t): every CP moves a
+	// fraction η toward its current best response simultaneously.
+	BestResponse Process = iota
+	// Gradient is s_{t+1} = Π_{[0,q]}(s_t + η·u(s_t)): CPs climb their
+	// marginal utility with step η, projected onto the policy box.
+	Gradient
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	Process Process
+	Eta     float64   // step / inertia parameter in (0, 1] for BR, > 0 for gradient
+	Steps   int       // maximum steps (0 → 500)
+	Tol     float64   // sup-norm movement tolerance declaring convergence (0 → 1e-7)
+	Initial []float64 // starting profile (nil → zeros)
+}
+
+// Trajectory is the simulated path.
+type Trajectory struct {
+	Profiles   [][]float64 // s_0 … s_T
+	Converged  bool
+	Steps      int // steps actually taken
+	FinalDelta float64
+}
+
+// Final returns the last profile.
+func (tr Trajectory) Final() []float64 { return tr.Profiles[len(tr.Profiles)-1] }
+
+// DistanceTo returns the sup-norm distance of each trajectory point to the
+// reference profile — handy for plotting convergence.
+func (tr Trajectory) DistanceTo(ref []float64) []float64 {
+	out := make([]float64, len(tr.Profiles))
+	for k, s := range tr.Profiles {
+		d := 0.0
+		for i := range s {
+			if a := math.Abs(s[i] - ref[i]); a > d {
+				d = a
+			}
+		}
+		out[k] = d
+	}
+	return out
+}
+
+// Simulate runs the adjustment process on the game.
+func Simulate(g *game.Game, cfg Config) (Trajectory, error) {
+	if g == nil {
+		return Trajectory{}, errors.New("dynamics: nil game")
+	}
+	if cfg.Eta <= 0 {
+		return Trajectory{}, fmt.Errorf("dynamics: eta must be positive, got %g", cfg.Eta)
+	}
+	if cfg.Process == BestResponse && cfg.Eta > 1 {
+		return Trajectory{}, fmt.Errorf("dynamics: BR inertia eta must be in (0,1], got %g", cfg.Eta)
+	}
+	steps := cfg.Steps
+	if steps <= 0 {
+		steps = 500
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	n := g.N()
+	s := make([]float64, n)
+	if cfg.Initial != nil {
+		copy(s, cfg.Initial)
+		for i := range s {
+			s[i] = numeric.Clamp(s[i], 0, g.Q)
+		}
+	}
+	tr := Trajectory{Profiles: [][]float64{append([]float64(nil), s...)}}
+	for t := 1; t <= steps; t++ {
+		next := make([]float64, n)
+		switch cfg.Process {
+		case Gradient:
+			u, err := g.MarginalUtilities(s)
+			if err != nil {
+				return tr, err
+			}
+			for i := range s {
+				next[i] = numeric.Clamp(s[i]+cfg.Eta*u[i], 0, g.Q)
+			}
+		default: // BestResponse
+			for i := range s {
+				br, err := g.BestResponse(i, s)
+				if err != nil {
+					return tr, err
+				}
+				next[i] = (1-cfg.Eta)*s[i] + cfg.Eta*br
+			}
+		}
+		delta := 0.0
+		for i := range s {
+			if d := math.Abs(next[i] - s[i]); d > delta {
+				delta = d
+			}
+		}
+		s = next
+		tr.Profiles = append(tr.Profiles, append([]float64(nil), s...))
+		tr.Steps = t
+		tr.FinalDelta = delta
+		if delta < tol {
+			tr.Converged = true
+			break
+		}
+	}
+	return tr, nil
+}
+
+// StepsToReach returns the first step index at which the trajectory is
+// within eps (sup-norm) of ref, or −1 if it never gets there.
+func (tr Trajectory) StepsToReach(ref []float64, eps float64) int {
+	for k, d := range tr.DistanceTo(ref) {
+		if d <= eps {
+			return k
+		}
+	}
+	return -1
+}

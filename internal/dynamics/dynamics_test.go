@@ -1,0 +1,148 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+)
+
+func testGame(t *testing.T, p, q float64) *game.Game {
+	t.Helper()
+	mk := func(a, b, v float64) model.CP {
+		return model.CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	sys := &model.System{
+		CPs:  []model.CP{mk(5, 2, 1), mk(2, 5, 0.5), mk(3, 3, 0.8)},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func nash(t *testing.T, g *game.Game) []float64 {
+	t.Helper()
+	eq, err := g.SolveNash(game.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eq.S
+}
+
+func TestBRDynamicsConvergeToNash(t *testing.T) {
+	g := testGame(t, 1, 1)
+	star := nash(t, g)
+	for _, eta := range []float64{1, 0.5, 0.25} {
+		tr, err := Simulate(g, Config{Process: BestResponse, Eta: eta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Converged {
+			t.Fatalf("η=%v: did not converge in %d steps", eta, tr.Steps)
+		}
+		for i, si := range tr.Final() {
+			if math.Abs(si-star[i]) > 1e-4 {
+				t.Fatalf("η=%v: dynamics settled at %v, Nash is %v", eta, tr.Final(), star)
+			}
+		}
+	}
+}
+
+func TestGradientDynamicsConvergeToNash(t *testing.T) {
+	g := testGame(t, 1, 1)
+	star := nash(t, g)
+	tr, err := Simulate(g, Config{Process: Gradient, Eta: 0.5, Steps: 5000, Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Converged {
+		t.Fatalf("gradient dynamics did not converge (delta %v)", tr.FinalDelta)
+	}
+	for i, si := range tr.Final() {
+		if math.Abs(si-star[i]) > 1e-3 {
+			t.Fatalf("gradient settled at %v, Nash is %v", tr.Final(), star)
+		}
+	}
+}
+
+func TestDynamicsFromRandomInitialProfiles(t *testing.T) {
+	// Global convergence check from dispersed starts — evidence that the
+	// equilibrium the static solver finds is the game's attractor.
+	g := testGame(t, 1, 1)
+	star := nash(t, g)
+	starts := [][]float64{
+		{1, 1, 1},
+		{0, 1, 0},
+		{0.9, 0.1, 0.5},
+	}
+	for _, s0 := range starts {
+		tr, err := Simulate(g, Config{Process: BestResponse, Eta: 0.6, Initial: s0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Converged {
+			t.Fatalf("start %v did not converge", s0)
+		}
+		for i := range star {
+			if math.Abs(tr.Final()[i]-star[i]) > 1e-4 {
+				t.Fatalf("start %v reached %v, Nash is %v", s0, tr.Final(), star)
+			}
+		}
+	}
+}
+
+func TestDistanceDecreasesEventually(t *testing.T) {
+	g := testGame(t, 1, 1)
+	star := nash(t, g)
+	tr, err := Simulate(g, Config{Process: BestResponse, Eta: 0.5, Initial: []float64{1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tr.DistanceTo(star)
+	// The tail of the distance sequence must be monotone decreasing.
+	for k := len(d) / 2; k+1 < len(d); k++ {
+		if d[k+1] > d[k]+1e-9 {
+			t.Fatalf("distance rose at step %d: %v -> %v", k, d[k], d[k+1])
+		}
+	}
+	if got := tr.StepsToReach(star, 1e-3); got < 0 {
+		t.Fatal("never reached the equilibrium neighborhood")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	g := testGame(t, 1, 1)
+	if _, err := Simulate(nil, Config{Eta: 0.5}); err == nil {
+		t.Fatal("nil game must be rejected")
+	}
+	if _, err := Simulate(g, Config{Eta: 0}); err == nil {
+		t.Fatal("zero eta must be rejected")
+	}
+	if _, err := Simulate(g, Config{Process: BestResponse, Eta: 1.5}); err == nil {
+		t.Fatal("BR inertia above 1 must be rejected")
+	}
+}
+
+func TestStepBudgetRespected(t *testing.T) {
+	g := testGame(t, 1, 1)
+	tr, err := Simulate(g, Config{Process: Gradient, Eta: 1e-4, Steps: 5, Initial: []float64{1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Converged {
+		t.Fatal("tiny steps cannot converge in 5 iterations")
+	}
+	if tr.Steps != 5 || len(tr.Profiles) != 6 {
+		t.Fatalf("budget not respected: %d steps, %d profiles", tr.Steps, len(tr.Profiles))
+	}
+}

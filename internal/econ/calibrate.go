@@ -1,0 +1,46 @@
+package econ
+
+import (
+	"errors"
+	"fmt"
+
+	"neutralnet/internal/fit"
+)
+
+// This file calibrates the paper's styled curves from data. The paper notes
+// (§6) that "market data are needed so as to obtain the characteristics of
+// the CPs, e.g., their profitability and elasticities" and expects such data
+// to emerge from sponsored-data deployments; these helpers turn observed
+// (price, population) and (utilization, throughput) samples — from the
+// flow-level simulator or from a real deployment — into ExpDemand and
+// ExpThroughput parameters, with the fit quality reported.
+
+// ErrBadFit is returned when a calibration's log-linear regression is
+// degenerate or the fitted sign contradicts the assumptions.
+var ErrBadFit = errors.New("econ: calibration failed")
+
+// CalibrateDemand fits m(t) = Scale·e^{−αt} to observed (price, population)
+// samples and returns the demand curve with the regression R².
+func CalibrateDemand(prices, populations []float64) (ExpDemand, float64, error) {
+	e, err := fit.Exp(prices, populations)
+	if err != nil {
+		return ExpDemand{}, 0, fmt.Errorf("%w: %v", ErrBadFit, err)
+	}
+	if e.B >= 0 {
+		return ExpDemand{}, e.R2, fmt.Errorf("%w: fitted demand increases with price (B=%g)", ErrBadFit, e.B)
+	}
+	return ExpDemand{Alpha: -e.B, Scale: e.A}, e.R2, nil
+}
+
+// CalibrateThroughput fits λ(φ) = Peak·e^{−βφ} to observed
+// (utilization, per-user throughput) samples and returns the curve with R².
+func CalibrateThroughput(phis, lambdas []float64) (ExpThroughput, float64, error) {
+	e, err := fit.Exp(phis, lambdas)
+	if err != nil {
+		return ExpThroughput{}, 0, fmt.Errorf("%w: %v", ErrBadFit, err)
+	}
+	if e.B >= 0 {
+		return ExpThroughput{}, e.R2, fmt.Errorf("%w: fitted throughput increases with utilization (B=%g)", ErrBadFit, e.B)
+	}
+	return ExpThroughput{Beta: -e.B, Peak: e.A}, e.R2, nil
+}

@@ -1,0 +1,65 @@
+package econ
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCalibrateDemandRecovers(t *testing.T) {
+	truth := ExpDemand{Alpha: 2.5, Scale: 0.8}
+	var prices, pops []float64
+	for k := 0; k <= 20; k++ {
+		p := float64(k) / 10
+		prices = append(prices, p)
+		pops = append(pops, truth.M(p))
+	}
+	got, r2, err := CalibrateDemand(prices, pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Alpha-2.5) > 1e-9 || math.Abs(got.Scale-0.8) > 1e-9 {
+		t.Fatalf("calibrated %+v", got)
+	}
+	if r2 < 1-1e-12 {
+		t.Fatalf("R² = %v on exact data", r2)
+	}
+}
+
+func TestCalibrateThroughputRecovers(t *testing.T) {
+	truth := ExpThroughput{Beta: 3.2, Peak: 1.4}
+	var phis, lams []float64
+	for k := 0; k <= 15; k++ {
+		phi := float64(k) / 5
+		phis = append(phis, phi)
+		lams = append(lams, truth.Lambda(phi))
+	}
+	got, _, err := CalibrateThroughput(phis, lams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Beta-3.2) > 1e-9 || math.Abs(got.Peak-1.4) > 1e-9 {
+		t.Fatalf("calibrated %+v", got)
+	}
+}
+
+func TestCalibrateRejectsWrongSign(t *testing.T) {
+	prices := []float64{0, 1, 2}
+	rising := []float64{1, 2, 4} // demand rising with price: nonsense
+	if _, _, err := CalibrateDemand(prices, rising); !errors.Is(err, ErrBadFit) {
+		t.Fatal("rising demand must be rejected")
+	}
+	if _, _, err := CalibrateThroughput(prices, rising); !errors.Is(err, ErrBadFit) {
+		t.Fatal("rising throughput must be rejected")
+	}
+}
+
+func TestCalibrateRejectsDegenerate(t *testing.T) {
+	if _, _, err := CalibrateDemand([]float64{1}, []float64{1}); !errors.Is(err, ErrBadFit) {
+		t.Fatal("single point must be rejected")
+	}
+	// All-nonpositive observations carry no exponential information.
+	if _, _, err := CalibrateDemand([]float64{0, 1, 2}, []float64{0, -1, 0}); !errors.Is(err, ErrBadFit) {
+		t.Fatal("nonpositive data must be rejected")
+	}
+}

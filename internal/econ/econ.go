@@ -1,0 +1,347 @@
+// Package econ catalogs the economic primitives of the paper's macroscopic
+// model: user-demand curves m(t), per-user throughput curves λ(φ), and
+// system-utilization maps Φ(θ, µ), together with elasticity helpers and
+// validators for the paper's Assumption 1 and Assumption 2.
+//
+// The paper's numerical evaluation uses the exponential family
+// (m(t)=e^{−αt}, λ(φ)=e^{−βφ}, Φ=θ/µ); the additional families here exist
+// for generality and for the ablation benchmarks that show the qualitative
+// results do not hinge on the exponential form.
+package econ
+
+import (
+	"fmt"
+	"math"
+)
+
+// Demand is a user-demand curve m(t): the mass of users willing to consume a
+// CP's content at per-unit usage charge t. Assumption 2 of the paper requires
+// m to be continuously differentiable, decreasing, with m(t) → 0 as t → ∞.
+//
+// M must be defined for every real t (prices net of subsidies can be driven
+// negative in intermediate solver states; implementations should extend
+// smoothly).
+type Demand interface {
+	// M returns the user population at per-unit charge t.
+	M(t float64) float64
+	// DM returns dM/dt.
+	DM(t float64) float64
+}
+
+// Throughput is a per-user throughput curve λ(φ). Assumption 1 requires λ to
+// be differentiable, strictly decreasing in utilization φ, with λ(φ) → 0 as
+// φ → ∞.
+type Throughput interface {
+	// Lambda returns the average per-user throughput at utilization phi.
+	Lambda(phi float64) float64
+	// DLambda returns dλ/dφ.
+	DLambda(phi float64) float64
+}
+
+// Utilization is a system-utilization map Φ(θ, µ) with its inverse
+// Θ(φ, µ) = Φ⁻¹(φ, µ) in the first argument. Assumption 1 requires Φ to be
+// differentiable, strictly increasing in aggregate throughput θ, strictly
+// decreasing in capacity µ, with Φ(θ, µ) → 0 as θ → 0.
+type Utilization interface {
+	// Phi returns the utilization induced by aggregate throughput theta on
+	// capacity mu.
+	Phi(theta, mu float64) float64
+	// Theta returns the aggregate throughput that induces utilization phi on
+	// capacity mu (the inverse of Phi in its first argument).
+	Theta(phi, mu float64) float64
+	// DThetaDPhi returns ∂Θ/∂φ, the marginal supply of throughput per unit
+	// of utilization. It is the first term of the gap derivative (eq. 2).
+	DThetaDPhi(phi, mu float64) float64
+	// DThetaDMu returns ∂Θ/∂µ, used by the capacity effect (eq. 3).
+	DThetaDMu(phi, mu float64) float64
+}
+
+// ---------------------------------------------------------------------------
+// Demand families
+// ---------------------------------------------------------------------------
+
+// ExpDemand is the paper's styled demand m(t) = Scale·e^{−αt}. Its price
+// elasticity is ε^m_t = −αt. Scale defaults to 1 via NewExpDemand.
+type ExpDemand struct {
+	Alpha float64 // price sensitivity α > 0
+	Scale float64 // population scale m(0)
+}
+
+// NewExpDemand returns exponential demand e^{−alpha·t} with unit scale.
+func NewExpDemand(alpha float64) ExpDemand { return ExpDemand{Alpha: alpha, Scale: 1} }
+
+// M implements Demand.
+func (d ExpDemand) M(t float64) float64 { return d.Scale * math.Exp(-d.Alpha*t) }
+
+// DM implements Demand.
+func (d ExpDemand) DM(t float64) float64 { return -d.Alpha * d.Scale * math.Exp(-d.Alpha*t) }
+
+// IsoelasticDemand is m(t) = Scale·(1+t)^{−α} for t > −1, a heavy-tailed
+// alternative whose elasticity −αt/(1+t) saturates.
+type IsoelasticDemand struct {
+	Alpha float64
+	Scale float64
+}
+
+// M implements Demand.
+func (d IsoelasticDemand) M(t float64) float64 {
+	return d.Scale * math.Pow(1+math.Max(t, -0.999), -d.Alpha)
+}
+
+// DM implements Demand.
+func (d IsoelasticDemand) DM(t float64) float64 {
+	tt := math.Max(t, -0.999)
+	return -d.Alpha * d.Scale * math.Pow(1+tt, -d.Alpha-1)
+}
+
+// LogisticDemand is m(t) = Scale·2/(1+e^{αt}), equal to Scale at t = 0,
+// smooth, decreasing, and vanishing as t → ∞. Unlike ExpDemand it saturates
+// for negative t, modeling a finite addressable population.
+type LogisticDemand struct {
+	Alpha float64
+	Scale float64
+}
+
+// M implements Demand.
+func (d LogisticDemand) M(t float64) float64 { return d.Scale * 2 / (1 + math.Exp(d.Alpha*t)) }
+
+// DM implements Demand.
+func (d LogisticDemand) DM(t float64) float64 {
+	e := math.Exp(d.Alpha * t)
+	den := 1 + e
+	return -d.Scale * 2 * d.Alpha * e / (den * den)
+}
+
+// LinearDemand is m(t) = Scale·max(0, 1−αt), the textbook linear demand. It
+// satisfies Assumption 2 only weakly (its derivative has a kink at the
+// choke price 1/α); it is included for robustness experiments and its DM
+// reports the one-sided derivative below the choke price.
+type LinearDemand struct {
+	Alpha float64
+	Scale float64
+}
+
+// M implements Demand.
+func (d LinearDemand) M(t float64) float64 { return d.Scale * math.Max(0, 1-d.Alpha*t) }
+
+// DM implements Demand.
+func (d LinearDemand) DM(t float64) float64 {
+	if 1-d.Alpha*t <= 0 {
+		return 0
+	}
+	return -d.Alpha * d.Scale
+}
+
+// ---------------------------------------------------------------------------
+// Throughput families
+// ---------------------------------------------------------------------------
+
+// ExpThroughput is the paper's styled per-user throughput
+// λ(φ) = Peak·e^{−βφ}, with utilization elasticity ε^λ_φ = −βφ.
+type ExpThroughput struct {
+	Beta float64 // congestion sensitivity β > 0
+	Peak float64 // uncongested throughput λ(0)
+}
+
+// NewExpThroughput returns exponential throughput e^{−beta·φ} with unit peak.
+func NewExpThroughput(beta float64) ExpThroughput { return ExpThroughput{Beta: beta, Peak: 1} }
+
+// Lambda implements Throughput.
+func (t ExpThroughput) Lambda(phi float64) float64 { return t.Peak * math.Exp(-t.Beta*phi) }
+
+// DLambda implements Throughput.
+func (t ExpThroughput) DLambda(phi float64) float64 {
+	return -t.Beta * t.Peak * math.Exp(-t.Beta*phi)
+}
+
+// RationalThroughput is λ(φ) = Peak/(1+βφ), a slower-decaying family whose
+// elasticity −βφ/(1+βφ) is bounded by 1.
+type RationalThroughput struct {
+	Beta float64
+	Peak float64
+}
+
+// Lambda implements Throughput.
+func (t RationalThroughput) Lambda(phi float64) float64 { return t.Peak / (1 + t.Beta*phi) }
+
+// DLambda implements Throughput.
+func (t RationalThroughput) DLambda(phi float64) float64 {
+	den := 1 + t.Beta*phi
+	return -t.Peak * t.Beta / (den * den)
+}
+
+// ---------------------------------------------------------------------------
+// Utilization families
+// ---------------------------------------------------------------------------
+
+// LinearUtilization is the paper's Φ(θ, µ) = θ/µ: utilization measured as
+// per-capacity throughput. Θ(φ, µ) = φµ.
+type LinearUtilization struct{}
+
+// Phi implements Utilization.
+func (LinearUtilization) Phi(theta, mu float64) float64 { return theta / mu }
+
+// Theta implements Utilization.
+func (LinearUtilization) Theta(phi, mu float64) float64 { return phi * mu }
+
+// DThetaDPhi implements Utilization.
+func (LinearUtilization) DThetaDPhi(phi, mu float64) float64 { return mu }
+
+// DThetaDMu implements Utilization.
+func (LinearUtilization) DThetaDMu(phi, mu float64) float64 { return phi }
+
+// PowerUtilization is Φ(θ, µ) = (θ/µ)^γ with γ > 0, a curvature-controlled
+// generalization of LinearUtilization (γ = 1 recovers it). Larger γ makes
+// utilization respond superlinearly near saturation.
+type PowerUtilization struct {
+	Gamma float64
+}
+
+// Phi implements Utilization.
+func (u PowerUtilization) Phi(theta, mu float64) float64 {
+	return math.Pow(theta/mu, u.Gamma)
+}
+
+// Theta implements Utilization.
+func (u PowerUtilization) Theta(phi, mu float64) float64 {
+	return mu * math.Pow(phi, 1/u.Gamma)
+}
+
+// DThetaDPhi implements Utilization.
+func (u PowerUtilization) DThetaDPhi(phi, mu float64) float64 {
+	if phi == 0 {
+		// One-sided limit; finite only for γ ≤ 1. Return a large finite
+		// surrogate to keep solvers away from the boundary.
+		phi = 1e-12
+	}
+	return mu / u.Gamma * math.Pow(phi, 1/u.Gamma-1)
+}
+
+// DThetaDMu implements Utilization.
+func (u PowerUtilization) DThetaDMu(phi, mu float64) float64 {
+	return math.Pow(phi, 1/u.Gamma)
+}
+
+// SaturatingUtilization is Φ(θ, µ) = θ/(µ−θ) for θ < µ: utilization blows up
+// as offered throughput approaches capacity, mimicking queueing delay.
+// Θ(φ, µ) = µφ/(1+φ) < µ always, so the supply of throughput saturates at
+// capacity.
+type SaturatingUtilization struct{}
+
+// Phi implements Utilization.
+func (SaturatingUtilization) Phi(theta, mu float64) float64 {
+	if theta >= mu {
+		return math.Inf(1)
+	}
+	return theta / (mu - theta)
+}
+
+// Theta implements Utilization.
+func (SaturatingUtilization) Theta(phi, mu float64) float64 { return mu * phi / (1 + phi) }
+
+// DThetaDPhi implements Utilization.
+func (SaturatingUtilization) DThetaDPhi(phi, mu float64) float64 {
+	den := 1 + phi
+	return mu / (den * den)
+}
+
+// DThetaDMu implements Utilization.
+func (SaturatingUtilization) DThetaDMu(phi, mu float64) float64 { return phi / (1 + phi) }
+
+// ---------------------------------------------------------------------------
+// Elasticities (Definition 2)
+// ---------------------------------------------------------------------------
+
+// Elasticity returns ε^y_x = (∂y/∂x)·(x/y) given the derivative dydx and the
+// point (x, y). It returns 0 when y = 0 (measure-zero states solvers pass
+// through).
+func Elasticity(dydx, x, y float64) float64 {
+	if y == 0 {
+		return 0
+	}
+	return dydx * x / y
+}
+
+// DemandElasticity returns the t-elasticity of demand ε^m_t at t.
+func DemandElasticity(d Demand, t float64) float64 {
+	return Elasticity(d.DM(t), t, d.M(t))
+}
+
+// ThroughputElasticity returns the φ-elasticity of throughput ε^λ_φ at phi.
+func ThroughputElasticity(th Throughput, phi float64) float64 {
+	return Elasticity(th.DLambda(phi), phi, th.Lambda(phi))
+}
+
+// ---------------------------------------------------------------------------
+// Assumption validators
+// ---------------------------------------------------------------------------
+
+// ValidateAssumption1 numerically checks the paper's Assumption 1 for a
+// (Throughput, Utilization) pair on a grid: Φ strictly increasing in θ and
+// strictly decreasing in µ; λ strictly decreasing in φ and vanishing for
+// large φ. It returns a descriptive error on the first violation.
+func ValidateAssumption1(th Throughput, u Utilization) error {
+	const n = 24
+	for i := 1; i < n; i++ {
+		phiA := float64(i-1) * 0.5
+		phiB := float64(i) * 0.5
+		if !(th.Lambda(phiB) < th.Lambda(phiA)) {
+			return fmt.Errorf("econ: λ not strictly decreasing between φ=%g and φ=%g", phiA, phiB)
+		}
+	}
+	// Vanishing tail: λ(φ) → 0 as φ → ∞. The horizon is generous so that
+	// slowly decaying families (e.g. RationalThroughput) still qualify.
+	if th.Lambda(1e4) > 1e-2*th.Lambda(0) {
+		return fmt.Errorf("econ: λ(φ) does not vanish for large φ: λ(1e4)=%g", th.Lambda(1e4))
+	}
+	// Monotonicity in θ is checked below capacity (saturating families blow
+	// up at θ = µ, which is their way of being "strictly increasing").
+	for i := 1; i < n; i++ {
+		thA := float64(i-1) * 0.9 / float64(n)
+		thB := float64(i) * 0.9 / float64(n)
+		if !(u.Phi(thB, 1) > u.Phi(thA, 1)) {
+			return fmt.Errorf("econ: Φ not strictly increasing in θ between %g and %g", thA, thB)
+		}
+	}
+	// θ = 0.3 sits below every capacity on the µ grid, keeping saturating
+	// families finite.
+	for i := 1; i < n; i++ {
+		muA := 0.5 + float64(i-1)*0.25
+		muB := 0.5 + float64(i)*0.25
+		if !(u.Phi(0.3, muB) < u.Phi(0.3, muA)) {
+			return fmt.Errorf("econ: Φ not strictly decreasing in µ between %g and %g", muA, muB)
+		}
+	}
+	if u.Phi(1e-9, 1) > 1e-6 {
+		return fmt.Errorf("econ: Φ(θ→0) does not vanish: Φ(1e-9,1)=%g", u.Phi(1e-9, 1))
+	}
+	// Inverse consistency: Θ(Φ(θ,µ),µ) ≈ θ on sub-capacity loads.
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		for _, mu := range []float64{0.5, 1, 2} {
+			theta := frac * mu
+			phi := u.Phi(theta, mu)
+			if back := u.Theta(phi, mu); math.Abs(back-theta) > 1e-9*math.Max(1, theta) {
+				return fmt.Errorf("econ: Θ is not the inverse of Φ at θ=%g µ=%g (got %g)", theta, mu, back)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateAssumption2 numerically checks Assumption 2 for a demand curve:
+// decreasing with limit 0 at large t.
+func ValidateAssumption2(d Demand) error {
+	prev := d.M(0)
+	for i := 1; i <= 24; i++ {
+		t := float64(i) * 0.5
+		cur := d.M(t)
+		if cur > prev+1e-15 {
+			return fmt.Errorf("econ: demand not decreasing at t=%g", t)
+		}
+		prev = cur
+	}
+	if d.M(1e3) > 1e-3*d.M(0) {
+		return fmt.Errorf("econ: demand does not vanish for large t: m(1000)=%g", d.M(1e3))
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package econ
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neutralnet/internal/numeric"
+)
+
+func TestExpDemandClosedForms(t *testing.T) {
+	d := NewExpDemand(3)
+	if got := d.M(0); got != 1 {
+		t.Fatalf("m(0) = %v, want 1", got)
+	}
+	if got := d.M(1); math.Abs(got-math.Exp(-3)) > 1e-15 {
+		t.Fatalf("m(1) = %v", got)
+	}
+	// The paper's elasticity: ε^m_t = −αt.
+	for _, tt := range []float64{0.1, 0.5, 1, 2} {
+		if got := DemandElasticity(d, tt); math.Abs(got-(-3*tt)) > 1e-9 {
+			t.Fatalf("elasticity at t=%v: got %v, want %v", tt, got, -3*tt)
+		}
+	}
+}
+
+func TestExpThroughputClosedForms(t *testing.T) {
+	th := NewExpThroughput(2)
+	if got := th.Lambda(0); got != 1 {
+		t.Fatalf("λ(0) = %v", got)
+	}
+	// ε^λ_φ = −βφ.
+	for _, phi := range []float64{0.2, 1, 3} {
+		if got := ThroughputElasticity(th, phi); math.Abs(got-(-2*phi)) > 1e-9 {
+			t.Fatalf("elasticity at φ=%v: got %v", phi, got)
+		}
+	}
+}
+
+func TestDerivativesMatchNumeric(t *testing.T) {
+	demands := []Demand{
+		NewExpDemand(2.5),
+		IsoelasticDemand{Alpha: 1.5, Scale: 2},
+		LogisticDemand{Alpha: 3, Scale: 1},
+	}
+	for _, d := range demands {
+		for _, x := range []float64{0.1, 0.7, 1.9} {
+			want := numeric.Derivative(d.M, x, 0)
+			if got := d.DM(x); math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+				t.Fatalf("%T: DM(%v) = %v, numeric %v", d, x, got, want)
+			}
+		}
+	}
+	throughputs := []Throughput{NewExpThroughput(4), RationalThroughput{Beta: 2, Peak: 3}}
+	for _, th := range throughputs {
+		for _, phi := range []float64{0.1, 0.8, 2.2} {
+			want := numeric.Derivative(th.Lambda, phi, 0)
+			if got := th.DLambda(phi); math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+				t.Fatalf("%T: DLambda(%v) = %v, numeric %v", th, phi, got, want)
+			}
+		}
+	}
+}
+
+func TestLinearDemandKink(t *testing.T) {
+	d := LinearDemand{Alpha: 2, Scale: 1}
+	if got := d.M(0.25); got != 0.5 {
+		t.Fatalf("m(0.25) = %v", got)
+	}
+	if got := d.M(5); got != 0 {
+		t.Fatalf("beyond choke price: %v", got)
+	}
+	if got := d.DM(5); got != 0 {
+		t.Fatalf("derivative beyond choke: %v", got)
+	}
+	if got := d.DM(0.1); got != -2 {
+		t.Fatalf("derivative below choke: %v", got)
+	}
+}
+
+func TestUtilizationInverses(t *testing.T) {
+	utils := []Utilization{
+		LinearUtilization{},
+		PowerUtilization{Gamma: 2},
+		PowerUtilization{Gamma: 0.7},
+		SaturatingUtilization{},
+	}
+	for _, u := range utils {
+		for _, mu := range []float64{0.5, 1, 3} {
+			for _, theta := range []float64{0.01, 0.2, 0.45} {
+				phi := u.Phi(theta, mu)
+				if back := u.Theta(phi, mu); math.Abs(back-theta) > 1e-9 {
+					t.Fatalf("%T: Θ(Φ(θ)) = %v, want %v (µ=%v)", u, back, theta, mu)
+				}
+				// ∂Θ/∂φ and ∂Θ/∂µ vs numerical differentiation (Richardson,
+				// since the power family has strong curvature near 0).
+				dphi := numeric.DerivativeRichardson(func(p float64) float64 { return u.Theta(p, mu) }, phi, 0)
+				// Power families have unbounded higher derivatives near 0, so
+				// the numeric reference itself carries ~1e-3 relative error
+				// there; 5e-3 relative is tight enough to catch sign or
+				// factor mistakes.
+				if got := u.DThetaDPhi(phi, mu); math.Abs(got-dphi) > 5e-3*math.Max(1, math.Abs(dphi)) {
+					t.Fatalf("%T: DThetaDPhi = %v, numeric %v", u, got, dphi)
+				}
+				dmu := numeric.DerivativeRichardson(func(m float64) float64 { return u.Theta(phi, m) }, mu, 0)
+				if got := u.DThetaDMu(phi, mu); math.Abs(got-dmu) > 5e-3*math.Max(1, math.Abs(dmu)) {
+					t.Fatalf("%T: DThetaDMu = %v, numeric %v", u, got, dmu)
+				}
+			}
+		}
+	}
+}
+
+func TestSaturatingUtilizationOverload(t *testing.T) {
+	u := SaturatingUtilization{}
+	if !math.IsInf(u.Phi(2, 1), 1) {
+		t.Fatal("Φ must blow up at capacity")
+	}
+	if th := u.Theta(1e9, 1); th > 1 {
+		t.Fatalf("Θ must saturate below capacity, got %v", th)
+	}
+}
+
+func TestValidateAssumption1(t *testing.T) {
+	if err := ValidateAssumption1(NewExpThroughput(2), LinearUtilization{}); err != nil {
+		t.Fatalf("paper's styled pair must validate: %v", err)
+	}
+	if err := ValidateAssumption1(RationalThroughput{Beta: 1, Peak: 1}, SaturatingUtilization{}); err != nil {
+		t.Fatalf("rational/saturating pair must validate: %v", err)
+	}
+	// An increasing "throughput" must fail.
+	if err := ValidateAssumption1(badThroughput{}, LinearUtilization{}); err == nil {
+		t.Fatal("increasing λ must violate Assumption 1")
+	}
+}
+
+func TestValidateAssumption2(t *testing.T) {
+	if err := ValidateAssumption2(NewExpDemand(1)); err != nil {
+		t.Fatalf("exponential demand must validate: %v", err)
+	}
+	if err := ValidateAssumption2(LogisticDemand{Alpha: 2, Scale: 3}); err != nil {
+		t.Fatalf("logistic demand must validate: %v", err)
+	}
+	if err := ValidateAssumption2(badDemand{}); err == nil {
+		t.Fatal("increasing demand must violate Assumption 2")
+	}
+}
+
+func TestElasticityZeroDenominator(t *testing.T) {
+	if got := Elasticity(1, 1, 0); got != 0 {
+		t.Fatalf("elasticity with y=0 should be 0, got %v", got)
+	}
+}
+
+func TestAssumptionsQuick(t *testing.T) {
+	// Property: every exponential (α, β) pair in a realistic range satisfies
+	// both assumptions.
+	prop := func(a8, b8 uint8) bool {
+		alpha := 0.2 + float64(a8)/32 // (0.2, 8.2)
+		beta := 0.2 + float64(b8)/32
+		return ValidateAssumption2(NewExpDemand(alpha)) == nil &&
+			ValidateAssumption1(NewExpThroughput(beta), LinearUtilization{}) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type badThroughput struct{}
+
+func (badThroughput) Lambda(phi float64) float64  { return 1 + phi }
+func (badThroughput) DLambda(phi float64) float64 { return 1 }
+
+type badDemand struct{}
+
+func (badDemand) M(t float64) float64  { return 1 + t }
+func (badDemand) DM(t float64) float64 { return 1 }

@@ -1,0 +1,65 @@
+package econ
+
+import "math"
+
+// This file models the tiered ("data cap") pricing schemes the paper's
+// introduction cites as the real-world carrier practice (Verizon/AT&T
+// metered tiers above a predefined cap, §1 and §6): users do not react to
+// marginal prices below a threshold t0 — the allowance makes small usage
+// charges invisible — and respond like exponential demand above it.
+
+// CappedExpDemand is m(t) = Scale·e^{−α·softplus_k(t−t0)}: demand is flat
+// (≈ Scale) for t ≪ t0 and exponential with sensitivity α for t ≫ t0. The
+// softplus smoothing (sharpness k) keeps the curve continuously
+// differentiable, so Assumption 2's smoothness survives — with the caveat
+// that the decrease is only strict above the cap region, which is exactly
+// the economic point of a data cap.
+type CappedExpDemand struct {
+	Alpha     float64 // price sensitivity above the cap
+	T0        float64 // effective-cap price threshold
+	Sharpness float64 // softplus sharpness k (0 selects 8)
+	Scale     float64 // population scale (0 selects 1)
+}
+
+func (d CappedExpDemand) k() float64 {
+	if d.Sharpness <= 0 {
+		return 8
+	}
+	return d.Sharpness
+}
+
+func (d CappedExpDemand) scale() float64 {
+	if d.Scale == 0 {
+		return 1
+	}
+	return d.Scale
+}
+
+// softplus computes ln(1+e^{kx})/k without overflow.
+func (d CappedExpDemand) softplus(x float64) float64 {
+	k := d.k()
+	if k*x > 30 {
+		return x
+	}
+	return math.Log1p(math.Exp(k*x)) / k
+}
+
+// dsoftplus is the logistic σ(kx), the derivative of softplus.
+func (d CappedExpDemand) dsoftplus(x float64) float64 {
+	k := d.k()
+	if k*x > 30 {
+		return 1
+	}
+	e := math.Exp(k * x)
+	return e / (1 + e)
+}
+
+// M implements Demand.
+func (d CappedExpDemand) M(t float64) float64 {
+	return d.scale() * math.Exp(-d.Alpha*d.softplus(t-d.T0))
+}
+
+// DM implements Demand.
+func (d CappedExpDemand) DM(t float64) float64 {
+	return -d.Alpha * d.dsoftplus(t-d.T0) * d.M(t)
+}

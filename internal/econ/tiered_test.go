@@ -1,0 +1,54 @@
+package econ
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/numeric"
+)
+
+func TestCappedDemandFlatBelowCap(t *testing.T) {
+	d := CappedExpDemand{Alpha: 4, T0: 1}
+	if got := d.M(0); math.Abs(got-1) > 0.02 {
+		t.Fatalf("m(0) = %v, want ≈ 1 (inelastic region)", got)
+	}
+	// Below the cap, demand barely moves.
+	if drop := d.M(0) - d.M(0.5); drop > 0.05 {
+		t.Fatalf("demand dropped %v below the cap", drop)
+	}
+	// Above the cap it behaves exponentially: relative decay over Δt = 0.5
+	// approaches e^{−α·0.5}.
+	ratio := d.M(2.5) / d.M(2.0)
+	if math.Abs(ratio-math.Exp(-4*0.5)) > 0.02 {
+		t.Fatalf("above-cap decay ratio %v, want ≈ %v", ratio, math.Exp(-2.0))
+	}
+}
+
+func TestCappedDemandSmoothDerivative(t *testing.T) {
+	d := CappedExpDemand{Alpha: 3, T0: 0.8, Sharpness: 10, Scale: 2}
+	for _, tt := range []float64{0, 0.4, 0.8, 1.2, 2.5} {
+		want := numeric.Derivative(d.M, tt, 0)
+		if got := d.DM(tt); math.Abs(got-want) > 1e-5*math.Max(1, math.Abs(want)) {
+			t.Fatalf("DM(%v) = %v, numeric %v", tt, got, want)
+		}
+	}
+}
+
+func TestCappedDemandAssumption2(t *testing.T) {
+	if err := ValidateAssumption2(CappedExpDemand{Alpha: 2, T0: 0.5}); err != nil {
+		t.Fatalf("capped demand must satisfy Assumption 2's monotone tail: %v", err)
+	}
+}
+
+func TestCappedDemandNoOverflow(t *testing.T) {
+	d := CappedExpDemand{Alpha: 2, T0: 1}
+	if v := d.M(1e6); v != 0 && (math.IsNaN(v) || math.IsInf(v, 0)) {
+		t.Fatalf("m at huge t: %v", v)
+	}
+	if v := d.DM(1e6); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("DM at huge t: %v", v)
+	}
+	if v := d.M(-1e6); math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v-1) > 1e-9 {
+		t.Fatalf("m at very negative t: %v, want saturation at scale", v)
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+// TestShapeSurvivesAlternativeFamilies re-runs the core monotonicity checks
+// with non-exponential curve families — rational throughput decay and a
+// saturating utilization map — demonstrating that the paper's qualitative
+// conclusions do not hinge on the styled e^{−βφ}/θ/µ forms (the ablation
+// DESIGN.md promises).
+func TestShapeSurvivesAlternativeFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() *model.System
+	}{
+		{
+			name: "rational-throughput",
+			mk: func() *model.System {
+				var cps []model.CP
+				for _, v := range []float64{0.5, 1} {
+					for _, alpha := range []float64{2, 5} {
+						for _, beta := range []float64{2, 5} {
+							cps = append(cps, model.CP{
+								Name:       fmt.Sprintf("a=%g b=%g v=%g", alpha, beta, v),
+								Demand:     econ.NewExpDemand(alpha),
+								Throughput: econ.RationalThroughput{Beta: beta, Peak: 1},
+								Value:      v,
+							})
+						}
+					}
+				}
+				return &model.System{CPs: cps, Mu: 1, Util: econ.LinearUtilization{}}
+			},
+		},
+		{
+			name: "saturating-utilization",
+			mk: func() *model.System {
+				sys := EightCPGrid()
+				sys.Util = econ.SaturatingUtilization{}
+				return sys
+			},
+		},
+		{
+			name: "power-utilization",
+			mk: func() *model.System {
+				sys := EightCPGrid()
+				sys.Util = econ.PowerUtilization{Gamma: 1.5}
+				return sys
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sw, err := RunPolicySweepOn(tc.mk(), []float64{0, 0.5, 1, 1.5, 2}, 11, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Corollary 1 shapes: revenue and welfare monotone in q at each
+			// price; populations too (CheckFig9's first half).
+			for pi, p := range sw.P {
+				for qi := 1; qi < len(sw.Q); qi++ {
+					if sw.Revenue[qi][pi] < sw.Revenue[qi-1][pi]-1e-6 {
+						t.Fatalf("revenue falls in q at p=%g", p)
+					}
+					if sw.Welfare[qi][pi] < sw.Welfare[qi-1][pi]-1e-6 {
+						t.Fatalf("welfare falls in q at p=%g", p)
+					}
+					for i := range sw.Names {
+						if sw.M[qi][pi][i] < sw.M[qi-1][pi][i]-1e-4 {
+							t.Fatalf("population of %s falls in q at p=%g", sw.Names[i], p)
+						}
+					}
+				}
+			}
+			// Theorem 5 direction across the grid: matched (α,β), higher v
+			// subsidizes at least as much at the top policy level.
+			qi := len(sw.Q) - 1
+			mid := len(sw.P) / 2
+			for _, ab := range [][2]float64{{2, 2}, {2, 5}, {5, 2}, {5, 5}} {
+				lo := FindCP(sw.Sys, fmt.Sprintf("a=%g b=%g v=0.5", ab[0], ab[1]))
+				hi := FindCP(sw.Sys, fmt.Sprintf("a=%g b=%g v=1", ab[0], ab[1]))
+				if lo < 0 || hi < 0 {
+					t.Fatalf("grid CP missing for %v", ab)
+				}
+				if sw.S[qi][mid][hi] < sw.S[qi][mid][lo]-1e-4 {
+					t.Fatalf("high-v CP subsidizes less at (α,β)=%v", ab)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file encodes the paper's qualitative claims about each figure as
+// checkable predicates. They are the "shape" contract of the reproduction:
+// we do not chase the paper's absolute numbers (the paper itself uses a
+// styled model), but who wins, what is monotone, and where the exceptions
+// sit must match. The integration tests and EXPERIMENTS.md run all of them.
+
+// shapeTol absorbs solver noise in monotonicity comparisons.
+const shapeTol = 1e-6
+
+// CheckFig4 verifies Theorem 2's aggregate prediction on Figure 4's data:
+// θ(p) strictly decreasing (beyond noise) and R(p) single-peaked (rises to
+// one maximum then falls).
+func CheckFig4(r Fig4Result) error {
+	for i := 1; i < len(r.P); i++ {
+		if r.Theta[i] > r.Theta[i-1]+shapeTol {
+			return fmt.Errorf("Fig4: aggregate throughput rises at p=%g (%g -> %g)", r.P[i], r.Theta[i-1], r.Theta[i])
+		}
+	}
+	if err := singlePeaked(r.P, r.Revenue); err != nil {
+		return fmt.Errorf("Fig4 revenue: %w", err)
+	}
+	if peakIdx(r.Revenue) == 0 || peakIdx(r.Revenue) == len(r.Revenue)-1 {
+		return fmt.Errorf("Fig4: revenue peak sits on the boundary, expected interior peak")
+	}
+	return nil
+}
+
+// CheckFig5 verifies the per-CP price effect of Figure 5: every CP's
+// throughput eventually decreases in p, and the CPs with small α/β
+// (congestion-sensitive, price-insensitive users) show an initial increase,
+// per condition (8). On the nine-CP grid, (α,β) = (1,5) must rise initially
+// and (5,1) must fall from the start.
+func CheckFig5(r Fig5Result) error {
+	for i, name := range r.Names {
+		last := r.Theta[i][len(r.P)-1]
+		peak := r.Theta[i][peakIdx(r.Theta[i])]
+		if !(last < peak-shapeTol) && peak > shapeTol {
+			return fmt.Errorf("Fig5: CP %s throughput never decreases over the price range", name)
+		}
+	}
+	up, err := initiallyIncreasing(r, "a=1 b=5")
+	if err != nil {
+		return err
+	}
+	if !up {
+		return fmt.Errorf("Fig5: CP a=1 b=5 (small α/β) should rise initially")
+	}
+	down, err := initiallyIncreasing(r, "a=5 b=1")
+	if err != nil {
+		return err
+	}
+	if down {
+		return fmt.Errorf("Fig5: CP a=5 b=1 (large α/β) should fall from the start")
+	}
+	return nil
+}
+
+func initiallyIncreasing(r Fig5Result, name string) (bool, error) {
+	for i, n := range r.Names {
+		if n == name {
+			return r.Theta[i][1] > r.Theta[i][0]+shapeTol/10, nil
+		}
+	}
+	return false, fmt.Errorf("Fig5: CP %s not found", name)
+}
+
+// CheckFig7 verifies Corollary 1's headline on Figure 7: for every fixed
+// price, both ISP revenue and welfare are nondecreasing in the policy cap q;
+// and (the paper's caution) welfare decreases in p at every fixed q beyond
+// the initial region.
+func CheckFig7(sw *PolicySweep) error {
+	for pi, p := range sw.P {
+		for qi := 1; qi < len(sw.Q); qi++ {
+			if sw.Revenue[qi][pi] < sw.Revenue[qi-1][pi]-shapeTol {
+				return fmt.Errorf("Fig7: revenue falls in q at p=%g (q=%g: %g -> q=%g: %g)",
+					p, sw.Q[qi-1], sw.Revenue[qi-1][pi], sw.Q[qi], sw.Revenue[qi][pi])
+			}
+			if sw.Welfare[qi][pi] < sw.Welfare[qi-1][pi]-shapeTol {
+				return fmt.Errorf("Fig7: welfare falls in q at p=%g (q=%g -> q=%g)", p, sw.Q[qi-1], sw.Q[qi])
+			}
+		}
+	}
+	// Welfare decreasing in p for the upper half of the price range.
+	for qi := range sw.Q {
+		for pi := len(sw.P) / 2; pi < len(sw.P)-1; pi++ {
+			if sw.Welfare[qi][pi+1] > sw.Welfare[qi][pi]+shapeTol {
+				return fmt.Errorf("Fig7: welfare rises with p at q=%g p=%g", sw.Q[qi], sw.P[pi+1])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckFig8 verifies the subsidy patterns of Figure 8: (i) subsidies are
+// nondecreasing in q pointwise (Theorem 6 / Corollary 1); (ii) for matched
+// (α, β), the v=1 CP subsidizes at least as much as its v=0.5 counterpart
+// (Theorem 5); (iii) for matched (β, v), the α=5 CP subsidizes at least as
+// much as the α=2 one at mid-range prices.
+func CheckFig8(sw *PolicySweep) error {
+	for qi := 1; qi < len(sw.Q); qi++ {
+		for pi := range sw.P {
+			for i := range sw.Names {
+				if sw.S[qi][pi][i] < sw.S[qi-1][pi][i]-1e-4 {
+					return fmt.Errorf("Fig8: subsidy of %s falls in q at p=%g", sw.Names[i], sw.P[pi])
+				}
+			}
+		}
+	}
+	qi := len(sw.Q) - 1 // most relaxed policy
+	for _, ab := range [][2]float64{{2, 2}, {2, 5}, {5, 2}, {5, 5}} {
+		lo := FindCP(sw.Sys, fmt.Sprintf("a=%g b=%g v=0.5", ab[0], ab[1]))
+		hi := FindCP(sw.Sys, fmt.Sprintf("a=%g b=%g v=1", ab[0], ab[1]))
+		if lo < 0 || hi < 0 {
+			return fmt.Errorf("Fig8: grid CP not found for (α,β)=%v", ab)
+		}
+		for pi := range sw.P {
+			if sw.P[pi] < 0.5 {
+				continue // both may be pinned at q near p=0
+			}
+			if sw.S[qi][pi][hi] < sw.S[qi][pi][lo]-1e-4 {
+				return fmt.Errorf("Fig8: high-v CP subsidizes less than low-v at (α,β)=%v p=%g", ab, sw.P[pi])
+			}
+		}
+	}
+	for _, bv := range [][2]float64{{2, 1}, {5, 1}} {
+		lo := FindCP(sw.Sys, fmt.Sprintf("a=2 b=%g v=%g", bv[0], bv[1]))
+		hi := FindCP(sw.Sys, fmt.Sprintf("a=5 b=%g v=%g", bv[0], bv[1]))
+		mid := len(sw.P) / 2
+		if sw.S[qi][mid][hi] < sw.S[qi][mid][lo]-1e-4 {
+			return fmt.Errorf("Fig8: high-α CP subsidizes less than low-α at (β,v)=%v mid price", bv)
+		}
+	}
+	return nil
+}
+
+// CheckFig9 verifies Figure 9: populations are nondecreasing in q at every
+// price (cheaper effective prices under more subsidization), and high-α
+// populations decay faster in p than their low-α counterparts under the
+// baseline.
+func CheckFig9(sw *PolicySweep) error {
+	for qi := 1; qi < len(sw.Q); qi++ {
+		for pi := range sw.P {
+			for i := range sw.Names {
+				if sw.M[qi][pi][i] < sw.M[qi-1][pi][i]-1e-4 {
+					return fmt.Errorf("Fig9: population of %s falls in q at p=%g", sw.Names[i], sw.P[pi])
+				}
+			}
+		}
+	}
+	// Relative decay comparison under q=0 between α=5 and α=2 (matched β,
+	// v): the paper reads the steeper fall of the high-α panels as the
+	// population retained at the top of the price range being a much smaller
+	// fraction of the initial population.
+	first, last := 1, len(sw.P)-1 // skip p=0 where everyone has m=1
+	for _, bv := range [][2]float64{{2, 0.5}, {5, 0.5}, {2, 1}, {5, 1}} {
+		lo := FindCP(sw.Sys, fmt.Sprintf("a=2 b=%g v=%g", bv[0], bv[1]))
+		hi := FindCP(sw.Sys, fmt.Sprintf("a=5 b=%g v=%g", bv[0], bv[1]))
+		retLo := sw.M[0][last][lo] / sw.M[0][first][lo]
+		retHi := sw.M[0][last][hi] / sw.M[0][first][hi]
+		if retHi > retLo+shapeTol {
+			return fmt.Errorf("Fig9: α=5 population decays slower (relative) than α=2 at (β,v)=%v", bv)
+		}
+	}
+	return nil
+}
+
+// CheckFig10 verifies Figure 10: with matched (α, v), the β=2 CP achieves at
+// least the throughput of the β=5 CP; and the paper's highlighted exception —
+// CP (α,β,v) = (2,5,1) has *lower* throughput under the most relaxed policy
+// than under the baseline at small p (congestion externality), while the
+// profitable low-β CPs gain from subsidization at moderate prices.
+func CheckFig10(sw *PolicySweep) error {
+	qi := len(sw.Q) - 1
+	for _, av := range [][2]float64{{2, 0.5}, {5, 0.5}, {2, 1}, {5, 1}} {
+		loB := FindCP(sw.Sys, fmt.Sprintf("a=%g b=2 v=%g", av[0], av[1]))
+		hiB := FindCP(sw.Sys, fmt.Sprintf("a=%g b=5 v=%g", av[0], av[1]))
+		for pi := range sw.P {
+			if sw.Theta[qi][pi][loB] < sw.Theta[qi][pi][hiB]-shapeTol {
+				return fmt.Errorf("Fig10: β=5 CP beats β=2 at (α,v)=%v p=%g", av, sw.P[pi])
+			}
+		}
+	}
+	exc := FindCP(sw.Sys, "a=2 b=5 v=1")
+	if exc < 0 {
+		return fmt.Errorf("Fig10: exception CP not found")
+	}
+	smallP := 1 // first positive price point
+	if !(sw.Theta[qi][smallP][exc] < sw.Theta[0][smallP][exc]+shapeTol) {
+		return fmt.Errorf("Fig10: exception CP (2,5,1) should lose throughput vs baseline at small p")
+	}
+	gain := FindCP(sw.Sys, "a=5 b=2 v=1")
+	mid := len(sw.P) / 2
+	if !(sw.Theta[qi][mid][gain] > sw.Theta[0][mid][gain]-shapeTol) {
+		return fmt.Errorf("Fig10: profitable low-β CP (5,2,1) should gain throughput vs baseline at mid p")
+	}
+	return nil
+}
+
+// CheckFig11 verifies Figure 11: under relaxed policy the high-α high-v CPs
+// gain utility relative to the baseline at mid prices, while the low-α
+// high-β CPs lose (the paper's two headline utility patterns).
+func CheckFig11(sw *PolicySweep) error {
+	qi := len(sw.Q) - 1
+	mid := len(sw.P) / 2
+	winner := FindCP(sw.Sys, "a=5 b=2 v=1")
+	if !(sw.U[qi][mid][winner] > sw.U[0][mid][winner]-shapeTol) {
+		return fmt.Errorf("Fig11: high-α high-v CP should gain utility under relaxed policy")
+	}
+	loser := FindCP(sw.Sys, "a=2 b=5 v=0.5")
+	smallP := 1
+	if !(sw.U[qi][smallP][loser] < sw.U[0][smallP][loser]+shapeTol) {
+		return fmt.Errorf("Fig11: low-α high-β CP should lose utility under relaxed policy at small p")
+	}
+	return nil
+}
+
+// CheckAll runs every figure check on freshly computed data at the given
+// resolution (0 → defaults) and returns the first failure.
+func CheckAll(pPts int) error {
+	f4, err := Fig4(pPts, 0)
+	if err != nil {
+		return err
+	}
+	if err := CheckFig4(f4); err != nil {
+		return err
+	}
+	f5, err := Fig5(pPts, 0)
+	if err != nil {
+		return err
+	}
+	if err := CheckFig5(f5); err != nil {
+		return err
+	}
+	sw, err := RunPolicySweep(pPts, 0)
+	if err != nil {
+		return err
+	}
+	for _, chk := range []func(*PolicySweep) error{CheckFig7, CheckFig8, CheckFig9, CheckFig10, CheckFig11} {
+		if err := chk(sw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// singlePeaked verifies y rises (weakly) to a unique peak then falls
+// (weakly), within tolerance.
+func singlePeaked(x, y []float64) error {
+	k := peakIdx(y)
+	for i := 1; i <= k; i++ {
+		if y[i] < y[i-1]-shapeTol {
+			return fmt.Errorf("dips before the peak at x=%g", x[i])
+		}
+	}
+	for i := k + 1; i < len(y); i++ {
+		if y[i] > y[i-1]+shapeTol {
+			return fmt.Errorf("rises after the peak at x=%g", x[i])
+		}
+	}
+	return nil
+}
+
+func peakIdx(y []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range y {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/flowsim"
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+)
+
+// TestAnalyticEquilibriumGroundsInFlowsim closes the loop between the
+// macroscopic game and the flow-level simulator: solve the subsidization
+// equilibrium analytically, feed the resulting effective user prices
+// t_i = p − s_i into the simulator's valuation-based participation model,
+// and check that the operational system reproduces the analytic ordering —
+// participation levels track m_i(t_i), and allowing subsidies raises link
+// utilization.
+func TestAnalyticEquilibriumGroundsInFlowsim(t *testing.T) {
+	const (
+		p     = 1.0
+		q     = 1.0
+		users = 4000 // Monte-Carlo resolution of the participation draw
+	)
+	mk := func(name string, a, b, v float64) model.CP {
+		return model.CP{
+			Name:       name,
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	sys := &model.System{
+		CPs:  []model.CP{mk("video", 5, 2, 1), mk("social", 2, 5, 0.5)},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := g.SolveNash(game.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(eq.S[0] > 0.1) {
+		t.Fatalf("test premise: video CP should subsidize, got %v", eq.S)
+	}
+
+	runSim := func(s []float64) flowsim.Result {
+		classes := make([]flowsim.Class, sys.N())
+		alphas := []float64{5, 2}
+		for i := range classes {
+			classes[i] = flowsim.Class{
+				Name:         sys.CPs[i].Name,
+				Users:        users,
+				Alpha:        alphas[i],
+				Price:        p - s[i],
+				PeakRate:     1,
+				MeanFlowSize: 5,
+				MeanThink:    20,
+			}
+		}
+		res, err := flowsim.Run(flowsim.Config{
+			Capacity: 220, // scaled so the uncongested per-user rate is ~peak
+			Classes:  classes,
+			Horizon:  200, Warmup: 20,
+			Seed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	base := runSim(make([]float64, sys.N()))
+	subs := runSim(eq.S)
+
+	// Participation fractions must track the analytic populations within
+	// Monte-Carlo noise (~2/sqrt(users)).
+	tolerance := 0.04
+	for i := range sys.CPs {
+		analytic := sys.CPs[i].Demand.M(p - eq.S[i])
+		measured := float64(subs.Classes[i].Participants) / float64(users)
+		if diff := measured - analytic; diff > tolerance || diff < -tolerance {
+			t.Fatalf("CP %s participation %v vs analytic m=%v", sys.CPs[i].Name, measured, analytic)
+		}
+	}
+
+	// Corollary 1, operationally: the subsidized market loads the link more.
+	if !(subs.Utilization > base.Utilization) {
+		t.Fatalf("simulated utilization did not rise under subsidies: %v vs %v",
+			base.Utilization, subs.Utilization)
+	}
+	// And the subsidizing CP carries more traffic than in the baseline.
+	if !(subs.Classes[0].Throughput > base.Classes[0].Throughput) {
+		t.Fatalf("subsidizing CP's simulated throughput did not rise: %v vs %v",
+			base.Classes[0].Throughput, subs.Classes[0].Throughput)
+	}
+	// ISP usage revenue (price × carried bytes, net of subsidies flowing
+	// through users) rises with utilization.
+	revenue := func(r flowsim.Result) float64 {
+		total := 0.0
+		for _, c := range r.Classes {
+			total += p * c.BytesCarried // the ISP bills gross usage at p
+		}
+		return total
+	}
+	if !(revenue(subs) > revenue(base)) {
+		t.Fatalf("simulated ISP revenue did not rise: %v vs %v", revenue(base), revenue(subs))
+	}
+}

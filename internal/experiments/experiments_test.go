@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScenarioCatalogs(t *testing.T) {
+	nine := NineCPGrid()
+	if nine.N() != 9 {
+		t.Fatalf("nine-CP grid has %d CPs", nine.N())
+	}
+	if err := nine.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eight := EightCPGrid()
+	if eight.N() != 8 {
+		t.Fatalf("eight-CP grid has %d CPs", eight.N())
+	}
+	if err := eight.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Panel addressing as in the paper.
+	if i := FindCP(eight, "a=2 b=5 v=1"); i < 0 {
+		t.Fatal("exception CP missing from the catalog")
+	}
+	if i := FindCP(eight, "nope"); i != -1 {
+		t.Fatalf("FindCP on unknown name: %d", i)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(0, 2, 5)
+	want := []float64{0, 0.5, 1, 1.5, 2}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Fatalf("grid %v", g)
+		}
+	}
+	if g[len(g)-1] != 2 {
+		t.Fatal("grid must include the right endpoint exactly")
+	}
+	if got := Grid(1, 2, 1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("degenerate grid: %v", got)
+	}
+}
+
+func TestQLevelsMatchPaper(t *testing.T) {
+	q := QLevels()
+	want := []float64{0, 0.5, 1, 1.5, 2}
+	if len(q) != len(want) {
+		t.Fatalf("levels %v", q)
+	}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Fatalf("levels %v", q)
+		}
+	}
+}
+
+// TestReproduceAllFigures is the headline integration test: every figure of
+// the paper regenerates and passes its qualitative shape check at reduced
+// resolution (the full-resolution run happens in cmd/figures and the
+// benchmarks).
+func TestReproduceAllFigures(t *testing.T) {
+	if err := CheckAll(17); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4Renderers(t *testing.T) {
+	r, err := Fig4(9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table().Len() != 9 {
+		t.Fatalf("table rows: %d", r.Table().Len())
+	}
+	if !strings.Contains(r.Charts(), "Fig 4") {
+		t.Fatal("chart title missing")
+	}
+	csv := r.Table().CSV()
+	if !strings.HasPrefix(csv, "p,theta,revenue") {
+		t.Fatalf("CSV header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+}
+
+func TestFig5Renderers(t *testing.T) {
+	r, err := Fig5(9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Theta) != 9 || len(r.Names) != 9 {
+		t.Fatalf("shape: %d CPs", len(r.Theta))
+	}
+	if r.Table().Len() != 9 {
+		t.Fatalf("table rows: %d", r.Table().Len())
+	}
+	if !strings.Contains(r.Charts(), "a=1 b=1") {
+		t.Fatal("panel names missing from charts")
+	}
+}
+
+func TestPolicySweepSeriesAccessors(t *testing.T) {
+	sw, err := RunPolicySweep(7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Q) != 5 || len(sw.P) != 7 {
+		t.Fatalf("sweep shape: %d q, %d p", len(sw.Q), len(sw.P))
+	}
+	for qi := range sw.Q {
+		for i := range sw.Names {
+			if got := sw.SubsidySeries(qi, i); len(got) != 7 {
+				t.Fatalf("subsidy series length %d", len(got))
+			}
+			if got := sw.PopulationSeries(qi, i); len(got) != 7 {
+				t.Fatalf("population series length %d", len(got))
+			}
+			if got := sw.ThroughputSeries(qi, i); len(got) != 7 {
+				t.Fatalf("throughput series length %d", len(got))
+			}
+			if got := sw.UtilitySeries(qi, i); len(got) != 7 {
+				t.Fatalf("utility series length %d", len(got))
+			}
+		}
+	}
+	// q = 0 level must be the no-subsidy baseline.
+	for pi := range sw.P {
+		for i := range sw.Names {
+			if sw.S[0][pi][i] != 0 {
+				t.Fatalf("baseline level has nonzero subsidy s[%d][%d]", pi, i)
+			}
+		}
+	}
+	for _, tb := range []interface{ Len() int }{
+		sw.Fig7Table(), sw.Fig8Table(), sw.Fig9Table(), sw.Fig10Table(), sw.Fig11Table(),
+	} {
+		if tb.Len() != 7 {
+			t.Fatalf("figure table rows: %d", tb.Len())
+		}
+	}
+	if !strings.Contains(sw.Fig7Charts(), "q=2") {
+		t.Fatal("Fig7 charts missing policy legend")
+	}
+	for _, which := range []string{"s", "m", "theta", "U"} {
+		if sw.PanelCharts(which) == "" {
+			t.Fatalf("PanelCharts(%q) empty", which)
+		}
+	}
+	if sw.PanelCharts("bogus") != "" {
+		t.Fatal("unknown panel should render empty")
+	}
+}
+
+func TestRunPolicySweepOnCustomLevels(t *testing.T) {
+	sw, err := RunPolicySweepOn(EightCPGrid(), []float64{0, 1}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Q) != 2 || sw.P[len(sw.P)-1] != 1 {
+		t.Fatalf("custom sweep shape: %+v", sw.Q)
+	}
+}
+
+func TestSinglePeakedHelper(t *testing.T) {
+	if err := singlePeaked([]float64{0, 1, 2, 3}, []float64{1, 2, 1.5, 1}); err != nil {
+		t.Fatalf("valid single peak rejected: %v", err)
+	}
+	if err := singlePeaked([]float64{0, 1, 2, 3}, []float64{1, 0.5, 2, 1}); err == nil {
+		t.Fatal("dip before peak accepted")
+	}
+	if err := singlePeaked([]float64{0, 1, 2, 3}, []float64{1, 2, 1, 1.5}); err == nil {
+		t.Fatal("rise after peak accepted")
+	}
+}
+
+func TestValidateTheoremsAllPass(t *testing.T) {
+	checks, err := ValidateTheorems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) < 12 {
+		t.Fatalf("expected the full theorem battery, got %d checks", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Passed {
+			t.Errorf("%s failed: %s (residual %.3e)", c.Name, c.Detail, c.Residual)
+		}
+	}
+	if TheoremTable(checks).Len() != len(checks) {
+		t.Fatal("theorem table row count mismatch")
+	}
+}
+
+func TestConsumerSurplusInSweep(t *testing.T) {
+	sw, err := RunPolicySweep(9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Surplus rises with the policy cap (cheaper effective prices) and
+	// falls with the usage price at the baseline.
+	for pi := range sw.P {
+		for qi := 1; qi < len(sw.Q); qi++ {
+			if sw.Surplus[qi][pi] < sw.Surplus[qi-1][pi]-1e-6 {
+				t.Fatalf("consumer surplus falls in q at p=%v", sw.P[pi])
+			}
+		}
+	}
+	for pi := 1; pi < len(sw.P); pi++ {
+		if sw.Surplus[0][pi] > sw.Surplus[0][pi-1]+1e-6 {
+			t.Fatalf("baseline consumer surplus rises with price at p=%v", sw.P[pi])
+		}
+	}
+}

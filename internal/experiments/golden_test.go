@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden regression tests: these pin the *measured* headline numbers of this
+// reproduction (recorded in EXPERIMENTS.md) with generous tolerances. They
+// are not paper numbers — the paper publishes plots — but they freeze this
+// repository's own results so solver regressions surface as diffs here
+// rather than as silently shifted figures.
+
+func near(got, want, rel float64) bool {
+	return math.Abs(got-want) <= rel*math.Max(math.Abs(want), 1e-12)
+}
+
+func TestGoldenFig4(t *testing.T) {
+	r, err := Fig4(41, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// θ(0) = 1.109: the nine-CP grid at zero price.
+	if !near(r.Theta[0], 1.10904, 1e-3) {
+		t.Fatalf("θ(0) = %v, golden 1.10904", r.Theta[0])
+	}
+	// Revenue peak at p = 1.50, R = 0.4691 on the 41-point grid.
+	pk := peakIdx(r.Revenue)
+	if !near(r.P[pk], 1.5, 0.08) {
+		t.Fatalf("revenue peak at p = %v, golden 1.5", r.P[pk])
+	}
+	if !near(r.Revenue[pk], 0.46914, 1e-2) {
+		t.Fatalf("peak revenue %v, golden 0.46914", r.Revenue[pk])
+	}
+}
+
+func TestGoldenFig7AtUnitPrice(t *testing.T) {
+	sw, err := RunPolicySweep(41, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p = 1 sits at index 20 on the 41-point [0,2] grid.
+	pi := 20
+	if !near(sw.P[pi], 1, 1e-9) {
+		t.Fatalf("grid misaligned: p[20] = %v", sw.P[pi])
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"R(q=0,p=1)", sw.Revenue[0][pi], 0.252146},
+		{"R(q=2,p=1)", sw.Revenue[4][pi], 0.433206},
+		{"W(q=0,p=1)", sw.Welfare[0][pi], 0.189109},
+		{"W(q=2,p=1)", sw.Welfare[4][pi], 0.389007},
+	}
+	for _, c := range checks {
+		if !near(c.got, c.want, 5e-3) {
+			t.Fatalf("%s = %v, golden %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestGoldenFig8SubsidiesAtUnitPrice(t *testing.T) {
+	sw, err := RunPolicySweep(41, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, qi := 20, 4 // p = 1, q = 2
+	want := map[string]float64{
+		"a=2 b=2 v=0.5": 0,
+		"a=2 b=5 v=0.5": 0,
+		"a=5 b=2 v=0.5": 0.297641,
+		"a=5 b=5 v=0.5": 0.298392,
+		"a=2 b=2 v=1":   0.428812,
+		"a=2 b=5 v=1":   0.451246,
+		"a=5 b=2 v=1":   0.771525,
+		"a=5 b=5 v=1":   0.780498,
+	}
+	for name, w := range want {
+		i := FindCP(sw.Sys, name)
+		if i < 0 {
+			t.Fatalf("CP %q missing", name)
+		}
+		got := sw.S[qi][pi][i]
+		if w == 0 {
+			if got > 1e-4 {
+				t.Fatalf("s[%s] = %v, golden 0", name, got)
+			}
+			continue
+		}
+		if !near(got, w, 1e-2) {
+			t.Fatalf("s[%s] = %v, golden %v", name, got, w)
+		}
+	}
+}
+
+func TestGoldenExceptionCP(t *testing.T) {
+	// The paper's highlighted exception: (2,5,1) at small p loses throughput
+	// under q=2 relative to the baseline. Golden magnitudes from the 41-pt run.
+	sw, err := RunPolicySweep(41, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exc := FindCP(sw.Sys, "a=2 b=5 v=1")
+	pi := 1 // p = 0.05
+	if !near(sw.Theta[0][pi][exc], 0.0184573, 2e-2) {
+		t.Fatalf("baseline θ = %v, golden 0.01846", sw.Theta[0][pi][exc])
+	}
+	if !near(sw.Theta[4][pi][exc], 0.00224039, 5e-2) {
+		t.Fatalf("deregulated θ = %v, golden 0.00224", sw.Theta[4][pi][exc])
+	}
+}
+
+func TestGoldenFig10And11AtUnitPrice(t *testing.T) {
+	sw, err := RunPolicySweep(41, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, qi := 20, 4 // p = 1, q = 2
+	wantTheta := map[string]float64{
+		"a=2 b=2 v=0.5": 0.0569027,
+		"a=2 b=5 v=0.5": 0.0155137,
+		"a=5 b=2 v=0.5": 0.0125478,
+		"a=5 b=5 v=0.5": 0.00343386,
+		"a=2 b=2 v=1":   0.134151,
+		"a=2 b=5 v=1":   0.0382528,
+		"a=5 b=2 v=1":   0.134151,
+		"a=5 b=5 v=1":   0.0382528,
+	}
+	for name, w := range wantTheta {
+		i := FindCP(sw.Sys, name)
+		if !near(sw.Theta[qi][pi][i], w, 1e-2) {
+			t.Fatalf("θ[%s] = %v, golden %v", name, sw.Theta[qi][pi][i], w)
+		}
+	}
+	wantU := map[string]float64{
+		"a=2 b=2 v=0.5": 0.0284514,
+		"a=5 b=2 v=1":   0.0306502,
+		"a=5 b=5 v=1":   0.00839655,
+	}
+	for name, w := range wantU {
+		i := FindCP(sw.Sys, name)
+		if !near(sw.U[qi][pi][i], w, 1e-2) {
+			t.Fatalf("U[%s] = %v, golden %v", name, sw.U[qi][pi][i], w)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"neutralnet/internal/model"
+	"neutralnet/internal/report"
+)
+
+// Fig4Result carries the data of Figure 4: aggregate throughput θ(p) (left
+// panel) and ISP revenue R(p) = p·θ(p) (right panel) under one-sided
+// pricing on the nine-CP grid.
+type Fig4Result struct {
+	P       []float64
+	Theta   []float64
+	Revenue []float64
+}
+
+// Fig4 recomputes Figure 4 on pts price points over [0, pMax]; pass 0,0 for
+// the defaults (61 points on [0, 3]).
+func Fig4(pts int, pMax float64) (Fig4Result, error) {
+	if pts < 2 {
+		pts = 61
+	}
+	if pMax <= 0 {
+		pMax = 3
+	}
+	sys := NineCPGrid()
+	res := Fig4Result{P: Grid(0, pMax, pts)}
+	res.Theta = make([]float64, pts)
+	res.Revenue = make([]float64, pts)
+	for i, p := range res.P {
+		st, err := sys.SolveOneSided(p)
+		if err != nil {
+			return Fig4Result{}, fmt.Errorf("experiments: Fig4 at p=%g: %w", p, err)
+		}
+		res.Theta[i] = st.TotalThroughput()
+		res.Revenue[i] = model.Revenue(p, st)
+	}
+	return res, nil
+}
+
+// Table renders the Figure 4 rows (p, θ, R).
+func (r Fig4Result) Table() *report.Table {
+	t := report.NewTable("p", "theta", "revenue")
+	for i := range r.P {
+		t.AddRow(r.P[i], r.Theta[i], r.Revenue[i])
+	}
+	return t
+}
+
+// Charts renders the two panels of Figure 4 as ASCII charts.
+func (r Fig4Result) Charts() string {
+	left := report.Chart("Fig 4 (left): aggregate throughput vs price", 64, 14,
+		report.Series{Name: "theta", X: r.P, Y: r.Theta})
+	right := report.Chart("Fig 4 (right): ISP revenue vs price", 64, 14,
+		report.Series{Name: "R", X: r.P, Y: r.Revenue})
+	return left + "\n" + right
+}
+
+// Fig5Result carries the data of Figure 5: per-CP throughput θ_i(p) for the
+// nine CP types (3×3 panels in the paper).
+type Fig5Result struct {
+	P     []float64
+	Names []string
+	// Theta is indexed [cp][price].
+	Theta [][]float64
+}
+
+// Fig5 recomputes Figure 5; pass 0,0 for the defaults (61 points on [0,3]).
+func Fig5(pts int, pMax float64) (Fig5Result, error) {
+	if pts < 2 {
+		pts = 61
+	}
+	if pMax <= 0 {
+		pMax = 3
+	}
+	sys := NineCPGrid()
+	res := Fig5Result{P: Grid(0, pMax, pts)}
+	res.Names = make([]string, sys.N())
+	res.Theta = make([][]float64, sys.N())
+	for i, cp := range sys.CPs {
+		res.Names[i] = cp.Name
+		res.Theta[i] = make([]float64, pts)
+	}
+	for j, p := range res.P {
+		st, err := sys.SolveOneSided(p)
+		if err != nil {
+			return Fig5Result{}, fmt.Errorf("experiments: Fig5 at p=%g: %w", p, err)
+		}
+		for i := range sys.CPs {
+			res.Theta[i][j] = st.Theta[i]
+		}
+	}
+	return res, nil
+}
+
+// Table renders the Figure 5 rows (p, θ_1, …, θ_9).
+func (r Fig5Result) Table() *report.Table {
+	header := append([]string{"p"}, r.Names...)
+	t := report.NewTable(header...)
+	for j := range r.P {
+		cells := make([]interface{}, 0, 1+len(r.Names))
+		cells = append(cells, r.P[j])
+		for i := range r.Names {
+			cells = append(cells, r.Theta[i][j])
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Charts renders each CP panel as a compact sparkline block.
+func (r Fig5Result) Charts() string {
+	out := "Fig 5: per-CP throughput vs price (sparklines, p ascending)\n"
+	for i, name := range r.Names {
+		out += fmt.Sprintf("  %-10s %s\n", name, report.Sparkline(r.Theta[i]))
+	}
+	return out
+}

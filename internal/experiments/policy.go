@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+	"neutralnet/internal/report"
+	"neutralnet/internal/welfare"
+)
+
+// PolicySweep is the shared computation behind Figures 7–11: the
+// subsidization equilibrium on the eight-CP grid for every (q, p) pair, with
+// the ISP quantities (revenue, welfare) and the per-CP equilibrium
+// quantities (subsidy, population, throughput, utility).
+type PolicySweep struct {
+	Sys   *model.System
+	Q     []float64
+	P     []float64
+	Names []string
+
+	// Revenue and Welfare are indexed [qIdx][pIdx].
+	Revenue [][]float64
+	Welfare [][]float64
+	Phi     [][]float64
+	// Surplus is the consumer-surplus extension Σ_i ∫_{t_i}^∞ m_i(x) dx at
+	// the equilibrium's effective prices (not a paper metric; see
+	// EXPERIMENTS.md).
+	Surplus [][]float64
+
+	// Per-CP quantities are indexed [qIdx][pIdx][cp].
+	S     [][][]float64
+	M     [][][]float64
+	Theta [][][]float64
+	U     [][][]float64
+}
+
+// RunPolicySweep computes the sweep on pPts price points over [0, pMax] for
+// the paper's five policy levels. Pass 0, 0 for the defaults (41 points on
+// [0, 2]). Equilibria along the price axis are warm-started from the
+// previous point, matching how the equilibrium path varies continuously
+// (Theorem 6).
+func RunPolicySweep(pPts int, pMax float64) (*PolicySweep, error) {
+	return RunPolicySweepOn(EightCPGrid(), QLevels(), pPts, pMax)
+}
+
+// RunPolicySweepOn runs the sweep on a caller-supplied system and policy
+// levels (used by ablations and tests).
+func RunPolicySweepOn(sys *model.System, qLevels []float64, pPts int, pMax float64) (*PolicySweep, error) {
+	if pPts < 2 {
+		pPts = 41
+	}
+	if pMax <= 0 {
+		pMax = 2
+	}
+	sw := &PolicySweep{
+		Sys: sys,
+		Q:   qLevels,
+		P:   Grid(0, pMax, pPts),
+	}
+	for _, cp := range sys.CPs {
+		sw.Names = append(sw.Names, cp.Name)
+	}
+	alloc2 := func() [][]float64 { return make([][]float64, len(sw.Q)) }
+	sw.Revenue, sw.Welfare, sw.Phi, sw.Surplus = alloc2(), alloc2(), alloc2(), alloc2()
+	sw.S = make([][][]float64, len(sw.Q))
+	sw.M = make([][][]float64, len(sw.Q))
+	sw.Theta = make([][][]float64, len(sw.Q))
+	sw.U = make([][][]float64, len(sw.Q))
+
+	for qi, q := range sw.Q {
+		sw.Revenue[qi] = make([]float64, pPts)
+		sw.Welfare[qi] = make([]float64, pPts)
+		sw.Phi[qi] = make([]float64, pPts)
+		sw.Surplus[qi] = make([]float64, pPts)
+		sw.S[qi] = make([][]float64, pPts)
+		sw.M[qi] = make([][]float64, pPts)
+		sw.Theta[qi] = make([][]float64, pPts)
+		sw.U[qi] = make([][]float64, pPts)
+		var warm []float64
+		for pi, p := range sw.P {
+			g, err := game.New(sys, p, q)
+			if err != nil {
+				return nil, err
+			}
+			eq, err := g.SolveNash(game.Options{Initial: warm})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep at q=%g p=%g: %w", q, p, err)
+			}
+			warm = eq.S
+			sw.Revenue[qi][pi] = g.Revenue(eq.State)
+			sw.Welfare[qi][pi] = g.Welfare(eq.State)
+			sw.Phi[qi][pi] = eq.State.Phi
+			sw.Surplus[qi][pi] = welfare.ConsumerSurplus(sys, g.Prices(eq.S))
+			sw.S[qi][pi] = eq.S
+			sw.M[qi][pi] = eq.State.M
+			sw.Theta[qi][pi] = eq.State.Theta
+			sw.U[qi][pi] = eq.U
+		}
+	}
+	return sw, nil
+}
+
+// perCP extracts series [qIdx] over p of the given per-CP quantity for CP i.
+func perCP(data [][][]float64, qi, i int) []float64 {
+	out := make([]float64, len(data[qi]))
+	for pi := range data[qi] {
+		out[pi] = data[qi][pi][i]
+	}
+	return out
+}
+
+// SubsidySeries returns s_i(p) for CP i at policy level index qi (Figure 8).
+func (sw *PolicySweep) SubsidySeries(qi, i int) []float64 { return perCP(sw.S, qi, i) }
+
+// PopulationSeries returns m_i(p) for CP i at policy level qi (Figure 9).
+func (sw *PolicySweep) PopulationSeries(qi, i int) []float64 { return perCP(sw.M, qi, i) }
+
+// ThroughputSeries returns θ_i(p) for CP i at policy level qi (Figure 10).
+func (sw *PolicySweep) ThroughputSeries(qi, i int) []float64 { return perCP(sw.Theta, qi, i) }
+
+// UtilitySeries returns U_i(p) for CP i at policy level qi (Figure 11).
+func (sw *PolicySweep) UtilitySeries(qi, i int) []float64 { return perCP(sw.U, qi, i) }
+
+// Fig7Table renders Figure 7's rows: p, then R and W for each policy level.
+func (sw *PolicySweep) Fig7Table() *report.Table {
+	header := []string{"p"}
+	for _, q := range sw.Q {
+		header = append(header, fmt.Sprintf("R(q=%g)", q))
+	}
+	for _, q := range sw.Q {
+		header = append(header, fmt.Sprintf("W(q=%g)", q))
+	}
+	t := report.NewTable(header...)
+	for pi, p := range sw.P {
+		cells := []interface{}{p}
+		for qi := range sw.Q {
+			cells = append(cells, sw.Revenue[qi][pi])
+		}
+		for qi := range sw.Q {
+			cells = append(cells, sw.Welfare[qi][pi])
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// panelTable renders one per-CP figure (8/9/10/11): for each CP a block of
+// columns, one per policy level.
+func (sw *PolicySweep) panelTable(name string, data [][][]float64) *report.Table {
+	header := []string{"p"}
+	for _, cp := range sw.Names {
+		for _, q := range sw.Q {
+			header = append(header, fmt.Sprintf("%s[%s,q=%g]", name, cp, q))
+		}
+	}
+	t := report.NewTable(header...)
+	for pi, p := range sw.P {
+		cells := []interface{}{p}
+		for i := range sw.Names {
+			for qi := range sw.Q {
+				cells = append(cells, data[qi][pi][i])
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig8Table renders the equilibrium subsidies of Figure 8.
+func (sw *PolicySweep) Fig8Table() *report.Table { return sw.panelTable("s", sw.S) }
+
+// Fig9Table renders the equilibrium populations of Figure 9.
+func (sw *PolicySweep) Fig9Table() *report.Table { return sw.panelTable("m", sw.M) }
+
+// Fig10Table renders the equilibrium throughputs of Figure 10.
+func (sw *PolicySweep) Fig10Table() *report.Table { return sw.panelTable("theta", sw.Theta) }
+
+// Fig11Table renders the equilibrium utilities of Figure 11.
+func (sw *PolicySweep) Fig11Table() *report.Table { return sw.panelTable("U", sw.U) }
+
+// Fig7Charts renders the two panels of Figure 7 as ASCII charts with one
+// series per policy level.
+func (sw *PolicySweep) Fig7Charts() string {
+	var rSeries, wSeries []report.Series
+	for qi, q := range sw.Q {
+		rSeries = append(rSeries, report.Series{Name: fmt.Sprintf("q=%g", q), X: sw.P, Y: sw.Revenue[qi]})
+		wSeries = append(wSeries, report.Series{Name: fmt.Sprintf("q=%g", q), X: sw.P, Y: sw.Welfare[qi]})
+	}
+	return report.Chart("Fig 7 (left): ISP revenue vs price", 64, 14, rSeries...) + "\n" +
+		report.Chart("Fig 7 (right): system welfare vs price", 64, 14, wSeries...)
+}
+
+// PanelCharts renders a sparkline block per CP and policy level for one of
+// the per-CP figures; which selects the data ("s", "m", "theta", "U").
+func (sw *PolicySweep) PanelCharts(which string) string {
+	var data [][][]float64
+	switch which {
+	case "s":
+		data = sw.S
+	case "m":
+		data = sw.M
+	case "theta":
+		data = sw.Theta
+	case "U":
+		data = sw.U
+	default:
+		return ""
+	}
+	out := fmt.Sprintf("Figure panels for %q (sparklines over p, one row per CP/q)\n", which)
+	for i, name := range sw.Names {
+		for qi, q := range sw.Q {
+			out += fmt.Sprintf("  %-12s q=%-4g %s\n", name, q, report.Sparkline(perCP(data, qi, i)))
+		}
+	}
+	return out
+}

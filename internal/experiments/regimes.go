@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+	"neutralnet/internal/report"
+)
+
+// RegimeMap traces the equilibrium path over a price grid at a fixed policy
+// cap and tabulates each CP's Theorem 6 regime (N⁻ / interior / N⁺) at
+// every price, plus the detected boundary crossings. It is the analytical
+// companion to Figure 8: where the paper's panels show subsidies pinned at
+// q or at 0, the map shows exactly which prices flip each CP's regime.
+type RegimeMap struct {
+	Q       float64
+	P       []float64
+	Names   []string
+	Regimes [][]game.Regime // [pIdx][cp]
+	Changes []game.RegimeChange
+}
+
+// RunRegimeMap computes the map on the paper's eight-CP grid. pPts ≤ 0
+// selects 41; the price grid starts slightly above zero to avoid the p = 0
+// degenerate corner.
+func RunRegimeMap(q float64, pPts int) (*RegimeMap, error) {
+	return RunRegimeMapOn(EightCPGrid(), q, pPts)
+}
+
+// RunRegimeMapOn computes the map on a caller-supplied system.
+func RunRegimeMapOn(sys *model.System, q float64, pPts int) (*RegimeMap, error) {
+	if pPts <= 1 {
+		pPts = 41
+	}
+	grid := Grid(0.05, 2, pPts)
+	path, err := game.Trace(func(p float64) (*game.Game, error) {
+		return game.New(sys, p, q)
+	}, grid)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: regime map at q=%g: %w", q, err)
+	}
+	rm := &RegimeMap{Q: q, P: grid, Changes: path.Changes}
+	for _, cp := range sys.CPs {
+		rm.Names = append(rm.Names, cp.Name)
+	}
+	for _, pt := range path.Points {
+		rm.Regimes = append(rm.Regimes, pt.Regimes)
+	}
+	return rm, nil
+}
+
+// Table renders one row per price with a compact regime glyph per CP:
+// '.' for N⁻, 'o' for interior, '#' for N⁺ (capped).
+func (rm *RegimeMap) Table() *report.Table {
+	header := append([]string{"p"}, rm.Names...)
+	t := report.NewTable(header...)
+	for pi, p := range rm.P {
+		cells := make([]interface{}, 0, 1+len(rm.Names))
+		cells = append(cells, p)
+		for _, r := range rm.Regimes[pi] {
+			cells = append(cells, regimeGlyph(r))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// ChangeTable lists the detected regime boundaries.
+func (rm *RegimeMap) ChangeTable() *report.Table {
+	t := report.NewTable("CP", "between p", "from", "to")
+	for _, c := range rm.Changes {
+		t.AddRow(rm.Names[c.CP], fmt.Sprintf("(%.3g, %.3g)", c.Between[0], c.Between[1]),
+			c.From.String(), c.To.String())
+	}
+	return t
+}
+
+func regimeGlyph(r game.Regime) string {
+	switch r {
+	case game.RegimeZero:
+		return "."
+	case game.RegimeCapped:
+		return "#"
+	default:
+		return "o"
+	}
+}

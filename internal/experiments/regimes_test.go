@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"neutralnet/internal/game"
+)
+
+func TestRegimeMapOnBindingCap(t *testing.T) {
+	// q = 0.45 binds the profitable CPs at small prices (see Figure 8);
+	// the map must show capped entries and at least one boundary crossing.
+	rm, err := RunRegimeMap(0.45, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rm.P) != 21 || len(rm.Regimes) != 21 {
+		t.Fatalf("map shape: %d prices, %d rows", len(rm.P), len(rm.Regimes))
+	}
+	capped := 0
+	for _, r := range rm.Regimes[0] {
+		if r == game.RegimeCapped {
+			capped++
+		}
+	}
+	if capped == 0 {
+		t.Fatal("no CP capped at the cheapest price under a binding cap")
+	}
+	if len(rm.Changes) == 0 {
+		t.Fatal("no regime changes detected across the price sweep")
+	}
+	if rm.ChangeTable().Len() != len(rm.Changes) {
+		t.Fatal("change table row count mismatch")
+	}
+	body := rm.Table().String()
+	if !strings.Contains(body, "#") || !strings.Contains(body, ".") {
+		t.Fatalf("regime glyphs missing from table:\n%s", body)
+	}
+}
+
+func TestRegimeMapLooseCapAllInteriorOrZero(t *testing.T) {
+	// q = 2 never binds on this grid (unconstrained optima < 0.8): the map
+	// must contain no capped entries.
+	rm, err := RunRegimeMap(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range rm.Regimes {
+		for i, r := range rm.Regimes[pi] {
+			if r == game.RegimeCapped {
+				t.Fatalf("CP %s capped at p=%v under a loose cap", rm.Names[i], rm.P[pi])
+			}
+		}
+	}
+}

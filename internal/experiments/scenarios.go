@@ -1,0 +1,82 @@
+// Package experiments contains the per-figure reproduction harness: the
+// paper's two CP catalogs, generators that recompute the data behind every
+// figure of the evaluation (Figures 4, 5, 7, 8, 9, 10, 11 — the paper has no
+// numbered tables), report/chart renderers for them, and the qualitative
+// shape checks EXPERIMENTS.md records.
+package experiments
+
+import (
+	"fmt"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+// NineCPGrid is the §3.2 catalog behind Figures 4–5: nine CP types with
+// (α_i, β_i) drawn from {1,3,5}², exponential demand m_i(t) = e^{−α_i t},
+// exponential throughput λ_i(φ) = e^{−β_i φ}, capacity µ = 1 and the
+// utilization metric Φ(θ, µ) = θ/µ. The CPs carry unit profitability so the
+// same catalog can be reused by welfare calculations.
+func NineCPGrid() *model.System {
+	var cps []model.CP
+	for _, alpha := range []float64{1, 3, 5} {
+		for _, beta := range []float64{1, 3, 5} {
+			cps = append(cps, model.CP{
+				Name:       fmt.Sprintf("a=%g b=%g", alpha, beta),
+				Demand:     econ.NewExpDemand(alpha),
+				Throughput: econ.NewExpThroughput(beta),
+				Value:      1,
+			})
+		}
+	}
+	return &model.System{CPs: cps, Mu: 1, Util: econ.LinearUtilization{}}
+}
+
+// EightCPGrid is the §5.2 catalog behind Figures 7–11: eight CP types with
+// (α_i, β_i, v_i) from {2,5}² × {0.5, 1}, same exponential forms, µ = 1.
+// The ordering is v-major then α then β so panels can be addressed as in the
+// paper (upper row v = 0.5, lower row v = 1; left α = 2, right α = 5).
+func EightCPGrid() *model.System {
+	var cps []model.CP
+	for _, v := range []float64{0.5, 1} {
+		for _, alpha := range []float64{2, 5} {
+			for _, beta := range []float64{2, 5} {
+				cps = append(cps, model.CP{
+					Name:       fmt.Sprintf("a=%g b=%g v=%g", alpha, beta, v),
+					Demand:     econ.NewExpDemand(alpha),
+					Throughput: econ.NewExpThroughput(beta),
+					Value:      v,
+				})
+			}
+		}
+	}
+	return &model.System{CPs: cps, Mu: 1, Util: econ.LinearUtilization{}}
+}
+
+// FindCP returns the index of the CP with the given parameters in the
+// EightCPGrid ordering, or −1.
+func FindCP(sys *model.System, name string) int {
+	for i, cp := range sys.CPs {
+		if cp.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Grid returns n evenly spaced points on [lo, hi] inclusive.
+func Grid(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	g := make([]float64, n)
+	h := (hi - lo) / float64(n-1)
+	for i := range g {
+		g[i] = lo + float64(i)*h
+	}
+	g[n-1] = hi
+	return g
+}
+
+// QLevels is the paper's five policy levels for Figures 7–11.
+func QLevels() []float64 { return []float64{0, 0.5, 1.0, 1.5, 2.0} }

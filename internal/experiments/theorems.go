@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/isp"
+	"neutralnet/internal/model"
+	"neutralnet/internal/numeric"
+	"neutralnet/internal/report"
+)
+
+// TheoremCheck is one validated claim: the theorem, the numerical evidence,
+// and whether it held.
+type TheoremCheck struct {
+	Name     string
+	Detail   string
+	Residual float64 // magnitude of the worst violation or mismatch
+	Passed   bool
+}
+
+// ValidateTheorems runs a compact numerical validation of every theorem in
+// the paper on the eight-CP grid and returns one row per claim. It is the
+// programmatic counterpart of EXPERIMENTS.md's theorem table and is executed
+// by tests and by `cmd/figures -theorems`.
+func ValidateTheorems() ([]TheoremCheck, error) {
+	sys := EightCPGrid()
+	var out []TheoremCheck
+	add := func(name, detail string, residual, tol float64) {
+		out = append(out, TheoremCheck{
+			Name: name, Detail: detail,
+			Residual: residual, Passed: residual <= tol,
+		})
+	}
+
+	// --- Lemma 1: unique fixed point, increasing gap. ---
+	m := sys.PopulationsAt(sys.UniformPrices(0.7))
+	phi, err := sys.SolveUtilization(m)
+	if err != nil {
+		return nil, err
+	}
+	add("Lemma 1", "gap residual at solved φ", math.Abs(sys.Gap(phi, m)), 1e-8)
+
+	// --- Theorem 1: capacity and user effects vs finite differences. ---
+	fdPhiMu := numeric.Derivative(func(mu float64) float64 {
+		s2 := *sys
+		s2.Mu = mu
+		p, _ := s2.SolveUtilization(m)
+		return p
+	}, sys.Mu, 1e-6)
+	add("Theorem 1 (capacity)", "∂φ/∂µ closed form vs numeric",
+		math.Abs(sys.DPhiDMu(phi, m)-fdPhiMu), 1e-5)
+	fdPhiM0 := numeric.Derivative(func(m0 float64) float64 {
+		m2 := append([]float64(nil), m...)
+		m2[0] = m0
+		p, _ := sys.SolveUtilization(m2)
+		return p
+	}, m[0], 1e-6)
+	add("Theorem 1 (user)", "∂φ/∂m₀ closed form vs numeric",
+		math.Abs(sys.DPhiDM(0, phi, m)-fdPhiM0), 1e-5)
+
+	// --- Theorem 2: price effect vs finite differences. ---
+	st, err := sys.SolveOneSided(0.7)
+	if err != nil {
+		return nil, err
+	}
+	fdPhiP := numeric.Derivative(func(p float64) float64 {
+		s, _ := sys.SolveOneSided(p)
+		return s.Phi
+	}, 0.7, 1e-6)
+	add("Theorem 2", "∂φ/∂p closed form vs numeric",
+		math.Abs(sys.DPhiDP(0.7, st)-fdPhiP), 1e-5)
+
+	// --- Theorem 3: equilibrium satisfies KKT and the threshold form. ---
+	g, err := game.New(sys, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	eq, err := g.SolveNash(game.Options{Tol: 1e-11})
+	if err != nil {
+		return nil, err
+	}
+	kkt, err := g.VerifyKKT(eq.S)
+	if err != nil {
+		return nil, err
+	}
+	add("Theorem 3 (KKT)", "worst first-order violation at the equilibrium",
+		kkt.MaxViolation, 1e-6)
+	thr, err := g.VerifyThreshold(eq.S)
+	if err != nil {
+		return nil, err
+	}
+	add("Theorem 3 (threshold)", "worst |s − min{τ, q}| residual", thr, 1e-5)
+
+	// --- Theorem 4 (local): interior Jacobian is a P-matrix. ---
+	isP, err := g.InteriorJacobianIsPMatrix(eq.S)
+	if err != nil {
+		return nil, err
+	}
+	add("Theorem 4 (local)", "−∇ũ P-matrix at equilibrium", boolResidual(isP), 0.5)
+
+	// --- Theorem 5: bump v₄ (a=2 b=2 v=1) and check s₄ rises. ---
+	bumped := *sys
+	bumped.CPs = append([]model.CP(nil), sys.CPs...)
+	i5 := FindCP(sys, "a=2 b=2 v=1")
+	bumped.CPs[i5].Value = 1.2
+	g5, err := game.New(&bumped, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	eq5, err := g5.SolveNash(game.Options{Initial: eq.S})
+	if err != nil {
+		return nil, err
+	}
+	add("Theorem 5", "Δs of the profitability-bumped CP (must be ≥ 0)",
+		math.Max(0, eq.S[i5]-eq5.S[i5]), 1e-6)
+
+	// --- Theorem 6: sensitivities vs re-solved finite differences. ---
+	g6, err := game.New(sys, 0.9, 0.6)
+	if err != nil {
+		return nil, err
+	}
+	eq6, err := g6.SolveNash(game.Options{Tol: 1e-11})
+	if err != nil {
+		return nil, err
+	}
+	sens, err := g6.SensitivityAt(eq6.S)
+	if err != nil {
+		return nil, err
+	}
+	dq, dp, err := g6.SensitivityFiniteDiff(eq6.S, 2e-4)
+	if err != nil {
+		return nil, err
+	}
+	worst6 := 0.0
+	for i := range dq {
+		worst6 = math.Max(worst6, math.Abs(sens.DsDq[i]-dq[i]))
+		worst6 = math.Max(worst6, math.Abs(sens.DsDp[i]-dp[i]))
+	}
+	add("Theorem 6", "worst |analytic − FD| over ∂s/∂q, ∂s/∂p", worst6, 2e-2)
+
+	// --- Corollary 1: revenue/φ monotone over the q ladder at p = 1. ---
+	worstC1 := 0.0
+	prevR, prevPhi := -1.0, -1.0
+	for _, q := range QLevels() {
+		gq, err := game.New(sys, 1, q)
+		if err != nil {
+			return nil, err
+		}
+		eqq, err := gq.SolveNash(game.Options{})
+		if err != nil {
+			return nil, err
+		}
+		r := gq.Revenue(eqq.State)
+		worstC1 = math.Max(worstC1, prevR-r)
+		worstC1 = math.Max(worstC1, prevPhi-eqq.State.Phi)
+		prevR, prevPhi = r, eqq.State.Phi
+	}
+	add("Corollary 1", "worst decrease of R or φ along the q ladder", math.Max(0, worstC1), 1e-8)
+
+	// --- Theorem 7: marginal revenue factorization vs numeric dR/dp. ---
+	out7, err := isp.Solve(sys, 0.9, 0.6, nil)
+	if err != nil {
+		return nil, err
+	}
+	mr, err := isp.MarginalRevenue(sys, 0.9, 0.6, out7.Eq)
+	if err != nil {
+		return nil, err
+	}
+	mrNum, err := isp.MarginalRevenueNumeric(sys, 0.9, 0.6, 2e-4)
+	if err != nil {
+		return nil, err
+	}
+	add("Theorem 7", "|Υ-form − numeric dR/dp|", math.Abs(mr-mrNum), 2e-2)
+
+	// --- Theorem 8: policy-effect chain vs FD under a fixed price. ---
+	pe, err := isp.PolicyEffectAt(sys, isp.FixedPrice{P: 1}, 0.6, 0)
+	if err != nil {
+		return nil, err
+	}
+	h := 2e-4
+	op, err := isp.Solve(sys, 1, 0.6+h, nil)
+	if err != nil {
+		return nil, err
+	}
+	om, err := isp.Solve(sys, 1, 0.6-h, nil)
+	if err != nil {
+		return nil, err
+	}
+	fd8 := (op.Eq.State.Phi - om.Eq.State.Phi) / (2 * h)
+	add("Theorem 8", "|dφ/dq chain − FD| with price response fixed",
+		math.Abs(pe.DPhiDq-fd8), 3e-2*math.Max(0.1, math.Abs(fd8)))
+
+	// --- Corollary 2: decomposition predicts the sign of dW/dq. ---
+	// (Evaluated on the 3-CP welfare test market inside the welfare package
+	// tests; here we check the premise computes finitely on the grid.)
+	add("Corollary 2", "decomposition computable (see welfare tests for sign check)",
+		boolResidual(!math.IsNaN(pe.MarginalWelfareDq(sys))), 0.5)
+
+	return out, nil
+}
+
+// Table renders the validation as a report table.
+func TheoremTable(checks []TheoremCheck) *report.Table {
+	t := report.NewTable("claim", "evidence", "residual", "status")
+	for _, c := range checks {
+		status := "PASS"
+		if !c.Passed {
+			status = "FAIL"
+		}
+		t.AddRow(c.Name, c.Detail, fmt.Sprintf("%.2e", c.Residual), status)
+	}
+	return t
+}
+
+func boolResidual(ok bool) float64 {
+	if ok {
+		return 0
+	}
+	return 1
+}

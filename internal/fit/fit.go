@@ -1,0 +1,104 @@
+// Package fit provides the small regression substrate used to recover the
+// paper's styled functional forms (m(t) = e^{−αt}, λ(φ) = e^{−βφ}) from the
+// flow-level simulator's measurements: ordinary least squares on a line, a
+// log-linear exponential fit, and the coefficient of determination.
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// Line is a fitted affine model y = Intercept + Slope·x.
+type Line struct {
+	Slope, Intercept float64
+	R2               float64
+}
+
+// ErrDegenerate is returned when a fit has too few usable points or no
+// variance in x.
+var ErrDegenerate = errors.New("fit: degenerate input")
+
+// Linear fits y = a + b·x by ordinary least squares.
+func Linear(x, y []float64) (Line, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return Line{}, ErrDegenerate
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Line{}, ErrDegenerate
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		ssRes := 0.0
+		for i := range x {
+			e := y[i] - (a + b*x[i])
+			ssRes += e * e
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return Line{Slope: b, Intercept: a, R2: r2}, nil
+}
+
+// Exponential is a fitted model y = A·e^{B·x}.
+type Exponential struct {
+	A, B float64
+	R2   float64 // R² of the log-linear fit
+}
+
+// Exp fits y = A·e^{Bx} by least squares on log y, dropping nonpositive
+// observations (which carry no information about an exponential).
+func Exp(x, y []float64) (Exponential, error) {
+	var xs, ls []float64
+	for i := range x {
+		if i < len(y) && y[i] > 0 {
+			xs = append(xs, x[i])
+			ls = append(ls, math.Log(y[i]))
+		}
+	}
+	line, err := Linear(xs, ls)
+	if err != nil {
+		return Exponential{}, err
+	}
+	return Exponential{A: math.Exp(line.Intercept), B: line.Slope, R2: line.R2}, nil
+}
+
+// R2 computes the coefficient of determination of predictions yhat against
+// observations y.
+func R2(y, yhat []float64) float64 {
+	if len(y) != len(yhat) || len(y) == 0 {
+		return math.NaN()
+	}
+	my := 0.0
+	for _, v := range y {
+		my += v
+	}
+	my /= float64(len(y))
+	var ssTot, ssRes float64
+	for i := range y {
+		ssTot += (y[i] - my) * (y[i] - my)
+		ssRes += (y[i] - yhat[i]) * (y[i] - yhat[i])
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,99 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	l, err := Linear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope-2) > 1e-12 || math.Abs(l.Intercept-1) > 1e-12 {
+		t.Fatalf("fit %+v", l)
+	}
+	if math.Abs(l.R2-1) > 1e-12 {
+		t.Fatalf("R² = %v, want 1", l.R2)
+	}
+}
+
+func TestLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		xi := float64(i) / 20
+		x = append(x, xi)
+		y = append(y, 0.5+1.5*xi+0.01*rng.NormFloat64())
+	}
+	l, err := Linear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope-1.5) > 0.01 || math.Abs(l.Intercept-0.5) > 0.01 {
+		t.Fatalf("fit %+v", l)
+	}
+	if l.R2 < 0.999 {
+		t.Fatalf("R² = %v", l.R2)
+	}
+}
+
+func TestLinearDegenerate(t *testing.T) {
+	if _, err := Linear([]float64{1}, []float64{1}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("want ErrDegenerate for single point")
+	}
+	if _, err := Linear([]float64{1, 1}, []float64{1, 2}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("want ErrDegenerate for zero x-variance")
+	}
+	if _, err := Linear([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("want ErrDegenerate for mismatched lengths")
+	}
+}
+
+func TestExpRecoversParameters(t *testing.T) {
+	x := make([]float64, 30)
+	y := make([]float64, 30)
+	for i := range x {
+		x[i] = float64(i) / 10
+		y[i] = 2.5 * math.Exp(-1.8*x[i])
+	}
+	e, err := Exp(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.A-2.5) > 1e-9 || math.Abs(e.B+1.8) > 1e-9 {
+		t.Fatalf("fit %+v", e)
+	}
+}
+
+func TestExpDropsNonpositive(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, math.Exp(-1), 0, -1, math.Exp(-4)} // two junk points
+	e, err := Exp(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.B+1) > 1e-9 {
+		t.Fatalf("fit should use only positive observations: %+v", e)
+	}
+}
+
+func TestR2(t *testing.T) {
+	y := []float64{1, 2, 3}
+	if got := R2(y, y); got != 1 {
+		t.Fatalf("perfect predictions: R² = %v", got)
+	}
+	if got := R2(y, []float64{2, 2, 2}); got != 0 {
+		t.Fatalf("mean predictor: R² = %v", got)
+	}
+	if !math.IsNaN(R2(y, []float64{1, 2})) {
+		t.Fatal("mismatched lengths must return NaN")
+	}
+	if got := R2([]float64{5, 5}, []float64{5, 5}); got != 1 {
+		t.Fatalf("constant exact: %v", got)
+	}
+}

@@ -1,0 +1,353 @@
+package flowsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWaterFillingUncongested(t *testing.T) {
+	// Two flows whose peaks fit: each gets its peak.
+	l := NewLink(10)
+	f1 := &Flow{Remaining: 100, Peak: 3}
+	f2 := &Flow{Remaining: 100, Peak: 4}
+	l.Add(f1)
+	l.Add(f2)
+	if f1.rate != 3 || f2.rate != 4 {
+		t.Fatalf("rates %v %v, want peaks", f1.rate, f2.rate)
+	}
+	if got := l.TotalRate(); got != 7 {
+		t.Fatalf("TotalRate %v", got)
+	}
+	if got := l.Utilization(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("Utilization %v", got)
+	}
+}
+
+func TestWaterFillingCongested(t *testing.T) {
+	// Three identical flows on a link of 3: each gets 1 (equal split).
+	l := NewLink(3)
+	flows := []*Flow{
+		{Remaining: 1, Peak: 5},
+		{Remaining: 1, Peak: 5},
+		{Remaining: 1, Peak: 5},
+	}
+	for _, f := range flows {
+		l.Add(f)
+	}
+	for i, f := range flows {
+		if math.Abs(f.rate-1) > 1e-12 {
+			t.Fatalf("flow %d rate %v, want 1", i, f.rate)
+		}
+	}
+}
+
+func TestWaterFillingMixed(t *testing.T) {
+	// One small-peak flow (capped at 1) plus two big flows sharing the rest.
+	l := NewLink(5)
+	small := &Flow{Remaining: 1, Peak: 1}
+	big1 := &Flow{Remaining: 1, Peak: 100}
+	big2 := &Flow{Remaining: 1, Peak: 100}
+	l.Add(small)
+	l.Add(big1)
+	l.Add(big2)
+	if math.Abs(small.rate-1) > 1e-12 {
+		t.Fatalf("small flow rate %v, want its peak 1", small.rate)
+	}
+	if math.Abs(big1.rate-2) > 1e-12 || math.Abs(big2.rate-2) > 1e-12 {
+		t.Fatalf("big flows %v %v, want 2 each", big1.rate, big2.rate)
+	}
+}
+
+func TestWaterFillingNeverExceedsCapacity(t *testing.T) {
+	l := NewLink(2)
+	for i := 0; i < 20; i++ {
+		l.Add(&Flow{Remaining: 1, Peak: float64(1 + i%3)})
+		if l.TotalRate() > l.Capacity+1e-9 {
+			t.Fatalf("allocation %v exceeds capacity after %d flows", l.TotalRate(), i+1)
+		}
+	}
+}
+
+func TestRemoveReallocates(t *testing.T) {
+	l := NewLink(2)
+	f1 := &Flow{Remaining: 1, Peak: 2}
+	f2 := &Flow{Remaining: 1, Peak: 2}
+	l.Add(f1)
+	l.Add(f2)
+	if math.Abs(f1.rate-1) > 1e-12 {
+		t.Fatalf("congested rate %v", f1.rate)
+	}
+	l.Remove(f2)
+	if math.Abs(f1.rate-2) > 1e-12 {
+		t.Fatalf("after removal rate %v, want full peak", f1.rate)
+	}
+}
+
+func baseConfig(users int, price float64, seed int64) Config {
+	c := DefaultClass()
+	c.Users = users
+	c.Price = price
+	return Config{
+		Capacity: 8,
+		Classes:  []Class{c},
+		Horizon:  300,
+		Warmup:   30,
+		Seed:     seed,
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	r1, err := Run(baseConfig(100, 0.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(baseConfig(100, 0.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Utilization != r2.Utilization || r1.Carried != r2.Carried || r1.Events != r2.Events {
+		t.Fatal("same seed must reproduce the run exactly")
+	}
+	r3, err := Run(baseConfig(100, 0.5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Carried == r3.Carried {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := baseConfig(10, 0, 1)
+	cfg.Capacity = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("want capacity error")
+	}
+	cfg = baseConfig(10, 0, 1)
+	cfg.Warmup = cfg.Horizon
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("want horizon error")
+	}
+	cfg = baseConfig(0, 0, 1)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("want class parameter error")
+	}
+}
+
+func TestUtilizationMonotoneInLoadAndCapacity(t *testing.T) {
+	// Assumption 1 derived: more users ⇒ higher utilization; more capacity
+	// ⇒ lower utilization.
+	uLow, err := Run(baseConfig(40, 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uHigh, err := Run(baseConfig(160, 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(uHigh.Utilization > uLow.Utilization) {
+		t.Fatalf("utilization did not rise with load: %v vs %v", uLow.Utilization, uHigh.Utilization)
+	}
+	big := baseConfig(40, 0, 3)
+	big.Capacity = 32
+	uBig, err := Run(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(uBig.Utilization < uLow.Utilization) {
+		t.Fatalf("utilization did not fall with capacity: %v vs %v", uLow.Utilization, uBig.Utilization)
+	}
+}
+
+func TestPerUserRateFallsWithCongestion(t *testing.T) {
+	r1, err := Run(baseConfig(40, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(baseConfig(400, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r2.Classes[0].PerUserRate < r1.Classes[0].PerUserRate) {
+		t.Fatalf("per-user rate did not fall under congestion: %v vs %v",
+			r1.Classes[0].PerUserRate, r2.Classes[0].PerUserRate)
+	}
+	if !(r2.Occupancy > r1.Occupancy) {
+		t.Fatal("occupancy did not rise with load")
+	}
+}
+
+func TestBillingConsistency(t *testing.T) {
+	res, err := Run(baseConfig(100, 0.3, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Classes[0]
+	if math.Abs(cs.Spend-0.3*cs.BytesCarried) > 1e-6*math.Max(1, cs.Spend) {
+		t.Fatalf("spend %v, want price×bytes = %v", cs.Spend, 0.3*cs.BytesCarried)
+	}
+}
+
+func TestParticipationFallsWithPrice(t *testing.T) {
+	free, err := Run(baseConfig(400, 0, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pricey, err := Run(baseConfig(400, 1.5, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pricey.Classes[0].Participants < free.Classes[0].Participants) {
+		t.Fatalf("participation did not fall with price: %d vs %d",
+			free.Classes[0].Participants, pricey.Classes[0].Participants)
+	}
+	if free.Classes[0].Participants != 400 {
+		t.Fatalf("zero price must include everyone, got %d", free.Classes[0].Participants)
+	}
+}
+
+func TestMeasureDemandFitsExponential(t *testing.T) {
+	tmpl := DefaultClass()
+	tmpl.Users = 3000
+	tmpl.Alpha = 2
+	prices := []float64{0, 0.25, 0.5, 0.75, 1, 1.25, 1.5}
+	pts, f, err := MeasureDemand(tmpl, prices, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(prices) {
+		t.Fatalf("points: %d", len(pts))
+	}
+	// Monte-Carlo estimate of α: generous 15% band.
+	if math.Abs(-f.B-2) > 0.3 {
+		t.Fatalf("fitted α = %v, want ≈ 2", -f.B)
+	}
+	if f.R2 < 0.95 {
+		t.Fatalf("demand fit R² = %v", f.R2)
+	}
+}
+
+func TestMeasureCongestionDecreasing(t *testing.T) {
+	tmpl := DefaultClass()
+	pts, f, err := MeasureCongestion(tmpl, []int{20, 60, 120, 240}, 8, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.B >= 0 {
+		t.Fatalf("fitted λ(φ) slope B = %v, Assumption 1 requires negative", f.B)
+	}
+	for i := 1; i < len(pts); i++ {
+		if !(pts[i].PerUserRate <= pts[i-1].PerUserRate+1e-9) {
+			t.Fatalf("per-user rate not decreasing across load points: %+v", pts)
+		}
+		if !(pts[i].Occupancy >= pts[i-1].Occupancy) {
+			t.Fatalf("occupancy not increasing across load points: %+v", pts)
+		}
+	}
+}
+
+func TestMeasureUtilizationMapMonotone(t *testing.T) {
+	tmpl := DefaultClass()
+	pts, err := MeasureUtilizationMap(tmpl, []int{40, 120}, []float64{4, 16}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grouped by capacity: within a capacity, utilization rises with load.
+	if !(pts[1].Utilization >= pts[0].Utilization) {
+		t.Fatalf("Φ not increasing in load at µ=4: %+v", pts)
+	}
+	if !(pts[3].Utilization >= pts[2].Utilization) {
+		t.Fatalf("Φ not increasing in load at µ=16: %+v", pts)
+	}
+	// Same load, more capacity ⇒ lower utilization.
+	if !(pts[2].Utilization <= pts[0].Utilization) {
+		t.Fatalf("Φ not decreasing in µ: %+v", pts)
+	}
+}
+
+func TestSponsorAccounting(t *testing.T) {
+	// A sponsored class: users see net price 0.2, the CP pays 0.5 per byte;
+	// the ISP must collect 0.7 per carried byte in total.
+	c := DefaultClass()
+	c.Users = 100
+	c.Price = 0.2
+	c.Subsidy = 0.5
+	res, err := Run(Config{
+		Capacity: 8,
+		Classes:  []Class{c},
+		Horizon:  200, Warmup: 20,
+		Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Classes[0]
+	if math.Abs(cs.Spend-0.2*cs.BytesCarried) > 1e-6*math.Max(1, cs.Spend) {
+		t.Fatalf("user spend %v, want 0.2×bytes = %v", cs.Spend, 0.2*cs.BytesCarried)
+	}
+	if math.Abs(cs.SponsorSpend-0.5*cs.BytesCarried) > 1e-6*math.Max(1, cs.SponsorSpend) {
+		t.Fatalf("sponsor spend %v, want 0.5×bytes", cs.SponsorSpend)
+	}
+	if math.Abs(res.ISPRevenue-0.7*cs.BytesCarried) > 1e-6*math.Max(1, res.ISPRevenue) {
+		t.Fatalf("ISP revenue %v, want 0.7×bytes", res.ISPRevenue)
+	}
+}
+
+func TestSponsorshipRaisesISPRevenueInSim(t *testing.T) {
+	// Operational Corollary 1: sponsoring (lower net price, same gross
+	// price) attracts more users and more billable traffic.
+	base := DefaultClass()
+	base.Users = 400
+	base.Price = 1.0 // gross price 1.0, no sponsorship
+	sponsored := base
+	sponsored.Price = 0.3
+	sponsored.Subsidy = 0.7 // same gross 1.0, CP sponsors 0.7
+
+	run := func(c Class) Result {
+		res, err := Run(Config{Capacity: 8, Classes: []Class{c}, Horizon: 300, Warmup: 30, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	b := run(base)
+	s := run(sponsored)
+	if !(s.Classes[0].Participants > b.Classes[0].Participants) {
+		t.Fatalf("sponsorship did not grow participation: %d vs %d",
+			b.Classes[0].Participants, s.Classes[0].Participants)
+	}
+	if !(s.ISPRevenue > b.ISPRevenue) {
+		t.Fatalf("sponsorship did not raise ISP revenue: %v vs %v", b.ISPRevenue, s.ISPRevenue)
+	}
+}
+
+func TestMultiClassFairness(t *testing.T) {
+	// Two classes with identical parameters must receive statistically
+	// similar service; a third class with double peak rate must carry more
+	// per-user throughput when uncongested.
+	a := DefaultClass()
+	a.Name = "a"
+	a.Users = 60
+	b := a
+	b.Name = "b"
+	fast := a
+	fast.Name = "fast"
+	fast.PeakRate = 2 * a.PeakRate
+
+	res, err := Run(Config{
+		Capacity: 1000, // effectively uncongested
+		Classes:  []Class{a, b, fast},
+		Horizon:  400, Warmup: 40,
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb, rf := res.Classes[0].PerUserRate, res.Classes[1].PerUserRate, res.Classes[2].PerUserRate
+	if math.Abs(ra-rb) > 0.25*math.Max(ra, rb) {
+		t.Fatalf("identical classes diverged: %v vs %v", ra, rb)
+	}
+	if !(rf > ra) {
+		t.Fatalf("faster class not faster when uncongested: %v vs %v", rf, ra)
+	}
+}

@@ -1,0 +1,144 @@
+// Package flowsim is the grounding substrate for the paper's macroscopic
+// abstractions (Assumptions 1 and 2). The paper assumes — without a
+// packet-level model — that (i) system utilization Φ(θ, µ) increases in
+// offered throughput and decreases in capacity, (ii) per-user throughput
+// λ(φ) decreases in utilization, and (iii) user demand m(t) decreases in the
+// usage price, exponentially under exponential valuation tails.
+//
+// flowsim derives all three from first principles: a discrete-event,
+// flow-level simulation of a shared access link with max-min fair
+// (water-filling) bandwidth sharing, finite per-flow peak rates, closed-loop
+// user sessions (think → transfer → think), usage-based billing, and
+// heterogeneous per-byte valuations. The cmd/flowsim harness fits the
+// measurements back to the styled forms e^{−βφ} and e^{−αt} (see
+// internal/fit), closing the loop between the paper's Assumption 1/2 and an
+// operational model. Everything is deterministic given the seed.
+package flowsim
+
+import "math"
+
+// Flow is an in-flight transfer on the link.
+type Flow struct {
+	Class     int     // CP class index
+	User      int     // user index within the class
+	Remaining float64 // bytes left
+	Peak      float64 // per-flow peak rate (access-technology cap)
+	rate      float64 // current allocated rate (set by the allocator)
+}
+
+// Link is a capacity-µ bottleneck shared by active flows under max-min
+// fairness with per-flow peak caps (the classic water-filling allocation).
+type Link struct {
+	Capacity float64
+	flows    []*Flow
+}
+
+// NewLink returns a link of the given capacity.
+func NewLink(capacity float64) *Link { return &Link{Capacity: capacity} }
+
+// Add admits a flow and recomputes the allocation.
+func (l *Link) Add(f *Flow) {
+	l.flows = append(l.flows, f)
+	l.reallocate()
+}
+
+// Remove evicts a flow and recomputes the allocation.
+func (l *Link) Remove(f *Flow) {
+	for i, g := range l.flows {
+		if g == f {
+			l.flows[i] = l.flows[len(l.flows)-1]
+			l.flows = l.flows[:len(l.flows)-1]
+			break
+		}
+	}
+	l.reallocate()
+}
+
+// Flows returns the active flows (shared slice; callers must not mutate).
+func (l *Link) Flows() []*Flow { return l.flows }
+
+// TotalRate returns the instantaneous carried rate Σ rate_i ≤ Capacity.
+func (l *Link) TotalRate() float64 {
+	t := 0.0
+	for _, f := range l.flows {
+		t += f.rate
+	}
+	return t
+}
+
+// Utilization returns the instantaneous utilization, carried/capacity.
+func (l *Link) Utilization() float64 { return l.TotalRate() / l.Capacity }
+
+// reallocate computes the max-min fair allocation with peak caps:
+// repeatedly grant capped flows their peak and split the residual evenly
+// among the rest.
+func (l *Link) reallocate() {
+	n := len(l.flows)
+	if n == 0 {
+		return
+	}
+	remaining := l.Capacity
+	unassigned := make([]*Flow, 0, n)
+	for _, f := range l.flows {
+		f.rate = 0
+		unassigned = append(unassigned, f)
+	}
+	for len(unassigned) > 0 {
+		share := remaining / float64(len(unassigned))
+		progressed := false
+		next := unassigned[:0]
+		for _, f := range unassigned {
+			if f.Peak <= share {
+				f.rate = f.Peak
+				remaining -= f.Peak
+				progressed = true
+			} else {
+				next = append(next, f)
+			}
+		}
+		unassigned = next
+		if !progressed {
+			// Everyone is bottlenecked by the link: equal split.
+			for _, f := range unassigned {
+				f.rate = share
+			}
+			return
+		}
+		if remaining <= 0 {
+			for _, f := range unassigned {
+				f.rate = 0
+			}
+			return
+		}
+	}
+}
+
+// timeToNextCompletion returns the earliest finish time among active flows
+// at current rates, or +Inf when the link idles (or all rates are zero).
+func (l *Link) timeToNextCompletion() (dt float64, f *Flow) {
+	dt = math.Inf(1)
+	for _, g := range l.flows {
+		if g.rate <= 0 {
+			continue
+		}
+		if t := g.Remaining / g.rate; t < dt {
+			dt, f = t, g
+		}
+	}
+	return dt, f
+}
+
+// advance progresses all flows by dt seconds at current rates and returns
+// the bytes carried.
+func (l *Link) advance(dt float64) float64 {
+	carried := 0.0
+	for _, f := range l.flows {
+		b := f.rate * dt
+		f.Remaining -= b
+		if f.Remaining < 0 {
+			f.Remaining = 0
+		}
+		carried += b
+	}
+	return carried
+}

@@ -1,0 +1,239 @@
+package flowsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Class describes one CP's user population in the simulator, mirroring the
+// macroscopic CP of the analytical model.
+type Class struct {
+	Name string
+	// Users is the potential population (the analytic m(0)-scale).
+	Users int
+	// Alpha is the rate of the exponential per-byte valuation distribution;
+	// a user joins iff its valuation ≥ the effective price, so the expected
+	// participating fraction is e^{−α·t} — the paper's styled demand.
+	Alpha float64
+	// Price is the effective per-byte price t = p − s faced by this class's
+	// users (usage price net of CP subsidy). Participation decisions react
+	// to this net price.
+	Price float64
+	// Subsidy is the per-byte amount the CP sponsors on top of Price; the
+	// ISP bills Price+Subsidy per byte in total (users pay Price, the CP
+	// pays Subsidy). It only affects the accounting, not the traffic.
+	Subsidy float64
+	// PeakRate caps each flow's rate (bytes/s), the λ(0)-analogue.
+	PeakRate float64
+	// MeanFlowSize is the mean of the exponential flow-size distribution
+	// (bytes).
+	MeanFlowSize float64
+	// MeanThink is the mean of the exponential think-time distribution (s).
+	MeanThink float64
+}
+
+// Config configures a simulation run.
+type Config struct {
+	Capacity float64 // link capacity (bytes/s)
+	Classes  []Class
+	Horizon  float64 // simulated seconds
+	Warmup   float64 // seconds excluded from measurements
+	Seed     int64
+}
+
+// ClassStats aggregates per-class measurements over the measured interval.
+type ClassStats struct {
+	Name          string
+	Participants  int     // users whose valuation cleared the price
+	BytesCarried  float64 // delivered payload
+	Throughput    float64 // BytesCarried / measured time
+	PerUserRate   float64 // Throughput / Participants (the λ-analogue)
+	FlowsFinished int
+	Spend         float64 // user usage charges accrued (net price × bytes)
+	SponsorSpend  float64 // CP sponsorship accrued (subsidy × bytes)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Utilization is the time-averaged carried rate over capacity; it
+	// saturates at 1 when the link is overloaded.
+	Utilization float64
+	// Occupancy is the time-averaged demanded rate (active flows × peak)
+	// over capacity. Unlike Utilization it keeps growing under overload,
+	// matching the unbounded congestion measure φ of the analytical model
+	// (where θ = Σ m_i λ_i can exceed µ).
+	Occupancy float64
+	Carried   float64 // total bytes in measured window
+	// ISPRevenue is the gross usage billing Σ (price+subsidy)·bytes across
+	// classes — what the access ISP collects from users and sponsors.
+	ISPRevenue float64
+	Classes    []ClassStats
+	Events     int
+}
+
+// Duration is simulated seconds.
+type Duration = float64
+
+// startEvent is a pending flow arrival (a user finishing its think time).
+type startEvent struct {
+	at    Duration
+	class int
+	user  int
+}
+
+type startHeap []startEvent
+
+func (h startHeap) Len() int            { return len(h) }
+func (h startHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h startHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *startHeap) Push(x interface{}) { *h = append(*h, x.(startEvent)) }
+func (h *startHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes the discrete-event simulation: participating users alternate
+// exponential think times with flow transfers over the shared link; flow
+// completion times are recomputed whenever the max-min allocation changes
+// (arrivals and departures are the only allocation-changing events, so the
+// simulation advances from event to event exactly).
+func Run(cfg Config) (Result, error) {
+	if cfg.Capacity <= 0 {
+		return Result{}, errors.New("flowsim: capacity must be positive")
+	}
+	if cfg.Horizon <= cfg.Warmup {
+		return Result{}, fmt.Errorf("flowsim: horizon %g must exceed warmup %g", cfg.Horizon, cfg.Warmup)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	link := NewLink(cfg.Capacity)
+
+	stats := make([]ClassStats, len(cfg.Classes))
+	var pending startHeap
+	for ci, c := range cfg.Classes {
+		stats[ci].Name = c.Name
+		if c.Users <= 0 || c.MeanFlowSize <= 0 || c.MeanThink <= 0 || c.PeakRate <= 0 {
+			return Result{}, fmt.Errorf("flowsim: class %q has nonpositive parameters", c.Name)
+		}
+		for u := 0; u < c.Users; u++ {
+			// Valuation test: v ~ Exp(1/α) per byte; participate iff v ≥ price.
+			// With rate parameter α, P(v ≥ t) = e^{−αt}.
+			v := rng.ExpFloat64() / c.Alpha
+			if v < c.Price {
+				continue
+			}
+			stats[ci].Participants++
+			heap.Push(&pending, startEvent{at: rng.ExpFloat64() * c.MeanThink, class: ci, user: u})
+		}
+	}
+	heap.Init(&pending)
+
+	var (
+		now        Duration
+		utilInt    float64 // ∫ carried-rate dt over the measured window
+		occInt     float64 // ∫ demanded-rate dt over the measured window
+		carried    float64
+		events     int
+		inMeasure  = func(t Duration) bool { return t >= cfg.Warmup }
+		overlapDur = func(a, b Duration) Duration { // [a,b] ∩ [warmup, horizon]
+			lo := math.Max(a, cfg.Warmup)
+			hi := math.Min(b, cfg.Horizon)
+			if hi <= lo {
+				return 0
+			}
+			return hi - lo
+		}
+	)
+
+	for now < cfg.Horizon {
+		dtComplete, finishing := link.timeToNextCompletion()
+		dtStart := math.Inf(1)
+		if pending.Len() > 0 {
+			dtStart = pending[0].at - now
+			if dtStart < 0 {
+				dtStart = 0
+			}
+		}
+		dt := math.Min(dtComplete, dtStart)
+		if math.IsInf(dt, 1) {
+			break // nothing left to happen
+		}
+		if now+dt > cfg.Horizon {
+			dt = cfg.Horizon - now
+			finishing = nil
+		}
+		// Advance and account.
+		rate := link.TotalRate()
+		mdt := overlapDur(now, now+dt)
+		utilInt += rate * mdt
+		for _, f := range link.Flows() {
+			occInt += f.Peak * mdt
+		}
+		adv := link.advance(dt)
+		if mdt > 0 {
+			// Prorate carried bytes into the measured window.
+			frac := 1.0
+			if dt > 0 {
+				frac = mdt / dt
+			}
+			carried += adv * frac
+			for _, f := range link.Flows() {
+				b := f.rate * dt * frac
+				stats[f.Class].BytesCarried += b
+				stats[f.Class].Spend += b * cfg.Classes[f.Class].Price
+				stats[f.Class].SponsorSpend += b * cfg.Classes[f.Class].Subsidy
+			}
+		}
+		now += dt
+		events++
+
+		switch {
+		case dt == dtStart && dtStart <= dtComplete && pending.Len() > 0:
+			ev := heap.Pop(&pending).(startEvent)
+			c := cfg.Classes[ev.class]
+			link.Add(&Flow{
+				Class:     ev.class,
+				User:      ev.user,
+				Remaining: rng.ExpFloat64() * c.MeanFlowSize,
+				Peak:      c.PeakRate,
+			})
+		case finishing != nil && finishing.Remaining <= 1e-9:
+			link.Remove(finishing)
+			c := cfg.Classes[finishing.Class]
+			if inMeasure(now) {
+				stats[finishing.Class].FlowsFinished++
+			}
+			heap.Push(&pending, startEvent{
+				at:    now + rng.ExpFloat64()*c.MeanThink,
+				class: finishing.Class,
+				user:  finishing.User,
+			})
+		}
+		if events > 50_000_000 {
+			return Result{}, errors.New("flowsim: event budget exceeded")
+		}
+	}
+
+	window := cfg.Horizon - cfg.Warmup
+	res := Result{
+		Utilization: utilInt / (window * cfg.Capacity),
+		Occupancy:   occInt / (window * cfg.Capacity),
+		Carried:     carried,
+		Classes:     stats,
+		Events:      events,
+	}
+	for i := range res.Classes {
+		cs := &res.Classes[i]
+		cs.Throughput = cs.BytesCarried / window
+		if cs.Participants > 0 {
+			cs.PerUserRate = cs.Throughput / float64(cs.Participants)
+		}
+		res.ISPRevenue += cs.Spend + cs.SponsorSpend
+	}
+	return res, nil
+}

@@ -1,0 +1,156 @@
+package flowsim
+
+import (
+	"fmt"
+
+	"neutralnet/internal/fit"
+)
+
+// This file turns raw simulation runs into the measurements the reproduction
+// needs: an empirical demand curve m(t), an empirical per-user
+// throughput-vs-utilization curve λ(φ), and an empirical utilization map
+// Φ(θ, µ) slice — each with a fit back to the paper's styled functional
+// form.
+
+// DemandPoint is one empirical demand observation.
+type DemandPoint struct {
+	Price    float64
+	Fraction float64 // participating fraction of the potential population
+}
+
+// MeasureDemand estimates the participation fraction at each price for a
+// class template by Monte Carlo over the valuation distribution (the
+// participation decision is static, so no event simulation is needed). It
+// returns the curve and the fitted exponential m(t) ≈ A·e^{B·t} (expect
+// A ≈ 1, B ≈ −α).
+func MeasureDemand(tmpl Class, prices []float64, seed int64) ([]DemandPoint, fit.Exponential, error) {
+	pts := make([]DemandPoint, len(prices))
+	xs := make([]float64, len(prices))
+	ys := make([]float64, len(prices))
+	for i, p := range prices {
+		c := tmpl
+		c.Price = p
+		cfg := Config{
+			Capacity: 1, // irrelevant for participation
+			Classes:  []Class{c},
+			Horizon:  1, Warmup: 0,
+			Seed: seed + int64(i),
+		}
+		// Reuse Run's participation draw without simulating traffic: a
+		// 1-second horizon with huge think time yields participation only.
+		cfg.Classes[0].MeanThink = 1e12
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fit.Exponential{}, err
+		}
+		frac := float64(res.Classes[0].Participants) / float64(c.Users)
+		pts[i] = DemandPoint{Price: p, Fraction: frac}
+		xs[i], ys[i] = p, frac
+	}
+	f, err := fit.Exp(xs, ys)
+	return pts, f, err
+}
+
+// LoadPoint is one empirical (congestion, per-user throughput) observation
+// obtained by scaling the offered load.
+type LoadPoint struct {
+	Users       int
+	Utilization float64 // carried/capacity (saturates at 1)
+	Occupancy   float64 // demanded/capacity (the φ-analogue; unbounded)
+	PerUserRate float64 // normalized to the uncongested per-user rate
+}
+
+// MeasureCongestion sweeps the number of users of a single class and
+// measures the resulting utilization and normalized per-user throughput,
+// then fits λ(φ) ≈ A·e^{B·φ} (expect B < 0: Assumption 1's decreasing
+// throughput).
+func MeasureCongestion(tmpl Class, userCounts []int, capacity float64, seed int64) ([]LoadPoint, fit.Exponential, error) {
+	if len(userCounts) == 0 {
+		return nil, fit.Exponential{}, fmt.Errorf("flowsim: no user counts")
+	}
+	pts := make([]LoadPoint, 0, len(userCounts))
+	var base float64
+	for i, n := range userCounts {
+		c := tmpl
+		c.Users = n
+		c.Price = 0 // everyone participates; load is controlled by n
+		res, err := Run(Config{
+			Capacity: capacity,
+			Classes:  []Class{c},
+			Horizon:  600, Warmup: 60,
+			Seed: seed + int64(i),
+		})
+		if err != nil {
+			return nil, fit.Exponential{}, err
+		}
+		per := res.Classes[0].PerUserRate
+		if i == 0 {
+			base = per
+			if base == 0 {
+				return nil, fit.Exponential{}, fmt.Errorf("flowsim: zero baseline per-user rate")
+			}
+		}
+		pts = append(pts, LoadPoint{
+			Users:       n,
+			Utilization: res.Utilization,
+			Occupancy:   res.Occupancy,
+			PerUserRate: per / base,
+		})
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.Occupancy, p.PerUserRate
+	}
+	f, err := fit.Exp(xs, ys)
+	return pts, f, err
+}
+
+// UtilizationPoint is one empirical Φ(θ, µ) observation.
+type UtilizationPoint struct {
+	Offered     float64 // offered load (bytes/s) if unconstrained
+	Capacity    float64
+	Utilization float64
+}
+
+// MeasureUtilizationMap probes the empirical utilization map: for each
+// (load multiplier, capacity) pair it runs the simulator and records the
+// measured utilization, providing the data behind the Assumption 1 checks
+// (Φ increasing in θ, decreasing in µ).
+func MeasureUtilizationMap(tmpl Class, userCounts []int, capacities []float64, seed int64) ([]UtilizationPoint, error) {
+	var pts []UtilizationPoint
+	k := int64(0)
+	for _, mu := range capacities {
+		for _, n := range userCounts {
+			c := tmpl
+			c.Users = n
+			c.Price = 0
+			res, err := Run(Config{
+				Capacity: mu,
+				Classes:  []Class{c},
+				Horizon:  400, Warmup: 40,
+				Seed: seed + k,
+			})
+			if err != nil {
+				return nil, err
+			}
+			offered := float64(n) * c.MeanFlowSize / (c.MeanThink + c.MeanFlowSize/c.PeakRate)
+			pts = append(pts, UtilizationPoint{Offered: offered, Capacity: mu, Utilization: res.Utilization})
+			k++
+		}
+	}
+	return pts, nil
+}
+
+// DefaultClass returns a reasonable class template for the measurement
+// harnesses: peak 1 Mbit/s-equivalent flows on a shared link.
+func DefaultClass() Class {
+	return Class{
+		Name:         "default",
+		Users:        200,
+		Alpha:        2,
+		PeakRate:     1.0,
+		MeanFlowSize: 5.0,
+		MeanThink:    20.0,
+	}
+}

@@ -1,0 +1,131 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+// Edge-case robustness: the solver must behave at the corners of the
+// parameter space the sweeps and optimizers visit.
+
+func TestEquilibriumAtZeroPrice(t *testing.T) {
+	// p = 0: subsidies push effective prices negative, demand exceeds the
+	// m(0) scale, the fixed point still exists and the equilibrium is
+	// well-formed.
+	g, _ := New(eightCP(), 0, 2)
+	eq, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(eq.State.Phi) || eq.State.Phi <= 0 {
+		t.Fatalf("φ = %v at p=0", eq.State.Phi)
+	}
+	rep, err := g.VerifyKKT(eq.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid(1e-5) {
+		t.Fatalf("KKT violation %v at p=0", rep.MaxViolation)
+	}
+}
+
+func TestEquilibriumAtHighPrice(t *testing.T) {
+	// Very high price: demand nearly vanishes; the equilibrium must still
+	// solve with tiny but finite state.
+	g, _ := New(eightCP(), 10, 1)
+	eq, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.State.Phi < 0 || eq.State.Phi > 1e-2 {
+		t.Fatalf("φ = %v at p=10, expected near-zero utilization", eq.State.Phi)
+	}
+}
+
+func TestEquilibriumWithHugeCap(t *testing.T) {
+	// q far above every v_i: the cap never binds and subsidies stay below
+	// max v (subsidizing beyond one's value is dominated).
+	sys := eightCP()
+	g, _ := New(sys, 1, 50)
+	eq, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, si := range eq.S {
+		if si > sys.CPs[i].Value {
+			t.Fatalf("CP %d subsidizes %v above its value %v", i, si, sys.CPs[i].Value)
+		}
+	}
+}
+
+func TestEquilibriumSingleCP(t *testing.T) {
+	// One CP: the game degenerates to a monopoly subsidy choice; KKT still
+	// characterizes the optimum.
+	sys := &model.System{
+		CPs: []model.CP{{
+			Demand:     econ.NewExpDemand(4),
+			Throughput: econ.NewExpThroughput(2),
+			Value:      1,
+		}},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+	g, _ := New(sys, 1, 1)
+	eq, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := g.VerifyKKT(eq.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid(1e-6) {
+		t.Fatalf("single-CP KKT violation %v", rep.MaxViolation)
+	}
+	if eq.S[0] <= 0 {
+		t.Fatal("profitable monopolist CP should subsidize at p=1")
+	}
+}
+
+func TestEquilibriumExtremeSensitivities(t *testing.T) {
+	// Very price-sensitive demand and very congestion-sensitive throughput
+	// stress the bracketing logic of the fixed point and the BR bounds.
+	sys := &model.System{
+		CPs: []model.CP{
+			{Demand: econ.NewExpDemand(20), Throughput: econ.NewExpThroughput(0.2), Value: 1},
+			{Demand: econ.NewExpDemand(0.2), Throughput: econ.NewExpThroughput(20), Value: 1},
+		},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+	g, _ := New(sys, 1, 1)
+	eq, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, th := range eq.State.Theta {
+		if math.IsNaN(th) || th < 0 {
+			t.Fatalf("θ_%d = %v", i, th)
+		}
+	}
+}
+
+func TestEquilibriumTinyCapacity(t *testing.T) {
+	sys := eightCP()
+	sys.Mu = 1e-3
+	g, _ := New(sys, 1, 1)
+	eq, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(eq.State.Phi) || math.IsInf(eq.State.Phi, 0) {
+		t.Fatalf("φ = %v under tiny capacity", eq.State.Phi)
+	}
+	// Crushing congestion: utilization is very high, throughput tiny.
+	if eq.State.Phi < 1 {
+		t.Fatalf("expected heavy congestion, φ = %v", eq.State.Phi)
+	}
+}

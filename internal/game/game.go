@@ -1,0 +1,104 @@
+// Package game implements the paper's primary contribution: the
+// subsidization competition game of §4. Each CP i chooses a per-unit subsidy
+// s_i ∈ [0, q] for its users' usage-based fees; the effective user price is
+// t_i = p − s_i; CP i's utility is U_i = (v_i − s_i)·θ_i(s), where θ_i is the
+// throughput at the utilization fixed point of the underlying physical model.
+//
+// The package provides utilities and their analytic marginal values, best
+// responses, Nash-equilibrium solvers (Gauss–Seidel best response, with a
+// damped-Jacobi ablation), the Theorem 3 threshold characterization and KKT
+// verification, and the Theorem 6 sensitivity machinery (∂s/∂p, ∂s/∂q via the
+// inverse Jacobian of marginal utilities), together with the P-function and
+// off-diagonal monotonicity diagnostics behind Theorems 4–5 and Corollary 1.
+package game
+
+import (
+	"errors"
+	"fmt"
+
+	"neutralnet/internal/model"
+)
+
+// Game is a subsidization competition instance: a physical system, the ISP's
+// uniform usage price P, and the regulatory subsidy cap Q (the policy q).
+type Game struct {
+	Sys *model.System
+	P   float64 // ISP per-unit usage price p ≥ 0
+	Q   float64 // policy cap q ≥ 0; Q = 0 recovers one-sided pricing
+}
+
+// New constructs a validated Game.
+func New(sys *model.System, p, q float64) (*Game, error) {
+	if sys == nil {
+		return nil, errors.New("game: nil system")
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if p < 0 {
+		return nil, fmt.Errorf("game: negative price %g", p)
+	}
+	if q < 0 {
+		return nil, fmt.Errorf("game: negative policy cap %g", q)
+	}
+	return &Game{Sys: sys, P: p, Q: q}, nil
+}
+
+// N returns the number of CPs (players).
+func (g *Game) N() int { return g.Sys.N() }
+
+// Prices returns the effective per-CP user prices t_i = p − s_i.
+func (g *Game) Prices(s []float64) []float64 {
+	t := make([]float64, len(s))
+	for i := range s {
+		t[i] = g.P - s[i]
+	}
+	return t
+}
+
+// State solves the physical state induced by the subsidy profile s:
+// populations m_i(p − s_i), the utilization fixed point, and throughputs.
+func (g *Game) State(s []float64) (model.State, error) {
+	if len(s) != g.N() {
+		return model.State{}, fmt.Errorf("game: %d subsidies for %d CPs", len(s), g.N())
+	}
+	return g.Sys.Solve(g.Sys.PopulationsAt(g.Prices(s)))
+}
+
+// Utility returns U_i(s) = (v_i − s_i)·θ_i(s) for CP i at the solved state.
+func (g *Game) Utility(i int, s []float64) (float64, error) {
+	st, err := g.State(s)
+	if err != nil {
+		return 0, err
+	}
+	return (g.Sys.CPs[i].Value - s[i]) * st.Theta[i], nil
+}
+
+// Utilities returns all CP utilities at the state st under profile s.
+func (g *Game) Utilities(s []float64, st model.State) []float64 {
+	u := make([]float64, g.N())
+	for i := range u {
+		u[i] = (g.Sys.CPs[i].Value - s[i]) * st.Theta[i]
+	}
+	return u
+}
+
+// Revenue returns the ISP's revenue R = p·Σθ at the state.
+func (g *Game) Revenue(st model.State) float64 { return g.P * st.TotalThroughput() }
+
+// Welfare returns the system welfare W = Σ v_i θ_i at the state (the gross
+// CP profit metric of Corollary 2, which internalizes the subsidy transfer).
+func (g *Game) Welfare(st model.State) float64 {
+	w := 0.0
+	for i, cp := range g.Sys.CPs {
+		w += cp.Value * st.Theta[i]
+	}
+	return w
+}
+
+// withSubsidy returns a copy of s with s[i] = v.
+func withSubsidy(s []float64, i int, v float64) []float64 {
+	c := append([]float64(nil), s...)
+	c[i] = v
+	return c
+}

@@ -1,0 +1,200 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+// threeCP builds the quickstart-style market used across the game tests.
+func threeCP() *model.System {
+	mk := func(name string, a, b, v float64) model.CP {
+		return model.CP{
+			Name:       name,
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	return &model.System{
+		CPs:  []model.CP{mk("video", 5, 2, 1), mk("startup", 5, 5, 0.3), mk("messaging", 2, 5, 0.5)},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+}
+
+// eightCP mirrors the paper's Figures 7-11 catalog.
+func eightCP() *model.System {
+	var cps []model.CP
+	for _, v := range []float64{0.5, 1} {
+		for _, a := range []float64{2, 5} {
+			for _, b := range []float64{2, 5} {
+				cps = append(cps, model.CP{
+					Demand:     econ.NewExpDemand(a),
+					Throughput: econ.NewExpThroughput(b),
+					Value:      v,
+				})
+			}
+		}
+	}
+	return &model.System{CPs: cps, Mu: 1, Util: econ.LinearUtilization{}}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 1, 1); err == nil {
+		t.Fatal("nil system must be rejected")
+	}
+	if _, err := New(threeCP(), -1, 1); err == nil {
+		t.Fatal("negative price must be rejected")
+	}
+	if _, err := New(threeCP(), 1, -1); err == nil {
+		t.Fatal("negative cap must be rejected")
+	}
+	if _, err := New(threeCP(), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateMatchesOneSidedAtZeroSubsidy(t *testing.T) {
+	sys := threeCP()
+	g, _ := New(sys, 0.9, 1)
+	st, err := g.State([]float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sys.SolveOneSided(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Phi-base.Phi) > 1e-12 {
+		t.Fatalf("zero-subsidy state %v differs from one-sided %v", st.Phi, base.Phi)
+	}
+}
+
+func TestUtilityDefinition(t *testing.T) {
+	sys := threeCP()
+	g, _ := New(sys, 1, 1)
+	s := []float64{0.3, 0.1, 0}
+	st, err := g.State(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cp := range sys.CPs {
+		u, err := g.Utility(i, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (cp.Value - s[i]) * st.Theta[i]
+		if math.Abs(u-want) > 1e-12 {
+			t.Fatalf("U_%d = %v, want (v−s)·θ = %v", i, u, want)
+		}
+	}
+	all := g.Utilities(s, st)
+	for i := range all {
+		u, _ := g.Utility(i, s)
+		if math.Abs(all[i]-u) > 1e-12 {
+			t.Fatalf("Utilities[%d] disagrees with Utility", i)
+		}
+	}
+}
+
+func TestPricesNetOfSubsidy(t *testing.T) {
+	g, _ := New(threeCP(), 1.2, 1)
+	tv := g.Prices([]float64{0.2, 0, 1})
+	if tv[0] != 1.0 || tv[1] != 1.2 || tv[2] != 0.19999999999999996 && tv[2] != 0.2 {
+		t.Fatalf("Prices: %v", tv)
+	}
+}
+
+func TestLemma3Monotonicity(t *testing.T) {
+	// Unilaterally raising s_i raises φ and θ_i and depresses θ_j (j≠i).
+	sys := threeCP()
+	g, _ := New(sys, 1, 1)
+	base := []float64{0.2, 0.2, 0.2}
+	st0, err := g.State(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.CPs {
+		bumped := append([]float64(nil), base...)
+		bumped[i] += 0.3
+		st1, err := g.State(bumped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(st1.Phi >= st0.Phi) {
+			t.Fatalf("φ fell when CP %d raised its subsidy", i)
+		}
+		if !(st1.Theta[i] >= st0.Theta[i]) {
+			t.Fatalf("θ_%d fell when CP %d raised its subsidy", i, i)
+		}
+		for j := range sys.CPs {
+			if j != i && !(st1.Theta[j] <= st0.Theta[j]+1e-12) {
+				t.Fatalf("θ_%d rose when CP %d raised its subsidy (Lemma 3)", j, i)
+			}
+		}
+	}
+}
+
+func TestMarginalUtilityAnalyticVsNumeric(t *testing.T) {
+	sys := threeCP()
+	g, _ := New(sys, 1, 1)
+	profiles := [][]float64{
+		{0.2, 0.1, 0.05},
+		{0.5, 0.0, 0.3},
+		{0.0, 0.0, 0.0},
+	}
+	for _, s := range profiles {
+		for i := range sys.CPs {
+			got, err := g.MarginalUtility(i, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := g.MarginalUtilityNumeric(i, s)
+			if math.Abs(got-want) > 1e-4*math.Max(1, math.Abs(want)) {
+				t.Fatalf("u_%d at %v: analytic %v vs numeric %v", i, s, got, want)
+			}
+		}
+	}
+}
+
+func TestDThetaDSSigns(t *testing.T) {
+	sys := threeCP()
+	g, _ := New(sys, 1, 1)
+	s := []float64{0.2, 0.2, 0.2}
+	for i := range sys.CPs {
+		for j := range sys.CPs {
+			d, err := g.DThetaDS(i, j, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == j && d <= 0 {
+				t.Fatalf("own effect ∂θ_%d/∂s_%d = %v, want > 0", i, i, d)
+			}
+			if i != j && d >= 0 {
+				t.Fatalf("cross effect ∂θ_%d/∂s_%d = %v, want < 0", i, j, d)
+			}
+		}
+	}
+}
+
+func TestRevenueAndWelfareAccessors(t *testing.T) {
+	sys := threeCP()
+	g, _ := New(sys, 1, 1)
+	st, err := g.State([]float64{0.1, 0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.Revenue(st), 1*st.TotalThroughput(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("revenue %v want %v", got, want)
+	}
+	w := 0.0
+	for i, cp := range sys.CPs {
+		w += cp.Value * st.Theta[i]
+	}
+	if got := g.Welfare(st); math.Abs(got-w) > 1e-15 {
+		t.Fatalf("welfare %v want %v", got, w)
+	}
+}

@@ -1,0 +1,120 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file verifies equilibria against the paper's characterizations: the
+// KKT system (18) behind Theorem 3 and the N⁻/N⁺/Ñ partition Theorem 6
+// differentiates over.
+
+// BoundaryTol is the tolerance used to classify a subsidy as pinned to a
+// boundary of [0, q].
+const BoundaryTol = 1e-7
+
+// Partition is the Theorem 6 split of the CP index set by equilibrium
+// subsidy: N⁻ (zero subsidy), N⁺ (capped at q), and Ñ (interior).
+type Partition struct {
+	Zero     []int // N⁻: s_i = 0
+	Capped   []int // N⁺: s_i = q
+	Interior []int // Ñ: 0 < s_i < q
+}
+
+// Classify partitions the CPs by the profile s under the game's cap q.
+func (g *Game) Classify(s []float64) Partition {
+	var p Partition
+	tol := BoundaryTol * math.Max(1, g.Q)
+	for i, si := range s {
+		switch {
+		case si <= tol:
+			p.Zero = append(p.Zero, i)
+		case g.Q-si <= tol:
+			p.Capped = append(p.Capped, i)
+		default:
+			p.Interior = append(p.Interior, i)
+		}
+	}
+	return p
+}
+
+// KKTReport captures the first-order verification of a candidate
+// equilibrium: per-CP marginal utilities and the worst violation of the KKT
+// system (18):
+//
+//	s_i = 0      ⇒ u_i ≤ 0,
+//	s_i = q      ⇒ u_i ≥ 0,
+//	0 < s_i < q  ⇒ u_i = 0.
+type KKTReport struct {
+	U            []float64 // marginal utilities u_i(s)
+	MaxViolation float64   // worst signed violation across CPs
+	Partition    Partition
+}
+
+// Valid reports whether all KKT conditions hold within tol.
+func (r KKTReport) Valid(tol float64) bool { return r.MaxViolation <= tol }
+
+// VerifyKKT evaluates the KKT residuals of the profile s. A true Nash
+// equilibrium of a game with concave utilities satisfies Valid(ε) for small
+// ε; the solvers' tests require 1e-6.
+func (g *Game) VerifyKKT(s []float64) (KKTReport, error) {
+	u, err := g.MarginalUtilities(s)
+	if err != nil {
+		return KKTReport{}, err
+	}
+	r := KKTReport{U: u, Partition: g.Classify(s)}
+	for _, i := range r.Partition.Zero {
+		r.MaxViolation = math.Max(r.MaxViolation, u[i]) // want u_i ≤ 0
+	}
+	for _, i := range r.Partition.Capped {
+		r.MaxViolation = math.Max(r.MaxViolation, -u[i]) // want u_i ≥ 0
+	}
+	for _, i := range r.Partition.Interior {
+		r.MaxViolation = math.Max(r.MaxViolation, math.Abs(u[i])) // want u_i = 0
+	}
+	return r, nil
+}
+
+// VerifyThreshold checks the Theorem 3 characterization
+// s_i = min{τ_i(s), q} for every CP with s_i > 0, and the profitability
+// bound v_i ≤ θ_i/(∂θ_i/∂s_i) for CPs with s_i = 0. It returns the worst
+// absolute residual.
+func (g *Game) VerifyThreshold(s []float64) (float64, error) {
+	worst := 0.0
+	part := g.Classify(s)
+	for _, i := range append(append([]int(nil), part.Interior...), part.Capped...) {
+		tau, err := g.Tau(i, s)
+		if err != nil {
+			return 0, err
+		}
+		want := math.Min(tau, g.Q)
+		if d := math.Abs(s[i] - want); d > worst {
+			worst = d
+		}
+	}
+	for _, i := range part.Zero {
+		dth, err := g.DThetaDS(i, i, s)
+		if err != nil {
+			return 0, err
+		}
+		if dth <= 0 {
+			continue // degenerate: no own-subsidy effect
+		}
+		st, err := g.State(s)
+		if err != nil {
+			return 0, err
+		}
+		bound := st.Theta[i] / dth
+		if g.Sys.CPs[i].Value > bound {
+			if d := g.Sys.CPs[i].Value - bound; d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}
+
+// String renders the partition compactly, e.g. "N⁻={0,3} N⁺={1} Ñ={2}".
+func (p Partition) String() string {
+	return fmt.Sprintf("N-=%v N+=%v interior=%v", p.Zero, p.Capped, p.Interior)
+}

@@ -1,0 +1,198 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"neutralnet/internal/model"
+	"neutralnet/internal/numeric"
+)
+
+// Method selects the Nash iteration scheme.
+type Method int
+
+const (
+	// GaussSeidel iterates best responses sequentially, each CP reacting to
+	// the freshest profile. It is the default: fastest and most robust for
+	// the Leontief-stable games the paper studies.
+	GaussSeidel Method = iota
+	// JacobiDamped iterates all best responses simultaneously with damping
+	// 0.5. It is kept as an ablation (BenchmarkAblationSolver) and as a
+	// fallback for games where sequential updates cycle.
+	JacobiDamped
+)
+
+// Options configures SolveNash. The zero value selects sensible defaults.
+type Options struct {
+	Method  Method
+	Tol     float64   // sup-norm convergence tolerance on s (default 1e-9)
+	MaxIter int       // default 400
+	Initial []float64 // warm start (default: zero profile)
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 400
+	}
+	if o.Initial == nil {
+		o.Initial = make([]float64, n)
+	}
+	return o
+}
+
+// Equilibrium is a solved Nash equilibrium of the subsidization game,
+// bundled with the induced physical state and player utilities.
+type Equilibrium struct {
+	S          []float64   // subsidy profile
+	State      model.State // utilization, populations, throughputs at S
+	U          []float64   // player utilities U_i = (v_i − s_i)·θ_i
+	Iterations int         // outer iterations used
+	Converged  bool
+}
+
+// Revenue returns the ISP revenue p·Σθ at the equilibrium of game g.
+func (e Equilibrium) Revenue(g *Game) float64 { return g.Revenue(e.State) }
+
+// Welfare returns the system welfare Σ v_i θ_i at the equilibrium of game g.
+func (e Equilibrium) Welfare(g *Game) float64 { return g.Welfare(e.State) }
+
+// ErrNotConverged is returned (alongside the best iterate) when the Nash
+// iteration hits its budget before meeting tolerance.
+var ErrNotConverged = errors.New("game: Nash iteration did not converge")
+
+// BestResponse returns CP i's utility-maximizing subsidy on [0, q] against
+// the profile s (s[i] is ignored). It exploits the first-order structure:
+// when U_i is concave in s_i — which holds under the Theorem 4 condition —
+// the best response is the root of the marginal utility u_i, clipped to the
+// box. Corner cases:
+//
+//	u_i(0; s_{−i}) ≤ 0  ⇒  best response 0 (Theorem 3's non-subsidизing CPs),
+//	u_i(q; s_{−i}) ≥ 0  ⇒  best response q (policy-capped CPs, the N⁺ set).
+//
+// If the marginal utility fails to bracket (e.g. under non-concave custom
+// curves), it falls back to BestResponseSearch.
+func (g *Game) BestResponse(i int, s []float64) (float64, error) {
+	if g.Q == 0 {
+		return 0, nil
+	}
+	ui := func(x float64) float64 {
+		v, err := g.MarginalUtility(i, withSubsidy(s, i, x))
+		if err != nil {
+			return math.NaN()
+		}
+		return v
+	}
+	u0 := ui(0)
+	if math.IsNaN(u0) {
+		return g.BestResponseSearch(i, s)
+	}
+	if u0 <= 0 {
+		return 0, nil
+	}
+	uq := ui(g.Q)
+	if math.IsNaN(uq) {
+		return g.BestResponseSearch(i, s)
+	}
+	if uq >= 0 {
+		return g.Q, nil
+	}
+	root, err := numeric.Brent(ui, 0, g.Q, 1e-11)
+	if err != nil {
+		return g.BestResponseSearch(i, s)
+	}
+	return numeric.Clamp(root, 0, g.Q), nil
+}
+
+// BestResponseSearch maximizes U_i(·; s_{−i}) on [0, q] by grid scan plus
+// golden-section refinement. It makes no concavity assumption and is the
+// fallback (and ablation) path for BestResponse.
+func (g *Game) BestResponseSearch(i int, s []float64) (float64, error) {
+	if g.Q == 0 {
+		return 0, nil
+	}
+	var evalErr error
+	f := func(x float64) float64 {
+		u, err := g.Utility(i, withSubsidy(s, i, x))
+		if err != nil {
+			evalErr = err
+			return math.Inf(-1)
+		}
+		return u
+	}
+	x, _ := numeric.MaximizeOnInterval(f, 0, g.Q, 33)
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	return x, nil
+}
+
+// SolveNash computes a Nash equilibrium of the subsidization game under the
+// given options. With Q = 0 it degenerates to the one-sided pricing baseline
+// in a single step. The returned equilibrium is always populated with the
+// final iterate, even when ErrNotConverged is reported.
+func (g *Game) SolveNash(opts Options) (Equilibrium, error) {
+	opts = opts.withDefaults(g.N())
+	s := append([]float64(nil), opts.Initial...)
+	for i := range s {
+		s[i] = numeric.Clamp(s[i], 0, g.Q)
+	}
+
+	var iters int
+	var converged bool
+	switch opts.Method {
+	case JacobiDamped:
+		step := func(cur []float64) []float64 {
+			next := make([]float64, len(cur))
+			for i := range cur {
+				br, err := g.BestResponse(i, cur)
+				if err != nil {
+					br = cur[i]
+				}
+				next[i] = br
+			}
+			return next
+		}
+		s, iters, converged = numeric.FixedPointVec(step, s, opts.Tol, 0.5, opts.MaxIter)
+	default: // GaussSeidel
+		for iters = 1; iters <= opts.MaxIter; iters++ {
+			diff := 0.0
+			for i := range s {
+				br, err := g.BestResponse(i, s)
+				if err != nil {
+					return Equilibrium{S: s}, fmt.Errorf("game: best response of CP %d: %w", i, err)
+				}
+				if d := math.Abs(br - s[i]); d > diff {
+					diff = d
+				}
+				s[i] = br
+			}
+			if diff < opts.Tol {
+				converged = true
+				break
+			}
+		}
+		if iters > opts.MaxIter {
+			iters = opts.MaxIter
+		}
+	}
+
+	st, err := g.State(s)
+	if err != nil {
+		return Equilibrium{S: s, Iterations: iters}, err
+	}
+	eq := Equilibrium{
+		S:          s,
+		State:      st,
+		U:          g.Utilities(s, st),
+		Iterations: iters,
+		Converged:  converged,
+	}
+	if !converged {
+		return eq, ErrNotConverged
+	}
+	return eq, nil
+}

@@ -1,0 +1,209 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBestResponseIsOptimal(t *testing.T) {
+	// The best response must beat a fine grid of alternatives.
+	sys := threeCP()
+	g, _ := New(sys, 1, 1)
+	s := []float64{0, 0.2, 0.1}
+	for i := range sys.CPs {
+		br, err := g.BestResponse(i, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uBR, err := g.Utility(i, withSubsidy(s, i, br))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= 50; k++ {
+			x := float64(k) / 50 * g.Q
+			u, err := g.Utility(i, withSubsidy(s, i, x))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if u > uBR+1e-8 {
+				t.Fatalf("CP %d: grid point s=%v (U=%v) beats best response %v (U=%v)", i, x, u, br, uBR)
+			}
+		}
+	}
+}
+
+func TestBestResponseAgreesWithSearch(t *testing.T) {
+	sys := eightCP()
+	g, _ := New(sys, 0.8, 1.5)
+	s := make([]float64, sys.N())
+	for i := range sys.CPs {
+		foc, err := g.BestResponse(i, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid, err := g.BestResponseSearch(i, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare achieved utilities (the argmax may differ on flat tops).
+		uFOC, _ := g.Utility(i, withSubsidy(s, i, foc))
+		uGrid, _ := g.Utility(i, withSubsidy(s, i, grid))
+		if uGrid > uFOC+1e-7 {
+			t.Fatalf("CP %d: search %v (U=%v) beats FOC %v (U=%v)", i, grid, uGrid, foc, uFOC)
+		}
+	}
+}
+
+func TestBestResponseZeroCap(t *testing.T) {
+	g, _ := New(threeCP(), 1, 0)
+	br, err := g.BestResponse(0, []float64{0, 0, 0})
+	if err != nil || br != 0 {
+		t.Fatalf("q=0 best response: %v, %v", br, err)
+	}
+}
+
+func TestSolveNashKKT(t *testing.T) {
+	// Equilibria must satisfy the Theorem 3 / KKT system across regimes.
+	for _, tc := range []struct{ p, q float64 }{
+		{0.5, 0.5}, {1, 1}, {1.5, 2}, {0.2, 2}, {2, 0.3},
+	} {
+		g, _ := New(eightCP(), tc.p, tc.q)
+		eq, err := g.SolveNash(Options{})
+		if err != nil {
+			t.Fatalf("p=%v q=%v: %v", tc.p, tc.q, err)
+		}
+		rep, err := g.VerifyKKT(eq.S)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Valid(1e-6) {
+			t.Fatalf("p=%v q=%v: KKT violation %v (partition %v)", tc.p, tc.q, rep.MaxViolation, rep.Partition)
+		}
+		worst, err := g.VerifyThreshold(eq.S)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > 1e-5 {
+			t.Fatalf("p=%v q=%v: Theorem 3 threshold residual %v", tc.p, tc.q, worst)
+		}
+	}
+}
+
+func TestSolveNashZeroCapIsBaseline(t *testing.T) {
+	sys := threeCP()
+	g, _ := New(sys, 1, 0)
+	eq, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, si := range eq.S {
+		if si != 0 {
+			t.Fatalf("s_%d = %v under q=0", i, si)
+		}
+	}
+	base, _ := sys.SolveOneSided(1)
+	if math.Abs(eq.State.Phi-base.Phi) > 1e-12 {
+		t.Fatal("q=0 equilibrium differs from the one-sided baseline")
+	}
+}
+
+func TestGaussSeidelAndJacobiAgree(t *testing.T) {
+	g, _ := New(eightCP(), 0.9, 1.2)
+	gs, err := g.SolveNash(Options{Method: GaussSeidel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jac, err := g.SolveNash(Options{Method: JacobiDamped, MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gs.S {
+		if math.Abs(gs.S[i]-jac.S[i]) > 1e-5 {
+			t.Fatalf("solvers disagree at CP %d: GS %v vs Jacobi %v", i, gs.S[i], jac.S[i])
+		}
+	}
+}
+
+func TestSolveNashWarmStart(t *testing.T) {
+	g, _ := New(eightCP(), 1, 1.5)
+	cold, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := g.SolveNash(Options{Initial: cold.S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Fatalf("warm start took more iterations (%d) than cold (%d)", warm.Iterations, cold.Iterations)
+	}
+	for i := range cold.S {
+		if math.Abs(cold.S[i]-warm.S[i]) > 1e-7 {
+			t.Fatalf("warm start drifted at CP %d", i)
+		}
+	}
+}
+
+func TestSolveNashClampsInitial(t *testing.T) {
+	g, _ := New(threeCP(), 1, 0.5)
+	eq, err := g.SolveNash(Options{Initial: []float64{99, -5, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, si := range eq.S {
+		if si < 0 || si > g.Q {
+			t.Fatalf("s_%d = %v escaped [0, q]", i, si)
+		}
+	}
+}
+
+func TestEquilibriumAccessors(t *testing.T) {
+	sys := threeCP()
+	g, _ := New(sys, 1, 1)
+	eq, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := eq.Revenue(g), g.Revenue(eq.State); got != want {
+		t.Fatalf("Equilibrium.Revenue %v want %v", got, want)
+	}
+	if got, want := eq.Welfare(g), g.Welfare(eq.State); got != want {
+		t.Fatalf("Equilibrium.Welfare %v want %v", got, want)
+	}
+	if !eq.Converged || eq.Iterations == 0 {
+		t.Fatalf("expected converged equilibrium, got %+v", eq)
+	}
+}
+
+func TestCorollary1RevenueAndPhiRiseWithQ(t *testing.T) {
+	// Fixed price, increasing policy caps: φ, R and every s_i must be
+	// nondecreasing (Corollary 1).
+	g0, _ := New(eightCP(), 1, 0)
+	prevEq, err := g0.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevPhi, prevR := prevEq.State.Phi, g0.Revenue(prevEq.State)
+	prevS := prevEq.S
+	for _, q := range []float64{0.25, 0.5, 1, 1.5, 2} {
+		g, _ := New(eightCP(), 1, q)
+		eq, err := g.SolveNash(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq.State.Phi < prevPhi-1e-8 {
+			t.Fatalf("φ fell from %v to %v when q rose to %v", prevPhi, eq.State.Phi, q)
+		}
+		if r := g.Revenue(eq.State); r < prevR-1e-8 {
+			t.Fatalf("revenue fell from %v to %v when q rose to %v", prevR, r, q)
+		} else {
+			prevR = r
+		}
+		for i := range eq.S {
+			if eq.S[i] < prevS[i]-1e-6 {
+				t.Fatalf("s_%d fell when q rose to %v", i, q)
+			}
+		}
+		prevPhi, prevS = eq.State.Phi, eq.S
+	}
+}

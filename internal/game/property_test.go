@@ -1,0 +1,157 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+// Property tests over randomized markets: the game's invariants must hold
+// for any well-formed exponential-family instance, not just the paper's
+// catalogs.
+
+// randomSystem builds a seeded random market with n ∈ [2, 5] CPs.
+func randomSystem(rng *rand.Rand) *model.System {
+	n := 2 + rng.Intn(4)
+	cps := make([]model.CP, n)
+	for i := range cps {
+		cps[i] = model.CP{
+			Demand:     econ.NewExpDemand(0.5 + 5*rng.Float64()),
+			Throughput: econ.NewExpThroughput(0.5 + 5*rng.Float64()),
+			Value:      0.1 + 1.2*rng.Float64(),
+		}
+	}
+	return &model.System{CPs: cps, Mu: 0.5 + 1.5*rng.Float64(), Util: econ.LinearUtilization{}}
+}
+
+func TestPropertyEquilibriumKKT(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	prop := func() bool {
+		sys := randomSystem(rng)
+		p := 0.2 + 1.6*rng.Float64()
+		q := 0.1 + 1.4*rng.Float64()
+		g, err := New(sys, p, q)
+		if err != nil {
+			return false
+		}
+		eq, err := g.SolveNash(Options{})
+		if err != nil {
+			return false
+		}
+		rep, err := g.VerifyKKT(eq.S)
+		if err != nil {
+			return false
+		}
+		return rep.Valid(1e-5)
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLemma3Signs(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	prop := func() bool {
+		sys := randomSystem(rng)
+		p := 0.2 + 1.6*rng.Float64()
+		g, err := New(sys, p, 2)
+		if err != nil {
+			return false
+		}
+		s := make([]float64, g.N())
+		for i := range s {
+			s[i] = rng.Float64()
+		}
+		st0, err := g.State(s)
+		if err != nil {
+			return false
+		}
+		i := rng.Intn(g.N())
+		s2 := withSubsidy(s, i, s[i]+0.2)
+		st1, err := g.State(s2)
+		if err != nil {
+			return false
+		}
+		if !(st1.Phi >= st0.Phi-1e-12) || !(st1.Theta[i] >= st0.Theta[i]-1e-12) {
+			return false
+		}
+		for j := range s {
+			if j != i && st1.Theta[j] > st0.Theta[j]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAnalyticMarginalMatchesNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	prop := func() bool {
+		sys := randomSystem(rng)
+		g, err := New(sys, 0.3+1.2*rng.Float64(), 1)
+		if err != nil {
+			return false
+		}
+		s := make([]float64, g.N())
+		for i := range s {
+			s[i] = 0.05 + 0.8*rng.Float64()
+		}
+		i := rng.Intn(g.N())
+		analytic, err := g.MarginalUtility(i, s)
+		if err != nil {
+			return false
+		}
+		numeric := g.MarginalUtilityNumeric(i, s)
+		diff := analytic - numeric
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if a := numeric; a > 1 || a < -1 {
+			if a < 0 {
+				a = -a
+			}
+			scale = a
+		}
+		return diff <= 1e-3*scale
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRevenueRisesWithCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	prop := func() bool {
+		sys := randomSystem(rng)
+		p := 0.3 + 1.2*rng.Float64()
+		var prev float64 = -1
+		var warm []float64
+		for _, q := range []float64{0, 0.5, 1} {
+			g, err := New(sys, p, q)
+			if err != nil {
+				return false
+			}
+			eq, err := g.SolveNash(Options{Initial: warm})
+			if err != nil {
+				return false
+			}
+			warm = eq.S
+			r := g.Revenue(eq.State)
+			if r < prev-1e-7 {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,280 @@
+package game
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"neutralnet/internal/linalg"
+)
+
+// This file implements the equilibrium-dynamics machinery of Theorem 6 and
+// the diagnostic conditions of Theorem 4 (P-function, condition 10) and
+// Corollary 1 (off-diagonal monotonicity of the marginal utilities).
+
+// sensStep is the central-difference step for derivatives of marginal
+// utilities. Marginal utilities already contain one analytic derivative, so a
+// relatively large step keeps round-off in check.
+const sensStep = 1e-5
+
+// JacobianU returns the full n×n Jacobian ∇_s u evaluated at s, with
+// entry (i, j) = ∂u_i/∂s_j estimated by central differences of the analytic
+// marginal utilities (each evaluation re-solves the utilization fixed
+// point).
+func (g *Game) JacobianU(s []float64) (*linalg.Matrix, error) {
+	n := g.N()
+	jac := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		up, err := g.MarginalUtilities(withSubsidy(s, j, s[j]+sensStep))
+		if err != nil {
+			return nil, err
+		}
+		um, err := g.MarginalUtilities(withSubsidy(s, j, s[j]-sensStep))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			jac.Set(i, j, (up[i]-um[i])/(2*sensStep))
+		}
+	}
+	return jac, nil
+}
+
+// DuDp returns ∂u/∂p at profile s: the sensitivity of every marginal
+// utility to the ISP's price, holding subsidies fixed.
+func (g *Game) DuDp(s []float64) ([]float64, error) {
+	bump := func(p float64) ([]float64, error) {
+		gg := *g
+		gg.P = p
+		return gg.MarginalUtilities(s)
+	}
+	up, err := bump(g.P + sensStep)
+	if err != nil {
+		return nil, err
+	}
+	um, err := bump(g.P - sensStep)
+	if err != nil {
+		return nil, err
+	}
+	d := make([]float64, len(up))
+	for i := range d {
+		d[i] = (up[i] - um[i]) / (2 * sensStep)
+	}
+	return d, nil
+}
+
+// Sensitivity is the Theorem 6 derivative of the equilibrium map s(p, q).
+type Sensitivity struct {
+	DsDq []float64 // ∂s_i/∂q
+	DsDp []float64 // ∂s_i/∂p
+	Part Partition
+}
+
+// SensitivityAt computes ∂s/∂q and ∂s/∂p at the equilibrium s per
+// Theorem 6:
+//
+//	∂s_i/∂q = 0 (N⁻), 1 (N⁺), −Σ_k ψ_ik Σ_{j∈N⁺} ∂u_k/∂s_j (Ñ),
+//	∂s_i/∂p = 0 (N⁻ ∪ N⁺), −Σ_k ψ_ik ∂u_k/∂p (Ñ),
+//
+// where Ψ = (∇_s̃ ũ)⁻¹ is the inverse of the Jacobian restricted to the
+// interior CPs. Instead of forming Ψ explicitly we LU-solve against the two
+// right-hand sides.
+func (g *Game) SensitivityAt(s []float64) (Sensitivity, error) {
+	n := g.N()
+	part := g.Classify(s)
+	out := Sensitivity{DsDq: make([]float64, n), DsDp: make([]float64, n), Part: part}
+	for _, i := range part.Capped {
+		out.DsDq[i] = 1
+	}
+	if len(part.Interior) == 0 {
+		return out, nil
+	}
+	jac, err := g.JacobianU(s)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	sub := jac.Submatrix(part.Interior, part.Interior)
+	lu, err := linalg.Factorize(sub)
+	if err != nil {
+		return Sensitivity{}, fmt.Errorf("game: interior Jacobian singular (equilibrium not regular): %w", err)
+	}
+
+	// q right-hand side: b_k = Σ_{j∈N⁺} ∂u_k/∂s_j over interior k.
+	bq := make(linalg.Vector, len(part.Interior))
+	for ki, k := range part.Interior {
+		for _, j := range part.Capped {
+			bq[ki] += jac.At(k, j)
+		}
+	}
+	xq, err := lu.Solve(bq)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	for ki, k := range part.Interior {
+		out.DsDq[k] = -xq[ki]
+	}
+
+	// p right-hand side: b_k = ∂u_k/∂p over interior k.
+	dudp, err := g.DuDp(s)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	bp := make(linalg.Vector, len(part.Interior))
+	for ki, k := range part.Interior {
+		bp[ki] = dudp[k]
+	}
+	xp, err := lu.Solve(bp)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	for ki, k := range part.Interior {
+		out.DsDp[k] = -xp[ki]
+	}
+	return out, nil
+}
+
+// OffDiagonallyMonotone checks the Corollary 1 stability condition
+// ∂u_i/∂s_j ≥ 0 for all i ≠ j at profile s (which makes −∇u a Z-matrix and,
+// combined with the P-property, an M-matrix).
+func (g *Game) OffDiagonallyMonotone(s []float64, tol float64) (bool, error) {
+	jac, err := g.JacobianU(s)
+	if err != nil {
+		return false, err
+	}
+	n := g.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && jac.At(i, j) < -tol {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// InteriorJacobianIsPMatrix reports whether −∇_s̃ũ restricted to the interior
+// CPs of profile s is a P-matrix, the local form of the Theorem 4 uniqueness
+// condition.
+func (g *Game) InteriorJacobianIsPMatrix(s []float64) (bool, error) {
+	part := g.Classify(s)
+	if len(part.Interior) == 0 {
+		return true, nil
+	}
+	jac, err := g.JacobianU(s)
+	if err != nil {
+		return false, err
+	}
+	neg := jac.Submatrix(part.Interior, part.Interior)
+	for i := 0; i < neg.Rows(); i++ {
+		for j := 0; j < neg.Cols(); j++ {
+			neg.Set(i, j, -neg.At(i, j))
+		}
+	}
+	return linalg.IsPMatrix(neg), nil
+}
+
+// CheckPFunction samples `samples` pairs of distinct strategy profiles and
+// verifies condition (10) of Theorem 4: for every pair s ≠ s′ there exists a
+// CP i with (s′_i − s_i)(u_i(s′) − u_i(s)) < 0. It returns the first
+// violating pair, if any. This is a numerical certificate (not a proof) of
+// uniqueness.
+//
+// center/radius restrict sampling to the box [s_i−r, s_i+r] ∩ [0, q] around
+// a profile — the local form Theorem 6 actually assumes. Pass center = nil
+// to sample the whole strategy space [0, q]^n; note that for the paper's
+// exponential family the *global* condition can genuinely fail (utilities
+// are convex in the own subsidy far below the best response), which is why
+// the paper states uniqueness as an assumption-backed theorem rather than a
+// property of the family.
+func (g *Game) CheckPFunction(center []float64, radius float64, samples int, seed int64) (ok bool, bad [2][]float64, err error) {
+	if samples <= 0 {
+		samples = 64
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	draw := func() []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			if center == nil {
+				s[i] = rng.Float64() * g.Q
+				continue
+			}
+			lo := math.Max(0, center[i]-radius)
+			hi := math.Min(g.Q, center[i]+radius)
+			s[i] = lo + rng.Float64()*(hi-lo)
+		}
+		return s
+	}
+	for k := 0; k < samples; k++ {
+		a, b := draw(), draw()
+		ua, err := g.MarginalUtilities(a)
+		if err != nil {
+			return false, bad, err
+		}
+		ub, err := g.MarginalUtilities(b)
+		if err != nil {
+			return false, bad, err
+		}
+		found := false
+		for i := 0; i < n; i++ {
+			if (b[i]-a[i])*(ub[i]-ua[i]) < 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Identical or near-identical draws satisfy the condition
+			// vacuously; only flag genuinely distinct pairs.
+			dist := 0.0
+			for i := 0; i < n; i++ {
+				dist = math.Max(dist, math.Abs(b[i]-a[i]))
+			}
+			if dist > 1e-9 {
+				return false, [2][]float64{a, b}, nil
+			}
+		}
+	}
+	return true, bad, nil
+}
+
+// SensitivityFiniteDiff cross-checks SensitivityAt by re-solving the
+// equilibrium at perturbed (p, q) and differencing. It is used by tests and
+// by the EXPERIMENTS.md validation harness; h ≤ 0 selects 1e-4.
+func (g *Game) SensitivityFiniteDiff(s []float64, h float64) (dsdq, dsdp []float64, err error) {
+	if h <= 0 {
+		h = 1e-4
+	}
+	solveAt := func(p, q float64) ([]float64, error) {
+		gg := *g
+		gg.P, gg.Q = p, q
+		eq, err := gg.SolveNash(Options{Initial: s, Tol: 1e-11})
+		if err != nil && !eq.Converged {
+			return nil, err
+		}
+		return eq.S, nil
+	}
+	qp, err := solveAt(g.P, g.Q+h)
+	if err != nil {
+		return nil, nil, err
+	}
+	qm, err := solveAt(g.P, g.Q-h)
+	if err != nil {
+		return nil, nil, err
+	}
+	pp, err := solveAt(g.P+h, g.Q)
+	if err != nil {
+		return nil, nil, err
+	}
+	pm, err := solveAt(g.P-h, g.Q)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := g.N()
+	dsdq = make([]float64, n)
+	dsdp = make([]float64, n)
+	for i := 0; i < n; i++ {
+		dsdq[i] = (qp[i] - qm[i]) / (2 * h)
+		dsdp[i] = (pp[i] - pm[i]) / (2 * h)
+	}
+	return dsdq, dsdp, nil
+}

@@ -1,0 +1,203 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+// This file tests the paper's equilibrium theorems end to end: Theorem 5
+// (profitability raises subsidies), Theorem 6 (sensitivities vs re-solved
+// finite differences), Theorem 4's P-function certificate and Corollary 1's
+// off-diagonal monotonicity.
+
+func TestTheorem5ProfitabilityRaisesSubsidy(t *testing.T) {
+	solveWith := func(v0 float64) []float64 {
+		sys := threeCP()
+		sys.CPs[0].Value = v0
+		g, _ := New(sys, 1, 1)
+		eq, err := g.SolveNash(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eq.S
+	}
+	prev := solveWith(0.4)
+	for _, v := range []float64{0.6, 0.8, 1.0, 1.4} {
+		cur := solveWith(v)
+		if cur[0] < prev[0]-1e-7 {
+			t.Fatalf("s_0 fell from %v to %v when v_0 rose to %v (Theorem 5)", prev[0], cur[0], v)
+		}
+		prev = cur
+	}
+}
+
+func TestClassifyPartition(t *testing.T) {
+	g, _ := New(threeCP(), 1, 1)
+	p := g.Classify([]float64{0, 1, 0.5})
+	if len(p.Zero) != 1 || p.Zero[0] != 0 {
+		t.Fatalf("N⁻: %v", p.Zero)
+	}
+	if len(p.Capped) != 1 || p.Capped[0] != 1 {
+		t.Fatalf("N⁺: %v", p.Capped)
+	}
+	if len(p.Interior) != 1 || p.Interior[0] != 2 {
+		t.Fatalf("Ñ: %v", p.Interior)
+	}
+	if p.String() == "" {
+		t.Fatal("Partition.String empty")
+	}
+}
+
+func TestTheorem6SensitivityMatchesFiniteDifference(t *testing.T) {
+	// Pick a regime with a nontrivial partition (some capped, some interior).
+	g, _ := New(eightCP(), 0.9, 0.6)
+	eq, err := g.SolveNash(Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens, err := g.SensitivityAt(eq.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsdqFD, dsdpFD, err := g.SensitivityFiniteDiff(eq.S, 2e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range eq.S {
+		if math.Abs(sens.DsDq[i]-dsdqFD[i]) > 2e-2*math.Max(1, math.Abs(dsdqFD[i])) {
+			t.Fatalf("∂s_%d/∂q analytic %v vs FD %v (partition %v)", i, sens.DsDq[i], dsdqFD[i], sens.Part)
+		}
+		if math.Abs(sens.DsDp[i]-dsdpFD[i]) > 2e-2*math.Max(1, math.Abs(dsdpFD[i])) {
+			t.Fatalf("∂s_%d/∂p analytic %v vs FD %v", i, sens.DsDp[i], dsdpFD[i])
+		}
+	}
+	// Theorem 6's boundary rows.
+	for _, i := range sens.Part.Zero {
+		if sens.DsDq[i] != 0 || sens.DsDp[i] != 0 {
+			t.Fatalf("N⁻ CP %d must have zero sensitivities", i)
+		}
+	}
+	for _, i := range sens.Part.Capped {
+		if sens.DsDq[i] != 1 {
+			t.Fatalf("N⁺ CP %d must have ∂s/∂q = 1", i)
+		}
+		if sens.DsDp[i] != 0 {
+			t.Fatalf("N⁺ CP %d must have ∂s/∂p = 0", i)
+		}
+	}
+}
+
+func TestSensitivityAllInteriorOrAllCorner(t *testing.T) {
+	// Degenerate partitions must not crash.
+	gZero, _ := New(threeCP(), 2, 0.05)
+	eq, err := gZero.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gZero.SensitivityAt(eq.S); err != nil {
+		t.Fatalf("sensitivity with boundary-heavy partition: %v", err)
+	}
+}
+
+func TestOffDiagonalMonotonicityOnPaperGrid(t *testing.T) {
+	// Corollary 1's stability condition should hold at the paper's
+	// equilibria (it is what makes Figures 7-9 monotone in q).
+	g, _ := New(eightCP(), 1, 1)
+	eq, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.OffDiagonallyMonotone(eq.S, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("∂u_i/∂s_j < 0 for some i≠j at the paper-grid equilibrium")
+	}
+}
+
+func TestInteriorJacobianIsPMatrix(t *testing.T) {
+	g, _ := New(eightCP(), 0.9, 0.6)
+	eq, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.InteriorJacobianIsPMatrix(eq.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("−∇ũ is not a P-matrix at the equilibrium; Theorem 4's local uniqueness would fail")
+	}
+}
+
+func TestCheckPFunctionLocalCertificate(t *testing.T) {
+	// Condition (10) holds in a neighborhood of the equilibrium — the local
+	// form Theorem 6 assumes.
+	g, _ := New(threeCP(), 1, 0.8)
+	eq, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, bad, err := g.CheckPFunction(eq.S, 0.05, 48, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("condition (10) violated near the equilibrium at pair %v", bad)
+	}
+}
+
+func TestCheckPFunctionGlobalCanFail(t *testing.T) {
+	// Documented behavior: the global condition is not implied by the
+	// exponential family — utilities are convex in the own subsidy far
+	// below the best response, so far-apart profiles can violate (10).
+	// This test pins that fact so the local restriction above stays honest.
+	g, _ := New(threeCP(), 1, 0.8)
+	ok, _, err := g.CheckPFunction(nil, 0, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Log("global condition (10) happened to hold on this sample; not a failure")
+	}
+}
+
+func TestJacobianUAtEquilibrium(t *testing.T) {
+	g, _ := New(threeCP(), 1, 1)
+	eq, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jac, err := g.JacobianU(eq.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jac.Rows() != 3 || jac.Cols() != 3 {
+		t.Fatalf("Jacobian shape %dx%d", jac.Rows(), jac.Cols())
+	}
+	// Local second-order condition: at an interior optimum u_i falls in s_i.
+	// (Away from equilibrium U_i can be convex in s_i for this family, so
+	// the sign is only guaranteed here.)
+	part := g.Classify(eq.S)
+	for _, i := range part.Interior {
+		if jac.At(i, i) >= 0 {
+			t.Fatalf("∂u_%d/∂s_%d = %v at equilibrium, expected negative", i, i, jac.At(i, i))
+		}
+	}
+	if len(part.Interior) == 0 {
+		t.Fatal("test regime should produce interior CPs")
+	}
+}
+
+func TestTauZeroAtZeroSubsidy(t *testing.T) {
+	// τ_i(s) = 0 exactly when s_i = 0 (the threshold scales with ε^m_s ∝ s).
+	g, _ := New(threeCP(), 1, 1)
+	tau, err := g.Tau(0, []float64{0, 0.3, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 0 {
+		t.Fatalf("τ at s=0 is %v, want 0", tau)
+	}
+}

@@ -1,0 +1,144 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file traces the equilibrium path s(p) (or s(q)) across a parameter
+// grid with warm starts and detects *regime changes*: prices at which a CP
+// moves between the Theorem 6 sets N⁻ (no subsidy), Ñ (interior) and N⁺
+// (policy-capped). Theorem 6 guarantees the path is differentiable inside a
+// regime; the interesting economics (who is pinned by the policy, who drops
+// out) happens exactly at these boundaries, which the paper reads off its
+// Figure 8 panels.
+
+// Regime labels a CP's position in the Theorem 6 partition.
+type Regime int
+
+const (
+	// RegimeZero is N⁻: the CP does not subsidize.
+	RegimeZero Regime = iota
+	// RegimeInterior is Ñ: 0 < s_i < q, the first-order condition binds.
+	RegimeInterior
+	// RegimeCapped is N⁺: the policy cap binds, s_i = q.
+	RegimeCapped
+)
+
+// String renders the regime compactly.
+func (r Regime) String() string {
+	switch r {
+	case RegimeZero:
+		return "N-"
+	case RegimeInterior:
+		return "interior"
+	case RegimeCapped:
+		return "N+"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// PathPoint is one solved point of the equilibrium path.
+type PathPoint struct {
+	Param   float64 // the swept parameter value (price or cap)
+	Eq      Equilibrium
+	Regimes []Regime // per-CP regime at this point
+}
+
+// RegimeChange records a CP crossing a partition boundary between two
+// consecutive grid points.
+type RegimeChange struct {
+	CP       int
+	Between  [2]float64 // parameter interval bracketing the crossing
+	From, To Regime
+}
+
+// Path is a traced equilibrium path.
+type Path struct {
+	Points  []PathPoint
+	Changes []RegimeChange
+}
+
+// regimesOf classifies the profile into per-CP regimes.
+func (g *Game) regimesOf(s []float64) []Regime {
+	part := g.Classify(s)
+	out := make([]Regime, g.N())
+	for i := range out {
+		out[i] = RegimeInterior
+	}
+	for _, i := range part.Zero {
+		out[i] = RegimeZero
+	}
+	for _, i := range part.Capped {
+		out[i] = RegimeCapped
+	}
+	return out
+}
+
+// Trace traces the equilibrium path over a parameter grid, warm-starting
+// each solve from the previous equilibrium and reporting every regime
+// change. mk builds the game at a parameter value — sweep the price with
+// mk := func(p) { return New(sys, p, q) }, or the policy cap symmetrically.
+func Trace(mk func(param float64) (*Game, error), grid []float64) (Path, error) {
+	if len(grid) == 0 {
+		return Path{}, fmt.Errorf("game: empty trace grid")
+	}
+	var path Path
+	var warm []float64
+	var prevRegimes []Regime
+	for _, p := range grid {
+		g, err := mk(p)
+		if err != nil {
+			return Path{}, err
+		}
+		eq, err := g.SolveNash(Options{Initial: warm})
+		if err != nil {
+			return Path{}, fmt.Errorf("game: trace at %g: %w", p, err)
+		}
+		warm = eq.S
+		regs := g.regimesOf(eq.S)
+		path.Points = append(path.Points, PathPoint{Param: p, Eq: eq, Regimes: regs})
+		if prevRegimes != nil {
+			for i := range regs {
+				if regs[i] != prevRegimes[i] {
+					path.Changes = append(path.Changes, RegimeChange{
+						CP:      i,
+						Between: [2]float64{path.Points[len(path.Points)-2].Param, p},
+						From:    prevRegimes[i],
+						To:      regs[i],
+					})
+				}
+			}
+		}
+		prevRegimes = regs
+	}
+	return path, nil
+}
+
+// MaxStep returns the largest sup-norm movement of the subsidy profile
+// between consecutive points — a smoothness diagnostic for the traced path
+// (Theorem 6 predicts small steps inside regimes).
+func (p Path) MaxStep() float64 {
+	worst := 0.0
+	for k := 1; k < len(p.Points); k++ {
+		a, b := p.Points[k-1].Eq.S, p.Points[k].Eq.S
+		for i := range a {
+			if d := math.Abs(b[i] - a[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// ChangesFor filters the regime changes of one CP.
+func (p Path) ChangesFor(cp int) []RegimeChange {
+	var out []RegimeChange
+	for _, c := range p.Changes {
+		if c.CP == cp {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package game
+
+import (
+	"testing"
+)
+
+func TestTraceDetectsRegimeChanges(t *testing.T) {
+	// On the paper's eight-CP grid with a binding cap (q = 0.45, below the
+	// profitable CPs' unconstrained optima), sweeping the price from near 0
+	// to 2 moves CPs between the cap and the interior — Figure 8's
+	// qualitative story of subsidies pinned at q for small p.
+	sys := eightCP()
+	grid := make([]float64, 21)
+	for i := range grid {
+		grid[i] = 0.05 + float64(i)*(1.95/20)
+	}
+	path, err := Trace(func(p float64) (*Game, error) { return New(sys, p, 0.45) }, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path.Points) != len(grid) {
+		t.Fatalf("points: %d", len(path.Points))
+	}
+	if len(path.Changes) == 0 {
+		t.Fatal("expected at least one regime change across the price sweep")
+	}
+	// Capped CPs at the cheapest price must exist (Figure 8: most CPs pinned
+	// at q for small p).
+	firstCapped := 0
+	for _, r := range path.Points[0].Regimes {
+		if r == RegimeCapped {
+			firstCapped++
+		}
+	}
+	if firstCapped == 0 {
+		t.Fatal("no CP pinned at the cap at the cheapest price")
+	}
+	// Regimes recorded in changes must match the adjacent points.
+	for _, c := range path.Changes {
+		if c.From == c.To {
+			t.Fatalf("degenerate change: %+v", c)
+		}
+	}
+}
+
+func TestTraceSmoothInsideRegimes(t *testing.T) {
+	// A fine grid must produce a small max step (differentiability of the
+	// path per Theorem 6; steps concentrate at regime boundaries).
+	sys := threeCP()
+	grid := make([]float64, 41)
+	for i := range grid {
+		grid[i] = 0.5 + float64(i)*0.02
+	}
+	path, err := Trace(func(p float64) (*Game, error) { return New(sys, p, 1) }, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step := path.MaxStep(); step > 0.1 {
+		t.Fatalf("path jumps by %v on a 0.02 grid; expected near-continuity", step)
+	}
+}
+
+func TestTraceOverPolicyCap(t *testing.T) {
+	// Sweeping q instead of p: capped CPs must follow the cap upward
+	// (∂s/∂q = 1 on N⁺) until they go interior.
+	sys := threeCP()
+	grid := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3}
+	path, err := Trace(func(q float64) (*Game, error) { return New(sys, 1, q) }, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CP 0 (video, v=1) caps out at small q.
+	if path.Points[0].Regimes[0] != RegimeCapped {
+		t.Fatalf("video CP should be capped at q=0.1, got %v", path.Points[0].Regimes[0])
+	}
+	// And is interior by q=1.3 (its unconstrained optimum is ≈0.74).
+	last := path.Points[len(path.Points)-1]
+	if last.Regimes[0] != RegimeInterior {
+		t.Fatalf("video CP should be interior at q=1.3, got %v", last.Regimes[0])
+	}
+	if len(path.ChangesFor(0)) == 0 {
+		t.Fatal("expected a regime change for the video CP")
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := Trace(func(p float64) (*Game, error) { return New(threeCP(), p, 1) }, nil); err == nil {
+		t.Fatal("empty grid must error")
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if RegimeZero.String() != "N-" || RegimeCapped.String() != "N+" || RegimeInterior.String() != "interior" {
+		t.Fatal("regime labels changed")
+	}
+	if Regime(99).String() == "" {
+		t.Fatal("unknown regime should render")
+	}
+}

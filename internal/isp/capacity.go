@@ -1,0 +1,79 @@
+package isp
+
+import (
+	"fmt"
+	"math"
+
+	"neutralnet/internal/model"
+	"neutralnet/internal/numeric"
+)
+
+// This file implements the paper's declared future-work direction (§6):
+// the ISP's capacity-planning decision. With subsidization raising
+// utilization and revenue, the ISP trades off revenue against a linear
+// capacity cost c·µ and picks (p, µ) jointly.
+
+// CapacityPlanResult is the outcome of a joint (price, capacity) search.
+type CapacityPlanResult struct {
+	Mu      float64 // chosen capacity
+	P       float64 // revenue-optimal price at Mu
+	Revenue float64
+	Profit  float64 // Revenue − c·Mu
+	Outcome Outcome // full equilibrium outcome at (P, Mu)
+}
+
+// CapacityPlan maximizes the ISP's profit R(p; µ) − cost·µ over
+// µ ∈ [muLo, muHi] and p ∈ [0, pHi], under policy cap q. For each candidate
+// µ the inner problem reuses OptimalPrice; the outer problem is solved by
+// grid scan plus golden refinement, mirroring the paper's observation that
+// higher utilization strengthens the investment incentive.
+//
+// The System is copied internally; the caller's instance is not mutated.
+func CapacityPlan(sys *model.System, q, cost, muLo, muHi, pHi float64, gridPts int) (CapacityPlanResult, error) {
+	if muHi <= muLo || muLo <= 0 {
+		return CapacityPlanResult{}, fmt.Errorf("isp: invalid capacity interval [%g, %g]", muLo, muHi)
+	}
+	if cost < 0 {
+		return CapacityPlanResult{}, fmt.Errorf("isp: negative capacity cost %g", cost)
+	}
+	if gridPts < 3 {
+		gridPts = 13
+	}
+	profitAt := func(mu float64) (CapacityPlanResult, error) {
+		cp := *sys
+		cp.Mu = mu
+		pStar, out, err := OptimalPrice(&cp, q, 0, pHi, 17)
+		if err != nil {
+			return CapacityPlanResult{}, err
+		}
+		return CapacityPlanResult{
+			Mu: mu, P: pStar, Revenue: out.Revenue,
+			Profit: out.Revenue - cost*mu, Outcome: out,
+		}, nil
+	}
+
+	best := CapacityPlanResult{Profit: math.Inf(-1)}
+	h := (muHi - muLo) / float64(gridPts-1)
+	for i := 0; i < gridPts; i++ {
+		res, err := profitAt(muLo + float64(i)*h)
+		if err != nil {
+			return CapacityPlanResult{}, err
+		}
+		if res.Profit > best.Profit {
+			best = res
+		}
+	}
+	lo := math.Max(muLo, best.Mu-h)
+	hi := math.Min(muHi, best.Mu+h)
+	muStar, _ := numeric.MinimizeGolden(func(mu float64) float64 {
+		res, err := profitAt(mu)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return -res.Profit
+	}, lo, hi, 1e-4)
+	if res, err := profitAt(muStar); err == nil && res.Profit > best.Profit {
+		best = res
+	}
+	return best, nil
+}

@@ -1,0 +1,53 @@
+package isp
+
+import (
+	"testing"
+)
+
+func TestCapacityPlanValidation(t *testing.T) {
+	sys := market()
+	if _, err := CapacityPlan(sys, 1, 0.1, 2, 1, 2, 5); err == nil {
+		t.Fatal("want error for inverted capacity interval")
+	}
+	if _, err := CapacityPlan(sys, 1, -0.1, 0.5, 2, 2, 5); err == nil {
+		t.Fatal("want error for negative cost")
+	}
+}
+
+func TestCapacityPlanProfitConsistency(t *testing.T) {
+	sys := market()
+	res, err := CapacityPlan(sys, 1, 0.1, 0.5, 3, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mu < 0.5 || res.Mu > 3 {
+		t.Fatalf("chosen capacity %v escaped the interval", res.Mu)
+	}
+	if got, want := res.Profit, res.Revenue-0.1*res.Mu; got != want {
+		t.Fatalf("profit %v, want revenue−cost·µ = %v", got, want)
+	}
+	// The caller's system must not be mutated.
+	if sys.Mu != 1 {
+		t.Fatalf("CapacityPlan mutated the input system: µ=%v", sys.Mu)
+	}
+}
+
+func TestDeregulationRaisesChosenCapacity(t *testing.T) {
+	// The paper's investment-incentive story: subsidization raises revenue
+	// per unit capacity, so the profit-maximizing network is larger.
+	sys := market()
+	base, err := CapacityPlan(sys, 0, 0.1, 0.25, 4, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dereg, err := CapacityPlan(sys, 1.5, 0.1, 0.25, 4, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dereg.Mu < base.Mu-1e-6 {
+		t.Fatalf("deregulation shrank the network: µ %v -> %v", base.Mu, dereg.Mu)
+	}
+	if dereg.Profit < base.Profit-1e-8 {
+		t.Fatalf("deregulation cut ISP profit: %v -> %v", base.Profit, dereg.Profit)
+	}
+}

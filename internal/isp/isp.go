@@ -1,0 +1,144 @@
+// Package isp implements §5.1 of the paper — the access ISP's decisions on
+// top of the subsidization game: revenue under the CPs' equilibrium response
+// R(p) = p·Σ_i m_i(p − s_i(p))·λ_i(φ(s(p))), the marginal-revenue
+// factorization of Theorem 7, revenue-optimal pricing, and (as the paper's
+// stated future-work extension, §6) capacity planning against a linear
+// capacity cost.
+package isp
+
+import (
+	"fmt"
+	"math"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+	"neutralnet/internal/numeric"
+)
+
+// Outcome is the ISP-relevant summary of an equilibrium at a given price.
+type Outcome struct {
+	P       float64
+	Eq      game.Equilibrium
+	Revenue float64
+	Welfare float64
+}
+
+// Solve computes the equilibrium outcome at price p under policy cap q. A
+// warm-start subsidy profile may be supplied to accelerate sweeps (pass nil
+// for a cold start).
+func Solve(sys *model.System, p, q float64, warm []float64) (Outcome, error) {
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		return Outcome{}, err
+	}
+	eq, err := g.SolveNash(game.Options{Initial: warm})
+	if err != nil {
+		return Outcome{}, fmt.Errorf("isp: equilibrium at p=%g q=%g: %w", p, q, err)
+	}
+	return Outcome{P: p, Eq: eq, Revenue: g.Revenue(eq.State), Welfare: g.Welfare(eq.State)}, nil
+}
+
+// Revenue returns R(p) under the CPs' equilibrium response at policy cap q.
+func Revenue(sys *model.System, p, q float64) (float64, error) {
+	out, err := Solve(sys, p, q, nil)
+	if err != nil {
+		return 0, err
+	}
+	return out.Revenue, nil
+}
+
+// MarginalRevenue evaluates Theorem 7's factorized marginal revenue at the
+// equilibrium eq of the game at price p:
+//
+//	dR/dp = Σ_i θ_i + Υ·Σ_i ε^mi_p·θ_i,
+//	Υ = 1 + Σ_j ε^λj_mj,
+//	ε^mi_p = (p/m_i)·(dm_i/dt_i)·(1 − ∂s_i/∂p).
+//
+// The subsidy response ∂s_i/∂p comes from the Theorem 6 sensitivity; with
+// q = 0 (one-sided pricing) it vanishes and the formula reduces to the §3.2
+// case.
+func MarginalRevenue(sys *model.System, p, q float64, eq game.Equilibrium) (float64, error) {
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		return 0, err
+	}
+	sens, err := g.SensitivityAt(eq.S)
+	if err != nil {
+		return 0, err
+	}
+	st := eq.State
+	sumTheta := st.TotalThroughput()
+	ups := sys.Upsilon(st.Phi, st.M)
+	demandTerm := 0.0
+	for i, cp := range sys.CPs {
+		if st.M[i] == 0 {
+			continue
+		}
+		ti := p - eq.S[i]
+		eMP := p / st.M[i] * cp.Demand.DM(ti) * (1 - sens.DsDp[i])
+		demandTerm += eMP * st.Theta[i]
+	}
+	return sumTheta + ups*demandTerm, nil
+}
+
+// MarginalRevenueNumeric cross-checks Theorem 7 by central-differencing the
+// full equilibrium revenue R(p). h ≤ 0 selects 1e-4.
+func MarginalRevenueNumeric(sys *model.System, p, q, h float64) (float64, error) {
+	if h <= 0 {
+		h = 1e-4
+	}
+	rp, err := Revenue(sys, p+h, q)
+	if err != nil {
+		return 0, err
+	}
+	rm, err := Revenue(sys, p-h, q)
+	if err != nil {
+		return 0, err
+	}
+	return (rp - rm) / (2 * h), nil
+}
+
+// OptimalPrice finds the revenue-maximizing price on [pLo, pHi] under policy
+// cap q, scanning gridPts points (0 selects 25) with warm-started equilibria
+// and refining with golden-section search. It returns the optimal price and
+// the outcome there.
+func OptimalPrice(sys *model.System, q, pLo, pHi float64, gridPts int) (float64, Outcome, error) {
+	if gridPts < 3 {
+		gridPts = 25
+	}
+	if pHi <= pLo {
+		return 0, Outcome{}, fmt.Errorf("isp: empty price interval [%g, %g]", pLo, pHi)
+	}
+	var warm []float64
+	bestP, bestR := pLo, math.Inf(-1)
+	h := (pHi - pLo) / float64(gridPts-1)
+	for i := 0; i < gridPts; i++ {
+		p := pLo + float64(i)*h
+		out, err := Solve(sys, p, q, warm)
+		if err != nil {
+			return 0, Outcome{}, err
+		}
+		warm = out.Eq.S
+		if out.Revenue > bestR {
+			bestP, bestR = p, out.Revenue
+		}
+	}
+	lo := math.Max(pLo, bestP-h)
+	hi := math.Min(pHi, bestP+h)
+	f := func(p float64) float64 {
+		out, err := Solve(sys, p, q, warm)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return -out.Revenue
+	}
+	pStar, negR := numeric.MinimizeGolden(f, lo, hi, 1e-6)
+	if -negR < bestR {
+		pStar = bestP
+	}
+	out, err := Solve(sys, pStar, q, warm)
+	if err != nil {
+		return 0, Outcome{}, err
+	}
+	return pStar, out, nil
+}

@@ -1,0 +1,139 @@
+package isp
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+func market() *model.System {
+	mk := func(a, b, v float64) model.CP {
+		return model.CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	return &model.System{
+		CPs:  []model.CP{mk(5, 2, 1), mk(2, 5, 0.5), mk(3, 3, 0.8)},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+}
+
+func TestSolveOutcome(t *testing.T) {
+	out, err := Solve(market(), 0.8, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Revenue <= 0 || out.Welfare <= 0 {
+		t.Fatalf("degenerate outcome: %+v", out)
+	}
+	if math.Abs(out.Revenue-0.8*out.Eq.State.TotalThroughput()) > 1e-12 {
+		t.Fatal("revenue identity broken")
+	}
+}
+
+func TestMarginalRevenueMatchesNumericOneSided(t *testing.T) {
+	// q = 0: Theorem 7 must reduce to the §3.2 one-sided formula.
+	sys := market()
+	p := 0.7
+	out, err := Solve(sys, p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := MarginalRevenue(sys, p, 0, out.Eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numeric, err := MarginalRevenueNumeric(sys, p, 0, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(analytic-numeric) > 1e-3*math.Max(1, math.Abs(numeric)) {
+		t.Fatalf("Theorem 7 (q=0): analytic %v vs numeric %v", analytic, numeric)
+	}
+}
+
+func TestMarginalRevenueMatchesNumericWithSubsidies(t *testing.T) {
+	sys := market()
+	p, q := 0.9, 0.6
+	out, err := Solve(sys, p, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := MarginalRevenue(sys, p, q, out.Eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numeric, err := MarginalRevenueNumeric(sys, p, q, 2e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analytic form leans on the Theorem 6 sensitivities; 2% agreement
+	// confirms the factorization without demanding FD-exactness.
+	if math.Abs(analytic-numeric) > 2e-2*math.Max(1, math.Abs(numeric)) {
+		t.Fatalf("Theorem 7 (q=%v): analytic %v vs numeric %v", q, analytic, numeric)
+	}
+}
+
+func TestOptimalPriceIsInteriorPeak(t *testing.T) {
+	sys := market()
+	pStar, out, err := OptimalPrice(sys, 1, 0.05, 2.5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pStar <= 0.05 || pStar >= 2.5 {
+		t.Fatalf("expected interior optimum, got p*=%v", pStar)
+	}
+	// Neighbors must not beat it.
+	for _, dp := range []float64{-0.05, 0.05} {
+		r, err := Revenue(sys, pStar+dp, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r > out.Revenue+1e-6 {
+			t.Fatalf("p*=%v (R=%v) beaten by p=%v (R=%v)", pStar, out.Revenue, pStar+dp, r)
+		}
+	}
+}
+
+func TestOptimalPriceBadInterval(t *testing.T) {
+	if _, _, err := OptimalPrice(market(), 1, 2, 1, 9); err == nil {
+		t.Fatal("want error for empty interval")
+	}
+}
+
+func TestRevenueRisesWithPolicyCap(t *testing.T) {
+	// Corollary 1 at the ISP level: under fixed price, more subsidization
+	// freedom means weakly more revenue.
+	sys := market()
+	prev := -1.0
+	for _, q := range []float64{0, 0.4, 0.8, 1.2, 1.6} {
+		r, err := Revenue(sys, 1, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < prev-1e-8 {
+			t.Fatalf("revenue fell from %v to %v at q=%v", prev, r, q)
+		}
+		prev = r
+	}
+}
+
+func TestWarmStartConsistency(t *testing.T) {
+	sys := market()
+	cold, err := Solve(sys, 0.9, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solve(sys, 0.9, 1, cold.Eq.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cold.Revenue-warm.Revenue) > 1e-8 {
+		t.Fatal("warm-started solve drifted")
+	}
+}

@@ -1,0 +1,171 @@
+package isp
+
+import (
+	"fmt"
+	"math"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+)
+
+// This file implements Theorem 8: the effect of the regulatory policy q on
+// the system state when the ISP's price response p(q) is taken into account.
+// The full chain is
+//
+//	dt_i/dq = (1 − ∂s_i/∂p)·dp/dq − ∂s_i/∂q          (eq. 15 inner term)
+//	dm_i/dq = (dm_i/dt_i)·dt_i/dq                     (eq. 15)
+//	dφ/dq   = (dg/dφ)⁻¹·Σ_i (dm_i/dq)·λ_i            (eq. 16)
+//	dλ_i/dq = (dλ_i/dφ)·dφ/dq                         (eq. 16)
+//
+// and CP i's throughput rises with q iff condition (17):
+// ε^mi_ti·ε^ti_q / ε^λi_φ < −ε^φ_q.
+
+// PriceResponse models the ISP's differentiable price reaction p(q). The
+// reproduction ships two: FixedPrice (the Corollary 1 regime of a
+// competitive or regulated access market) and RevenueOptimalResponse (a
+// monopolist re-optimizing after each policy change).
+type PriceResponse interface {
+	// Price returns p(q).
+	Price(q float64) (float64, error)
+}
+
+// FixedPrice is the constant response p(q) ≡ P.
+type FixedPrice struct{ P float64 }
+
+// Price implements PriceResponse.
+func (f FixedPrice) Price(float64) (float64, error) { return f.P, nil }
+
+// RevenueOptimalResponse re-solves the monopolist's revenue-optimal price on
+// [0, PMax] for each q (GridPts ≤ 0 selects 17).
+type RevenueOptimalResponse struct {
+	Sys     *model.System
+	PMax    float64
+	GridPts int
+}
+
+// Price implements PriceResponse.
+func (r RevenueOptimalResponse) Price(q float64) (float64, error) {
+	pts := r.GridPts
+	if pts <= 0 {
+		pts = 17
+	}
+	p, _, err := OptimalPrice(r.Sys, q, 1e-3, r.PMax, pts)
+	return p, err
+}
+
+// PolicyEffect is the Theorem 8 derivative bundle at a policy level q.
+type PolicyEffect struct {
+	Q    float64
+	P    float64 // p(q)
+	DpDq float64 // the ISP's price response slope
+
+	Eq   game.Equilibrium
+	Sens game.Sensitivity
+
+	DtDq   []float64 // dt_i/dq, per CP
+	DmDq   []float64 // dm_i/dq (eq. 15)
+	DPhiDq float64   // dφ/dq (eq. 16)
+	DLamDq []float64 // dλ_i/dq (eq. 16)
+	DThDq  []float64 // dθ_i/dq = (dm_i/dq)λ_i + m_i·dλ_i/dq
+
+	// Rises17 records condition (17) per CP: whether θ_i increases with q.
+	Rises17 []bool
+}
+
+// PolicyEffectAt evaluates Theorem 8 at q for the given price response,
+// estimating dp/dq by central differences of pr.Price (h ≤ 0 selects 1e-3).
+func PolicyEffectAt(sys *model.System, pr PriceResponse, q, h float64) (PolicyEffect, error) {
+	if h <= 0 {
+		h = 1e-3
+	}
+	p, err := pr.Price(q)
+	if err != nil {
+		return PolicyEffect{}, err
+	}
+	pPlus, err := pr.Price(q + h)
+	if err != nil {
+		return PolicyEffect{}, err
+	}
+	qm := math.Max(0, q-h)
+	pMinus, err := pr.Price(qm)
+	if err != nil {
+		return PolicyEffect{}, err
+	}
+	dpdq := (pPlus - pMinus) / (q + h - qm)
+
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		return PolicyEffect{}, err
+	}
+	eq, err := g.SolveNash(game.Options{Tol: 1e-11})
+	if err != nil {
+		return PolicyEffect{}, fmt.Errorf("isp: Theorem 8 equilibrium at q=%g: %w", q, err)
+	}
+	sens, err := g.SensitivityAt(eq.S)
+	if err != nil {
+		return PolicyEffect{}, err
+	}
+
+	n := sys.N()
+	pe := PolicyEffect{
+		Q: q, P: p, DpDq: dpdq, Eq: eq, Sens: sens,
+		DtDq:    make([]float64, n),
+		DmDq:    make([]float64, n),
+		DLamDq:  make([]float64, n),
+		DThDq:   make([]float64, n),
+		Rises17: make([]bool, n),
+	}
+	st := eq.State
+	// dφ/dq = (dg/dφ)⁻¹ Σ dm_i/dq·λ_i  (eq. 16).
+	sum := 0.0
+	for i, cp := range sys.CPs {
+		pe.DtDq[i] = (1-sens.DsDp[i])*dpdq - sens.DsDq[i] // eq. 15 inner term
+		pe.DmDq[i] = cp.Demand.DM(p-eq.S[i]) * pe.DtDq[i] // eq. 15
+		sum += pe.DmDq[i] * cp.Throughput.Lambda(st.Phi)
+	}
+	pe.DPhiDq = sum / sys.GapDerivative(st.Phi, st.M)
+	for i, cp := range sys.CPs {
+		pe.DLamDq[i] = cp.Throughput.DLambda(st.Phi) * pe.DPhiDq // eq. 16
+		pe.DThDq[i] = pe.DmDq[i]*cp.Throughput.Lambda(st.Phi) + st.M[i]*pe.DLamDq[i]
+		pe.Rises17[i] = pe.condition17(sys, i)
+	}
+	return pe, nil
+}
+
+// condition17 evaluates ε^mi_ti·ε^ti_q / ε^λi_φ < −ε^φ_q for CP i at the
+// solved state. Both ε^λ_φ and ε^m_t are negative by Assumptions 1-2; the
+// measure-zero degenerate states return false.
+func (pe PolicyEffect) condition17(sys *model.System, i int) bool {
+	st := pe.Eq.State
+	cp := sys.CPs[i]
+	ti := pe.P - pe.Eq.S[i]
+	mi := st.M[i]
+	if mi == 0 || st.Phi == 0 || ti == 0 || pe.Q == 0 {
+		// Elasticities lose meaning at the boundary; fall back to the
+		// derivative sign directly.
+		return pe.DThDq[i] > 0
+	}
+	eMT := cp.Demand.DM(ti) * ti / mi
+	eTQ := pe.DtDq[i] * pe.Q / ti
+	lam := cp.Throughput.Lambda(st.Phi)
+	if lam == 0 {
+		return false
+	}
+	eLP := cp.Throughput.DLambda(st.Phi) * st.Phi / lam
+	ePQ := pe.DPhiDq * pe.Q / st.Phi
+	if eLP == 0 {
+		return false
+	}
+	return eMT*eTQ/eLP < -ePQ
+}
+
+// MarginalWelfareDq returns dW/dq under the price response by
+// differentiating Σ v_i θ_i with the Theorem 8 pieces:
+// dW/dq = Σ v_i (dθ_i/dq).
+func (pe PolicyEffect) MarginalWelfareDq(sys *model.System) float64 {
+	w := 0.0
+	for i, cp := range sys.CPs {
+		w += cp.Value * pe.DThDq[i]
+	}
+	return w
+}

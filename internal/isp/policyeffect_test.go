@@ -1,0 +1,144 @@
+package isp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPolicyEffectFixedPriceMatchesFiniteDifference(t *testing.T) {
+	// Under a fixed price, Theorem 8 reduces to the Corollary 1 regime:
+	// dφ/dq from the formula must match re-solved finite differences.
+	sys := market()
+	q := 0.6
+	pe, err := PolicyEffectAt(sys, FixedPrice{P: 1}, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.DpDq != 0 {
+		t.Fatalf("fixed price must have dp/dq = 0, got %v", pe.DpDq)
+	}
+	h := 2e-4
+	outP, err := Solve(sys, 1, q+h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outM, err := Solve(sys, 1, q-h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := (outP.Eq.State.Phi - outM.Eq.State.Phi) / (2 * h)
+	if math.Abs(pe.DPhiDq-fd) > 2e-2*math.Max(1, math.Abs(fd)) {
+		t.Fatalf("dφ/dq analytic %v vs FD %v", pe.DPhiDq, fd)
+	}
+	// Per-CP throughput derivatives vs finite differences.
+	for i := range sys.CPs {
+		fdTh := (outP.Eq.State.Theta[i] - outM.Eq.State.Theta[i]) / (2 * h)
+		if math.Abs(pe.DThDq[i]-fdTh) > 3e-2*math.Max(0.1, math.Abs(fdTh)) {
+			t.Fatalf("dθ_%d/dq analytic %v vs FD %v", i, pe.DThDq[i], fdTh)
+		}
+	}
+}
+
+func TestPolicyEffectCorollary1Signs(t *testing.T) {
+	// Fixed price: dφ/dq ≥ 0 (Corollary 1) wherever some CP is capped or
+	// interior.
+	sys := market()
+	for _, q := range []float64{0.2, 0.6, 1.0} {
+		pe, err := PolicyEffectAt(sys, FixedPrice{P: 1}, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pe.DPhiDq < -1e-9 {
+			t.Fatalf("dφ/dq = %v < 0 at q=%v under fixed price", pe.DPhiDq, q)
+		}
+	}
+}
+
+func TestCondition17MatchesDerivativeSign(t *testing.T) {
+	sys := market()
+	pe, err := PolicyEffectAt(sys, FixedPrice{P: 1}, 0.6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.CPs {
+		if math.Abs(pe.DThDq[i]) < 1e-8 {
+			continue // sign too ambiguous to test
+		}
+		if pe.Rises17[i] != (pe.DThDq[i] > 0) {
+			t.Fatalf("condition (17) disagrees with dθ_%d/dq = %v", i, pe.DThDq[i])
+		}
+	}
+}
+
+// rampResponse is a smooth synthetic price response p(q) = P0 − Slope·q used
+// to validate the full Theorem 8 chain (price reaction + subsidy reaction)
+// against re-solved finite differences.
+type rampResponse struct{ P0, Slope float64 }
+
+func (r rampResponse) Price(q float64) (float64, error) { return r.P0 - r.Slope*q, nil }
+
+func TestPolicyEffectWithPriceResponseMatchesFD(t *testing.T) {
+	sys := market()
+	q := 0.6
+	pr := rampResponse{P0: 1.1, Slope: 0.2}
+	pe, err := PolicyEffectAt(sys, pr, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pe.DpDq+0.2) > 1e-9 {
+		t.Fatalf("dp/dq = %v, want −0.2", pe.DpDq)
+	}
+	h := 2e-4
+	phiAt := func(qq float64) (float64, []float64) {
+		p, _ := pr.Price(qq)
+		out, err := Solve(sys, p, qq, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Eq.State.Phi, out.Eq.State.Theta
+	}
+	phiP, thP := phiAt(q + h)
+	phiM, thM := phiAt(q - h)
+	fdPhi := (phiP - phiM) / (2 * h)
+	if math.Abs(pe.DPhiDq-fdPhi) > 3e-2*math.Max(0.1, math.Abs(fdPhi)) {
+		t.Fatalf("dφ/dq with price response: analytic %v vs FD %v", pe.DPhiDq, fdPhi)
+	}
+	for i := range sys.CPs {
+		fdTh := (thP[i] - thM[i]) / (2 * h)
+		if math.Abs(pe.DThDq[i]-fdTh) > 5e-2*math.Max(0.05, math.Abs(fdTh)) {
+			t.Fatalf("dθ_%d/dq with price response: analytic %v vs FD %v", i, pe.DThDq[i], fdTh)
+		}
+	}
+}
+
+func TestPolicyEffectWithMonopolyResponse(t *testing.T) {
+	// Smoke check of the §5.2 monopoly regime: the machinery must produce a
+	// finite in-range price and derivatives. (Welfare comparisons across
+	// regimes are level questions, not derivative questions — see the
+	// price-regulation example for those.)
+	sys := market()
+	mono, err := PolicyEffectAt(sys, RevenueOptimalResponse{Sys: sys, PMax: 2, GridPts: 13}, 0.6, 5e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.P <= 0 || mono.P >= 2 {
+		t.Fatalf("monopoly price %v out of range", mono.P)
+	}
+	for i, d := range mono.DThDq {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("dθ_%d/dq is not finite: %v", i, d)
+		}
+	}
+}
+
+func TestPolicyEffectAtZeroCap(t *testing.T) {
+	// q = 0 is the boundary; the machinery must not blow up there.
+	sys := market()
+	pe, err := PolicyEffectAt(sys, FixedPrice{P: 1}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pe.DThDq) != sys.N() {
+		t.Fatalf("shape: %+v", pe)
+	}
+}

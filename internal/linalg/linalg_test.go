@@ -1,0 +1,273 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, -1, 0.5}
+	if got := v.Add(w); got[0] != 5 || got[1] != 1 || got[2] != 3.5 {
+		t.Fatalf("Add: %v", got)
+	}
+	if got := v.Sub(w); got[0] != -3 || got[1] != 3 || got[2] != 2.5 {
+		t.Fatalf("Sub: %v", got)
+	}
+	if got := v.Scale(2); got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Fatalf("Scale: %v", got)
+	}
+	if got := v.Dot(w); got != 4-2+1.5 {
+		t.Fatalf("Dot: %v", got)
+	}
+	if got := v.NormInf(); got != 3 {
+		t.Fatalf("NormInf: %v", got)
+	}
+	if got := v.Norm2(); math.Abs(got-math.Sqrt(14)) > 1e-15 {
+		t.Fatalf("Norm2: %v", got)
+	}
+	if got := v.Sum(); got != 6 {
+		t.Fatalf("Sum: %v", got)
+	}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestVectorDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Vector{1}.Add(Vector{1, 2})
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v", m.At(1, 0))
+	}
+	tr := m.Transpose()
+	if tr.At(0, 1) != 3 {
+		t.Fatalf("Transpose: %v", tr)
+	}
+	id := Identity(2)
+	if got := m.Mul(id); got.At(0, 0) != 1 || got.At(1, 1) != 4 {
+		t.Fatalf("M·I != M: %v", got)
+	}
+	v := m.MulVec(Vector{1, 1})
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("MulVec: %v", v)
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestMatrixMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want.At(i, j) {
+				t.Fatalf("Mul mismatch at (%d,%d): %v", i, j, c)
+			}
+		}
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := m.Submatrix([]int{0, 2}, []int{1, 2})
+	if s.At(0, 0) != 2 || s.At(1, 1) != 9 || s.At(1, 0) != 8 {
+		t.Fatalf("Submatrix: %v", s)
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	b := Vector{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vector{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factorize(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestLUNeedsPivoting(t *testing.T) {
+	// Zero pivot in the (0,0) position forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, Vector{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 5 || x[1] != 3 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestDetKnown(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, 2, 0}, {0, 0, -4}})
+	if d := Det(a); math.Abs(d+24) > 1e-12 {
+		t.Fatalf("det = %v, want -24", d)
+	}
+	// Permutation sign: swapping rows flips determinant sign.
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	if d := Det(b); math.Abs(d+1) > 1e-12 {
+		t.Fatalf("det = %v, want -1", d)
+	}
+	if d := Det(FromRows([][]float64{{1, 2}, {2, 4}})); d != 0 {
+		t.Fatalf("singular det = %v, want 0", d)
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(6)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := rng.Float64()*2 - 1
+					a.Set(i, j, v)
+					rowSum += math.Abs(v)
+				}
+			}
+			a.Set(i, i, rowSum+0.5+rng.Float64()) // diagonally dominant ⇒ nonsingular
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := a.Mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(prod.At(i, j)-want) > 1e-9 {
+					t.Fatalf("iter %d: A·A⁻¹ deviates at (%d,%d): %v", iter, i, j, prod.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestSolveQuick(t *testing.T) {
+	// Property: for random 3×3 diagonally dominant A and random x,
+	// Solve(A, A·x) recovers x.
+	rng := rand.New(rand.NewSource(11))
+	prop := func() bool {
+		a := NewMatrix(3, 3)
+		for i := 0; i < 3; i++ {
+			s := 0.0
+			for j := 0; j < 3; j++ {
+				if i != j {
+					v := rng.Float64()*4 - 2
+					a.Set(i, j, v)
+					s += math.Abs(v)
+				}
+			}
+			a.Set(i, i, s+1)
+		}
+		x := Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+		b := a.MulVec(x)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return got.Sub(x).NormInf() < 1e-9
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPMatrix(t *testing.T) {
+	if !IsPMatrix(Identity(4)) {
+		t.Fatal("identity must be a P-matrix")
+	}
+	// Classic P-matrix (positive diagonal, small off-diagonals).
+	p := FromRows([][]float64{{2, -1}, {-1, 2}})
+	if !IsPMatrix(p) {
+		t.Fatal("2x2 M-matrix must be a P-matrix")
+	}
+	// Negative principal minor.
+	np := FromRows([][]float64{{-1, 0}, {0, 2}})
+	if IsPMatrix(np) {
+		t.Fatal("matrix with negative diagonal entry is not a P-matrix")
+	}
+	// Positive diagonal but negative 2x2 minor.
+	np2 := FromRows([][]float64{{1, 3}, {3, 1}})
+	if IsPMatrix(np2) {
+		t.Fatal("det = -8 < 0 must fail the P test")
+	}
+	if IsPMatrix(NewMatrix(2, 3)) {
+		t.Fatal("non-square cannot be a P-matrix")
+	}
+}
+
+func TestIsZAndMMatrix(t *testing.T) {
+	m := FromRows([][]float64{{2, -0.5, 0}, {-0.3, 2, -0.4}, {0, -0.2, 2}})
+	if !IsZMatrix(m, 0) {
+		t.Fatal("off-diagonals are nonpositive: Z-matrix expected")
+	}
+	if !IsMMatrix(m, 0) {
+		t.Fatal("diagonally dominant Z-matrix with positive diagonal is an M-matrix")
+	}
+	inv, err := Inverse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EntrywiseNonnegative(inv, 1e-12) {
+		t.Fatal("M-matrix inverse must be entrywise nonnegative (Corollary 1's lever)")
+	}
+	notZ := FromRows([][]float64{{2, 0.1}, {0, 2}})
+	if IsZMatrix(notZ, 0) {
+		t.Fatal("positive off-diagonal should fail the Z test")
+	}
+}
+
+func TestDiagonalDominance(t *testing.T) {
+	if !IsStrictlyDiagonallyDominant(FromRows([][]float64{{3, 1}, {-1, 2.5}})) {
+		t.Fatal("expected dominant")
+	}
+	if IsStrictlyDiagonallyDominant(FromRows([][]float64{{1, 2}, {0, 1}})) {
+		t.Fatal("row 0 is not dominant")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	s := FromRows([][]float64{{1, 2}}).String()
+	if s == "" {
+		t.Fatal("String should render something")
+	}
+}

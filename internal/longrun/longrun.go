@@ -1,0 +1,153 @@
+// Package longrun operationalizes the paper's long-term claim: "as the ISPs
+// improve profit margins from higher utilization, they will have more
+// incentives to expand capacities so as to accommodate more traffic and
+// relieve congestion in the long term" (§4.2, §6). It simulates a
+// multi-epoch investment process — each epoch the ISP observes its
+// equilibrium profit and adjusts capacity along the marginal-profit
+// gradient — and reports the capacity trajectory and its steady state, with
+// and without subsidization.
+package longrun
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+)
+
+// Config parameterizes the investment simulation.
+type Config struct {
+	P       float64 // fixed usage price (competitive/regulated access market)
+	Q       float64 // subsidization cap
+	Cost    float64 // capacity cost per unit per epoch
+	Eta     float64 // investment step along dProfit/dµ (0 → 0.5)
+	Epochs  int     // horizon (0 → 200)
+	MuMin   float64 // lower capacity bound (0 → 0.05)
+	MuMax   float64 // upper capacity bound (0 → 50)
+	StopTol float64 // |Δµ| tolerance declaring steady state (0 → 1e-6)
+	FDStep  float64 // finite-difference step for dProfit/dµ (0 → 1e-4)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Eta <= 0 {
+		c.Eta = 0.5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.MuMin <= 0 {
+		c.MuMin = 0.05
+	}
+	if c.MuMax <= 0 {
+		c.MuMax = 50
+	}
+	if c.StopTol <= 0 {
+		c.StopTol = 1e-6
+	}
+	if c.FDStep <= 0 {
+		c.FDStep = 1e-4
+	}
+	return c
+}
+
+// Epoch is one period's outcome.
+type Epoch struct {
+	Mu      float64
+	Phi     float64
+	Revenue float64
+	Profit  float64 // Revenue − Cost·Mu
+}
+
+// Trajectory is the simulated investment path.
+type Trajectory struct {
+	Epochs     []Epoch
+	SteadyMu   float64
+	Steady     bool // reached |Δµ| < StopTol before the horizon
+	FinalState model.State
+}
+
+// Simulate runs the investment process from initial capacity mu0 on a copy
+// of the system (the caller's instance is not mutated).
+func Simulate(sys *model.System, mu0 float64, cfg Config) (Trajectory, error) {
+	if err := sys.Validate(); err != nil {
+		return Trajectory{}, err
+	}
+	if mu0 <= 0 {
+		return Trajectory{}, fmt.Errorf("longrun: initial capacity %g must be positive", mu0)
+	}
+	cfg = cfg.withDefaults()
+
+	var warm []float64
+	profitAt := func(mu float64) (float64, game.Equilibrium, error) {
+		cp := *sys
+		cp.Mu = mu
+		g, err := game.New(&cp, cfg.P, cfg.Q)
+		if err != nil {
+			return 0, game.Equilibrium{}, err
+		}
+		eq, err := g.SolveNash(game.Options{Initial: warm})
+		if err != nil {
+			return 0, game.Equilibrium{}, err
+		}
+		warm = eq.S
+		return g.Revenue(eq.State) - cfg.Cost*mu, eq, nil
+	}
+
+	mu := mu0
+	var tr Trajectory
+	for t := 0; t < cfg.Epochs; t++ {
+		profit, eq, err := profitAt(mu)
+		if err != nil {
+			return tr, fmt.Errorf("longrun: epoch %d: %w", t, err)
+		}
+		tr.Epochs = append(tr.Epochs, Epoch{
+			Mu: mu, Phi: eq.State.Phi,
+			Revenue: profit + cfg.Cost*mu, Profit: profit,
+		})
+		tr.FinalState = eq.State
+
+		// Marginal profit by central differences (re-solving equilibria).
+		h := cfg.FDStep * math.Max(1, mu)
+		pp, _, err := profitAt(mu + h)
+		if err != nil {
+			return tr, err
+		}
+		pm, _, err := profitAt(math.Max(cfg.MuMin, mu-h))
+		if err != nil {
+			return tr, err
+		}
+		grad := (pp - pm) / (mu + h - math.Max(cfg.MuMin, mu-h))
+		next := mu + cfg.Eta*grad
+		next = math.Min(cfg.MuMax, math.Max(cfg.MuMin, next))
+		if math.Abs(next-mu) < cfg.StopTol {
+			tr.Steady = true
+			tr.SteadyMu = next
+			return tr, nil
+		}
+		mu = next
+	}
+	tr.SteadyMu = mu
+	return tr, nil
+}
+
+// CompareInvestment runs the investment process with subsidization off
+// (q = 0) and on (q), returning both trajectories — the paper's claim is
+// that the deregulated steady-state capacity is larger.
+func CompareInvestment(sys *model.System, mu0 float64, cfg Config) (base, dereg Trajectory, err error) {
+	cfgBase := cfg
+	cfgBase.Q = 0
+	base, err = Simulate(sys, mu0, cfgBase)
+	if err != nil {
+		return Trajectory{}, Trajectory{}, err
+	}
+	dereg, err = Simulate(sys, mu0, cfg)
+	if err != nil {
+		return Trajectory{}, Trajectory{}, err
+	}
+	return base, dereg, nil
+}
+
+// ErrNoEpochs is reserved for future streaming variants.
+var ErrNoEpochs = errors.New("longrun: no epochs simulated")

@@ -1,0 +1,66 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"neutralnet/internal/econ"
+)
+
+// This file operationalizes Lemma 2: CPs with the same φ-elasticity of
+// throughput can be merged into a single representative CP without changing
+// the system utilization or anyone else's throughput. The paper uses this to
+// justify modeling a handful of CP *types* instead of thousands of CPs; the
+// helper below performs the merge for the exponential family, where "same
+// elasticity" means equal β.
+
+// ErrNotAggregable is returned when the CPs do not share the traffic
+// characteristics Lemma 2 requires.
+var ErrNotAggregable = errors.New("model: CPs not aggregable under Lemma 2")
+
+// AggregateExp merges a set of exponential-family CPs with identical β
+// (same φ-elasticity −βφ) and identical demand curves into one
+// representative CP following Lemma 2: the merged peak throughput satisfies
+// m·λ(0) = Σ m_i·λ_i(0) with a unit population scale, so the merged CP can
+// stand in for the group at any utilization. The merged Value is the
+// throughput-weighted average of the group's values, preserving the welfare
+// Σ v_i θ_i at equal utilization.
+func AggregateExp(cps []CP) (CP, error) {
+	if len(cps) == 0 {
+		return CP{}, fmt.Errorf("%w: empty group", ErrNotAggregable)
+	}
+	first, ok := cps[0].Throughput.(econ.ExpThroughput)
+	if !ok {
+		return CP{}, fmt.Errorf("%w: throughput %T is not exponential", ErrNotAggregable, cps[0].Throughput)
+	}
+	firstD, ok := cps[0].Demand.(econ.ExpDemand)
+	if !ok {
+		return CP{}, fmt.Errorf("%w: demand %T is not exponential", ErrNotAggregable, cps[0].Demand)
+	}
+	totalPeak := 0.0
+	weightedValue := 0.0
+	for _, cp := range cps {
+		th, ok := cp.Throughput.(econ.ExpThroughput)
+		if !ok || th.Beta != first.Beta {
+			return CP{}, fmt.Errorf("%w: mixed β", ErrNotAggregable)
+		}
+		d, ok := cp.Demand.(econ.ExpDemand)
+		if !ok || d.Alpha != firstD.Alpha {
+			return CP{}, fmt.Errorf("%w: mixed demand α", ErrNotAggregable)
+		}
+		// Lemma 2 invariant: contribution to throughput at any φ is
+		// m_i(t)·λ_i(φ) = Scale_i·e^{−αt}·Peak_i·e^{−βφ}; groups add in
+		// Scale·Peak.
+		totalPeak += d.Scale * th.Peak
+		weightedValue += d.Scale * th.Peak * cp.Value
+	}
+	if totalPeak == 0 {
+		return CP{}, fmt.Errorf("%w: zero aggregate traffic", ErrNotAggregable)
+	}
+	return CP{
+		Name:       fmt.Sprintf("agg(%d cps)", len(cps)),
+		Demand:     econ.ExpDemand{Alpha: firstD.Alpha, Scale: 1},
+		Throughput: econ.ExpThroughput{Beta: first.Beta, Peak: totalPeak},
+		Value:      weightedValue / totalPeak,
+	}, nil
+}

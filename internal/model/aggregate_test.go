@@ -1,0 +1,80 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+)
+
+func TestAggregateExpPreservesUtilization(t *testing.T) {
+	// Lemma 2 end-to-end: a system with a group of same-(α,β) CPs and a
+	// bystander must have the same utilization and bystander throughput
+	// after merging the group.
+	group := []CP{
+		{Demand: econ.ExpDemand{Alpha: 3, Scale: 0.4}, Throughput: econ.ExpThroughput{Beta: 2, Peak: 1.5}, Value: 1},
+		{Demand: econ.ExpDemand{Alpha: 3, Scale: 0.9}, Throughput: econ.ExpThroughput{Beta: 2, Peak: 0.5}, Value: 0.5},
+		{Demand: econ.ExpDemand{Alpha: 3, Scale: 0.2}, Throughput: econ.ExpThroughput{Beta: 2, Peak: 2.0}, Value: 0.8},
+	}
+	bystander := CP{Demand: econ.NewExpDemand(5), Throughput: econ.NewExpThroughput(4), Value: 1}
+
+	full := &System{CPs: append(append([]CP(nil), group...), bystander), Mu: 1, Util: econ.LinearUtilization{}}
+	merged, err := AggregateExp(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact := &System{CPs: []CP{merged, bystander}, Mu: 1, Util: econ.LinearUtilization{}}
+
+	p := 0.7
+	stFull, err := full.SolveOneSided(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stCompact, err := compact.SolveOneSided(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stFull.Phi-stCompact.Phi) > 1e-9 {
+		t.Fatalf("utilization changed: %v vs %v", stFull.Phi, stCompact.Phi)
+	}
+	// Bystander unaffected.
+	if math.Abs(stFull.Theta[3]-stCompact.Theta[1]) > 1e-9 {
+		t.Fatalf("bystander throughput changed: %v vs %v", stFull.Theta[3], stCompact.Theta[1])
+	}
+	// Group total preserved.
+	groupTotal := stFull.Theta[0] + stFull.Theta[1] + stFull.Theta[2]
+	if math.Abs(groupTotal-stCompact.Theta[0]) > 1e-9 {
+		t.Fatalf("group throughput changed: %v vs %v", groupTotal, stCompact.Theta[0])
+	}
+	// Welfare preserved (value is throughput-weighted).
+	wFull := 1*stFull.Theta[0] + 0.5*stFull.Theta[1] + 0.8*stFull.Theta[2]
+	wCompact := merged.Value * stCompact.Theta[0]
+	if math.Abs(wFull-wCompact) > 1e-9 {
+		t.Fatalf("group welfare changed: %v vs %v", wFull, wCompact)
+	}
+}
+
+func TestAggregateExpRejectsMixedGroups(t *testing.T) {
+	mixedBeta := []CP{
+		{Demand: econ.NewExpDemand(3), Throughput: econ.NewExpThroughput(2), Value: 1},
+		{Demand: econ.NewExpDemand(3), Throughput: econ.NewExpThroughput(5), Value: 1},
+	}
+	if _, err := AggregateExp(mixedBeta); !errors.Is(err, ErrNotAggregable) {
+		t.Fatal("mixed β must be rejected")
+	}
+	mixedAlpha := []CP{
+		{Demand: econ.NewExpDemand(3), Throughput: econ.NewExpThroughput(2), Value: 1},
+		{Demand: econ.NewExpDemand(4), Throughput: econ.NewExpThroughput(2), Value: 1},
+	}
+	if _, err := AggregateExp(mixedAlpha); !errors.Is(err, ErrNotAggregable) {
+		t.Fatal("mixed α must be rejected")
+	}
+	if _, err := AggregateExp(nil); !errors.Is(err, ErrNotAggregable) {
+		t.Fatal("empty group must be rejected")
+	}
+	notExp := []CP{{Demand: econ.NewExpDemand(1), Throughput: econ.RationalThroughput{Beta: 1, Peak: 1}, Value: 1}}
+	if _, err := AggregateExp(notExp); !errors.Is(err, ErrNotAggregable) {
+		t.Fatal("non-exponential throughput must be rejected")
+	}
+}

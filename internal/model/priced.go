@@ -1,0 +1,89 @@
+package model
+
+// This file implements §3.2: one-sided ISP pricing. Under net neutrality the
+// ISP charges a uniform per-unit price p to end-users, so every CP faces
+// t_i = p (no subsidies). Populations become m_i(p), utilization φ(p), and
+// the price effect of Theorem 2 follows.
+
+// PopulationsAt returns m_i(t_i) for the per-CP effective prices t.
+func (s *System) PopulationsAt(t []float64) []float64 {
+	m := make([]float64, len(s.CPs))
+	for i, cp := range s.CPs {
+		m[i] = cp.Demand.M(t[i])
+	}
+	return m
+}
+
+// UniformPrices returns the effective price vector t_i = p for all CPs.
+func (s *System) UniformPrices(p float64) []float64 {
+	t := make([]float64, len(s.CPs))
+	for i := range t {
+		t[i] = p
+	}
+	return t
+}
+
+// SolveOneSided solves the one-sided pricing state at uniform price p:
+// populations m(p), utilization φ(p), throughputs θ_i(p).
+func (s *System) SolveOneSided(p float64) (State, error) {
+	return s.Solve(s.PopulationsAt(s.UniformPrices(p)))
+}
+
+// DPhiDP returns ∂φ/∂p = (dg/dφ)⁻¹·Σ_k (dm_k/dp)·λ_k ≤ 0 (equation 5),
+// evaluated at the solved one-sided state.
+func (s *System) DPhiDP(p float64, st State) float64 {
+	sum := 0.0
+	for _, cp := range s.CPs {
+		sum += cp.Demand.DM(p) * cp.Throughput.Lambda(st.Phi)
+	}
+	return sum / s.GapDerivative(st.Phi, st.M)
+}
+
+// DThetaDP returns ∂θ_i/∂p = (dm_i/dp)·λ_i + m_i·(dλ_i/dφ)·(∂φ/∂p)
+// (Theorem 2) for CP i at the solved one-sided state.
+func (s *System) DThetaDP(i int, p float64, st State) float64 {
+	cp := s.CPs[i]
+	return cp.Demand.DM(p)*cp.Throughput.Lambda(st.Phi) +
+		st.M[i]*cp.Throughput.DLambda(st.Phi)*s.DPhiDP(p, st)
+}
+
+// DAggregateThetaDP returns dθ/dp = Σ_i ∂θ_i/∂p ≤ 0, equation (6) of
+// Theorem 2 in its direct (summed) form.
+func (s *System) DAggregateThetaDP(p float64, st State) float64 {
+	d := 0.0
+	for i := range s.CPs {
+		d += s.DThetaDP(i, p, st)
+	}
+	return d
+}
+
+// PriceElasticityOfM returns ε^mi_p = (dm_i/dp)·(p/m_i) at uniform price p.
+func (s *System) PriceElasticityOfM(i int, p float64, st State) float64 {
+	if st.M[i] == 0 {
+		return 0
+	}
+	return s.CPs[i].Demand.DM(p) * p / st.M[i]
+}
+
+// PriceElasticityOfPhi returns ε^φ_p = (∂φ/∂p)·(p/φ).
+func (s *System) PriceElasticityOfPhi(p float64, st State) float64 {
+	if st.Phi == 0 {
+		return 0
+	}
+	return s.DPhiDP(p, st) * p / st.Phi
+}
+
+// ThroughputRisesWithPrice evaluates condition (7) of Theorem 2:
+// θ_i increases with p iff ε^mi_p / ε^λi_φ < −ε^φ_p. For the exponential
+// family this reduces to condition (8): (α_i p)/(β_i φ) < Σ α_j θ_j /
+// (µ + Σ β_k θ_k).
+func (s *System) ThroughputRisesWithPrice(i int, p float64, st State) bool {
+	lamE := s.PhiElasticityOfLambda(i, st.Phi)
+	if lamE == 0 {
+		return false
+	}
+	return s.PriceElasticityOfM(i, p, st)/lamE < -s.PriceElasticityOfPhi(p, st)
+}
+
+// Revenue returns the ISP's one-sided revenue R = p·Σ θ_i at the state.
+func Revenue(p float64, st State) float64 { return p * st.TotalThroughput() }

@@ -1,0 +1,146 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/numeric"
+)
+
+func TestSolveOneSidedPopulations(t *testing.T) {
+	sys := testSystem(1, [3]float64{2, 3, 1}, [3]float64{4, 1, 1})
+	p := 0.8
+	st, err := sys.SolveOneSided(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cp := range sys.CPs {
+		if want := cp.Demand.M(p); st.M[i] != want {
+			t.Fatalf("population %d: %v, want %v", i, st.M[i], want)
+		}
+	}
+}
+
+func TestTheorem2PriceEffectSigns(t *testing.T) {
+	sys := testSystem(1, [3]float64{1, 5, 1}, [3]float64{5, 1, 1}, [3]float64{3, 3, 1})
+	for _, p := range []float64{0.2, 0.8, 1.5} {
+		st, err := sys.SolveOneSided(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.DPhiDP(p, st); got > 0 {
+			t.Fatalf("∂φ/∂p = %v at p=%v, must be ≤ 0 (eq. 5)", got, p)
+		}
+		if got := sys.DAggregateThetaDP(p, st); got > 0 {
+			t.Fatalf("dθ/dp = %v at p=%v, must be ≤ 0 (eq. 6)", got, p)
+		}
+	}
+}
+
+func TestTheorem2AgainstFiniteDifferences(t *testing.T) {
+	sys := testSystem(1, [3]float64{1, 5, 1}, [3]float64{5, 1, 1})
+	p := 0.6
+	st, err := sys.SolveOneSided(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phiAt := func(pp float64) float64 {
+		s, err := sys.SolveOneSided(pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Phi
+	}
+	want := numeric.Derivative(phiAt, p, 1e-6)
+	if got := sys.DPhiDP(p, st); math.Abs(got-want) > 1e-5*math.Max(1, math.Abs(want)) {
+		t.Fatalf("∂φ/∂p closed form %v vs numeric %v", got, want)
+	}
+	for i := range sys.CPs {
+		thetaAt := func(pp float64) float64 {
+			s, err := sys.SolveOneSided(pp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s.Theta[i]
+		}
+		want := numeric.Derivative(thetaAt, p, 1e-6)
+		if got := sys.DThetaDP(i, p, st); math.Abs(got-want) > 1e-4*math.Max(1, math.Abs(want)) {
+			t.Fatalf("∂θ_%d/∂p closed form %v vs numeric %v", i, got, want)
+		}
+	}
+}
+
+func TestCondition7MatchesDerivativeSign(t *testing.T) {
+	// Condition (7) must agree with the sign of the actual derivative for
+	// every CP on the paper's 9-type grid across prices.
+	var params [][3]float64
+	for _, a := range []float64{1, 3, 5} {
+		for _, b := range []float64{1, 3, 5} {
+			params = append(params, [3]float64{a, b, 1})
+		}
+	}
+	sys := testSystem(1, params...)
+	for _, p := range []float64{0.1, 0.4, 1.0, 2.0} {
+		st, err := sys.SolveOneSided(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sys.CPs {
+			d := sys.DThetaDP(i, p, st)
+			cond := sys.ThroughputRisesWithPrice(i, p, st)
+			if cond != (d > 0) && math.Abs(d) > 1e-10 {
+				t.Fatalf("condition (7) mismatch for CP %d at p=%v: cond=%v, dθ/dp=%v", i, p, cond, d)
+			}
+		}
+	}
+}
+
+func TestCondition8ExponentialForm(t *testing.T) {
+	// For the exponential family, condition (7) specializes to (8):
+	// (α_i p)/(β_i φ) < Σ α_j θ_j / (µ + Σ β_k θ_k).
+	var params [][3]float64
+	alphas := []float64{1, 3, 5}
+	betas := []float64{5, 3, 1}
+	for k := range alphas {
+		params = append(params, [3]float64{alphas[k], betas[k], 1})
+	}
+	sys := testSystem(1, params...)
+	p := 0.3
+	st, err := sys.SolveOneSided(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, den := 0.0, sys.Mu
+	for i := range sys.CPs {
+		num += alphas[i] * st.Theta[i]
+		den += betas[i] * st.Theta[i]
+	}
+	rhs := num / den
+	for i := range sys.CPs {
+		lhs := alphas[i] * p / (betas[i] * st.Phi)
+		want := lhs < rhs
+		if got := sys.ThroughputRisesWithPrice(i, p, st); got != want {
+			t.Fatalf("condition (8) disagreement for CP %d: got %v, closed form %v", i, got, want)
+		}
+	}
+}
+
+func TestRevenueIdentity(t *testing.T) {
+	sys := testSystem(1, [3]float64{2, 2, 1})
+	p := 0.7
+	st, err := sys.SolveOneSided(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := Revenue(p, st), p*st.TotalThroughput(); got != want {
+		t.Fatalf("revenue %v, want %v", got, want)
+	}
+}
+
+func TestUniformPrices(t *testing.T) {
+	sys := testSystem(1, [3]float64{1, 1, 1}, [3]float64{2, 2, 1})
+	tvec := sys.UniformPrices(1.5)
+	if len(tvec) != 2 || tvec[0] != 1.5 || tvec[1] != 1.5 {
+		t.Fatalf("UniformPrices: %v", tvec)
+	}
+}

@@ -1,0 +1,76 @@
+package model
+
+// This file implements the closed-form comparative statics of Theorem 1
+// (capacity and user effect). Each formula is the appendix derivation of the
+// paper, expressed in terms of the gap derivative dg/dφ; the package tests
+// cross-check every one of them against numerical differentiation of the
+// re-solved fixed point.
+
+// DPhiDMu returns ∂φ/∂µ = −(dg/dφ)⁻¹·∂Θ/∂µ (equation 3), evaluated at the
+// solved utilization phi for populations m. It is strictly negative:
+// capacity expansion relieves utilization.
+func (s *System) DPhiDMu(phi float64, m []float64) float64 {
+	return -s.Util.DThetaDMu(phi, s.Mu) / s.GapDerivative(phi, m)
+}
+
+// DPhiDM returns ∂φ/∂m_i = (dg/dφ)⁻¹·λ_i (equation 4): one extra user of CP
+// i raises utilization in proportion to that CP's per-user throughput.
+func (s *System) DPhiDM(i int, phi float64, m []float64) float64 {
+	return s.CPs[i].Throughput.Lambda(phi) / s.GapDerivative(phi, m)
+}
+
+// DThetaDMu returns ∂θ_i/∂µ = m_i·(dλ_i/dφ)·(∂φ/∂µ) > 0 (Theorem 1):
+// every CP's throughput rises with capacity.
+func (s *System) DThetaDMu(i int, phi float64, m []float64) float64 {
+	return m[i] * s.CPs[i].Throughput.DLambda(phi) * s.DPhiDMu(phi, m)
+}
+
+// DThetaDM returns ∂θ_i/∂m_j (Theorem 1). For j = i it is
+// λ_i + m_i·(dλ_i/dφ)·(∂φ/∂m_i) > 0; for j ≠ i it is
+// m_i·(dλ_i/dφ)·(∂φ/∂m_j) < 0 — the negative network externality.
+func (s *System) DThetaDM(i, j int, phi float64, m []float64) float64 {
+	dphi := s.DPhiDM(j, phi, m)
+	d := m[i] * s.CPs[i].Throughput.DLambda(phi) * dphi
+	if i == j {
+		d += s.CPs[i].Throughput.Lambda(phi)
+	}
+	return d
+}
+
+// PhiElasticityOfLambda returns ε^λi_φ, the utilization-elasticity of CP i's
+// per-user throughput at phi (Definition 2); for the paper's exponential
+// family it equals −β_i·φ.
+func (s *System) PhiElasticityOfLambda(i int, phi float64) float64 {
+	cp := s.CPs[i]
+	lam := cp.Throughput.Lambda(phi)
+	if lam == 0 {
+		return 0
+	}
+	return cp.Throughput.DLambda(phi) * phi / lam
+}
+
+// MElasticityOfPhi returns ε^φ_mi = (∂φ/∂m_i)·(m_i/φ), the population
+// elasticity of utilization used by the Theorem 3 threshold and by the
+// factorization (14) of Theorem 7.
+func (s *System) MElasticityOfPhi(i int, phi float64, m []float64) float64 {
+	if phi == 0 {
+		return 0
+	}
+	return s.DPhiDM(i, phi, m) * m[i] / phi
+}
+
+// LambdaMElasticity returns ε^λj_mj = ε^φ_mj·ε^λj_φ, the decomposition (14)
+// used by Υ in Theorem 7: m_j·(dλ_j/dφ)·(dg/dφ)⁻¹.
+func (s *System) LambdaMElasticity(j int, phi float64, m []float64) float64 {
+	return m[j] * s.CPs[j].Throughput.DLambda(phi) / s.GapDerivative(phi, m)
+}
+
+// Upsilon returns Υ = 1 + Σ_j ε^λj_mj of Theorem 7, the physical factor that
+// scales the demand-side term of the ISP's marginal revenue.
+func (s *System) Upsilon(phi float64, m []float64) float64 {
+	u := 1.0
+	for j := range s.CPs {
+		u += s.LambdaMElasticity(j, phi, m)
+	}
+	return u
+}

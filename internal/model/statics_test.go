@@ -1,0 +1,146 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"neutralnet/internal/numeric"
+)
+
+// solveAt re-solves utilization for perturbed inputs; helper for
+// finite-difference cross-checks of the closed-form statics.
+func solvePhi(t *testing.T, sys *System, m []float64) float64 {
+	t.Helper()
+	phi, err := sys.SolveUtilization(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return phi
+}
+
+func TestTheorem1CapacityEffect(t *testing.T) {
+	sys := testSystem(1.3, [3]float64{2, 3, 1}, [3]float64{4, 1, 1})
+	m := []float64{0.7, 0.9}
+	phi := solvePhi(t, sys, m)
+
+	got := sys.DPhiDMu(phi, m)
+	if got >= 0 {
+		t.Fatalf("∂φ/∂µ = %v, must be negative (Theorem 1)", got)
+	}
+	want := numeric.Derivative(func(mu float64) float64 {
+		s2 := *sys
+		s2.Mu = mu
+		return solvePhi(t, &s2, m)
+	}, sys.Mu, 1e-6)
+	if math.Abs(got-want) > 1e-5*math.Max(1, math.Abs(want)) {
+		t.Fatalf("∂φ/∂µ closed form %v vs numeric %v", got, want)
+	}
+}
+
+func TestTheorem1UserEffect(t *testing.T) {
+	sys := testSystem(1, [3]float64{1, 2, 1}, [3]float64{3, 4, 1}, [3]float64{5, 1, 1})
+	m := []float64{0.5, 0.8, 0.3}
+	phi := solvePhi(t, sys, m)
+
+	for i := range sys.CPs {
+		got := sys.DPhiDM(i, phi, m)
+		if got <= 0 {
+			t.Fatalf("∂φ/∂m_%d = %v, must be positive", i, got)
+		}
+		want := numeric.Derivative(func(mi float64) float64 {
+			m2 := append([]float64(nil), m...)
+			m2[i] = mi
+			return solvePhi(t, sys, m2)
+		}, m[i], 1e-6)
+		if math.Abs(got-want) > 1e-5*math.Max(1, math.Abs(want)) {
+			t.Fatalf("∂φ/∂m_%d closed form %v vs numeric %v", i, got, want)
+		}
+	}
+
+	// Proportionality: ∂φ/∂m_i : ∂φ/∂m_j = λ_i : λ_j (paper's remark).
+	r01 := sys.DPhiDM(0, phi, m) / sys.DPhiDM(1, phi, m)
+	l01 := sys.CPs[0].Throughput.Lambda(phi) / sys.CPs[1].Throughput.Lambda(phi)
+	if math.Abs(r01-l01) > 1e-9 {
+		t.Fatalf("user-impact proportionality broken: %v vs %v", r01, l01)
+	}
+}
+
+func TestTheorem1ThroughputEffects(t *testing.T) {
+	sys := testSystem(1, [3]float64{2, 2, 1}, [3]float64{4, 5, 1})
+	m := []float64{0.6, 0.7}
+	phi := solvePhi(t, sys, m)
+
+	thetaAt := func(i int, m2 []float64) float64 {
+		p := solvePhi(t, sys, m2)
+		return m2[i] * sys.CPs[i].Throughput.Lambda(p)
+	}
+
+	for i := range sys.CPs {
+		// ∂θ_i/∂µ > 0.
+		if got := sys.DThetaDMu(i, phi, m); got <= 0 {
+			t.Fatalf("∂θ_%d/∂µ = %v, must be positive", i, got)
+		}
+		for j := range sys.CPs {
+			got := sys.DThetaDM(i, j, phi, m)
+			want := numeric.Derivative(func(mj float64) float64 {
+				m2 := append([]float64(nil), m...)
+				m2[j] = mj
+				return thetaAt(i, m2)
+			}, m[j], 1e-6)
+			if math.Abs(got-want) > 1e-4*math.Max(1, math.Abs(want)) {
+				t.Fatalf("∂θ_%d/∂m_%d closed form %v vs numeric %v", i, j, got, want)
+			}
+			if i == j && got <= 0 {
+				t.Fatalf("own-population effect must be positive, got %v", got)
+			}
+			if i != j && got >= 0 {
+				t.Fatalf("cross-population effect must be negative, got %v", got)
+			}
+		}
+	}
+}
+
+func TestElasticityHelpers(t *testing.T) {
+	sys := testSystem(1, [3]float64{2, 3, 1})
+	m := []float64{0.9}
+	phi := solvePhi(t, sys, m)
+	// Exponential family: ε^λ_φ = −βφ.
+	if got := sys.PhiElasticityOfLambda(0, phi); math.Abs(got+3*phi) > 1e-9 {
+		t.Fatalf("ε^λ_φ = %v, want %v", got, -3*phi)
+	}
+	// Υ = 1 + Σ ε^λ_m must be in (0, 1] for this family (negative addends).
+	ups := sys.Upsilon(phi, m)
+	if ups <= 0 || ups > 1 {
+		t.Fatalf("Υ = %v out of expected range", ups)
+	}
+	// Decomposition (14): ε^λj_mj = ε^φ_mj·ε^λj_φ.
+	lhs := sys.LambdaMElasticity(0, phi, m)
+	rhs := sys.MElasticityOfPhi(0, phi, m) * sys.PhiElasticityOfLambda(0, phi)
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Fatalf("factorization (14) broken: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestTheorem1RandomBattery(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 40; iter++ {
+		n := 1 + rng.Intn(4)
+		params := make([][3]float64, n)
+		m := make([]float64, n)
+		for i := range params {
+			params[i] = [3]float64{0.5 + 4*rng.Float64(), 0.5 + 4*rng.Float64(), 1}
+			m[i] = 0.1 + rng.Float64()
+		}
+		sys := testSystem(0.5+1.5*rng.Float64(), params...)
+		phi := solvePhi(t, sys, m)
+		if sys.DPhiDMu(phi, m) >= 0 {
+			t.Fatalf("iter %d: capacity effect sign", iter)
+		}
+		for i := 0; i < n; i++ {
+			if sys.DPhiDM(i, phi, m) <= 0 {
+				t.Fatalf("iter %d: user effect sign", iter)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package model implements the paper's macroscopic Internet model (§3): the
+// basic physical system (m, µ) whose utilization is the unique fixed point of
+// Definition 1, the comparative statics of Theorem 1, and the one-sided
+// ISP-pricing layer of §3.2 with the price-effect statics of Theorem 2.
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/numeric"
+)
+
+// CP describes one content provider (or, by Lemma 2, an aggregate of CPs
+// with similar traffic characteristics): its user-demand curve, its per-user
+// throughput curve, and its average per-unit traffic profit v.
+type CP struct {
+	// Name identifies the CP in reports, e.g. "α=2 β=5 v=1".
+	Name string
+	// Demand is the population curve m(t) of Assumption 2.
+	Demand econ.Demand
+	// Throughput is the per-user throughput curve λ(φ) of Assumption 1.
+	Throughput econ.Throughput
+	// Value is the CP's average per-unit traffic profit v_i (used by the
+	// subsidization game and the welfare metric W = Σ v_i θ_i).
+	Value float64
+}
+
+// System is the basic physical model (m, µ) of §3.1: a set of CPs sharing an
+// access network of capacity Mu under a utilization map Util.
+type System struct {
+	CPs  []CP
+	Mu   float64
+	Util econ.Utilization
+}
+
+// ErrNoSolution is returned when the utilization fixed point cannot be
+// bracketed (which Assumption 1 rules out for well-formed inputs).
+var ErrNoSolution = errors.New("model: utilization fixed point not found")
+
+// Validate checks the structural preconditions of the model.
+func (s *System) Validate() error {
+	if len(s.CPs) == 0 {
+		return errors.New("model: system has no CPs")
+	}
+	if s.Mu <= 0 {
+		return fmt.Errorf("model: capacity must be positive, got %g", s.Mu)
+	}
+	if s.Util == nil {
+		return errors.New("model: system has no utilization map")
+	}
+	for i, cp := range s.CPs {
+		if cp.Demand == nil || cp.Throughput == nil {
+			return fmt.Errorf("model: CP %d (%s) missing demand or throughput curve", i, cp.Name)
+		}
+	}
+	return nil
+}
+
+// N returns the number of CPs.
+func (s *System) N() int { return len(s.CPs) }
+
+// Gap evaluates the throughput gap g(φ) = Θ(φ, µ) − Σ_k m_k λ_k(φ) for the
+// given populations. By Lemma 1, g is strictly increasing and its unique
+// root is the system utilization.
+func (s *System) Gap(phi float64, m []float64) float64 {
+	demand := 0.0
+	for k, cp := range s.CPs {
+		demand += m[k] * cp.Throughput.Lambda(phi)
+	}
+	return s.Util.Theta(phi, s.Mu) - demand
+}
+
+// GapDerivative evaluates dg/dφ = ∂Θ/∂φ − Σ_k m_k dλ_k/dφ (equation 2),
+// which is strictly positive and normalizes every comparative static in the
+// paper.
+func (s *System) GapDerivative(phi float64, m []float64) float64 {
+	d := s.Util.DThetaDPhi(phi, s.Mu)
+	for k, cp := range s.CPs {
+		d -= m[k] * cp.Throughput.DLambda(phi)
+	}
+	return d
+}
+
+// SolveUtilization computes the unique system utilization φ(m, µ) of
+// Definition 1 / Lemma 1 by bracketing and root-finding on the gap function.
+func (s *System) SolveUtilization(m []float64) (float64, error) {
+	if len(m) != len(s.CPs) {
+		return 0, fmt.Errorf("model: got %d populations for %d CPs", len(m), len(s.CPs))
+	}
+	total := 0.0
+	for _, mi := range m {
+		if mi < 0 {
+			return 0, fmt.Errorf("model: negative population %g", mi)
+		}
+		total += mi
+	}
+	if total == 0 {
+		return 0, nil // no demand, no utilization (limit θ→0 of Assumption 1)
+	}
+	g := func(phi float64) float64 { return s.Gap(phi, m) }
+	// g(0) = Θ(0,µ) − Σ m_k λ_k(0) = −Σ m_k λ_k(0) < 0 when demand exists.
+	if g(0) >= 0 {
+		return 0, nil
+	}
+	phi, err := numeric.SolveIncreasing(g, 0, 1)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNoSolution, err)
+	}
+	return phi, nil
+}
+
+// ThroughputAt returns θ_i = m_i·λ_i(φ) for every CP at utilization phi.
+func (s *System) ThroughputAt(phi float64, m []float64) []float64 {
+	th := make([]float64, len(s.CPs))
+	for i, cp := range s.CPs {
+		th[i] = m[i] * cp.Throughput.Lambda(phi)
+	}
+	return th
+}
+
+// Aggregate returns Σ θ_i.
+func Aggregate(theta []float64) float64 {
+	t := 0.0
+	for _, x := range theta {
+		t += x
+	}
+	return t
+}
+
+// State bundles the solved physical state of a system for given populations.
+type State struct {
+	Phi   float64   // system utilization (Definition 1)
+	M     []float64 // user populations
+	Theta []float64 // per-CP throughput θ_i = m_i λ_i(φ)
+}
+
+// Solve computes the full physical state for populations m.
+func (s *System) Solve(m []float64) (State, error) {
+	phi, err := s.SolveUtilization(m)
+	if err != nil {
+		return State{}, err
+	}
+	return State{Phi: phi, M: append([]float64(nil), m...), Theta: s.ThroughputAt(phi, m)}, nil
+}
+
+// TotalThroughput returns the aggregate throughput of the state.
+func (st State) TotalThroughput() float64 { return Aggregate(st.Theta) }

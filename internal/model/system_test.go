@@ -1,0 +1,227 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/numeric"
+)
+
+// testSystem builds a small exponential-family system.
+func testSystem(mu float64, params ...[3]float64) *System {
+	var cps []CP
+	for _, p := range params {
+		cps = append(cps, CP{
+			Name:       "cp",
+			Demand:     econ.NewExpDemand(p[0]),
+			Throughput: econ.NewExpThroughput(p[1]),
+			Value:      p[2],
+		})
+	}
+	return &System{CPs: cps, Mu: mu, Util: econ.LinearUtilization{}}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testSystem(1, [3]float64{1, 1, 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*System{
+		{Mu: 1, Util: econ.LinearUtilization{}},                                              // no CPs
+		{CPs: testSystem(1, [3]float64{1, 1, 1}).CPs, Mu: 0, Util: econ.LinearUtilization{}}, // zero capacity
+		{CPs: testSystem(1, [3]float64{1, 1, 1}).CPs, Mu: 1},                                 // nil utilization
+		{CPs: []CP{{Name: "x"}}, Mu: 1, Util: econ.LinearUtilization{}},                      // nil curves
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestSolveUtilizationSingleCPLambertForm(t *testing.T) {
+	// Single CP with Φ = θ/µ and λ = e^{−βφ}: the fixed point satisfies
+	// µφ·e^{βφ} = m, checkable without solving for φ explicitly.
+	sys := testSystem(1.5, [3]float64{1, 2, 1})
+	m := []float64{0.8}
+	phi, err := sys.SolveUtilization(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs := sys.Mu * phi * math.Exp(2*phi)
+	if math.Abs(lhs-m[0]) > 1e-9 {
+		t.Fatalf("fixed-point identity violated: µφe^{βφ} = %v, want %v", lhs, m[0])
+	}
+}
+
+func TestSolveUtilizationDefinition1(t *testing.T) {
+	// The solved φ must satisfy Definition 1: φ = Φ(Σ m_k λ_k(φ), µ).
+	sys := testSystem(2, [3]float64{1, 1, 1}, [3]float64{3, 2, 1}, [3]float64{5, 5, 1})
+	m := []float64{0.9, 0.5, 0.3}
+	phi, err := sys.SolveUtilization(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := 0.0
+	for i, cp := range sys.CPs {
+		agg += m[i] * cp.Throughput.Lambda(phi)
+	}
+	if back := sys.Util.Phi(agg, sys.Mu); math.Abs(back-phi) > 1e-9 {
+		t.Fatalf("Definition 1 violated: Φ(θ,µ) = %v, φ = %v", back, phi)
+	}
+}
+
+func TestSolveUtilizationZeroDemand(t *testing.T) {
+	sys := testSystem(1, [3]float64{1, 1, 1})
+	phi, err := sys.SolveUtilization([]float64{0})
+	if err != nil || phi != 0 {
+		t.Fatalf("zero demand: φ=%v err=%v", phi, err)
+	}
+}
+
+func TestSolveUtilizationErrors(t *testing.T) {
+	sys := testSystem(1, [3]float64{1, 1, 1})
+	if _, err := sys.SolveUtilization([]float64{1, 2}); err == nil {
+		t.Fatal("want dimension error")
+	}
+	if _, err := sys.SolveUtilization([]float64{-1}); err == nil {
+		t.Fatal("want negativity error")
+	}
+}
+
+func TestGapIsIncreasingAndBracketsRoot(t *testing.T) {
+	// Lemma 1's structure on a random battery of systems.
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(5)
+		params := make([][3]float64, n)
+		m := make([]float64, n)
+		for i := range params {
+			params[i] = [3]float64{0.5 + 4*rng.Float64(), 0.5 + 4*rng.Float64(), 1}
+			m[i] = rng.Float64() * 3
+		}
+		sys := testSystem(0.5+2*rng.Float64(), params...)
+		phi, err := sys.SolveUtilization(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := sys.Gap(phi, m); math.Abs(g) > 1e-7 {
+			t.Fatalf("iter %d: gap at solution %v", iter, g)
+		}
+		if d := sys.GapDerivative(phi, m); d <= 0 {
+			t.Fatalf("iter %d: dg/dφ = %v, must be positive (eq. 2)", iter, d)
+		}
+		// Strictly increasing across a grid.
+		prev := sys.Gap(0, m)
+		for k := 1; k <= 10; k++ {
+			cur := sys.Gap(float64(k)*0.4, m)
+			if cur <= prev {
+				t.Fatalf("iter %d: gap not increasing", iter)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestFixedPointCrossValidation(t *testing.T) {
+	// Solve Definition 1 also as a damped fixed point φ ← Φ(Σmλ(φ), µ) and
+	// compare with the gap-root path.
+	sys := testSystem(1, [3]float64{2, 3, 1}, [3]float64{4, 1, 1})
+	m := []float64{0.7, 0.4}
+	phiRoot, err := sys.SolveUtilization(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterMap := func(phi float64) float64 {
+		agg := 0.0
+		for i, cp := range sys.CPs {
+			agg += m[i] * cp.Throughput.Lambda(phi)
+		}
+		return sys.Util.Phi(agg, sys.Mu)
+	}
+	phiIter, ok := numeric.FixedPoint(iterMap, 0.5, 1e-12, 0.5, 10000)
+	if !ok {
+		t.Fatal("fixed-point iteration did not converge")
+	}
+	if math.Abs(phiRoot-phiIter) > 1e-8 {
+		t.Fatalf("root %v vs fixed-point %v", phiRoot, phiIter)
+	}
+}
+
+func TestLemma2Invariance(t *testing.T) {
+	// Replacing CP i by (m/κ, κλ(0)) with the same φ-elasticity leaves the
+	// utilization and everyone else's throughput unchanged.
+	base := testSystem(1, [3]float64{2, 3, 1}, [3]float64{4, 2, 1})
+	m := []float64{0.8, 0.5}
+	phi0, err := base.SolveUtilization(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0 := base.ThroughputAt(phi0, m)
+
+	for _, kappa := range []float64{0.5, 2, 7} {
+		scaled := testSystem(1, [3]float64{2, 3, 1}, [3]float64{4, 2, 1})
+		scaled.CPs[0].Throughput = econ.ExpThroughput{Beta: 3, Peak: kappa} // κ·λ(0), same elasticity −βφ
+		m2 := []float64{m[0] / kappa, m[1]}
+		phi1, err := scaled.SolveUtilization(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(phi1-phi0) > 1e-9 {
+			t.Fatalf("κ=%v: utilization changed %v -> %v (Lemma 2)", kappa, phi0, phi1)
+		}
+		st1 := scaled.ThroughputAt(phi1, m2)
+		if math.Abs(st1[1]-st0[1]) > 1e-9 {
+			t.Fatalf("κ=%v: other CP's throughput changed (Lemma 2)", kappa)
+		}
+		if math.Abs(st1[0]-st0[0]) > 1e-9 {
+			t.Fatalf("κ=%v: aggregated CP's total throughput changed", kappa)
+		}
+	}
+}
+
+func TestSolveStateAndAggregate(t *testing.T) {
+	sys := testSystem(1, [3]float64{1, 1, 1}, [3]float64{2, 2, 1})
+	st, err := sys.Solve([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Theta) != 2 || len(st.M) != 2 {
+		t.Fatalf("state shape: %+v", st)
+	}
+	if math.Abs(st.TotalThroughput()-Aggregate(st.Theta)) > 1e-15 {
+		t.Fatal("TotalThroughput disagrees with Aggregate")
+	}
+	// State must copy m, not alias it.
+	orig := []float64{0.5, 0.5}
+	st2, _ := sys.Solve(orig)
+	orig[0] = 99
+	if st2.M[0] == 99 {
+		t.Fatal("State.M aliases the caller's slice")
+	}
+}
+
+func TestUtilizationQuickMonotone(t *testing.T) {
+	// Property (Theorem 1 direction): more users ⇒ weakly higher φ;
+	// more capacity ⇒ weakly lower φ.
+	sys := testSystem(1, [3]float64{2, 2, 1})
+	prop := func(m8, mu8 uint8) bool {
+		m := 0.1 + float64(m8)/64
+		mu := 0.5 + float64(mu8)/64
+		s1 := testSystem(mu, [3]float64{2, 2, 1})
+		phi1, err1 := s1.SolveUtilization([]float64{m})
+		phi2, err2 := s1.SolveUtilization([]float64{m + 0.1})
+		s2 := testSystem(mu+0.5, [3]float64{2, 2, 1})
+		phi3, err3 := s2.SolveUtilization([]float64{m})
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return phi2 >= phi1-1e-12 && phi3 <= phi1+1e-12
+	}
+	_ = sys
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package montecarlo stress-tests the paper's qualitative conclusions on
+// randomized markets instead of the two hand-picked catalogs of the
+// evaluation. It samples CP populations with random (α, β, v) from
+// configurable ranges, solves the subsidization equilibrium across policy
+// levels, and tallies how often each headline claim holds:
+//
+//   - Corollary 1: revenue and utilization nondecreasing in q at fixed p,
+//   - Theorem 5: unilaterally raising a random CP's profitability weakly
+//     raises its equilibrium subsidy,
+//   - welfare nondecreasing in q at fixed p.
+//
+// The paper proves these under assumptions (condition (10), off-diagonal
+// monotonicity); the Monte-Carlo study quantifies how robust they are when
+// nobody checks the assumptions first — the kind of evidence a regulator
+// would want before adopting the policy.
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+)
+
+// Ranges bounds the sampled CP parameters.
+type Ranges struct {
+	AlphaMin, AlphaMax float64
+	BetaMin, BetaMax   float64
+	ValueMin, ValueMax float64
+	NMin, NMax         int // CPs per market
+}
+
+// DefaultRanges covers the paper's catalogs with slack.
+func DefaultRanges() Ranges {
+	return Ranges{
+		AlphaMin: 0.5, AlphaMax: 6,
+		BetaMin: 0.5, BetaMax: 6,
+		ValueMin: 0.1, ValueMax: 1.5,
+		NMin: 2, NMax: 8,
+	}
+}
+
+// Tally counts claim outcomes over the sampled markets.
+type Tally struct {
+	Markets         int
+	RevenueMonotone int // Corollary 1 (revenue) held across the q ladder
+	PhiMonotone     int // Corollary 1 (utilization)
+	WelfareMonotone int
+	Theorem5Holds   int // unilateral v bump weakly raised the CP's subsidy
+	Failures        []string
+}
+
+// Rate returns count/Markets as a fraction.
+func (t Tally) Rate(count int) float64 {
+	if t.Markets == 0 {
+		return 0
+	}
+	return float64(count) / float64(t.Markets)
+}
+
+// Sample draws one random market.
+func Sample(rng *rand.Rand, r Ranges) *model.System {
+	n := r.NMin
+	if r.NMax > r.NMin {
+		n += rng.Intn(r.NMax - r.NMin + 1)
+	}
+	uniform := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	cps := make([]model.CP, n)
+	for i := range cps {
+		cps[i] = model.CP{
+			Name:       fmt.Sprintf("cp%d", i),
+			Demand:     econ.NewExpDemand(uniform(r.AlphaMin, r.AlphaMax)),
+			Throughput: econ.NewExpThroughput(uniform(r.BetaMin, r.BetaMax)),
+			Value:      uniform(r.ValueMin, r.ValueMax),
+		}
+	}
+	return &model.System{CPs: cps, Mu: uniform(0.5, 2), Util: econ.LinearUtilization{}}
+}
+
+// Run samples `markets` random systems (seeded) and evaluates the claims at
+// price p over the policy ladder qs (nil → {0, 0.5, 1, 1.5}).
+func Run(markets int, seed int64, p float64, qs []float64, r Ranges) (Tally, error) {
+	if qs == nil {
+		qs = []float64{0, 0.5, 1, 1.5}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var tally Tally
+	const tol = 1e-6
+	for k := 0; k < markets; k++ {
+		sys := Sample(rng, r)
+		revOK, phiOK, welOK := true, true, true
+		prevR, prevPhi, prevW := -1.0, -1.0, -1.0
+		var lastEq game.Equilibrium
+		var lastG *game.Game
+		solved := true
+		for _, q := range qs {
+			g, err := game.New(sys, p, q)
+			if err != nil {
+				return tally, err
+			}
+			eq, err := g.SolveNash(game.Options{})
+			if err != nil {
+				solved = false
+				tally.Failures = append(tally.Failures,
+					fmt.Sprintf("market %d q=%g: %v", k, q, err))
+				break
+			}
+			rv, w := g.Revenue(eq.State), g.Welfare(eq.State)
+			if rv < prevR-tol {
+				revOK = false
+			}
+			if eq.State.Phi < prevPhi-tol {
+				phiOK = false
+			}
+			if w < prevW-tol {
+				welOK = false
+			}
+			prevR, prevPhi, prevW = rv, eq.State.Phi, w
+			lastEq, lastG = eq, g
+		}
+		if !solved {
+			continue
+		}
+		tally.Markets++
+		if revOK {
+			tally.RevenueMonotone++
+		}
+		if phiOK {
+			tally.PhiMonotone++
+		}
+		if welOK {
+			tally.WelfareMonotone++
+		}
+		if lastG != nil {
+			ok, err := theorem5Holds(sys, rng, p, qs[len(qs)-1], lastEq)
+			if err != nil {
+				tally.Failures = append(tally.Failures,
+					fmt.Sprintf("market %d theorem5: %v", k, err))
+			} else if ok {
+				tally.Theorem5Holds++
+			}
+		}
+	}
+	return tally, nil
+}
+
+// theorem5Holds bumps a random CP's profitability by 20% and re-solves: its
+// equilibrium subsidy must not fall (Theorem 5).
+func theorem5Holds(sys *model.System, rng *rand.Rand, p, q float64, eq game.Equilibrium) (bool, error) {
+	i := rng.Intn(sys.N())
+	bumped := *sys
+	bumped.CPs = append([]model.CP(nil), sys.CPs...)
+	bumped.CPs[i].Value *= 1.2
+	g, err := game.New(&bumped, p, q)
+	if err != nil {
+		return false, err
+	}
+	eq2, err := g.SolveNash(game.Options{Initial: eq.S})
+	if err != nil {
+		return false, err
+	}
+	return eq2.S[i] >= eq.S[i]-1e-6, nil
+}

@@ -1,0 +1,70 @@
+package montecarlo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSampleWithinRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := DefaultRanges()
+	for k := 0; k < 50; k++ {
+		sys := Sample(rng, r)
+		if sys.N() < r.NMin || sys.N() > r.NMax {
+			t.Fatalf("market size %d outside [%d, %d]", sys.N(), r.NMin, r.NMax)
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, cp := range sys.CPs {
+			if cp.Value < r.ValueMin || cp.Value > r.ValueMax {
+				t.Fatalf("value %v outside range", cp.Value)
+			}
+		}
+	}
+}
+
+func TestRunClaimsHoldBroadly(t *testing.T) {
+	tally, err := Run(40, 7, 1.0, nil, DefaultRanges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.Markets < 38 {
+		t.Fatalf("too many solver failures: %d/%d markets solved (%v)", tally.Markets, 40, tally.Failures)
+	}
+	// The paper's headline monotonicities should hold essentially always on
+	// this family (they are theorems under mild conditions).
+	if tally.Rate(tally.RevenueMonotone) < 0.95 {
+		t.Fatalf("Corollary 1 (revenue) held on only %.0f%% of markets", 100*tally.Rate(tally.RevenueMonotone))
+	}
+	if tally.Rate(tally.PhiMonotone) < 0.95 {
+		t.Fatalf("Corollary 1 (utilization) held on only %.0f%%", 100*tally.Rate(tally.PhiMonotone))
+	}
+	if tally.Rate(tally.WelfareMonotone) < 0.9 {
+		t.Fatalf("welfare monotone on only %.0f%%", 100*tally.Rate(tally.WelfareMonotone))
+	}
+	if tally.Rate(tally.Theorem5Holds) < 0.95 {
+		t.Fatalf("Theorem 5 held on only %.0f%%", 100*tally.Rate(tally.Theorem5Holds))
+	}
+}
+
+func TestRunDeterministicGivenSeed(t *testing.T) {
+	a, err := Run(10, 3, 1, nil, DefaultRanges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(10, 3, 1, nil, DefaultRanges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RevenueMonotone != b.RevenueMonotone || a.Markets != b.Markets {
+		t.Fatal("same seed produced different tallies")
+	}
+}
+
+func TestRateZeroMarkets(t *testing.T) {
+	var tally Tally
+	if tally.Rate(5) != 0 {
+		t.Fatal("rate with zero markets must be 0")
+	}
+}

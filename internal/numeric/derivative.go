@@ -1,0 +1,75 @@
+package numeric
+
+import "math"
+
+// Derivative estimates f'(x) by central differences with a curvature-safe
+// step. h ≤ 0 selects an automatic step scaled to |x|. Central differences
+// give O(h²) accuracy, which is ample for the comparative-statics
+// cross-checks this repository performs against closed forms.
+func Derivative(f func(float64) float64, x, h float64) float64 {
+	if h <= 0 {
+		h = autoStep(x)
+	}
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// DerivativeRichardson estimates f'(x) with one level of Richardson
+// extrapolation over central differences, yielding O(h⁴) accuracy. It is the
+// default for sensitivity matrices (Theorem 6) where the derivative feeds a
+// matrix inverse and error amplification matters.
+func DerivativeRichardson(f func(float64) float64, x, h float64) float64 {
+	if h <= 0 {
+		h = autoStep(x) * 8
+	}
+	d1 := (f(x+h) - f(x-h)) / (2 * h)
+	h2 := h / 2
+	d2 := (f(x+h2) - f(x-h2)) / (2 * h2)
+	return (4*d2 - d1) / 3
+}
+
+// SecondDerivative estimates f”(x) by the standard three-point stencil.
+func SecondDerivative(f func(float64) float64, x, h float64) float64 {
+	if h <= 0 {
+		h = math.Sqrt(autoStep(x)) // larger step: second differences lose ~half the digits
+	}
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}
+
+// DerivativeOneSided estimates f'(x) using points at x and above only. It is
+// used at domain boundaries (e.g. s_i = 0) where stepping below the domain
+// would be invalid. Three-point forward difference, O(h²).
+func DerivativeOneSided(f func(float64) float64, x, h float64) float64 {
+	if h <= 0 {
+		h = autoStep(x)
+	}
+	return (-3*f(x) + 4*f(x+h) - f(x+2*h)) / (2 * h)
+}
+
+// PartialDerivative estimates ∂f/∂x_i of a multivariate f at point x by
+// central differences, without mutating x.
+func PartialDerivative(f func([]float64) float64, x []float64, i int, h float64) float64 {
+	if h <= 0 {
+		h = autoStep(x[i])
+	}
+	xp := append([]float64(nil), x...)
+	xm := append([]float64(nil), x...)
+	xp[i] += h
+	xm[i] -= h
+	return (f(xp) - f(xm)) / (2 * h)
+}
+
+// Gradient estimates the full gradient of f at x by central differences.
+func Gradient(f func([]float64) float64, x []float64, h float64) []float64 {
+	g := make([]float64, len(x))
+	for i := range x {
+		g[i] = PartialDerivative(f, x, i, h)
+	}
+	return g
+}
+
+// autoStep picks a central-difference step ~ cbrt(eps)·max(|x|,1), the
+// standard bias/round-off tradeoff for O(h²) stencils.
+func autoStep(x float64) float64 {
+	const cbrtEps = 6.055454452393343e-06 // cbrt(2^-52)
+	return cbrtEps * math.Max(math.Abs(x), 1)
+}

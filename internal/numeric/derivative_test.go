@@ -1,0 +1,85 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDerivativeKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		df   func(float64) float64
+		x    float64
+	}{
+		{"cubic", func(x float64) float64 { return x * x * x }, func(x float64) float64 { return 3 * x * x }, 1.7},
+		{"sin", math.Sin, math.Cos, 0.9},
+		{"exp", math.Exp, math.Exp, -0.4},
+		{"log", math.Log, func(x float64) float64 { return 1 / x }, 2.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Derivative(tc.f, tc.x, 0)
+			want := tc.df(tc.x)
+			if math.Abs(got-want) > 1e-7*math.Max(1, math.Abs(want)) {
+				t.Fatalf("got %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestDerivativeRichardsonIsMoreAccurate(t *testing.T) {
+	f := math.Exp
+	x := 1.0
+	errPlain := math.Abs(Derivative(f, x, 1e-3) - math.E)
+	errRich := math.Abs(DerivativeRichardson(f, x, 1e-3) - math.E)
+	if errRich > errPlain {
+		t.Fatalf("Richardson (%v) should beat plain central (%v) at coarse step", errRich, errPlain)
+	}
+	if errRich > 1e-10 {
+		t.Fatalf("Richardson error too large: %v", errRich)
+	}
+}
+
+func TestSecondDerivative(t *testing.T) {
+	f := func(x float64) float64 { return math.Sin(2 * x) }
+	// f'' = −4 sin(2x)
+	x := 0.6
+	got := SecondDerivative(f, x, 0)
+	want := -4 * math.Sin(2*x)
+	if math.Abs(got-want) > 1e-4 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestDerivativeOneSided(t *testing.T) {
+	// f defined only on x ≥ 0; check the boundary derivative.
+	f := func(x float64) float64 { return x * x }
+	got := DerivativeOneSided(f, 0, 0)
+	if math.Abs(got) > 1e-6 {
+		t.Fatalf("d/dx x² at 0 = %v, want 0", got)
+	}
+	got = DerivativeOneSided(math.Exp, 0, 0)
+	if math.Abs(got-1) > 1e-6 {
+		t.Fatalf("d/dx eˣ at 0 = %v, want 1", got)
+	}
+}
+
+func TestPartialDerivativeAndGradient(t *testing.T) {
+	f := func(x []float64) float64 { return x[0]*x[0] + 3*x[0]*x[1] + math.Sin(x[1]) }
+	x := []float64{1.2, 0.7}
+	// ∂f/∂x0 = 2x0 + 3x1; ∂f/∂x1 = 3x0 + cos(x1)
+	want0 := 2*x[0] + 3*x[1]
+	want1 := 3*x[0] + math.Cos(x[1])
+	if got := PartialDerivative(f, x, 0, 0); math.Abs(got-want0) > 1e-6 {
+		t.Fatalf("∂/∂x0 = %v, want %v", got, want0)
+	}
+	g := Gradient(f, x, 0)
+	if math.Abs(g[0]-want0) > 1e-6 || math.Abs(g[1]-want1) > 1e-6 {
+		t.Fatalf("gradient %v, want [%v %v]", g, want0, want1)
+	}
+	// The input point must not be mutated.
+	if x[0] != 1.2 || x[1] != 0.7 {
+		t.Fatal("PartialDerivative mutated its input")
+	}
+}

@@ -1,0 +1,76 @@
+package numeric
+
+import "math"
+
+// FixedPoint iterates x ← (1−damping)·x + damping·f(x) until |f(x)−x| < tol
+// or maxIter is exhausted. damping ∈ (0,1] (pass 0 for 1, i.e. undamped).
+// It returns the final iterate and whether the tolerance was met.
+//
+// The utilization equation of Definition 1 can be solved either as a root of
+// the gap function (the default path, see SolveIncreasing) or as this damped
+// fixed point; both are implemented so tests can cross-validate them.
+func FixedPoint(f func(float64) float64, x0, tol, damping float64, maxIter int) (x float64, ok bool) {
+	if tol <= 0 {
+		tol = RootTol * 1e2
+	}
+	if damping <= 0 || damping > 1 {
+		damping = 1
+	}
+	if maxIter <= 0 {
+		maxIter = 4 * MaxIter
+	}
+	x = x0
+	for i := 0; i < maxIter; i++ {
+		fx := f(x)
+		if math.Abs(fx-x) < tol {
+			return fx, true
+		}
+		x = (1-damping)*x + damping*fx
+	}
+	return x, false
+}
+
+// FixedPointVec iterates a vector map with damping under the sup-norm
+// stopping rule. It is the kernel behind the damped-Jacobi Nash solver
+// ablation.
+func FixedPointVec(f func([]float64) []float64, x0 []float64, tol, damping float64, maxIter int) (x []float64, iters int, ok bool) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if damping <= 0 || damping > 1 {
+		damping = 1
+	}
+	if maxIter <= 0 {
+		maxIter = 4 * MaxIter
+	}
+	x = append([]float64(nil), x0...)
+	for it := 0; it < maxIter; it++ {
+		fx := f(x)
+		diff := 0.0
+		for i := range x {
+			d := math.Abs(fx[i] - x[i])
+			if d > diff {
+				diff = d
+			}
+			x[i] = (1-damping)*x[i] + damping*fx[i]
+		}
+		if diff < tol {
+			return x, it + 1, true
+		}
+	}
+	return x, maxIter, false
+}
+
+// AlmostEqual reports whether a and b agree to within tol absolutely or
+// relatively (whichever is looser). It is shared by tests and equilibrium
+// classification.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,70 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFixedPointContraction(t *testing.T) {
+	// x = cos(x) has the Dottie fixed point ≈ 0.739085.
+	x, ok := FixedPoint(math.Cos, 0.5, 1e-12, 0, 0)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(x-0.7390851332151607) > 1e-9 {
+		t.Fatalf("got %v", x)
+	}
+}
+
+func TestFixedPointDampingStabilizes(t *testing.T) {
+	// x = 2.8·x·(1−x) oscillates undamped near the logistic fixed point but
+	// converges with damping.
+	f := func(x float64) float64 { return 2.8 * x * (1 - x) }
+	want := 1 - 1/2.8
+	x, ok := FixedPoint(f, 0.2, 1e-10, 0.5, 2000)
+	if !ok {
+		t.Fatal("damped iteration did not converge")
+	}
+	if math.Abs(x-want) > 1e-8 {
+		t.Fatalf("got %v, want %v", x, want)
+	}
+}
+
+func TestFixedPointNonConvergence(t *testing.T) {
+	f := func(x float64) float64 { return x + 1 } // no fixed point
+	if _, ok := FixedPoint(f, 0, 1e-10, 1, 50); ok {
+		t.Fatal("reported convergence for divergent map")
+	}
+}
+
+func TestFixedPointVec(t *testing.T) {
+	// Linear contraction toward (1, 2).
+	f := func(x []float64) []float64 {
+		return []float64{1 + 0.3*(x[0]-1), 2 + 0.3*(x[1]-2)}
+	}
+	x, iters, ok := FixedPointVec(f, []float64{10, -10}, 1e-12, 1, 0)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Fatalf("got %v after %d iters", x, iters)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1e12, 1e12 + 1, 1e-9, true}, // relative tolerance
+		{1, 2, 1e-9, false},
+		{0, 1e-12, 1e-9, true},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Fatalf("AlmostEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package numeric
+
+import "math"
+
+// Simpson integrates f over [a, b] by composite Simpson's rule with n
+// subintervals (n is rounded up to even; n ≤ 0 selects 256). Simpson is
+// exact for cubics and converges at O(h⁴) for smooth integrands, which
+// covers every curve family in this repository.
+func Simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if a == b {
+		return 0
+	}
+	sign := 1.0
+	if b < a {
+		a, b = b, a
+		sign = -1
+	}
+	if n <= 0 {
+		n = 256
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for k := 1; k < n; k++ {
+		x := a + float64(k)*h
+		if k%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sign * sum * h / 3
+}
+
+// IntegrateTail integrates a nonnegative, eventually-decaying f over
+// [a, ∞) by marching fixed-width Simpson panels until a panel contributes
+// less than tol of the running total (or the panel budget is exhausted).
+// It is used for consumer-surplus integrals ∫_t^∞ m(x) dx, where Assumption
+// 2 guarantees decay.
+func IntegrateTail(f func(float64) float64, a, panelWidth, tol float64, maxPanels int) float64 {
+	if panelWidth <= 0 {
+		panelWidth = 5
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxPanels <= 0 {
+		maxPanels = 200
+	}
+	total := 0.0
+	x := a
+	for k := 0; k < maxPanels; k++ {
+		panel := Simpson(f, x, x+panelWidth, 256)
+		total += panel
+		x += panelWidth
+		if math.Abs(panel) <= tol*math.Max(total, 1e-300) {
+			break
+		}
+	}
+	return total
+}

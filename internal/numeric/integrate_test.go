@@ -1,0 +1,66 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimpsonKnownIntegrals(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"x^2", func(x float64) float64 { return x * x }, 0, 3, 9},
+		{"cubic-exact", func(x float64) float64 { return x*x*x - 2*x }, -1, 2, 15.0/4 - 3},
+		{"sin", math.Sin, 0, math.Pi, 2},
+		{"exp", math.Exp, 0, 1, math.E - 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Simpson(tc.f, tc.a, tc.b, 0)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSimpsonOrientationAndDegenerate(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if got := Simpson(f, 2, 0, 0); math.Abs(got+2) > 1e-12 {
+		t.Fatalf("reversed interval: %v, want -2", got)
+	}
+	if got := Simpson(f, 1, 1, 0); got != 0 {
+		t.Fatalf("degenerate interval: %v", got)
+	}
+	// Odd n is rounded up, not mis-integrated.
+	if got := Simpson(f, 0, 1, 3); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("odd n: %v", got)
+	}
+}
+
+func TestIntegrateTailExponential(t *testing.T) {
+	// ∫_t^∞ e^{−αx} dx = e^{−αt}/α.
+	for _, alpha := range []float64{0.5, 2, 5} {
+		for _, from := range []float64{0, 1, 3} {
+			f := func(x float64) float64 { return math.Exp(-alpha * x) }
+			got := IntegrateTail(f, from, 5, 1e-12, 0)
+			want := math.Exp(-alpha*from) / alpha
+			if math.Abs(got-want) > 1e-5*math.Max(1, want) {
+				t.Fatalf("α=%v from=%v: got %v, want %v", alpha, from, got, want)
+			}
+		}
+	}
+}
+
+func TestIntegrateTailStopsOnBudget(t *testing.T) {
+	// A constant function never decays; the panel budget must bound work.
+	calls := 0
+	f := func(x float64) float64 { calls++; return 1 }
+	got := IntegrateTail(f, 0, 1, 1e-12, 7)
+	if math.Abs(got-7) > 1e-9 {
+		t.Fatalf("7 unit panels of 1: got %v", got)
+	}
+}

@@ -1,0 +1,90 @@
+package numeric
+
+import "math"
+
+// invPhi is 1/φ for the golden-section search.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// MinimizeGolden minimizes f on [a, b] by golden-section search and returns
+// the minimizing x and f(x). Golden-section is derivative-free and converges
+// linearly, which is exactly right for the smooth single-valley slices this
+// repository produces; callers that cannot guarantee unimodality should scan
+// first (see MaximizeOnInterval).
+func MinimizeGolden(f func(float64) float64, a, b, tol float64) (x, fx float64) {
+	if tol <= 0 {
+		tol = OptTol
+	}
+	if b < a {
+		a, b = b, a
+	}
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 4*MaxIter && b-a > tol; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = a + (b-a)/2
+	return x, f(x)
+}
+
+// MaximizeOnInterval maximizes f on [a, b]. It first scans a uniform grid of
+// gridPts points (pass 0 for the default of 33) to locate the best cell —
+// which makes it robust to mild multi-modality — and then refines the
+// surrounding bracket with golden-section search. It returns the maximizing x
+// and f(x). Endpoint maxima are handled: the scan includes both endpoints.
+func MaximizeOnInterval(f func(float64) float64, a, b float64, gridPts int) (x, fx float64) {
+	if b < a {
+		a, b = b, a
+	}
+	if a == b {
+		return a, f(a)
+	}
+	if gridPts < 3 {
+		gridPts = 33
+	}
+	neg := func(x float64) float64 { return -f(x) }
+	bestI, bestF := 0, math.Inf(-1)
+	h := (b - a) / float64(gridPts-1)
+	for i := 0; i < gridPts; i++ {
+		xi := a + float64(i)*h
+		if i == gridPts-1 {
+			xi = b
+		}
+		v := f(xi)
+		if v > bestF {
+			bestI, bestF = i, v
+		}
+	}
+	lo := a + float64(max(bestI-1, 0))*h
+	hi := a + float64(min(bestI+1, gridPts-1))*h
+	if hi > b {
+		hi = b
+	}
+	x, negF := MinimizeGolden(neg, lo, hi, OptTol)
+	fx = -negF
+	// The grid point itself may beat the polished interior point when the
+	// maximum sits exactly on an endpoint of the bracket.
+	if bestF > fx {
+		return a + float64(bestI)*h, bestF
+	}
+	return x, fx
+}
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

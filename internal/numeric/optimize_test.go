@@ -1,0 +1,95 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeGoldenQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 1.3) * (x - 1.3) }
+	x, fx := MinimizeGolden(f, -5, 5, 1e-10)
+	if math.Abs(x-1.3) > 1e-7 {
+		t.Fatalf("min at %v, want 1.3", x)
+	}
+	if fx > 1e-12 {
+		t.Fatalf("f(min) = %v, want ~0", fx)
+	}
+}
+
+func TestMinimizeGoldenReversedInterval(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	x, _ := MinimizeGolden(f, 2, -2, 0) // endpoints swapped
+	if math.Abs(x) > 1e-7 {
+		t.Fatalf("min at %v, want 0", x)
+	}
+}
+
+func TestMaximizeOnIntervalInterior(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 0.7) * (x - 0.7) }
+	x, fx := MaximizeOnInterval(f, 0, 2, 0)
+	if math.Abs(x-0.7) > 1e-6 || fx > 1e-10 || fx < -1e-10 {
+		t.Fatalf("max at (%v, %v), want (0.7, 0)", x, fx)
+	}
+}
+
+func TestMaximizeOnIntervalEndpoints(t *testing.T) {
+	inc := func(x float64) float64 { return x }
+	x, fx := MaximizeOnInterval(inc, 0, 3, 0)
+	if math.Abs(x-3) > 1e-6 || math.Abs(fx-3) > 1e-6 {
+		t.Fatalf("increasing f should max at right endpoint, got (%v, %v)", x, fx)
+	}
+	dec := func(x float64) float64 { return -x }
+	x, fx = MaximizeOnInterval(dec, 0, 3, 0)
+	if math.Abs(x) > 1e-6 || math.Abs(fx) > 1e-6 {
+		t.Fatalf("decreasing f should max at left endpoint, got (%v, %v)", x, fx)
+	}
+}
+
+func TestMaximizeOnIntervalDegenerate(t *testing.T) {
+	f := func(x float64) float64 { return 42 - x }
+	x, fx := MaximizeOnInterval(f, 1, 1, 0)
+	if x != 1 || fx != 41 {
+		t.Fatalf("degenerate interval: got (%v, %v)", x, fx)
+	}
+}
+
+func TestMaximizeOnIntervalMultiModal(t *testing.T) {
+	// Two humps; the grid scan must find the taller one at x ≈ 2.
+	f := func(x float64) float64 {
+		return math.Exp(-8*(x-0.4)*(x-0.4)) + 1.5*math.Exp(-8*(x-2)*(x-2))
+	}
+	x, _ := MaximizeOnInterval(f, 0, 3, 65)
+	if math.Abs(x-2) > 1e-3 {
+		t.Fatalf("picked the wrong hump: x=%v", x)
+	}
+}
+
+func TestMaximizeQuickConcave(t *testing.T) {
+	// Property: for concave parabolas with interior vertex, the maximizer is
+	// found to 1e-5.
+	prop := func(c8 uint8) bool {
+		c := float64(c8) / 64 // vertex in [0, ~4]
+		f := func(x float64) float64 { return -(x - c) * (x - c) }
+		x, _ := MaximizeOnInterval(f, -1, 5, 0)
+		return math.Abs(x-c) < 1e-5
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 1, 1},
+		{-5, 0, 1, 0},
+		{0.5, 0, 1, 0.5},
+		{0, 0, 1, 0},
+		{1, 0, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Fatalf("Clamp(%v, %v, %v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectFindsKnownRoot(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	x, err := Bisect(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-10 {
+		t.Fatalf("got %v, want sqrt(2)", x)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if x, err := Bisect(f, 0, 1, 0); err != nil || x != 0 {
+		t.Fatalf("root at lower endpoint: x=%v err=%v", x, err)
+	}
+	if x, err := Bisect(f, -1, 0, 0); err != nil || x != 0 {
+		t.Fatalf("root at upper endpoint: x=%v err=%v", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 0); !errors.Is(err, ErrNoBracket) {
+		t.Fatalf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrentFindsKnownRoots(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"sqrt2", func(x float64) float64 { return x*x - 2 }, 0, 2, math.Sqrt2},
+		{"cosx", math.Cos, 0, 3, math.Pi / 2},
+		{"cubic", func(x float64) float64 { return x*x*x - x - 2 }, 1, 2, 1.5213797068045676},
+		{"exp", func(x float64) float64 { return math.Exp(x) - 5 }, 0, 3, math.Log(5)},
+		{"nearly-flat", func(x float64) float64 { return 1e-8 * (x - 0.3) }, 0, 1, 0.3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x, err := Brent(tc.f, tc.a, tc.b, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(x-tc.want) > 1e-9 {
+				t.Fatalf("got %v, want %v", x, tc.want)
+			}
+		})
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 }, 0, 1, 0); !errors.Is(err, ErrNoBracket) {
+		t.Fatalf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrentMatchesBisect(t *testing.T) {
+	// Property: on random monotone cubics both methods agree.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := rng.Float64()*3 + 0.1 // positive cubic coefficient
+		b := rng.Float64() * 2
+		c := rng.Float64()*4 - 2
+		f := func(x float64) float64 { return a*x*x*x + b*x + c } // strictly increasing
+		lo, hi := -10.0, 10.0
+		xb, err1 := Brent(f, lo, hi, 0)
+		xs, err2 := Bisect(f, lo, hi, 1e-13)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("iteration %d: errs %v %v", i, err1, err2)
+		}
+		if math.Abs(xb-xs) > 1e-9 {
+			t.Fatalf("iteration %d: brent %v vs bisect %v", i, xb, xs)
+		}
+	}
+}
+
+func TestExpandBracket(t *testing.T) {
+	f := func(x float64) float64 { return x - 1000 }
+	lo, hi, err := ExpandBracket(f, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f(lo) < 0 && f(hi) > 0) {
+		t.Fatalf("bracket [%v, %v] does not straddle the root", lo, hi)
+	}
+}
+
+func TestExpandBracketImmediateRoot(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	lo, hi, err := ExpandBracket(f, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || hi != 0 {
+		t.Fatalf("expected degenerate bracket at the root, got [%v, %v]", lo, hi)
+	}
+}
+
+func TestExpandBracketFailure(t *testing.T) {
+	f := func(x float64) float64 { return -1 } // never changes sign
+	if _, _, err := ExpandBracket(f, 0, 1, 2); err == nil {
+		t.Fatal("want error for sign-constant function")
+	}
+}
+
+func TestSolveIncreasing(t *testing.T) {
+	// The Lemma 1 shape: g negative at 0, increasing, root far away.
+	g := func(phi float64) float64 { return phi - 123.456 }
+	x, err := SolveIncreasing(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-123.456) > 1e-8 {
+		t.Fatalf("got %v", x)
+	}
+}
+
+func TestSolveIncreasingRootAtLo(t *testing.T) {
+	g := func(phi float64) float64 { return phi }
+	x, err := SolveIncreasing(g, 0, 1)
+	if err != nil || x != 0 {
+		t.Fatalf("x=%v err=%v", x, err)
+	}
+}
+
+func TestSolveIncreasingPositiveAtLo(t *testing.T) {
+	g := func(phi float64) float64 { return phi + 1 }
+	if _, err := SolveIncreasing(g, 0, 1); err == nil {
+		t.Fatal("want error when g(lo) > 0")
+	}
+}
+
+func TestSolveIncreasingQuick(t *testing.T) {
+	// Property: for random increasing g(x) = k(x − r), the solver recovers r.
+	prop := func(k8, r8 uint8) bool {
+		k := 0.01 + float64(k8)/16
+		r := float64(r8) / 4
+		g := func(x float64) float64 { return k * (x - r) }
+		x, err := SolveIncreasing(g, 0, 1)
+		if r == 0 {
+			return err == nil && x == 0
+		}
+		return err == nil && math.Abs(x-r) < 1e-7
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

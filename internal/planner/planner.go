@@ -1,0 +1,165 @@
+// Package planner computes the social planner's benchmark for the
+// subsidization game: the subsidy profile a welfare-maximizing regulator
+// would choose directly, subject to the same policy box [0, q]^n the CPs
+// face. Comparing the planner's welfare with the Nash equilibrium's
+// quantifies the efficiency of the paper's *decentralized* subsidization
+// competition — an extension the paper motivates (it argues competition
+// raises welfare) but does not compute.
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+	"neutralnet/internal/numeric"
+)
+
+// Objective selects what the planner maximizes.
+type Objective int
+
+const (
+	// Welfare maximizes W(s) = Σ v_i θ_i(s) (the paper's welfare metric).
+	Welfare Objective = iota
+	// Throughput maximizes aggregate throughput Σ θ_i(s), a
+	// capacity-utilization-oriented regulator.
+	Throughput
+)
+
+// Result is the planner's optimum.
+type Result struct {
+	S          []float64
+	State      model.State
+	Value      float64 // achieved objective value
+	Iterations int
+	Converged  bool
+}
+
+// Maximize runs cyclic coordinate ascent on the objective over s ∈ [0, q]^n.
+// Each coordinate step is a guarded grid+golden maximization (the objective
+// is smooth but not concave, so the scan matters). tol is the sup-norm
+// movement tolerance (0 → 1e-7); maxSweeps bounds the outer loop (0 → 60).
+func Maximize(sys *model.System, p, q float64, obj Objective, tol float64, maxSweeps int) (Result, error) {
+	if err := sys.Validate(); err != nil {
+		return Result{}, err
+	}
+	if p < 0 || q < 0 {
+		return Result{}, fmt.Errorf("planner: negative price %g or cap %g", p, q)
+	}
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 60
+	}
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		return Result{}, err
+	}
+	value := func(s []float64) (float64, error) {
+		st, err := g.State(s)
+		if err != nil {
+			return 0, err
+		}
+		switch obj {
+		case Throughput:
+			return st.TotalThroughput(), nil
+		default:
+			return g.Welfare(st), nil
+		}
+	}
+
+	n := sys.N()
+	s := make([]float64, n)
+	res := Result{}
+	if q == 0 {
+		st, err := g.State(s)
+		if err != nil {
+			return Result{}, err
+		}
+		v, _ := value(s)
+		return Result{S: s, State: st, Value: v, Converged: true}, nil
+	}
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		moved := 0.0
+		for i := 0; i < n; i++ {
+			var evalErr error
+			f := func(x float64) float64 {
+				cand := append([]float64(nil), s...)
+				cand[i] = x
+				v, err := value(cand)
+				if err != nil {
+					evalErr = err
+					return math.Inf(-1)
+				}
+				return v
+			}
+			best, _ := numeric.MaximizeOnInterval(f, 0, q, 25)
+			if evalErr != nil {
+				return Result{}, evalErr
+			}
+			if d := math.Abs(best - s[i]); d > moved {
+				moved = d
+			}
+			s[i] = best
+		}
+		res.Iterations = sweep
+		if moved < tol {
+			res.Converged = true
+			break
+		}
+	}
+	st, err := g.State(s)
+	if err != nil {
+		return Result{}, err
+	}
+	v, err := value(s)
+	if err != nil {
+		return Result{}, err
+	}
+	res.S = s
+	res.State = st
+	res.Value = v
+	if !res.Converged {
+		return res, errors.New("planner: coordinate ascent did not converge")
+	}
+	return res, nil
+}
+
+// Efficiency compares the Nash equilibrium against the planner's optimum at
+// the same (p, q): the welfare ratio W_nash/W_planner ∈ (0, 1] (1 means the
+// competition is socially efficient; the reciprocal is the price of
+// anarchy).
+type Efficiency struct {
+	Nash    game.Equilibrium
+	Planner Result
+	WNash   float64
+	WOpt    float64
+	Ratio   float64 // WNash / WOpt
+}
+
+// CompareAt computes the efficiency of the subsidization competition at
+// (p, q).
+func CompareAt(sys *model.System, p, q float64) (Efficiency, error) {
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		return Efficiency{}, err
+	}
+	eq, err := g.SolveNash(game.Options{})
+	if err != nil {
+		return Efficiency{}, err
+	}
+	opt, err := Maximize(sys, p, q, Welfare, 0, 0)
+	if err != nil {
+		return Efficiency{}, err
+	}
+	wn := g.Welfare(eq.State)
+	wo := opt.Value
+	ratio := 1.0
+	if wo > 0 {
+		ratio = wn / wo
+	}
+	return Efficiency{Nash: eq, Planner: opt, WNash: wn, WOpt: wo, Ratio: ratio}, nil
+}

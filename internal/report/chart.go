@@ -1,0 +1,108 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is a named sequence of (x, y) points for charting.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders one or more series as an ASCII line chart of the given
+// character dimensions. Each series is drawn with its own marker rune
+// (cycling through markers); later series overwrite earlier ones on
+// collisions, which is acceptable for the qualitative shape-reading the
+// reproduction needs.
+func Chart(title string, width, height int, series ...Series) string {
+	if width < 16 {
+		width = 64
+	}
+	if height < 4 {
+		height = 16
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return title + " (no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			c := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			if c >= 0 && c < width && r >= 0 && r < height {
+				grid[r][c] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.4g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%10.4g", ymin)
+		default:
+			label = strings.Repeat(" ", 10)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%s %s\n", strings.Repeat(" ", 10), strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "%s  %-8.4g%s%8.4g\n", strings.Repeat(" ", 10), xmin, strings.Repeat(" ", max(width-16, 1)), xmax)
+	if len(series) > 1 {
+		b.WriteString(strings.Repeat(" ", 11))
+		for si, s := range series {
+			fmt.Fprintf(&b, "[%c] %s  ", markers[si%len(markers)], s.Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Sparkline renders a compact single-line view of y values using block
+// characters, handy in test logs.
+func Sparkline(y []float64) string {
+	if len(y) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range y {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	for _, v := range y {
+		i := int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		b.WriteRune(blocks[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a 2-D grid as ASCII shading, one row per y value and one
+// shaded cell per x value, with the value range mapped onto a density ramp.
+// grid is indexed [yIdx][xIdx]; rows render top-down in the order given.
+// It is used for (q, p) welfare/revenue surfaces where a chart per q-level
+// hides the joint structure.
+func Heatmap(title string, xLabels, yLabels []string, grid [][]float64) string {
+	ramp := []byte(" .:-=+*#%@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range grid {
+		for _, v := range row {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return title + " (no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	labelW := 0
+	for _, l := range yLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s   [range %.4g .. %.4g]\n", title, lo, hi)
+	for yi, row := range grid {
+		label := ""
+		if yi < len(yLabels) {
+			label = yLabels[yi]
+		}
+		fmt.Fprintf(&b, "%-*s |", labelW, label)
+		for _, v := range row {
+			idx := int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteString("|\n")
+	}
+	if len(xLabels) >= 2 {
+		pad := len(grid[0]) - len(xLabels[0]) - len(xLabels[len(xLabels)-1])
+		if pad < 1 {
+			pad = 1
+		}
+		fmt.Fprintf(&b, "%-*s  %s%s%s\n", labelW, "", xLabels[0], strings.Repeat(" ", pad), xLabels[len(xLabels)-1])
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("x", 1.5)
+	tb.AddRow("longer-name", 0.333333333)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + separator + 2 rows
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "0.333333") {
+		t.Fatalf("float formatting: %q", lines[3])
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("plain", `has,comma`)
+	tb.AddRow(`has"quote`, "x\ny")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) {
+		t.Fatalf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"has\"quote"`) && !strings.Contains(csv, `"has""quote"`) {
+		// strconv.Quote escapes with backslash; accept either convention.
+		t.Fatalf("quote cell not escaped: %s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Fatalf("CSV line count %d: %s", lines, csv)
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	out := Chart("title", 32, 8,
+		Series{Name: "up", X: x, Y: []float64{0, 1, 2, 3}},
+		Series{Name: "down", X: x, Y: []float64{3, 2, 1, 0}},
+	)
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("missing series markers:\n%s", out)
+	}
+	if !strings.Contains(out, "[*] up") || !strings.Contains(out, "[o] down") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", 32, 8)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// Degenerate y-range must not divide by zero.
+	out := Chart("flat", 32, 8, Series{Name: "c", X: []float64{0, 1}, Y: []float64{5, 5}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("length %d: %q", utf8.RuneCountInString(s), s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("nil input should render empty")
+	}
+	flat := Sparkline([]float64{2, 2, 2})
+	if utf8.RuneCountInString(flat) != 3 {
+		t.Fatalf("flat sparkline: %q", flat)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	grid := [][]float64{
+		{0, 1, 2},
+		{2, 3, 4},
+	}
+	out := Heatmap("welfare", []string{"p=0", "p=2"}, []string{"q=0", "q=2"}, grid)
+	if !strings.Contains(out, "welfare") || !strings.Contains(out, "q=0") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	// The max cell must use the densest ramp glyph and min the sparsest.
+	if !strings.Contains(out, "@") {
+		t.Fatalf("max glyph missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	if out := Heatmap("x", nil, nil, nil); !strings.Contains(out, "no data") {
+		t.Fatalf("empty heatmap: %q", out)
+	}
+	flat := Heatmap("x", nil, []string{"r"}, [][]float64{{5, 5}})
+	if !strings.Contains(flat, "|") {
+		t.Fatalf("flat heatmap: %q", flat)
+	}
+}

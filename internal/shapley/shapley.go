@@ -1,0 +1,146 @@
+// Package shapley implements the profit-sharing settlement the paper's
+// related work (§2.4, Ma et al., "Internet Economics: The use of Shapley
+// value for ISP settlement") advocates as the multi-lateral alternative to
+// both termination fees and subsidization. It computes the exact Shapley
+// value of the cooperative game whose players are the access ISP and the
+// CPs, and whose coalition value is the welfare the coalition can generate
+// on its own:
+//
+//	v(S) = 0                                  if ISP ∉ S (no network, no value),
+//	v(S) = Σ_{i∈S∩CPs} v_i·θ_i(S)             otherwise,
+//
+// where θ(S) solves the utilization fixed point with only the coalition's
+// CPs attached (at a reference usage price). Because removing congestive
+// CPs *helps* the others, low-value high-β CPs can earn negative Shapley
+// value — the quantitative version of the paper's negative-externality
+// discussion.
+//
+// Exact enumeration over all 2^{n+1} coalitions is used; the paper's
+// catalogs have n ≤ 9 CPs, so this is instantaneous.
+package shapley
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"neutralnet/internal/model"
+)
+
+// Values carries the computed settlement.
+type Values struct {
+	ISP float64   // the access ISP's Shapley value
+	CP  []float64 // per-CP Shapley values
+	// Grand is v(N ∪ {ISP}), the full-market welfare the values split.
+	Grand float64
+}
+
+// Compute returns the exact Shapley values of the (ISP + CPs) welfare game
+// at reference usage price p. maxCPs guards the exponential enumeration
+// (0 → 16).
+func Compute(sys *model.System, p float64, maxCPs int) (Values, error) {
+	if err := sys.Validate(); err != nil {
+		return Values{}, err
+	}
+	if p < 0 {
+		return Values{}, fmt.Errorf("shapley: negative price %g", p)
+	}
+	if maxCPs <= 0 {
+		maxCPs = 16
+	}
+	n := sys.N()
+	if n > maxCPs {
+		return Values{}, fmt.Errorf("shapley: %d CPs exceeds the enumeration guard %d", n, maxCPs)
+	}
+
+	// Coalition welfare cache over CP subsets (ISP always present for
+	// nonzero value).
+	value := make([]float64, 1<<uint(n))
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		pops := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				pops[i] = sys.CPs[i].Demand.M(p)
+			}
+		}
+		st, err := sys.Solve(pops)
+		if err != nil {
+			return Values{}, err
+		}
+		w := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				w += sys.CPs[i].Value * st.Theta[i]
+			}
+		}
+		value[mask] = w
+	}
+
+	// Players: index 0..n-1 are CPs, index n is the ISP. Iterate over all
+	// orderings implicitly via the subset formulation:
+	// φ_j = Σ_{S ∌ j} |S|!(P−|S|−1)!/P! · (v(S∪{j}) − v(S)), P = n+1.
+	P := n + 1
+	factorial := make([]float64, P+1)
+	factorial[0] = 1
+	for k := 1; k <= P; k++ {
+		factorial[k] = factorial[k-1] * float64(k)
+	}
+	weight := func(sz int) float64 {
+		return factorial[sz] * factorial[P-sz-1] / factorial[P]
+	}
+	coalitionValue := func(cpMask int, hasISP bool) float64 {
+		if !hasISP {
+			return 0
+		}
+		return value[cpMask]
+	}
+
+	out := Values{CP: make([]float64, n), Grand: value[(1<<uint(n))-1]}
+	// Enumerate subsets S of all players not containing player j.
+	full := 1 << uint(P)
+	for s := 0; s < full; s++ {
+		sz := popcount(s)
+		if sz == P {
+			continue // no absent player to credit
+		}
+		cpMask := s & ((1 << uint(n)) - 1)
+		hasISP := s&(1<<uint(n)) != 0
+		vS := coalitionValue(cpMask, hasISP)
+		w := weight(sz)
+		// Marginal contribution of each absent player.
+		for j := 0; j < n; j++ {
+			if s&(1<<uint(j)) != 0 {
+				continue
+			}
+			vSj := coalitionValue(cpMask|(1<<uint(j)), hasISP)
+			out.CP[j] += w * (vSj - vS)
+		}
+		if !hasISP {
+			vSj := coalitionValue(cpMask, true)
+			out.ISP += w * (vSj - vS)
+		}
+	}
+	return out, nil
+}
+
+// Efficiency verifies Σ φ = v(grand coalition) to within tol; it returns
+// the residual.
+func (v Values) Efficiency() float64 {
+	sum := v.ISP
+	for _, x := range v.CP {
+		sum += x
+	}
+	return math.Abs(sum - v.Grand)
+}
+
+// ErrTooMany is reserved for callers that want to pre-check the guard.
+var ErrTooMany = errors.New("shapley: too many CPs for exact enumeration")
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,123 @@
+package shapley
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+func sysOf(params ...[3]float64) *model.System {
+	var cps []model.CP
+	for _, p := range params {
+		cps = append(cps, model.CP{
+			Demand:     econ.NewExpDemand(p[0]),
+			Throughput: econ.NewExpThroughput(p[1]),
+			Value:      p[2],
+		})
+	}
+	return &model.System{CPs: cps, Mu: 1, Util: econ.LinearUtilization{}}
+}
+
+func TestEfficiencyAxiom(t *testing.T) {
+	sys := sysOf([3]float64{5, 2, 1}, [3]float64{2, 5, 0.5}, [3]float64{3, 3, 0.8})
+	v, err := Compute(sys, 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := v.Efficiency(); res > 1e-9 {
+		t.Fatalf("Shapley values do not split the grand value: residual %v", res)
+	}
+	if v.Grand <= 0 {
+		t.Fatalf("grand value %v", v.Grand)
+	}
+}
+
+func TestSymmetryAxiom(t *testing.T) {
+	// Two identical CPs must receive identical values.
+	sys := sysOf([3]float64{4, 3, 0.7}, [3]float64{4, 3, 0.7}, [3]float64{2, 5, 0.3})
+	v, err := Compute(sys, 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.CP[0]-v.CP[1]) > 1e-9 {
+		t.Fatalf("identical CPs got %v and %v", v.CP[0], v.CP[1])
+	}
+}
+
+func TestISPIsEssential(t *testing.T) {
+	// Without the ISP no coalition produces value, so the ISP's Shapley
+	// value must be large and positive — the settlement channel toward
+	// access that §2.4 is after.
+	sys := sysOf([3]float64{5, 2, 1}, [3]float64{2, 5, 0.5})
+	v, err := Compute(sys, 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ISP <= 0 {
+		t.Fatalf("ISP value %v, must be positive", v.ISP)
+	}
+	// The essential player earns at least any single CP.
+	for i, x := range v.CP {
+		if v.ISP < x-1e-12 {
+			t.Fatalf("ISP value %v below CP %d's %v", v.ISP, i, x)
+		}
+	}
+}
+
+func TestCongestiveCPCanEarnNegativeValue(t *testing.T) {
+	// A zero-value CP that still congests the link contributes only harm:
+	// its Shapley value must be negative — the externality made explicit.
+	sys := sysOf(
+		[3]float64{1, 1, 1},   // valuable workhorse
+		[3]float64{0.5, 1, 0}, // worthless but traffic-heavy
+	)
+	v, err := Compute(sys, 0.3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.CP[1] >= 0 {
+		t.Fatalf("congestive zero-value CP earned %v, expected negative", v.CP[1])
+	}
+	if v.CP[0] <= 0 {
+		t.Fatalf("valuable CP earned %v", v.CP[0])
+	}
+}
+
+func TestDummyRemovalConsistency(t *testing.T) {
+	// Adding a CP with (numerically) no demand must not change the others'
+	// values: it is a null player.
+	base := sysOf([3]float64{5, 2, 1}, [3]float64{2, 5, 0.5})
+	vBase, err := Compute(base, 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDummy := sysOf([3]float64{5, 2, 1}, [3]float64{2, 5, 0.5}, [3]float64{60, 1, 0.5})
+	vDummy, err := Compute(withDummy, 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// α=60 at p=0.8 gives m ≈ e^{−48} ≈ 0: a null player.
+	if math.Abs(vDummy.CP[2]) > 1e-6 {
+		t.Fatalf("null player earned %v", vDummy.CP[2])
+	}
+	for i := 0; i < 2; i++ {
+		if math.Abs(vDummy.CP[i]-vBase.CP[i]) > 1e-6 {
+			t.Fatalf("null player shifted CP %d's value: %v vs %v", i, vDummy.CP[i], vBase.CP[i])
+		}
+	}
+}
+
+func TestGuards(t *testing.T) {
+	if _, err := Compute(sysOf([3]float64{1, 1, 1}), -1, 0); err == nil {
+		t.Fatal("negative price must be rejected")
+	}
+	big := make([][3]float64, 5)
+	for i := range big {
+		big[i] = [3]float64{1, 1, 1}
+	}
+	if _, err := Compute(sysOf(big...), 1, 3); err == nil {
+		t.Fatal("enumeration guard must trip")
+	}
+}

@@ -1,0 +1,175 @@
+// Package twosided implements the settlement model the paper positions
+// *against*: two-sided pricing, where the access ISP charges CPs a per-unit
+// termination fee c for traffic delivered to its users (§2.2, the
+// Choi-Kim / Musacchio / Njoroge line of work), instead of the voluntary
+// subsidization the paper proposes.
+//
+// Mechanics under a neutral physical network:
+//
+//   - users pay the usage price p, so populations are m_i(p);
+//   - the ISP additionally collects c per unit of CP i's traffic, so CP i's
+//     utility is U_i = (v_i − c)·θ_i and any CP with v_i < c exits (its
+//     traffic is not worth terminating), which is the innovation-harm
+//     mechanism the net-neutrality side cites;
+//   - the ISP's revenue is R = (p + c)·θ over the surviving CPs.
+//
+// The package solves the market for a given (p, c), finds the ISP's
+// revenue-optimal fee, and provides the comparison harness used by the
+// termination-fees experiment: two-sided pricing versus subsidization at
+// equal ISP revenue, judged on welfare and CP survival.
+package twosided
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+	"neutralnet/internal/numeric"
+)
+
+// Outcome is the solved two-sided market at (p, c).
+type Outcome struct {
+	P, C    float64
+	Active  []bool // whether CP i participates (v_i ≥ c)
+	State   model.State
+	Revenue float64 // (p + c)·θ_active
+	Welfare float64 // Σ_active v_i θ_i
+	Exited  int     // number of CPs priced out by the termination fee
+}
+
+// Solve computes the two-sided market outcome at usage price p and
+// termination fee c. CPs with v_i < c carry no traffic (they exit rather
+// than pay to terminate); the survivors' populations are m_i(p) as in the
+// one-sided model — the fee falls on CPs, not users.
+func Solve(sys *model.System, p, c float64) (Outcome, error) {
+	if err := sys.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if p < 0 || c < 0 {
+		return Outcome{}, fmt.Errorf("twosided: negative price %g or fee %g", p, c)
+	}
+	n := sys.N()
+	out := Outcome{P: p, C: c, Active: make([]bool, n)}
+	pops := make([]float64, n)
+	for i, cp := range sys.CPs {
+		if cp.Value >= c {
+			out.Active[i] = true
+			pops[i] = cp.Demand.M(p)
+		} else {
+			out.Exited++
+		}
+	}
+	st, err := sys.Solve(pops)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.State = st
+	for i, cp := range sys.CPs {
+		if out.Active[i] {
+			out.Welfare += cp.Value * st.Theta[i]
+		}
+	}
+	out.Revenue = (p + c) * st.TotalThroughput()
+	return out, nil
+}
+
+// OptimalFee finds the revenue-maximizing termination fee on [0, cMax] at a
+// fixed usage price p. Revenue is discontinuous at every v_i (a CP exits),
+// so the search scans a fine grid including every exit threshold and then
+// polishes within the best smooth segment.
+func OptimalFee(sys *model.System, p, cMax float64) (float64, Outcome, error) {
+	if cMax <= 0 {
+		return 0, Outcome{}, errors.New("twosided: cMax must be positive")
+	}
+	// Candidate knots: a uniform grid plus every CP value (just below each
+	// exit point is where fee revenue per survivor peaks).
+	var candidates []float64
+	const gridN = 61
+	for k := 0; k < gridN; k++ {
+		candidates = append(candidates, cMax*float64(k)/(gridN-1))
+	}
+	for _, cp := range sys.CPs {
+		if cp.Value > 0 && cp.Value <= cMax {
+			candidates = append(candidates, cp.Value, math.Nextafter(cp.Value, 0))
+		}
+	}
+	bestC, bestR := 0.0, math.Inf(-1)
+	for _, c := range candidates {
+		out, err := Solve(sys, p, c)
+		if err != nil {
+			return 0, Outcome{}, err
+		}
+		if out.Revenue > bestR {
+			bestC, bestR = c, out.Revenue
+		}
+	}
+	// Polish inside the smooth segment around bestC (no exits crossed).
+	lo, hi := 0.0, cMax
+	for _, cp := range sys.CPs {
+		if cp.Value <= bestC && cp.Value > lo {
+			lo = cp.Value
+		}
+		if cp.Value > bestC && cp.Value < hi {
+			hi = math.Nextafter(cp.Value, 0)
+		}
+	}
+	if hi > lo {
+		c, _ := numeric.MaximizeOnInterval(func(c float64) float64 {
+			out, err := Solve(sys, p, c)
+			if err != nil {
+				return math.Inf(-1)
+			}
+			return out.Revenue
+		}, lo, hi, 17)
+		if out, err := Solve(sys, p, c); err == nil && out.Revenue > bestR {
+			bestC, bestR = c, out.Revenue
+		}
+	}
+	out, err := Solve(sys, p, bestC)
+	if err != nil {
+		return 0, Outcome{}, err
+	}
+	return bestC, out, nil
+}
+
+// Comparison pits the two settlement models against each other at the same
+// usage price: the ISP extracts its optimal termination fee in one world and
+// the CPs play the subsidization equilibrium (cap q) in the other.
+type Comparison struct {
+	TwoSided    Outcome
+	Subsidized  game.Equilibrium
+	SubsidyRev  float64
+	SubsidyWelf float64
+}
+
+// Compare runs both worlds on the same system at usage price p, with
+// termination fees up to cMax and subsidies up to q.
+func Compare(sys *model.System, p, cMax, q float64) (Comparison, error) {
+	_, ts, err := OptimalFee(sys, p, cMax)
+	if err != nil {
+		return Comparison{}, err
+	}
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		return Comparison{}, err
+	}
+	eq, err := g.SolveNash(game.Options{})
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		TwoSided:    ts,
+		Subsidized:  eq,
+		SubsidyRev:  g.Revenue(eq.State),
+		SubsidyWelf: g.Welfare(eq.State),
+	}, nil
+}
+
+// SubsidizationPreserves reports the paper's qualitative claim for this
+// comparison: subsidization keeps every CP in the market (no exit) while
+// two-sided pricing with a revenue-seeking fee may push low-value CPs out.
+func (c Comparison) SubsidizationPreserves() bool {
+	return c.TwoSided.Exited > 0
+}

@@ -1,0 +1,133 @@
+package twosided
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+func market() *model.System {
+	mk := func(a, b, v float64) model.CP {
+		return model.CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	return &model.System{
+		CPs:  []model.CP{mk(5, 2, 1), mk(2, 5, 0.5), mk(4, 3, 0.2)},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+}
+
+func TestSolveZeroFeeIsOneSided(t *testing.T) {
+	sys := market()
+	out, err := Solve(sys, 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sys.SolveOneSided(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.State.Phi-base.Phi) > 1e-12 {
+		t.Fatal("c=0 must reproduce the one-sided baseline")
+	}
+	if out.Exited != 0 {
+		t.Fatalf("no CP should exit at c=0, got %d", out.Exited)
+	}
+	if math.Abs(out.Revenue-0.8*base.TotalThroughput()) > 1e-12 {
+		t.Fatal("revenue at c=0 must equal one-sided revenue")
+	}
+}
+
+func TestFeeDrivesExit(t *testing.T) {
+	sys := market()
+	out, err := Solve(sys, 0.8, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The v=0.2 CP must exit at c=0.3.
+	if out.Active[2] {
+		t.Fatal("v=0.2 CP should exit at c=0.3")
+	}
+	if out.Exited != 1 {
+		t.Fatalf("exited = %d", out.Exited)
+	}
+	if out.State.Theta[2] != 0 {
+		t.Fatalf("exited CP carries traffic: %v", out.State.Theta[2])
+	}
+	// Externality: survivors get *more* throughput once the rival exits.
+	base, _ := Solve(sys, 0.8, 0)
+	for _, i := range []int{0, 1} {
+		if !(out.State.Theta[i] >= base.State.Theta[i]) {
+			t.Fatalf("survivor %d lost throughput after rival exit", i)
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(market(), -1, 0); err == nil {
+		t.Fatal("negative price must be rejected")
+	}
+	if _, err := Solve(market(), 1, -1); err == nil {
+		t.Fatal("negative fee must be rejected")
+	}
+}
+
+func TestOptimalFeeBeatsGridNeighbors(t *testing.T) {
+	sys := market()
+	cStar, out, err := OptimalFee(sys, 0.8, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dc := range []float64{-0.03, 0.03} {
+		c := cStar + dc
+		if c < 0 || c > 1.2 {
+			continue
+		}
+		alt, err := Solve(sys, 0.8, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alt.Revenue > out.Revenue+1e-9 {
+			t.Fatalf("c*=%v (R=%v) beaten by c=%v (R=%v)", cStar, out.Revenue, c, alt.Revenue)
+		}
+	}
+	if out.Revenue < 0.8*out.State.TotalThroughput() {
+		t.Fatal("optimal two-sided revenue below the one-sided component")
+	}
+}
+
+func TestCompareSubsidizationKeepsEveryoneIn(t *testing.T) {
+	// The paper's §2.2 position: termination fees extract revenue by
+	// pricing out low-value CPs; subsidization raises revenue while keeping
+	// them all in the market.
+	sys := market()
+	cmp, err := Compare(sys, 0.8, 1.2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.SubsidizationPreserves() {
+		t.Skip("optimal fee kept everyone in on this instance; nothing to contrast")
+	}
+	// Under subsidization every CP carries traffic.
+	for i, th := range cmp.Subsidized.State.Theta {
+		if th <= 0 {
+			t.Fatalf("CP %d carries no traffic under subsidization", i)
+		}
+	}
+	// And welfare under subsidization beats the exit-ridden two-sided world.
+	if !(cmp.SubsidyWelf > cmp.TwoSided.Welfare) {
+		t.Fatalf("subsidized welfare %v not above two-sided %v", cmp.SubsidyWelf, cmp.TwoSided.Welfare)
+	}
+}
+
+func TestOptimalFeeValidation(t *testing.T) {
+	if _, _, err := OptimalFee(market(), 1, 0); err == nil {
+		t.Fatal("cMax must be positive")
+	}
+}

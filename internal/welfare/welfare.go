@@ -1,0 +1,119 @@
+// Package welfare implements §5.2 of the paper: the system-welfare metric
+// W = Σ_i v_i·θ_i (gross CP profit, which internalizes the subsidy transfer
+// and proxies user welfare), its response to the regulatory policy q, and
+// the decomposition behind Corollary 2.
+package welfare
+
+import (
+	"fmt"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+	"neutralnet/internal/numeric"
+)
+
+// At returns the welfare W = Σ v_i θ_i of a solved state.
+func At(sys *model.System, st model.State) float64 {
+	w := 0.0
+	for i, cp := range sys.CPs {
+		w += cp.Value * st.Theta[i]
+	}
+	return w
+}
+
+// AtEquilibrium solves the subsidization equilibrium at (p, q) and returns
+// its welfare.
+func AtEquilibrium(sys *model.System, p, q float64) (float64, error) {
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		return 0, err
+	}
+	eq, err := g.SolveNash(game.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return g.Welfare(eq.State), nil
+}
+
+// MarginalWithFixedPrice central-differences W(q) holding the ISP price
+// fixed — the Corollary 1/Corollary 2 regime of a competitive or
+// price-regulated access market. h ≤ 0 selects 1e-4.
+func MarginalWithFixedPrice(sys *model.System, p, q, h float64) (float64, error) {
+	if h <= 0 {
+		h = 1e-4
+	}
+	wp, err := AtEquilibrium(sys, p, q+h)
+	if err != nil {
+		return 0, err
+	}
+	wm, err := AtEquilibrium(sys, p, q-h)
+	if err != nil {
+		return 0, err
+	}
+	return (wp - wm) / (2 * h), nil
+}
+
+// Corollary2Terms carries the two sides of the Corollary 2 welfare
+// condition. Welfare rises with q iff Gain > Loss:
+//
+//	Gain = Σ_i (w_i/Σ_k w_k)·v_i       (population-shift component)
+//	Loss = Σ_i (−ε^λi_mi)·v_i          (congestion component, eq. 14)
+//
+// where w_i = λ_i·dm_i/dq under the full equilibrium response s(q).
+type Corollary2Terms struct {
+	W    []float64 // w_i = λ_i·dm_i/dq
+	Gain float64
+	Loss float64
+	// DPhiDq is dφ/dq; Corollary 2's premise requires it positive.
+	DPhiDq float64
+}
+
+// Holds reports whether the condition predicts rising welfare.
+func (c Corollary2Terms) Holds() bool { return c.Gain > c.Loss }
+
+// Corollary2At evaluates the Corollary 2 decomposition at the equilibrium
+// eq of the game (p fixed, policy q). dm_i/dq is obtained from the
+// Theorem 6 subsidy sensitivities: dm_i/dq = (dm_i/dt_i)·(−∂s_i/∂q).
+func Corollary2At(sys *model.System, p, q float64, eq game.Equilibrium) (Corollary2Terms, error) {
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		return Corollary2Terms{}, err
+	}
+	sens, err := g.SensitivityAt(eq.S)
+	if err != nil {
+		return Corollary2Terms{}, err
+	}
+	st := eq.State
+	n := sys.N()
+	terms := Corollary2Terms{W: make([]float64, n)}
+	sumW := 0.0
+	for i, cp := range sys.CPs {
+		ti := p - eq.S[i]
+		dmdq := cp.Demand.DM(ti) * (-sens.DsDq[i])
+		wi := cp.Throughput.Lambda(st.Phi) * dmdq
+		terms.W[i] = wi
+		sumW += wi
+		terms.DPhiDq += g.Sys.DPhiDM(i, st.Phi, st.M) * dmdq
+	}
+	if sumW == 0 {
+		return terms, fmt.Errorf("welfare: degenerate decomposition (Σw=0) at p=%g q=%g", p, q)
+	}
+	for i, cp := range sys.CPs {
+		terms.Gain += terms.W[i] / sumW * cp.Value
+		terms.Loss += -sys.LambdaMElasticity(i, st.Phi, st.M) * cp.Value
+	}
+	return terms, nil
+}
+
+// ConsumerSurplus extends the paper's welfare accounting with the standard
+// consumer-surplus integral ∫_t^∞ m_i(x) dx per CP (the area under the
+// demand curve above the effective price), computed by tail-marching
+// Simpson quadrature. It is an extension — the paper uses W = Σ v_i θ_i —
+// and powers the price-regulation example.
+func ConsumerSurplus(sys *model.System, prices []float64) float64 {
+	total := 0.0
+	for i, cp := range sys.CPs {
+		total += numeric.IntegrateTail(cp.Demand.M, prices[i], 5, 1e-10, 0)
+	}
+	return total
+}

@@ -1,0 +1,121 @@
+package welfare
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+)
+
+func market() *model.System {
+	mk := func(a, b, v float64) model.CP {
+		return model.CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	return &model.System{
+		CPs:  []model.CP{mk(5, 2, 1), mk(2, 5, 0.5), mk(3, 3, 0.8)},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+}
+
+func TestAtMatchesManualSum(t *testing.T) {
+	sys := market()
+	st, err := sys.SolveOneSided(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i, cp := range sys.CPs {
+		want += cp.Value * st.Theta[i]
+	}
+	if got := At(sys, st); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("welfare %v, want %v", got, want)
+	}
+}
+
+func TestWelfareRisesWithQAtFixedPrice(t *testing.T) {
+	sys := market()
+	prev := -1.0
+	for _, q := range []float64{0, 0.5, 1, 1.5} {
+		w, err := AtEquilibrium(sys, 1, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < prev-1e-8 {
+			t.Fatalf("welfare fell from %v to %v at q=%v", prev, w, q)
+		}
+		prev = w
+	}
+}
+
+func TestCorollary2SignAgreement(t *testing.T) {
+	// Where dφ/dq > 0, the Corollary 2 condition must predict the sign of
+	// the measured marginal welfare.
+	sys := market()
+	p, q := 1.0, 0.6
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := g.SolveNash(game.Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms, err := Corollary2At(sys, p, q, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terms.DPhiDq <= 0 {
+		t.Skipf("premise dφ/dq > 0 does not hold here (%v); nothing to check", terms.DPhiDq)
+	}
+	dw, err := MarginalWithFixedPrice(sys, p, q, 2e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dw) < 1e-5 {
+		t.Skip("marginal welfare too close to zero to sign")
+	}
+	if terms.Holds() != (dw > 0) {
+		t.Fatalf("Corollary 2 predicts %v (gain %v vs loss %v) but dW/dq = %v",
+			terms.Holds(), terms.Gain, terms.Loss, dw)
+	}
+}
+
+func TestConsumerSurplusClosedForm(t *testing.T) {
+	// For exponential demand, ∫_t^∞ e^{−αx} dx = e^{−αt}/α.
+	sys := &model.System{
+		CPs: []model.CP{{
+			Demand:     econ.NewExpDemand(2),
+			Throughput: econ.NewExpThroughput(1),
+			Value:      1,
+		}},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+	for _, tt := range []float64{0, 0.5, 1.5} {
+		got := ConsumerSurplus(sys, []float64{tt})
+		want := math.Exp(-2*tt) / 2
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("CS at t=%v: %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestConsumerSurplusDecreasingInPrice(t *testing.T) {
+	sys := market()
+	prev := math.Inf(1)
+	for _, p := range []float64{0.2, 0.6, 1.2, 2} {
+		prices := []float64{p, p, p}
+		cs := ConsumerSurplus(sys, prices)
+		if cs >= prev {
+			t.Fatalf("consumer surplus rose with price at p=%v", p)
+		}
+		prev = cs
+	}
+}

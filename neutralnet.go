@@ -1,0 +1,190 @@
+// Package neutralnet is a Go reproduction of Richard T. B. Ma,
+// "Subsidization Competition: Vitalizing the Neutral Internet" (ACM CoNEXT
+// 2014). It models an access ISP's network as a utilization fixed point
+// shared by content providers (CPs), lets CPs voluntarily subsidize their
+// users' usage-based fees up to a regulatory cap q, and solves the resulting
+// competition game to a Nash equilibrium — exposing the ISP-revenue, welfare
+// and sensitivity analyses of the paper.
+//
+// This root package is the stable public API: it re-exports the core types
+// from the internal packages and provides convenience constructors. The
+// typical flow is:
+//
+//	sys := neutralnet.NewSystem(1.0, // capacity µ
+//	    neutralnet.NewCP("video", 2, 5, 1.0),  // α, β, v
+//	    neutralnet.NewCP("social", 5, 2, 0.5),
+//	)
+//	eq, err := neutralnet.SolveEquilibrium(sys, 1.0 /* price p */, 1.0 /* cap q */)
+//
+// Deeper control (custom demand/throughput/utilization curves, sensitivity
+// analysis, ISP pricing, welfare decompositions, the flow-level grounding
+// simulator and the per-figure reproduction harness) lives in the internal
+// packages and is re-exported here where it forms part of the supported
+// surface.
+package neutralnet
+
+import (
+	"fmt"
+
+	"neutralnet/internal/dynamics"
+	"neutralnet/internal/econ"
+	"neutralnet/internal/game"
+	"neutralnet/internal/isp"
+	"neutralnet/internal/longrun"
+	"neutralnet/internal/model"
+	"neutralnet/internal/planner"
+	"neutralnet/internal/welfare"
+)
+
+// Core model types.
+type (
+	// CP is one content provider: demand curve, throughput curve and
+	// per-unit profitability.
+	CP = model.CP
+	// System is the physical model (CPs, capacity, utilization map).
+	System = model.System
+	// State is a solved physical state (utilization, populations,
+	// throughputs).
+	State = model.State
+
+	// Demand is a user-demand curve m(t) (Assumption 2).
+	Demand = econ.Demand
+	// Throughput is a per-user throughput curve λ(φ) (Assumption 1).
+	Throughput = econ.Throughput
+	// Utilization is a system-utilization map Φ(θ, µ) with inverse Θ.
+	Utilization = econ.Utilization
+
+	// Game is a subsidization-competition instance at price p and cap q.
+	Game = game.Game
+	// Equilibrium is a solved Nash equilibrium with its physical state.
+	Equilibrium = game.Equilibrium
+	// SolveOptions configures the Nash solver.
+	SolveOptions = game.Options
+	// Sensitivity carries the Theorem 6 derivatives ∂s/∂p and ∂s/∂q.
+	Sensitivity = game.Sensitivity
+
+	// Outcome is an ISP-side summary (revenue, welfare) of an equilibrium.
+	Outcome = isp.Outcome
+	// CapacityPlanResult is the joint (price, capacity) planning outcome.
+	CapacityPlanResult = isp.CapacityPlanResult
+)
+
+// Curve families (the paper's styled exponential forms plus alternatives).
+type (
+	// ExpDemand is m(t) = Scale·e^{−αt}.
+	ExpDemand = econ.ExpDemand
+	// ExpThroughput is λ(φ) = Peak·e^{−βφ}.
+	ExpThroughput = econ.ExpThroughput
+	// LinearUtilization is the paper's Φ(θ, µ) = θ/µ.
+	LinearUtilization = econ.LinearUtilization
+	// SaturatingUtilization is Φ = θ/(µ−θ), a queueing-flavored alternative.
+	SaturatingUtilization = econ.SaturatingUtilization
+)
+
+// NewCP builds a CP with the paper's exponential forms: demand e^{−αt},
+// throughput e^{−βφ}, profitability v.
+func NewCP(name string, alpha, beta, v float64) CP {
+	return CP{
+		Name:       name,
+		Demand:     econ.NewExpDemand(alpha),
+		Throughput: econ.NewExpThroughput(beta),
+		Value:      v,
+	}
+}
+
+// NewSystem builds a System with capacity mu, the paper's Φ = θ/µ
+// utilization metric, and the given CPs.
+func NewSystem(mu float64, cps ...CP) *System {
+	return &System{CPs: cps, Mu: mu, Util: LinearUtilization{}}
+}
+
+// NewGame constructs a validated subsidization game at ISP price p and
+// policy cap q over the system.
+func NewGame(sys *System, p, q float64) (*Game, error) { return game.New(sys, p, q) }
+
+// SolveEquilibrium solves the Nash equilibrium of the subsidization game at
+// (p, q) with default options. q = 0 reproduces the one-sided pricing status
+// quo.
+func SolveEquilibrium(sys *System, p, q float64) (Equilibrium, error) {
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		return Equilibrium{}, err
+	}
+	return g.SolveNash(game.Options{})
+}
+
+// SolveOneSided solves the no-subsidy baseline state at uniform price p.
+func SolveOneSided(sys *System, p float64) (State, error) { return sys.SolveOneSided(p) }
+
+// Revenue returns the ISP's usage revenue p·Σθ at an equilibrium.
+func Revenue(sys *System, p float64, eq Equilibrium) float64 {
+	return p * eq.State.TotalThroughput()
+}
+
+// Welfare returns the system welfare W = Σ v_i θ_i at a state.
+func Welfare(sys *System, st State) float64 { return welfare.At(sys, st) }
+
+// OptimalPrice finds the ISP's revenue-maximizing price on [0, pMax] under
+// policy cap q and returns it with the outcome there.
+func OptimalPrice(sys *System, q, pMax float64) (float64, Outcome, error) {
+	return isp.OptimalPrice(sys, q, 0, pMax, 0)
+}
+
+// PlanCapacity solves the future-work capacity-planning extension: maximize
+// R(p; µ) − cost·µ over capacities in [muLo, muHi] and prices in [0, pMax].
+func PlanCapacity(sys *System, q, cost, muLo, muHi, pMax float64) (CapacityPlanResult, error) {
+	return isp.CapacityPlan(sys, q, cost, muLo, muHi, pMax, 0)
+}
+
+// SensitivityAt computes the Theorem 6 equilibrium derivatives ∂s/∂p and
+// ∂s/∂q at an equilibrium of the game at (p, q).
+func SensitivityAt(sys *System, p, q float64, eq Equilibrium) (Sensitivity, error) {
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	return g.SensitivityAt(eq.S)
+}
+
+// Describe renders a one-line summary of an equilibrium for logs and
+// examples.
+func Describe(sys *System, p float64, eq Equilibrium) string {
+	return fmt.Sprintf("phi=%.4f R=%.4f W=%.4f s=%v",
+		eq.State.Phi, Revenue(sys, p, eq), welfare.At(sys, eq.State), eq.S)
+}
+
+// Extension surface: the settlement comparators and dynamic analyses built
+// on top of the core game.
+type (
+	// Efficiency compares the Nash equilibrium with the social planner's
+	// welfare optimum at the same (p, q).
+	Efficiency = planner.Efficiency
+	// InvestmentTrajectory is the long-run capacity-investment path.
+	InvestmentTrajectory = longrun.Trajectory
+	// AdjustmentTrajectory is an off-equilibrium adjustment path of the
+	// subsidization game.
+	AdjustmentTrajectory = dynamics.Trajectory
+)
+
+// CompareEfficiency quantifies how much of the planner's welfare the
+// decentralized subsidization competition attains at (p, q).
+func CompareEfficiency(sys *System, p, q float64) (Efficiency, error) {
+	return planner.CompareAt(sys, p, q)
+}
+
+// SimulateInvestment runs the long-run capacity-investment process from
+// initial capacity mu0 at fixed price p, cap q and per-unit capacity cost.
+func SimulateInvestment(sys *System, mu0, p, q, cost float64) (InvestmentTrajectory, error) {
+	return longrun.Simulate(sys, mu0, longrun.Config{P: p, Q: q, Cost: cost})
+}
+
+// SimulateAdjustment runs damped best-response dynamics from the zero
+// profile, showing whether (and how fast) the market reaches the static
+// equilibrium.
+func SimulateAdjustment(sys *System, p, q float64) (AdjustmentTrajectory, error) {
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		return AdjustmentTrajectory{}, err
+	}
+	return dynamics.Simulate(g, dynamics.Config{Process: dynamics.BestResponse, Eta: 0.6})
+}

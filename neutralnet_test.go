@@ -1,0 +1,144 @@
+package neutralnet_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"neutralnet"
+)
+
+func demoSystem() *neutralnet.System {
+	return neutralnet.NewSystem(1.0,
+		neutralnet.NewCP("video", 5, 2, 1.0),
+		neutralnet.NewCP("startup", 5, 5, 0.3),
+		neutralnet.NewCP("messaging", 2, 5, 0.5),
+	)
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := demoSystem()
+	base, err := neutralnet.SolveOneSided(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := neutralnet.SolveEquilibrium(sys, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.Converged {
+		t.Fatal("equilibrium did not converge")
+	}
+	// Corollary 1 through the public API: subsidization raises utilization
+	// and ISP revenue at a fixed price.
+	if !(eq.State.Phi > base.Phi) {
+		t.Fatalf("utilization did not rise: %v vs %v", base.Phi, eq.State.Phi)
+	}
+	if !(neutralnet.Revenue(sys, 1, eq) > 1*base.TotalThroughput()) {
+		t.Fatal("revenue did not rise under subsidization")
+	}
+	if w := neutralnet.Welfare(sys, eq.State); w <= neutralnet.Welfare(sys, base) {
+		t.Fatalf("welfare did not rise: %v", w)
+	}
+	if d := neutralnet.Describe(sys, 1, eq); !strings.Contains(d, "phi=") {
+		t.Fatalf("Describe: %q", d)
+	}
+}
+
+func TestZeroCapMatchesBaseline(t *testing.T) {
+	sys := demoSystem()
+	base, err := neutralnet.SolveOneSided(sys, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := neutralnet.SolveEquilibrium(sys, 0.7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eq.State.Phi-base.Phi) > 1e-12 {
+		t.Fatal("q=0 must reproduce the one-sided baseline")
+	}
+}
+
+func TestOptimalPriceFacade(t *testing.T) {
+	sys := demoSystem()
+	p, out, err := neutralnet.OptimalPrice(sys, 1, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p >= 2.5 {
+		t.Fatalf("expected interior optimum, got %v", p)
+	}
+	if out.Revenue <= 0 {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestSensitivityFacade(t *testing.T) {
+	sys := demoSystem()
+	eq, err := neutralnet.SolveEquilibrium(sys, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens, err := neutralnet.SensitivityAt(sys, 1, 0.5, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens.DsDq) != sys.N() || len(sens.DsDp) != sys.N() {
+		t.Fatalf("sensitivity shape: %+v", sens)
+	}
+}
+
+func TestPlanCapacityFacade(t *testing.T) {
+	sys := neutralnet.NewSystem(1.0,
+		neutralnet.NewCP("a", 4, 2, 1),
+		neutralnet.NewCP("b", 2, 4, 0.5),
+	)
+	res, err := neutralnet.PlanCapacity(sys, 1, 0.1, 0.5, 2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mu < 0.5 || res.Mu > 2 {
+		t.Fatalf("capacity out of bounds: %v", res.Mu)
+	}
+}
+
+func TestNewGameValidates(t *testing.T) {
+	if _, err := neutralnet.NewGame(demoSystem(), -1, 0); err == nil {
+		t.Fatal("negative price must be rejected through the facade")
+	}
+}
+
+func TestExtensionFacade(t *testing.T) {
+	sys := demoSystem()
+	eff, err := neutralnet.CompareEfficiency(sys, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Ratio <= 0 || eff.Ratio > 1+1e-9 {
+		t.Fatalf("efficiency ratio %v", eff.Ratio)
+	}
+	inv, err := neutralnet.SimulateInvestment(sys, 0.5, 1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.Epochs) == 0 {
+		t.Fatal("no investment epochs")
+	}
+	adj, err := neutralnet.SimulateAdjustment(sys, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adj.Converged {
+		t.Fatal("adjustment dynamics did not converge")
+	}
+	eq, err := neutralnet.SolveEquilibrium(sys, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range eq.S {
+		if math.Abs(adj.Final()[i]-eq.S[i]) > 1e-4 {
+			t.Fatalf("dynamics endpoint %v differs from equilibrium %v", adj.Final(), eq.S)
+		}
+	}
+}
