@@ -12,6 +12,7 @@ package neutralnet_test
 import (
 	"testing"
 
+	"neutralnet"
 	"neutralnet/internal/econ"
 	"neutralnet/internal/experiments"
 	"neutralnet/internal/flowsim"
@@ -130,7 +131,107 @@ func BenchmarkOptimalPrice(b *testing.B) {
 	sys := experiments.EightCPGrid()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := isp.OptimalPrice(sys, 1, 0.05, 2, 9); err != nil {
+		if _, _, err := isp.OptimalPrice(sys, 1, 0.05, 2, 9, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Engine sessions ---------------------------------------------------------
+
+// engineBenchSystem mirrors the §5.2 eight-CP catalog through the public
+// constructors, so the Engine benchmarks exercise the exported path only.
+func engineBenchSystem() *neutralnet.System {
+	src := experiments.EightCPGrid()
+	return neutralnet.NewSystem(src.Mu, src.CPs...)
+}
+
+// engineBenchGrid is a 125-point (p, q) surface — the shape of the paper's
+// Figure 7 computation.
+func engineBenchGrid() neutralnet.Grid {
+	return neutralnet.Grid{
+		P: neutralnet.UniformGrid(0.05, 2, 25),
+		Q: []float64{0, 0.5, 1, 1.5, 2},
+	}
+}
+
+// BenchmarkEngineSolveCold is the per-point baseline: one cold equilibrium
+// solve through the Engine with cache and warm starts disabled.
+func BenchmarkEngineSolveCold(b *testing.B) {
+	eng, err := neutralnet.NewEngine(engineBenchSystem(),
+		neutralnet.WithCache(0), neutralnet.WithWarmStart(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Solve(1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSolveCached measures the cache-hit path: every iteration
+// after the first is answered from the bounded equilibrium cache.
+func BenchmarkEngineSolveCached(b *testing.B) {
+	eng, err := neutralnet.NewEngine(engineBenchSystem())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Solve(1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSweep quantifies the Engine's two levers on a dense
+// 125-point sweep: warm-started chains vs cold per-point solves, and the
+// worker pool at 1/4/8 workers. For a fixed warm-start setting, results
+// are bit-identical across worker counts (see
+// TestSweepDeterministicAcrossWorkers); warm and cold iterates agree only
+// to solver tolerance.
+func BenchmarkEngineSweep(b *testing.B) {
+	grid := engineBenchGrid()
+	for _, bc := range []struct {
+		name string
+		opts []neutralnet.Option
+	}{
+		{"cold-1w", []neutralnet.Option{neutralnet.WithWarmStart(false), neutralnet.WithWorkers(1), neutralnet.WithCache(0)}},
+		{"warm-1w", []neutralnet.Option{neutralnet.WithWorkers(1), neutralnet.WithCache(0)}},
+		{"warm-4w", []neutralnet.Option{neutralnet.WithWorkers(4), neutralnet.WithCache(0)}},
+		{"warm-8w", []neutralnet.Option{neutralnet.WithWorkers(8), neutralnet.WithCache(0)}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			eng, err := neutralnet.NewEngine(engineBenchSystem(), bc.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Sweep(grid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Points) != grid.Size() {
+					b.Fatalf("points: %d", len(res.Points))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineOptimalPrice measures the Engine's price optimization
+// (sweep-based scan plus golden refinement).
+func BenchmarkEngineOptimalPrice(b *testing.B) {
+	eng, err := neutralnet.NewEngine(engineBenchSystem(), neutralnet.WithCache(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.OptimalPrice(1, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -242,7 +343,7 @@ func BenchmarkCapacityPlan(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := isp.CapacityPlan(sys, 1, 0.1, 0.5, 2, 1.5, 5); err != nil {
+		if _, err := isp.CapacityPlan(sys, 1, 0.1, 0.5, 2, 1.5, 5, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

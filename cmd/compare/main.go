@@ -12,6 +12,10 @@
 // distributed. It also runs the off-equilibrium adjustment dynamics to show
 // the subsidization equilibrium is reachable, not just well-defined.
 //
+// The game-theoretic rows run through the public Engine API; only the
+// settlement comparators without a public surface (two-sided fees, Shapley
+// values) reach into the internal packages.
+//
 // Usage: compare [-p price] [-q cap] [-cmax maxFee]
 package main
 
@@ -20,11 +24,7 @@ import (
 	"fmt"
 	"os"
 
-	"neutralnet/internal/dynamics"
-	"neutralnet/internal/econ"
-	"neutralnet/internal/game"
-	"neutralnet/internal/model"
-	"neutralnet/internal/planner"
+	"neutralnet"
 	"neutralnet/internal/report"
 	"neutralnet/internal/shapley"
 	"neutralnet/internal/twosided"
@@ -43,33 +43,25 @@ func main() {
 }
 
 func run(p, q, cmax float64) error {
-	mk := func(name string, a, b, v float64) model.CP {
-		return model.CP{
-			Name:       name,
-			Demand:     econ.NewExpDemand(a),
-			Throughput: econ.NewExpThroughput(b),
-			Value:      v,
-		}
-	}
-	sys := &model.System{
-		CPs: []model.CP{
-			mk("video", 5, 2, 1.0),
-			mk("social", 2, 5, 0.5),
-			mk("startup", 4, 3, 0.2),
-		},
-		Mu:   1,
-		Util: econ.LinearUtilization{},
+	sys := neutralnet.NewSystem(1,
+		neutralnet.NewCP("video", 5, 2, 1.0),
+		neutralnet.NewCP("social", 2, 5, 0.5),
+		neutralnet.NewCP("startup", 4, 3, 0.2),
+	)
+	eng, err := neutralnet.NewEngine(sys)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("market: %d CPs, µ=%g, usage price p=%g, subsidy cap q=%g\n\n", sys.N(), sys.Mu, p, q)
 
 	t := report.NewTable("settlement model", "ISP revenue", "welfare", "CPs active", "note")
 
 	// 1. One-sided baseline.
-	base, err := sys.SolveOneSided(p)
+	base, err := neutralnet.SolveOneSided(sys, p)
 	if err != nil {
 		return err
 	}
-	t.AddRow("one-sided (status quo)", p*base.TotalThroughput(), welfareOf(sys, base.Theta), sys.N(), "zero-pricing to CPs")
+	t.AddRow("one-sided (status quo)", p*base.TotalThroughput(), neutralnet.Welfare(sys, base), sys.N(), "zero-pricing to CPs")
 
 	// 2. Two-sided with optimal termination fee.
 	cStar, ts, err := twosided.OptimalFee(sys, p, cmax)
@@ -79,25 +71,17 @@ func run(p, q, cmax float64) error {
 	t.AddRow(fmt.Sprintf("two-sided (fee c*=%.3f)", cStar), ts.Revenue, ts.Welfare,
 		sys.N()-ts.Exited, fmt.Sprintf("%d CP(s) priced out", ts.Exited))
 
-	// 3. Subsidization competition.
-	g, err := game.New(sys, p, q)
+	// 3-4. Subsidization competition vs the social planner — one Engine
+	// call computes both sides of the efficiency comparison.
+	eff, err := eng.CompareEfficiency(p, q)
 	if err != nil {
 		return err
 	}
-	eq, err := g.SolveNash(game.Options{})
-	if err != nil {
-		return err
-	}
-	t.AddRow("subsidization (Nash)", g.Revenue(eq.State), g.Welfare(eq.State), sys.N(),
+	eq := eff.Nash
+	t.AddRow("subsidization (Nash)", neutralnet.Revenue(sys, p, eq), eff.WNash, sys.N(),
 		fmt.Sprintf("s=%v", compact(eq.S)))
-
-	// 4. Social planner.
-	opt, err := planner.Maximize(sys, p, q, planner.Welfare, 0, 0)
-	if err != nil {
-		return err
-	}
-	t.AddRow("planner (max welfare)", p*opt.State.TotalThroughput(), opt.Value, sys.N(),
-		fmt.Sprintf("s=%v", compact(opt.S)))
+	t.AddRow("planner (max welfare)", p*eff.Planner.State.TotalThroughput(), eff.WOpt, sys.N(),
+		fmt.Sprintf("s=%v (Nash attains %.1f%%)", compact(eff.Planner.S), 100*eff.Ratio))
 
 	fmt.Println(t)
 
@@ -115,7 +99,7 @@ func run(p, q, cmax float64) error {
 	fmt.Printf("(Shapley efficiency residual: %.2e)\n\n", sv.Efficiency())
 
 	// Off-equilibrium dynamics: is the Nash point actually reached?
-	tr, err := dynamics.Simulate(g, dynamics.Config{Process: dynamics.BestResponse, Eta: 0.6})
+	tr, err := neutralnet.SimulateAdjustment(sys, p, q)
 	if err != nil {
 		return err
 	}
@@ -125,14 +109,6 @@ func run(p, q, cmax float64) error {
 	fmt.Println("subsidization raises revenue above the status quo while keeping every CP")
 	fmt.Println("alive — the paper's case for the voluntary channel over termination fees.")
 	return nil
-}
-
-func welfareOf(sys *model.System, theta []float64) float64 {
-	w := 0.0
-	for i, cp := range sys.CPs {
-		w += cp.Value * theta[i]
-	}
-	return w
 }
 
 func compact(s []float64) []float64 {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	figures [-points N] [-out DIR] [-csv] [-charts] [-check]
+//	figures [-points N] [-workers N] [-out DIR] [-csv] [-charts] [-check]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"neutralnet/internal/experiments"
 	"neutralnet/internal/report"
@@ -21,6 +22,7 @@ import (
 
 func main() {
 	points := flag.Int("points", 41, "price grid resolution per figure")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "sweep worker-pool size (results are identical for any value)")
 	outDir := flag.String("out", "", "directory for CSV export (empty: no CSV)")
 	charts := flag.Bool("charts", true, "print ASCII charts")
 	tables := flag.Bool("tables", false, "print full data tables")
@@ -29,13 +31,13 @@ func main() {
 	theorems := flag.Bool("theorems", false, "run the theorem-by-theorem numerical validation")
 	flag.Parse()
 
-	if err := run(*points, *outDir, *charts, *tables, *check, *regimes, *theorems); err != nil {
+	if err := run(*points, *workers, *outDir, *charts, *tables, *check, *regimes, *theorems); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(points int, outDir string, charts, tables, check, regimes, theorems bool) error {
+func run(points, workers int, outDir string, charts, tables, check, regimes, theorems bool) error {
 	writeCSV := func(name string, t *report.Table) error {
 		if outDir == "" {
 			return nil
@@ -81,7 +83,7 @@ func run(points int, outDir string, charts, tables, check, regimes, theorems boo
 	}
 
 	fmt.Println("== Figures 7-11: subsidization competition (8 CP types, (α,β,v)∈{2,5}²×{0.5,1}) ==")
-	sw, err := experiments.RunPolicySweep(points, 0)
+	sw, err := experiments.RunPolicySweepOn(experiments.EightCPGrid(), experiments.QLevels(), points, 0, workers)
 	if err != nil {
 		return err
 	}

@@ -26,9 +26,7 @@ import (
 	"strconv"
 	"strings"
 
-	"neutralnet/internal/econ"
-	"neutralnet/internal/game"
-	"neutralnet/internal/model"
+	"neutralnet"
 	"neutralnet/internal/report"
 )
 
@@ -109,15 +107,15 @@ func run(file string, price, policy float64, sens, jsonOut bool) error {
 	if err != nil {
 		return err
 	}
-	g, err := game.New(sys, sc.Price, sc.Policy)
+	eng, err := neutralnet.NewEngine(sys)
 	if err != nil {
 		return err
 	}
-	eq, err := g.SolveNash(game.Options{})
+	eq, err := eng.Solve(sc.Price, sc.Policy)
 	if err != nil {
 		return err
 	}
-	kkt, err := g.VerifyKKT(eq.S)
+	kkt, err := eng.VerifyKKT(sc.Price, sc.Policy, eq)
 	if err != nil {
 		return err
 	}
@@ -125,12 +123,14 @@ func run(file string, price, policy float64, sens, jsonOut bool) error {
 	if jsonOut {
 		res := result{
 			Price: sc.Price, Policy: sc.Policy,
-			Phi: eq.State.Phi, Revenue: g.Revenue(eq.State), Welfare: g.Welfare(eq.State),
+			Phi:        eq.State.Phi,
+			Revenue:    neutralnet.Revenue(sys, sc.Price, eq),
+			Welfare:    neutralnet.Welfare(sys, eq.State),
 			Iterations: eq.Iterations, KKTResidual: kkt.MaxViolation,
 		}
-		var sv game.Sensitivity
+		var sv neutralnet.Sensitivity
 		if sens {
-			if sv, err = g.SensitivityAt(eq.S); err != nil {
+			if sv, err = eng.Sensitivity(sc.Price, sc.Policy); err != nil {
 				return err
 			}
 		}
@@ -154,7 +154,7 @@ func run(file string, price, policy float64, sens, jsonOut bool) error {
 	fmt.Printf("equilibrium: converged in %d iterations, KKT residual %.2e (%s)\n",
 		eq.Iterations, kkt.MaxViolation, kkt.Partition)
 	fmt.Printf("utilization phi=%.6f   ISP revenue R=%.6f   welfare W=%.6f\n\n",
-		eq.State.Phi, g.Revenue(eq.State), g.Welfare(eq.State))
+		eq.State.Phi, neutralnet.Revenue(sys, sc.Price, eq), neutralnet.Welfare(sys, eq.State))
 
 	t := report.NewTable("CP", "subsidy s", "user price t", "population m", "throughput th", "utility U")
 	for i, cp := range sys.CPs {
@@ -163,7 +163,7 @@ func run(file string, price, policy float64, sens, jsonOut bool) error {
 	fmt.Println(t)
 
 	if sens {
-		sv, err := g.SensitivityAt(eq.S)
+		sv, err := eng.Sensitivity(sc.Price, sc.Policy)
 		if err != nil {
 			return err
 		}
@@ -176,7 +176,7 @@ func run(file string, price, policy float64, sens, jsonOut bool) error {
 	return nil
 }
 
-func buildSystem(sc scenario) (*model.System, error) {
+func buildSystem(sc scenario) (*neutralnet.System, error) {
 	if len(sc.CPs) == 0 {
 		return nil, fmt.Errorf("scenario has no CPs")
 	}
@@ -184,7 +184,7 @@ func buildSystem(sc scenario) (*model.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	var cps []model.CP
+	var cps []neutralnet.CP
 	for _, c := range sc.CPs {
 		scale, peak := c.Scale, c.Peak
 		if scale == 0 {
@@ -193,28 +193,28 @@ func buildSystem(sc scenario) (*model.System, error) {
 		if peak == 0 {
 			peak = 1
 		}
-		cps = append(cps, model.CP{
+		cps = append(cps, neutralnet.CP{
 			Name:       c.Name,
-			Demand:     econ.ExpDemand{Alpha: c.Alpha, Scale: scale},
-			Throughput: econ.ExpThroughput{Beta: c.Beta, Peak: peak},
+			Demand:     neutralnet.ExpDemand{Alpha: c.Alpha, Scale: scale},
+			Throughput: neutralnet.ExpThroughput{Beta: c.Beta, Peak: peak},
 			Value:      c.Value,
 		})
 	}
-	return &model.System{CPs: cps, Mu: sc.Capacity, Util: util}, nil
+	return &neutralnet.System{CPs: cps, Mu: sc.Capacity, Util: util}, nil
 }
 
-func parseUtilization(name string) (econ.Utilization, error) {
+func parseUtilization(name string) (neutralnet.Utilization, error) {
 	switch {
 	case name == "" || name == "linear":
-		return econ.LinearUtilization{}, nil
+		return neutralnet.LinearUtilization{}, nil
 	case name == "saturating":
-		return econ.SaturatingUtilization{}, nil
+		return neutralnet.SaturatingUtilization{}, nil
 	case strings.HasPrefix(name, "power:"):
 		gamma, err := strconv.ParseFloat(strings.TrimPrefix(name, "power:"), 64)
 		if err != nil || gamma <= 0 {
 			return nil, fmt.Errorf("invalid power utilization %q", name)
 		}
-		return econ.PowerUtilization{Gamma: gamma}, nil
+		return neutralnet.PowerUtilization{Gamma: gamma}, nil
 	default:
 		return nil, fmt.Errorf("unknown utilization %q (want linear, saturating, power:<gamma>)", name)
 	}

@@ -1,0 +1,322 @@
+package neutralnet
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/isp"
+	"neutralnet/internal/planner"
+	"neutralnet/internal/sweep"
+)
+
+// Engine is a reusable equilibrium-computation session over one System. It
+// owns the solver configuration, a bounded equilibrium cache keyed on
+// (p, q, µ), and a warm-start store that seeds each Nash solve from the
+// nearest previously solved profile — making dense parameter sweeps (the
+// paper's revenue/welfare surfaces, the Theorem 6 sensitivity maps)
+// dramatically cheaper than independent cold solves.
+//
+// An Engine is safe for concurrent use. Sweep runs a worker pool over the
+// grid and is deterministic: results are bit-identical for every worker
+// count.
+type Engine struct {
+	sys *System
+	cfg engineConfig
+
+	mu    sync.Mutex
+	cache *eqCache
+	stats EngineStats
+}
+
+// EngineStats counts the Engine's solver and cache activity across Solve,
+// SolveAt and Sweep. The higher-level searches (OptimalPrice, PlanCapacity,
+// CompareEfficiency) run inside the internal packages and are not counted.
+type EngineStats struct {
+	Solves     uint64 // Nash solves actually performed
+	CacheHits  uint64 // Solve calls answered from the cache
+	WarmStarts uint64 // solves seeded from a previously solved profile
+	Evictions  uint64 // cache entries evicted by the size bound
+}
+
+// NewEngine builds an Engine over the validated system with the given
+// options. The system is treated as read-only for the Engine's lifetime.
+func NewEngine(sys *System, opts ...Option) (*Engine, error) {
+	if sys == nil {
+		return nil, errNilSystem
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	e := &Engine{sys: sys, cfg: cfg}
+	if cfg.cacheSize > 0 {
+		e.cache = newEqCache(cfg.cacheSize)
+	}
+	return e, nil
+}
+
+// System returns the system the Engine solves over.
+func (e *Engine) System() *System { return e.sys }
+
+// Stats returns a snapshot of the Engine's activity counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// CacheLen returns the number of cached equilibria.
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.len()
+}
+
+// Solve returns the Nash equilibrium of the subsidization game at price p
+// and cap q, consulting the cache and warm-starting from the nearest
+// previously solved profile.
+func (e *Engine) Solve(p, q float64) (Equilibrium, error) {
+	return e.SolveAt(p, q, e.sys.Mu)
+}
+
+// gameAt builds the game at (p, q) on the Engine's system with capacity µ
+// (a copy when µ differs; the Engine's system is never mutated).
+func (e *Engine) gameAt(p, q, mu float64) (*Game, error) {
+	sys := e.sys
+	if mu != sys.Mu {
+		cp := *sys
+		cp.Mu = mu
+		sys = &cp
+	}
+	return game.New(sys, p, q)
+}
+
+// SolveAt is Solve with a capacity override: the game is solved on a copy
+// of the system with capacity µ (the Engine's system is not mutated).
+func (e *Engine) SolveAt(p, q, mu float64) (Equilibrium, error) {
+	key := eqKey{p: p, q: q, mu: mu}
+	e.mu.Lock()
+	if e.cache != nil {
+		if eq, ok := e.cache.get(key); ok {
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			return eq.Clone(), nil
+		}
+	}
+	opts := e.cfg.solver
+	if e.cfg.warmStart && e.cache != nil {
+		if warm, ok := e.cache.nearest(key); ok {
+			opts.Initial = warm
+			e.stats.WarmStarts++
+		}
+	}
+	e.mu.Unlock()
+
+	g, err := e.gameAt(p, q, mu)
+	if err != nil {
+		return Equilibrium{}, err
+	}
+	eq, err := g.SolveNash(opts)
+	if err != nil {
+		return eq, err
+	}
+
+	e.mu.Lock()
+	e.stats.Solves++
+	if e.cache != nil {
+		e.stats.Evictions += uint64(e.cache.put(key, eq.Clone()))
+	}
+	e.mu.Unlock()
+	return eq, nil
+}
+
+// Sweep solves the equilibrium over every grid point with the Engine's
+// worker pool. Points are returned in deterministic order (µ-major, then
+// q, then p) and the result is bit-identical for every worker count: warm
+// starts chain along fixed segments of each (µ, q) row's price axis only,
+// never across rows, segments, or through the cache. Solved points are
+// inserted into the cache for later Solve calls.
+func (e *Engine) Sweep(grid Grid) (*SweepResult, error) {
+	res, err := sweep.Run(e.sys, grid, sweep.Config{
+		Workers:    e.cfg.workers,
+		Solver:     e.cfg.solver,
+		WarmStart:  e.cfg.warmStart,
+		SegmentLen: sweep.DefaultSegmentLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Only the last cacheSize points can survive LRU eviction, so clone
+	// just those, and outside the lock — a sweep much larger than the
+	// cache must not churn clones or block concurrent Solve callers.
+	var insert []sweep.Point
+	var clones []Equilibrium
+	if e.cache != nil {
+		insert = res.Points
+		if len(insert) > e.cfg.cacheSize {
+			insert = insert[len(insert)-e.cfg.cacheSize:]
+		}
+		clones = make([]Equilibrium, len(insert))
+		for i, pt := range insert {
+			clones[i] = pt.Eq.Clone()
+		}
+	}
+
+	e.mu.Lock()
+	e.stats.Solves += uint64(len(res.Points))
+	if e.cfg.warmStart {
+		e.stats.WarmStarts += uint64(len(res.Points) - res.Chains)
+	}
+	for i, pt := range insert {
+		e.stats.Evictions += uint64(e.cache.put(eqKey{p: pt.P, q: pt.Q, mu: pt.Mu}, clones[i]))
+	}
+	e.mu.Unlock()
+	return res, nil
+}
+
+// OptimalPrice finds the ISP's revenue-maximizing price on [0, pMax] under
+// policy cap q: a warm-started parallel sweep under the Engine's solver
+// configuration locates the best grid cell, then golden-section search
+// refines inside it. The search runs in the internal packages and does not
+// populate the Engine's cache or stats.
+func (e *Engine) OptimalPrice(q, pMax float64) (float64, Outcome, error) {
+	return isp.OptimalPriceWith(e.sys, q, 0, pMax, 0, e.cfg.workers, e.cfg.solver, e.cfg.warmStart)
+}
+
+// PlanCapacity solves the future-work capacity-planning extension:
+// maximize R(p; µ) − cost·µ over µ ∈ [muLo, muHi] and p ∈ [0, pMax], under
+// the Engine's solver configuration. Like OptimalPrice, the search bypasses
+// the Engine's cache and stats.
+func (e *Engine) PlanCapacity(q, cost, muLo, muHi, pMax float64) (CapacityPlanResult, error) {
+	return isp.CapacityPlanWith(e.sys, q, cost, muLo, muHi, pMax, 0, e.cfg.workers, e.cfg.solver, e.cfg.warmStart)
+}
+
+// CompareEfficiency quantifies how much of the social planner's welfare
+// the decentralized subsidization competition attains at (p, q). The Nash
+// side is solved under the Engine's solver configuration.
+func (e *Engine) CompareEfficiency(p, q float64) (Efficiency, error) {
+	return planner.CompareAtWith(e.sys, p, q, e.cfg.solver)
+}
+
+// Sensitivity solves the equilibrium at (p, q) (cache-aware) and returns
+// the Theorem 6 derivatives ∂s/∂p and ∂s/∂q there, at the Engine's base
+// capacity. For SolveAt equilibria use SensitivityAtCap with the same µ.
+func (e *Engine) Sensitivity(p, q float64) (Sensitivity, error) {
+	return e.SensitivityAtCap(p, q, e.sys.Mu)
+}
+
+// SensitivityAtCap is Sensitivity with a capacity override, matching
+// SolveAt(p, q, mu).
+func (e *Engine) SensitivityAtCap(p, q, mu float64) (Sensitivity, error) {
+	eq, err := e.SolveAt(p, q, mu)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	g, err := e.gameAt(p, q, mu)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	return g.SensitivityAt(eq.S)
+}
+
+// VerifyKKT checks a candidate equilibrium of the game at (p, q) against
+// the paper's KKT system (18), at the Engine's base capacity. Equilibria
+// from SolveAt must be verified with VerifyKKTAtCap and the same µ — the
+// KKT residuals are meaningless against a game with a different capacity.
+func (e *Engine) VerifyKKT(p, q float64, eq Equilibrium) (KKTReport, error) {
+	return e.VerifyKKTAtCap(p, q, e.sys.Mu, eq)
+}
+
+// VerifyKKTAtCap is VerifyKKT with a capacity override, matching
+// SolveAt(p, q, mu).
+func (e *Engine) VerifyKKTAtCap(p, q, mu float64, eq Equilibrium) (KKTReport, error) {
+	g, err := e.gameAt(p, q, mu)
+	if err != nil {
+		return KKTReport{}, err
+	}
+	return g.VerifyKKT(eq.S)
+}
+
+// --- bounded equilibrium cache ---------------------------------------------
+
+// eqKey identifies a solved game instance.
+type eqKey struct{ p, q, mu float64 }
+
+// dist is the warm-start distance between two keys: an unnormalized L1
+// metric on (p, q, µ). The parameters share the paper's O(1) scale, so no
+// per-axis normalization is needed.
+func (k eqKey) dist(o eqKey) float64 {
+	return math.Abs(k.p-o.p) + math.Abs(k.q-o.q) + math.Abs(k.mu-o.mu)
+}
+
+// eqCache is a bounded LRU map from game parameters to solved equilibria.
+// It doubles as the warm-start store: nearest scans the resident keys for
+// the closest solved profile.
+type eqCache struct {
+	cap   int
+	order *list.List // front = most recently used; values are *eqEntry
+	byKey map[eqKey]*list.Element
+}
+
+type eqEntry struct {
+	key eqKey
+	eq  Equilibrium
+}
+
+func newEqCache(capacity int) *eqCache {
+	return &eqCache{cap: capacity, order: list.New(), byKey: make(map[eqKey]*list.Element)}
+}
+
+func (c *eqCache) len() int { return c.order.Len() }
+
+func (c *eqCache) get(k eqKey) (Equilibrium, bool) {
+	el, ok := c.byKey[k]
+	if !ok {
+		return Equilibrium{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*eqEntry).eq, true
+}
+
+// put inserts (or refreshes) an entry and returns how many were evicted.
+func (c *eqCache) put(k eqKey, eq Equilibrium) int {
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*eqEntry).eq = eq
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.byKey[k] = c.order.PushFront(&eqEntry{key: k, eq: eq})
+	evicted := 0
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.byKey, back.Value.(*eqEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// nearest returns the subsidy profile of the resident equilibrium closest
+// to k, as a fresh slice safe to hand to the solver.
+func (c *eqCache) nearest(k eqKey) ([]float64, bool) {
+	var best *eqEntry
+	bestD := math.Inf(1)
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*eqEntry)
+		if d := ent.key.dist(k); d < bestD {
+			best, bestD = ent, d
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return append([]float64(nil), best.eq.S...), true
+}

@@ -1,0 +1,432 @@
+package neutralnet_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"neutralnet"
+)
+
+// paperTwoCP is the two-CP market of the package examples (the paper's
+// exponential forms): a profitable elastic video CP and a price-insensitive
+// messaging CP.
+func paperTwoCP() *neutralnet.System {
+	return neutralnet.NewSystem(1.0,
+		neutralnet.NewCP("video", 5, 2, 1.0),
+		neutralnet.NewCP("messaging", 2, 5, 0.5),
+	)
+}
+
+// paperEightCP is the §5.2 catalog behind Figures 7-11, rebuilt through the
+// public constructors: (α, β, v) ∈ {2,5}² × {0.5, 1}.
+func paperEightCP() *neutralnet.System {
+	var cps []neutralnet.CP
+	for _, v := range []float64{0.5, 1} {
+		for _, a := range []float64{2, 5} {
+			for _, b := range []float64{2, 5} {
+				cps = append(cps, neutralnet.NewCP(fmt.Sprintf("a=%g b=%g v=%g", a, b, v), a, b, v))
+			}
+		}
+	}
+	return neutralnet.NewSystem(1, cps...)
+}
+
+func newEngine(t *testing.T, sys *neutralnet.System, opts ...neutralnet.Option) *neutralnet.Engine {
+	t.Helper()
+	eng, err := neutralnet.NewEngine(sys, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestEngineSolveMatchesLegacy pins the Engine to the deprecated one-shot
+// helper on the paper's two-CP example: a cold Engine solve must be
+// bit-identical to SolveEquilibrium.
+func TestEngineSolveMatchesLegacy(t *testing.T) {
+	sys := paperTwoCP()
+	legacy, err := neutralnet.SolveEquilibrium(sys, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newEngine(t, sys)
+	eq, err := eng.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.State.Phi != legacy.State.Phi {
+		t.Fatalf("phi: engine %v vs legacy %v", eq.State.Phi, legacy.State.Phi)
+	}
+	for i := range eq.S {
+		if eq.S[i] != legacy.S[i] {
+			t.Fatalf("s[%d]: engine %v vs legacy %v", i, eq.S[i], legacy.S[i])
+		}
+	}
+	if eq.Iterations != legacy.Iterations || eq.Converged != legacy.Converged {
+		t.Fatalf("iterates: engine %+v vs legacy %+v", eq, legacy)
+	}
+}
+
+func TestEngineValidatesSystem(t *testing.T) {
+	if _, err := neutralnet.NewEngine(nil); err == nil {
+		t.Fatal("nil system must be rejected")
+	}
+	if _, err := neutralnet.NewEngine(neutralnet.NewSystem(-1)); err == nil {
+		t.Fatal("invalid system must be rejected")
+	}
+}
+
+func TestEngineOptionsApplication(t *testing.T) {
+	sys := paperTwoCP()
+
+	// WithTolerance: a loose tolerance must converge in fewer iterations.
+	// The damped-Jacobi solver converges linearly, so the iteration count
+	// tracks the tolerance (Gauss-Seidel snaps to equilibrium too fast on
+	// small games to expose it).
+	loose, err := newEngine(t, paperEightCP(), neutralnet.WithSolver(neutralnet.JacobiDamped),
+		neutralnet.WithTolerance(1e-2)).Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := newEngine(t, paperEightCP(), neutralnet.WithSolver(neutralnet.JacobiDamped),
+		neutralnet.WithTolerance(1e-12)).Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(loose.Iterations < tight.Iterations) {
+		t.Fatalf("tolerance not applied: loose %d iters vs tight %d", loose.Iterations, tight.Iterations)
+	}
+
+	// WithSolver: the damped-Jacobi ablation needs more outer iterations
+	// than Gauss-Seidel on this well-behaved game.
+	jac, err := newEngine(t, sys, neutralnet.WithSolver(neutralnet.JacobiDamped)).Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := newEngine(t, sys, neutralnet.WithSolver(neutralnet.GaussSeidel)).Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jac.Converged || !gs.Converged {
+		t.Fatal("both solvers must converge")
+	}
+	if jac.Iterations == gs.Iterations {
+		t.Fatalf("solver option not applied: both used %d iterations", gs.Iterations)
+	}
+
+	// WithMaxIterations: an impossible budget must surface non-convergence.
+	eq, err := newEngine(t, sys, neutralnet.WithMaxIterations(1), neutralnet.WithTolerance(1e-15)).Solve(1, 1)
+	if err == nil && eq.Converged {
+		t.Fatal("1-iteration budget cannot converge at 1e-15")
+	}
+
+	// WithWarmStart(false): no solve may be seeded.
+	cold := newEngine(t, sys, neutralnet.WithWarmStart(false))
+	for _, p := range []float64{0.5, 0.6, 0.7} {
+		if _, err := cold.Solve(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cold.Stats(); st.WarmStarts != 0 || st.Solves != 3 {
+		t.Fatalf("warm-start disable not applied: %+v", st)
+	}
+
+	// Warm start on (the default): nearby solves must be seeded.
+	warm := newEngine(t, sys)
+	for _, p := range []float64{0.5, 0.6, 0.7} {
+		if _, err := warm.Solve(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := warm.Stats(); st.WarmStarts != 2 {
+		t.Fatalf("expected 2 warm-started solves, got %+v", st)
+	}
+
+	// WithCache(0): caching fully disabled.
+	nocache := newEngine(t, sys, neutralnet.WithCache(0))
+	for i := 0; i < 2; i++ {
+		if _, err := nocache.Solve(1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := nocache.Stats(); st.CacheHits != 0 || st.Solves != 2 || nocache.CacheLen() != 0 {
+		t.Fatalf("cache disable not applied: %+v len=%d", st, nocache.CacheLen())
+	}
+}
+
+func TestEngineCacheHitReturnsIsolatedCopy(t *testing.T) {
+	eng := newEngine(t, paperTwoCP())
+	first, err := eng.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the caller-visible slices; the cache must be unaffected.
+	first.S[0] = -99
+	first.State.Theta[0] = -99
+
+	second, err := eng.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Solves != 1 || st.CacheHits != 1 {
+		t.Fatalf("expected 1 solve + 1 hit, got %+v", st)
+	}
+	if second.S[0] == -99 || second.State.Theta[0] == -99 {
+		t.Fatal("cache shares memory with caller-visible equilibrium")
+	}
+}
+
+func TestEngineCacheEviction(t *testing.T) {
+	eng := newEngine(t, paperTwoCP(), neutralnet.WithCache(2), neutralnet.WithWarmStart(false))
+	for _, p := range []float64{0.5, 0.75, 1.0} { // third insert evicts p=0.5
+		if _, err := eng.Solve(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := eng.CacheLen(); n != 2 {
+		t.Fatalf("cache len %d, want 2", n)
+	}
+	if st := eng.Stats(); st.Evictions != 1 {
+		t.Fatalf("expected 1 eviction, got %+v", st)
+	}
+	// p=0.5 was least recently used and must have been evicted...
+	if _, err := eng.Solve(0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.CacheHits != 0 || st.Solves != 4 {
+		t.Fatalf("evicted key should re-solve: %+v", st)
+	}
+	// ...while p=1.0 is resident and must hit.
+	if _, err := eng.Solve(1.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.CacheHits != 1 {
+		t.Fatalf("resident key should hit: %+v", st)
+	}
+}
+
+func TestEngineSolveAtCapacityOverride(t *testing.T) {
+	sys := paperTwoCP()
+	eng := newEngine(t, sys)
+	base, err := eng.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := eng.SolveAt(1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Mu != 1 {
+		t.Fatalf("engine mutated the system capacity: %v", sys.Mu)
+	}
+	if !(big.State.Phi < base.State.Phi) {
+		t.Fatalf("quadrupling capacity must cut utilization: %v vs %v", big.State.Phi, base.State.Phi)
+	}
+	// A SolveAt equilibrium must be audited against the same capacity.
+	kkt, err := eng.VerifyKKTAtCap(1, 1, 4, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kkt.Valid(1e-6) {
+		t.Fatalf("µ-matched KKT check failed: %v", kkt.MaxViolation)
+	}
+	sens, err := eng.SensitivityAtCap(1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens.DsDp) != sys.N() {
+		t.Fatalf("sensitivity shape: %+v", sens)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the acceptance criterion: a
+// ≥100-point (p, q) grid swept with 4 workers must be bit-identical to the
+// sequential 1-worker run.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	grid := neutralnet.Grid{
+		P: neutralnet.UniformGrid(0.05, 2, 25),
+		Q: []float64{0, 0.5, 1, 1.5, 2},
+	}
+	if grid.Size() < 100 {
+		t.Fatalf("grid too small: %d", grid.Size())
+	}
+	results := make(map[int]*neutralnet.SweepResult)
+	for _, workers := range []int{1, 4} {
+		res, err := newEngine(t, paperTwoCP(), neutralnet.WithWorkers(workers)).Sweep(grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[workers] = res
+	}
+	seq, par := results[1], results[4]
+	if len(seq.Points) != len(par.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(seq.Points), len(par.Points))
+	}
+	for i := range seq.Points {
+		a, b := seq.Points[i], par.Points[i]
+		if a.P != b.P || a.Q != b.Q || a.Mu != b.Mu {
+			t.Fatalf("point %d keys differ: %+v vs %+v", i, a, b)
+		}
+		if a.Revenue != b.Revenue || a.Welfare != b.Welfare || a.Eq.State.Phi != b.Eq.State.Phi {
+			t.Fatalf("point %d values differ: (%v,%v,%v) vs (%v,%v,%v)",
+				i, a.Revenue, a.Welfare, a.Eq.State.Phi, b.Revenue, b.Welfare, b.Eq.State.Phi)
+		}
+		for j := range a.Eq.S {
+			if a.Eq.S[j] != b.Eq.S[j] {
+				t.Fatalf("point %d subsidy %d differs: %v vs %v", i, j, a.Eq.S[j], b.Eq.S[j])
+			}
+		}
+	}
+}
+
+// TestSweepWarmStartCutsIterations checks the warm-start chain does real
+// work: total Nash iterations across a dense sweep must drop below the cold
+// per-point total (on the paper's eight-CP market, where the equilibrium
+// takes several best-response rounds to reach from a cold start).
+func TestSweepWarmStartCutsIterations(t *testing.T) {
+	grid := neutralnet.Grid{P: neutralnet.UniformGrid(0.05, 2, 40), Q: []float64{1}}
+	iters := func(warm bool) int {
+		res, err := newEngine(t, paperEightCP(), neutralnet.WithWarmStart(warm)).Sweep(grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, pt := range res.Points {
+			total += pt.Eq.Iterations
+		}
+		return total
+	}
+	cold, warm := iters(false), iters(true)
+	if !(warm < cold) {
+		t.Fatalf("warm start did not reduce work: warm %d vs cold %d iterations", warm, cold)
+	}
+}
+
+func TestSweepAccessorsAndExport(t *testing.T) {
+	grid := neutralnet.Grid{
+		P:  neutralnet.UniformGrid(0.2, 1.6, 8),
+		Q:  []float64{0, 1},
+		Mu: []float64{1, 2},
+	}
+	res, err := newEngine(t, paperTwoCP()).Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 8*2*2 {
+		t.Fatalf("points: %d", len(res.Points))
+	}
+
+	best := res.ArgmaxRevenue()
+	for _, pt := range res.Points {
+		if pt.Revenue > best.Revenue {
+			t.Fatalf("ArgmaxRevenue missed %+v", pt)
+		}
+	}
+	bw := res.ArgmaxWelfare()
+	for _, pt := range res.Points {
+		if pt.Welfare > bw.Welfare {
+			t.Fatalf("ArgmaxWelfare missed %+v", pt)
+		}
+	}
+
+	ws := res.WelfareSurface(1)
+	if len(ws) != 2 || len(ws[0]) != 8 {
+		t.Fatalf("surface shape %dx%d", len(ws), len(ws[0]))
+	}
+	if got := res.At(3, 1, 1); ws[1][3] != got.Welfare {
+		t.Fatalf("surface[1][3]=%v but At=%v", ws[1][3], got.Welfare)
+	}
+
+	csv := res.CSV()
+	if lines := strings.Count(csv, "\n"); lines != 1+len(res.Points) {
+		t.Fatalf("CSV has %d lines, want %d", lines, 1+len(res.Points))
+	}
+	if !strings.HasPrefix(csv, "mu,q,p,phi,revenue,welfare,s_video,s_messaging") {
+		t.Fatalf("CSV header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+
+	raw, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		CPs    []string `json:"cps"`
+		Points []struct {
+			P       float64   `json:"p"`
+			Revenue float64   `json:"revenue"`
+			S       []float64 `json:"s"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.CPs) != 2 || len(decoded.Points) != len(res.Points) {
+		t.Fatalf("JSON shape: %d CPs, %d points", len(decoded.CPs), len(decoded.Points))
+	}
+	if decoded.Points[5].Revenue != res.Points[5].Revenue {
+		t.Fatal("JSON points out of order")
+	}
+}
+
+// TestEngineSensitivityMatchesLegacy pins Engine.Sensitivity to the
+// deprecated SensitivityAt helper.
+func TestEngineSensitivityMatchesLegacy(t *testing.T) {
+	sys := paperTwoCP()
+	eq, err := neutralnet.SolveEquilibrium(sys, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := neutralnet.SensitivityAt(sys, 1, 0.5, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := newEngine(t, sys).Sensitivity(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.DsDp {
+		if got.DsDp[i] != want.DsDp[i] || got.DsDq[i] != want.DsDq[i] {
+			t.Fatalf("sensitivity %d: got (%v,%v) want (%v,%v)",
+				i, got.DsDp[i], got.DsDq[i], want.DsDp[i], want.DsDq[i])
+		}
+	}
+}
+
+// TestEngineVerifyKKT checks the Engine-solved equilibrium satisfies the
+// paper's KKT system (18).
+func TestEngineVerifyKKT(t *testing.T) {
+	eng := newEngine(t, paperTwoCP())
+	eq, err := eng.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kkt, err := eng.VerifyKKT(1, 1, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kkt.Valid(1e-6) {
+		t.Fatalf("KKT violation %v", kkt.MaxViolation)
+	}
+}
+
+// TestEngineConcurrentSolves exercises the cache under concurrent Solve
+// calls (meaningful under -race).
+func TestEngineConcurrentSolves(t *testing.T) {
+	eng := newEngine(t, paperTwoCP(), neutralnet.WithCache(8))
+	done := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		go func(w int) {
+			p := 0.5 + float64(w%4)*0.25
+			_, err := eng.Solve(p, 1)
+			done <- err
+		}(w)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -4,9 +4,9 @@
 // (Corollary 1) predicts that deregulating subsidization raises utilization
 // and revenue, and therefore the profit-maximizing capacity.
 //
-// This example solves the joint problem at several capacity costs, with and
-// without subsidization, and shows the chosen capacity rising under
-// deregulation.
+// This example solves the joint problem through an Engine session at
+// several capacity costs, with and without subsidization, and shows the
+// chosen capacity rising under deregulation.
 //
 // Run with: go run ./examples/capacity-planning
 package main
@@ -24,13 +24,17 @@ func main() {
 		neutralnet.NewCP("cloud", 3, 3, 0.8),
 		neutralnet.NewCP("social", 2, 5, 0.5),
 	)
+	eng, err := neutralnet.NewEngine(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("capacity cost c    q=0: mu*   profit     q=1.5: mu*  profit    invest delta")
 	for _, c := range []float64{0.05, 0.10, 0.20} {
 		var mus [2]float64
 		var profits [2]float64
 		for k, q := range []float64{0, 1.5} {
-			res, err := neutralnet.PlanCapacity(sys, q, c, 0.25, 6.0, 2.0)
+			res, err := eng.PlanCapacity(q, c, 0.25, 6.0, 2.0)
 			if err != nil {
 				log.Fatal(err)
 			}

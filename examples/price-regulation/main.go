@@ -29,7 +29,7 @@ func main() {
 		row := fmt.Sprintf("%.2f", cap)
 		var pStar2 float64
 		for _, q := range []float64{0, 2} {
-			p, out, err := isp.OptimalPrice(sys, q, 0.01, cap, 17)
+			p, out, err := isp.OptimalPrice(sys, q, 0.01, cap, 17, 0)
 			if err != nil {
 				log.Fatal(err)
 			}

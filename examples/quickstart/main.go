@@ -1,6 +1,7 @@
-// Quickstart: build a small content market, solve the subsidization
-// competition at an ISP price and policy cap, and compare it with the
-// one-sided (no-subsidy) status quo.
+// Quickstart: build a small content market, create an Engine session over
+// it, solve the subsidization competition at an ISP price and policy cap,
+// and compare it with the one-sided (no-subsidy) status quo — then let the
+// Engine sweep the price axis to find the ISP's revenue-optimal point.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -22,6 +23,13 @@ func main() {
 		neutralnet.NewCP("messaging", 2, 5, 0.5), // price-insensitive users
 	)
 
+	// The Engine owns the solver configuration, caches equilibria keyed on
+	// (p, q, µ), and warm-starts each solve from the nearest solved profile.
+	eng, err := neutralnet.NewEngine(sys, neutralnet.WithWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	const p = 1.0 // ISP usage price
 	const q = 1.0 // regulator's subsidy cap
 
@@ -34,7 +42,7 @@ func main() {
 		base.Phi, p*base.TotalThroughput(), neutralnet.Welfare(sys, base))
 
 	// Deregulated subsidization: CPs compete in subsidies up to q.
-	eq, err := neutralnet.SolveEquilibrium(sys, p, q)
+	eq, err := eng.Solve(p, q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,4 +60,17 @@ func main() {
 	// its incentive to invest in capacity.
 	fmt.Printf("\nISP revenue gain from deregulating subsidies: %+.2f%%\n",
 		100*(p*eq.State.TotalThroughput()-p*base.TotalThroughput())/(p*base.TotalThroughput()))
+
+	// Batch surface: sweep the price axis at both policy levels in one
+	// warm-started parallel pass and read off the revenue-optimal point.
+	res, err := eng.Sweep(neutralnet.Grid{
+		P: neutralnet.UniformGrid(0.1, 2, 39),
+		Q: []float64{0, q},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := res.ArgmaxRevenue()
+	fmt.Printf("revenue-optimal point on the sweep grid: p=%.3f q=%g (R=%.4f, %d equilibria solved)\n",
+		best.P, best.Q, best.Revenue, len(res.Points))
 }

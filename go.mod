@@ -1,0 +1,3 @@
+module neutralnet
+
+go 1.22

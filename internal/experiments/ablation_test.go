@@ -56,7 +56,7 @@ func TestShapeSurvivesAlternativeFamilies(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			sw, err := RunPolicySweepOn(tc.mk(), []float64{0, 0.5, 1, 1.5, 2}, 11, 2)
+			sw, err := RunPolicySweepOn(tc.mk(), []float64{0, 0.5, 1, 1.5, 2}, 11, 2, 0)
 			if err != nil {
 				t.Fatal(err)
 			}

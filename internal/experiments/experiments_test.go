@@ -155,7 +155,7 @@ func TestPolicySweepSeriesAccessors(t *testing.T) {
 }
 
 func TestRunPolicySweepOnCustomLevels(t *testing.T) {
-	sw, err := RunPolicySweepOn(EightCPGrid(), []float64{0, 1}, 5, 1)
+	sw, err := RunPolicySweepOn(EightCPGrid(), []float64{0, 1}, 5, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

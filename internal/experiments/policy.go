@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"neutralnet/internal/game"
 	"neutralnet/internal/model"
 	"neutralnet/internal/report"
+	"neutralnet/internal/sweep"
 	"neutralnet/internal/welfare"
 )
 
@@ -39,27 +41,34 @@ type PolicySweep struct {
 // the paper's five policy levels. Pass 0, 0 for the defaults (41 points on
 // [0, 2]). Equilibria along the price axis are warm-started from the
 // previous point, matching how the equilibrium path varies continuously
-// (Theorem 6).
+// (Theorem 6); policy levels are computed in parallel.
 func RunPolicySweep(pPts int, pMax float64) (*PolicySweep, error) {
-	return RunPolicySweepOn(EightCPGrid(), QLevels(), pPts, pMax)
+	return RunPolicySweepOn(EightCPGrid(), QLevels(), pPts, pMax, runtime.GOMAXPROCS(0))
 }
 
 // RunPolicySweepOn runs the sweep on a caller-supplied system and policy
-// levels (used by ablations and tests).
-func RunPolicySweepOn(sys *model.System, qLevels []float64, pPts int, pMax float64) (*PolicySweep, error) {
+// levels (used by ablations, tests and cmd/figures) over `workers` workers
+// (≤ 0 selects 1). It delegates to the shared sweep core, which solves one
+// warm-started chain per policy level; the result is identical for every
+// worker count.
+func RunPolicySweepOn(sys *model.System, qLevels []float64, pPts int, pMax float64, workers int) (*PolicySweep, error) {
 	if pPts < 2 {
 		pPts = 41
 	}
 	if pMax <= 0 {
 		pMax = 2
 	}
-	sw := &PolicySweep{
-		Sys: sys,
-		Q:   qLevels,
-		P:   Grid(0, pMax, pPts),
+	res, err := sweep.Run(sys, sweep.Grid{P: Grid(0, pMax, pPts), Q: qLevels},
+		sweep.Config{Workers: workers, WarmStart: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	for _, cp := range sys.CPs {
-		sw.Names = append(sw.Names, cp.Name)
+
+	sw := &PolicySweep{
+		Sys:   sys,
+		Q:     qLevels,
+		P:     res.Grid.P,
+		Names: res.Names,
 	}
 	alloc2 := func() [][]float64 { return make([][]float64, len(sw.Q)) }
 	sw.Revenue, sw.Welfare, sw.Phi, sw.Surplus = alloc2(), alloc2(), alloc2(), alloc2()
@@ -68,7 +77,7 @@ func RunPolicySweepOn(sys *model.System, qLevels []float64, pPts int, pMax float
 	sw.Theta = make([][][]float64, len(sw.Q))
 	sw.U = make([][][]float64, len(sw.Q))
 
-	for qi, q := range sw.Q {
+	for qi := range sw.Q {
 		sw.Revenue[qi] = make([]float64, pPts)
 		sw.Welfare[qi] = make([]float64, pPts)
 		sw.Phi[qi] = make([]float64, pPts)
@@ -77,25 +86,17 @@ func RunPolicySweepOn(sys *model.System, qLevels []float64, pPts int, pMax float
 		sw.M[qi] = make([][]float64, pPts)
 		sw.Theta[qi] = make([][]float64, pPts)
 		sw.U[qi] = make([][]float64, pPts)
-		var warm []float64
 		for pi, p := range sw.P {
-			g, err := game.New(sys, p, q)
-			if err != nil {
-				return nil, err
-			}
-			eq, err := g.SolveNash(game.Options{Initial: warm})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: sweep at q=%g p=%g: %w", q, p, err)
-			}
-			warm = eq.S
-			sw.Revenue[qi][pi] = g.Revenue(eq.State)
-			sw.Welfare[qi][pi] = g.Welfare(eq.State)
-			sw.Phi[qi][pi] = eq.State.Phi
-			sw.Surplus[qi][pi] = welfare.ConsumerSurplus(sys, g.Prices(eq.S))
-			sw.S[qi][pi] = eq.S
-			sw.M[qi][pi] = eq.State.M
-			sw.Theta[qi][pi] = eq.State.Theta
-			sw.U[qi][pi] = eq.U
+			pt := res.At(pi, qi, 0)
+			prices := game.EffectivePrices(p, pt.Eq.S)
+			sw.Revenue[qi][pi] = pt.Revenue
+			sw.Welfare[qi][pi] = pt.Welfare
+			sw.Phi[qi][pi] = pt.Eq.State.Phi
+			sw.Surplus[qi][pi] = welfare.ConsumerSurplus(sys, prices)
+			sw.S[qi][pi] = pt.Eq.S
+			sw.M[qi][pi] = pt.Eq.State.M
+			sw.Theta[qi][pi] = pt.Eq.State.Theta
+			sw.U[qi][pi] = pt.Eq.U
 		}
 	}
 	return sw, nil

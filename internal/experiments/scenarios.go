@@ -10,6 +10,7 @@ import (
 
 	"neutralnet/internal/econ"
 	"neutralnet/internal/model"
+	"neutralnet/internal/sweep"
 )
 
 // NineCPGrid is the §3.2 catalog behind Figures 4–5: nine CP types with
@@ -64,19 +65,10 @@ func FindCP(sys *model.System, name string) int {
 	return -1
 }
 
-// Grid returns n evenly spaced points on [lo, hi] inclusive.
-func Grid(lo, hi float64, n int) []float64 {
-	if n < 2 {
-		return []float64{lo}
-	}
-	g := make([]float64, n)
-	h := (hi - lo) / float64(n-1)
-	for i := range g {
-		g[i] = lo + float64(i)*h
-	}
-	g[n-1] = hi
-	return g
-}
+// Grid returns n evenly spaced points on [lo, hi] inclusive. It delegates
+// to the sweep core's Uniform so the figure harness and the Engine always
+// draw from the same grid construction.
+func Grid(lo, hi float64, n int) []float64 { return sweep.Uniform(lo, hi, n) }
 
 // QLevels is the paper's five policy levels for Figures 7–11.
 func QLevels() []float64 { return []float64{0, 0.5, 1.0, 1.5, 2.0} }

@@ -47,14 +47,19 @@ func New(sys *model.System, p, q float64) (*Game, error) {
 // N returns the number of CPs (players).
 func (g *Game) N() int { return g.Sys.N() }
 
-// Prices returns the effective per-CP user prices t_i = p − s_i.
-func (g *Game) Prices(s []float64) []float64 {
+// EffectivePrices returns the per-CP user prices t_i = p − s_i under the
+// subsidy profile s. This is the single definition of the effective price;
+// callers outside a Game (sweep consumers, figure harness) use it too.
+func EffectivePrices(p float64, s []float64) []float64 {
 	t := make([]float64, len(s))
 	for i := range s {
-		t[i] = g.P - s[i]
+		t[i] = p - s[i]
 	}
 	return t
 }
+
+// Prices returns the effective per-CP user prices t_i = p − s_i.
+func (g *Game) Prices(s []float64) []float64 { return EffectivePrices(g.P, s) }
 
 // State solves the physical state induced by the subsidy profile s:
 // populations m_i(p − s_i), the utilization fixed point, and throughputs.

@@ -54,6 +54,17 @@ type Equilibrium struct {
 	Converged  bool
 }
 
+// Clone returns a deep copy of the equilibrium. Callers that retain
+// equilibria across solves (caches, warm-start stores) must clone so later
+// mutations of the returned slices cannot corrupt the stored profile.
+func (e Equilibrium) Clone() Equilibrium {
+	c := e
+	c.S = append([]float64(nil), e.S...)
+	c.U = append([]float64(nil), e.U...)
+	c.State = e.State.Clone()
+	return c
+}
+
 // Revenue returns the ISP revenue p·Σθ at the equilibrium of game g.
 func (e Equilibrium) Revenue(g *Game) float64 { return g.Revenue(e.State) }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"neutralnet/internal/game"
 	"neutralnet/internal/model"
 	"neutralnet/internal/numeric"
 )
@@ -24,12 +25,20 @@ type CapacityPlanResult struct {
 
 // CapacityPlan maximizes the ISP's profit R(p; µ) − cost·µ over
 // µ ∈ [muLo, muHi] and p ∈ [0, pHi], under policy cap q. For each candidate
-// µ the inner problem reuses OptimalPrice; the outer problem is solved by
-// grid scan plus golden refinement, mirroring the paper's observation that
-// higher utilization strengthens the investment incentive.
+// µ the inner problem reuses OptimalPrice (whose price scan runs on
+// `workers` workers); the outer problem is solved by grid scan plus golden
+// refinement, mirroring the paper's observation that higher utilization
+// strengthens the investment incentive.
 //
 // The System is copied internally; the caller's instance is not mutated.
-func CapacityPlan(sys *model.System, q, cost, muLo, muHi, pHi float64, gridPts int) (CapacityPlanResult, error) {
+func CapacityPlan(sys *model.System, q, cost, muLo, muHi, pHi float64, gridPts, workers int) (CapacityPlanResult, error) {
+	return CapacityPlanWith(sys, q, cost, muLo, muHi, pHi, gridPts, workers, game.Options{}, true)
+}
+
+// CapacityPlanWith is CapacityPlan under a caller-supplied per-solve solver
+// configuration and explicit warm-start chaining (the Engine threads its
+// options here).
+func CapacityPlanWith(sys *model.System, q, cost, muLo, muHi, pHi float64, gridPts, workers int, solver game.Options, warmStart bool) (CapacityPlanResult, error) {
 	if muHi <= muLo || muLo <= 0 {
 		return CapacityPlanResult{}, fmt.Errorf("isp: invalid capacity interval [%g, %g]", muLo, muHi)
 	}
@@ -42,7 +51,7 @@ func CapacityPlan(sys *model.System, q, cost, muLo, muHi, pHi float64, gridPts i
 	profitAt := func(mu float64) (CapacityPlanResult, error) {
 		cp := *sys
 		cp.Mu = mu
-		pStar, out, err := OptimalPrice(&cp, q, 0, pHi, 17)
+		pStar, out, err := OptimalPriceWith(&cp, q, 0, pHi, 17, workers, solver, warmStart)
 		if err != nil {
 			return CapacityPlanResult{}, err
 		}

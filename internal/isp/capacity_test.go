@@ -6,17 +6,17 @@ import (
 
 func TestCapacityPlanValidation(t *testing.T) {
 	sys := market()
-	if _, err := CapacityPlan(sys, 1, 0.1, 2, 1, 2, 5); err == nil {
+	if _, err := CapacityPlan(sys, 1, 0.1, 2, 1, 2, 5, 0); err == nil {
 		t.Fatal("want error for inverted capacity interval")
 	}
-	if _, err := CapacityPlan(sys, 1, -0.1, 0.5, 2, 2, 5); err == nil {
+	if _, err := CapacityPlan(sys, 1, -0.1, 0.5, 2, 2, 5, 0); err == nil {
 		t.Fatal("want error for negative cost")
 	}
 }
 
 func TestCapacityPlanProfitConsistency(t *testing.T) {
 	sys := market()
-	res, err := CapacityPlan(sys, 1, 0.1, 0.5, 3, 2, 7)
+	res, err := CapacityPlan(sys, 1, 0.1, 0.5, 3, 2, 7, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,11 +36,11 @@ func TestDeregulationRaisesChosenCapacity(t *testing.T) {
 	// The paper's investment-incentive story: subsidization raises revenue
 	// per unit capacity, so the profit-maximizing network is larger.
 	sys := market()
-	base, err := CapacityPlan(sys, 0, 0.1, 0.25, 4, 2, 9)
+	base, err := CapacityPlan(sys, 0, 0.1, 0.25, 4, 2, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dereg, err := CapacityPlan(sys, 1.5, 0.1, 0.25, 4, 2, 9)
+	dereg, err := CapacityPlan(sys, 1.5, 0.1, 0.25, 4, 2, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"neutralnet/internal/game"
 	"neutralnet/internal/model"
 	"neutralnet/internal/numeric"
+	"neutralnet/internal/sweep"
 )
 
 // Outcome is the ISP-relevant summary of an equilibrium at a given price.
@@ -27,11 +28,18 @@ type Outcome struct {
 // warm-start subsidy profile may be supplied to accelerate sweeps (pass nil
 // for a cold start).
 func Solve(sys *model.System, p, q float64, warm []float64) (Outcome, error) {
+	return SolveWith(sys, p, q, warm, game.Options{})
+}
+
+// SolveWith is Solve under a caller-supplied solver configuration (the
+// solver's Initial field is overridden by warm).
+func SolveWith(sys *model.System, p, q float64, warm []float64, solver game.Options) (Outcome, error) {
 	g, err := game.New(sys, p, q)
 	if err != nil {
 		return Outcome{}, err
 	}
-	eq, err := g.SolveNash(game.Options{Initial: warm})
+	solver.Initial = warm
+	eq, err := g.SolveNash(solver)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("isp: equilibrium at p=%g q=%g: %w", p, q, err)
 	}
@@ -99,34 +107,43 @@ func MarginalRevenueNumeric(sys *model.System, p, q, h float64) (float64, error)
 }
 
 // OptimalPrice finds the revenue-maximizing price on [pLo, pHi] under policy
-// cap q, scanning gridPts points (0 selects 25) with warm-started equilibria
-// and refining with golden-section search. It returns the optimal price and
-// the outcome there.
-func OptimalPrice(sys *model.System, q, pLo, pHi float64, gridPts int) (float64, Outcome, error) {
+// cap q, scanning gridPts points (0 selects 25) via a warm-started sweep on
+// `workers` workers (≤ 0 selects 1) and refining with golden-section search.
+// It returns the optimal price and the outcome there.
+func OptimalPrice(sys *model.System, q, pLo, pHi float64, gridPts, workers int) (float64, Outcome, error) {
+	return OptimalPriceWith(sys, q, pLo, pHi, gridPts, workers, game.Options{}, true)
+}
+
+// OptimalPriceWith is OptimalPrice under a caller-supplied per-solve solver
+// configuration, with the scan's warm-start chaining made explicit (the
+// Engine threads its WithSolver/WithTolerance/WithWarmStart settings here).
+func OptimalPriceWith(sys *model.System, q, pLo, pHi float64, gridPts, workers int, solver game.Options, warmStart bool) (float64, Outcome, error) {
 	if gridPts < 3 {
 		gridPts = 25
 	}
 	if pHi <= pLo {
 		return 0, Outcome{}, fmt.Errorf("isp: empty price interval [%g, %g]", pLo, pHi)
 	}
-	var warm []float64
-	bestP, bestR := pLo, math.Inf(-1)
-	h := (pHi - pLo) / float64(gridPts-1)
-	for i := 0; i < gridPts; i++ {
-		p := pLo + float64(i)*h
-		out, err := Solve(sys, p, q, warm)
-		if err != nil {
-			return 0, Outcome{}, err
-		}
-		warm = out.Eq.S
-		if out.Revenue > bestR {
-			bestP, bestR = p, out.Revenue
-		}
+	// SegmentLen splits the single (µ, q) row into several warm-start
+	// chains; without it the scan would collapse to one chain and the
+	// worker pool to one worker. The split is grid-determined, so results
+	// stay identical for every worker count.
+	res, err := sweep.Run(sys, sweep.Grid{P: sweep.Uniform(pLo, pHi, gridPts), Q: []float64{q}},
+		sweep.Config{Workers: workers, Solver: solver, WarmStart: warmStart, SegmentLen: sweep.DefaultSegmentLen})
+	if err != nil {
+		return 0, Outcome{}, err
 	}
+	best := res.ArgmaxRevenue()
+	bestP, bestR := best.P, best.Revenue
+	var warm []float64
+	if warmStart {
+		warm = best.Eq.S
+	}
+	h := (pHi - pLo) / float64(gridPts-1)
 	lo := math.Max(pLo, bestP-h)
 	hi := math.Min(pHi, bestP+h)
 	f := func(p float64) float64 {
-		out, err := Solve(sys, p, q, warm)
+		out, err := SolveWith(sys, p, q, warm, solver)
 		if err != nil {
 			return math.Inf(1)
 		}
@@ -136,7 +153,7 @@ func OptimalPrice(sys *model.System, q, pLo, pHi float64, gridPts int) (float64,
 	if -negR < bestR {
 		pStar = bestP
 	}
-	out, err := Solve(sys, pStar, q, warm)
+	out, err := SolveWith(sys, pStar, q, warm, solver)
 	if err != nil {
 		return 0, Outcome{}, err
 	}

@@ -81,7 +81,7 @@ func TestMarginalRevenueMatchesNumericWithSubsidies(t *testing.T) {
 
 func TestOptimalPriceIsInteriorPeak(t *testing.T) {
 	sys := market()
-	pStar, out, err := OptimalPrice(sys, 1, 0.05, 2.5, 21)
+	pStar, out, err := OptimalPrice(sys, 1, 0.05, 2.5, 21, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestOptimalPriceIsInteriorPeak(t *testing.T) {
 }
 
 func TestOptimalPriceBadInterval(t *testing.T) {
-	if _, _, err := OptimalPrice(market(), 1, 2, 1, 9); err == nil {
+	if _, _, err := OptimalPrice(market(), 1, 2, 1, 9, 0); err == nil {
 		t.Fatal("want error for empty interval")
 	}
 }

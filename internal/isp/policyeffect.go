@@ -49,7 +49,7 @@ func (r RevenueOptimalResponse) Price(q float64) (float64, error) {
 	if pts <= 0 {
 		pts = 17
 	}
-	p, _, err := OptimalPrice(r.Sys, q, 1e-3, r.PMax, pts)
+	p, _, err := OptimalPrice(r.Sys, q, 1e-3, r.PMax, pts, 0)
 	return p, err
 }
 

@@ -147,3 +147,12 @@ func (s *System) Solve(m []float64) (State, error) {
 
 // TotalThroughput returns the aggregate throughput of the state.
 func (st State) TotalThroughput() float64 { return Aggregate(st.Theta) }
+
+// Clone returns a deep copy of the state, for callers that retain states
+// across solves (caches) and must not alias the original slices.
+func (st State) Clone() State {
+	c := st
+	c.M = append([]float64(nil), st.M...)
+	c.Theta = append([]float64(nil), st.Theta...)
+	return c
+}

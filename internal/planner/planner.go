@@ -143,11 +143,17 @@ type Efficiency struct {
 // CompareAt computes the efficiency of the subsidization competition at
 // (p, q).
 func CompareAt(sys *model.System, p, q float64) (Efficiency, error) {
+	return CompareAtWith(sys, p, q, game.Options{})
+}
+
+// CompareAtWith is CompareAt with a caller-supplied configuration for the
+// Nash side of the comparison (the planner side is solver-independent).
+func CompareAtWith(sys *model.System, p, q float64, solver game.Options) (Efficiency, error) {
 	g, err := game.New(sys, p, q)
 	if err != nil {
 		return Efficiency{}, err
 	}
-	eq, err := g.SolveNash(game.Options{})
+	eq, err := g.SolveNash(solver)
 	if err != nil {
 		return Efficiency{}, err
 	}

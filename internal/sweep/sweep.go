@@ -1,0 +1,310 @@
+// Package sweep is the shared parameter-sweep core behind the public
+// Engine API and the internal grid searches (ISP pricing, the figure
+// harness). It evaluates the subsidization equilibrium over a Cartesian
+// grid of (price p, policy cap q, capacity µ) with a worker pool, and is
+// deterministic by construction: the grid is partitioned into independent
+// rows — one row per (µ, q) pair, spanning the whole p axis — and each row
+// is solved sequentially along p, warm-starting every solve from the
+// previous price point's equilibrium profile (the equilibrium path is
+// continuous in p by Theorem 6, so the previous profile is an excellent
+// seed). Workers pick up whole rows, never individual points, so the
+// result is bit-identical for any worker count.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+)
+
+// Grid is a Cartesian sweep domain. P is required; Q defaults to {0} (the
+// one-sided baseline) and Mu defaults to the system's own capacity.
+type Grid struct {
+	P  []float64 // ISP usage prices
+	Q  []float64 // policy caps; empty → {0}
+	Mu []float64 // capacities; empty → {sys.Mu}
+}
+
+// Size returns the number of grid points after defaulting.
+func (g Grid) Size() int {
+	q, mu := len(g.Q), len(g.Mu)
+	if q == 0 {
+		q = 1
+	}
+	if mu == 0 {
+		mu = 1
+	}
+	return len(g.P) * q * mu
+}
+
+// Uniform returns n evenly spaced points on [lo, hi] inclusive.
+func Uniform(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	g := make([]float64, n)
+	h := (hi - lo) / float64(n-1)
+	for i := range g {
+		g[i] = lo + float64(i)*h
+	}
+	g[n-1] = hi
+	return g
+}
+
+// Point is one solved grid point.
+type Point struct {
+	P, Q, Mu float64
+	Eq       game.Equilibrium
+	Revenue  float64 // p·Σθ at the equilibrium
+	Welfare  float64 // Σ v_i θ_i at the equilibrium
+}
+
+// DefaultSegmentLen is the warm-start chain length callers pass as
+// Config.SegmentLen when they have no reason to choose otherwise: 16
+// points amortize the chain's one cold solve to ~6% while typical
+// figure-resolution rows (25-41 points) still split into multiple
+// parallel units.
+const DefaultSegmentLen = 16
+
+// Config controls a sweep run.
+type Config struct {
+	// Workers bounds the worker pool; ≤ 0 selects 1 (sequential). The
+	// result is identical for every worker count.
+	Workers int
+	// Solver is the per-point Nash solver configuration. Its Initial field
+	// is overridden by the warm-start chain when WarmStart is set.
+	Solver game.Options
+	// WarmStart seeds each solve from the previous price point's
+	// equilibrium profile within the chain. Cold solves otherwise.
+	WarmStart bool
+	// SegmentLen splits each (µ, q) row's price axis into warm-start
+	// chains of at most this many points, multiplying the number of
+	// independent work units beyond the row count (a long chain cannot be
+	// parallelized, a short one wastes warm starts). The split depends
+	// only on the grid — never on Workers — so determinism is preserved.
+	// ≤ 0 keeps whole rows as single chains.
+	SegmentLen int
+}
+
+// Result is a solved sweep with points in deterministic order:
+// µ-major, then q, then p (index = (mi·len(Q)+qi)·len(P)+pi).
+type Result struct {
+	Grid   Grid
+	Names  []string // CP names, for CSV/JSON export
+	Points []Point
+	Chains int // independent warm-start chains the grid was split into
+}
+
+// Run evaluates the grid over the system under cfg. The system is treated
+// as read-only; capacity variants are solved on shallow copies.
+func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if len(grid.P) == 0 {
+		return nil, fmt.Errorf("sweep: empty price grid")
+	}
+	if len(grid.Q) == 0 {
+		grid.Q = []float64{0}
+	}
+	if len(grid.Mu) == 0 {
+		grid.Mu = []float64{sys.Mu}
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Split each row's price axis into evenly sized chains of at most
+	// SegmentLen points. The split is a function of the grid alone, so the
+	// same chains — and therefore bit-identical iterates — result for any
+	// worker count.
+	segLen := cfg.SegmentLen
+	if segLen <= 0 || segLen > len(grid.P) {
+		segLen = len(grid.P)
+	}
+	segsPerRow := (len(grid.P) + segLen - 1) / segLen
+	segLen = (len(grid.P) + segsPerRow - 1) / segsPerRow
+	nRows := len(grid.Mu) * len(grid.Q)
+	nChains := nRows * segsPerRow
+	if workers > nChains {
+		workers = nChains
+	}
+
+	res := &Result{Grid: grid, Points: make([]Point, grid.Size()), Chains: nChains}
+	for _, cp := range sys.CPs {
+		res.Names = append(res.Names, cp.Name)
+	}
+
+	chains := make(chan int)
+	var failed atomic.Bool
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for chain := range chains {
+				if failed.Load() {
+					continue
+				}
+				row := chain / segsPerRow
+				pLo := (chain % segsPerRow) * segLen
+				pHi := pLo + segLen
+				if pHi > len(grid.P) {
+					pHi = len(grid.P)
+				}
+				if err := runChain(sys, grid, cfg, row, pLo, pHi, res.Points); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for chain := 0; chain < nChains; chain++ {
+		chains <- chain
+	}
+	close(chains)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// runChain solves the price points [pLo, pHi) of one (µ, q) row
+// sequentially, cold-starting the first point and warm-chaining the rest,
+// writing into the disjoint slice range the chain owns.
+func runChain(sys *model.System, grid Grid, cfg Config, row, pLo, pHi int, points []Point) error {
+	mi, qi := row/len(grid.Q), row%len(grid.Q)
+	mu, q := grid.Mu[mi], grid.Q[qi]
+	rowSys := sys
+	if mu != sys.Mu {
+		cp := *sys
+		cp.Mu = mu
+		rowSys = &cp
+	}
+	base := row * len(grid.P)
+	var warm []float64
+	for pi := pLo; pi < pHi; pi++ {
+		p := grid.P[pi]
+		g, err := game.New(rowSys, p, q)
+		if err != nil {
+			return fmt.Errorf("sweep: at p=%g q=%g mu=%g: %w", p, q, mu, err)
+		}
+		opts := cfg.Solver
+		opts.Initial = nil
+		if cfg.WarmStart {
+			opts.Initial = warm
+		}
+		eq, err := g.SolveNash(opts)
+		if err != nil {
+			return fmt.Errorf("sweep: solve at p=%g q=%g mu=%g: %w", p, q, mu, err)
+		}
+		warm = eq.S
+		points[base+pi] = Point{
+			P: p, Q: q, Mu: mu, Eq: eq,
+			Revenue: g.Revenue(eq.State),
+			Welfare: g.Welfare(eq.State),
+		}
+	}
+	return nil
+}
+
+// At returns the point at price index pi, cap index qi and capacity index
+// mi (all into the defaulted grid).
+func (r *Result) At(pi, qi, mi int) Point {
+	return r.Points[(mi*len(r.Grid.Q)+qi)*len(r.Grid.P)+pi]
+}
+
+// ArgmaxRevenue returns the grid point with maximal ISP revenue; ties
+// resolve to the lowest index, so the answer is deterministic.
+func (r *Result) ArgmaxRevenue() Point { return r.argmax(func(pt Point) float64 { return pt.Revenue }) }
+
+// ArgmaxWelfare returns the grid point with maximal system welfare.
+func (r *Result) ArgmaxWelfare() Point { return r.argmax(func(pt Point) float64 { return pt.Welfare }) }
+
+func (r *Result) argmax(val func(Point) float64) Point {
+	best, bestV := 0, val(r.Points[0])
+	for i, pt := range r.Points {
+		if v := val(pt); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return r.Points[best]
+}
+
+// RevenueSurface returns R indexed [qi][pi] at capacity index mi.
+func (r *Result) RevenueSurface(mi int) [][]float64 {
+	return r.surface(mi, func(pt Point) float64 { return pt.Revenue })
+}
+
+// WelfareSurface returns W indexed [qi][pi] at capacity index mi.
+func (r *Result) WelfareSurface(mi int) [][]float64 {
+	return r.surface(mi, func(pt Point) float64 { return pt.Welfare })
+}
+
+func (r *Result) surface(mi int, val func(Point) float64) [][]float64 {
+	out := make([][]float64, len(r.Grid.Q))
+	for qi := range r.Grid.Q {
+		out[qi] = make([]float64, len(r.Grid.P))
+		for pi := range r.Grid.P {
+			out[qi][pi] = val(r.At(pi, qi, mi))
+		}
+	}
+	return out
+}
+
+// CSV renders the sweep as one row per grid point, with per-CP subsidy
+// columns, in deterministic point order.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("mu,q,p,phi,revenue,welfare")
+	for _, n := range r.Names {
+		fmt.Fprintf(&b, ",s_%s", strings.ReplaceAll(n, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%g,%g,%g,%g,%g,%g", pt.Mu, pt.Q, pt.P, pt.Eq.State.Phi, pt.Revenue, pt.Welfare)
+		for _, s := range pt.Eq.S {
+			fmt.Fprintf(&b, ",%g", s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// jsonPoint is the flattened machine-readable schema of JSON.
+type jsonPoint struct {
+	Mu         float64   `json:"mu"`
+	Q          float64   `json:"q"`
+	P          float64   `json:"p"`
+	Phi        float64   `json:"phi"`
+	Revenue    float64   `json:"revenue"`
+	Welfare    float64   `json:"welfare"`
+	S          []float64 `json:"s"`
+	Iterations int       `json:"iterations"`
+	Converged  bool      `json:"converged"`
+}
+
+// JSON renders the sweep as a flat array of points in deterministic order.
+func (r *Result) JSON() ([]byte, error) {
+	pts := make([]jsonPoint, len(r.Points))
+	for i, pt := range r.Points {
+		pts[i] = jsonPoint{
+			Mu: pt.Mu, Q: pt.Q, P: pt.P, Phi: pt.Eq.State.Phi,
+			Revenue: pt.Revenue, Welfare: pt.Welfare, S: pt.Eq.S,
+			Iterations: pt.Eq.Iterations, Converged: pt.Eq.Converged,
+		}
+	}
+	return json.MarshalIndent(struct {
+		Names  []string    `json:"cps"`
+		Points []jsonPoint `json:"points"`
+	}{r.Names, pts}, "", "  ")
+}

@@ -1,0 +1,168 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+func market() *model.System {
+	mk := func(name string, a, b, v float64) model.CP {
+		return model.CP{
+			Name:       name,
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	return &model.System{
+		CPs:  []model.CP{mk("video", 5, 2, 1), mk("social", 2, 5, 0.5)},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+}
+
+func TestGridDefaultsAndSize(t *testing.T) {
+	g := Grid{P: Uniform(0, 1, 5)}
+	if g.Size() != 5 {
+		t.Fatalf("size %d", g.Size())
+	}
+	res, err := Run(market(), g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grid.Q) != 1 || res.Grid.Q[0] != 0 {
+		t.Fatalf("Q default: %v", res.Grid.Q)
+	}
+	if len(res.Grid.Mu) != 1 || res.Grid.Mu[0] != 1 {
+		t.Fatalf("Mu default: %v", res.Grid.Mu)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points: %d", len(res.Points))
+	}
+}
+
+func TestEmptyPriceGridRejected(t *testing.T) {
+	if _, err := Run(market(), Grid{}, Config{}); err == nil {
+		t.Fatal("empty P must be rejected")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	// A negative price is rejected by game.New; the sweep must surface it.
+	if _, err := Run(market(), Grid{P: []float64{-1}}, Config{}); err == nil {
+		t.Fatal("negative price must fail the sweep")
+	}
+	// ...also from a row that is not the first, under multiple workers.
+	_, err := Run(market(), Grid{P: []float64{0.5}, Q: []float64{0, 1, -2}}, Config{Workers: 3})
+	if err == nil {
+		t.Fatal("negative cap must fail the sweep")
+	}
+	if !strings.Contains(err.Error(), "q=-2") {
+		t.Fatalf("error should name the failing point: %v", err)
+	}
+}
+
+func TestPointOrderingIsMuQThenP(t *testing.T) {
+	grid := Grid{
+		P:  []float64{0.2, 0.8},
+		Q:  []float64{0, 1},
+		Mu: []float64{1, 3},
+	}
+	res, err := Run(market(), grid, Config{Workers: 4, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := 0
+	for mi, mu := range grid.Mu {
+		for qi, q := range grid.Q {
+			for pi, p := range grid.P {
+				pt := res.Points[idx]
+				if pt.P != p || pt.Q != q || pt.Mu != mu {
+					t.Fatalf("index %d: got (p=%g q=%g mu=%g) want (p=%g q=%g mu=%g)",
+						idx, pt.P, pt.Q, pt.Mu, p, q, mu)
+				}
+				if at := res.At(pi, qi, mi); at.P != pt.P || at.Q != pt.Q || at.Mu != pt.Mu ||
+					at.Revenue != pt.Revenue {
+					t.Fatalf("At(%d,%d,%d) mismatch", pi, qi, mi)
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func TestCapacityAxisSolvesOnCopies(t *testing.T) {
+	sys := market()
+	grid := Grid{P: []float64{0.5}, Mu: []float64{0.5, 1, 2}}
+	res, err := Run(sys, grid, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Mu != 1 {
+		t.Fatalf("sweep mutated the system: mu=%v", sys.Mu)
+	}
+	// Larger capacity at a fixed price means lower utilization.
+	if !(res.At(0, 0, 0).Eq.State.Phi > res.At(0, 0, 1).Eq.State.Phi &&
+		res.At(0, 0, 1).Eq.State.Phi > res.At(0, 0, 2).Eq.State.Phi) {
+		t.Fatalf("phi not decreasing in mu: %v %v %v",
+			res.At(0, 0, 0).Eq.State.Phi, res.At(0, 0, 1).Eq.State.Phi, res.At(0, 0, 2).Eq.State.Phi)
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	grid := Grid{
+		P:  Uniform(0.05, 2, 13),
+		Q:  []float64{0, 0.7, 1.4},
+		Mu: []float64{0.8, 1.6},
+	}
+	var base *Result
+	for _, workers := range []int{1, 2, 7, 32} {
+		res, err := Run(market(), grid, Config{Workers: workers, WarmStart: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		for i := range base.Points {
+			a, b := base.Points[i], res.Points[i]
+			if a.Revenue != b.Revenue || a.Welfare != b.Welfare || a.Eq.State.Phi != b.Eq.State.Phi {
+				t.Fatalf("workers=%d point %d differs", workers, i)
+			}
+			for j := range a.Eq.S {
+				if a.Eq.S[j] != b.Eq.S[j] {
+					t.Fatalf("workers=%d point %d subsidy %d differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCSVEscapesCommaInNames(t *testing.T) {
+	sys := market()
+	sys.CPs[0].Name = "video,hd"
+	res, err := Run(sys, Grid{P: []float64{0.5}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(res.CSV(), "\n", 2)[0]
+	if got, want := len(strings.Split(header, ",")), 6+len(sys.CPs); got != want {
+		t.Fatalf("header has %d columns, want %d: %q", got, want, header)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	g := Uniform(0, 2, 5)
+	want := []float64{0, 0.5, 1, 1.5, 2}
+	if fmt.Sprint(g) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", g, want)
+	}
+	if one := Uniform(3, 9, 1); len(one) != 1 || one[0] != 3 {
+		t.Fatalf("degenerate grid: %v", one)
+	}
+}

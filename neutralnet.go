@@ -6,21 +6,41 @@
 // competition game to a Nash equilibrium — exposing the ISP-revenue, welfare
 // and sensitivity analyses of the paper.
 //
-// This root package is the stable public API: it re-exports the core types
-// from the internal packages and provides convenience constructors. The
+// This root package is the stable public API. Its center is the Engine: a
+// reusable session over one System that owns the solver configuration, a
+// bounded equilibrium cache keyed on (p, q, µ), and warm starting (each
+// Nash solve is seeded from the nearest previously solved profile). The
 // typical flow is:
 //
 //	sys := neutralnet.NewSystem(1.0, // capacity µ
 //	    neutralnet.NewCP("video", 2, 5, 1.0),  // α, β, v
 //	    neutralnet.NewCP("social", 5, 2, 0.5),
 //	)
-//	eq, err := neutralnet.SolveEquilibrium(sys, 1.0 /* price p */, 1.0 /* cap q */)
+//	eng, err := neutralnet.NewEngine(sys, neutralnet.WithWorkers(4))
+//	eq, err := eng.Solve(1.0 /* price p */, 1.0 /* cap q */)
 //
-// Deeper control (custom demand/throughput/utilization curves, sensitivity
-// analysis, ISP pricing, welfare decompositions, the flow-level grounding
-// simulator and the per-figure reproduction harness) lives in the internal
-// packages and is re-exported here where it forms part of the supported
-// surface.
+// The paper's headline analyses are parameter sweeps over the same system
+// (ISP revenue vs. price, welfare vs. cap, sensitivity maps), so the Engine
+// makes batched, parallel, warm-started computation the default path:
+//
+//	res, err := eng.Sweep(neutralnet.Grid{
+//	    P: neutralnet.UniformGrid(0, 2, 41),
+//	    Q: []float64{0, 0.5, 1, 1.5, 2},
+//	})
+//	best := res.ArgmaxRevenue()      // the revenue-optimal grid point
+//	surface := res.WelfareSurface(0) // W indexed [qi][pi]
+//	csv := res.CSV()                 // export for external plotting
+//
+// Sweeps run a worker pool over the grid and are deterministic: the result
+// is bit-identical for every worker count, because warm starts chain only
+// along each (µ, q) row's price axis. Single-shot helpers from the first
+// release (SolveEquilibrium, OptimalPrice, PlanCapacity, ...) remain as
+// thin deprecated wrappers over the Engine path.
+//
+// Deeper control (custom demand/throughput/utilization curves, welfare
+// decompositions, the flow-level grounding simulator and the per-figure
+// reproduction harness) lives in the internal packages and is re-exported
+// here where it forms part of the supported surface.
 package neutralnet
 
 import (
@@ -62,6 +82,12 @@ type (
 	SolveOptions = game.Options
 	// Sensitivity carries the Theorem 6 derivatives ∂s/∂p and ∂s/∂q.
 	Sensitivity = game.Sensitivity
+	// KKTReport is the first-order verification of a candidate equilibrium
+	// against the paper's KKT system (18).
+	KKTReport = game.KKTReport
+	// Partition is the Theorem 6 split of the CPs by equilibrium subsidy
+	// (N⁻ zero, N⁺ capped, Ñ interior).
+	Partition = game.Partition
 
 	// Outcome is an ISP-side summary (revenue, welfare) of an equilibrium.
 	Outcome = isp.Outcome
@@ -79,6 +105,8 @@ type (
 	LinearUtilization = econ.LinearUtilization
 	// SaturatingUtilization is Φ = θ/(µ−θ), a queueing-flavored alternative.
 	SaturatingUtilization = econ.SaturatingUtilization
+	// PowerUtilization is Φ = (θ/µ)^γ, a convex/concave congestion family.
+	PowerUtilization = econ.PowerUtilization
 )
 
 // NewCP builds a CP with the paper's exponential forms: demand e^{−αt},
@@ -105,6 +133,10 @@ func NewGame(sys *System, p, q float64) (*Game, error) { return game.New(sys, p,
 // SolveEquilibrium solves the Nash equilibrium of the subsidization game at
 // (p, q) with default options. q = 0 reproduces the one-sided pricing status
 // quo.
+//
+// Deprecated: build an Engine once and call Engine.Solve — it reuses the
+// solver configuration, caches equilibria and warm-starts nearby solves.
+// This wrapper performs a one-shot cold solve.
 func SolveEquilibrium(sys *System, p, q float64) (Equilibrium, error) {
 	g, err := game.New(sys, p, q)
 	if err != nil {
@@ -126,18 +158,26 @@ func Welfare(sys *System, st State) float64 { return welfare.At(sys, st) }
 
 // OptimalPrice finds the ISP's revenue-maximizing price on [0, pMax] under
 // policy cap q and returns it with the outcome there.
+//
+// Deprecated: use Engine.OptimalPrice, which runs the price scan on the
+// Engine's worker pool. This wrapper scans sequentially.
 func OptimalPrice(sys *System, q, pMax float64) (float64, Outcome, error) {
-	return isp.OptimalPrice(sys, q, 0, pMax, 0)
+	return isp.OptimalPrice(sys, q, 0, pMax, 0, 0)
 }
 
 // PlanCapacity solves the future-work capacity-planning extension: maximize
 // R(p; µ) − cost·µ over capacities in [muLo, muHi] and prices in [0, pMax].
+//
+// Deprecated: use Engine.PlanCapacity.
 func PlanCapacity(sys *System, q, cost, muLo, muHi, pMax float64) (CapacityPlanResult, error) {
-	return isp.CapacityPlan(sys, q, cost, muLo, muHi, pMax, 0)
+	return isp.CapacityPlan(sys, q, cost, muLo, muHi, pMax, 0, 0)
 }
 
 // SensitivityAt computes the Theorem 6 equilibrium derivatives ∂s/∂p and
 // ∂s/∂q at an equilibrium of the game at (p, q).
+//
+// Deprecated: use Engine.Sensitivity, which solves (cache-aware) and
+// differentiates in one call.
 func SensitivityAt(sys *System, p, q float64, eq Equilibrium) (Sensitivity, error) {
 	g, err := game.New(sys, p, q)
 	if err != nil {
@@ -168,6 +208,8 @@ type (
 
 // CompareEfficiency quantifies how much of the planner's welfare the
 // decentralized subsidization competition attains at (p, q).
+//
+// Deprecated: use Engine.CompareEfficiency.
 func CompareEfficiency(sys *System, p, q float64) (Efficiency, error) {
 	return planner.CompareAt(sys, p, q)
 }

@@ -1,0 +1,88 @@
+package neutralnet
+
+import (
+	"runtime"
+
+	"neutralnet/internal/game"
+)
+
+// SolverMethod selects the Nash iteration scheme used by an Engine.
+type SolverMethod = game.Method
+
+// The available Nash solvers, re-exported from the game package.
+const (
+	// GaussSeidel iterates best responses sequentially (the default).
+	GaussSeidel = game.GaussSeidel
+	// JacobiDamped iterates all best responses simultaneously with
+	// damping; a fallback for games where sequential updates cycle.
+	JacobiDamped = game.JacobiDamped
+)
+
+// Option configures an Engine at construction time.
+type Option func(*engineConfig)
+
+// engineConfig is the resolved Engine configuration.
+type engineConfig struct {
+	solver    game.Options // base per-solve options (Initial is managed by the Engine)
+	workers   int          // worker-pool size for Sweep
+	cacheSize int          // bounded equilibrium cache entries; 0 disables
+	warmStart bool         // seed solves from nearby solved profiles
+}
+
+func defaultConfig() engineConfig {
+	return engineConfig{
+		workers:   runtime.GOMAXPROCS(0),
+		cacheSize: 1024,
+		warmStart: true,
+	}
+}
+
+// WithSolver selects the Nash iteration scheme (default GaussSeidel).
+func WithSolver(m SolverMethod) Option {
+	return func(c *engineConfig) { c.solver.Method = m }
+}
+
+// WithTolerance sets the sup-norm convergence tolerance on the subsidy
+// profile (default 1e-9; non-positive values restore the default).
+func WithTolerance(tol float64) Option {
+	return func(c *engineConfig) { c.solver.Tol = tol }
+}
+
+// WithMaxIterations bounds the outer Nash iteration (default 400;
+// non-positive values restore the default).
+func WithMaxIterations(n int) Option {
+	return func(c *engineConfig) { c.solver.MaxIter = n }
+}
+
+// WithWorkers sets the Sweep worker-pool size (default GOMAXPROCS; values
+// below 1 select 1). Sweep results are bit-identical for every worker
+// count, so this is purely a throughput knob.
+func WithWorkers(n int) Option {
+	return func(c *engineConfig) {
+		if n < 1 {
+			n = 1
+		}
+		c.workers = n
+	}
+}
+
+// WithCache bounds the Engine's equilibrium cache to n entries, keyed on
+// (p, q, µ) with least-recently-used eviction. n ≤ 0 disables caching —
+// and with it Solve's warm starting, since the cache doubles as the
+// warm-start store (Sweep's in-row chaining is unaffected).
+func WithCache(n int) Option {
+	return func(c *engineConfig) {
+		if n < 0 {
+			n = 0
+		}
+		c.cacheSize = n
+	}
+}
+
+// WithWarmStart enables or disables warm starting (default on): Solve
+// seeds the Nash iteration from the nearest previously solved profile
+// (resident in the equilibrium cache, so WithCache(0) leaves Solve cold),
+// and Sweep chains each solve from the previous price point in its row.
+func WithWarmStart(enabled bool) Option {
+	return func(c *engineConfig) { c.warmStart = enabled }
+}

@@ -1,0 +1,31 @@
+package neutralnet
+
+import (
+	"errors"
+
+	"neutralnet/internal/sweep"
+)
+
+// errNilSystem rejects Engine construction over a nil system.
+var errNilSystem = errors.New("neutralnet: nil system")
+
+// Sweep surface, re-exported from the internal sweep core so the Engine
+// and the internal grid searches (ISP pricing, the figure harness) share
+// one implementation.
+type (
+	// Grid is a Cartesian sweep domain over prices P, policy caps Q and
+	// capacities Mu. P is required; Q defaults to {0} and Mu to the
+	// system's own capacity.
+	Grid = sweep.Grid
+	// SweepPoint is one solved grid point: the equilibrium plus the ISP
+	// revenue and system welfare there.
+	SweepPoint = sweep.Point
+	// SweepResult holds the solved points in deterministic order
+	// (µ-major, then q, then p) with accessors (ArgmaxRevenue,
+	// WelfareSurface, CSV/JSON export).
+	SweepResult = sweep.Result
+)
+
+// UniformGrid returns n evenly spaced points on [lo, hi] inclusive — the
+// usual way to build a Grid axis.
+func UniformGrid(lo, hi float64, n int) []float64 { return sweep.Uniform(lo, hi, n) }
