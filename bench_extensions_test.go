@@ -37,6 +37,7 @@ func benchSystem() *model.System {
 }
 
 func BenchmarkTwoSidedOptimalFee(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := twosided.OptimalFee(sys, 0.8, 1.2); err != nil {
@@ -46,6 +47,7 @@ func BenchmarkTwoSidedOptimalFee(b *testing.B) {
 }
 
 func BenchmarkShapley(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem()
 	for i := 0; i < b.N; i++ {
 		if _, err := shapley.Compute(sys, 0.8, 0); err != nil {
@@ -55,6 +57,7 @@ func BenchmarkShapley(b *testing.B) {
 }
 
 func BenchmarkShapleyEightCP(b *testing.B) {
+	b.ReportAllocs()
 	sys := experiments.EightCPGrid()
 	for i := 0; i < b.N; i++ {
 		if _, err := shapley.Compute(sys, 0.8, 0); err != nil {
@@ -64,6 +67,7 @@ func BenchmarkShapleyEightCP(b *testing.B) {
 }
 
 func BenchmarkPlanner(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem()
 	for i := 0; i < b.N; i++ {
 		if _, err := planner.Maximize(sys, 1, 1, planner.Welfare, 0, 0); err != nil {
@@ -73,6 +77,7 @@ func BenchmarkPlanner(b *testing.B) {
 }
 
 func BenchmarkDynamicsBR(b *testing.B) {
+	b.ReportAllocs()
 	g, err := game.New(benchSystem(), 1, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -85,6 +90,7 @@ func BenchmarkDynamicsBR(b *testing.B) {
 }
 
 func BenchmarkLongrunInvestment(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem()
 	for i := 0; i < b.N; i++ {
 		if _, err := longrun.Simulate(sys, 0.5, longrun.Config{P: 1, Q: 1, Cost: 0.1, Epochs: 50}); err != nil {
@@ -94,6 +100,7 @@ func BenchmarkLongrunInvestment(b *testing.B) {
 }
 
 func BenchmarkDuopolyCPEquilibrium(b *testing.B) {
+	b.ReportAllocs()
 	m := &duopoly.Market{
 		CPs:   benchSystem().CPs[:2],
 		Util:  econ.LinearUtilization{},
@@ -109,6 +116,7 @@ func BenchmarkDuopolyCPEquilibrium(b *testing.B) {
 }
 
 func BenchmarkTracePath(b *testing.B) {
+	b.ReportAllocs()
 	sys := experiments.EightCPGrid()
 	grid := experiments.Grid(0.05, 2, 11)
 	for i := 0; i < b.N; i++ {
@@ -121,6 +129,7 @@ func BenchmarkTracePath(b *testing.B) {
 }
 
 func BenchmarkMonteCarloRobustness(b *testing.B) {
+	b.ReportAllocs()
 	r := montecarlo.DefaultRanges()
 	for i := 0; i < b.N; i++ {
 		if _, err := montecarlo.Run(10, int64(i+1), 1, nil, r); err != nil {
@@ -130,6 +139,7 @@ func BenchmarkMonteCarloRobustness(b *testing.B) {
 }
 
 func BenchmarkPolicyEffectTheorem8(b *testing.B) {
+	b.ReportAllocs()
 	sys := benchSystem()
 	for i := 0; i < b.N; i++ {
 		if _, err := isp.PolicyEffectAt(sys, isp.FixedPrice{P: 1}, 0.6, 0); err != nil {

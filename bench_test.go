@@ -26,6 +26,7 @@ const benchPts = 11 // price-grid resolution inside benchmarks
 // --- Figures 4-5: one-sided pricing ---------------------------------------
 
 func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig4(benchPts, 0)
 		if err != nil {
@@ -38,6 +39,7 @@ func BenchmarkFig4(b *testing.B) {
 }
 
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig5(benchPts, 0)
 		if err != nil {
@@ -53,6 +55,7 @@ func BenchmarkFig5(b *testing.B) {
 
 func benchSweep(b *testing.B, check func(*experiments.PolicySweep) error) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sw, err := experiments.RunPolicySweep(benchPts, 0)
 		if err != nil {
@@ -73,6 +76,7 @@ func BenchmarkFig11(b *testing.B) { benchSweep(b, experiments.CheckFig11) }
 // --- Kernel costs -----------------------------------------------------------
 
 func BenchmarkFixedPoint(b *testing.B) {
+	b.ReportAllocs()
 	sys := experiments.EightCPGrid()
 	m := sys.PopulationsAt(sys.UniformPrices(0.5))
 	b.ResetTimer()
@@ -84,6 +88,7 @@ func BenchmarkFixedPoint(b *testing.B) {
 }
 
 func BenchmarkBestResponse(b *testing.B) {
+	b.ReportAllocs()
 	g, err := game.New(experiments.EightCPGrid(), 1, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -98,6 +103,7 @@ func BenchmarkBestResponse(b *testing.B) {
 }
 
 func BenchmarkSolveNash(b *testing.B) {
+	b.ReportAllocs()
 	g, err := game.New(experiments.EightCPGrid(), 1, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -110,7 +116,40 @@ func BenchmarkSolveNash(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveNashAllocs measures the workspace hot path — a warm-started
+// Nash solve on a reused game.Workspace — and asserts the tentpole contract
+// that it is allocation-free (testing.AllocsPerRun must report zero before
+// the timed loop runs).
+func BenchmarkSolveNashAllocs(b *testing.B) {
+	b.ReportAllocs()
+	g, err := game.New(experiments.EightCPGrid(), 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := game.NewWorkspace()
+	eq, err := g.SolveNashWS(ws, game.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := append([]float64(nil), eq.S...)
+	opts := game.Options{Initial: warm}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := g.SolveNashWS(ws, opts); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("warm SolveNashWS allocated %v objects/op, want 0", allocs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.SolveNashWS(ws, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	g, err := game.New(experiments.EightCPGrid(), 0.9, 0.6)
 	if err != nil {
 		b.Fatal(err)
@@ -128,6 +167,7 @@ func BenchmarkSensitivity(b *testing.B) {
 }
 
 func BenchmarkOptimalPrice(b *testing.B) {
+	b.ReportAllocs()
 	sys := experiments.EightCPGrid()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -158,6 +198,7 @@ func engineBenchGrid() neutralnet.Grid {
 // BenchmarkEngineSolveCold is the per-point baseline: one cold equilibrium
 // solve through the Engine with cache and warm starts disabled.
 func BenchmarkEngineSolveCold(b *testing.B) {
+	b.ReportAllocs()
 	eng, err := neutralnet.NewEngine(engineBenchSystem(),
 		neutralnet.WithCache(0), neutralnet.WithWarmStart(false))
 	if err != nil {
@@ -174,6 +215,7 @@ func BenchmarkEngineSolveCold(b *testing.B) {
 // BenchmarkEngineSolveCached measures the cache-hit path: every iteration
 // after the first is answered from the bounded equilibrium cache.
 func BenchmarkEngineSolveCached(b *testing.B) {
+	b.ReportAllocs()
 	eng, err := neutralnet.NewEngine(engineBenchSystem())
 	if err != nil {
 		b.Fatal(err)
@@ -193,6 +235,7 @@ func BenchmarkEngineSolveCached(b *testing.B) {
 // TestSweepDeterministicAcrossWorkers); warm and cold iterates agree only
 // to solver tolerance.
 func BenchmarkEngineSweep(b *testing.B) {
+	b.ReportAllocs()
 	grid := engineBenchGrid()
 	for _, bc := range []struct {
 		name string
@@ -204,6 +247,7 @@ func BenchmarkEngineSweep(b *testing.B) {
 		{"warm-8w", []neutralnet.Option{neutralnet.WithWorkers(8), neutralnet.WithCache(0)}},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			eng, err := neutralnet.NewEngine(engineBenchSystem(), bc.opts...)
 			if err != nil {
 				b.Fatal(err)
@@ -225,6 +269,7 @@ func BenchmarkEngineSweep(b *testing.B) {
 // BenchmarkEngineOptimalPrice measures the Engine's price optimization
 // (sweep-based scan plus golden refinement).
 func BenchmarkEngineOptimalPrice(b *testing.B) {
+	b.ReportAllocs()
 	eng, err := neutralnet.NewEngine(engineBenchSystem(), neutralnet.WithCache(0))
 	if err != nil {
 		b.Fatal(err)
@@ -243,6 +288,7 @@ func BenchmarkEngineOptimalPrice(b *testing.B) {
 // utilization families, showing the qualitative results (and costs) do not
 // hinge on the paper's linear Φ.
 func BenchmarkAblationUtilization(b *testing.B) {
+	b.ReportAllocs()
 	families := []struct {
 		name string
 		util econ.Utilization
@@ -253,6 +299,7 @@ func BenchmarkAblationUtilization(b *testing.B) {
 	}
 	for _, fam := range families {
 		b.Run(fam.name, func(b *testing.B) {
+			b.ReportAllocs()
 			sys := experiments.EightCPGrid()
 			sys.Util = fam.util
 			g, err := game.New(sys, 1, 1)
@@ -268,14 +315,21 @@ func BenchmarkAblationUtilization(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationSolver compares the Gauss-Seidel and damped-Jacobi Nash
-// iterations.
+// BenchmarkAblationSolver compares the pluggable Nash iteration schemes:
+// sequential Gauss-Seidel, the damped-Jacobi ablation, and the
+// Anderson-accelerated simultaneous iteration.
 func BenchmarkAblationSolver(b *testing.B) {
+	b.ReportAllocs()
 	for _, m := range []struct {
 		name   string
 		method game.Method
-	}{{"gauss-seidel", game.GaussSeidel}, {"jacobi-damped", game.JacobiDamped}} {
+	}{
+		{"gauss-seidel", game.GaussSeidel},
+		{"jacobi-damped", game.JacobiDamped},
+		{"anderson", game.Anderson},
+	} {
 		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
 			g, err := game.New(experiments.EightCPGrid(), 1, 1)
 			if err != nil {
 				b.Fatal(err)
@@ -292,6 +346,7 @@ func BenchmarkAblationSolver(b *testing.B) {
 // BenchmarkAblationDerivative compares the closed-form marginal utility
 // against numerical differentiation of the raw utility.
 func BenchmarkAblationDerivative(b *testing.B) {
+	b.ReportAllocs()
 	g, err := game.New(experiments.EightCPGrid(), 1, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -301,6 +356,7 @@ func BenchmarkAblationDerivative(b *testing.B) {
 		s[i] = 0.2
 	}
 	b.Run("analytic", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := g.MarginalUtility(i%g.N(), s); err != nil {
 				b.Fatal(err)
@@ -308,6 +364,7 @@ func BenchmarkAblationDerivative(b *testing.B) {
 		}
 	})
 	b.Run("numeric", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			g.MarginalUtilityNumeric(i%g.N(), s)
 		}
@@ -316,6 +373,7 @@ func BenchmarkAblationDerivative(b *testing.B) {
 
 // BenchmarkFlowsim measures the grounding simulator's event throughput.
 func BenchmarkFlowsim(b *testing.B) {
+	b.ReportAllocs()
 	c := flowsim.DefaultClass()
 	c.Users = 100
 	cfg := flowsim.Config{
@@ -336,6 +394,7 @@ func BenchmarkFlowsim(b *testing.B) {
 
 // BenchmarkCapacityPlan measures the future-work extension's joint search.
 func BenchmarkCapacityPlan(b *testing.B) {
+	b.ReportAllocs()
 	sys := &model.System{
 		CPs:  experiments.EightCPGrid().CPs[:4],
 		Mu:   1,

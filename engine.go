@@ -25,6 +25,11 @@ type Engine struct {
 	sys *System
 	cfg engineConfig
 
+	// wsPool amortizes game workspaces across Solve/SolveAt calls: a warm
+	// workspace makes the Nash solve itself allocation-free, so a Solve
+	// call's footprint is just the returned equilibrium's own slices.
+	wsPool sync.Pool
+
 	mu    sync.Mutex
 	cache *eqCache
 	stats EngineStats
@@ -54,6 +59,7 @@ func NewEngine(sys *System, opts ...Option) (*Engine, error) {
 		opt(&cfg)
 	}
 	e := &Engine{sys: sys, cfg: cfg}
+	e.wsPool.New = func() any { return game.NewWorkspace() }
 	if cfg.cacheSize > 0 {
 		e.cache = newEqCache(cfg.cacheSize)
 	}
@@ -124,18 +130,25 @@ func (e *Engine) SolveAt(p, q, mu float64) (Equilibrium, error) {
 	if err != nil {
 		return Equilibrium{}, err
 	}
-	eq, err := g.SolveNash(opts)
+	// Solve on a pooled workspace; the returned equilibrium borrows the
+	// workspace buffers, so it must be escaped with Clone before the
+	// workspace is released (and before it is handed to the caller or the
+	// cache — both retain it).
+	ws := e.wsPool.Get().(*game.Workspace)
+	eq, err := g.SolveNashWS(ws, opts)
+	out := eq.Clone()
+	e.wsPool.Put(ws)
 	if err != nil {
-		return eq, err
+		return out, err
 	}
 
 	e.mu.Lock()
 	e.stats.Solves++
 	if e.cache != nil {
-		e.stats.Evictions += uint64(e.cache.put(key, eq.Clone()))
+		e.stats.Evictions += uint64(e.cache.put(key, out.Clone()))
 	}
 	e.mu.Unlock()
-	return eq, nil
+	return out, nil
 }
 
 // Sweep solves the equilibrium over every grid point with the Engine's

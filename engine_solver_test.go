@@ -1,0 +1,144 @@
+package neutralnet_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"neutralnet"
+)
+
+// TestWithSolverAndersonEndToEnd selects the Anderson-accelerated scheme by
+// name at the public API and runs it through Solve and Sweep: results must
+// agree with the default Gauss–Seidel scheme to solver tolerance, and the
+// sweep must stay bit-identical across worker counts.
+func TestWithSolverAndersonEndToEnd(t *testing.T) {
+	sys := paperEightCP()
+	grid := neutralnet.Grid{
+		P: neutralnet.UniformGrid(0.1, 2, 9),
+		Q: []float64{0, 1},
+	}
+
+	gsEng := newEngine(t, sys, neutralnet.WithWorkers(1), neutralnet.WithCache(0))
+	andEng := newEngine(t, sys, neutralnet.WithSolver("anderson"),
+		neutralnet.WithWorkers(1), neutralnet.WithCache(0))
+
+	gsEq, err := gsEng.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	andEq, err := andEng.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gsEq.S {
+		if math.Abs(gsEq.S[i]-andEq.S[i]) > 1e-6 {
+			t.Fatalf("CP %d: anderson %v vs gauss-seidel %v", i, andEq.S[i], gsEq.S[i])
+		}
+	}
+
+	gsSweep, err := gsEng.Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	andSweep, err := andEng.Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range gsSweep.Points {
+		if math.Abs(gsSweep.Points[k].Revenue-andSweep.Points[k].Revenue) > 1e-6 {
+			t.Fatalf("point %d: revenue %v vs %v", k,
+				andSweep.Points[k].Revenue, gsSweep.Points[k].Revenue)
+		}
+	}
+
+	// Determinism across worker counts must hold for the new scheme too.
+	and4 := newEngine(t, sys, neutralnet.WithSolver(neutralnet.Anderson),
+		neutralnet.WithWorkers(4), neutralnet.WithCache(0))
+	sweep4, err := and4.Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range andSweep.Points {
+		if andSweep.Points[k].Revenue != sweep4.Points[k].Revenue ||
+			andSweep.Points[k].Eq.State.Phi != sweep4.Points[k].Eq.State.Phi {
+			t.Fatalf("point %d: anderson sweep differs between 1 and 4 workers", k)
+		}
+		for i := range andSweep.Points[k].Eq.S {
+			if andSweep.Points[k].Eq.S[i] != sweep4.Points[k].Eq.S[i] {
+				t.Fatalf("point %d CP %d: subsidy differs between 1 and 4 workers", k, i)
+			}
+		}
+	}
+}
+
+// TestWithSolverUnknownNameSurfaces verifies that a typo'd solver name
+// errors at the first solve instead of silently running the default.
+func TestWithSolverUnknownNameSurfaces(t *testing.T) {
+	eng := newEngine(t, paperTwoCP(), neutralnet.WithSolver("no-such-scheme"))
+	if _, err := eng.Solve(1, 1); err == nil {
+		t.Fatal("unknown solver name must surface as an error")
+	}
+}
+
+// TestEngineConcurrentSolveAndSweepRace is the aliasing regression test for
+// the workspace refactor: sweeps, cache-hitting solves and warm-started
+// solves run concurrently while every returned equilibrium is mutated by
+// its consumer. Borrowed workspace state escaping into the cache, the
+// warm-start store or a caller would surface here as corrupted equilibria
+// or as a data race under -race.
+func TestEngineConcurrentSolveAndSweepRace(t *testing.T) {
+	sys := paperEightCP()
+	// Small cache forces eviction churn while warm starts read profiles
+	// out of the resident entries.
+	eng := newEngine(t, sys, neutralnet.WithCache(4), neutralnet.WithWorkers(2))
+	grid := neutralnet.Grid{P: neutralnet.UniformGrid(0.2, 1.8, 5), Q: []float64{0.5, 1}}
+
+	ref, err := eng.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				if seed%2 == 0 {
+					if _, err := eng.Sweep(grid); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				eq, err := eng.Solve(1, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Warm starts legitimately perturb a re-solved profile
+				// within solver tolerance (the cache entry may have been
+				// evicted in between); corruption would be O(1) wrong.
+				for i := range ref.S {
+					if math.Abs(eq.S[i]-ref.S[i]) > 1e-6 {
+						t.Errorf("solve at (1,1) corrupted: CP %d %v vs %v", i, eq.S[i], ref.S[i])
+						return
+					}
+				}
+				// Mutating the returned equilibrium must never corrupt
+				// cached or in-flight state.
+				for i := range eq.S {
+					eq.S[i] = -1
+					eq.State.M[i] = -1
+					eq.State.Theta[i] = -1
+				}
+				q := 0.5 + float64(seed)*0.25
+				if _, err := eng.Solve(0.9, q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -70,21 +70,33 @@ func (g *Game) State(s []float64) (model.State, error) {
 	return g.Sys.Solve(g.Sys.PopulationsAt(g.Prices(s)))
 }
 
+// utilityAt is the single definition of CP i's utility
+// U_i = (v_i − s_i)·θ_i at a solved state, shared by every evaluation path
+// (one-shot, workspace closure, equilibrium assembly).
+func (g *Game) utilityAt(i int, si float64, st model.State) float64 {
+	return (g.Sys.CPs[i].Value - si) * st.Theta[i]
+}
+
+// utilitiesInto writes U_i for every CP into dst without allocating.
+func (g *Game) utilitiesInto(dst, s []float64, st model.State) {
+	for i := range dst {
+		dst[i] = g.utilityAt(i, s[i], st)
+	}
+}
+
 // Utility returns U_i(s) = (v_i − s_i)·θ_i(s) for CP i at the solved state.
 func (g *Game) Utility(i int, s []float64) (float64, error) {
 	st, err := g.State(s)
 	if err != nil {
 		return 0, err
 	}
-	return (g.Sys.CPs[i].Value - s[i]) * st.Theta[i], nil
+	return g.utilityAt(i, s[i], st), nil
 }
 
 // Utilities returns all CP utilities at the state st under profile s.
 func (g *Game) Utilities(s []float64, st model.State) []float64 {
 	u := make([]float64, g.N())
-	for i := range u {
-		u[i] = (g.Sys.CPs[i].Value - s[i]) * st.Theta[i]
-	}
+	g.utilitiesInto(u, s, st)
 	return u
 }
 

@@ -3,24 +3,32 @@ package game
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"neutralnet/internal/model"
 	"neutralnet/internal/numeric"
+	"neutralnet/internal/solver"
 )
 
-// Method selects the Nash iteration scheme.
-type Method int
+// Method names the fixed-point scheme the Nash iteration runs under. It is
+// a solver-registry name (see internal/solver), so any registered scheme —
+// including ones added by future packages — can be selected by string;
+// the empty string selects Gauss–Seidel.
+type Method string
 
 const (
 	// GaussSeidel iterates best responses sequentially, each CP reacting to
 	// the freshest profile. It is the default: fastest and most robust for
 	// the Leontief-stable games the paper studies.
-	GaussSeidel Method = iota
+	GaussSeidel Method = solver.GaussSeidelName
 	// JacobiDamped iterates all best responses simultaneously with damping
 	// 0.5. It is kept as an ablation (BenchmarkAblationSolver) and as a
 	// fallback for games where sequential updates cycle.
-	JacobiDamped
+	JacobiDamped Method = solver.JacobiDampedName
+	// Anderson runs Anderson-accelerated fixed-point iteration (depth-m
+	// residual mixing) over the simultaneous best-response map, with a
+	// safeguarded fallback to Gauss–Seidel sweeps when the map is not
+	// contractive.
+	Anderson Method = solver.AndersonName
 )
 
 // Options configures SolveNash. The zero value selects sensible defaults.
@@ -31,21 +39,14 @@ type Options struct {
 	Initial []float64 // warm start (default: zero profile)
 }
 
-func (o Options) withDefaults(n int) Options {
-	if o.Tol <= 0 {
-		o.Tol = 1e-9
-	}
-	if o.MaxIter <= 0 {
-		o.MaxIter = 400
-	}
-	if o.Initial == nil {
-		o.Initial = make([]float64, n)
-	}
-	return o
-}
-
 // Equilibrium is a solved Nash equilibrium of the subsidization game,
 // bundled with the induced physical state and player utilities.
+//
+// Equilibria returned by SolveNash own their slices. Equilibria returned
+// by SolveNashWS BORROW the workspace's buffers (S, U, State.M,
+// State.Theta all alias workspace storage): they are valid only until the
+// workspace's next solve, and any retention — caches, sweep result tables,
+// warm-start stores — must go through Clone.
 type Equilibrium struct {
 	S          []float64   // subsidy profile
 	State      model.State // utilization, populations, throughputs at S
@@ -56,7 +57,9 @@ type Equilibrium struct {
 
 // Clone returns a deep copy of the equilibrium. Callers that retain
 // equilibria across solves (caches, warm-start stores) must clone so later
-// mutations of the returned slices cannot corrupt the stored profile.
+// mutations of the returned slices cannot corrupt the stored profile —
+// and, for workspace-solved equilibria, so the copy survives the
+// workspace's next solve.
 func (e Equilibrium) Clone() Equilibrium {
 	c := e
 	c.S = append([]float64(nil), e.S...)
@@ -86,123 +89,94 @@ var ErrNotConverged = errors.New("game: Nash iteration did not converge")
 //
 // If the marginal utility fails to bracket (e.g. under non-concave custom
 // curves), it falls back to BestResponseSearch.
+//
+// It is the one-shot adapter over the workspace kernel bestResponseWS;
+// hot loops hold a Workspace and solve through SolveNashWS instead.
 func (g *Game) BestResponse(i int, s []float64) (float64, error) {
-	if g.Q == 0 {
-		return 0, nil
+	if len(s) != g.N() {
+		return 0, fmt.Errorf("game: %d subsidies for %d CPs", len(s), g.N())
 	}
-	ui := func(x float64) float64 {
-		v, err := g.MarginalUtility(i, withSubsidy(s, i, x))
-		if err != nil {
-			return math.NaN()
-		}
-		return v
-	}
-	u0 := ui(0)
-	if math.IsNaN(u0) {
-		return g.BestResponseSearch(i, s)
-	}
-	if u0 <= 0 {
-		return 0, nil
-	}
-	uq := ui(g.Q)
-	if math.IsNaN(uq) {
-		return g.BestResponseSearch(i, s)
-	}
-	if uq >= 0 {
-		return g.Q, nil
-	}
-	root, err := numeric.Brent(ui, 0, g.Q, 1e-11)
-	if err != nil {
-		return g.BestResponseSearch(i, s)
-	}
-	return numeric.Clamp(root, 0, g.Q), nil
+	ws := NewWorkspace()
+	ws.bind(g)
+	copy(ws.s, s)
+	return g.bestResponseWS(ws, i)
 }
 
 // BestResponseSearch maximizes U_i(·; s_{−i}) on [0, q] by grid scan plus
 // golden-section refinement. It makes no concavity assumption and is the
 // fallback (and ablation) path for BestResponse.
 func (g *Game) BestResponseSearch(i int, s []float64) (float64, error) {
-	if g.Q == 0 {
-		return 0, nil
+	if len(s) != g.N() {
+		return 0, fmt.Errorf("game: %d subsidies for %d CPs", len(s), g.N())
 	}
-	var evalErr error
-	f := func(x float64) float64 {
-		u, err := g.Utility(i, withSubsidy(s, i, x))
-		if err != nil {
-			evalErr = err
-			return math.Inf(-1)
-		}
-		return u
-	}
-	x, _ := numeric.MaximizeOnInterval(f, 0, g.Q, 33)
-	if evalErr != nil {
-		return 0, evalErr
-	}
-	return x, nil
+	ws := NewWorkspace()
+	ws.bind(g)
+	copy(ws.s, s)
+	return g.bestResponseSearchWS(ws, i)
 }
 
 // SolveNash computes a Nash equilibrium of the subsidization game under the
 // given options. With Q = 0 it degenerates to the one-sided pricing baseline
 // in a single step. The returned equilibrium is always populated with the
 // final iterate, even when ErrNotConverged is reported.
+//
+// It is the one-shot adapter over SolveNashWS: it allocates a fresh
+// workspace and escapes the result with Clone, so the returned equilibrium
+// owns its slices.
 func (g *Game) SolveNash(opts Options) (Equilibrium, error) {
-	opts = opts.withDefaults(g.N())
-	s := append([]float64(nil), opts.Initial...)
-	for i := range s {
-		s[i] = numeric.Clamp(s[i], 0, g.Q)
+	eq, err := g.SolveNashWS(NewWorkspace(), opts)
+	return eq.Clone(), err
+}
+
+// SolveNashWS is SolveNash on a caller-owned workspace: the allocation-free
+// hot path of the equilibrium stack. A warm workspace (buffers sized, solver
+// instantiated) performs zero heap allocations per call. The returned
+// equilibrium BORROWS the workspace's buffers — it is valid only until the
+// workspace's next solve and must be escaped with Clone to be retained.
+func (g *Game) SolveNashWS(ws *Workspace, opts Options) (Equilibrium, error) {
+	ws.bind(g)
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 400
+	}
+	for i := range ws.s {
+		si := 0.0
+		if i < len(opts.Initial) {
+			si = opts.Initial[i]
+		}
+		ws.s[i] = numeric.Clamp(si, 0, g.Q)
 	}
 
-	var iters int
-	var converged bool
-	switch opts.Method {
-	case JacobiDamped:
-		step := func(cur []float64) []float64 {
-			next := make([]float64, len(cur))
-			for i := range cur {
-				br, err := g.BestResponse(i, cur)
-				if err != nil {
-					br = cur[i]
-				}
-				next[i] = br
-			}
-			return next
-		}
-		s, iters, converged = numeric.FixedPointVec(step, s, opts.Tol, 0.5, opts.MaxIter)
-	default: // GaussSeidel
-		for iters = 1; iters <= opts.MaxIter; iters++ {
-			diff := 0.0
-			for i := range s {
-				br, err := g.BestResponse(i, s)
-				if err != nil {
-					return Equilibrium{S: s}, fmt.Errorf("game: best response of CP %d: %w", i, err)
-				}
-				if d := math.Abs(br - s[i]); d > diff {
-					diff = d
-				}
-				s[i] = br
-			}
-			if diff < opts.Tol {
-				converged = true
-				break
-			}
-		}
-		if iters > opts.MaxIter {
-			iters = opts.MaxIter
-		}
-	}
-
-	st, err := g.State(s)
+	fp, err := ws.solverFor(opts.Method)
 	if err != nil {
-		return Equilibrium{S: s, Iterations: iters}, err
+		return Equilibrium{}, err
 	}
+	res, err := fp.Solve(ws, ws.s, tol, maxIter)
+	if err != nil {
+		var ce *solver.ComponentError
+		if errors.As(err, &ce) {
+			return Equilibrium{S: ws.s}, fmt.Errorf("game: best response of CP %d: %w", ce.I, ce.Err)
+		}
+		return Equilibrium{S: ws.s}, err
+	}
+
+	st, err := g.stateWS(ws)
+	if err != nil {
+		return Equilibrium{S: ws.s, Iterations: res.Iterations}, err
+	}
+	g.utilitiesInto(ws.u, ws.s, st)
 	eq := Equilibrium{
-		S:          s,
+		S:          ws.s,
 		State:      st,
-		U:          g.Utilities(s, st),
-		Iterations: iters,
-		Converged:  converged,
+		U:          ws.u,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
 	}
-	if !converged {
+	if !res.Converged {
 		return eq, ErrNotConverged
 	}
 	return eq, nil

@@ -1,0 +1,226 @@
+package game
+
+import (
+	"math"
+
+	"neutralnet/internal/model"
+	"neutralnet/internal/numeric"
+	"neutralnet/internal/solver"
+)
+
+// This file is the allocation-free evaluation core of the game layer. A
+// Workspace bundles the model-layer buffers with the game-level iterate,
+// the pre-bound 1-D closures the per-CP root-finds run on, and the cached
+// fixed-point solver instance. A warm workspace lets a full Nash solve
+// (outer iteration × per-CP Brent root-find × utilization fixed point)
+// run with zero heap allocations: the historical per-evaluation slice
+// churn (EffectivePrices, withSubsidy copies, PopulationsAt, fresh States)
+// all becomes in-place writes into workspace buffers, and withSubsidy in
+// particular becomes a swap/restore of a single element of the iterate.
+//
+// The Workspace also implements solver.Problem, which is how the Nash
+// iteration is handed to the pluggable internal/solver layer.
+
+// Workspace owns the reusable buffers of one solving goroutine. It is NOT
+// safe for concurrent use: each worker holds its own. Equilibria returned
+// by SolveNashWS borrow the workspace's buffers and must be escaped with
+// Equilibrium.Clone before being retained past the next solve.
+type Workspace struct {
+	phys *model.Workspace
+	t    []float64 // effective prices t_j = p − s_j
+	s    []float64 // subsidy iterate (borrowed by Equilibrium.S)
+	u    []float64 // player utilities (borrowed by Equilibrium.U)
+
+	g *Game // currently bound game
+	i int   // player the 1-D closures evaluate for
+
+	// marginalFn evaluates u_i(s_{−i}, x) — the marginal utility of player
+	// ws.i with its own subsidy swapped to x — returning NaN on solve
+	// failure. utilityFn likewise evaluates U_i. Both are allocated once
+	// here so the inner root-finds never close over fresh state.
+	marginalFn func(float64) float64
+	utilityFn  func(float64) float64
+	utilityErr error
+
+	// fp caches the solver instance for the last-used method, so repeated
+	// solves do not re-instantiate (or re-allocate) the scheme's scratch.
+	fp     solver.FixedPoint
+	fpName string
+}
+
+// NewWorkspace returns an empty workspace; buffers are sized on first bind.
+func NewWorkspace() *Workspace {
+	ws := &Workspace{phys: model.NewWorkspace()}
+	ws.marginalFn = func(x float64) float64 {
+		old := ws.s[ws.i]
+		ws.s[ws.i] = x
+		st, err := ws.g.stateOneWS(ws, ws.i)
+		v := math.NaN()
+		if err == nil {
+			v = ws.g.marginalAt(ws.i, ws.s, st)
+		}
+		ws.s[ws.i] = old
+		return v
+	}
+	ws.utilityFn = func(x float64) float64 {
+		old := ws.s[ws.i]
+		ws.s[ws.i] = x
+		st, err := ws.g.stateOneWS(ws, ws.i)
+		ws.s[ws.i] = old
+		if err != nil {
+			ws.utilityErr = err
+			return math.Inf(-1)
+		}
+		return ws.g.utilityAt(ws.i, x, st)
+	}
+	return ws
+}
+
+// bind points the workspace at g and sizes every buffer for g.N() players.
+func (ws *Workspace) bind(g *Game) {
+	ws.g = g
+	ws.phys.Bind(g.Sys)
+	n := g.N()
+	if cap(ws.t) < n {
+		ws.t = make([]float64, n)
+		ws.s = make([]float64, n)
+		ws.u = make([]float64, n)
+	}
+	ws.t = ws.t[:n]
+	ws.s = ws.s[:n]
+	ws.u = ws.u[:n]
+}
+
+// solverFor returns the cached fixed-point solver for method m,
+// instantiating (and caching) it on first use or method change.
+func (ws *Workspace) solverFor(m Method) (solver.FixedPoint, error) {
+	name := string(m)
+	if name == "" {
+		name = solver.DefaultName
+	}
+	if ws.fp != nil && ws.fpName == name {
+		return ws.fp, nil
+	}
+	fp, err := solver.New(name)
+	if err != nil {
+		return nil, err
+	}
+	ws.fp, ws.fpName = fp, name
+	return fp, nil
+}
+
+// stateWS solves the physical state induced by the workspace's current
+// subsidy iterate, entirely in workspace buffers. The returned state
+// borrows them. Operation order matches the allocating Game.State exactly,
+// so results are bit-identical.
+func (g *Game) stateWS(ws *Workspace) (model.State, error) {
+	for j := range ws.t {
+		ws.t[j] = g.P - ws.s[j]
+	}
+	g.Sys.PopulationsInto(ws.phys.M(), ws.t)
+	return g.Sys.SolveInto(ws.phys)
+}
+
+// prime refreshes the effective-price and population buffers for the full
+// current iterate. The per-CP evaluation closures afterwards only touch the
+// one component they vary (stateOneWS), so a best-response root-find pays
+// the full n-CP demand evaluation exactly once.
+func (ws *Workspace) prime() {
+	g := ws.g
+	for j := range ws.t {
+		ws.t[j] = g.P - ws.s[j]
+	}
+	g.Sys.PopulationsInto(ws.phys.M(), ws.t)
+}
+
+// stateOneWS re-solves the physical state assuming only component i of the
+// iterate changed since the last prime/eval: it refreshes t_i and m_i and
+// re-solves the utilization fixed point over the buffered populations. The
+// other CPs' demand values are bit-identical to a full recompute, so the
+// state matches stateWS exactly.
+func (g *Game) stateOneWS(ws *Workspace, i int) (model.State, error) {
+	ws.t[i] = g.P - ws.s[i]
+	ws.phys.M()[i] = g.Sys.CPs[i].Demand.M(ws.t[i])
+	return g.Sys.SolveInto(ws.phys)
+}
+
+// bestResponseWS is BestResponse on the workspace iterate: the
+// root-of-marginal-utility fast path with corner handling, falling back to
+// the derivative-free search when the marginal fails to bracket. ws.s[i]
+// is ignored (the closures swap the evaluation point in and restore it).
+func (g *Game) bestResponseWS(ws *Workspace, i int) (float64, error) {
+	if g.Q == 0 {
+		return 0, nil
+	}
+	ws.i = i
+	ws.prime()
+	u0 := ws.marginalFn(0)
+	if math.IsNaN(u0) {
+		return g.bestResponseSearchWS(ws, i)
+	}
+	if u0 <= 0 {
+		return 0, nil
+	}
+	uq := ws.marginalFn(g.Q)
+	if math.IsNaN(uq) {
+		return g.bestResponseSearchWS(ws, i)
+	}
+	if uq >= 0 {
+		return g.Q, nil
+	}
+	root, err := numeric.BrentWith(ws.marginalFn, 0, g.Q, u0, uq, 1e-11)
+	if err != nil {
+		return g.bestResponseSearchWS(ws, i)
+	}
+	return numeric.Clamp(root, 0, g.Q), nil
+}
+
+// bestResponseSearchWS is BestResponseSearch on the workspace iterate:
+// grid scan plus golden-section refinement of the raw utility, with no
+// concavity assumption.
+func (g *Game) bestResponseSearchWS(ws *Workspace, i int) (float64, error) {
+	if g.Q == 0 {
+		return 0, nil
+	}
+	ws.i = i
+	ws.prime()
+	ws.utilityErr = nil
+	x, _ := numeric.MaximizeOnInterval(ws.utilityFn, 0, g.Q, 33)
+	if ws.utilityErr != nil {
+		return 0, ws.utilityErr
+	}
+	return x, nil
+}
+
+// CopyProfile copies the profile s into the caller-owned buffer at *buf,
+// growing it if needed, and returns the resliced buffer. It is the
+// canonical escape for a workspace-borrowed subsidy profile that a worker
+// retains as a warm start across solves (sweep chains, montecarlo ladders):
+// the returned slice aliases *buf, never s.
+func CopyProfile(buf *[]float64, s []float64) []float64 {
+	if cap(*buf) < len(s) {
+		*buf = make([]float64, len(s))
+	}
+	*buf = (*buf)[:len(s)]
+	copy(*buf, s)
+	return *buf
+}
+
+// --- solver.Problem ---------------------------------------------------------
+
+// N is the number of players.
+func (ws *Workspace) N() int { return ws.g.N() }
+
+// Box is the subsidy interval [0, q] every component is confined to.
+func (ws *Workspace) Box() (lo, hi float64) { return 0, ws.g.Q }
+
+// Best computes player i's best response against the profile x. The
+// solver layer iterates on the workspace's own s buffer, so x normally
+// aliases it; a defensive copy covers solvers that present a different
+// iterate.
+func (ws *Workspace) Best(i int, x []float64) (float64, error) {
+	if &x[0] != &ws.s[0] {
+		copy(ws.s, x)
+	}
+	return ws.g.bestResponseWS(ws, i)
+}

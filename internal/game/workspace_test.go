@@ -1,0 +1,113 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSolveNashWSMatchesSolveNash pins the bit-identity contract between
+// the allocation-free workspace path and the allocating adapter.
+func TestSolveNashWSMatchesSolveNash(t *testing.T) {
+	g, _ := New(eightCP(), 1, 1)
+	ref, err := g.SolveNash(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	eq, err := g.SolveNashWS(ws, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.Iterations != ref.Iterations || eq.Converged != ref.Converged {
+		t.Fatalf("iteration metadata differs: %+v vs %+v", eq.Iterations, ref.Iterations)
+	}
+	if eq.State.Phi != ref.State.Phi {
+		t.Fatalf("phi differs bitwise: %x vs %x", eq.State.Phi, ref.State.Phi)
+	}
+	for i := range ref.S {
+		if eq.S[i] != ref.S[i] || eq.U[i] != ref.U[i] {
+			t.Fatalf("CP %d: workspace path differs bitwise", i)
+		}
+	}
+}
+
+// TestSolveNashWSBorrows documents the aliasing contract of the workspace
+// path: the equilibrium borrows workspace buffers until the next solve, and
+// Clone detaches it.
+func TestSolveNashWSBorrows(t *testing.T) {
+	g, _ := New(eightCP(), 1, 1)
+	ws := NewWorkspace()
+	eq1, err := g.SolveNashWS(ws, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := eq1.Clone()
+	g2, _ := New(eightCP(), 0.3, 0.2)
+	eq2, err := g2.SolveNashWS(ws, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &eq1.S[0] != &eq2.S[0] {
+		t.Fatal("successive workspace solves should reuse the iterate buffer")
+	}
+	if own.S[7] == eq2.S[7] {
+		t.Fatal("distinct games coincided; test is vacuous")
+	}
+	if &own.S[0] == &eq2.S[0] || &own.State.M[0] == &eq2.State.M[0] {
+		t.Fatal("Clone must detach from the workspace buffers")
+	}
+}
+
+// TestSolveNashWSAllocFree asserts the tentpole contract: a warm single
+// equilibrium solve on the hot path performs zero heap allocations.
+func TestSolveNashWSAllocFree(t *testing.T) {
+	g, _ := New(eightCP(), 1, 1)
+	ws := NewWorkspace()
+	warm := make([]float64, g.N())
+	eq, err := g.SolveNashWS(ws, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(warm, eq.S)
+	opts := Options{Initial: warm}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := g.SolveNashWS(ws, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SolveNashWS allocated %v objects/op, want 0", allocs)
+	}
+}
+
+// TestAndersonMatchesGaussSeidel runs the new accelerated scheme end to end
+// on the paper's eight-CP catalog: it must converge to the Gauss–Seidel
+// equilibrium within solver tolerance.
+func TestAndersonMatchesGaussSeidel(t *testing.T) {
+	for _, pq := range [][2]float64{{1, 1}, {0.8, 1.5}, {1.4, 0.45}} {
+		g, _ := New(eightCP(), pq[0], pq[1])
+		gs, err := g.SolveNash(Options{Method: GaussSeidel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		and, err := g.SolveNash(Options{Method: Anderson})
+		if err != nil {
+			t.Fatalf("anderson at (p=%g, q=%g): %v", pq[0], pq[1], err)
+		}
+		for i := range gs.S {
+			if math.Abs(gs.S[i]-and.S[i]) > 1e-6 {
+				t.Fatalf("(p=%g, q=%g) CP %d: anderson %v vs gauss-seidel %v",
+					pq[0], pq[1], i, and.S[i], gs.S[i])
+			}
+		}
+	}
+}
+
+// TestSolveNashUnknownMethod verifies that an unregistered solver name
+// surfaces as an error rather than silently running the default.
+func TestSolveNashUnknownMethod(t *testing.T) {
+	g, _ := New(threeCP(), 1, 1)
+	if _, err := g.SolveNash(Options{Method: "no-such-scheme"}); err == nil {
+		t.Fatal("unknown solver name must error")
+	}
+}

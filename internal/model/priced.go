@@ -5,12 +5,11 @@ package model
 // t_i = p (no subsidies). Populations become m_i(p), utilization φ(p), and
 // the price effect of Theorem 2 follows.
 
-// PopulationsAt returns m_i(t_i) for the per-CP effective prices t.
+// PopulationsAt returns m_i(t_i) for the per-CP effective prices t. It is
+// the allocating adapter over PopulationsInto.
 func (s *System) PopulationsAt(t []float64) []float64 {
 	m := make([]float64, len(s.CPs))
-	for i, cp := range s.CPs {
-		m[i] = cp.Demand.M(t[i])
-	}
+	s.PopulationsInto(m, t)
 	return m
 }
 

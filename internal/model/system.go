@@ -85,6 +85,10 @@ func (s *System) GapDerivative(phi float64, m []float64) float64 {
 
 // SolveUtilization computes the unique system utilization φ(m, µ) of
 // Definition 1 / Lemma 1 by bracketing and root-finding on the gap function.
+// Hot loops hold a Workspace and use SolveInto instead; this one-shot entry
+// closes over the caller's slice directly (one closure, no workspace). The
+// body mirrors the workspace kernel solveUtilizationWS operation for
+// operation — TestSolveIntoMatchesSolve pins the two bit-identical.
 func (s *System) SolveUtilization(m []float64) (float64, error) {
 	if len(m) != len(s.CPs) {
 		return 0, fmt.Errorf("model: got %d populations for %d CPs", len(m), len(s.CPs))
@@ -101,22 +105,22 @@ func (s *System) SolveUtilization(m []float64) (float64, error) {
 	}
 	g := func(phi float64) float64 { return s.Gap(phi, m) }
 	// g(0) = Θ(0,µ) − Σ m_k λ_k(0) = −Σ m_k λ_k(0) < 0 when demand exists.
-	if g(0) >= 0 {
+	g0 := g(0)
+	if g0 >= 0 {
 		return 0, nil
 	}
-	phi, err := numeric.SolveIncreasing(g, 0, 1)
+	phi, err := numeric.SolveIncreasingWith(g, 0, 1, g0)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrNoSolution, err)
 	}
 	return phi, nil
 }
 
-// ThroughputAt returns θ_i = m_i·λ_i(φ) for every CP at utilization phi.
+// ThroughputAt returns θ_i = m_i·λ_i(φ) for every CP at utilization phi. It
+// is the allocating adapter over ThroughputInto.
 func (s *System) ThroughputAt(phi float64, m []float64) []float64 {
 	th := make([]float64, len(s.CPs))
-	for i, cp := range s.CPs {
-		th[i] = m[i] * cp.Throughput.Lambda(phi)
-	}
+	s.ThroughputInto(th, phi, m)
 	return th
 }
 
@@ -130,6 +134,11 @@ func Aggregate(theta []float64) float64 {
 }
 
 // State bundles the solved physical state of a system for given populations.
+//
+// States produced by System.Solve own their slices. States produced by the
+// workspace kernel SolveInto BORROW the workspace's buffers: they are valid
+// only until the workspace's next solve, and any caller that retains one
+// (caches, result tables, warm-start stores) must escape it with Clone.
 type State struct {
 	Phi   float64   // system utilization (Definition 1)
 	M     []float64 // user populations

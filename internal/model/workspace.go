@@ -1,0 +1,118 @@
+package model
+
+import (
+	"fmt"
+
+	"neutralnet/internal/numeric"
+)
+
+// This file is the allocation-free evaluation core of the model layer. A
+// Workspace owns the slice buffers and the pre-bound root-finding closure
+// that a single utilization solve needs, so the hot path of the equilibrium
+// stack (Nash outer iteration × per-CP root-find × utilization fixed point)
+// performs zero heap allocations after warm-up. The allocating System
+// methods (Solve, SolveUtilization, PopulationsAt, ThroughputAt) remain as
+// thin adapters over these kernels.
+
+// Workspace holds the reusable buffers of one solving goroutine. It is NOT
+// safe for concurrent use: each worker owns exactly one Workspace. States
+// returned by SolveInto borrow the workspace buffers — they are valid only
+// until the next SolveInto call and must be escaped with State.Clone before
+// being retained.
+type Workspace struct {
+	sys   *System
+	m     []float64 // populations buffer (borrowed by State.M)
+	theta []float64 // throughput buffer (borrowed by State.Theta)
+
+	// gapFn is the utilization gap g(φ) = Θ(φ, µ) − Σ_k m_k λ_k(φ) bound to
+	// the workspace's current system and population buffer. Binding it once
+	// at construction (instead of closing over locals per solve) is what
+	// keeps the root-find allocation-free: the closure is allocated exactly
+	// once per Workspace.
+	gapFn func(float64) float64
+}
+
+// NewWorkspace returns an empty workspace; buffers are sized on first use.
+func NewWorkspace() *Workspace {
+	w := &Workspace{}
+	w.gapFn = func(phi float64) float64 { return w.sys.Gap(phi, w.m) }
+	return w
+}
+
+// Bind points the workspace at sys and sizes its buffers for sys.N() CPs.
+// Rebinding between systems of the same size is free; growing reallocates
+// once.
+func (w *Workspace) Bind(sys *System) {
+	w.sys = sys
+	n := len(sys.CPs)
+	if cap(w.m) < n {
+		w.m = make([]float64, n)
+		w.theta = make([]float64, n)
+	}
+	w.m = w.m[:n]
+	w.theta = w.theta[:n]
+}
+
+// M exposes the population buffer so callers (PopulationsInto consumers)
+// can fill it in place before SolveInto.
+func (w *Workspace) M() []float64 { return w.m }
+
+// PopulationsInto writes m_i(t_i) into dst for the per-CP effective prices
+// t. dst must have length len(s.CPs). It is the in-place kernel behind
+// PopulationsAt.
+func (s *System) PopulationsInto(dst, t []float64) {
+	for i := range s.CPs {
+		dst[i] = s.CPs[i].Demand.M(t[i])
+	}
+}
+
+// ThroughputInto writes θ_i = m_i·λ_i(φ) into dst at utilization phi. It is
+// the in-place kernel behind ThroughputAt.
+func (s *System) ThroughputInto(dst []float64, phi float64, m []float64) {
+	for i := range s.CPs {
+		dst[i] = m[i] * s.CPs[i].Throughput.Lambda(phi)
+	}
+}
+
+// SolveInto computes the full physical state for the populations already
+// resident in w.M() without allocating. The returned State borrows w's
+// buffers (State.M aliases w.M(), State.Theta aliases the throughput
+// buffer); callers that retain it across solves must Clone it. The math is
+// identical to Solve: same checks, same bracketing, same Brent iteration.
+func (s *System) SolveInto(w *Workspace) (State, error) {
+	phi, err := s.solveUtilizationWS(w)
+	if err != nil {
+		return State{}, err
+	}
+	s.ThroughputInto(w.theta, phi, w.m)
+	return State{Phi: phi, M: w.m, Theta: w.theta}, nil
+}
+
+// solveUtilizationWS is SolveUtilization over the workspace's population
+// buffer, using the pre-bound gap closure. Operation order matches
+// SolveUtilization exactly so results are bit-identical.
+func (s *System) solveUtilizationWS(w *Workspace) (float64, error) {
+	if w.sys != s {
+		w.Bind(s)
+	}
+	total := 0.0
+	for _, mi := range w.m {
+		if mi < 0 {
+			return 0, fmt.Errorf("model: negative population %g", mi)
+		}
+		total += mi
+	}
+	if total == 0 {
+		return 0, nil // no demand, no utilization (limit θ→0 of Assumption 1)
+	}
+	// g(0) = Θ(0,µ) − Σ m_k λ_k(0) < 0 when demand exists.
+	g0 := w.gapFn(0)
+	if g0 >= 0 {
+		return 0, nil
+	}
+	phi, err := numeric.SolveIncreasingWith(w.gapFn, 0, 1, g0)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNoSolution, err)
+	}
+	return phi, nil
+}

@@ -1,0 +1,97 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+)
+
+func workspaceTestSystem() *System {
+	mk := func(a, b, v float64) CP {
+		return CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	return &System{
+		CPs:  []CP{mk(5, 2, 1), mk(2, 5, 0.5), mk(3, 3, 0.8)},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+}
+
+// TestSolveIntoMatchesSolve pins the bit-identity contract: the workspace
+// kernel must run the exact same floating-point operations as the
+// allocating path.
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	sys := workspaceTestSystem()
+	w := NewWorkspace()
+	for _, p := range []float64{0.05, 0.3, 0.7, 1.1, 1.9} {
+		t1 := sys.UniformPrices(p)
+		ref, err := sys.Solve(sys.PopulationsAt(t1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Bind(sys)
+		sys.PopulationsInto(w.M(), t1)
+		st, err := sys.SolveInto(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Phi != ref.Phi {
+			t.Fatalf("p=%g: phi %x != %x", p, st.Phi, ref.Phi)
+		}
+		for i := range ref.Theta {
+			if st.Theta[i] != ref.Theta[i] || st.M[i] != ref.M[i] {
+				t.Fatalf("p=%g CP %d: state differs bitwise", p, i)
+			}
+		}
+	}
+}
+
+// TestSolveIntoBorrows documents the aliasing contract: the returned state
+// borrows the workspace buffers, and Clone detaches it.
+func TestSolveIntoBorrows(t *testing.T) {
+	sys := workspaceTestSystem()
+	w := NewWorkspace()
+	w.Bind(sys)
+	sys.PopulationsInto(w.M(), sys.UniformPrices(0.5))
+	st, err := sys.SolveInto(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &st.M[0] != &w.M()[0] {
+		t.Fatal("SolveInto should borrow the workspace population buffer")
+	}
+	own := st.Clone()
+	if &own.M[0] == &w.M()[0] || &own.Theta[0] == &st.Theta[0] {
+		t.Fatal("Clone must detach from the workspace buffers")
+	}
+}
+
+// TestSolveIntoAllocFree asserts the warm utilization solve allocates
+// nothing: the workspace owns every buffer and the pre-bound gap closure.
+func TestSolveIntoAllocFree(t *testing.T) {
+	sys := workspaceTestSystem()
+	w := NewWorkspace()
+	w.Bind(sys)
+	t1 := []float64{0.5, 0.5, 0.5}
+	// Warm up (first Bind sized the buffers already; one solve settles any
+	// lazy paths).
+	sys.PopulationsInto(w.M(), t1)
+	if _, err := sys.SolveInto(w); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sys.PopulationsInto(w.M(), t1)
+		st, err := sys.SolveInto(w)
+		if err != nil || math.IsNaN(st.Phi) {
+			t.Fatal("solve failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SolveInto allocated %v objects/op, want 0", allocs)
+	}
+}

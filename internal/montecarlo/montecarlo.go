@@ -18,6 +18,7 @@ package montecarlo
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"neutralnet/internal/econ"
 	"neutralnet/internal/game"
@@ -80,76 +81,157 @@ func Sample(rng *rand.Rand, r Ranges) *model.System {
 }
 
 // Run samples `markets` random systems (seeded) and evaluates the claims at
-// price p over the policy ladder qs (nil → {0, 0.5, 1, 1.5}).
+// price p over the policy ladder qs (nil → {0, 0.5, 1, 1.5}). It is
+// RunParallel on a single worker.
 func Run(markets int, seed int64, p float64, qs []float64, r Ranges) (Tally, error) {
-	if qs == nil {
+	return RunParallel(markets, seed, p, qs, r, 1)
+}
+
+// marketResult is the per-market outcome, collected into an index-ordered
+// slice so the aggregate tally is independent of worker scheduling.
+type marketResult struct {
+	fatal               error
+	failures            []string
+	solved              bool
+	revOK, phiOK, welOK bool
+	theorem5OK          bool
+}
+
+// RunParallel is Run on a worker pool. Determinism mirrors the sweep core's
+// design: every market is sampled up front from the single master stream
+// (together with a per-market sub-seed for the Theorem 5 CP pick), workers
+// own their solve workspaces and write into disjoint index-ordered slots,
+// and the tally is aggregated in market order afterwards — so the result,
+// including the Failures list, is identical for every worker count.
+func RunParallel(markets int, seed int64, p float64, qs []float64, r Ranges, workers int) (Tally, error) {
+	if len(qs) == 0 {
 		qs = []float64{0, 0.5, 1, 1.5}
 	}
+	if markets < 0 {
+		markets = 0 // empty study, empty tally (matches the old loop's no-op)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > markets {
+		workers = markets
+	}
+
+	// Phase 1 (sequential, cheap): draw a (sampling, Theorem 5) sub-seed
+	// pair per market from the master stream. Markets themselves are
+	// sampled inside the workers from their own sub-seed, so memory stays
+	// O(1) per worker no matter how many markets are requested.
 	rng := rand.New(rand.NewSource(seed))
-	var tally Tally
-	const tol = 1e-6
+	sampleSeeds := make([]int64, markets)
+	subSeeds := make([]int64, markets)
+	for k := range sampleSeeds {
+		sampleSeeds[k] = rng.Int63()
+		subSeeds[k] = rng.Int63()
+	}
+
+	// Phase 2 (parallel): sample and solve each market's policy ladder,
+	// warm-starting along q (the equilibrium path is continuous in q), on
+	// the worker's own workspace.
+	results := make([]marketResult, markets)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := game.NewWorkspace()
+			warm := []float64{}
+			for k := range jobs {
+				sys := Sample(rand.New(rand.NewSource(sampleSeeds[k])), r)
+				results[k] = evalMarket(ws, &warm, sys, subSeeds[k], p, qs, k)
+			}
+		}()
+	}
 	for k := 0; k < markets; k++ {
-		sys := Sample(rng, r)
-		revOK, phiOK, welOK := true, true, true
-		prevR, prevPhi, prevW := -1.0, -1.0, -1.0
-		var lastEq game.Equilibrium
-		var lastG *game.Game
-		solved := true
-		for _, q := range qs {
-			g, err := game.New(sys, p, q)
-			if err != nil {
-				return tally, err
-			}
-			eq, err := g.SolveNash(game.Options{})
-			if err != nil {
-				solved = false
-				tally.Failures = append(tally.Failures,
-					fmt.Sprintf("market %d q=%g: %v", k, q, err))
-				break
-			}
-			rv, w := g.Revenue(eq.State), g.Welfare(eq.State)
-			if rv < prevR-tol {
-				revOK = false
-			}
-			if eq.State.Phi < prevPhi-tol {
-				phiOK = false
-			}
-			if w < prevW-tol {
-				welOK = false
-			}
-			prevR, prevPhi, prevW = rv, eq.State.Phi, w
-			lastEq, lastG = eq, g
+		jobs <- k
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Phase 3 (sequential): aggregate in market order.
+	var tally Tally
+	for _, res := range results {
+		if res.fatal != nil {
+			return tally, res.fatal
 		}
-		if !solved {
+		tally.Failures = append(tally.Failures, res.failures...)
+		if !res.solved {
 			continue
 		}
 		tally.Markets++
-		if revOK {
+		if res.revOK {
 			tally.RevenueMonotone++
 		}
-		if phiOK {
+		if res.phiOK {
 			tally.PhiMonotone++
 		}
-		if welOK {
+		if res.welOK {
 			tally.WelfareMonotone++
 		}
-		if lastG != nil {
-			ok, err := theorem5Holds(sys, rng, p, qs[len(qs)-1], lastEq)
-			if err != nil {
-				tally.Failures = append(tally.Failures,
-					fmt.Sprintf("market %d theorem5: %v", k, err))
-			} else if ok {
-				tally.Theorem5Holds++
-			}
+		if res.theorem5OK {
+			tally.Theorem5Holds++
 		}
 	}
 	return tally, nil
 }
 
+// evalMarket solves market k's policy ladder and the Theorem 5 probe on the
+// worker's workspace.
+func evalMarket(ws *game.Workspace, warmBuf *[]float64, sys *model.System, subSeed int64, p float64, qs []float64, k int) marketResult {
+	const tol = 1e-6
+	res := marketResult{solved: true, revOK: true, phiOK: true, welOK: true}
+	prevR, prevPhi, prevW := -1.0, -1.0, -1.0
+	var warm []float64 // cold first rung
+	var lastS []float64
+	for _, q := range qs {
+		g, err := game.New(sys, p, q)
+		if err != nil {
+			res.fatal = err
+			return res
+		}
+		eq, err := g.SolveNashWS(ws, game.Options{Initial: warm})
+		if err != nil {
+			res.solved = false
+			res.failures = append(res.failures,
+				fmt.Sprintf("market %d q=%g: %v", k, q, err))
+			return res
+		}
+		rv, w := g.Revenue(eq.State), g.Welfare(eq.State)
+		if rv < prevR-tol {
+			res.revOK = false
+		}
+		if eq.State.Phi < prevPhi-tol {
+			res.phiOK = false
+		}
+		if w < prevW-tol {
+			res.welOK = false
+		}
+		prevR, prevPhi, prevW = rv, eq.State.Phi, w
+		// The equilibrium borrows the workspace: copy the profile into the
+		// worker-owned warm buffer before the next solve overwrites it.
+		warm = game.CopyProfile(warmBuf, eq.S)
+		lastS = warm
+	}
+	ok, err := theorem5Holds(ws, sys, subSeed, p, qs[len(qs)-1], lastS)
+	if err != nil {
+		res.failures = append(res.failures,
+			fmt.Sprintf("market %d theorem5: %v", k, err))
+	} else if ok {
+		res.theorem5OK = true
+	}
+	return res
+}
+
 // theorem5Holds bumps a random CP's profitability by 20% and re-solves: its
-// equilibrium subsidy must not fall (Theorem 5).
-func theorem5Holds(sys *model.System, rng *rand.Rand, p, q float64, eq game.Equilibrium) (bool, error) {
-	i := rng.Intn(sys.N())
+// equilibrium subsidy must not fall (Theorem 5). The CP pick is drawn from
+// the market's own sub-seed, so it does not depend on solve scheduling.
+func theorem5Holds(ws *game.Workspace, sys *model.System, subSeed int64, p, q float64, s []float64) (bool, error) {
+	i := rand.New(rand.NewSource(subSeed)).Intn(sys.N())
 	bumped := *sys
 	bumped.CPs = append([]model.CP(nil), sys.CPs...)
 	bumped.CPs[i].Value *= 1.2
@@ -157,9 +239,10 @@ func theorem5Holds(sys *model.System, rng *rand.Rand, p, q float64, eq game.Equi
 	if err != nil {
 		return false, err
 	}
-	eq2, err := g.SolveNash(game.Options{Initial: eq.S})
+	si := s[i]
+	eq2, err := g.SolveNashWS(ws, game.Options{Initial: s})
 	if err != nil {
 		return false, err
 	}
-	return eq2.S[i] >= eq.S[i]-1e-6, nil
+	return eq2.S[i] >= si-1e-6, nil
 }

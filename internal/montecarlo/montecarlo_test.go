@@ -2,6 +2,7 @@ package montecarlo
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -66,5 +67,35 @@ func TestRateZeroMarkets(t *testing.T) {
 	var tally Tally
 	if tally.Rate(5) != 0 {
 		t.Fatal("rate with zero markets must be 0")
+	}
+}
+
+// TestRunParallelDeterministicAcrossWorkers pins the worker-pool migration:
+// with a fixed seed the full tally — counts and the Failures list included —
+// must be identical for every worker count, and reproducible across runs.
+func TestRunParallelDeterministicAcrossWorkers(t *testing.T) {
+	r := DefaultRanges()
+	ref, err := RunParallel(30, 11, 1.0, nil, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Markets == 0 {
+		t.Fatal("no markets solved; determinism test is vacuous")
+	}
+	for _, workers := range []int{2, 4, 7} {
+		got, err := RunParallel(30, 11, 1.0, nil, r, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d: tally %+v differs from 1-worker tally %+v", workers, got, ref)
+		}
+	}
+	again, err := RunParallel(30, 11, 1.0, nil, r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, again) {
+		t.Fatal("fixed-seed run is not reproducible")
 	}
 }

@@ -71,10 +71,17 @@ func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
 // interpolation with secant and bisection safeguards). f(a) and f(b) must
 // straddle zero. tol is the absolute x-tolerance; pass 0 for the default.
 func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	return BrentWith(f, a, b, f(a), f(b), tol)
+}
+
+// BrentWith is Brent with the endpoint values fa = f(a) and fb = f(b)
+// already evaluated. Hot paths that have just tested the endpoints (corner
+// handling, bracket expansion) use it to avoid re-evaluating an expensive f
+// twice; results are identical to Brent's.
+func BrentWith(f func(float64) float64, a, b, fa, fb, tol float64) (float64, error) {
 	if tol <= 0 {
 		tol = RootTol
 	}
-	fa, fb := f(a), f(b)
 	if fa == 0 {
 		return a, nil
 	}
@@ -143,21 +150,28 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 // decreasing one) and returns a bracketing hi. grow must be > 1; pass 0 for
 // the default factor of 2.
 func ExpandBracket(f func(float64) float64, lo, hi0, grow float64) (lo2, hi float64, err error) {
+	lo2, hi, _, _, err = expandBracketWith(f, lo, hi0, grow, f(lo))
+	return lo2, hi, err
+}
+
+// expandBracketWith is ExpandBracket with flo = f(lo) already evaluated,
+// additionally returning the endpoint values so callers can thread them
+// into BrentWith without re-evaluating.
+func expandBracketWith(f func(float64) float64, lo, hi0, grow, flo float64) (a, b, fa, fb float64, err error) {
 	if grow <= 1 {
 		grow = 2
 	}
 	if hi0 <= lo {
 		hi0 = lo + 1
 	}
-	flo := f(lo)
 	if flo == 0 {
-		return lo, lo, nil
+		return lo, lo, 0, 0, nil
 	}
-	hi = hi0
+	hi := hi0
 	for i := 0; i < 200; i++ {
 		fhi := f(hi)
 		if fhi == 0 || math.Signbit(fhi) != math.Signbit(flo) {
-			return lo, hi, nil
+			return lo, hi, flo, fhi, nil
 		}
 		lo, flo = hi, fhi
 		hi *= grow
@@ -165,7 +179,7 @@ func ExpandBracket(f func(float64) float64, lo, hi0, grow float64) (lo2, hi floa
 			break
 		}
 	}
-	return lo, hi, fmt.Errorf("numeric: ExpandBracket: no sign change found up to %g", hi)
+	return lo, hi, flo, 0, fmt.Errorf("numeric: ExpandBracket: no sign change found up to %g", hi)
 }
 
 // SolveIncreasing finds the root of a strictly increasing function f that is
@@ -174,16 +188,23 @@ func ExpandBracket(f func(float64) float64, lo, hi0, grow float64) (lo2, hi floa
 // Lemma 1, where g is strictly increasing, negative at 0⁺ and eventually
 // positive.
 func SolveIncreasing(f func(float64) float64, lo, hi0 float64) (float64, error) {
-	flo := f(lo)
+	return SolveIncreasingWith(f, lo, hi0, f(lo))
+}
+
+// SolveIncreasingWith is SolveIncreasing with flo = f(lo) already
+// evaluated. It threads the known endpoint values through bracket expansion
+// into Brent, so no point is evaluated twice; the root is identical to
+// SolveIncreasing's (same bracket, same iteration).
+func SolveIncreasingWith(f func(float64) float64, lo, hi0, flo float64) (float64, error) {
 	if flo == 0 {
 		return lo, nil
 	}
 	if flo > 0 {
 		return 0, fmt.Errorf("numeric: SolveIncreasing: f(%g)=%g > 0; no root above lo", lo, flo)
 	}
-	a, b, err := ExpandBracket(f, lo, hi0, 2)
+	a, b, fa, fb, err := expandBracketWith(f, lo, hi0, 2, flo)
 	if err != nil {
 		return 0, err
 	}
-	return Brent(f, a, b, RootTol)
+	return BrentWith(f, a, b, fa, fb, RootTol)
 }

@@ -1,0 +1,139 @@
+// Package solver is the pluggable fixed-point layer of the equilibrium
+// stack. The Nash iteration of the subsidization game — and any other
+// box-constrained best-response system — is expressed as a Problem, and a
+// FixedPoint implementation drives it to a fixed point x = F(x). Three
+// schemes are provided and discoverable by name through a registry:
+//
+//   - "gauss-seidel": sequential best responses, each component reacting to
+//     the freshest profile. The default; behavior-identical to the historical
+//     game solver.
+//   - "jacobi-damped": simultaneous best responses mixed with damping 0.5; a
+//     robust ablation/fallback for systems where sequential updates cycle.
+//   - "anderson": Anderson-accelerated iteration (depth-m residual mixing)
+//     with a safeguarded fallback to plain Gauss–Seidel sweeps when the
+//     underlying map is not contractive. Cuts outer iterations on the smooth
+//     contraction maps the paper's games induce.
+//
+// Solver instances own reusable scratch buffers: a warm instance performs no
+// heap allocations per Solve. They are therefore NOT safe for concurrent
+// use — each solving goroutine must hold its own instance (the game layer's
+// Workspace does exactly that).
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Problem is a box-constrained fixed-point problem x = F(x) presented
+// through component best responses.
+type Problem interface {
+	// N is the dimension of the iterate.
+	N() int
+	// Best returns the best-response update of component i against the
+	// profile x. Implementations must not retain x. For Gauss–Seidel x
+	// contains the freshest mixed profile; for simultaneous schemes it is
+	// the previous full iterate.
+	Best(i int, x []float64) (float64, error)
+	// Box returns the closed interval [lo, hi] every component is confined
+	// to. Solvers clamp mixed iterates back into the box.
+	Box() (lo, hi float64)
+}
+
+// Result reports how a Solve run ended.
+type Result struct {
+	// Iterations is the number of outer sweeps performed (each sweep
+	// evaluates every component's best response once).
+	Iterations int
+	// Converged reports whether the sup-norm step fell below tolerance.
+	Converged bool
+	// Fallbacks counts safeguard activations (Anderson rejecting an
+	// accelerated step or abandoning acceleration entirely). Zero for the
+	// plain schemes.
+	Fallbacks int
+}
+
+// FixedPoint iterates a Problem to a fixed point, updating x in place.
+type FixedPoint interface {
+	// Name returns the registered name of the scheme.
+	Name() string
+	// Solve iterates from the initial profile in x until the sup-norm
+	// change of an outer sweep falls below tol or maxIter sweeps are
+	// exhausted. x is updated in place and always holds the final iterate,
+	// also when the run did not converge or errored.
+	Solve(p Problem, x []float64, tol float64, maxIter int) (Result, error)
+}
+
+// ComponentError wraps a best-response failure with the component index, so
+// callers can report which player's sub-problem failed.
+type ComponentError struct {
+	I   int
+	Err error
+}
+
+func (e *ComponentError) Error() string {
+	return fmt.Sprintf("best response of component %d: %v", e.I, e.Err)
+}
+
+func (e *ComponentError) Unwrap() error { return e.Err }
+
+// Canonical scheme names.
+const (
+	GaussSeidelName  = "gauss-seidel"
+	JacobiDampedName = "jacobi-damped"
+	AndersonName     = "anderson"
+)
+
+// DefaultName is the scheme an empty name resolves to.
+const DefaultName = GaussSeidelName
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() FixedPoint{}
+)
+
+// Register makes a solver constructor available under name. It panics on a
+// duplicate registration — solver names are a flat global namespace.
+func Register(name string, factory func() FixedPoint) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("solver: duplicate registration of " + name)
+	}
+	registry[name] = factory
+}
+
+// New returns a fresh instance of the named scheme. The empty name selects
+// the default (Gauss–Seidel). Each call returns an independent instance;
+// instances must not be shared across goroutines.
+func New(name string) (FixedPoint, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	regMu.RLock()
+	factory, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown scheme %q (have %v)", name, Names())
+	}
+	return factory(), nil
+}
+
+// Names returns the registered scheme names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(GaussSeidelName, func() FixedPoint { return &gaussSeidel{} })
+	Register(JacobiDampedName, func() FixedPoint { return &jacobiDamped{} })
+	Register(AndersonName, func() FixedPoint { return newAnderson() })
+}

@@ -1,0 +1,251 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// funcProblem adapts a plain function to the Problem interface.
+type funcProblem struct {
+	n      int
+	lo, hi float64
+	best   func(i int, x []float64) (float64, error)
+}
+
+func (p funcProblem) N() int                                 { return p.n }
+func (p funcProblem) Box() (float64, float64)                { return p.lo, p.hi }
+func (p funcProblem) Best(i int, x []float64) (float64, error) { return p.best(i, x) }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// contraction is a smooth 3-D contraction map with a unique interior fixed
+// point: Best_i = clamp(c_i + Σ_{j≠i} a_ij·x_j) with ‖A‖∞ < 1.
+func contraction() funcProblem {
+	c := []float64{0.3, 0.5, 0.2}
+	a := [][]float64{
+		{0, 0.25, -0.15},
+		{0.2, 0, 0.3},
+		{-0.1, 0.35, 0},
+	}
+	return funcProblem{
+		n: 3, lo: 0, hi: 1,
+		best: func(i int, x []float64) (float64, error) {
+			v := c[i]
+			for j, xj := range x {
+				v += a[i][j] * xj
+			}
+			return clamp(v, 0, 1), nil
+		},
+	}
+}
+
+func solveWith(t *testing.T, name string, p Problem, x0 []float64) ([]float64, Result) {
+	t.Helper()
+	fp, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := append([]float64(nil), x0...)
+	res, err := fp.Solve(p, x, 1e-10, 500)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return x, res
+}
+
+func TestAllSchemesAgreeOnContraction(t *testing.T) {
+	p := contraction()
+	x0 := make([]float64, p.n)
+	gs, gsRes := solveWith(t, GaussSeidelName, p, x0)
+	if !gsRes.Converged {
+		t.Fatal("gauss-seidel did not converge on a contraction")
+	}
+	for _, name := range []string{JacobiDampedName, AndersonName} {
+		x, res := solveWith(t, name, p, x0)
+		if !res.Converged {
+			t.Fatalf("%s did not converge", name)
+		}
+		for i := range x {
+			if math.Abs(x[i]-gs[i]) > 1e-8 {
+				t.Fatalf("%s component %d: %v vs gauss-seidel %v", name, i, x[i], gs[i])
+			}
+		}
+	}
+}
+
+func TestAndersonAcceleratesOverJacobi(t *testing.T) {
+	p := contraction()
+	x0 := make([]float64, p.n)
+	_, jac := solveWith(t, JacobiDampedName, p, x0)
+	_, and := solveWith(t, AndersonName, p, x0)
+	if !jac.Converged || !and.Converged {
+		t.Fatal("both schemes must converge on a contraction")
+	}
+	if and.Iterations >= jac.Iterations {
+		t.Fatalf("anderson used %d sweeps, damped Jacobi %d — no acceleration",
+			and.Iterations, jac.Iterations)
+	}
+}
+
+// nonContractive is a deliberately non-contractive best-response curve.
+// The simultaneous map G sends every profile to one of three values:
+//
+//	mixed profiles (|x0 − x1| > 0.25)    → (1, 0)
+//	near-diagonal with x0 ≤ 0.5          → (1, 1)
+//	near-diagonal with x0 > 0.5          → (0, 0)
+//
+// so (1, 0) is the UNIQUE fixed point ((1,1) and (0,0) map to each other),
+// the plain simultaneous iteration from the zero profile 2-cycles
+// (0,0) ↔ (1,1) with a constant unit residual, and sequential Gauss–Seidel
+// sweeps reach (1, 0) from anywhere in 2–3 sweeps. Anderson must detect
+// that the residual is not contracting and fall back.
+func nonContractive() funcProblem {
+	return funcProblem{
+		n: 2, lo: 0, hi: 1,
+		best: func(i int, x []float64) (float64, error) {
+			var g [2]float64
+			switch {
+			case math.Abs(x[0]-x[1]) > 0.25:
+				g = [2]float64{1, 0}
+			case x[0] <= 0.5:
+				g = [2]float64{1, 1}
+			default:
+				g = [2]float64{0, 0}
+			}
+			return g[i], nil
+		},
+	}
+}
+
+func TestAndersonFallsBackOnNonContractiveCurve(t *testing.T) {
+	p := nonContractive()
+	x0 := make([]float64, p.n)
+	gs, gsRes := solveWith(t, GaussSeidelName, p, x0)
+	if !gsRes.Converged {
+		t.Fatal("gauss-seidel did not converge on the non-contractive curve")
+	}
+	x, res := solveWith(t, AndersonName, p, x0)
+	if res.Fallbacks == 0 {
+		t.Fatal("anderson did not engage its divergence safeguard")
+	}
+	if !res.Converged {
+		t.Fatal("anderson's fallback did not converge")
+	}
+	for i := range x {
+		if math.Abs(x[i]-gs[i]) > 1e-9 {
+			t.Fatalf("component %d: anderson %v vs gauss-seidel %v", i, x[i], gs[i])
+		}
+	}
+}
+
+func TestGaussSeidelPropagatesComponentError(t *testing.T) {
+	boom := errors.New("boom")
+	p := funcProblem{
+		n: 2, lo: 0, hi: 1,
+		best: func(i int, x []float64) (float64, error) {
+			if i == 1 {
+				return 0, boom
+			}
+			return 0.5, nil
+		},
+	}
+	fp, _ := New(GaussSeidelName)
+	x := make([]float64, 2)
+	_, err := fp.Solve(p, x, 1e-9, 10)
+	var ce *ComponentError
+	if !errors.As(err, &ce) || ce.I != 1 || !errors.Is(err, boom) {
+		t.Fatalf("want ComponentError{I: 1, boom}, got %v", err)
+	}
+}
+
+func TestDampedSchemesHoldComponentOnError(t *testing.T) {
+	// Component 1 always errors; the damped schemes must hold it at its
+	// current value and still converge the healthy component.
+	boom := errors.New("boom")
+	p := funcProblem{
+		n: 2, lo: 0, hi: 1,
+		best: func(i int, x []float64) (float64, error) {
+			if i == 1 {
+				return 0, boom
+			}
+			return 0.25 + 0.5*x[0], nil // own-contraction to 0.5
+		},
+	}
+	for _, name := range []string{JacobiDampedName, AndersonName} {
+		fp, _ := New(name)
+		x := []float64{0, 0.7}
+		res, err := fp.Solve(p, x, 1e-9, 500)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s did not converge", name)
+		}
+		if math.Abs(x[0]-0.5) > 1e-6 || x[1] != 0.7 {
+			t.Fatalf("%s: x = %v, want [0.5, 0.7]", name, x)
+		}
+	}
+}
+
+func TestAllSchemesErrorWhenEveryComponentFails(t *testing.T) {
+	// A sweep in which every best response errors has produced no
+	// information: reporting the untouched iterate as a converged fixed
+	// point would be a silent lie. Every scheme must surface the error.
+	boom := errors.New("boom")
+	p := funcProblem{
+		n: 2, lo: 0, hi: 1,
+		best: func(i int, x []float64) (float64, error) { return 0, boom },
+	}
+	for _, name := range []string{GaussSeidelName, JacobiDampedName, AndersonName} {
+		fp, _ := New(name)
+		x := []float64{0.3, 0.4}
+		res, err := fp.Solve(p, x, 1e-9, 50)
+		if err == nil || res.Converged {
+			t.Fatalf("%s: all-failed sweep reported (converged=%v, err=%v), want error", name, res.Converged, err)
+		}
+		var ce *ComponentError
+		if !errors.As(err, &ce) || !errors.Is(err, boom) {
+			t.Fatalf("%s: want ComponentError wrapping boom, got %v", name, err)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	def, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name() != GaussSeidelName {
+		t.Fatalf("empty name resolved to %q", def.Name())
+	}
+	if _, err := New("no-such-scheme"); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+	names := Names()
+	want := map[string]bool{GaussSeidelName: false, JacobiDampedName: false, AndersonName: false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("registry missing %q (have %v)", n, names)
+		}
+	}
+	// Instances must be independent (they carry scratch state).
+	a, _ := New(AndersonName)
+	b, _ := New(AndersonName)
+	if a == b {
+		t.Fatal("New must return fresh instances")
+	}
+}

@@ -150,6 +150,12 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one game workspace and one warm-start
+			// buffer for its whole lifetime: after the first chain the
+			// per-point equilibrium solves are allocation-free (the only
+			// per-point allocations left are the retained clones).
+			ws := game.NewWorkspace()
+			var warm []float64
 			for chain := range chains {
 				if failed.Load() {
 					continue
@@ -160,7 +166,7 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 				if pHi > len(grid.P) {
 					pHi = len(grid.P)
 				}
-				if err := runChain(sys, grid, cfg, row, pLo, pHi, res.Points); err != nil {
+				if err := runChain(sys, grid, cfg, row, pLo, pHi, res.Points, ws, &warm); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 				}
@@ -180,8 +186,12 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 
 // runChain solves the price points [pLo, pHi) of one (µ, q) row
 // sequentially, cold-starting the first point and warm-chaining the rest,
-// writing into the disjoint slice range the chain owns.
-func runChain(sys *model.System, grid Grid, cfg Config, row, pLo, pHi int, points []Point) error {
+// writing into the disjoint slice range the chain owns. It solves on the
+// worker's workspace (allocation-free per point once warm); the warm-start
+// profile is copied into the worker's own buffer because the freshly solved
+// equilibrium still borrows the workspace and the retained Point needs an
+// owning clone anyway.
+func runChain(sys *model.System, grid Grid, cfg Config, row, pLo, pHi int, points []Point, ws *game.Workspace, warmBuf *[]float64) error {
 	mi, qi := row/len(grid.Q), row%len(grid.Q)
 	mu, q := grid.Mu[mi], grid.Q[qi]
 	rowSys := sys
@@ -191,7 +201,7 @@ func runChain(sys *model.System, grid Grid, cfg Config, row, pLo, pHi int, point
 		rowSys = &cp
 	}
 	base := row * len(grid.P)
-	var warm []float64
+	var warm []float64 // nil for the chain's cold first point
 	for pi := pLo; pi < pHi; pi++ {
 		p := grid.P[pi]
 		g, err := game.New(rowSys, p, q)
@@ -203,15 +213,18 @@ func runChain(sys *model.System, grid Grid, cfg Config, row, pLo, pHi int, point
 		if cfg.WarmStart {
 			opts.Initial = warm
 		}
-		eq, err := g.SolveNash(opts)
+		eq, err := g.SolveNashWS(ws, opts)
 		if err != nil {
 			return fmt.Errorf("sweep: solve at p=%g q=%g mu=%g: %w", p, q, mu, err)
 		}
-		warm = eq.S
+		owned := eq.Clone() // escape the workspace-borrowed state
+		if cfg.WarmStart {
+			warm = game.CopyProfile(warmBuf, owned.S)
+		}
 		points[base+pi] = Point{
-			P: p, Q: q, Mu: mu, Eq: eq,
-			Revenue: g.Revenue(eq.State),
-			Welfare: g.Welfare(eq.State),
+			P: p, Q: q, Mu: mu, Eq: owned,
+			Revenue: g.Revenue(owned.State),
+			Welfare: g.Welfare(owned.State),
 		}
 	}
 	return nil

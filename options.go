@@ -6,7 +6,10 @@ import (
 	"neutralnet/internal/game"
 )
 
-// SolverMethod selects the Nash iteration scheme used by an Engine.
+// SolverMethod selects the Nash iteration scheme used by an Engine. It is
+// a solver-registry name (internal/solver), so any registered scheme can be
+// selected by string — WithSolver("anderson") — as well as through the
+// exported constants.
 type SolverMethod = game.Method
 
 // The available Nash solvers, re-exported from the game package.
@@ -16,6 +19,9 @@ const (
 	// JacobiDamped iterates all best responses simultaneously with
 	// damping; a fallback for games where sequential updates cycle.
 	JacobiDamped = game.JacobiDamped
+	// Anderson runs Anderson-accelerated fixed-point iteration with a
+	// safeguarded fallback to Gauss–Seidel on non-contractive games.
+	Anderson = game.Anderson
 )
 
 // Option configures an Engine at construction time.
@@ -38,6 +44,10 @@ func defaultConfig() engineConfig {
 }
 
 // WithSolver selects the Nash iteration scheme (default GaussSeidel).
+// Schemes are named: the constants above cover the built-in ones, and any
+// name registered with the internal solver registry is accepted — e.g.
+// WithSolver("anderson"). An unknown name surfaces as an error from the
+// first Solve/Sweep call.
 func WithSolver(m SolverMethod) Option {
 	return func(c *engineConfig) { c.solver.Method = m }
 }
