@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden regression harness: the settlement bake-off's CSV output is pinned
+// against committed files under testdata/golden. Refresh after a reviewed
+// numerical change with:
+//
+//	go test -run Golden -update ./cmd/compare
+var update = flag.Bool("update", false, "rewrite the golden CSV files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (refresh with `go test -run Golden -update ./cmd/compare`): %v", name, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from the committed golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenCompareCSV freezes the settlement and Shapley tables at the
+// command's default parameters (p=0.8, q=1.0, cmax=1.2).
+func TestGoldenCompareCSV(t *testing.T) {
+	r, err := buildReport(0.8, 1.0, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "settlement.csv", r.settlement.CSV())
+	checkGolden(t, "shapley.csv", r.shapley.CSV())
+	if !r.dynamics.Converged {
+		t.Fatal("adjustment dynamics no longer converge at the default scenario")
+	}
+}

@@ -42,7 +42,19 @@ func main() {
 	}
 }
 
-func run(p, q, cmax float64) error {
+// reportData carries the comparison's two tables and the dynamics line, so
+// the golden regression test can diff the CSV output without going through
+// stdout.
+type reportData struct {
+	sys        *neutralnet.System
+	settlement *report.Table
+	shapley    *report.Table
+	residual   float64
+	dynamics   neutralnet.AdjustmentTrajectory
+}
+
+// buildReport runs the full settlement bake-off and assembles the tables.
+func buildReport(p, q, cmax float64) (*reportData, error) {
 	sys := neutralnet.NewSystem(1,
 		neutralnet.NewCP("video", 5, 2, 1.0),
 		neutralnet.NewCP("social", 2, 5, 0.5),
@@ -50,23 +62,22 @@ func run(p, q, cmax float64) error {
 	)
 	eng, err := neutralnet.NewEngine(sys)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("market: %d CPs, µ=%g, usage price p=%g, subsidy cap q=%g\n\n", sys.N(), sys.Mu, p, q)
 
 	t := report.NewTable("settlement model", "ISP revenue", "welfare", "CPs active", "note")
 
 	// 1. One-sided baseline.
 	base, err := neutralnet.SolveOneSided(sys, p)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	t.AddRow("one-sided (status quo)", p*base.TotalThroughput(), neutralnet.Welfare(sys, base), sys.N(), "zero-pricing to CPs")
 
 	// 2. Two-sided with optimal termination fee.
 	cStar, ts, err := twosided.OptimalFee(sys, p, cmax)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	t.AddRow(fmt.Sprintf("two-sided (fee c*=%.3f)", cStar), ts.Revenue, ts.Welfare,
 		sys.N()-ts.Exited, fmt.Sprintf("%d CP(s) priced out", ts.Exited))
@@ -75,7 +86,7 @@ func run(p, q, cmax float64) error {
 	// call computes both sides of the efficiency comparison.
 	eff, err := eng.CompareEfficiency(p, q)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	eq := eff.Nash
 	t.AddRow("subsidization (Nash)", neutralnet.Revenue(sys, p, eq), eff.WNash, sys.N(),
@@ -83,28 +94,36 @@ func run(p, q, cmax float64) error {
 	t.AddRow("planner (max welfare)", p*eff.Planner.State.TotalThroughput(), eff.WOpt, sys.N(),
 		fmt.Sprintf("s=%v (Nash attains %.1f%%)", compact(eff.Planner.S), 100*eff.Ratio))
 
-	fmt.Println(t)
-
 	// 5. Shapley settlement of the cooperative welfare game.
 	sv, err := shapley.Compute(sys, p, 0)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	st := report.NewTable("player", "Shapley value", "share of grand value")
 	st.AddRow("access ISP", sv.ISP, fmt.Sprintf("%.1f%%", 100*sv.ISP/sv.Grand))
 	for i, cp := range sys.CPs {
 		st.AddRow(cp.Name, sv.CP[i], fmt.Sprintf("%.1f%%", 100*sv.CP[i]/sv.Grand))
 	}
-	fmt.Println(st)
-	fmt.Printf("(Shapley efficiency residual: %.2e)\n\n", sv.Efficiency())
 
 	// Off-equilibrium dynamics: is the Nash point actually reached?
 	tr, err := neutralnet.SimulateAdjustment(sys, p, q)
 	if err != nil {
+		return nil, err
+	}
+	return &reportData{sys: sys, settlement: t, shapley: st, residual: sv.Efficiency(), dynamics: tr}, nil
+}
+
+func run(p, q, cmax float64) error {
+	r, err := buildReport(p, q, cmax)
+	if err != nil {
 		return err
 	}
+	fmt.Printf("market: %d CPs, µ=%g, usage price p=%g, subsidy cap q=%g\n\n", r.sys.N(), r.sys.Mu, p, q)
+	fmt.Println(r.settlement)
+	fmt.Println(r.shapley)
+	fmt.Printf("(Shapley efficiency residual: %.2e)\n\n", r.residual)
 	fmt.Printf("best-response dynamics from s=0: converged=%v in %d steps (final profile %v)\n",
-		tr.Converged, tr.Steps, compact(tr.Final()))
+		r.dynamics.Converged, r.dynamics.Steps, compact(r.dynamics.Final()))
 	fmt.Println("\nreading: two-sided pricing extracts revenue by exiling low-value CPs;")
 	fmt.Println("subsidization raises revenue above the status quo while keeping every CP")
 	fmt.Println("alive — the paper's case for the voluntary channel over termination fees.")

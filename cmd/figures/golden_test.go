@@ -1,0 +1,138 @@
+package main
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"neutralnet"
+	"neutralnet/internal/experiments"
+)
+
+// Golden regression harness: every CSV the figures command exports is pinned
+// against committed files under testdata/golden, at the command's default
+// 41-point resolution. Refresh after a reviewed numerical change with:
+//
+//	go test -run Golden -update ./cmd/figures
+var update = flag.Bool("update", false, "rewrite the golden CSV files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (refresh with `go test -run Golden -update ./cmd/figures`): %v", name, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from the committed golden (refresh deliberately with -update)", name)
+	}
+}
+
+// TestGoldenFigureCSVs freezes the one-sided figures (4, 5) and the policy
+// sweep figures (7-11 plus the consumer-surplus extension) exactly as the
+// command exports them. Sweeps are bit-identical for every worker count, so
+// the default pool is used.
+func TestGoldenFigureCSVs(t *testing.T) {
+	f4, err := experiments.Fig4(41, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig4.csv", f4.Table().CSV())
+
+	f5, err := experiments.Fig5(41, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig5.csv", f5.Table().CSV())
+
+	sw, err := experiments.RunPolicySweepOn(experiments.EightCPGrid(), experiments.QLevels(), 41, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7.csv", sw.Fig7Table().CSV())
+	checkGolden(t, "fig8.csv", sw.Fig8Table().CSV())
+	checkGolden(t, "fig9.csv", sw.Fig9Table().CSV())
+	checkGolden(t, "fig10.csv", sw.Fig10Table().CSV())
+	checkGolden(t, "fig11.csv", sw.Fig11Table().CSV())
+	checkGolden(t, "surplus.csv", surplusTable(sw).CSV())
+}
+
+// ulpDiff returns the number of representable float64 steps between a and b
+// (0 for bit-identical values), via the standard ordered-bits mapping.
+func ulpDiff(a, b float64) uint64 {
+	oa, ob := orderedBits(a), orderedBits(b)
+	if oa > ob {
+		return oa - ob
+	}
+	return ob - oa
+}
+
+func orderedBits(f float64) uint64 {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | (1 << 63)
+}
+
+// TestGoldenWarmStartUlpEnvelope is the recorded old-vs-new re-baseline
+// measurement for the φ warm start: it re-runs the golden figure grid under
+// WithUtilizationSolver(warm-brent) and asserts every equilibrium φ and
+// revenue stays within the ULP envelope recorded in
+// testdata/golden/REBASELINE.md. The goldens themselves are generated on the
+// cold default, so this test IS the committed old-vs-new diff, kept live.
+func TestGoldenWarmStartUlpEnvelope(t *testing.T) {
+	// Envelope recorded at re-baseline time (measured maxima: φ 13325,
+	// revenue 5689 ulps, ≈1.5e-12 relative — the root tolerance of both
+	// kernels); see testdata/golden/REBASELINE.md. The bound leaves ~2.5×
+	// headroom over the measurement.
+	const maxPhiUlps = 1 << 15
+	const maxRevenueUlps = 1 << 15
+
+	sys := experiments.EightCPGrid()
+	grid := neutralnet.Grid{P: neutralnet.UniformGrid(0.05, 2, 21), Q: experiments.QLevels()}
+	cold, err := neutralnet.NewEngine(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := neutralnet.NewEngine(sys, neutralnet.WithUtilizationSolver(neutralnet.UtilBrentWarm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := warm.Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worstPhi, worstRev uint64
+	for i := range want.Points {
+		if d := ulpDiff(want.Points[i].Eq.State.Phi, got.Points[i].Eq.State.Phi); d > worstPhi {
+			worstPhi = d
+		}
+		if d := ulpDiff(want.Points[i].Revenue, got.Points[i].Revenue); d > worstRev {
+			worstRev = d
+		}
+	}
+	t.Logf("max ulp diff cold vs warm-brent over %d grid points: φ %d, revenue %d", len(want.Points), worstPhi, worstRev)
+	if worstPhi > maxPhiUlps {
+		t.Fatalf("φ warm-start drift %d ulps exceeds the recorded envelope %d", worstPhi, uint64(maxPhiUlps))
+	}
+	if worstRev > maxRevenueUlps {
+		t.Fatalf("revenue warm-start drift %d ulps exceeds the recorded envelope %d", worstRev, uint64(maxRevenueUlps))
+	}
+}

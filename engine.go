@@ -7,6 +7,7 @@ import (
 
 	"neutralnet/internal/game"
 	"neutralnet/internal/isp"
+	"neutralnet/internal/longrun"
 	"neutralnet/internal/planner"
 	"neutralnet/internal/sweep"
 )
@@ -213,10 +214,28 @@ func (e *Engine) PlanCapacity(q, cost, muLo, muHi, pMax float64) (CapacityPlanRe
 }
 
 // CompareEfficiency quantifies how much of the social planner's welfare
-// the decentralized subsidization competition attains at (p, q). The Nash
-// side is solved under the Engine's solver configuration.
+// the decentralized subsidization competition attains at (p, q). Both sides
+// run under the Engine's solver configuration: the Nash side through the
+// usual options, the planner's coordinate ascent dispatched through the same
+// fixed-point registry scheme.
 func (e *Engine) CompareEfficiency(p, q float64) (Efficiency, error) {
 	return planner.CompareAtWith(e.sys, p, q, e.cfg.solver)
+}
+
+// SimulateInvestment runs the long-run capacity-investment process from
+// initial capacity mu0 at fixed price p, cap q and per-unit capacity cost,
+// under the Engine's solver configuration — WithSolver and
+// WithUtilizationSolver reach every epoch's equilibrium solve. The epoch
+// trajectory threads one workspace and warm-starts each epoch from the
+// previous equilibrium.
+func (e *Engine) SimulateInvestment(mu0, p, q, cost float64) (longrun.Trajectory, error) {
+	return longrun.Simulate(e.sys, mu0, longrun.Config{
+		P: p, Q: q, Cost: cost,
+		Solver:     e.cfg.solver.Method,
+		UtilSolver: e.cfg.solver.UtilSolver,
+		Tol:        e.cfg.solver.Tol,
+		MaxIter:    e.cfg.solver.MaxIter,
+	})
 }
 
 // Sensitivity solves the equilibrium at (p, q) (cache-aware) and returns

@@ -1,0 +1,127 @@
+package neutralnet
+
+import (
+	"math"
+	"testing"
+)
+
+func utilTestSystem() *System {
+	return NewSystem(1,
+		NewCP("video", 5, 2, 1.0),
+		NewCP("social", 2, 5, 0.5),
+		NewCP("startup", 4, 3, 0.2),
+	)
+}
+
+// TestWithUtilizationSolverAgreesWithDefault pins the warm kernels' engine
+// results to the default cold-Brent results across a small sweep: the φ
+// warm start is deliberately not bit-identical, but every equilibrium
+// quantity must agree to well under solver tolerance.
+func TestWithUtilizationSolverAgreesWithDefault(t *testing.T) {
+	sys := utilTestSystem()
+	ref, err := NewEngine(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := Grid{P: UniformGrid(0.2, 1.8, 9), Q: []float64{0, 1}}
+	want, err := ref.Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kernel := range []string{UtilBrentWarm, UtilNewton} {
+		eng, err := NewEngine(sys, WithUtilizationSolver(kernel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Sweep(grid)
+		if err != nil {
+			t.Fatalf("%s: %v", kernel, err)
+		}
+		for i := range want.Points {
+			w, g := want.Points[i], got.Points[i]
+			if d := math.Abs(w.Eq.State.Phi - g.Eq.State.Phi); d > 1e-9 {
+				t.Fatalf("%s: point %d φ differs by %g", kernel, i, d)
+			}
+			if d := math.Abs(w.Revenue - g.Revenue); d > 1e-9 {
+				t.Fatalf("%s: point %d revenue differs by %g", kernel, i, d)
+			}
+			for j := range w.Eq.S {
+				if d := math.Abs(w.Eq.S[j] - g.Eq.S[j]); d > 1e-7 {
+					t.Fatalf("%s: point %d s[%d] differs by %g", kernel, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmKernelSweepDeterministic pins the worker-count determinism
+// guarantee under the warm kernels: the per-solve utilization-seed reset
+// means a reused worker workspace cannot leak a previous chain's φ into the
+// next, so sweeps stay bit-identical at any worker count.
+func TestWarmKernelSweepDeterministic(t *testing.T) {
+	sys := utilTestSystem()
+	grid := Grid{P: UniformGrid(0.1, 1.9, 33), Q: []float64{0, 1}}
+	for _, kernel := range []string{UtilBrentWarm, UtilNewton} {
+		var results []*SweepResult
+		for _, workers := range []int{1, 4} {
+			eng, err := NewEngine(sys, WithUtilizationSolver(kernel), WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Sweep(grid)
+			if err != nil {
+				t.Fatalf("%s/%dw: %v", kernel, workers, err)
+			}
+			results = append(results, res)
+		}
+		if results[0].CSV() != results[1].CSV() {
+			t.Fatalf("%s: sweep not bit-identical at 1 vs 4 workers", kernel)
+		}
+		for i := range results[0].Points {
+			if results[0].Points[i].Eq.State.Phi != results[1].Points[i].Eq.State.Phi {
+				t.Fatalf("%s: φ at point %d differs across worker counts", kernel, i)
+			}
+		}
+	}
+}
+
+// TestWithUtilizationSolverUnknown surfaces the error from the first solve,
+// like WithSolver.
+func TestWithUtilizationSolverUnknown(t *testing.T) {
+	eng, err := NewEngine(utilTestSystem(), WithUtilizationSolver("no-such-kernel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Solve(1, 1); err == nil {
+		t.Fatal("unknown utilization kernel must surface from Solve")
+	}
+}
+
+// TestEngineSimulateInvestment checks the Engine threads its solver
+// configuration into the longrun trajectory end-to-end: anderson +
+// warm-brent reproduce the default trajectory's steady state.
+func TestEngineSimulateInvestment(t *testing.T) {
+	sys := utilTestSystem()
+	ref, err := NewEngine(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ref.SimulateInvestment(0.3, 1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(sys, WithSolver(Anderson), WithUtilizationSolver(UtilBrentWarm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := eng.SimulateInvestment(0.3, 1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Epochs) == 0 {
+		t.Fatal("no epochs simulated")
+	}
+	if d := math.Abs(tr.SteadyMu - base.SteadyMu); d > 1e-3 {
+		t.Fatalf("steady µ under anderson+warm %v vs default %v", tr.SteadyMu, base.SteadyMu)
+	}
+}

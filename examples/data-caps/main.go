@@ -43,12 +43,15 @@ func main() {
 
 	fmt.Printf("demand is inelastic below the cap threshold t0=%.1f and exponential above it\n\n", t0)
 	fmt.Println("ISP price p   s(video)  s(social)  phi      R        note")
+	ws := game.NewWorkspace() // one workspace threads the price ladder
 	for _, p := range []float64{0.2, 0.5, 0.8, 1.1, 1.4, 1.8} {
 		g, err := game.New(sys, p, 1.5)
 		if err != nil {
 			log.Fatal(err)
 		}
-		eq, err := g.SolveNash(game.Options{})
+		// The equilibrium borrows the workspace; its values are printed
+		// before the next iteration solves again.
+		eq, err := g.SolveNashWS(ws, game.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -50,7 +50,8 @@ func main() {
 	}
 
 	// Regime 3: everyone may sponsor up to q = p; competition decides.
-	eq, err := g.SolveNash(game.Options{})
+	// Solved on the workspace path; the result is read before any next solve.
+	eq, err := g.SolveNashWS(game.NewWorkspace(), game.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -50,7 +50,8 @@ func main() {
 	}
 
 	// Neutral competition: both VoD services (and the web CP) may subsidize.
-	eq, err := g.SolveNash(game.Options{})
+	// Solved on the workspace path; the result is read before any next solve.
+	eq, err := g.SolveNashWS(game.NewWorkspace(), game.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

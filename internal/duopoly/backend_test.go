@@ -1,0 +1,300 @@
+package duopoly
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+	"neutralnet/internal/numeric"
+	"neutralnet/internal/solver"
+)
+
+// legacyCPProblem is the pre-migration CP-equilibrium evaluation path,
+// frozen for equivalence testing: every best response allocates a candidate
+// profile and solves both networks through the one-shot Market.Solve, exactly
+// as the historical hand-rolled loop did. Dispatching a registry scheme over
+// it reproduces "the legacy adapter path" for that scheme.
+type legacyCPProblem struct {
+	m *Market
+	p [2]float64
+	s []float64
+}
+
+func (l *legacyCPProblem) N() int                  { return len(l.m.CPs) }
+func (l *legacyCPProblem) Box() (float64, float64) { return 0, l.m.Q }
+
+func (l *legacyCPProblem) Best(i int, x []float64) (float64, error) {
+	copy(l.s, x)
+	var evalErr error
+	f := func(v float64) float64 {
+		cand := append([]float64(nil), l.s...)
+		cand[i] = v
+		st, err := l.m.Solve(l.p, cand)
+		if err != nil {
+			evalErr = err
+			return math.Inf(-1)
+		}
+		return l.m.Utility(i, cand, st)
+	}
+	best := 0.0
+	if l.m.Q > 0 {
+		best, _ = numeric.MaximizeOnInterval(f, 0, l.m.Q, 17)
+	}
+	return best, evalErr
+}
+
+// legacyCPEquilibrium runs the named scheme over the legacy adapter path.
+func legacyCPEquilibrium(m *Market, scheme string, p [2]float64) ([]float64, State, error) {
+	prob := &legacyCPProblem{m: m, p: p, s: make([]float64, len(m.CPs))}
+	fp, err := solver.New(scheme)
+	if err != nil {
+		return nil, State{}, err
+	}
+	x := make([]float64, len(m.CPs))
+	res, err := fp.Solve(prob, x, cpTol, cpMaxIter)
+	if err != nil || !res.Converged {
+		return nil, State{}, err
+	}
+	st, err := m.Solve(p, x)
+	return x, st, err
+}
+
+// marketGrid is the seeded grid of market instances the equivalence suite
+// runs over: varying prices, caps and capacity splits.
+func marketGrid() []struct {
+	name string
+	m    *Market
+	p    [2]float64
+} {
+	mk := func(a, b, v float64) model.CP {
+		return model.CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	base := []model.CP{mk(4, 2, 1), mk(2, 4, 0.5), mk(3, 3, 0.8)}
+	var out []struct {
+		name string
+		m    *Market
+		p    [2]float64
+	}
+	for _, tc := range []struct {
+		name  string
+		mu    [2]float64
+		q     float64
+		sigma float64
+		p     [2]float64
+	}{
+		{"symmetric", [2]float64{0.5, 0.5}, 1, 3, [2]float64{1, 1}},
+		{"asymmetric-mu", [2]float64{0.3, 0.8}, 1, 3, [2]float64{0.9, 1.1}},
+		{"tight-cap", [2]float64{0.5, 0.5}, 0.3, 2, [2]float64{0.7, 0.7}},
+		{"loose-cap", [2]float64{0.6, 0.4}, 2, 5, [2]float64{1.4, 0.6}},
+		{"zero-cap", [2]float64{0.5, 0.5}, 0, 3, [2]float64{1, 1}},
+	} {
+		out = append(out, struct {
+			name string
+			m    *Market
+			p    [2]float64
+		}{tc.name, &Market{CPs: base, Util: econ.LinearUtilization{}, Mu: tc.mu, Sigma: tc.sigma, Q: tc.q}, tc.p})
+	}
+	return out
+}
+
+// TestCPEquilibriumMatchesLegacyAllSolvers pins the workspace path to the
+// legacy adapter path to ≤ 1e-12 for every registered scheme across the
+// seeded market grid (the default Gauss–Seidel path is expected to be
+// bit-identical).
+func TestCPEquilibriumMatchesLegacyAllSolvers(t *testing.T) {
+	for _, scheme := range solver.Names() {
+		for _, tc := range marketGrid() {
+			m := *tc.m
+			m.Solver = scheme
+			sLegacy, stLegacy, err := legacyCPEquilibrium(&m, scheme, tc.p)
+			if err != nil {
+				t.Fatalf("%s/%s: legacy: %v", scheme, tc.name, err)
+			}
+			sNew, stNew, err := m.CPEquilibrium(tc.p, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: workspace: %v", scheme, tc.name, err)
+			}
+			for i := range sLegacy {
+				if d := math.Abs(sNew[i] - sLegacy[i]); d > 1e-12 {
+					t.Fatalf("%s/%s: s[%d] differs by %g (ws %v vs legacy %v)", scheme, tc.name, i, d, sNew[i], sLegacy[i])
+				}
+			}
+			for k := 0; k < 2; k++ {
+				if d := math.Abs(stNew.Net[k].Phi - stLegacy.Net[k].Phi); d > 1e-12 {
+					t.Fatalf("%s/%s: φ%d differs by %g", scheme, tc.name, k, d)
+				}
+				for i := range sLegacy {
+					if d := math.Abs(stNew.Net[k].Theta[i] - stLegacy.Net[k].Theta[i]); d > 1e-12 {
+						t.Fatalf("%s/%s: θ%d[%d] differs by %g", scheme, tc.name, k, i, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// legacySingleEquilibrium is the pre-migration monopoly-benchmark miniature
+// (allocating grid+golden Gauss–Seidel over a fresh state per evaluation).
+func legacySingleEquilibrium(sys *model.System, p, q float64, warm []float64) ([]float64, model.State, error) {
+	n := len(sys.CPs)
+	state := func(s []float64) (model.State, error) {
+		pops := make([]float64, n)
+		for i, cp := range sys.CPs {
+			pops[i] = cp.Demand.M(p - s[i])
+		}
+		return sys.Solve(pops)
+	}
+	s := make([]float64, n)
+	if warm != nil {
+		copy(s, warm)
+		for i := range s {
+			s[i] = numeric.Clamp(s[i], 0, q)
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		moved := 0.0
+		for i := 0; i < n; i++ {
+			var evalErr error
+			f := func(x float64) float64 {
+				cand := append([]float64(nil), s...)
+				cand[i] = x
+				st, err := state(cand)
+				if err != nil {
+					evalErr = err
+					return math.Inf(-1)
+				}
+				return (sys.CPs[i].Value - cand[i]) * st.Theta[i]
+			}
+			best := 0.0
+			if q > 0 {
+				best, _ = numeric.MaximizeOnInterval(f, 0, q, 17)
+			}
+			if evalErr != nil {
+				return nil, model.State{}, evalErr
+			}
+			if d := math.Abs(best - s[i]); d > moved {
+				moved = d
+			}
+			s[i] = best
+		}
+		if moved < 1e-7 {
+			st, err := state(s)
+			return s, st, err
+		}
+	}
+	return nil, model.State{}, nil
+}
+
+// TestMonopolyBenchmarkMatchesLegacy replays the historical 15-point scan
+// with the frozen miniature loop and pins the migrated MonopolyBenchmark to
+// it to ≤ 1e-12.
+func TestMonopolyBenchmarkMatchesLegacy(t *testing.T) {
+	m := smallMarket()
+	const pMax = 2.0
+	sys := &model.System{CPs: m.CPs, Mu: m.Mu[0] + m.Mu[1], Util: m.Util}
+	best, bestP := math.Inf(-1), 0.0
+	var bestS, warm []float64
+	for k := 1; k <= 15; k++ {
+		pk := pMax * float64(k) / 15
+		sk, stk, err := legacySingleEquilibrium(sys, pk, m.Q, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm = sk
+		if r := pk * stk.TotalThroughput(); r > best {
+			best, bestP, bestS = r, pk, sk
+		}
+	}
+	sLegacy, stLegacy, err := legacySingleEquilibrium(sys, bestP, m.Q, bestS)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pNew, stNew, sNew, err := m.MonopolyBenchmark(pMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pNew != bestP {
+		t.Fatalf("optimal price differs: ws %v vs legacy %v", pNew, bestP)
+	}
+	if d := math.Abs(stNew.Phi - stLegacy.Phi); d > 1e-12 {
+		t.Fatalf("φ differs by %g", d)
+	}
+	for i := range sLegacy {
+		if d := math.Abs(sNew[i] - sLegacy[i]); d > 1e-12 {
+			t.Fatalf("s[%d] differs by %g", i, d)
+		}
+	}
+}
+
+// TestDuopolySolverNameEndToEnd exercises the registry dispatch: a Market
+// configured with each named scheme solves to the same equilibrium (the
+// schemes agree to solver tolerance on this contraction map), and an
+// unknown name errors.
+func TestDuopolySolverNameEndToEnd(t *testing.T) {
+	ref, _, err := smallMarket().CPEquilibrium([2]float64{1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"gauss-seidel", "jacobi-damped", "anderson"} {
+		m := smallMarket()
+		m.Solver = scheme
+		s, _, err := m.CPEquilibrium([2]float64{1, 1}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		for i := range ref {
+			if d := math.Abs(s[i] - ref[i]); d > 1e-5 {
+				t.Fatalf("%s: s[%d] = %v, reference %v", scheme, i, s[i], ref[i])
+			}
+		}
+	}
+	bad := smallMarket()
+	bad.Solver = "no-such-scheme"
+	if _, _, err := bad.CPEquilibrium([2]float64{1, 1}, nil); err == nil {
+		t.Fatal("unknown solver name must error")
+	}
+}
+
+// TestDuopolyWSAllocFree asserts the satellite fix: a warm workspace solves
+// the CP equilibrium with zero steady-state heap allocations, mirroring
+// TestSolveNashWSAllocFree in the game package.
+func TestDuopolyWSAllocFree(t *testing.T) {
+	m := smallMarket()
+	ws := NewWorkspace()
+	p := [2]float64{1, 1}
+	if _, _, err := m.CPEquilibriumWS(ws, p, nil); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := m.CPEquilibriumWS(ws, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CPEquilibriumWS allocates %v objects per solve on a warm workspace", allocs)
+	}
+}
+
+// BenchmarkDuopolyWS is the workspace counterpart of
+// BenchmarkDuopolyCPEquilibrium: the same solve on a reused workspace.
+func BenchmarkDuopolyWS(b *testing.B) {
+	m := smallMarket()
+	ws := NewWorkspace()
+	p := [2]float64{1, 1}
+	if _, _, err := m.CPEquilibriumWS(ws, p, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.CPEquilibriumWS(ws, p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

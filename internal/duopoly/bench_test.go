@@ -1,0 +1,46 @@
+package duopoly
+
+import (
+	"testing"
+)
+
+// BenchmarkDuopolyCPEquilibrium measures one CP-equilibrium solve at fixed
+// prices on the small two-CP market — the inner kernel of the price
+// competition. Tracked in BENCH_solver.json across the workspace migration.
+func BenchmarkDuopolyCPEquilibrium(b *testing.B) {
+	m := smallMarket()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.CPEquilibrium([2]float64{1, 1}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDuopolyPriceEquilibrium measures the full two-level solve: ISP
+// price best responses with the CPs re-equilibrating inside every revenue
+// evaluation.
+func BenchmarkDuopolyPriceEquilibrium(b *testing.B) {
+	m := smallMarket()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.PriceEquilibrium(2, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonopolyBenchmark measures the capacity-equivalent single-ISP
+// comparator (15-point price scan with warm-started equilibrium solves).
+func BenchmarkMonopolyBenchmark(b *testing.B) {
+	m := smallMarket()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := m.MonopolyBenchmark(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

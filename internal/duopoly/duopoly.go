@@ -11,6 +11,13 @@
 // fixed point. On top of the CPs' equilibrium, the ISPs compete in prices
 // (best-response dynamics on revenue).
 //
+// The CP equilibrium is expressed as a solver.Problem and dispatched
+// through the shared fixed-point registry, so the duopoly inherits every
+// registered scheme (gauss-seidel, jacobi-damped, anderson) via
+// Market.Solver, and runs on reusable workspaces: a warm Workspace solves
+// the CP game with zero heap allocations (asserted by TestDuopolyWSAllocFree
+// and tracked by BenchmarkDuopolyWS).
+//
 // The qualitative predictions this enables (tested in duopoly_test.go):
 // price competition pushes access prices and raises welfare relative to a
 // capacity-equivalent monopolist, and subsidization remains
@@ -26,6 +33,20 @@ import (
 	"neutralnet/internal/econ"
 	"neutralnet/internal/model"
 	"neutralnet/internal/numeric"
+	"neutralnet/internal/solver"
+)
+
+// cpGridPts is the grid resolution of the per-coordinate grid+golden
+// maximization (the duopoly utility has no closed-form marginal, so every
+// best response is a derivative-free search). 17 matches the historical
+// hand-rolled loop, keeping the registry path bit-identical to it.
+const cpGridPts = 17
+
+// cpTol and cpMaxIter bound the CP fixed-point iteration, matching the
+// historical loop.
+const (
+	cpTol     = 1e-7
+	cpMaxIter = 200
 )
 
 // Market is a two-ISP access market sharing one CP catalog.
@@ -35,6 +56,11 @@ type Market struct {
 	Mu    [2]float64 // per-ISP capacities
 	Sigma float64    // logit price sensitivity of ISP choice
 	Q     float64    // subsidy cap (policy)
+	// Solver names the fixed-point scheme the CP equilibrium (and the
+	// monopoly benchmark) dispatch through the solver registry; the empty
+	// string selects the default Gauss–Seidel, which reproduces the
+	// historical hand-rolled loop bit for bit.
+	Solver string
 }
 
 // Validate checks the market's structural preconditions.
@@ -63,10 +89,23 @@ func (m *Market) Shares(p1, p2 float64) (float64, float64) {
 
 // State is the solved two-network physical state under prices p and
 // subsidies s.
+//
+// States produced by Market.Solve and the public equilibrium entry points
+// own their slices. States produced by the workspace kernels BORROW the
+// workspace's buffers and must be escaped with Clone before being retained
+// past the next solve.
 type State struct {
 	P      [2]float64
 	Shares [2]float64
 	Net    [2]model.State // per-ISP utilization/populations/throughputs
+}
+
+// Clone returns a deep copy of the state, for callers that retain
+// workspace-borrowed states across solves.
+func (st State) Clone() State {
+	st.Net[0] = st.Net[0].Clone()
+	st.Net[1] = st.Net[1].Clone()
+	return st
 }
 
 // TotalThroughput returns θ_i¹ + θ_i² for CP i.
@@ -83,6 +122,7 @@ func (m *Market) network(k int) *model.System {
 }
 
 // Solve computes both networks' fixed points at prices p and subsidies s.
+// It is the one-shot allocating entry; hot loops hold a Workspace.
 func (m *Market) Solve(p [2]float64, s []float64) (State, error) {
 	if len(s) != len(m.CPs) {
 		return State{}, fmt.Errorf("duopoly: %d subsidies for %d CPs", len(s), len(m.CPs))
@@ -109,56 +149,190 @@ func (m *Market) Utility(i int, s []float64, st State) float64 {
 	return (m.CPs[i].Value - s[i]) * st.TotalThroughput(i)
 }
 
-// CPEquilibrium solves the CPs' subsidization game at fixed prices by
-// Gauss–Seidel best responses (grid+golden per coordinate; the duopoly
-// utility has no closed-form marginal). warm may be nil.
-func (m *Market) CPEquilibrium(p [2]float64, warm []float64) ([]float64, State, error) {
+// Workspace owns the reusable buffers of one duopoly-solving goroutine: the
+// two per-network physical workspaces, the subsidy iterate, the pre-bound
+// 1-D utility closure the per-CP searches run on, and the cached fixed-point
+// solver instance. It is NOT safe for concurrent use. It implements
+// solver.Problem over the CP best-response map, which is how the CP
+// equilibrium is dispatched through the registry.
+type Workspace struct {
+	m      *Market
+	sys    [2]model.System // stable per-network systems the physical workspaces bind to
+	net    [2]*model.Workspace
+	s      []float64 // subsidy iterate (borrowed by CPEquilibriumWS results)
+	p      [2]float64
+	shares [2]float64
+
+	i          int // player the 1-D closure evaluates for
+	utilityFn  func(float64) float64
+	utilityErr error
+
+	fp solver.Cached // cached fixed-point instance for the last-used scheme
+}
+
+// NewWorkspace returns an empty workspace; buffers are sized on first bind.
+func NewWorkspace() *Workspace {
+	ws := &Workspace{net: [2]*model.Workspace{model.NewWorkspace(), model.NewWorkspace()}}
+	ws.utilityFn = func(x float64) float64 {
+		old := ws.s[ws.i]
+		ws.s[ws.i] = x
+		u, err := ws.utilityOne(ws.i)
+		ws.s[ws.i] = old
+		if err != nil {
+			ws.utilityErr = err
+			return math.Inf(-1)
+		}
+		return u
+	}
+	return ws
+}
+
+// bind points the workspace at market m under prices p and sizes every
+// buffer for its CP count. Rebinding between markets of the same size is
+// allocation-free.
+func (ws *Workspace) bind(m *Market, p [2]float64) {
+	ws.m = m
+	ws.p = p
+	ws.shares[0], ws.shares[1] = m.Shares(p[0], p[1])
 	n := len(m.CPs)
-	s := make([]float64, n)
-	if warm != nil {
-		copy(s, warm)
-		for i := range s {
-			s[i] = numeric.Clamp(s[i], 0, m.Q)
+	for k := 0; k < 2; k++ {
+		ws.sys[k] = model.System{CPs: m.CPs, Mu: m.Mu[k], Util: m.Util}
+		ws.net[k].Bind(&ws.sys[k])
+	}
+	if cap(ws.s) < n {
+		ws.s = make([]float64, n)
+	}
+	ws.s = ws.s[:n]
+}
+
+// prime refreshes both networks' population buffers for the full current
+// iterate; the evaluation closure afterwards only touches the component it
+// varies, so a best-response search pays the full 2n-demand evaluation once.
+func (ws *Workspace) prime() {
+	for k := 0; k < 2; k++ {
+		mk := ws.net[k].M()
+		for i, cp := range ws.m.CPs {
+			mk[i] = ws.shares[k] * cp.Demand.M(ws.p[k]-ws.s[i])
 		}
 	}
-	const tol = 1e-7
-	for iter := 0; iter < 200; iter++ {
-		moved := 0.0
-		for i := 0; i < n; i++ {
-			var evalErr error
-			f := func(x float64) float64 {
-				cand := append([]float64(nil), s...)
-				cand[i] = x
-				st, err := m.Solve(p, cand)
-				if err != nil {
-					evalErr = err
-					return math.Inf(-1)
-				}
-				return m.Utility(i, cand, st)
-			}
-			best := 0.0
-			if m.Q > 0 {
-				best, _ = numeric.MaximizeOnInterval(f, 0, m.Q, 17)
-			}
-			if evalErr != nil {
-				return nil, State{}, evalErr
-			}
-			if d := math.Abs(best - s[i]); d > moved {
-				moved = d
-			}
-			s[i] = best
+}
+
+// utilityOne evaluates CP i's summed utility at the current iterate,
+// re-solving both networks' fixed points after refreshing only component i
+// of each population buffer. The other components are bit-identical to a
+// full recompute, so the value matches the one-shot Solve path exactly.
+func (ws *Workspace) utilityOne(i int) (float64, error) {
+	total := 0.0
+	for k := 0; k < 2; k++ {
+		ws.net[k].M()[i] = ws.shares[k] * ws.m.CPs[i].Demand.M(ws.p[k]-ws.s[i])
+		st, err := ws.sys[k].SolveInto(ws.net[k])
+		if err != nil {
+			return 0, fmt.Errorf("duopoly: network %d: %w", k, err)
 		}
-		if moved < tol {
-			st, err := m.Solve(p, s)
-			return s, st, err
-		}
+		total += st.Theta[i]
 	}
-	return nil, State{}, errors.New("duopoly: CP equilibrium did not converge")
+	return (ws.m.CPs[i].Value - ws.s[i]) * total, nil
+}
+
+// stateWS solves both networks at the current iterate, entirely in
+// workspace buffers. The returned state borrows them.
+func (ws *Workspace) stateWS() (State, error) {
+	ws.prime()
+	st := State{P: ws.p, Shares: ws.shares}
+	for k := 0; k < 2; k++ {
+		ns, err := ws.sys[k].SolveInto(ws.net[k])
+		if err != nil {
+			return State{}, fmt.Errorf("duopoly: network %d: %w", k, err)
+		}
+		st.Net[k] = ns
+	}
+	return st, nil
+}
+
+// --- solver.Problem ---------------------------------------------------------
+
+// N is the number of CP players.
+func (ws *Workspace) N() int { return len(ws.m.CPs) }
+
+// Box is the subsidy interval [0, q].
+func (ws *Workspace) Box() (lo, hi float64) { return 0, ws.m.Q }
+
+// Best computes CP i's best response against the profile x by grid+golden
+// search of the summed utility (17-point grid, matching the historical
+// loop). The solver layer iterates on the workspace's own s buffer, so x
+// normally aliases it; a defensive copy covers solvers that present a
+// different iterate.
+func (ws *Workspace) Best(i int, x []float64) (float64, error) {
+	if &x[0] != &ws.s[0] {
+		copy(ws.s, x)
+	}
+	ws.i = i
+	ws.prime()
+	ws.utilityErr = nil
+	best := 0.0
+	if ws.m.Q > 0 {
+		best, _ = numeric.MaximizeOnInterval(ws.utilityFn, 0, ws.m.Q, cpGridPts)
+	}
+	if ws.utilityErr != nil {
+		return 0, ws.utilityErr
+	}
+	return best, nil
+}
+
+// CPEquilibriumWS solves the CPs' subsidization game at fixed prices on the
+// caller-owned workspace, dispatching the fixed-point iteration through the
+// solver registry under m.Solver. warm may be nil. The returned profile and
+// state BORROW the workspace's buffers — they are valid only until the next
+// solve and must be copied/Cloned to be retained. A warm workspace performs
+// zero heap allocations per call.
+func (m *Market) CPEquilibriumWS(ws *Workspace, p [2]float64, warm []float64) ([]float64, State, error) {
+	ws.bind(m, p)
+	for i := range ws.s {
+		si := 0.0
+		if i < len(warm) {
+			si = warm[i]
+		}
+		ws.s[i] = numeric.Clamp(si, 0, m.Q)
+	}
+	fp, err := ws.fp.Get(m.Solver)
+	if err != nil {
+		return nil, State{}, err
+	}
+	res, err := fp.Solve(ws, ws.s, cpTol, cpMaxIter)
+	if err != nil {
+		var ce *solver.ComponentError
+		if errors.As(err, &ce) {
+			return nil, State{}, ce.Err
+		}
+		return nil, State{}, err
+	}
+	if !res.Converged {
+		return nil, State{}, errors.New("duopoly: CP equilibrium did not converge")
+	}
+	st, err := ws.stateWS()
+	if err != nil {
+		return nil, State{}, err
+	}
+	return ws.s, st, nil
+}
+
+// CPEquilibrium solves the CPs' subsidization game at fixed prices. warm may
+// be nil. It is the one-shot adapter over CPEquilibriumWS: it allocates a
+// fresh workspace and escapes the result, so the returned profile and state
+// own their slices.
+func (m *Market) CPEquilibrium(p [2]float64, warm []float64) ([]float64, State, error) {
+	s, st, err := m.CPEquilibriumWS(NewWorkspace(), p, warm)
+	if err != nil {
+		return nil, State{}, err
+	}
+	return append([]float64(nil), s...), st.Clone(), nil
 }
 
 // PriceEquilibrium solves the ISPs' price competition on [0, pMax] by
 // alternating best responses, with the CPs re-equilibrating inside every
-// revenue evaluation. It returns the equilibrium prices and the final state.
+// revenue evaluation. One workspace threads the whole competition: each CP
+// equilibrium is warm-started from the previous one and solved
+// allocation-free. It returns the equilibrium prices and the final state.
 func (m *Market) PriceEquilibrium(pMax float64, maxRounds int) ([2]float64, State, error) {
 	if err := m.Validate(); err != nil {
 		return [2]float64{}, State{}, err
@@ -170,15 +344,16 @@ func (m *Market) PriceEquilibrium(pMax float64, maxRounds int) ([2]float64, Stat
 		maxRounds = 30
 	}
 	p := [2]float64{pMax / 2, pMax / 2}
-	var warm []float64
+	ws := NewWorkspace()
+	var warmBuf, warm []float64
 	revenueAt := func(k int, pk float64) float64 {
 		cand := p
 		cand[k] = pk
-		s, st, err := m.CPEquilibrium(cand, warm)
+		s, st, err := m.CPEquilibriumWS(ws, cand, warm)
 		if err != nil {
 			return math.Inf(-1)
 		}
-		warm = s
+		warm = numeric.CopyProfile(&warmBuf, s)
 		return st.Revenue(k)
 	}
 	const tol = 1e-4
@@ -195,103 +370,140 @@ func (m *Market) PriceEquilibrium(pMax float64, maxRounds int) ([2]float64, Stat
 			break
 		}
 	}
-	s, st, err := m.CPEquilibrium(p, warm)
+	_, st, err := m.CPEquilibriumWS(ws, p, warm)
 	if err != nil {
 		return p, State{}, err
 	}
-	_ = s
-	return p, st, nil
+	return p, st.Clone(), nil
+}
+
+// monoWorkspace is the single-network counterpart of Workspace behind
+// MonopolyBenchmark: the capacity-equivalent monopolist's subsidization game
+// as a solver.Problem over one physical workspace, with the same 17-point
+// grid+golden coordinate search as the historical miniature loop (the
+// duopoly package stays independent of the game package, so the miniature
+// is expressed here rather than on game.Workspace).
+type monoWorkspace struct {
+	sys  model.System
+	phys *model.Workspace
+	s    []float64
+	p, q float64
+
+	i          int
+	utilityFn  func(float64) float64
+	utilityErr error
+
+	fp solver.Cached // cached fixed-point instance for the last-used scheme
+}
+
+func newMonoWorkspace(sys model.System, q float64) *monoWorkspace {
+	ws := &monoWorkspace{sys: sys, q: q, phys: model.NewWorkspace()}
+	ws.phys.Bind(&ws.sys)
+	ws.s = make([]float64, len(sys.CPs))
+	ws.utilityFn = func(x float64) float64 {
+		old := ws.s[ws.i]
+		ws.s[ws.i] = x
+		ws.phys.M()[ws.i] = ws.sys.CPs[ws.i].Demand.M(ws.p - x)
+		st, err := ws.sys.SolveInto(ws.phys)
+		ws.s[ws.i] = old
+		if err != nil {
+			ws.utilityErr = err
+			return math.Inf(-1)
+		}
+		return (ws.sys.CPs[ws.i].Value - x) * st.Theta[ws.i]
+	}
+	return ws
+}
+
+func (ws *monoWorkspace) prime() {
+	mk := ws.phys.M()
+	for i, cp := range ws.sys.CPs {
+		mk[i] = cp.Demand.M(ws.p - ws.s[i])
+	}
+}
+
+func (ws *monoWorkspace) N() int                { return len(ws.sys.CPs) }
+func (ws *monoWorkspace) Box() (lo, hi float64) { return 0, ws.q }
+func (ws *monoWorkspace) Best(i int, x []float64) (float64, error) {
+	if &x[0] != &ws.s[0] {
+		copy(ws.s, x)
+	}
+	ws.i = i
+	ws.prime()
+	ws.utilityErr = nil
+	best := 0.0
+	if ws.q > 0 {
+		best, _ = numeric.MaximizeOnInterval(ws.utilityFn, 0, ws.q, cpGridPts)
+	}
+	if ws.utilityErr != nil {
+		return 0, ws.utilityErr
+	}
+	return best, nil
+}
+
+// equilibrium solves the monopolist's CP game at price p through the solver
+// registry, warm-starting from warm. The returned profile and state borrow
+// the workspace.
+func (ws *monoWorkspace) equilibrium(solverName string, p float64, warm []float64) ([]float64, model.State, error) {
+	ws.p = p
+	for i := range ws.s {
+		si := 0.0
+		if i < len(warm) {
+			si = warm[i]
+		}
+		ws.s[i] = numeric.Clamp(si, 0, ws.q)
+	}
+	fp, err := ws.fp.Get(solverName)
+	if err != nil {
+		return nil, model.State{}, err
+	}
+	res, err := fp.Solve(ws, ws.s, cpTol, cpMaxIter)
+	if err != nil {
+		var ce *solver.ComponentError
+		if errors.As(err, &ce) {
+			return nil, model.State{}, ce.Err
+		}
+		return nil, model.State{}, err
+	}
+	if !res.Converged {
+		return nil, model.State{}, errors.New("duopoly: monopoly benchmark did not converge")
+	}
+	ws.prime()
+	st, err := ws.sys.SolveInto(ws.phys)
+	if err != nil {
+		return nil, model.State{}, err
+	}
+	return ws.s, st, nil
 }
 
 // MonopolyBenchmark solves the capacity-equivalent single-ISP problem
 // (µ = µ₁+µ₂, all users attached) at its revenue-optimal price, for
-// comparison against the duopoly outcome.
+// comparison against the duopoly outcome. The 15-point price scan threads
+// one workspace, warm-starting each equilibrium from the previous price's.
 func (m *Market) MonopolyBenchmark(pMax float64) (p float64, st model.State, s []float64, err error) {
 	if err := m.Validate(); err != nil {
 		return 0, model.State{}, nil, err
 	}
-	sys := &model.System{CPs: m.CPs, Mu: m.Mu[0] + m.Mu[1], Util: m.Util}
+	ws := newMonoWorkspace(model.System{CPs: m.CPs, Mu: m.Mu[0] + m.Mu[1], Util: m.Util}, m.Q)
 	best, bestP := math.Inf(-1), 0.0
-	var bestS []float64
-	var warm []float64
+	var bestS, warmBuf, warm []float64
 	for k := 1; k <= 15; k++ {
 		pk := pMax * float64(k) / 15
-		g := singleGame{sys: sys, p: pk, q: m.Q}
-		sk, stk, err := g.equilibrium(warm)
+		sk, stk, err := ws.equilibrium(m.Solver, pk, warm)
 		if err != nil {
 			return 0, model.State{}, nil, err
 		}
-		warm = sk
+		warm = numeric.CopyProfile(&warmBuf, sk)
 		if r := pk * stk.TotalThroughput(); r > best {
-			best, bestP, bestS = r, pk, sk
+			best, bestP = r, pk
+			bestS = append(bestS[:0], sk...)
 		}
 	}
-	g := singleGame{sys: sys, p: bestP, q: m.Q}
-	sFin, stFin, err := g.equilibrium(bestS)
+	sFin, stFin, err := ws.equilibrium(m.Solver, bestP, bestS)
 	if err != nil {
 		return 0, model.State{}, nil, err
 	}
-	return bestP, stFin, sFin, nil
-}
-
-// singleGame is a minimal single-network subsidization solver mirroring the
-// game package's Gauss-Seidel loop (duplicated here in miniature to keep the
-// duopoly package's dependencies one-directional).
-type singleGame struct {
-	sys *model.System
-	p   float64
-	q   float64
-}
-
-func (g singleGame) state(s []float64) (model.State, error) {
-	pops := make([]float64, len(g.sys.CPs))
-	for i, cp := range g.sys.CPs {
-		pops[i] = cp.Demand.M(g.p - s[i])
-	}
-	return g.sys.Solve(pops)
-}
-
-func (g singleGame) equilibrium(warm []float64) ([]float64, model.State, error) {
-	n := len(g.sys.CPs)
-	s := make([]float64, n)
-	if warm != nil {
-		copy(s, warm)
-		for i := range s {
-			s[i] = numeric.Clamp(s[i], 0, g.q)
-		}
-	}
-	for iter := 0; iter < 200; iter++ {
-		moved := 0.0
-		for i := 0; i < n; i++ {
-			var evalErr error
-			f := func(x float64) float64 {
-				cand := append([]float64(nil), s...)
-				cand[i] = x
-				st, err := g.state(cand)
-				if err != nil {
-					evalErr = err
-					return math.Inf(-1)
-				}
-				return (g.sys.CPs[i].Value - cand[i]) * st.Theta[i]
-			}
-			best := 0.0
-			if g.q > 0 {
-				best, _ = numeric.MaximizeOnInterval(f, 0, g.q, 17)
-			}
-			if evalErr != nil {
-				return nil, model.State{}, evalErr
-			}
-			if d := math.Abs(best - s[i]); d > moved {
-				moved = d
-			}
-			s[i] = best
-		}
-		if moved < 1e-7 {
-			st, err := g.state(s)
-			return s, st, err
-		}
-	}
-	return nil, model.State{}, errors.New("duopoly: monopoly benchmark did not converge")
+	return bestP, stFin.Clone(), append([]float64(nil), sFin...), nil
 }
 
 // Welfare returns Σ v_i·(θ_i¹+θ_i²) at a duopoly state.

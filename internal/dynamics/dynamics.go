@@ -96,6 +96,7 @@ func Simulate(g *game.Game, cfg Config) (Trajectory, error) {
 		}
 	}
 	tr := Trajectory{Profiles: [][]float64{append([]float64(nil), s...)}}
+	ws := game.NewWorkspace() // threads every best-response evaluation
 	for t := 1; t <= steps; t++ {
 		next := make([]float64, n)
 		switch cfg.Process {
@@ -109,7 +110,7 @@ func Simulate(g *game.Game, cfg Config) (Trajectory, error) {
 			}
 		default: // BestResponse
 			for i := range s {
-				br, err := g.BestResponse(i, s)
+				br, err := g.BestResponseWS(ws, i, s)
 				if err != nil {
 					return tr, err
 				}

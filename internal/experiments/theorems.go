@@ -73,14 +73,18 @@ func ValidateTheorems() ([]TheoremCheck, error) {
 		math.Abs(sys.DPhiDP(0.7, st)-fdPhiP), 1e-5)
 
 	// --- Theorem 3: equilibrium satisfies KKT and the threshold form. ---
+	// One workspace threads every equilibrium solve of the validation; the
+	// retained equilibria are cloned off it.
+	ws := game.NewWorkspace()
 	g, err := game.New(sys, 1, 1)
 	if err != nil {
 		return nil, err
 	}
-	eq, err := g.SolveNash(game.Options{Tol: 1e-11})
+	eqWS, err := g.SolveNashWS(ws, game.Options{Tol: 1e-11})
 	if err != nil {
 		return nil, err
 	}
+	eq := eqWS.Clone()
 	kkt, err := g.VerifyKKT(eq.S)
 	if err != nil {
 		return nil, err
@@ -109,7 +113,7 @@ func ValidateTheorems() ([]TheoremCheck, error) {
 	if err != nil {
 		return nil, err
 	}
-	eq5, err := g5.SolveNash(game.Options{Initial: eq.S})
+	eq5, err := g5.SolveNashWS(ws, game.Options{Initial: eq.S})
 	if err != nil {
 		return nil, err
 	}
@@ -121,10 +125,11 @@ func ValidateTheorems() ([]TheoremCheck, error) {
 	if err != nil {
 		return nil, err
 	}
-	eq6, err := g6.SolveNash(game.Options{Tol: 1e-11})
+	eq6WS, err := g6.SolveNashWS(ws, game.Options{Tol: 1e-11})
 	if err != nil {
 		return nil, err
 	}
+	eq6 := eq6WS.Clone() // retained across the finite-difference re-solves
 	sens, err := g6.SensitivityAt(eq6.S)
 	if err != nil {
 		return nil, err
@@ -148,7 +153,7 @@ func ValidateTheorems() ([]TheoremCheck, error) {
 		if err != nil {
 			return nil, err
 		}
-		eqq, err := gq.SolveNash(game.Options{})
+		eqq, err := gq.SolveNashWS(ws, game.Options{})
 		if err != nil {
 			return nil, err
 		}

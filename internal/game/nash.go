@@ -37,6 +37,12 @@ type Options struct {
 	Tol     float64   // sup-norm convergence tolerance on s (default 1e-9)
 	MaxIter int       // default 400
 	Initial []float64 // warm start (default: zero profile)
+	// UtilSolver selects the inner utilization root kernel (a model
+	// workspace solver name: model.UtilBrent, model.UtilBrentWarm,
+	// model.UtilNewton). Empty selects the cold Brent default, which is
+	// bit-identical to the historical path; the warm kernels seed each root
+	// find from the previous φ and are not bit-identical.
+	UtilSolver string
 }
 
 // Equilibrium is a solved Nash equilibrium of the subsidization game,
@@ -93,10 +99,17 @@ var ErrNotConverged = errors.New("game: Nash iteration did not converge")
 // It is the one-shot adapter over the workspace kernel bestResponseWS;
 // hot loops hold a Workspace and solve through SolveNashWS instead.
 func (g *Game) BestResponse(i int, s []float64) (float64, error) {
+	return g.BestResponseWS(NewWorkspace(), i, s)
+}
+
+// BestResponseWS is BestResponse on a caller-owned workspace: the
+// allocation-free path for adjustment dynamics and other loops that evaluate
+// many best responses. The profile s is copied into the workspace, so the
+// caller's slice is never retained.
+func (g *Game) BestResponseWS(ws *Workspace, i int, s []float64) (float64, error) {
 	if len(s) != g.N() {
 		return 0, fmt.Errorf("game: %d subsidies for %d CPs", len(s), g.N())
 	}
-	ws := NewWorkspace()
 	ws.bind(g)
 	copy(ws.s, s)
 	return g.bestResponseWS(ws, i)
@@ -135,6 +148,16 @@ func (g *Game) SolveNash(opts Options) (Equilibrium, error) {
 // workspace's next solve and must be escaped with Clone to be retained.
 func (g *Game) SolveNashWS(ws *Workspace, opts Options) (Equilibrium, error) {
 	ws.bind(g)
+	if err := ws.SetUtilSolver(opts.UtilSolver); err != nil {
+		return Equilibrium{}, err
+	}
+	// Each Nash solve starts from a fresh utilization seed: pooled and
+	// sweep-worker workspaces are reused across unrelated solves, and a
+	// seed inherited from an arbitrary previous solve would make warm
+	// kernels scheduling-dependent (breaking the bit-identical-at-any-
+	// worker-count sweep guarantee). The seed still chains across the many
+	// inner root finds within this solve.
+	ws.phys.ResetUtilSeed()
 	tol := opts.Tol
 	if tol <= 0 {
 		tol = 1e-9

@@ -244,14 +244,17 @@ func (g *Game) SensitivityFiniteDiff(s []float64, h float64) (dsdq, dsdp []float
 	if h <= 0 {
 		h = 1e-4
 	}
+	ws := NewWorkspace() // shared by the four perturbed solves
 	solveAt := func(p, q float64) ([]float64, error) {
 		gg := *g
 		gg.P, gg.Q = p, q
-		eq, err := gg.SolveNash(Options{Initial: s, Tol: 1e-11})
+		eq, err := gg.SolveNashWS(ws, Options{Initial: s, Tol: 1e-11})
 		if err != nil && !eq.Converged {
 			return nil, err
 		}
-		return eq.S, nil
+		// eq borrows the workspace; the caller differences the profiles
+		// after all four solves, so escape a copy.
+		return append([]float64(nil), eq.S...), nil
 	}
 	qp, err := solveAt(g.P, g.Q+h)
 	if err != nil {

@@ -85,6 +85,7 @@ func Trace(mk func(param float64) (*Game, error), grid []float64) (Path, error) 
 		return Path{}, fmt.Errorf("game: empty trace grid")
 	}
 	var path Path
+	ws := NewWorkspace() // one workspace threads the whole path
 	var warm []float64
 	var prevRegimes []Regime
 	for _, p := range grid {
@@ -92,13 +93,14 @@ func Trace(mk func(param float64) (*Game, error), grid []float64) (Path, error) 
 		if err != nil {
 			return Path{}, err
 		}
-		eq, err := g.SolveNash(Options{Initial: warm})
+		eq, err := g.SolveNashWS(ws, Options{Initial: warm})
 		if err != nil {
 			return Path{}, fmt.Errorf("game: trace at %g: %w", p, err)
 		}
-		warm = eq.S
-		regs := g.regimesOf(eq.S)
-		path.Points = append(path.Points, PathPoint{Param: p, Eq: eq, Regimes: regs})
+		owned := eq.Clone() // the PathPoint retains it past the next solve
+		warm = owned.S
+		regs := g.regimesOf(owned.S)
+		path.Points = append(path.Points, PathPoint{Param: p, Eq: owned, Regimes: regs})
 		if prevRegimes != nil {
 			for i := range regs {
 				if regs[i] != prevRegimes[i] {

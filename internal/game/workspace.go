@@ -1,6 +1,7 @@
 package game
 
 import (
+	"fmt"
 	"math"
 
 	"neutralnet/internal/model"
@@ -44,8 +45,7 @@ type Workspace struct {
 
 	// fp caches the solver instance for the last-used method, so repeated
 	// solves do not re-instantiate (or re-allocate) the scheme's scratch.
-	fp     solver.FixedPoint
-	fpName string
+	fp solver.Cached
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized on first bind.
@@ -94,19 +94,7 @@ func (ws *Workspace) bind(g *Game) {
 // solverFor returns the cached fixed-point solver for method m,
 // instantiating (and caching) it on first use or method change.
 func (ws *Workspace) solverFor(m Method) (solver.FixedPoint, error) {
-	name := string(m)
-	if name == "" {
-		name = solver.DefaultName
-	}
-	if ws.fp != nil && ws.fpName == name {
-		return ws.fp, nil
-	}
-	fp, err := solver.New(name)
-	if err != nil {
-		return nil, err
-	}
-	ws.fp, ws.fpName = fp, name
-	return fp, nil
+	return ws.fp.Get(string(m))
 }
 
 // stateWS solves the physical state induced by the workspace's current
@@ -192,18 +180,33 @@ func (g *Game) bestResponseSearchWS(ws *Workspace, i int) (float64, error) {
 	return x, nil
 }
 
-// CopyProfile copies the profile s into the caller-owned buffer at *buf,
-// growing it if needed, and returns the resliced buffer. It is the
-// canonical escape for a workspace-borrowed subsidy profile that a worker
-// retains as a warm start across solves (sweep chains, montecarlo ladders):
-// the returned slice aliases *buf, never s.
-func CopyProfile(buf *[]float64, s []float64) []float64 {
-	if cap(*buf) < len(s) {
-		*buf = make([]float64, len(s))
+// SetUtilSolver selects the utilization root kernel of the workspace's
+// physical layer (see model.UtilSolverNames). The empty name restores the
+// bit-identical cold Brent default; unknown names error. SolveNashWS applies
+// Options.UtilSolver through this on every solve.
+func (ws *Workspace) SetUtilSolver(name string) error { return ws.phys.SetUtilSolver(name) }
+
+// StateWS solves the physical state induced by the subsidy profile s on the
+// caller-owned workspace: the allocation-free counterpart of Game.State,
+// bit-identical to it under the default utilization kernel. The returned
+// state borrows the workspace's buffers and must be escaped with Clone to be
+// retained; s is copied, never retained.
+func (g *Game) StateWS(ws *Workspace, s []float64) (model.State, error) {
+	if len(s) != g.N() {
+		return model.State{}, fmt.Errorf("game: %d subsidies for %d CPs", len(s), g.N())
 	}
-	*buf = (*buf)[:len(s)]
-	copy(*buf, s)
-	return *buf
+	ws.bind(g)
+	copy(ws.s, s)
+	return g.stateWS(ws)
+}
+
+// CopyProfile is the canonical escape for a workspace-borrowed subsidy
+// profile that a worker retains as a warm start across solves (sweep
+// chains, montecarlo ladders, epoch trajectories). It delegates to
+// numeric.CopyProfile, the single definition shared with packages that do
+// not import game.
+func CopyProfile(buf *[]float64, s []float64) []float64 {
+	return numeric.CopyProfile(buf, s)
 }
 
 // --- solver.Problem ---------------------------------------------------------

@@ -34,16 +34,25 @@ func Solve(sys *model.System, p, q float64, warm []float64) (Outcome, error) {
 // SolveWith is Solve under a caller-supplied solver configuration (the
 // solver's Initial field is overridden by warm).
 func SolveWith(sys *model.System, p, q float64, warm []float64, solver game.Options) (Outcome, error) {
+	return solveOn(game.NewWorkspace(), sys, p, q, warm, solver)
+}
+
+// solveOn is SolveWith on a caller-owned workspace: repeated-solve loops
+// (the golden-section refinement, the Theorem 8 ladder) thread one
+// workspace through their evaluations. The returned Outcome owns its
+// equilibrium.
+func solveOn(ws *game.Workspace, sys *model.System, p, q float64, warm []float64, solver game.Options) (Outcome, error) {
 	g, err := game.New(sys, p, q)
 	if err != nil {
 		return Outcome{}, err
 	}
 	solver.Initial = warm
-	eq, err := g.SolveNash(solver)
+	eq, err := g.SolveNashWS(ws, solver)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("isp: equilibrium at p=%g q=%g: %w", p, q, err)
 	}
-	return Outcome{P: p, Eq: eq, Revenue: g.Revenue(eq.State), Welfare: g.Welfare(eq.State)}, nil
+	owned := eq.Clone() // the Outcome retains it past the workspace
+	return Outcome{P: p, Eq: owned, Revenue: g.Revenue(owned.State), Welfare: g.Welfare(owned.State)}, nil
 }
 
 // Revenue returns R(p) under the CPs' equilibrium response at policy cap q.
@@ -142,8 +151,9 @@ func OptimalPriceWith(sys *model.System, q, pLo, pHi float64, gridPts, workers i
 	h := (pHi - pLo) / float64(gridPts-1)
 	lo := math.Max(pLo, bestP-h)
 	hi := math.Min(pHi, bestP+h)
+	ws := game.NewWorkspace() // threads the whole refinement
 	f := func(p float64) float64 {
-		out, err := SolveWith(sys, p, q, warm, solver)
+		out, err := solveOn(ws, sys, p, q, warm, solver)
 		if err != nil {
 			return math.Inf(1)
 		}
@@ -153,7 +163,7 @@ func OptimalPriceWith(sys *model.System, q, pLo, pHi float64, gridPts, workers i
 	if -negR < bestR {
 		pStar = bestP
 	}
-	out, err := SolveWith(sys, pStar, q, warm, solver)
+	out, err := solveOn(ws, sys, pStar, q, warm, solver)
 	if err != nil {
 		return 0, Outcome{}, err
 	}

@@ -97,10 +97,11 @@ func PolicyEffectAt(sys *model.System, pr PriceResponse, q, h float64) (PolicyEf
 	if err != nil {
 		return PolicyEffect{}, err
 	}
-	eq, err := g.SolveNash(game.Options{Tol: 1e-11})
+	eqWS, err := g.SolveNashWS(game.NewWorkspace(), game.Options{Tol: 1e-11})
 	if err != nil {
 		return PolicyEffect{}, fmt.Errorf("isp: Theorem 8 equilibrium at q=%g: %w", q, err)
 	}
+	eq := eqWS.Clone() // the PolicyEffect retains it
 	sens, err := g.SensitivityAt(eq.S)
 	if err != nil {
 		return PolicyEffect{}, err

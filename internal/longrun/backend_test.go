@@ -1,0 +1,156 @@
+package longrun
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+)
+
+// legacySimulate is the pre-migration epoch loop, frozen for equivalence
+// testing: every profit evaluation builds a fresh system copy and game and
+// solves cold through the allocating SolveNash adapter (warm-started on the
+// subsidy profile only).
+func legacySimulate(sys *model.System, mu0 float64, cfg Config) (Trajectory, error) {
+	if err := sys.Validate(); err != nil {
+		return Trajectory{}, err
+	}
+	cfg = cfg.withDefaults()
+	var warm []float64
+	profitAt := func(mu float64) (float64, game.Equilibrium, error) {
+		cp := *sys
+		cp.Mu = mu
+		g, err := game.New(&cp, cfg.P, cfg.Q)
+		if err != nil {
+			return 0, game.Equilibrium{}, err
+		}
+		eq, err := g.SolveNash(game.Options{Method: cfg.Solver, Initial: warm})
+		if err != nil {
+			return 0, game.Equilibrium{}, err
+		}
+		warm = eq.S
+		return g.Revenue(eq.State) - cfg.Cost*mu, eq, nil
+	}
+	mu := mu0
+	var tr Trajectory
+	for t := 0; t < cfg.Epochs; t++ {
+		profit, eq, err := profitAt(mu)
+		if err != nil {
+			return tr, err
+		}
+		tr.Epochs = append(tr.Epochs, Epoch{Mu: mu, Phi: eq.State.Phi, Revenue: profit + cfg.Cost*mu, Profit: profit})
+		tr.FinalState = eq.State
+		h := cfg.FDStep * math.Max(1, mu)
+		pp, _, err := profitAt(mu + h)
+		if err != nil {
+			return tr, err
+		}
+		pm, _, err := profitAt(math.Max(cfg.MuMin, mu-h))
+		if err != nil {
+			return tr, err
+		}
+		grad := (pp - pm) / (mu + h - math.Max(cfg.MuMin, mu-h))
+		next := mu + cfg.Eta*grad
+		next = math.Min(cfg.MuMax, math.Max(cfg.MuMin, next))
+		if math.Abs(next-mu) < cfg.StopTol {
+			tr.Steady = true
+			tr.SteadyMu = next
+			return tr, nil
+		}
+		mu = next
+	}
+	tr.SteadyMu = mu
+	return tr, nil
+}
+
+func trajectoriesMatch(t *testing.T, label string, a, b Trajectory, tol float64) {
+	t.Helper()
+	if len(a.Epochs) != len(b.Epochs) {
+		t.Fatalf("%s: epoch counts differ: %d vs %d", label, len(a.Epochs), len(b.Epochs))
+	}
+	for i := range a.Epochs {
+		if d := math.Abs(a.Epochs[i].Mu - b.Epochs[i].Mu); d > tol {
+			t.Fatalf("%s: epoch %d µ differs by %g", label, i, d)
+		}
+		if d := math.Abs(a.Epochs[i].Phi - b.Epochs[i].Phi); d > tol {
+			t.Fatalf("%s: epoch %d φ differs by %g", label, i, d)
+		}
+		if d := math.Abs(a.Epochs[i].Profit - b.Epochs[i].Profit); d > tol {
+			t.Fatalf("%s: epoch %d profit differs by %g", label, i, d)
+		}
+	}
+	if a.Steady != b.Steady || math.Abs(a.SteadyMu-b.SteadyMu) > tol {
+		t.Fatalf("%s: steady state differs: (%v, %v) vs (%v, %v)", label, a.Steady, a.SteadyMu, b.Steady, b.SteadyMu)
+	}
+}
+
+// TestSimulateMatchesLegacyAllSolvers pins the workspace-threaded epoch loop
+// to the frozen legacy adapter path to ≤ 1e-12 across a seeded grid of
+// (p, q, µ₀) configurations and every registered Nash scheme.
+func TestSimulateMatchesLegacyAllSolvers(t *testing.T) {
+	sys := market()
+	for _, method := range []game.Method{game.GaussSeidel, game.JacobiDamped, game.Anderson} {
+		for _, tc := range []struct {
+			name string
+			p, q float64
+			mu0  float64
+		}{
+			{"base", 1, 1, 0.3},
+			{"no-subsidy", 1, 0, 0.5},
+			{"high-price", 1.5, 0.5, 0.4},
+		} {
+			cfg := Config{P: tc.p, Q: tc.q, Cost: 0.1, Epochs: 25, Solver: method}
+			want, err := legacySimulate(sys, tc.mu0, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: legacy: %v", method, tc.name, err)
+			}
+			got, err := Simulate(sys, tc.mu0, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: workspace: %v", method, tc.name, err)
+			}
+			trajectoriesMatch(t, string(method)+"/"+tc.name, got, want, 1e-12)
+		}
+	}
+}
+
+// TestSimulateWarmUtilizationAgrees checks the φ warm-start options: the
+// warm-seeded Brent and safeguarded-Newton trajectories track the cold-Brent
+// trajectory to solver tolerance (they are deliberately not bit-identical).
+func TestSimulateWarmUtilizationAgrees(t *testing.T) {
+	sys := market()
+	cfg := Config{P: 1, Q: 1, Cost: 0.1, Epochs: 40}
+	cold, err := Simulate(sys, 0.3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, util := range []string{model.UtilBrentWarm, model.UtilNewton} {
+		cfgW := cfg
+		cfgW.UtilSolver = util
+		warm, err := Simulate(sys, 0.3, cfgW)
+		if err != nil {
+			t.Fatalf("%s: %v", util, err)
+		}
+		trajectoriesMatch(t, util, warm, cold, 1e-6)
+	}
+}
+
+// TestSimulateFinalStateOwned guards the workspace escape: the trajectory's
+// FinalState must not alias workspace buffers that later solves overwrite.
+func TestSimulateFinalStateOwned(t *testing.T) {
+	sys := market()
+	tr1, err := Simulate(sys, 0.3, Config{P: 1, Q: 1, Cost: 0.1, Epochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float64(nil), tr1.FinalState.Theta...)
+	// A second, different simulation must not disturb the first result.
+	if _, err := Simulate(sys, 0.8, Config{P: 0.5, Q: 0, Cost: 0.2, Epochs: 10}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range snapshot {
+		if tr1.FinalState.Theta[i] != snapshot[i] {
+			t.Fatal("FinalState aliases reused buffers")
+		}
+	}
+}

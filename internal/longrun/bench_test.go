@@ -1,0 +1,35 @@
+package longrun
+
+import (
+	"testing"
+
+	"neutralnet/internal/model"
+)
+
+// BenchmarkLongrunSimulate measures the multi-epoch investment trajectory on
+// the two-CP market (each epoch is three equilibrium solves: profit plus two
+// finite-difference evaluations). Tracked in BENCH_solver.json across the
+// workspace/warm-start migration; the warm-φ variants additionally seed
+// every inner utilization root find from the previous solve.
+func BenchmarkLongrunSimulate(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		util string
+	}{
+		{"cold-brent", ""},
+		{"warm-brent", model.UtilBrentWarm},
+		{"newton", model.UtilNewton},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			sys := market()
+			cfg := Config{P: 1, Q: 1, Cost: 0.1, Epochs: 60, UtilSolver: bc.util}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(sys, 0.3, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,14 @@
 // equilibrium profit and adjusts capacity along the marginal-profit
 // gradient — and reports the capacity trajectory and its steady state, with
 // and without subsidization.
+//
+// The whole trajectory threads ONE game workspace: every epoch's equilibrium
+// (and both finite-difference evaluations) solves allocation-free on it,
+// warm-started from the previous equilibrium's subsidy profile, and —
+// under Config.UtilSolver — with the inner utilization root finds seeded
+// from the previous solve's φ. Config.Solver selects the Nash fixed-point
+// scheme from the solver registry, so WithSolver("anderson") reaches the
+// epoch solves end-to-end through Engine.SimulateInvestment.
 package longrun
 
 import (
@@ -28,6 +36,22 @@ type Config struct {
 	MuMax   float64 // upper capacity bound (0 → 50)
 	StopTol float64 // |Δµ| tolerance declaring steady state (0 → 1e-6)
 	FDStep  float64 // finite-difference step for dProfit/dµ (0 → 1e-4)
+
+	// Solver names the Nash fixed-point scheme of every epoch's equilibrium
+	// solve (a solver-registry name; empty → Gauss–Seidel, bit-identical to
+	// the historical trajectory).
+	Solver game.Method
+	// UtilSolver selects the inner utilization root kernel (a model
+	// workspace solver name; empty → cold Brent, bit-identical). Epoch
+	// trajectories move φ slowly, so model.UtilBrentWarm or
+	// model.UtilNewton turn each inner root find into a few evaluations
+	// around the previous φ.
+	UtilSolver string
+	// Tol and MaxIter configure every epoch's Nash solve (0 → the game
+	// package defaults), so an Engine's WithTolerance/WithMaxIterations
+	// reach the trajectory like its WithSolver does.
+	Tol     float64
+	MaxIter int
 }
 
 func (c Config) withDefaults() Config {
@@ -79,19 +103,23 @@ func Simulate(sys *model.System, mu0 float64, cfg Config) (Trajectory, error) {
 	}
 	cfg = cfg.withDefaults()
 
-	var warm []float64
+	// One mutable system copy, one game bound to it, one workspace: the
+	// per-epoch solves mutate sysCopy.Mu in place and reuse every buffer.
+	sysCopy := *sys
+	g, err := game.New(&sysCopy, cfg.P, cfg.Q)
+	if err != nil {
+		return Trajectory{}, err
+	}
+	ws := game.NewWorkspace()
+	opts := game.Options{Method: cfg.Solver, UtilSolver: cfg.UtilSolver, Tol: cfg.Tol, MaxIter: cfg.MaxIter}
+	var warmBuf []float64
 	profitAt := func(mu float64) (float64, game.Equilibrium, error) {
-		cp := *sys
-		cp.Mu = mu
-		g, err := game.New(&cp, cfg.P, cfg.Q)
+		sysCopy.Mu = mu
+		eq, err := g.SolveNashWS(ws, opts)
 		if err != nil {
 			return 0, game.Equilibrium{}, err
 		}
-		eq, err := g.SolveNash(game.Options{Initial: warm})
-		if err != nil {
-			return 0, game.Equilibrium{}, err
-		}
-		warm = eq.S
+		opts.Initial = game.CopyProfile(&warmBuf, eq.S)
 		return g.Revenue(eq.State) - cfg.Cost*mu, eq, nil
 	}
 
@@ -106,7 +134,10 @@ func Simulate(sys *model.System, mu0 float64, cfg Config) (Trajectory, error) {
 			Mu: mu, Phi: eq.State.Phi,
 			Revenue: profit + cfg.Cost*mu, Profit: profit,
 		})
-		tr.FinalState = eq.State
+		// eq borrows the workspace; CloneInto reuses FinalState's own
+		// slices so the every-epoch escape does not allocate in steady
+		// state.
+		eq.State.CloneInto(&tr.FinalState)
 
 		// Marginal profit by central differences (re-solving equilibria).
 		h := cfg.FDStep * math.Max(1, mu)

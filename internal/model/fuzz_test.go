@@ -1,0 +1,91 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+)
+
+// FuzzUtilizationSolve is the property harness for the utilization solver
+// options: on randomized two-CP markets it asserts that the warm-seeded
+// Brent and safeguarded-Newton kernels find the same root as the cold
+// bracketing Brent, that the root is a root (gap residual ~0), and that φ
+// stays in [0, 1] whenever total offered demand fits the capacity (for the
+// paper's linear utilization Θ = µφ, the fixed point obeys µφ = Σ m λ(φ) ≤
+// Σ m, so Σm ≤ µ ⇒ φ ≤ 1). Each kernel is additionally warm-started from a
+// perturbed neighbor solve, the adversarial case for a stale seed.
+func FuzzUtilizationSolve(f *testing.F) {
+	f.Add(5.0, 2.0, 2.0, 5.0, 1.0, 1.0, 0.5)
+	f.Add(2.0, 2.0, 5.0, 5.0, 0.5, 0.1, 1.5)
+	f.Add(1.0, 8.0, 8.0, 1.0, 3.0, 2.0, 0.0)
+	f.Add(4.0, 3.0, 3.0, 4.0, 0.2, 0.9, 0.9)
+	f.Fuzz(func(t *testing.T, a1, b1, a2, b2, mu, t1, t2 float64) {
+		// Clamp the raw fuzz inputs into the paper's parameter ranges:
+		// demand/throughput exponents in [0.5, 10], capacity in [0.1, 5],
+		// effective prices in [0, 3].
+		clamp := func(x, lo, hi float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return lo
+			}
+			return math.Min(hi, math.Max(lo, math.Abs(x)))
+		}
+		a1, b1 = clamp(a1, 0.5, 10), clamp(b1, 0.5, 10)
+		a2, b2 = clamp(a2, 0.5, 10), clamp(b2, 0.5, 10)
+		mu = clamp(mu, 0.1, 5)
+		t1, t2 = clamp(t1, 0, 3), clamp(t2, 0, 3)
+
+		sys := &System{
+			CPs: []CP{
+				{Demand: econ.NewExpDemand(a1), Throughput: econ.NewExpThroughput(b1), Value: 1},
+				{Demand: econ.NewExpDemand(a2), Throughput: econ.NewExpThroughput(b2), Value: 1},
+			},
+			Mu:   mu,
+			Util: econ.LinearUtilization{},
+		}
+		m := []float64{sys.CPs[0].Demand.M(t1), sys.CPs[1].Demand.M(t2)}
+
+		cold, err := sys.SolveUtilization(m)
+		if err != nil {
+			t.Fatalf("cold solve failed: %v", err)
+		}
+		if cold < 0 || math.IsNaN(cold) || math.IsInf(cold, 0) {
+			t.Fatalf("cold φ out of range: %v", cold)
+		}
+		if m[0]+m[1] <= mu && cold > 1+1e-12 {
+			t.Fatalf("φ = %v > 1 although demand %v fits capacity %v", cold, m[0]+m[1], mu)
+		}
+		if g := math.Abs(sys.Gap(cold, m)); cold > 0 && g > 1e-9 {
+			t.Fatalf("cold root residual %g", g)
+		}
+
+		// Neighbor populations seed the warm kernels with a realistic —
+		// deliberately wrong — previous φ.
+		mNear := []float64{m[0] * 1.07, m[1] * 0.93}
+		for _, kernel := range []string{UtilBrentWarm, UtilNewton} {
+			w := NewWorkspace()
+			if err := w.SetUtilSolver(kernel); err != nil {
+				t.Fatal(err)
+			}
+			w.Bind(sys)
+			copy(w.M(), mNear)
+			if _, err := sys.SolveInto(w); err != nil {
+				t.Fatalf("%s: neighbor solve failed: %v", kernel, err)
+			}
+			copy(w.M(), m)
+			st, err := sys.SolveInto(w)
+			if err != nil {
+				t.Fatalf("%s: warm solve failed: %v", kernel, err)
+			}
+			if d := math.Abs(st.Phi - cold); d > 1e-9 {
+				t.Fatalf("%s: φ %v differs from cold %v by %g", kernel, st.Phi, cold, d)
+			}
+			if st.Phi < 0 {
+				t.Fatalf("%s: negative φ %v", kernel, st.Phi)
+			}
+			if m[0]+m[1] <= mu && st.Phi > 1+1e-12 {
+				t.Fatalf("%s: φ = %v escaped [0,1]", kernel, st.Phi)
+			}
+		}
+	})
+}

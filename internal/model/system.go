@@ -165,3 +165,19 @@ func (st State) Clone() State {
 	c.Theta = append([]float64(nil), st.Theta...)
 	return c
 }
+
+// CloneInto is Clone into a caller-owned destination, reusing dst's slices
+// when they are large enough: the allocation-free escape for loops that
+// re-copy a workspace-borrowed state every iteration (epoch trajectories,
+// retained last-state trackers).
+func (st State) CloneInto(dst *State) {
+	dst.Phi = st.Phi
+	if cap(dst.M) < len(st.M) {
+		dst.M = make([]float64, len(st.M))
+		dst.Theta = make([]float64, len(st.Theta))
+	}
+	dst.M = dst.M[:len(st.M)]
+	dst.Theta = dst.Theta[:len(st.Theta)]
+	copy(dst.M, st.M)
+	copy(dst.Theta, st.Theta)
+}

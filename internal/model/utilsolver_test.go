@@ -1,0 +1,94 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+)
+
+func utilSystem(mu float64) *System {
+	mk := func(a, b float64) CP {
+		return CP{Demand: econ.NewExpDemand(a), Throughput: econ.NewExpThroughput(b), Value: 1}
+	}
+	return &System{CPs: []CP{mk(5, 2), mk(2, 5), mk(3, 3)}, Mu: mu, Util: econ.LinearUtilization{}}
+}
+
+func TestSetUtilSolver(t *testing.T) {
+	w := NewWorkspace()
+	for _, name := range append(UtilSolverNames(), "") {
+		if err := w.SetUtilSolver(name); err != nil {
+			t.Fatalf("%q rejected: %v", name, err)
+		}
+	}
+	if err := w.SetUtilSolver(UtilNewton); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetUtilSolver("no-such-kernel"); err == nil {
+		t.Fatal("unknown kernel must be rejected")
+	}
+	if w.UtilSolver() != UtilNewton {
+		t.Fatalf("failed SetUtilSolver must not change the kernel: %v", w.UtilSolver())
+	}
+	if NewWorkspace().UtilSolver() != UtilBrent {
+		t.Fatal("default kernel must be the cold Brent")
+	}
+}
+
+// TestWarmKernelsAgreeWithCold drives a price ladder through one workspace
+// per kernel and checks the warm kernels' φ agrees with the cold Brent's to
+// well under solver tolerance at every rung — including the first solve,
+// where no seed exists yet.
+func TestWarmKernelsAgreeWithCold(t *testing.T) {
+	sys := utilSystem(1)
+	for _, kernel := range []string{UtilBrentWarm, UtilNewton} {
+		cold := NewWorkspace()
+		warm := NewWorkspace()
+		cold.Bind(sys)
+		warm.Bind(sys)
+		if err := warm.SetUtilSolver(kernel); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []float64{2, 1.5, 1.2, 1.0, 0.8, 0.5, 0.3, 0.1} {
+			t1 := sys.UniformPrices(p)
+			sys.PopulationsInto(cold.M(), t1)
+			stCold, err := sys.SolveInto(cold)
+			if err != nil {
+				t.Fatalf("%s p=%g: cold: %v", kernel, p, err)
+			}
+			sys.PopulationsInto(warm.M(), t1)
+			stWarm, err := sys.SolveInto(warm)
+			if err != nil {
+				t.Fatalf("%s p=%g: warm: %v", kernel, p, err)
+			}
+			if d := math.Abs(stWarm.Phi - stCold.Phi); d > 1e-10 {
+				t.Fatalf("%s p=%g: φ differs by %g (warm %v vs cold %v)", kernel, p, d, stWarm.Phi, stCold.Phi)
+			}
+		}
+	}
+}
+
+// TestWarmKernelZeroDemand checks the degenerate no-demand path stays exact
+// under every kernel and does not poison the seed.
+func TestWarmKernelZeroDemand(t *testing.T) {
+	sys := utilSystem(1)
+	for _, kernel := range UtilSolverNames() {
+		w := NewWorkspace()
+		if err := w.SetUtilSolver(kernel); err != nil {
+			t.Fatal(err)
+		}
+		w.Bind(sys)
+		for i := range w.M() {
+			w.M()[i] = 0
+		}
+		st, err := sys.SolveInto(w)
+		if err != nil || st.Phi != 0 {
+			t.Fatalf("%s: zero demand: φ=%v err=%v", kernel, st.Phi, err)
+		}
+		// A real solve afterwards must still work (prevPhi was never set).
+		sys.PopulationsInto(w.M(), sys.UniformPrices(1))
+		if _, err := sys.SolveInto(w); err != nil {
+			t.Fatalf("%s: solve after zero demand: %v", kernel, err)
+		}
+	}
+}

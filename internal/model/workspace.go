@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 
 	"neutralnet/internal/numeric"
 )
@@ -13,6 +14,27 @@ import (
 // performs zero heap allocations after warm-up. The allocating System
 // methods (Solve, SolveUtilization, PopulationsAt, ThroughputAt) remain as
 // thin adapters over these kernels.
+
+// Utilization root-solver names accepted by Workspace.SetUtilSolver and, one
+// layer up, by the engine's WithUtilizationSolver option.
+const (
+	// UtilBrent is the cold path: bracket [0, hi] from scratch and run
+	// Brent. The default, bit-identical to the historical SolveUtilization.
+	UtilBrent = "brent"
+	// UtilBrentWarm seeds the bracket from the previous solve's φ and grows
+	// it outward until the sign changes — a few gap evaluations instead of a
+	// full cold bracket when consecutive solves are nearby (Nash inner
+	// loops, sweep chains, epoch trajectories). NOT bit-identical to the
+	// cold path (same root to 1e-12, different evaluation sequence).
+	UtilBrentWarm = "warm-brent"
+	// UtilNewton runs safeguarded Newton on the analytic GapDerivative from
+	// the previous φ, with bracket bisection as the safeguard. NOT
+	// bit-identical to the cold path.
+	UtilNewton = "newton"
+)
+
+// UtilSolverNames lists the accepted utilization solver names.
+func UtilSolverNames() []string { return []string{UtilBrent, UtilBrentWarm, UtilNewton} }
 
 // Workspace holds the reusable buffers of one solving goroutine. It is NOT
 // safe for concurrent use: each worker owns exactly one Workspace. States
@@ -30,14 +52,54 @@ type Workspace struct {
 	// keeps the root-find allocation-free: the closure is allocated exactly
 	// once per Workspace.
 	gapFn func(float64) float64
+	// dgapFn is the analytic derivative dg/dφ, likewise pre-bound; it backs
+	// the UtilNewton solver.
+	dgapFn func(float64) float64
+
+	// utilSolver selects the root kernel of solveUtilizationWS; empty means
+	// UtilBrent. prevPhi is the last solved utilization, the warm-start seed
+	// of the UtilBrentWarm/UtilNewton kernels (NaN until the first solve).
+	utilSolver string
+	prevPhi    float64
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized on first use.
 func NewWorkspace() *Workspace {
-	w := &Workspace{}
+	w := &Workspace{prevPhi: math.NaN()}
 	w.gapFn = func(phi float64) float64 { return w.sys.Gap(phi, w.m) }
+	w.dgapFn = func(phi float64) float64 { return w.sys.GapDerivative(phi, w.m) }
 	return w
 }
+
+// SetUtilSolver selects the utilization root kernel used by SolveInto. The
+// empty name restores the default cold Brent (bit-identical to the one-shot
+// SolveUtilization); UtilBrentWarm and UtilNewton warm-start from the
+// previous solve's φ and are not bit-identical. Unknown names error.
+func (w *Workspace) SetUtilSolver(name string) error {
+	switch name {
+	case "", UtilBrent, UtilBrentWarm, UtilNewton:
+		w.utilSolver = name
+		return nil
+	}
+	return fmt.Errorf("model: unknown utilization solver %q (have %v)", name, UtilSolverNames())
+}
+
+// UtilSolver reports the workspace's current utilization root kernel.
+func (w *Workspace) UtilSolver() string {
+	if w.utilSolver == "" {
+		return UtilBrent
+	}
+	return w.utilSolver
+}
+
+// ResetUtilSeed forgets the previous solve's φ. Callers that reuse one
+// workspace across logically independent solves (sweep workers, engine
+// pools) reset at each solve boundary so a warm kernel's result depends
+// only on the solve itself, never on which solve the workspace happened to
+// run before — that is what keeps warm-kernel sweeps deterministic and
+// bit-identical at any worker count. Within one solve the seed then chains
+// across the many inner root finds, which is where the warm win lives.
+func (w *Workspace) ResetUtilSeed() { w.prevPhi = math.NaN() }
 
 // Bind points the workspace at sys and sizes its buffers for sys.N() CPs.
 // Rebinding between systems of the same size is free; growing reallocates
@@ -89,8 +151,10 @@ func (s *System) SolveInto(w *Workspace) (State, error) {
 }
 
 // solveUtilizationWS is SolveUtilization over the workspace's population
-// buffer, using the pre-bound gap closure. Operation order matches
-// SolveUtilization exactly so results are bit-identical.
+// buffer, using the pre-bound gap closure. Under the default UtilBrent
+// kernel the operation order matches SolveUtilization exactly, so results
+// are bit-identical; the warm kernels find the same root to tolerance via a
+// different evaluation sequence.
 func (s *System) solveUtilizationWS(w *Workspace) (float64, error) {
 	if w.sys != s {
 		w.Bind(s)
@@ -110,9 +174,19 @@ func (s *System) solveUtilizationWS(w *Workspace) (float64, error) {
 	if g0 >= 0 {
 		return 0, nil
 	}
-	phi, err := numeric.SolveIncreasingWith(w.gapFn, 0, 1, g0)
+	var phi float64
+	var err error
+	switch w.utilSolver {
+	case UtilBrentWarm:
+		phi, err = numeric.SolveIncreasingSeeded(w.gapFn, 0, 1, g0, w.prevPhi)
+	case UtilNewton:
+		phi, err = numeric.NewtonIncreasing(w.gapFn, w.dgapFn, 0, w.prevPhi, g0, 0)
+	default: // "", UtilBrent
+		phi, err = numeric.SolveIncreasingWith(w.gapFn, 0, 1, g0)
+	}
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrNoSolution, err)
 	}
+	w.prevPhi = phi
 	return phi, nil
 }

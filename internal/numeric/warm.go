@@ -1,0 +1,156 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the warm-started root kernels behind the utilization
+// solver options: a seeded variant of SolveIncreasing that brackets around a
+// caller-supplied guess instead of the full [lo, ∞) expansion, and a
+// safeguarded Newton iteration that exploits an analytic derivative. Both
+// solve the same problem as SolveIncreasing — the unique root of a strictly
+// increasing f with f(lo) < 0 — and agree with it to root tolerance, but are
+// NOT bit-identical to it: they take different evaluation paths, which is why
+// the callers that adopt them re-baseline their golden outputs.
+
+// CopyProfile copies the profile s into the caller-owned buffer at *buf,
+// growing it if needed, and returns the resliced buffer. It is the canonical
+// escape for a workspace-borrowed vector that a solving loop retains as a
+// warm start across solves: the returned slice aliases *buf, never s.
+func CopyProfile(buf *[]float64, s []float64) []float64 {
+	if cap(*buf) < len(s) {
+		*buf = make([]float64, len(s))
+	}
+	*buf = (*buf)[:len(s)]
+	copy(*buf, s)
+	return *buf
+}
+
+// seedStep0 is the initial half-width of the bracket grown around a seed, as
+// a fraction of max(1, |seed|). Utilization seeds move O(grid step) between
+// consecutive solves, so a few percent catches the root in one or two
+// expansions while staying far below the cold bracket's width.
+const seedStep0 = 1.0 / 64
+
+// SolveIncreasingSeeded is SolveIncreasing with a warm-start guess: instead
+// of expanding a bracket upward from lo, it grows one outward from seed
+// (doubling the step until the sign changes) and runs Brent inside it. flo =
+// f(lo) must be negative, as in SolveIncreasingWith. Invalid seeds (NaN,
+// ±Inf, or ≤ lo) fall back to the cold path. The root agrees with
+// SolveIncreasing's to the default root tolerance but is not bit-identical.
+func SolveIncreasingSeeded(f func(float64) float64, lo, hi0, flo, seed float64) (float64, error) {
+	if flo == 0 {
+		return lo, nil
+	}
+	if flo > 0 {
+		return 0, fmt.Errorf("numeric: SolveIncreasingSeeded: f(%g)=%g > 0; no root above lo", lo, flo)
+	}
+	if math.IsNaN(seed) || math.IsInf(seed, 0) || seed <= lo {
+		return SolveIncreasingWith(f, lo, hi0, flo)
+	}
+	fs := f(seed)
+	if fs == 0 {
+		return seed, nil
+	}
+	step := seedStep0 * math.Max(1, math.Abs(seed))
+	if fs > 0 {
+		// Root is below the seed: walk down until f goes negative.
+		b, fb := seed, fs
+		for i := 0; i < 64; i++ {
+			a := seed - step
+			if a <= lo {
+				return BrentWith(f, lo, b, flo, fb, RootTol)
+			}
+			fa := f(a)
+			if fa == 0 {
+				return a, nil
+			}
+			if fa < 0 {
+				return BrentWith(f, a, b, fa, fb, RootTol)
+			}
+			b, fb = a, fa
+			step *= 2
+		}
+		return BrentWith(f, lo, b, flo, fb, RootTol)
+	}
+	// Root is above the seed: walk up until f goes positive.
+	a, fa := seed, fs
+	for i := 0; i < 64; i++ {
+		b := a + step
+		fb := f(b)
+		if fb == 0 {
+			return b, nil
+		}
+		if fb > 0 {
+			return BrentWith(f, a, b, fa, fb, RootTol)
+		}
+		a, fa = b, fb
+		step *= 2
+	}
+	return 0, fmt.Errorf("numeric: SolveIncreasingSeeded: no sign change above seed %g", seed)
+}
+
+// NewtonIncreasing finds the root of a strictly increasing f with f(lo) =
+// flo < 0, iterating Newton steps x ← x − f(x)/df(x) from the guess x0 and
+// safeguarding every step against the tightest known bracket: iterates that
+// would leave it bisect instead, and a non-positive derivative (numerically
+// possible near saturation) also forces a bisection/expansion step. When the
+// iteration budget runs out with a bracket in hand it finishes with Brent,
+// so the kernel is as robust as the cold path while typically needing a
+// handful of (f, df) evaluations from a good seed. tol ≤ 0 selects RootTol.
+func NewtonIncreasing(f, df func(float64) float64, lo, x0, flo, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = RootTol
+	}
+	if flo == 0 {
+		return lo, nil
+	}
+	if flo > 0 {
+		return 0, fmt.Errorf("numeric: NewtonIncreasing: f(%g)=%g > 0; no root above lo", lo, flo)
+	}
+	a, fa := lo, flo            // lower bracket: f(a) < 0, always known
+	b, fb := math.NaN(), 0.0    // upper bracket: f(b) > 0, discovered en route
+	up := math.Max(1, lo) * 0.5 // expansion step while no upper bracket exists
+	x := x0
+	if math.IsNaN(x) || math.IsInf(x, 0) || x <= lo {
+		x = lo + up
+	}
+	for i := 0; i < MaxIter; i++ {
+		fx := f(x)
+		if fx == 0 {
+			return x, nil
+		}
+		if fx < 0 {
+			if x > a {
+				a, fa = x, fx
+			}
+		} else if math.IsNaN(b) || x < b {
+			b, fb = x, fx
+		}
+		d := df(x)
+		xn := math.NaN()
+		if d > 0 {
+			xn = x - fx/d
+		}
+		// Safeguard: keep the iterate strictly inside the known bracket;
+		// with no upper bracket yet, cap runaway steps by geometric
+		// expansion instead.
+		if math.IsNaN(b) {
+			if math.IsNaN(xn) || xn <= a || xn > x+up {
+				xn = x + up
+				up *= 2
+			}
+		} else if math.IsNaN(xn) || xn <= a || xn >= b {
+			xn = a + (b-a)/2
+		}
+		if math.Abs(xn-x) < tol {
+			return xn, nil
+		}
+		x = xn
+	}
+	if !math.IsNaN(b) {
+		return BrentWith(f, a, b, fa, fb, tol)
+	}
+	return 0, ErrMaxIter
+}

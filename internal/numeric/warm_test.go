@@ -1,0 +1,107 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// warmCases is a small family of strictly increasing functions with f(0) < 0
+// and known roots, shaped like the utilization gap (negative at 0, concave or
+// convex approach to the root).
+var warmCases = []struct {
+	name string
+	f    func(float64) float64
+	df   func(float64) float64
+	root float64
+}{
+	{
+		name: "linear-minus-exp",
+		f:    func(x float64) float64 { return 2*x - math.Exp(-3*x) },
+		df:   func(x float64) float64 { return 2 + 3*math.Exp(-3*x) },
+		root: 0.241953785922075, // 2x = e^{-3x}
+	},
+	{
+		name: "cubic",
+		f:    func(x float64) float64 { return x*x*x + x - 1 },
+		df:   func(x float64) float64 { return 3*x*x + 1 },
+		root: 0.682327803828019,
+	},
+	{
+		name: "steep",
+		f:    func(x float64) float64 { return math.Expm1(5 * (x - 0.2)) },
+		df:   func(x float64) float64 { return 5 * math.Exp(5*(x-0.2)) },
+		root: 0.2,
+	},
+}
+
+func TestSolveIncreasingSeededMatchesCold(t *testing.T) {
+	for _, tc := range warmCases {
+		cold, err := SolveIncreasing(tc.f, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: cold: %v", tc.name, err)
+		}
+		for _, seed := range []float64{1e-6, 0.05, tc.root - 0.01, tc.root, tc.root + 0.01, 0.9, 5, math.NaN(), math.Inf(1), -1} {
+			got, err := SolveIncreasingSeeded(tc.f, 0, 1, tc.f(0), seed)
+			if err != nil {
+				t.Fatalf("%s seed=%v: %v", tc.name, seed, err)
+			}
+			if math.Abs(got-cold) > 1e-10 {
+				t.Fatalf("%s seed=%v: seeded root %v vs cold %v", tc.name, seed, got, cold)
+			}
+			if math.Abs(got-tc.root) > 1e-9 {
+				t.Fatalf("%s seed=%v: root %v, want %v", tc.name, seed, got, tc.root)
+			}
+		}
+	}
+}
+
+func TestNewtonIncreasingMatchesCold(t *testing.T) {
+	for _, tc := range warmCases {
+		cold, err := SolveIncreasing(tc.f, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: cold: %v", tc.name, err)
+		}
+		for _, seed := range []float64{1e-6, 0.05, tc.root, 0.9, 7, math.NaN(), -3} {
+			got, err := NewtonIncreasing(tc.f, tc.df, 0, seed, tc.f(0), 0)
+			if err != nil {
+				t.Fatalf("%s seed=%v: %v", tc.name, seed, err)
+			}
+			if math.Abs(got-cold) > 1e-9 {
+				t.Fatalf("%s seed=%v: newton root %v vs cold %v", tc.name, seed, got, cold)
+			}
+		}
+	}
+}
+
+func TestSeededRootEdgeCases(t *testing.T) {
+	f := func(x float64) float64 { return x - 0.5 }
+	// flo = 0 returns lo immediately.
+	if r, err := SolveIncreasingSeeded(f, 0.5, 1, 0, 0.7); err != nil || r != 0.5 {
+		t.Fatalf("flo=0: got %v, %v", r, err)
+	}
+	// flo > 0 is a contract violation.
+	if _, err := SolveIncreasingSeeded(f, 0.8, 1, f(0.8), 0.9); err == nil {
+		t.Fatal("flo > 0 must error")
+	}
+	if _, err := NewtonIncreasing(f, func(float64) float64 { return 1 }, 0.8, 0.9, f(0.8), 0); err == nil {
+		t.Fatal("newton: flo > 0 must error")
+	}
+	// Seed exactly on the root short-circuits.
+	if r, err := SolveIncreasingSeeded(f, 0, 1, f(0), 0.5); err != nil || r != 0.5 {
+		t.Fatalf("seed-on-root: got %v, %v", r, err)
+	}
+}
+
+func TestNewtonIncreasingBadDerivative(t *testing.T) {
+	// A derivative callback that lies (returns 0) must not break the
+	// safeguarded iteration — it degrades to bisection/expansion.
+	f := func(x float64) float64 { return x*x*x + x - 1 }
+	zero := func(float64) float64 { return 0 }
+	got, err := NewtonIncreasing(f, zero, 0, 0.3, f(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.682327803828019) > 1e-9 {
+		t.Fatalf("root %v under zero derivative", got)
+	}
+}

@@ -1,0 +1,189 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+	"neutralnet/internal/numeric"
+)
+
+func gridSystem() *model.System {
+	mk := func(a, b, v float64) model.CP {
+		return model.CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	return &model.System{
+		CPs:  []model.CP{mk(5, 2, 1), mk(2, 5, 0.5), mk(3, 3, 0.75)},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+}
+
+// legacyMaximize is the pre-migration cyclic coordinate ascent, frozen for
+// equivalence testing: every objective evaluation allocates a candidate
+// profile and solves through the one-shot Game.State.
+func legacyMaximize(sys *model.System, p, q float64, obj Objective, tol float64, maxSweeps int) (Result, error) {
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 60
+	}
+	g, err := game.New(sys, p, q)
+	if err != nil {
+		return Result{}, err
+	}
+	value := func(s []float64) (float64, error) {
+		st, err := g.State(s)
+		if err != nil {
+			return 0, err
+		}
+		if obj == Throughput {
+			return st.TotalThroughput(), nil
+		}
+		return g.Welfare(st), nil
+	}
+	n := sys.N()
+	s := make([]float64, n)
+	res := Result{}
+	if q == 0 {
+		st, err := g.State(s)
+		if err != nil {
+			return Result{}, err
+		}
+		v, _ := value(s)
+		return Result{S: s, State: st, Value: v, Converged: true}, nil
+	}
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		moved := 0.0
+		for i := 0; i < n; i++ {
+			var evalErr error
+			f := func(x float64) float64 {
+				cand := append([]float64(nil), s...)
+				cand[i] = x
+				v, err := value(cand)
+				if err != nil {
+					evalErr = err
+					return math.Inf(-1)
+				}
+				return v
+			}
+			best, _ := numeric.MaximizeOnInterval(f, 0, q, 25)
+			if evalErr != nil {
+				return Result{}, evalErr
+			}
+			if d := math.Abs(best - s[i]); d > moved {
+				moved = d
+			}
+			s[i] = best
+		}
+		res.Iterations = sweep
+		if moved < tol {
+			res.Converged = true
+			break
+		}
+	}
+	st, err := g.State(s)
+	if err != nil {
+		return Result{}, err
+	}
+	v, err := value(s)
+	if err != nil {
+		return Result{}, err
+	}
+	res.S = s
+	res.State = st
+	res.Value = v
+	return res, nil
+}
+
+// TestMaximizeMatchesLegacy pins the workspace coordinate ascent to the
+// frozen legacy loop to ≤ 1e-12 across a seeded (p, q, µ) grid for both
+// objectives (the default Gauss–Seidel dispatch replays the cyclic sweep
+// order exactly).
+func TestMaximizeMatchesLegacy(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p, q float64
+		mu   float64
+		obj  Objective
+	}{
+		{"welfare-base", 1, 1, 1, Welfare},
+		{"welfare-tight", 0.7, 0.3, 1, Welfare},
+		{"welfare-bigmu", 1.2, 1.5, 2, Welfare},
+		{"throughput", 1, 1, 1, Throughput},
+		{"zero-cap", 1, 0, 1, Welfare},
+	} {
+		sys := gridSystem()
+		sys.Mu = tc.mu
+		want, err := legacyMaximize(sys, tc.p, tc.q, tc.obj, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", tc.name, err)
+		}
+		got, err := Maximize(sys, tc.p, tc.q, tc.obj, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: workspace: %v", tc.name, err)
+		}
+		if got.Converged != want.Converged || got.Iterations != want.Iterations {
+			t.Fatalf("%s: iteration bookkeeping differs: (%v,%d) vs (%v,%d)",
+				tc.name, got.Converged, got.Iterations, want.Converged, want.Iterations)
+		}
+		if d := math.Abs(got.Value - want.Value); d > 1e-12 {
+			t.Fatalf("%s: value differs by %g", tc.name, d)
+		}
+		for i := range want.S {
+			if d := math.Abs(got.S[i] - want.S[i]); d > 1e-12 {
+				t.Fatalf("%s: s[%d] differs by %g", tc.name, i, d)
+			}
+		}
+		if d := math.Abs(got.State.Phi - want.State.Phi); d > 1e-12 {
+			t.Fatalf("%s: φ differs by %g", tc.name, d)
+		}
+	}
+}
+
+// TestMaximizeWithAllSolvers runs the planner ascent under every registered
+// scheme: the optima agree to solver tolerance (simultaneous schemes walk a
+// different path to the same coordinate-wise optimum).
+func TestMaximizeWithAllSolvers(t *testing.T) {
+	sys := gridSystem()
+	ref, err := Maximize(sys, 1, 1, Welfare, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"gauss-seidel", "jacobi-damped", "anderson"} {
+		got, err := MaximizeWith(sys, 1, 1, Welfare, 0, 200, scheme)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if d := math.Abs(got.Value - ref.Value); d > 1e-6 {
+			t.Fatalf("%s: planner value %v vs reference %v", scheme, got.Value, ref.Value)
+		}
+	}
+	if _, err := MaximizeWith(sys, 1, 1, Welfare, 0, 0, "no-such-scheme"); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+// TestCompareAtWithSolverReachesBothSides checks the registry name threads
+// through both the Nash and the planner side of the efficiency comparison.
+func TestCompareAtWithSolverReachesBothSides(t *testing.T) {
+	sys := gridSystem()
+	ref, err := CompareAt(sys, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CompareAtWith(sys, 1, 1, game.Options{Method: game.Anderson})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(got.Ratio - ref.Ratio); d > 1e-6 {
+		t.Fatalf("efficiency ratio under anderson %v vs default %v", got.Ratio, ref.Ratio)
+	}
+}

@@ -1,0 +1,135 @@
+package shapley
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+// legacyCompute is the pre-migration coalition enumeration, frozen for
+// equivalence testing: one fresh population slice and one one-shot Solve per
+// coalition mask.
+func legacyCoalitionValues(sys *model.System, p float64) ([]float64, error) {
+	n := sys.N()
+	value := make([]float64, 1<<uint(n))
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		pops := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				pops[i] = sys.CPs[i].Demand.M(p)
+			}
+		}
+		st, err := sys.Solve(pops)
+		if err != nil {
+			return nil, err
+		}
+		w := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				w += sys.CPs[i].Value * st.Theta[i]
+			}
+		}
+		value[mask] = w
+	}
+	return value, nil
+}
+
+// legacyShapley computes the Shapley values off the legacy coalition cache
+// with the same subset formulation as Compute.
+func legacyShapley(sys *model.System, p float64) (Values, error) {
+	n := sys.N()
+	value, err := legacyCoalitionValues(sys, p)
+	if err != nil {
+		return Values{}, err
+	}
+	P := n + 1
+	factorial := make([]float64, P+1)
+	factorial[0] = 1
+	for k := 1; k <= P; k++ {
+		factorial[k] = factorial[k-1] * float64(k)
+	}
+	weight := func(sz int) float64 { return factorial[sz] * factorial[P-sz-1] / factorial[P] }
+	out := Values{CP: make([]float64, n), Grand: value[(1<<uint(n))-1]}
+	full := 1 << uint(P)
+	for s := 0; s < full; s++ {
+		sz := popcount(s)
+		if sz == P {
+			continue
+		}
+		cpMask := s & ((1 << uint(n)) - 1)
+		hasISP := s&(1<<uint(n)) != 0
+		vS := 0.0
+		if hasISP {
+			vS = value[cpMask]
+		}
+		w := weight(sz)
+		for j := 0; j < n; j++ {
+			if s&(1<<uint(j)) != 0 {
+				continue
+			}
+			vSj := 0.0
+			if hasISP {
+				vSj = value[cpMask|(1<<uint(j))]
+			}
+			out.CP[j] += w * (vSj - vS)
+		}
+		if !hasISP {
+			out.ISP += w * (value[cpMask] - vS)
+		}
+	}
+	return out, nil
+}
+
+func shapleySystem(mu float64) *model.System {
+	mk := func(a, b, v float64) model.CP {
+		return model.CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	return &model.System{
+		CPs:  []model.CP{mk(5, 2, 1), mk(2, 5, 0.5), mk(4, 3, 0.2), mk(3, 4, 0.8)},
+		Mu:   mu,
+		Util: econ.LinearUtilization{},
+	}
+}
+
+// TestComputeMatchesLegacy pins the workspace coalition enumeration to the
+// frozen legacy path to ≤ 1e-12 across a seeded (p, µ) grid (the per-mask
+// states are bit-identical, so the settlement is too).
+func TestComputeMatchesLegacy(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    float64
+		mu   float64
+	}{
+		{"base", 0.8, 1},
+		{"high-price", 1.5, 1},
+		{"scarce", 0.8, 0.4},
+		{"abundant", 0.8, 3},
+	} {
+		sys := shapleySystem(tc.mu)
+		want, err := legacyShapley(sys, tc.p)
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", tc.name, err)
+		}
+		got, err := Compute(sys, tc.p, 0)
+		if err != nil {
+			t.Fatalf("%s: workspace: %v", tc.name, err)
+		}
+		if d := math.Abs(got.ISP - want.ISP); d > 1e-12 {
+			t.Fatalf("%s: ISP value differs by %g", tc.name, d)
+		}
+		if d := math.Abs(got.Grand - want.Grand); d > 1e-12 {
+			t.Fatalf("%s: grand value differs by %g", tc.name, d)
+		}
+		for i := range want.CP {
+			if d := math.Abs(got.CP[i] - want.CP[i]); d > 1e-12 {
+				t.Fatalf("%s: CP %d value differs by %g", tc.name, i, d)
+			}
+		}
+	}
+}

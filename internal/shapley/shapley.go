@@ -54,16 +54,27 @@ func Compute(sys *model.System, p float64, maxCPs int) (Values, error) {
 	}
 
 	// Coalition welfare cache over CP subsets (ISP always present for
-	// nonzero value).
+	// nonzero value). All 2^n − 1 coalition states solve on one reusable
+	// physical workspace: the populations m_i(p) are coalition-independent,
+	// so each mask only toggles components in place before the in-place
+	// utilization solve (bit-identical to the historical per-mask Solve).
+	ws := model.NewWorkspace()
+	ws.Bind(sys)
+	mAll := make([]float64, n)
+	for i, cp := range sys.CPs {
+		mAll[i] = cp.Demand.M(p)
+	}
 	value := make([]float64, 1<<uint(n))
 	for mask := 1; mask < 1<<uint(n); mask++ {
-		pops := make([]float64, n)
+		m := ws.M()
 		for i := 0; i < n; i++ {
 			if mask&(1<<uint(i)) != 0 {
-				pops[i] = sys.CPs[i].Demand.M(p)
+				m[i] = mAll[i]
+			} else {
+				m[i] = 0
 			}
 		}
-		st, err := sys.Solve(pops)
+		st, err := sys.SolveInto(ws)
 		if err != nil {
 			return Values{}, err
 		}

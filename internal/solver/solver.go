@@ -132,6 +132,34 @@ func Names() []string {
 	return names
 }
 
+// Cached is a one-instance cache of a named FixedPoint, for workspaces that
+// solve repeatedly under a usually-unchanged scheme: Get returns the cached
+// instance while the name (after empty→default resolution) is unchanged,
+// and instantiates afresh on first use or a name switch. The zero value is
+// ready to use. Like the instances it holds, a Cached must not be shared
+// across goroutines.
+type Cached struct {
+	fp   FixedPoint
+	name string
+}
+
+// Get returns the instance for the registry name (empty selects the
+// default), reusing the cached one when the name is unchanged.
+func (c *Cached) Get(name string) (FixedPoint, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	if c.fp != nil && c.name == name {
+		return c.fp, nil
+	}
+	fp, err := New(name)
+	if err != nil {
+		return nil, err
+	}
+	c.fp, c.name = fp, name
+	return fp, nil
+}
+
 func init() {
 	Register(GaussSeidelName, func() FixedPoint { return &gaussSeidel{} })
 	Register(JacobiDampedName, func() FixedPoint { return &jacobiDamped{} })

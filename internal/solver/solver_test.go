@@ -13,8 +13,8 @@ type funcProblem struct {
 	best   func(i int, x []float64) (float64, error)
 }
 
-func (p funcProblem) N() int                                 { return p.n }
-func (p funcProblem) Box() (float64, float64)                { return p.lo, p.hi }
+func (p funcProblem) N() int                                   { return p.n }
+func (p funcProblem) Box() (float64, float64)                  { return p.lo, p.hi }
 func (p funcProblem) Best(i int, x []float64) (float64, error) { return p.best(i, x) }
 
 func clamp(v, lo, hi float64) float64 {

@@ -1,0 +1,143 @@
+package twosided
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+	"neutralnet/internal/numeric"
+)
+
+func feeSystem() *model.System {
+	mk := func(a, b, v float64) model.CP {
+		return model.CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	return &model.System{
+		CPs:  []model.CP{mk(5, 2, 1), mk(2, 5, 0.5), mk(4, 3, 0.2)},
+		Mu:   1,
+		Util: econ.LinearUtilization{},
+	}
+}
+
+// legacyOptimalFee is the pre-migration fee search, frozen for equivalence
+// testing: every candidate fee solves through the one-shot allocating Solve.
+func legacyOptimalFee(sys *model.System, p, cMax float64) (float64, Outcome, error) {
+	var candidates []float64
+	const gridN = 61
+	for k := 0; k < gridN; k++ {
+		candidates = append(candidates, cMax*float64(k)/(gridN-1))
+	}
+	for _, cp := range sys.CPs {
+		if cp.Value > 0 && cp.Value <= cMax {
+			candidates = append(candidates, cp.Value, math.Nextafter(cp.Value, 0))
+		}
+	}
+	bestC, bestR := 0.0, math.Inf(-1)
+	for _, c := range candidates {
+		out, err := Solve(sys, p, c)
+		if err != nil {
+			return 0, Outcome{}, err
+		}
+		if out.Revenue > bestR {
+			bestC, bestR = c, out.Revenue
+		}
+	}
+	lo, hi := 0.0, cMax
+	for _, cp := range sys.CPs {
+		if cp.Value <= bestC && cp.Value > lo {
+			lo = cp.Value
+		}
+		if cp.Value > bestC && cp.Value < hi {
+			hi = math.Nextafter(cp.Value, 0)
+		}
+	}
+	if hi > lo {
+		c, _ := numeric.MaximizeOnInterval(func(c float64) float64 {
+			out, err := Solve(sys, p, c)
+			if err != nil {
+				return math.Inf(-1)
+			}
+			return out.Revenue
+		}, lo, hi, 17)
+		if out, err := Solve(sys, p, c); err == nil && out.Revenue > bestR {
+			bestC, bestR = c, out.Revenue
+		}
+	}
+	out, err := Solve(sys, p, bestC)
+	if err != nil {
+		return 0, Outcome{}, err
+	}
+	return bestC, out, nil
+}
+
+// TestOptimalFeeMatchesLegacy pins the workspace fee scan to the frozen
+// legacy path to ≤ 1e-12 across a seeded (p, cMax, µ) grid.
+func TestOptimalFeeMatchesLegacy(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		p, cMax float64
+		mu      float64
+	}{
+		{"base", 0.8, 1.2, 1},
+		{"cheap-access", 0.3, 0.8, 1},
+		{"scarce", 1.0, 1.5, 0.5},
+		{"abundant", 1.0, 1.5, 3},
+	} {
+		sys := feeSystem()
+		sys.Mu = tc.mu
+		cWant, outWant, err := legacyOptimalFee(sys, tc.p, tc.cMax)
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", tc.name, err)
+		}
+		cGot, outGot, err := OptimalFee(sys, tc.p, tc.cMax)
+		if err != nil {
+			t.Fatalf("%s: workspace: %v", tc.name, err)
+		}
+		if cGot != cWant {
+			t.Fatalf("%s: c* differs: %v vs %v", tc.name, cGot, cWant)
+		}
+		if d := math.Abs(outGot.Revenue - outWant.Revenue); d > 1e-12 {
+			t.Fatalf("%s: revenue differs by %g", tc.name, d)
+		}
+		if d := math.Abs(outGot.Welfare - outWant.Welfare); d > 1e-12 {
+			t.Fatalf("%s: welfare differs by %g", tc.name, d)
+		}
+		if outGot.Exited != outWant.Exited {
+			t.Fatalf("%s: exit counts differ: %d vs %d", tc.name, outGot.Exited, outWant.Exited)
+		}
+	}
+}
+
+// TestCompareWithMatchesLegacyAllSolvers pins the comparison's Nash side to
+// the legacy adapter (SolveNash) to ≤ 1e-12 for every registered scheme.
+func TestCompareWithMatchesLegacyAllSolvers(t *testing.T) {
+	sys := feeSystem()
+	for _, method := range []game.Method{game.GaussSeidel, game.JacobiDamped, game.Anderson} {
+		g, err := game.New(sys, 0.8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := g.SolveNash(game.Options{Method: method, MaxIter: 2000})
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", method, err)
+		}
+		got, err := CompareWith(sys, 0.8, 1.2, 1, game.Options{Method: method, MaxIter: 2000})
+		if err != nil {
+			t.Fatalf("%s: workspace: %v", method, err)
+		}
+		for i := range want.S {
+			if d := math.Abs(got.Subsidized.S[i] - want.S[i]); d > 1e-12 {
+				t.Fatalf("%s: s[%d] differs by %g", method, i, d)
+			}
+		}
+		if d := math.Abs(got.SubsidyWelf - g.Welfare(want.State)); d > 1e-12 {
+			t.Fatalf("%s: welfare differs by %g", method, d)
+		}
+	}
+}

@@ -75,10 +75,55 @@ func Solve(sys *model.System, p, c float64) (Outcome, error) {
 	return out, nil
 }
 
+// scanner is the workspace-threaded fee-scan kernel behind OptimalFee: the
+// populations m_i(p) are fee-independent, so a scan precomputes them once
+// and each candidate fee only masks the exited CPs and re-solves the
+// utilization fixed point in place — zero allocations per candidate.
+type scanner struct {
+	sys  *model.System
+	ws   *model.Workspace
+	p    float64
+	mAll []float64 // m_i(p), independent of the fee
+}
+
+func newScanner(sys *model.System, p float64) (*scanner, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if p < 0 {
+		return nil, fmt.Errorf("twosided: negative price %g", p)
+	}
+	sc := &scanner{sys: sys, ws: model.NewWorkspace(), p: p, mAll: make([]float64, sys.N())}
+	sc.ws.Bind(sys)
+	for i, cp := range sys.CPs {
+		sc.mAll[i] = cp.Demand.M(p)
+	}
+	return sc, nil
+}
+
+// revenueAt returns the ISP revenue (p + c)·θ_active at fee c. The physical
+// state is bit-identical to the one-shot Solve path.
+func (sc *scanner) revenueAt(c float64) (float64, error) {
+	m := sc.ws.M()
+	for i, cp := range sc.sys.CPs {
+		if cp.Value >= c {
+			m[i] = sc.mAll[i]
+		} else {
+			m[i] = 0
+		}
+	}
+	st, err := sc.sys.SolveInto(sc.ws)
+	if err != nil {
+		return 0, err
+	}
+	return (sc.p + c) * st.TotalThroughput(), nil
+}
+
 // OptimalFee finds the revenue-maximizing termination fee on [0, cMax] at a
 // fixed usage price p. Revenue is discontinuous at every v_i (a CP exits),
 // so the search scans a fine grid including every exit threshold and then
-// polishes within the best smooth segment.
+// polishes within the best smooth segment. The scan runs on one reusable
+// physical workspace; only the final outcome is materialized.
 func OptimalFee(sys *model.System, p, cMax float64) (float64, Outcome, error) {
 	if cMax <= 0 {
 		return 0, Outcome{}, errors.New("twosided: cMax must be positive")
@@ -95,14 +140,18 @@ func OptimalFee(sys *model.System, p, cMax float64) (float64, Outcome, error) {
 			candidates = append(candidates, cp.Value, math.Nextafter(cp.Value, 0))
 		}
 	}
+	sc, err := newScanner(sys, p)
+	if err != nil {
+		return 0, Outcome{}, err
+	}
 	bestC, bestR := 0.0, math.Inf(-1)
 	for _, c := range candidates {
-		out, err := Solve(sys, p, c)
+		r, err := sc.revenueAt(c)
 		if err != nil {
 			return 0, Outcome{}, err
 		}
-		if out.Revenue > bestR {
-			bestC, bestR = c, out.Revenue
+		if r > bestR {
+			bestC, bestR = c, r
 		}
 	}
 	// Polish inside the smooth segment around bestC (no exits crossed).
@@ -117,14 +166,14 @@ func OptimalFee(sys *model.System, p, cMax float64) (float64, Outcome, error) {
 	}
 	if hi > lo {
 		c, _ := numeric.MaximizeOnInterval(func(c float64) float64 {
-			out, err := Solve(sys, p, c)
+			r, err := sc.revenueAt(c)
 			if err != nil {
 				return math.Inf(-1)
 			}
-			return out.Revenue
+			return r
 		}, lo, hi, 17)
-		if out, err := Solve(sys, p, c); err == nil && out.Revenue > bestR {
-			bestC, bestR = c, out.Revenue
+		if r, err := sc.revenueAt(c); err == nil && r > bestR {
+			bestC, bestR = c, r
 		}
 	}
 	out, err := Solve(sys, p, bestC)
@@ -147,6 +196,12 @@ type Comparison struct {
 // Compare runs both worlds on the same system at usage price p, with
 // termination fees up to cMax and subsidies up to q.
 func Compare(sys *model.System, p, cMax, q float64) (Comparison, error) {
+	return CompareWith(sys, p, cMax, q, game.Options{})
+}
+
+// CompareWith is Compare with a caller-supplied configuration for the
+// subsidization side's Nash solve.
+func CompareWith(sys *model.System, p, cMax, q float64, opts game.Options) (Comparison, error) {
 	_, ts, err := OptimalFee(sys, p, cMax)
 	if err != nil {
 		return Comparison{}, err
@@ -155,15 +210,16 @@ func Compare(sys *model.System, p, cMax, q float64) (Comparison, error) {
 	if err != nil {
 		return Comparison{}, err
 	}
-	eq, err := g.SolveNash(game.Options{})
+	eq, err := g.SolveNashWS(game.NewWorkspace(), opts)
 	if err != nil {
 		return Comparison{}, err
 	}
+	eqOwned := eq.Clone() // the Comparison retains it past the workspace
 	return Comparison{
 		TwoSided:    ts,
-		Subsidized:  eq,
-		SubsidyRev:  g.Revenue(eq.State),
-		SubsidyWelf: g.Welfare(eq.State),
+		Subsidized:  eqOwned,
+		SubsidyRev:  g.Revenue(eqOwned.State),
+		SubsidyWelf: g.Welfare(eqOwned.State),
 	}, nil
 }
 

@@ -24,11 +24,18 @@ func At(sys *model.System, st model.State) float64 {
 // AtEquilibrium solves the subsidization equilibrium at (p, q) and returns
 // its welfare.
 func AtEquilibrium(sys *model.System, p, q float64) (float64, error) {
+	return atEquilibriumWS(game.NewWorkspace(), sys, p, q)
+}
+
+// atEquilibriumWS is AtEquilibrium on a caller-owned workspace; the welfare
+// scalar is read off the borrowed equilibrium before the next solve, so no
+// clone is needed.
+func atEquilibriumWS(ws *game.Workspace, sys *model.System, p, q float64) (float64, error) {
 	g, err := game.New(sys, p, q)
 	if err != nil {
 		return 0, err
 	}
-	eq, err := g.SolveNash(game.Options{})
+	eq, err := g.SolveNashWS(ws, game.Options{})
 	if err != nil {
 		return 0, err
 	}
@@ -37,16 +44,18 @@ func AtEquilibrium(sys *model.System, p, q float64) (float64, error) {
 
 // MarginalWithFixedPrice central-differences W(q) holding the ISP price
 // fixed — the Corollary 1/Corollary 2 regime of a competitive or
-// price-regulated access market. h ≤ 0 selects 1e-4.
+// price-regulated access market. h ≤ 0 selects 1e-4. Both perturbed
+// equilibria solve on one workspace.
 func MarginalWithFixedPrice(sys *model.System, p, q, h float64) (float64, error) {
 	if h <= 0 {
 		h = 1e-4
 	}
-	wp, err := AtEquilibrium(sys, p, q+h)
+	ws := game.NewWorkspace()
+	wp, err := atEquilibriumWS(ws, sys, p, q+h)
 	if err != nil {
 		return 0, err
 	}
-	wm, err := AtEquilibrium(sys, p, q-h)
+	wm, err := atEquilibriumWS(ws, sys, p, q-h)
 	if err != nil {
 		return 0, err
 	}

@@ -142,7 +142,8 @@ func SolveEquilibrium(sys *System, p, q float64) (Equilibrium, error) {
 	if err != nil {
 		return Equilibrium{}, err
 	}
-	return g.SolveNash(game.Options{})
+	eq, err := g.SolveNashWS(game.NewWorkspace(), game.Options{})
+	return eq.Clone(), err
 }
 
 // SolveOneSided solves the no-subsidy baseline state at uniform price p.

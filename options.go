@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"neutralnet/internal/game"
+	"neutralnet/internal/model"
 )
 
 // SolverMethod selects the Nash iteration scheme used by an Engine. It is
@@ -50,6 +51,30 @@ func defaultConfig() engineConfig {
 // first Solve/Sweep call.
 func WithSolver(m SolverMethod) Option {
 	return func(c *engineConfig) { c.solver.Method = m }
+}
+
+// The available utilization root kernels, re-exported from the model
+// package for WithUtilizationSolver.
+const (
+	// UtilBrent brackets [0, hi] from scratch every inner solve (the
+	// default; bit-identical to the historical path).
+	UtilBrent = model.UtilBrent
+	// UtilBrentWarm seeds the bracket from the previous solve's φ.
+	UtilBrentWarm = model.UtilBrentWarm
+	// UtilNewton runs safeguarded Newton on the analytic gap derivative.
+	UtilNewton = model.UtilNewton
+)
+
+// WithUtilizationSolver selects the inner utilization root kernel every Nash
+// solve runs on (default UtilBrent, the cold bracketing Brent that is
+// bit-identical to the historical results). UtilBrentWarm and UtilNewton
+// warm-start each root find from the previous solve's φ — the hot-path
+// multiplier for sweeps and epoch trajectories — and agree with the cold
+// kernel to root tolerance (~1e-12) without being bit-identical, so golden
+// outputs are re-baselined when they are adopted as a default. An unknown
+// name surfaces as an error from the first Solve/Sweep call.
+func WithUtilizationSolver(name string) Option {
+	return func(c *engineConfig) { c.solver.UtilSolver = name }
 }
 
 // WithTolerance sets the sup-norm convergence tolerance on the subsidy
