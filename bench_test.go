@@ -228,12 +228,14 @@ func BenchmarkEngineSolveCached(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineSweep quantifies the Engine's two levers on a dense
-// 125-point sweep: warm-started chains vs cold per-point solves, and the
-// worker pool at 1/4/8 workers. For a fixed warm-start setting, results
-// are bit-identical across worker counts (see
-// TestSweepDeterministicAcrossWorkers); warm and cold iterates agree only
-// to solver tolerance.
+// BenchmarkEngineSweep quantifies the Engine's levers on a dense 125-point
+// sweep: warm-started chains vs cold per-point solves, the worker pool at
+// 1/4/8 workers, and (since the PR 4 default flip) the warm utilization
+// kernel with snake-chained φ seeds and seeded best-response brackets
+// against the pinned cold kernel ("coldkernel-1w", the pre-flip
+// bit-identical path). For a fixed configuration, results are bit-identical
+// across worker counts; warm and cold iterates agree only to solver
+// tolerance.
 func BenchmarkEngineSweep(b *testing.B) {
 	b.ReportAllocs()
 	grid := engineBenchGrid()
@@ -245,6 +247,8 @@ func BenchmarkEngineSweep(b *testing.B) {
 		{"warm-1w", []neutralnet.Option{neutralnet.WithWorkers(1), neutralnet.WithCache(0)}},
 		{"warm-4w", []neutralnet.Option{neutralnet.WithWorkers(4), neutralnet.WithCache(0)}},
 		{"warm-8w", []neutralnet.Option{neutralnet.WithWorkers(8), neutralnet.WithCache(0)}},
+		{"coldkernel-1w", []neutralnet.Option{neutralnet.WithUtilizationSolver(neutralnet.UtilBrent),
+			neutralnet.WithWarmStart(false), neutralnet.WithWorkers(1), neutralnet.WithCache(0)}},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			b.ReportAllocs()
@@ -327,6 +331,9 @@ func BenchmarkAblationSolver(b *testing.B) {
 		{"gauss-seidel", game.GaussSeidel},
 		{"jacobi-damped", game.JacobiDamped},
 		{"anderson", game.Anderson},
+		{"sor", game.SOR},
+		{"jacobi-adaptive", game.JacobiAdaptive},
+		{"auto", game.Auto},
 	} {
 		b.Run(m.name, func(b *testing.B) {
 			b.ReportAllocs()

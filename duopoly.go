@@ -1,0 +1,208 @@
+package neutralnet
+
+import (
+	"fmt"
+	"sync"
+
+	"neutralnet/internal/duopoly"
+	"neutralnet/internal/numeric"
+)
+
+// DuopolySession is a reusable equilibrium-computation session over a
+// two-ISP access market sharing the Engine's CP catalog — the §6
+// competition scenarios. It owns one duopoly workspace (so repeated solves
+// are allocation-free once warm), a bounded equilibrium cache keyed on the
+// price pair, and a warm-start store: each CP-equilibrium solve is seeded
+// from the previous one, which the continuity of the equilibrium path makes
+// an excellent guess on price grids.
+//
+// A DuopolySession is safe for concurrent use (solves are serialized on the
+// one workspace). Like Engine.Solve, warm starting makes a solved
+// equilibrium depend on the session's solve history within solver
+// tolerance; results at equal inputs agree to tolerance, not bitwise,
+// across histories.
+type DuopolySession struct {
+	m duopoly.Market
+
+	mu      sync.Mutex
+	ws      *duopoly.Workspace
+	warmBuf []float64
+	warm    []float64
+	cache   map[[2]float64]DuopolyOutcome
+	order   [][2]float64 // insertion order, for bounded eviction
+	cap     int
+}
+
+// DuopolyOutcome is one solved duopoly competition point: the CP subsidy
+// equilibrium at fixed access prices, with both networks' physical states
+// summarized. All slices are owned by the outcome.
+type DuopolyOutcome struct {
+	P       [2]float64 // access prices (p₁, p₂)
+	Shares  [2]float64 // logit user split
+	S       []float64  // CP subsidy equilibrium (shared across networks)
+	Phi     [2]float64 // per-network equilibrium utilization
+	Revenue [2]float64 // per-ISP usage revenue p_k·Σθ^k
+	Welfare float64    // Σ v_i·(θ_i¹+θ_i²)
+}
+
+// Duopoly opens a two-ISP competition session over the Engine's CP catalog
+// and utilization family: capacities mu (the Engine's own µ is not
+// consulted — the duopoly splits the access market explicitly), logit price
+// sensitivity sigma, and subsidy cap q. The session inherits the Engine's
+// Nash scheme and utilization kernel, so WithSolver("auto") and
+// WithUtilizationSolver reach the duopoly end-to-end; the hot-path warm
+// kernel is the default here as everywhere.
+func (e *Engine) Duopoly(mu [2]float64, sigma, q float64) (*DuopolySession, error) {
+	s := &DuopolySession{
+		m: duopoly.Market{
+			CPs: e.sys.CPs, Util: e.sys.Util, Mu: mu, Sigma: sigma, Q: q,
+			Solver:     string(e.cfg.solver.Method),
+			UtilSolver: e.cfg.solver.UtilSolver,
+		},
+		ws:  duopoly.NewWorkspace(),
+		cap: e.cfg.cacheSize,
+	}
+	if err := s.m.Validate(); err != nil {
+		return nil, err
+	}
+	if s.cap > 0 {
+		s.cache = make(map[[2]float64]DuopolyOutcome, s.cap)
+	}
+	return s, nil
+}
+
+// CacheLen returns the number of cached duopoly equilibria.
+func (s *DuopolySession) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// Solve returns the CP subsidization equilibrium of the duopoly at access
+// prices (p1, p2), consulting the cache and warm-starting from the
+// session's previous solve.
+func (s *DuopolySession) Solve(p1, p2 float64) (DuopolyOutcome, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.solveLocked([2]float64{p1, p2})
+}
+
+func (s *DuopolySession) solveLocked(p [2]float64) (DuopolyOutcome, error) {
+	if out, ok := s.cache[p]; ok {
+		return out.clone(), nil
+	}
+	prof, st, err := s.m.CPEquilibriumWS(s.ws, p, s.warm)
+	if err != nil {
+		return DuopolyOutcome{}, fmt.Errorf("duopoly session: at p=(%g, %g): %w", p[0], p[1], err)
+	}
+	s.warm = numeric.CopyProfile(&s.warmBuf, prof)
+	out := DuopolyOutcome{
+		P:       p,
+		Shares:  st.Shares,
+		S:       append([]float64(nil), prof...),
+		Phi:     [2]float64{st.Net[0].Phi, st.Net[1].Phi},
+		Revenue: [2]float64{st.Revenue(0), st.Revenue(1)},
+		Welfare: s.m.Welfare(st),
+	}
+	if s.cache != nil {
+		if len(s.order) >= s.cap {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.cache, oldest)
+		}
+		s.cache[p] = out.clone()
+		s.order = append(s.order, p)
+	}
+	return out, nil
+}
+
+func (o DuopolyOutcome) clone() DuopolyOutcome {
+	o.S = append([]float64(nil), o.S...)
+	return o
+}
+
+// DuopolySweepResult is a solved (p₁, p₂) price surface in row-major order:
+// Outcomes[i][j] is the equilibrium at (P1[i], P2[j]).
+type DuopolySweepResult struct {
+	P1, P2   []float64
+	Outcomes [][]DuopolyOutcome
+}
+
+// SweepPrices solves the CP equilibrium over the Cartesian (p₁, p₂) grid.
+// The grid is traversed in snake order so consecutive solves are always
+// price neighbors and every solve warm-starts from the previous one; the
+// traversal is sequential and fixed, so the result is deterministic for a
+// fresh session. Solved points populate the session cache.
+func (s *DuopolySession) SweepPrices(p1Grid, p2Grid []float64) (*DuopolySweepResult, error) {
+	if len(p1Grid) == 0 || len(p2Grid) == 0 {
+		return nil, fmt.Errorf("duopoly session: empty price grid")
+	}
+	res := &DuopolySweepResult{P1: p1Grid, P2: p2Grid, Outcomes: make([][]DuopolyOutcome, len(p1Grid))}
+	for i := range res.Outcomes {
+		res.Outcomes[i] = make([]DuopolyOutcome, len(p2Grid))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range p1Grid {
+		for jj := range p2Grid {
+			j := jj
+			if i%2 == 1 { // snake: odd rows run p₂ backward, keeping neighbors adjacent
+				j = len(p2Grid) - 1 - jj
+			}
+			out, err := s.solveLocked([2]float64{p1Grid[i], p2Grid[j]})
+			if err != nil {
+				return nil, err
+			}
+			res.Outcomes[i][j] = out
+		}
+	}
+	return res, nil
+}
+
+// ArgmaxTotalRevenue returns the grid outcome maximizing combined ISP
+// revenue; ties resolve to the lowest (i, j) index.
+func (r *DuopolySweepResult) ArgmaxTotalRevenue() DuopolyOutcome {
+	best := r.Outcomes[0][0]
+	bestV := best.Revenue[0] + best.Revenue[1]
+	for _, row := range r.Outcomes {
+		for _, out := range row {
+			if v := out.Revenue[0] + out.Revenue[1]; v > bestV {
+				best, bestV = out, v
+			}
+		}
+	}
+	return best
+}
+
+// PriceEquilibrium solves the ISPs' price competition on [0, pMax] by
+// alternating best responses (maxRounds ≤ 0 selects the default), with the
+// CPs re-equilibrating inside every revenue evaluation, and returns the
+// equilibrium outcome. It runs on its own workspace, leaving the session
+// cache and warm store untouched.
+func (s *DuopolySession) PriceEquilibrium(pMax float64, maxRounds int) (DuopolyOutcome, error) {
+	p, _, err := s.m.PriceEquilibrium(pMax, maxRounds)
+	if err != nil {
+		return DuopolyOutcome{}, err
+	}
+	// The competition returns prices and a borrowed state; re-solving the
+	// equilibrium point through the session yields a self-contained,
+	// cached outcome.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.solveLocked(p)
+}
+
+// MonopolyBenchmark solves the capacity-equivalent single-ISP comparator at
+// its revenue-optimal price on [0, pMax], for the competition-vs-monopoly
+// comparisons of §6.
+func (s *DuopolySession) MonopolyBenchmark(pMax float64) (price float64, welfare float64, subsidies []float64, err error) {
+	p, st, sub, err := s.m.MonopolyBenchmark(pMax)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	w := 0.0
+	for i, cp := range s.m.CPs {
+		w += cp.Value * st.Theta[i]
+	}
+	return p, w, sub, nil
+}

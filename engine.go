@@ -154,9 +154,13 @@ func (e *Engine) SolveAt(p, q, mu float64) (Equilibrium, error) {
 
 // Sweep solves the equilibrium over every grid point with the Engine's
 // worker pool. Points are returned in deterministic order (µ-major, then
-// q, then p) and the result is bit-identical for every worker count: warm
-// starts chain along fixed segments of each (µ, q) row's price axis only,
-// never across rows, segments, or through the cache. Solved points are
+// q, then p) and the result is bit-identical for every worker count: the
+// grid is linearized into a snake-order path (consecutive points are
+// always grid neighbors, including across row boundaries) and cut into
+// fixed segments that depend only on the grid; warm starts — the Nash
+// profile and the utilization seed φ — chain within each segment only,
+// never across segments or through the cache. Sweeps default to the warm
+// utilization kernel (see WithUtilizationSolver). Solved points are
 // inserted into the cache for later Solve calls.
 func (e *Engine) Sweep(grid Grid) (*SweepResult, error) {
 	res, err := sweep.Run(e.sys, grid, sweep.Config{

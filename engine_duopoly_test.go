@@ -1,0 +1,146 @@
+package neutralnet_test
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet"
+)
+
+func duopolySystem() *neutralnet.System {
+	return neutralnet.NewSystem(1,
+		neutralnet.NewCP("video", 4, 2, 1.0),
+		neutralnet.NewCP("social", 2, 4, 0.5),
+	)
+}
+
+func newDuopoly(t *testing.T, opts ...neutralnet.Option) *neutralnet.DuopolySession {
+	t.Helper()
+	eng, err := neutralnet.NewEngine(duopolySystem(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := eng.Duopoly([2]float64{0.5, 0.5}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDuopolySessionSolveAndCache checks the session's Solve path: a
+// repeated price pair is answered from the cache with identical values, and
+// mutating a returned outcome cannot corrupt the cached copy.
+func TestDuopolySessionSolveAndCache(t *testing.T) {
+	s := newDuopoly(t)
+	out1, err := s.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheLen() != 1 {
+		t.Fatalf("cache len %d after first solve", s.CacheLen())
+	}
+	out1.S[0] = -1 // must not reach the cache
+	out2, err := s.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheLen() != 1 {
+		t.Fatalf("cache len %d after cache hit", s.CacheLen())
+	}
+	if out2.S[0] == -1 {
+		t.Fatal("cached outcome aliases a caller-mutated slice")
+	}
+	if out2.Welfare != out1.Welfare || out2.Phi != out1.Phi {
+		t.Fatal("cache hit returned different values")
+	}
+	// Sanity of the physical summary.
+	if !(out2.Shares[0] > 0 && out2.Shares[1] > 0 && math.Abs(out2.Shares[0]+out2.Shares[1]-1) < 1e-12) {
+		t.Fatalf("shares %v are not a split", out2.Shares)
+	}
+	if out2.Revenue[0] <= 0 || out2.Welfare <= 0 {
+		t.Fatalf("degenerate outcome: %+v", out2)
+	}
+}
+
+// TestDuopolySessionSweepPrices checks the snake-ordered grid sweep: the
+// surface has the requested shape, every point agrees with a fresh
+// session's direct solve to solver tolerance (warm starts may differ within
+// it), and asymmetric prices favor the cheaper ISP.
+func TestDuopolySessionSweepPrices(t *testing.T) {
+	s := newDuopoly(t)
+	p1 := neutralnet.UniformGrid(0.6, 1.2, 3)
+	p2 := neutralnet.UniformGrid(0.8, 1.0, 2)
+	res, err := s.SweepPrices(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 3 || len(res.Outcomes[0]) != 2 {
+		t.Fatalf("surface shape %dx%d", len(res.Outcomes), len(res.Outcomes[0]))
+	}
+	for i := range p1 {
+		for j := range p2 {
+			out := res.Outcomes[i][j]
+			if out.P != [2]float64{p1[i], p2[j]} {
+				t.Fatalf("outcome (%d,%d) carries prices %v", i, j, out.P)
+			}
+			fresh, err := newDuopoly(t).Solve(p1[i], p2[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range out.S {
+				if d := math.Abs(out.S[k] - fresh.S[k]); d > 1e-5 {
+					t.Fatalf("sweep point (%d,%d) s[%d] differs from direct solve by %g", i, j, k, d)
+				}
+			}
+		}
+	}
+	// Cheaper access draws the larger share.
+	asym := res.Outcomes[0][1] // p1 = 0.6 < p2 = 1.0
+	if asym.Shares[0] <= asym.Shares[1] {
+		t.Fatalf("cheaper ISP did not win share: %v at prices %v", asym.Shares, asym.P)
+	}
+}
+
+// TestDuopolySessionSolverEndToEnd exercises the registry dispatch through
+// the public session: the auto scheme and the explicitly cold utilization
+// kernel agree with the defaults to solver tolerance, and an unknown scheme
+// surfaces from the first solve.
+func TestDuopolySessionSolverEndToEnd(t *testing.T) {
+	ref, err := newDuopoly(t).Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]neutralnet.Option{
+		{neutralnet.WithSolver("auto")},
+		{neutralnet.WithUtilizationSolver(neutralnet.UtilBrent)},
+		{neutralnet.WithSolver(neutralnet.Anderson), neutralnet.WithUtilizationSolver(neutralnet.UtilNewton)},
+	} {
+		out, err := newDuopoly(t, opts...).Solve(1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range ref.S {
+			if d := math.Abs(out.S[k] - ref.S[k]); d > 1e-5 {
+				t.Fatalf("s[%d] differs from default by %g under %d options", k, d, len(opts))
+			}
+		}
+	}
+	bad := newDuopoly(t, neutralnet.WithSolver("no-such-scheme"))
+	if _, err := bad.Solve(1, 1); err == nil {
+		t.Fatal("unknown solver name must surface from Solve")
+	}
+}
+
+// TestDuopolyValidation surfaces market validation at session construction.
+func TestDuopolyValidation(t *testing.T) {
+	eng, err := neutralnet.NewEngine(duopolySystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Duopoly([2]float64{0, 0.5}, 3, 1); err == nil {
+		t.Fatal("non-positive capacity must be rejected")
+	}
+	if _, err := eng.Duopoly([2]float64{0.5, 0.5}, -1, 1); err == nil {
+		t.Fatal("negative sigma must be rejected")
+	}
+}

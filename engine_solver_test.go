@@ -72,6 +72,60 @@ func TestWithSolverAndersonEndToEnd(t *testing.T) {
 	}
 }
 
+// TestWithSolverAutoEndToEnd selects the "auto" meta-solver by name at the
+// public API and threads it through Solve, Sweep and SimulateInvestment:
+// on the paper's fast-contracting games the probe stays on Gauss–Seidel, so
+// results agree with the default engine to solver tolerance everywhere.
+func TestWithSolverAutoEndToEnd(t *testing.T) {
+	sys := paperEightCP()
+	grid := neutralnet.Grid{P: neutralnet.UniformGrid(0.1, 2, 9), Q: []float64{0, 1}}
+
+	def := newEngine(t, sys, neutralnet.WithWorkers(1), neutralnet.WithCache(0))
+	auto := newEngine(t, sys, neutralnet.WithSolver("auto"),
+		neutralnet.WithWorkers(1), neutralnet.WithCache(0))
+
+	defEq, err := def.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoEq, err := auto.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range defEq.S {
+		if math.Abs(defEq.S[i]-autoEq.S[i]) > 1e-9 {
+			t.Fatalf("CP %d: auto %v vs default %v", i, autoEq.S[i], defEq.S[i])
+		}
+	}
+
+	defSweep, err := def.Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoSweep, err := auto.Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range defSweep.Points {
+		if math.Abs(defSweep.Points[k].Revenue-autoSweep.Points[k].Revenue) > 1e-9 {
+			t.Fatalf("point %d: revenue %v vs %v", k,
+				autoSweep.Points[k].Revenue, defSweep.Points[k].Revenue)
+		}
+	}
+
+	defTr, err := def.SimulateInvestment(0.3, 1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoTr, err := auto.SimulateInvestment(0.3, 1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(defTr.SteadyMu - autoTr.SteadyMu); d > 1e-6 {
+		t.Fatalf("steady µ under auto %v vs default %v", autoTr.SteadyMu, defTr.SteadyMu)
+	}
+}
+
 // TestWithSolverUnknownNameSurfaces verifies that a typo'd solver name
 // errors at the first solve instead of silently running the default.
 func TestWithSolverUnknownNameSurfaces(t *testing.T) {

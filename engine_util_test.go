@@ -13,13 +13,15 @@ func utilTestSystem() *System {
 	)
 }
 
-// TestWithUtilizationSolverAgreesWithDefault pins the warm kernels' engine
-// results to the default cold-Brent results across a small sweep: the φ
-// warm start is deliberately not bit-identical, but every equilibrium
-// quantity must agree to well under solver tolerance.
-func TestWithUtilizationSolverAgreesWithDefault(t *testing.T) {
+// TestWithUtilizationSolverAgreesWithCold pins the warm kernels' engine
+// results — including the flipped sweep default — to the explicitly cold
+// (UtilBrent, pre-flip bit-identical) results across a small sweep: the φ
+// warm start and seeded best-response brackets are deliberately not
+// bit-identical, but every equilibrium quantity must agree to well under
+// solver tolerance.
+func TestWithUtilizationSolverAgreesWithCold(t *testing.T) {
 	sys := utilTestSystem()
-	ref, err := NewEngine(sys)
+	ref, err := NewEngine(sys, WithUtilizationSolver(UtilBrent))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,26 +30,26 @@ func TestWithUtilizationSolverAgreesWithDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, kernel := range []string{UtilBrentWarm, UtilNewton} {
+	for _, kernel := range []string{"" /* flipped default */, UtilBrentWarm, UtilNewton} {
 		eng, err := NewEngine(sys, WithUtilizationSolver(kernel))
 		if err != nil {
 			t.Fatal(err)
 		}
 		got, err := eng.Sweep(grid)
 		if err != nil {
-			t.Fatalf("%s: %v", kernel, err)
+			t.Fatalf("%q: %v", kernel, err)
 		}
 		for i := range want.Points {
 			w, g := want.Points[i], got.Points[i]
 			if d := math.Abs(w.Eq.State.Phi - g.Eq.State.Phi); d > 1e-9 {
-				t.Fatalf("%s: point %d φ differs by %g", kernel, i, d)
+				t.Fatalf("%q: point %d φ differs by %g", kernel, i, d)
 			}
 			if d := math.Abs(w.Revenue - g.Revenue); d > 1e-9 {
-				t.Fatalf("%s: point %d revenue differs by %g", kernel, i, d)
+				t.Fatalf("%q: point %d revenue differs by %g", kernel, i, d)
 			}
 			for j := range w.Eq.S {
 				if d := math.Abs(w.Eq.S[j] - g.Eq.S[j]); d > 1e-7 {
-					t.Fatalf("%s: point %d s[%d] differs by %g", kernel, i, j, d)
+					t.Fatalf("%q: point %d s[%d] differs by %g", kernel, i, j, d)
 				}
 			}
 		}
@@ -55,13 +57,15 @@ func TestWithUtilizationSolverAgreesWithDefault(t *testing.T) {
 }
 
 // TestWarmKernelSweepDeterministic pins the worker-count determinism
-// guarantee under the warm kernels: the per-solve utilization-seed reset
-// means a reused worker workspace cannot leak a previous chain's φ into the
-// next, so sweeps stay bit-identical at any worker count.
+// guarantee under the warm kernels — including the flipped default with
+// snake traversal and per-segment φ carry: the seed resets at every segment
+// boundary and chains only within the fixed, grid-determined segments, so a
+// reused worker workspace cannot leak one chain's φ into another and sweeps
+// stay bit-identical at any worker count.
 func TestWarmKernelSweepDeterministic(t *testing.T) {
 	sys := utilTestSystem()
 	grid := Grid{P: UniformGrid(0.1, 1.9, 33), Q: []float64{0, 1}}
-	for _, kernel := range []string{UtilBrentWarm, UtilNewton} {
+	for _, kernel := range []string{"" /* flipped default */, UtilBrentWarm, UtilNewton} {
 		var results []*SweepResult
 		for _, workers := range []int{1, 4} {
 			eng, err := NewEngine(sys, WithUtilizationSolver(kernel), WithWorkers(workers))

@@ -2,11 +2,13 @@
 // will also incentivize them to adopt subsidization schemes" and that a
 // competitive access market removes the need for price regulation.
 //
-// This example builds a two-ISP logit-choice market (the duopoly extension)
-// and compares it against a capacity-equivalent monopolist:
+// This example opens a two-ISP logit-choice market (the duopoly extension)
+// through the public Engine session API and compares it against a
+// capacity-equivalent monopolist:
 //
 //   - equilibrium access prices under competition vs monopoly,
 //   - system welfare in each regime,
+//   - a small (p₁, p₂) price sweep over the session's warm-started cache,
 //   - and the complementarity claim: at the competitive prices, letting CPs
 //     subsidize still raises both ISPs' revenues.
 //
@@ -17,65 +19,67 @@ import (
 	"fmt"
 	"log"
 
-	"neutralnet/internal/duopoly"
-	"neutralnet/internal/econ"
-	"neutralnet/internal/model"
+	"neutralnet"
 )
 
 func main() {
-	mk := func(name string, a, b, v float64) model.CP {
-		return model.CP{
-			Name:       name,
-			Demand:     econ.NewExpDemand(a),
-			Throughput: econ.NewExpThroughput(b),
-			Value:      v,
-		}
-	}
-	m := &duopoly.Market{
-		CPs: []model.CP{
-			mk("video", 4, 2, 1.0),
-			mk("social", 2, 4, 0.5),
-		},
-		Util:  econ.LinearUtilization{},
-		Mu:    [2]float64{0.5, 0.5}, // two half-capacity access networks
-		Sigma: 3,                    // users' price sensitivity when picking an ISP
-		Q:     1,                    // subsidization allowed up to 1
+	sys := neutralnet.NewSystem(1, // total access capacity, split below
+		neutralnet.NewCP("video", 4, 2, 1.0),
+		neutralnet.NewCP("social", 2, 4, 0.5),
+	)
+	eng, err := neutralnet.NewEngine(sys)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	pDuo, stDuo, err := m.PriceEquilibrium(2, 12)
+	// Two half-capacity access networks, logit price sensitivity 3,
+	// subsidies allowed up to 1.
+	duo, err := eng.Duopoly([2]float64{0.5, 0.5}, 3, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pMono, stMono, sMono, err := m.MonopolyBenchmark(2)
+
+	comp, err := duo.PriceEquilibrium(2, 12)
 	if err != nil {
 		log.Fatal(err)
 	}
-	wMono := 0.0
-	for i, cp := range m.CPs {
-		wMono += cp.Value * stMono.Theta[i]
+	pMono, wMono, sMono, err := duo.MonopolyBenchmark(2)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("regime        access price(s)      welfare   note")
 	fmt.Printf("monopoly      p*=%.3f              %.4f    subsidies %v\n", pMono, wMono, round2(sMono))
 	fmt.Printf("duopoly       p1=%.3f p2=%.3f      %.4f    competition disciplines the price\n",
-		pDuo[0], pDuo[1], m.Welfare(stDuo))
+		comp.P[0], comp.P[1], comp.Welfare)
 
-	// Complementarity: at the competitive prices, subsidization still lifts
-	// both ISPs' revenue (Corollary 1 survives competition).
-	zero := make([]float64, len(m.CPs))
-	base, err := m.Solve(pDuo, zero)
+	// A small joint price surface: the session chains warm starts through
+	// the snake-ordered grid and caches every solved point.
+	grid := neutralnet.UniformGrid(0.6, 1.4, 5)
+	sw, err := duo.SweepPrices(grid, grid)
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, withSubs, err := m.CPEquilibrium(pDuo, nil)
+	best := sw.ArgmaxTotalRevenue()
+	fmt.Printf("\n25-point price sweep: combined revenue peaks at (p1=%.2f, p2=%.2f), %d equilibria cached\n",
+		best.P[0], best.P[1], duo.CacheLen())
+
+	// Complementarity: at the competitive prices, subsidization still lifts
+	// both ISPs' revenue (Corollary 1 survives competition). A q = 0
+	// session is the no-subsidy baseline.
+	noSub, err := eng.Duopoly([2]float64{0.5, 0.5}, 3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := noSub.Solve(comp.P[0], comp.P[1])
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()
 	for k := 0; k < 2; k++ {
 		fmt.Printf("ISP %d revenue: %.4f (no subsidies) -> %.4f (with subsidies, %+.1f%%)\n",
-			k+1, base.Revenue(k), withSubs.Revenue(k),
-			100*(withSubs.Revenue(k)-base.Revenue(k))/base.Revenue(k))
+			k+1, base.Revenue[k], comp.Revenue[k],
+			100*(comp.Revenue[k]-base.Revenue[k])/base.Revenue[k])
 	}
 	fmt.Println("\n-> a competitive access market lowers prices AND keeps the subsidization")
 	fmt.Println("   channel valuable to ISPs — the paper's §6 claim that regulators can rely")

@@ -105,12 +105,16 @@ func marketGrid() []struct {
 // TestCPEquilibriumMatchesLegacyAllSolvers pins the workspace path to the
 // legacy adapter path to ≤ 1e-12 for every registered scheme across the
 // seeded market grid (the default Gauss–Seidel path is expected to be
-// bit-identical).
+// bit-identical). The legacy path is cold by construction, so the suite
+// pins the cold utilization kernel explicitly (since PR 4 the empty
+// default selects the warm one); TestCPEquilibriumWarmKernelAgrees covers
+// the warm default.
 func TestCPEquilibriumMatchesLegacyAllSolvers(t *testing.T) {
 	for _, scheme := range solver.Names() {
 		for _, tc := range marketGrid() {
 			m := *tc.m
 			m.Solver = scheme
+			m.UtilSolver = model.UtilBrent
 			sLegacy, stLegacy, err := legacyCPEquilibrium(&m, scheme, tc.p)
 			if err != nil {
 				t.Fatalf("%s/%s: legacy: %v", scheme, tc.name, err)
@@ -190,11 +194,41 @@ func legacySingleEquilibrium(sys *model.System, p, q float64, warm []float64) ([
 	return nil, model.State{}, nil
 }
 
+// TestCPEquilibriumWarmKernelAgrees checks the flipped default: the warm
+// per-network utilization kernel tracks the cold bit-identical path to
+// solver tolerance across the seeded market grid.
+func TestCPEquilibriumWarmKernelAgrees(t *testing.T) {
+	for _, tc := range marketGrid() {
+		cold := *tc.m
+		cold.UtilSolver = model.UtilBrent
+		sCold, stCold, err := cold.CPEquilibrium(tc.p, nil)
+		if err != nil {
+			t.Fatalf("%s: cold: %v", tc.name, err)
+		}
+		warm := *tc.m // empty UtilSolver → warm default
+		sWarm, stWarm, err := warm.CPEquilibrium(tc.p, nil)
+		if err != nil {
+			t.Fatalf("%s: warm: %v", tc.name, err)
+		}
+		for i := range sCold {
+			if d := math.Abs(sWarm[i] - sCold[i]); d > 1e-5 {
+				t.Fatalf("%s: s[%d] differs by %g", tc.name, i, d)
+			}
+		}
+		for k := 0; k < 2; k++ {
+			if d := math.Abs(stWarm.Net[k].Phi - stCold.Net[k].Phi); d > 1e-6 {
+				t.Fatalf("%s: φ%d differs by %g", tc.name, k, d)
+			}
+		}
+	}
+}
+
 // TestMonopolyBenchmarkMatchesLegacy replays the historical 15-point scan
 // with the frozen miniature loop and pins the migrated MonopolyBenchmark to
-// it to ≤ 1e-12.
+// it to ≤ 1e-12 (cold kernel pinned, as for the CP suite).
 func TestMonopolyBenchmarkMatchesLegacy(t *testing.T) {
 	m := smallMarket()
+	m.UtilSolver = model.UtilBrent
 	const pMax = 2.0
 	sys := &model.System{CPs: m.CPs, Mu: m.Mu[0] + m.Mu[1], Util: m.Util}
 	best, bestP := math.Inf(-1), 0.0
@@ -296,5 +330,20 @@ func BenchmarkDuopolyWS(b *testing.B) {
 		if _, _, err := m.CPEquilibriumWS(ws, p, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestUnknownUtilKernelSurfaces pins the kernel-name validation of the PR 4
+// flip: a bad Market.UtilSolver errors from the first workspace solve on
+// both the duopoly and the monopoly-benchmark paths instead of silently
+// running a default.
+func TestUnknownUtilKernelSurfaces(t *testing.T) {
+	m := smallMarket()
+	m.UtilSolver = "no-such-kernel"
+	if _, _, err := m.CPEquilibrium([2]float64{1, 1}, nil); err == nil {
+		t.Fatal("unknown utilization kernel must error from CPEquilibrium")
+	}
+	if _, _, _, err := m.MonopolyBenchmark(2); err == nil {
+		t.Fatal("unknown utilization kernel must error from MonopolyBenchmark")
 	}
 }

@@ -13,10 +13,13 @@
 //
 // The CP equilibrium is expressed as a solver.Problem and dispatched
 // through the shared fixed-point registry, so the duopoly inherits every
-// registered scheme (gauss-seidel, jacobi-damped, anderson) via
-// Market.Solver, and runs on reusable workspaces: a warm Workspace solves
-// the CP game with zero heap allocations (asserted by TestDuopolyWSAllocFree
-// and tracked by BenchmarkDuopolyWS).
+// registered scheme (gauss-seidel, jacobi-damped, anderson, sor,
+// jacobi-adaptive, auto) via Market.Solver, and runs on reusable
+// workspaces: a warm Workspace solves the CP game with zero heap
+// allocations (asserted by TestDuopolyWSAllocFree and tracked by
+// BenchmarkDuopolyWS). The workspace paths default to the warm per-network
+// utilization kernel (Market.UtilSolver; model.UtilBrent restores the
+// cold bit-identical path).
 //
 // The qualitative predictions this enables (tested in duopoly_test.go):
 // price competition pushes access prices and raises welfare relative to a
@@ -61,6 +64,25 @@ type Market struct {
 	// string selects the default Gauss–Seidel, which reproduces the
 	// historical hand-rolled loop bit for bit.
 	Solver string
+	// UtilSolver selects the utilization root kernel of the workspace
+	// paths' per-network physical solves (a model workspace solver name).
+	// Duopoly best-response iterations are a hot path — every utility
+	// evaluation re-solves both networks' fixed points — so the empty
+	// default selects the warm kernel (model.UtilBrentWarm), each root
+	// find seeded from that network's previous φ within the solve;
+	// model.UtilBrent restores the cold, bit-identical historical path.
+	// The seed is reset at every equilibrium-solve boundary, so results
+	// depend only on the solve itself, never on workspace history.
+	UtilSolver string
+}
+
+// utilKernel resolves the market's utilization kernel name, applying the
+// warm hot-path default.
+func (m *Market) utilKernel() string {
+	if m.UtilSolver == "" {
+		return model.UtilBrentWarm
+	}
+	return m.UtilSolver
 }
 
 // Validate checks the market's structural preconditions.
@@ -287,6 +309,15 @@ func (ws *Workspace) Best(i int, x []float64) (float64, error) {
 // zero heap allocations per call.
 func (m *Market) CPEquilibriumWS(ws *Workspace, p [2]float64, warm []float64) ([]float64, State, error) {
 	ws.bind(m, p)
+	for k := 0; k < 2; k++ {
+		if err := ws.net[k].SetUtilSolver(m.utilKernel()); err != nil {
+			return nil, State{}, err
+		}
+		// Fresh seed per equilibrium solve: within the solve the seed
+		// chains across the many per-network root finds, which is where
+		// the warm win lives.
+		ws.net[k].ResetUtilSeed()
+	}
 	for i := range ws.s {
 		si := 0.0
 		if i < len(warm) {
@@ -444,7 +475,11 @@ func (ws *monoWorkspace) Best(i int, x []float64) (float64, error) {
 // equilibrium solves the monopolist's CP game at price p through the solver
 // registry, warm-starting from warm. The returned profile and state borrow
 // the workspace.
-func (ws *monoWorkspace) equilibrium(solverName string, p float64, warm []float64) ([]float64, model.State, error) {
+func (ws *monoWorkspace) equilibrium(solverName, utilKernel string, p float64, warm []float64) ([]float64, model.State, error) {
+	if err := ws.phys.SetUtilSolver(utilKernel); err != nil {
+		return nil, model.State{}, err
+	}
+	ws.phys.ResetUtilSeed()
 	ws.p = p
 	for i := range ws.s {
 		si := 0.0
@@ -489,7 +524,7 @@ func (m *Market) MonopolyBenchmark(pMax float64) (p float64, st model.State, s [
 	var bestS, warmBuf, warm []float64
 	for k := 1; k <= 15; k++ {
 		pk := pMax * float64(k) / 15
-		sk, stk, err := ws.equilibrium(m.Solver, pk, warm)
+		sk, stk, err := ws.equilibrium(m.Solver, m.utilKernel(), pk, warm)
 		if err != nil {
 			return 0, model.State{}, nil, err
 		}
@@ -499,7 +534,7 @@ func (m *Market) MonopolyBenchmark(pMax float64) (p float64, st model.State, s [
 			bestS = append(bestS[:0], sk...)
 		}
 	}
-	sFin, stFin, err := ws.equilibrium(m.Solver, bestP, bestS)
+	sFin, stFin, err := ws.equilibrium(m.Solver, m.utilKernel(), bestP, bestS)
 	if err != nil {
 		return 0, model.State{}, nil, err
 	}

@@ -48,9 +48,9 @@ func RunPolicySweep(pPts int, pMax float64) (*PolicySweep, error) {
 
 // RunPolicySweepOn runs the sweep on a caller-supplied system and policy
 // levels (used by ablations, tests and cmd/figures) over `workers` workers
-// (≤ 0 selects 1). It delegates to the shared sweep core, which solves one
-// warm-started chain per policy level; the result is identical for every
-// worker count.
+// (≤ 0 selects 1). It delegates to the shared sweep core, which chains warm
+// starts along fixed snake-order segments of the (q, p) grid; the result is
+// identical for every worker count.
 func RunPolicySweepOn(sys *model.System, qLevels []float64, pPts int, pMax float64, workers int) (*PolicySweep, error) {
 	if pPts < 2 {
 		pPts = 41

@@ -29,6 +29,36 @@ const (
 	// safeguarded fallback to Gauss–Seidel sweeps when the map is not
 	// contractive.
 	Anderson Method = solver.AndersonName
+	// SOR is successive over-relaxation on the sequential best-response
+	// map (Gauss–Seidel with a tunable relaxation factor at the solver
+	// layer; ω = 1 is exactly Gauss–Seidel).
+	SOR Method = solver.SORName
+	// JacobiAdaptive is the simultaneous map under residual-driven
+	// adaptive damping: the damping grows while the iteration contracts
+	// and shrinks on oscillation.
+	JacobiAdaptive Method = solver.JacobiAdaptiveName
+	// Auto is the meta-solver: Gauss–Seidel probe sweeps, then a switch to
+	// SOR or Anderson when the observed contraction is slow, safeguarded
+	// like the Anderson path. Bit-identical to GaussSeidel on
+	// fast-contracting games.
+	Auto Method = solver.AutoName
+)
+
+// Best-response bracketing policies for Options.BRSeed.
+const (
+	// BRAuto couples the bracket policy to the utilization kernel: seeded
+	// when a warm kernel (model.UtilBrentWarm, model.UtilNewton) is
+	// selected, cold under the default cold Brent. Selecting the cold
+	// kernel therefore restores the fully bit-identical historical path.
+	BRAuto = ""
+	// BRCold always brackets each best-response root-find from the box
+	// endpoints [0, q] — the historical, bit-identical policy.
+	BRCold = "cold"
+	// BRSeeded always grows each best-response bracket outward from the
+	// freshest iterate value. Same root to Brent tolerance (1e-11), fewer
+	// marginal evaluations when the iterate is near the answer (warm-start
+	// chains, late outer sweeps); not bit-identical to the cold policy.
+	BRSeeded = "seeded"
 )
 
 // Options configures SolveNash. The zero value selects sensible defaults.
@@ -43,6 +73,18 @@ type Options struct {
 	// bit-identical to the historical path; the warm kernels seed each root
 	// find from the previous φ and are not bit-identical.
 	UtilSolver string
+	// BRSeed selects the best-response bracketing policy (BRAuto, BRCold,
+	// BRSeeded). The BRAuto zero value ties it to the utilization kernel,
+	// so hot paths that flip to a warm kernel get seeded brackets for free
+	// and the cold kernel stays exactly the historical path.
+	BRSeed string
+	// CarryUtilSeed keeps the workspace's utilization warm-start seed from
+	// the previous solve instead of resetting it at the solve boundary.
+	// Only deterministic-order callers may set it (sweep chains after their
+	// first point, epoch trajectories): a pooled workspace carrying a seed
+	// from an arbitrary earlier solve would make warm-kernel results
+	// scheduling-dependent.
+	CarryUtilSeed bool
 }
 
 // Equilibrium is a solved Nash equilibrium of the subsidization game,
@@ -151,13 +193,27 @@ func (g *Game) SolveNashWS(ws *Workspace, opts Options) (Equilibrium, error) {
 	if err := ws.SetUtilSolver(opts.UtilSolver); err != nil {
 		return Equilibrium{}, err
 	}
-	// Each Nash solve starts from a fresh utilization seed: pooled and
-	// sweep-worker workspaces are reused across unrelated solves, and a
-	// seed inherited from an arbitrary previous solve would make warm
-	// kernels scheduling-dependent (breaking the bit-identical-at-any-
-	// worker-count sweep guarantee). The seed still chains across the many
-	// inner root finds within this solve.
-	ws.phys.ResetUtilSeed()
+	// Each Nash solve starts from a fresh utilization seed unless the
+	// caller explicitly carries it: pooled and sweep-worker workspaces are
+	// reused across unrelated solves, and a seed inherited from an
+	// arbitrary previous solve would make warm kernels
+	// scheduling-dependent (breaking the bit-identical-at-any-worker-count
+	// sweep guarantee). Deterministic chains (sweep segments, epoch
+	// trajectories) set CarryUtilSeed so the seed survives the boundary;
+	// within one solve it always chains across the many inner root finds.
+	if !opts.CarryUtilSeed {
+		ws.phys.ResetUtilSeed()
+	}
+	switch opts.BRSeed {
+	case BRAuto:
+		ws.seedBR = ws.phys.UtilSolver() != model.UtilBrent
+	case BRCold:
+		ws.seedBR = false
+	case BRSeeded:
+		ws.seedBR = true
+	default:
+		return Equilibrium{}, fmt.Errorf("game: unknown best-response bracket policy %q", opts.BRSeed)
+	}
 	tol := opts.Tol
 	if tol <= 0 {
 		tol = 1e-9

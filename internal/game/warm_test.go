@@ -1,0 +1,150 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"neutralnet/internal/model"
+	"neutralnet/internal/solver"
+)
+
+// TestSolveNashWSAllocFreeAllSchemes extends the zero-allocation contract
+// to every registered fixed-point scheme — including the PR 4 additions
+// (sor, jacobi-adaptive, auto) — on the game workspace: a warm workspace
+// solves with zero heap allocations under each of them.
+func TestSolveNashWSAllocFreeAllSchemes(t *testing.T) {
+	g, _ := New(eightCP(), 1, 1)
+	for _, name := range solver.Names() {
+		ws := NewWorkspace()
+		opts := Options{Method: Method(name), MaxIter: 2000}
+		eq, err := g.SolveNashWS(ws, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		warm := append([]float64(nil), eq.S...)
+		opts.Initial = warm
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := g.SolveNashWS(ws, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: warm SolveNashWS allocated %v objects/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestSolveNashWSAllocFreeWarmDefaults asserts the flipped hot path stays
+// allocation-free: warm utilization kernel, seeded best-response brackets
+// and the carried utilization seed together perform zero heap allocations
+// per solve on a warm workspace.
+func TestSolveNashWSAllocFreeWarmDefaults(t *testing.T) {
+	g, _ := New(eightCP(), 1, 1)
+	ws := NewWorkspace()
+	opts := Options{UtilSolver: model.UtilBrentWarm, CarryUtilSeed: true}
+	eq, err := g.SolveNashWS(ws, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Initial = append([]float64(nil), eq.S...)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := g.SolveNashWS(ws, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm-default SolveNashWS allocated %v objects/op, want 0", allocs)
+	}
+}
+
+// TestPropertyAutoAgreesWithGaussSeidel is the PR 4 property test: on the
+// seeded random market grid the subsidization game contracts fast, so the
+// "auto" meta-solver must stay on its Gauss–Seidel branch and agree with
+// the plain scheme to ≤ 1e-12 (in fact bit-identically) — profile, φ and
+// iteration count alike.
+func TestPropertyAutoAgreesWithGaussSeidel(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 40; trial++ {
+		sys := randomSystem(rng)
+		p := 0.2 + 1.6*rng.Float64()
+		q := 0.1 + 1.4*rng.Float64()
+		g, err := New(sys, p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := g.SolveNash(Options{Method: GaussSeidel})
+		if err != nil {
+			t.Fatalf("trial %d: gauss-seidel: %v", trial, err)
+		}
+		au, err := g.SolveNash(Options{Method: Auto})
+		if err != nil {
+			t.Fatalf("trial %d: auto: %v", trial, err)
+		}
+		for i := range gs.S {
+			if d := math.Abs(au.S[i] - gs.S[i]); d > 1e-12 {
+				t.Fatalf("trial %d: s[%d] differs by %g (auto %v vs gs %v)", trial, i, d, au.S[i], gs.S[i])
+			}
+		}
+		if d := math.Abs(au.State.Phi - gs.State.Phi); d > 1e-12 {
+			t.Fatalf("trial %d: φ differs by %g", trial, d)
+		}
+		if au.Iterations != gs.Iterations {
+			t.Fatalf("trial %d: auto took %d sweeps, gauss-seidel %d — probe should have stayed sequential",
+				trial, au.Iterations, gs.Iterations)
+		}
+	}
+}
+
+// TestSeededBestResponseAgreesWithCold pins the seeded bracket policy to
+// the cold path across warm-started and cold-started solves: same roots to
+// well under solver tolerance, independent of the utilization kernel it
+// usually rides with.
+func TestSeededBestResponseAgreesWithCold(t *testing.T) {
+	g, _ := New(eightCP(), 0.9, 0.8)
+	cold, err := g.SolveNashWS(NewWorkspace(), Options{BRSeed: BRCold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldOwned := cold.Clone()
+	for _, opts := range []Options{
+		{BRSeed: BRSeeded},
+		{BRSeed: BRSeeded, UtilSolver: model.UtilBrentWarm},
+		{BRSeed: BRSeeded, Initial: coldOwned.S},
+	} {
+		eq, err := g.SolveNashWS(NewWorkspace(), opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts.BRSeed, err)
+		}
+		for i := range coldOwned.S {
+			if d := math.Abs(eq.S[i] - coldOwned.S[i]); d > 1e-9 {
+				t.Fatalf("s[%d] differs by %g under seeded brackets", i, d)
+			}
+		}
+	}
+}
+
+// TestBRSeedPolicyValidation surfaces unknown bracket policies as errors
+// and checks the BRAuto coupling: cold kernel → cold brackets (bit-identical
+// to the historical path), warm kernel → seeded.
+func TestBRSeedPolicyValidation(t *testing.T) {
+	g, _ := New(eightCP(), 1, 1)
+	if _, err := g.SolveNashWS(NewWorkspace(), Options{BRSeed: "no-such-policy"}); err == nil {
+		t.Fatal("unknown BRSeed policy must error")
+	}
+	// BRAuto + cold kernel must be bit-identical to the explicit cold policy.
+	autoEq, err := g.SolveNashWS(NewWorkspace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoOwned := autoEq.Clone()
+	coldEq, err := g.SolveNashWS(NewWorkspace(), Options{BRSeed: BRCold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coldEq.S {
+		if coldEq.S[i] != autoOwned.S[i] {
+			t.Fatalf("BRAuto under the cold kernel diverged bitwise at s[%d]", i)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"neutralnet/internal/game"
 	"neutralnet/internal/model"
+	"neutralnet/internal/solver"
 )
 
 // legacySimulate is the pre-migration epoch loop, frozen for equivalence
@@ -87,10 +88,15 @@ func trajectoriesMatch(t *testing.T, label string, a, b Trajectory, tol float64)
 
 // TestSimulateMatchesLegacyAllSolvers pins the workspace-threaded epoch loop
 // to the frozen legacy adapter path to ≤ 1e-12 across a seeded grid of
-// (p, q, µ₀) configurations and every registered Nash scheme.
+// (p, q, µ₀) configurations and every registered Nash scheme. The legacy
+// loop is cold by construction, so the suite pins the cold utilization
+// kernel explicitly (since PR 4 the empty default selects the warm one);
+// the warm default's agreement is covered by
+// TestSimulateWarmUtilizationAgrees.
 func TestSimulateMatchesLegacyAllSolvers(t *testing.T) {
 	sys := market()
-	for _, method := range []game.Method{game.GaussSeidel, game.JacobiDamped, game.Anderson} {
+	for _, name := range solver.Names() {
+		method := game.Method(name)
 		for _, tc := range []struct {
 			name string
 			p, q float64
@@ -100,7 +106,7 @@ func TestSimulateMatchesLegacyAllSolvers(t *testing.T) {
 			{"no-subsidy", 1, 0, 0.5},
 			{"high-price", 1.5, 0.5, 0.4},
 		} {
-			cfg := Config{P: tc.p, Q: tc.q, Cost: 0.1, Epochs: 25, Solver: method}
+			cfg := Config{P: tc.p, Q: tc.q, Cost: 0.1, Epochs: 25, Solver: method, UtilSolver: model.UtilBrent}
 			want, err := legacySimulate(sys, tc.mu0, cfg)
 			if err != nil {
 				t.Fatalf("%s/%s: legacy: %v", method, tc.name, err)
@@ -114,24 +120,26 @@ func TestSimulateMatchesLegacyAllSolvers(t *testing.T) {
 	}
 }
 
-// TestSimulateWarmUtilizationAgrees checks the φ warm-start options: the
-// warm-seeded Brent and safeguarded-Newton trajectories track the cold-Brent
-// trajectory to solver tolerance (they are deliberately not bit-identical).
+// TestSimulateWarmUtilizationAgrees checks the φ warm-start kernels — and
+// the empty default, which since PR 4 selects the warm Brent with the
+// cross-epoch seed carry and seeded best-response brackets: every warm
+// trajectory tracks the cold-Brent trajectory to solver tolerance (they are
+// deliberately not bit-identical).
 func TestSimulateWarmUtilizationAgrees(t *testing.T) {
 	sys := market()
-	cfg := Config{P: 1, Q: 1, Cost: 0.1, Epochs: 40}
+	cfg := Config{P: 1, Q: 1, Cost: 0.1, Epochs: 40, UtilSolver: model.UtilBrent}
 	cold, err := Simulate(sys, 0.3, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, util := range []string{model.UtilBrentWarm, model.UtilNewton} {
+	for _, util := range []string{"", model.UtilBrentWarm, model.UtilNewton} {
 		cfgW := cfg
 		cfgW.UtilSolver = util
 		warm, err := Simulate(sys, 0.3, cfgW)
 		if err != nil {
-			t.Fatalf("%s: %v", util, err)
+			t.Fatalf("%q: %v", util, err)
 		}
-		trajectoriesMatch(t, util, warm, cold, 1e-6)
+		trajectoriesMatch(t, "kernel "+util, warm, cold, 1e-6)
 	}
 }
 
@@ -152,5 +160,20 @@ func TestSimulateFinalStateOwned(t *testing.T) {
 		if tr1.FinalState.Theta[i] != snapshot[i] {
 			t.Fatal("FinalState aliases reused buffers")
 		}
+	}
+}
+
+// TestSimulateUnknownUtilKernelSurfaces pins the kernel-name validation of
+// the PR 4 default flip: a bad Config.UtilSolver errors from the first
+// epoch instead of silently running a default, and the same bad name fails
+// CompareInvestment on its first trajectory.
+func TestSimulateUnknownUtilKernelSurfaces(t *testing.T) {
+	sys := market()
+	cfg := Config{P: 1, Q: 1, Cost: 0.1, Epochs: 5, UtilSolver: "no-such-kernel"}
+	if _, err := Simulate(sys, 0.3, cfg); err == nil {
+		t.Fatal("unknown utilization kernel must error from Simulate")
+	}
+	if _, _, err := CompareInvestment(sys, 0.3, cfg); err == nil {
+		t.Fatal("unknown utilization kernel must error from CompareInvestment")
 	}
 }

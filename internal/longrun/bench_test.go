@@ -9,14 +9,16 @@ import (
 // BenchmarkLongrunSimulate measures the multi-epoch investment trajectory on
 // the two-CP market (each epoch is three equilibrium solves: profit plus two
 // finite-difference evaluations). Tracked in BENCH_solver.json across the
-// workspace/warm-start migration; the warm-φ variants additionally seed
-// every inner utilization root find from the previous solve.
+// workspace/warm-start migration. Since PR 4 the empty kernel name selects
+// the warm default (warm Brent + cross-epoch φ carry + seeded best-response
+// brackets); "cold-brent" pins the historical bit-identical path.
 func BenchmarkLongrunSimulate(b *testing.B) {
 	for _, bc := range []struct {
 		name string
 		util string
 	}{
-		{"cold-brent", ""},
+		{"default-warm", ""},
+		{"cold-brent", model.UtilBrent},
 		{"warm-brent", model.UtilBrentWarm},
 		{"newton", model.UtilNewton},
 	} {

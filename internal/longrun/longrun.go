@@ -9,15 +9,19 @@
 //
 // The whole trajectory threads ONE game workspace: every epoch's equilibrium
 // (and both finite-difference evaluations) solves allocation-free on it,
-// warm-started from the previous equilibrium's subsidy profile, and —
-// under Config.UtilSolver — with the inner utilization root finds seeded
-// from the previous solve's φ. Config.Solver selects the Nash fixed-point
-// scheme from the solver registry, so WithSolver("anderson") reaches the
+// warm-started from the previous equilibrium's subsidy profile, with the
+// inner utilization root finds seeded from the previous solve's φ — the φ
+// seed carries across the whole epoch trajectory (the solve order is
+// sequential and deterministic) — and with the best-response brackets grown
+// around the previous iterate. Epoch trajectories are a hot path, so an
+// empty Config.UtilSolver selects the warm kernel (model.UtilBrentWarm);
+// pass model.UtilBrent to restore the cold, bit-identical historical
+// trajectory. Config.Solver selects the Nash fixed-point scheme from the
+// solver registry, so WithSolver("anderson") — or "auto" — reaches the
 // epoch solves end-to-end through Engine.SimulateInvestment.
 package longrun
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -42,10 +46,11 @@ type Config struct {
 	// the historical trajectory).
 	Solver game.Method
 	// UtilSolver selects the inner utilization root kernel (a model
-	// workspace solver name; empty → cold Brent, bit-identical). Epoch
-	// trajectories move φ slowly, so model.UtilBrentWarm or
-	// model.UtilNewton turn each inner root find into a few evaluations
-	// around the previous φ.
+	// workspace solver name). Epoch trajectories move φ slowly, so the
+	// empty default selects model.UtilBrentWarm, turning each inner root
+	// find into a few evaluations around the previous φ; model.UtilBrent
+	// restores the cold kernel, bit-identical to the historical
+	// trajectory.
 	UtilSolver string
 	// Tol and MaxIter configure every epoch's Nash solve (0 → the game
 	// package defaults), so an Engine's WithTolerance/WithMaxIterations
@@ -72,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FDStep <= 0 {
 		c.FDStep = 1e-4
+	}
+	if c.UtilSolver == "" {
+		c.UtilSolver = model.UtilBrentWarm
 	}
 	return c
 }
@@ -120,6 +128,10 @@ func Simulate(sys *model.System, mu0 float64, cfg Config) (Trajectory, error) {
 			return 0, game.Equilibrium{}, err
 		}
 		opts.Initial = game.CopyProfile(&warmBuf, eq.S)
+		// The trajectory owns its workspace and solves in a fixed
+		// sequential order, so the utilization seed may chain across the
+		// epoch solves, not just within each one.
+		opts.CarryUtilSeed = true
 		return g.Revenue(eq.State) - cfg.Cost*mu, eq, nil
 	}
 
@@ -180,5 +192,3 @@ func CompareInvestment(sys *model.System, mu0 float64, cfg Config) (base, dereg 
 	return base, dereg, nil
 }
 
-// ErrNoEpochs is reserved for future streaming variants.
-var ErrNoEpochs = errors.New("longrun: no epochs simulated")

@@ -20,6 +20,16 @@ func FuzzUtilizationSolve(f *testing.F) {
 	f.Add(2.0, 2.0, 5.0, 5.0, 0.5, 0.1, 1.5)
 	f.Add(1.0, 8.0, 8.0, 1.0, 3.0, 2.0, 0.0)
 	f.Add(4.0, 3.0, 3.0, 4.0, 0.2, 0.9, 0.9)
+	// PR 4 default-flip corpus: regimes the warm-by-default hot paths hit —
+	// near-saturated capacity (φ close to 1, tight brackets), near-zero
+	// demand (the g(0) ≥ 0 early exit adjacent to warm seeds), extreme
+	// throughput decay (steep gap derivative for the Newton kernel), and a
+	// capacity cliff (large φ jump between chained solves, the stale-seed
+	// stress of snake-order segment carry).
+	f.Add(0.6, 0.6, 0.7, 0.5, 0.12, 0.0, 0.05) // near saturation
+	f.Add(9.5, 1.0, 9.8, 1.2, 4.8, 2.9, 3.0)   // vanishing demand
+	f.Add(1.1, 9.9, 1.3, 9.7, 0.4, 0.3, 0.2)   // steep λ decay
+	f.Add(3.0, 2.5, 2.5, 3.0, 5.0, 0.1, 0.1)   // abundant capacity, φ ≈ 0
 	f.Fuzz(func(t *testing.T, a1, b1, a2, b2, mu, t1, t2 float64) {
 		// Clamp the raw fuzz inputs into the paper's parameter ranges:
 		// demand/throughput exponents in [0.5, 10], capacity in [0.1, 5],
@@ -85,6 +95,24 @@ func FuzzUtilizationSolve(f *testing.F) {
 			}
 			if m[0]+m[1] <= mu && st.Phi > 1+1e-12 {
 				t.Fatalf("%s: φ = %v escaped [0,1]", kernel, st.Phi)
+			}
+
+			// The flipped hot paths chain the seed across whole sweep
+			// segments (CarryUtilSeed): replay a three-solve chain —
+			// target, far neighbor, target again — without any reset; the
+			// doubly-stale final solve must still land on the cold root.
+			mFar := []float64{m[0] * 0.55, m[1] * 1.45}
+			copy(w.M(), mFar)
+			if _, err := sys.SolveInto(w); err != nil {
+				t.Fatalf("%s: chained far solve failed: %v", kernel, err)
+			}
+			copy(w.M(), m)
+			st2, err := sys.SolveInto(w)
+			if err != nil {
+				t.Fatalf("%s: chained re-solve failed: %v", kernel, err)
+			}
+			if d := math.Abs(st2.Phi - cold); d > 1e-9 {
+				t.Fatalf("%s: chained φ %v differs from cold %v by %g", kernel, st2.Phi, cold, d)
 			}
 		}
 	})

@@ -30,37 +30,6 @@ func FixedPoint(f func(float64) float64, x0, tol, damping float64, maxIter int) 
 	return x, false
 }
 
-// FixedPointVec iterates a vector map with damping under the sup-norm
-// stopping rule. It is the kernel behind the damped-Jacobi Nash solver
-// ablation.
-func FixedPointVec(f func([]float64) []float64, x0 []float64, tol, damping float64, maxIter int) (x []float64, iters int, ok bool) {
-	if tol <= 0 {
-		tol = 1e-9
-	}
-	if damping <= 0 || damping > 1 {
-		damping = 1
-	}
-	if maxIter <= 0 {
-		maxIter = 4 * MaxIter
-	}
-	x = append([]float64(nil), x0...)
-	for it := 0; it < maxIter; it++ {
-		fx := f(x)
-		diff := 0.0
-		for i := range x {
-			d := math.Abs(fx[i] - x[i])
-			if d > diff {
-				diff = d
-			}
-			x[i] = (1-damping)*x[i] + damping*fx[i]
-		}
-		if diff < tol {
-			return x, it + 1, true
-		}
-	}
-	return x, maxIter, false
-}
-
 // AlmostEqual reports whether a and b agree to within tol absolutely or
 // relatively (whichever is looser). It is shared by tests and equilibrium
 // classification.

@@ -37,20 +37,6 @@ func TestFixedPointNonConvergence(t *testing.T) {
 	}
 }
 
-func TestFixedPointVec(t *testing.T) {
-	// Linear contraction toward (1, 2).
-	f := func(x []float64) []float64 {
-		return []float64{1 + 0.3*(x[0]-1), 2 + 0.3*(x[1]-2)}
-	}
-	x, iters, ok := FixedPointVec(f, []float64{10, -10}, 1e-12, 1, 0)
-	if !ok {
-		t.Fatal("did not converge")
-	}
-	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
-		t.Fatalf("got %v after %d iters", x, iters)
-	}
-}
-
 func TestAlmostEqual(t *testing.T) {
 	cases := []struct {
 		a, b, tol float64

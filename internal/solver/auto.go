@@ -1,0 +1,98 @@
+package solver
+
+import "math"
+
+// auto is the meta-solver: it starts on plain Gauss–Seidel — the scheme the
+// repository's games provably converge under — observes the contraction rate
+// over a short probe window, and only then commits:
+//
+//   - fast sequential contraction (ρ̂ ≤ autoStayRho): stay on Gauss–Seidel.
+//     The sweeps already run out superlinearly; any switch would just pay
+//     acceleration overhead. On this branch auto is bit-identical to the
+//     plain gauss-seidel scheme, iterate for iterate.
+//   - mild slowdown (ρ̂ ≤ autoSORRho): switch to SOR with the classical
+//     ρ̂-optimal relaxation ω = 2/(1 + √(1−ρ̂)), keeping the sequential
+//     update but shaving its sweep count.
+//   - slow or non-contracting (ρ̂ > autoSORRho, including ρ̂ ≥ 1): hand the
+//     remaining budget to Anderson acceleration, whose own divergence
+//     safeguard degrades to Gauss–Seidel sweeps — so even a cycling map ends
+//     on the robust scheme, exactly like the existing Anderson fallback
+//     path.
+//
+// The probe costs nothing extra: its sweeps are ordinary Gauss–Seidel sweeps
+// whose progress is kept. The estimate is the per-sweep geometric mean
+// ρ̂ = (diff_k/diff_1)^(1/(k−1)) of the sup-norm steps over the window.
+type auto struct {
+	sor *sor
+	and *anderson
+}
+
+const (
+	// autoProbe is the number of Gauss–Seidel sweeps observed before the
+	// scheme decision. Four sweeps resolve the contraction rate to well
+	// under a factor of two while costing nothing on fast maps (which are
+	// nearly converged by then anyway).
+	autoProbe = 4
+	// autoStayRho is the contraction rate at or below which sequential
+	// sweeps are already the fastest finisher.
+	autoStayRho = 0.3
+	// autoSORRho is the upper rate for the SOR branch; above it the map
+	// contracts slowly enough that Anderson's depth-m mixing wins.
+	autoSORRho = 0.6
+)
+
+func newAuto() *auto { return &auto{sor: &sor{omega: sorDefaultOmega}, and: newAnderson()} }
+
+func (*auto) Name() string { return AutoName }
+
+func (a *auto) Solve(p Problem, x []float64, tol float64, maxIter int) (Result, error) {
+	var d0, dLast float64
+	for it := 1; it <= maxIter; it++ {
+		// Plain Gauss–Seidel sweep, identical (component order, error
+		// policy, stopping rule) to the gauss-seidel scheme.
+		diff := 0.0
+		for i := range x {
+			br, err := p.Best(i, x)
+			if err != nil {
+				return Result{Iterations: it}, &ComponentError{I: i, Err: err}
+			}
+			if d := math.Abs(br - x[i]); d > diff {
+				diff = d
+			}
+			x[i] = br
+		}
+		if diff < tol {
+			return Result{Iterations: it, Converged: true}, nil
+		}
+		if it == 1 {
+			d0 = diff
+		}
+		dLast = diff
+
+		if it != autoProbe {
+			continue
+		}
+		rho := 1.0
+		if d0 > 0 {
+			rho = math.Pow(dLast/d0, 1/float64(autoProbe-1))
+		}
+		if math.IsNaN(rho) || rho <= autoStayRho {
+			continue // sequential sweeps finish fastest; stay the course
+		}
+		rem := maxIter - it
+		if rem <= 0 {
+			break
+		}
+		var delegate FixedPoint
+		if rho <= autoSORRho {
+			a.sor.omega = 2 / (1 + math.Sqrt(1-rho))
+			delegate = a.sor
+		} else {
+			delegate = a.and
+		}
+		res, err := delegate.Solve(p, x, tol, rem)
+		res.Iterations += it
+		return res, err
+	}
+	return Result{Iterations: maxIter}, nil
+}

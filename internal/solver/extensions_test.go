@@ -1,0 +1,256 @@
+package solver
+
+import (
+	"math"
+	"testing"
+)
+
+// slowContraction is a 2-D symmetric cross-coupling map with GS per-sweep
+// error factor ≈ 0.81 and simultaneous-map spectral radius 0.9 — slow enough
+// that over-relaxation and adaptive damping visibly pay, but still a strict
+// contraction with the interior fixed point x* = (0.5, 0.5).
+func slowContraction() funcProblem {
+	return funcProblem{
+		n: 2, lo: 0, hi: 1,
+		best: func(i int, x []float64) (float64, error) {
+			return clamp(0.05+0.9*x[1-i], 0, 1), nil
+		},
+	}
+}
+
+// oscillating has the simultaneous-map Jacobian eigenvalues ±0.8: plain
+// simultaneous iteration rings, which is exactly what the adaptive damping's
+// shrink-on-oscillation branch exists for. Fixed point x* = (5/18, 5/18).
+func oscillating() funcProblem {
+	return funcProblem{
+		n: 2, lo: 0, hi: 1,
+		best: func(i int, x []float64) (float64, error) {
+			return clamp(0.5-0.8*x[1-i], 0, 1), nil
+		},
+	}
+}
+
+// TestSOROmegaOneIsGaussSeidel pins SOR's ω = 1 degenerate case to plain
+// Gauss–Seidel bit for bit: same iterates, same iteration count.
+func TestSOROmegaOneIsGaussSeidel(t *testing.T) {
+	p := contraction()
+	gs, _ := New(GaussSeidelName)
+	xGS := make([]float64, p.n)
+	resGS, err := gs.Solve(p, xGS, 1e-10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorOne := NewSOR(1)
+	xSOR := make([]float64, p.n)
+	resSOR, err := sorOne.Solve(p, xSOR, 1e-10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resGS.Iterations != resSOR.Iterations || resGS.Converged != resSOR.Converged {
+		t.Fatalf("iteration metadata differs: GS %+v vs SOR(1) %+v", resGS, resSOR)
+	}
+	for i := range xGS {
+		if xGS[i] != xSOR[i] {
+			t.Fatalf("component %d differs bitwise: %x vs %x", i, xGS[i], xSOR[i])
+		}
+	}
+}
+
+// TestSORAcceleratesSlowContraction asserts the point of over-relaxation:
+// fewer sweeps than plain Gauss–Seidel on a slowly contracting map, same
+// fixed point.
+func TestSORAcceleratesSlowContraction(t *testing.T) {
+	p := slowContraction()
+	x0 := make([]float64, p.n)
+	gs, gsRes := solveWith(t, GaussSeidelName, p, x0)
+	sorX, sorRes := solveWith(t, SORName, p, x0)
+	if !gsRes.Converged || !sorRes.Converged {
+		t.Fatal("both schemes must converge on a contraction")
+	}
+	if sorRes.Iterations >= gsRes.Iterations {
+		t.Fatalf("sor used %d sweeps, gauss-seidel %d — no acceleration", sorRes.Iterations, gsRes.Iterations)
+	}
+	for i := range gs {
+		if math.Abs(sorX[i]-gs[i]) > 1e-8 {
+			t.Fatalf("component %d: sor %v vs gauss-seidel %v", i, sorX[i], gs[i])
+		}
+	}
+}
+
+// TestNewSORRejectsUnstableOmega checks that out-of-range relaxation factors
+// fall back to the registry default instead of producing a divergent scheme.
+func TestNewSORRejectsUnstableOmega(t *testing.T) {
+	for _, omega := range []float64{-1, 0, 2, 3, math.NaN()} {
+		fp := NewSOR(omega)
+		x := make([]float64, 3)
+		res, err := fp.Solve(contraction(), x, 1e-10, 500)
+		if err != nil || !res.Converged {
+			t.Fatalf("NewSOR(%v) must select a convergent default: %+v, %v", omega, res, err)
+		}
+	}
+}
+
+// TestAdaptiveJacobiGrowsDampingOnSmoothMap asserts the grow branch: on a
+// smooth positive-eigenvalue contraction the fixed 0.5 damping halves every
+// step for nothing, so the adaptive scheme must finish in fewer sweeps.
+func TestAdaptiveJacobiGrowsDampingOnSmoothMap(t *testing.T) {
+	p := slowContraction()
+	x0 := make([]float64, p.n)
+	_, fixed := solveWith(t, JacobiDampedName, p, x0)
+	adaX, ada := solveWith(t, JacobiAdaptiveName, p, x0)
+	if !fixed.Converged || !ada.Converged {
+		t.Fatal("both schemes must converge")
+	}
+	if ada.Iterations >= fixed.Iterations {
+		t.Fatalf("jacobi-adaptive used %d sweeps, fixed damping %d — no adaptation win",
+			ada.Iterations, fixed.Iterations)
+	}
+	for i := range adaX {
+		if math.Abs(adaX[i]-0.5) > 1e-8 {
+			t.Fatalf("component %d: %v, want 0.5", i, adaX[i])
+		}
+	}
+}
+
+// TestAdaptiveJacobiShrinksOnOscillation asserts the shrink branch: a
+// negative-eigenvalue map makes the residual direction flip every sweep, the
+// λ estimate goes negative, and the damping must settle low enough to
+// converge.
+func TestAdaptiveJacobiShrinksOnOscillation(t *testing.T) {
+	p := oscillating()
+	x0 := make([]float64, p.n)
+	x, res := solveWith(t, JacobiAdaptiveName, p, x0)
+	if !res.Converged {
+		t.Fatal("jacobi-adaptive did not stabilize the oscillating map")
+	}
+	want := 0.5 / 1.8
+	for i := range x {
+		if math.Abs(x[i]-want) > 1e-8 {
+			t.Fatalf("component %d: %v, want %v", i, x[i], want)
+		}
+	}
+}
+
+// TestAutoIsBitIdenticalToGaussSeidelOnFastMaps pins the stay branch: when
+// the probe sees a fast sequential contraction, auto must be Gauss–Seidel
+// bit for bit, including the iteration count.
+func TestAutoIsBitIdenticalToGaussSeidelOnFastMaps(t *testing.T) {
+	p := contraction() // per-sweep factor ≪ autoStayRho
+	xGS := make([]float64, p.n)
+	gs, _ := New(GaussSeidelName)
+	resGS, err := gs.Solve(p, xGS, 1e-10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xAuto := make([]float64, p.n)
+	au, _ := New(AutoName)
+	resAuto, err := au.Solve(p, xAuto, 1e-10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resGS.Iterations != resAuto.Iterations || !resAuto.Converged {
+		t.Fatalf("auto (%+v) must match gauss-seidel (%+v) on a fast map", resAuto, resGS)
+	}
+	for i := range xGS {
+		if xGS[i] != xAuto[i] {
+			t.Fatalf("component %d differs bitwise: %x vs %x", i, xGS[i], xAuto[i])
+		}
+	}
+}
+
+// TestAutoSwitchesOnSlowContraction asserts the probe pays off: on a slow
+// map auto must finish in fewer sweeps than plain Gauss–Seidel while
+// reaching the same fixed point.
+func TestAutoSwitchesOnSlowContraction(t *testing.T) {
+	p := slowContraction()
+	x0 := make([]float64, p.n)
+	gsX, gsRes := solveWith(t, GaussSeidelName, p, x0)
+	autoX, autoRes := solveWith(t, AutoName, p, x0)
+	if !gsRes.Converged || !autoRes.Converged {
+		t.Fatal("both schemes must converge")
+	}
+	if autoRes.Iterations >= gsRes.Iterations {
+		t.Fatalf("auto used %d sweeps, gauss-seidel %d — the switch did not pay",
+			autoRes.Iterations, gsRes.Iterations)
+	}
+	for i := range gsX {
+		if math.Abs(autoX[i]-gsX[i]) > 1e-8 {
+			t.Fatalf("component %d: auto %v vs gauss-seidel %v", i, autoX[i], gsX[i])
+		}
+	}
+}
+
+// TestAutoFallsBackSafeguardedOnNonContractiveCurve mirrors the Anderson
+// safeguard test: on the cycling curve auto must still land on the
+// Gauss–Seidel answer (via Anderson's divergence safeguard).
+func TestAutoFallsBackSafeguardedOnNonContractiveCurve(t *testing.T) {
+	p := nonContractive()
+	x0 := make([]float64, p.n)
+	gs, gsRes := solveWith(t, GaussSeidelName, p, x0)
+	if !gsRes.Converged {
+		t.Fatal("gauss-seidel did not converge on the non-contractive curve")
+	}
+	x, res := solveWith(t, AutoName, p, x0)
+	if !res.Converged {
+		t.Fatal("auto did not converge on the non-contractive curve")
+	}
+	for i := range x {
+		if math.Abs(x[i]-gs[i]) > 1e-9 {
+			t.Fatalf("component %d: auto %v vs gauss-seidel %v", i, x[i], gs[i])
+		}
+	}
+}
+
+// TestSchemesAllocFreeWhenWarm asserts the scratch-ownership contract for
+// the new schemes on a synthetic problem: after a first solve has sized the
+// buffers, repeated solves allocate nothing.
+func TestSchemesAllocFreeWhenWarm(t *testing.T) {
+	var p Problem = slowContraction() // boxed once; per-call conversion would itself allocate
+	for _, name := range []string{SORName, JacobiAdaptiveName, AutoName} {
+		fp, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, p.N())
+		if _, err := fp.Solve(p, x, 1e-10, 500); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			for i := range x {
+				x[i] = 0
+			}
+			if _, err := fp.Solve(p, x, 1e-10, 500); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s allocated %v objects per warm solve, want 0", name, allocs)
+		}
+	}
+}
+
+// BenchmarkSchemes micro-benchmarks every registered scheme on the slow
+// synthetic contraction (the regime the new schemes target). The CI bench
+// smoke step runs this suite; BENCH_solver.json records the trajectory.
+func BenchmarkSchemes(b *testing.B) {
+	p := slowContraction()
+	for _, name := range Names() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			fp, err := New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := make([]float64, p.n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range x {
+					x[j] = 0
+				}
+				if _, err := fp.Solve(p, x, 1e-10, 2000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -4,8 +4,9 @@ import "math"
 
 // jacobiDamped iterates all best responses simultaneously and mixes with
 // damping 0.5. It reproduces the historical damped-Jacobi ablation exactly
-// (same update order, same stopping rule as numeric.FixedPointVec with
-// damping 0.5), so results are bit-identical to the pre-extraction solver.
+// (same update order, same sup-norm stopping rule as the retired
+// allocating vector kernel it was extracted from, at damping 0.5), so
+// results are bit-identical to the pre-extraction solver.
 type jacobiDamped struct {
 	fx []float64 // simultaneous best-response buffer
 }

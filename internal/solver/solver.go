@@ -13,6 +13,17 @@
 //     with a safeguarded fallback to plain Gauss–Seidel sweeps when the
 //     underlying map is not contractive. Cuts outer iterations on the smooth
 //     contraction maps the paper's games induce.
+//   - "sor": successive over-relaxation on the sequential map — Gauss–Seidel
+//     with a tunable relaxation factor ω (NewSOR); ω = 1 is Gauss–Seidel,
+//     ω > 1 shaves sweeps on slowly contracting maps.
+//   - "jacobi-adaptive": the simultaneous map under residual-driven adaptive
+//     damping (Aitken-style eigenvalue estimate): damping grows while the
+//     iteration contracts and shrinks on oscillation, for games where the
+//     fixed 0.5 is too conservative.
+//   - "auto": meta-solver — probes the contraction rate on Gauss–Seidel
+//     sweeps and switches to SOR or Anderson only when the map is slow,
+//     falling back safeguarded like the Anderson path. Bit-identical to
+//     "gauss-seidel" on fast-contracting maps.
 //
 // Solver instances own reusable scratch buffers: a warm instance performs no
 // heap allocations per Solve. They are therefore NOT safe for concurrent
@@ -80,9 +91,12 @@ func (e *ComponentError) Unwrap() error { return e.Err }
 
 // Canonical scheme names.
 const (
-	GaussSeidelName  = "gauss-seidel"
-	JacobiDampedName = "jacobi-damped"
-	AndersonName     = "anderson"
+	GaussSeidelName    = "gauss-seidel"
+	JacobiDampedName   = "jacobi-damped"
+	AndersonName       = "anderson"
+	SORName            = "sor"
+	JacobiAdaptiveName = "jacobi-adaptive"
+	AutoName           = "auto"
 )
 
 // DefaultName is the scheme an empty name resolves to.
@@ -164,4 +178,7 @@ func init() {
 	Register(GaussSeidelName, func() FixedPoint { return &gaussSeidel{} })
 	Register(JacobiDampedName, func() FixedPoint { return &jacobiDamped{} })
 	Register(AndersonName, func() FixedPoint { return newAnderson() })
+	Register(SORName, func() FixedPoint { return NewSOR(0) })
+	Register(JacobiAdaptiveName, func() FixedPoint { return &jacobiAdaptive{} })
+	Register(AutoName, func() FixedPoint { return newAuto() })
 }

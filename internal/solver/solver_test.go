@@ -69,7 +69,7 @@ func TestAllSchemesAgreeOnContraction(t *testing.T) {
 	if !gsRes.Converged {
 		t.Fatal("gauss-seidel did not converge on a contraction")
 	}
-	for _, name := range []string{JacobiDampedName, AndersonName} {
+	for _, name := range []string{JacobiDampedName, AndersonName, SORName, JacobiAdaptiveName, AutoName} {
 		x, res := solveWith(t, name, p, x0)
 		if !res.Converged {
 			t.Fatalf("%s did not converge", name)
@@ -205,7 +205,7 @@ func TestAllSchemesErrorWhenEveryComponentFails(t *testing.T) {
 		n: 2, lo: 0, hi: 1,
 		best: func(i int, x []float64) (float64, error) { return 0, boom },
 	}
-	for _, name := range []string{GaussSeidelName, JacobiDampedName, AndersonName} {
+	for _, name := range []string{GaussSeidelName, JacobiDampedName, AndersonName, SORName, JacobiAdaptiveName, AutoName} {
 		fp, _ := New(name)
 		x := []float64{0.3, 0.4}
 		res, err := fp.Solve(p, x, 1e-9, 50)
@@ -231,7 +231,10 @@ func TestRegistry(t *testing.T) {
 		t.Fatal("unknown scheme must error")
 	}
 	names := Names()
-	want := map[string]bool{GaussSeidelName: false, JacobiDampedName: false, AndersonName: false}
+	want := map[string]bool{
+		GaussSeidelName: false, JacobiDampedName: false, AndersonName: false,
+		SORName: false, JacobiAdaptiveName: false, AutoName: false,
+	}
 	for _, n := range names {
 		if _, ok := want[n]; ok {
 			want[n] = true

@@ -1,0 +1,68 @@
+package solver
+
+import "math"
+
+// sor is successive over-relaxation on the sequential best-response map:
+// each component is updated in place to the relaxed mix
+//
+//	x_i ← x_i + ω·(Best_i(x) − x_i)
+//
+// with the freshest profile visible to every subsequent component, exactly
+// like Gauss–Seidel (ω = 1 reproduces it bit for bit). For a contraction
+// with per-sweep rate ρ the relaxed error factor is |1 − ω + ωρ|, so mild
+// over-relaxation (ω ∈ (1, 2)) cuts the sweep count on slowly contracting
+// maps where the plain sequential update crawls. Relaxed iterates can leave
+// the box, so every update is clamped back into it; the convergence test is
+// on the *unrelaxed* residual |Best_i(x) − x_i| (the true fixed-point
+// residual), matching the Gauss–Seidel stopping rule.
+type sor struct {
+	omega float64
+}
+
+// sorDefaultOmega is the registry default ω: conservative over-relaxation
+// that is provably contractive for every ρ < 1 map the repository's games
+// induce (|1 − ω + ωρ| < 1 for all ρ ∈ [0, 1)) while still shaving sweeps
+// when ρ is moderate.
+const sorDefaultOmega = 1.3
+
+// NewSOR returns an over-relaxed Gauss–Seidel solver with relaxation factor
+// omega. Values outside (0, 2) — the stability interval for contractions —
+// select the registry default. ω = 1 is exactly Gauss–Seidel; ω > 1
+// over-relaxes, ω < 1 under-relaxes (a sequential damping useful for
+// borderline maps). Custom ω values can be made name-selectable by
+// registering a wrapper factory with Register.
+func NewSOR(omega float64) FixedPoint {
+	if !(omega > 0 && omega < 2) {
+		omega = sorDefaultOmega
+	}
+	return &sor{omega: omega}
+}
+
+func (*sor) Name() string { return SORName }
+
+func (s *sor) Solve(p Problem, x []float64, tol float64, maxIter int) (Result, error) {
+	lo, hi := p.Box()
+	for it := 1; it <= maxIter; it++ {
+		diff := 0.0
+		for i := range x {
+			br, err := p.Best(i, x)
+			if err != nil {
+				return Result{Iterations: it}, &ComponentError{I: i, Err: err}
+			}
+			if d := math.Abs(br - x[i]); d > diff {
+				diff = d
+			}
+			xi := x[i] + s.omega*(br-x[i])
+			if xi < lo {
+				xi = lo
+			} else if xi > hi {
+				xi = hi
+			}
+			x[i] = xi
+		}
+		if diff < tol {
+			return Result{Iterations: it, Converged: true}, nil
+		}
+	}
+	return Result{Iterations: maxIter}, nil
+}

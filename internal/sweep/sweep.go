@@ -2,13 +2,23 @@
 // Engine API and the internal grid searches (ISP pricing, the figure
 // harness). It evaluates the subsidization equilibrium over a Cartesian
 // grid of (price p, policy cap q, capacity µ) with a worker pool, and is
-// deterministic by construction: the grid is partitioned into independent
-// rows — one row per (µ, q) pair, spanning the whole p axis — and each row
-// is solved sequentially along p, warm-starting every solve from the
-// previous price point's equilibrium profile (the equilibrium path is
-// continuous in p by Theorem 6, so the previous profile is an excellent
-// seed). Workers pick up whole rows, never individual points, so the
-// result is bit-identical for any worker count.
+// deterministic by construction: the grid is linearized into one
+// snake-order (boustrophedon) path — p sweeps alternate direction row by
+// row, and the q rows alternate direction capacity slab by slab, so
+// consecutive path points are always grid neighbors, including at row
+// boundaries — and the path is cut into fixed-length segments that depend
+// only on the grid, never on the worker count. Each segment is solved
+// sequentially, cold-starting its first point and then chaining both the
+// Nash profile and the utilization seed φ point to point (the equilibrium
+// path is continuous in p, q and µ by Theorem 6, so the previous point is
+// an excellent seed). Workers pick up whole segments, never individual
+// points, so the result is bit-identical for any worker count.
+//
+// Hot-path defaults: an empty Config.Solver.UtilSolver selects the warm
+// utilization kernel (model.UtilBrentWarm) — and with it, through the
+// game layer's BRAuto policy, seeded best-response brackets. Pass
+// model.UtilBrent explicitly to restore the fully cold, bit-identical
+// historical path.
 package sweep
 
 import (
@@ -64,11 +74,10 @@ type Point struct {
 	Welfare  float64 // Σ v_i θ_i at the equilibrium
 }
 
-// DefaultSegmentLen is the warm-start chain length callers pass as
-// Config.SegmentLen when they have no reason to choose otherwise: 16
-// points amortize the chain's one cold solve to ~6% while typical
-// figure-resolution rows (25-41 points) still split into multiple
-// parallel units.
+// DefaultSegmentLen is the warm-start chain length used when Config.
+// SegmentLen is unset: 16 points amortize each chain's one cold solve to
+// ~6% while typical figure-resolution grids still split into enough
+// independent units to feed a worker pool.
 const DefaultSegmentLen = 16
 
 // Config controls a sweep run.
@@ -77,17 +86,20 @@ type Config struct {
 	// result is identical for every worker count.
 	Workers int
 	// Solver is the per-point Nash solver configuration. Its Initial field
-	// is overridden by the warm-start chain when WarmStart is set.
+	// is overridden by the warm-start chain when WarmStart is set, and an
+	// empty UtilSolver selects the warm hot-path default
+	// (model.UtilBrentWarm) rather than the model layer's cold default.
 	Solver game.Options
-	// WarmStart seeds each solve from the previous price point's
-	// equilibrium profile within the chain. Cold solves otherwise.
+	// WarmStart seeds each solve's Nash profile from the previous path
+	// point's equilibrium within the segment. Cold Nash starts otherwise.
+	// (The utilization seed φ chains within each segment regardless — it
+	// is a property of the warm kernel, not of the profile warm start.)
 	WarmStart bool
-	// SegmentLen splits each (µ, q) row's price axis into warm-start
-	// chains of at most this many points, multiplying the number of
-	// independent work units beyond the row count (a long chain cannot be
-	// parallelized, a short one wastes warm starts). The split depends
-	// only on the grid — never on Workers — so determinism is preserved.
-	// ≤ 0 keeps whole rows as single chains.
+	// SegmentLen cuts the snake path into warm-start chains of at most
+	// this many points, multiplying the number of independent work units
+	// (a long chain cannot be parallelized, a short one wastes warm
+	// starts). The cut depends only on the grid — never on Workers — so
+	// determinism is preserved. ≤ 0 selects DefaultSegmentLen.
 	SegmentLen int
 }
 
@@ -97,7 +109,27 @@ type Result struct {
 	Grid   Grid
 	Names  []string // CP names, for CSV/JSON export
 	Points []Point
-	Chains int // independent warm-start chains the grid was split into
+	Chains int // independent warm-start chains the snake path was cut into
+}
+
+// pathCoords maps a snake-path position k to grid indices (mi, qi, pi).
+// The path visits the grid µ-slab by µ-slab; within a slab the q rows run
+// forward on even slabs and backward on odd ones, and within a row the p
+// axis runs forward on even global rows and backward on odd ones — so
+// consecutive path positions always differ by one step in exactly one
+// coordinate.
+func pathCoords(k, nP, nQ int) (mi, qi, pi int) {
+	row, o := k/nP, k%nP
+	mi = row / nQ
+	qi = row % nQ
+	if mi%2 == 1 {
+		qi = nQ - 1 - qi
+	}
+	pi = o
+	if row%2 == 1 {
+		pi = nP - 1 - o
+	}
+	return mi, qi, pi
 }
 
 // Run evaluates the grid over the system under cfg. The system is treated
@@ -115,28 +147,60 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 	if len(grid.Mu) == 0 {
 		grid.Mu = []float64{sys.Mu}
 	}
+	// Grid-point validation is hoisted out of the per-point solve: every
+	// (p, q) combination shares the same sign checks, and each capacity
+	// variant is validated once on its shallow copy.
+	for _, p := range grid.P {
+		if p < 0 {
+			return nil, fmt.Errorf("sweep: negative price p=%g", p)
+		}
+	}
+	for _, q := range grid.Q {
+		if q < 0 {
+			return nil, fmt.Errorf("sweep: negative policy cap q=%g", q)
+		}
+	}
+	systems := make([]*model.System, len(grid.Mu))
+	for mi, mu := range grid.Mu {
+		rowSys := sys
+		if mu != sys.Mu {
+			cp := *sys
+			cp.Mu = mu
+			rowSys = &cp
+		}
+		if err := rowSys.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: at mu=%g: %w", mu, err)
+		}
+		systems[mi] = rowSys
+	}
+	// Hot-path default: chained solves run the warm utilization kernel
+	// unless the caller pinned a kernel by name.
+	if cfg.Solver.UtilSolver == "" {
+		cfg.Solver.UtilSolver = model.UtilBrentWarm
+	}
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
 
-	// Split each row's price axis into evenly sized chains of at most
-	// SegmentLen points. The split is a function of the grid alone, so the
-	// same chains — and therefore bit-identical iterates — result for any
-	// worker count.
+	// Cut the snake path into evenly sized segments of at most SegmentLen
+	// points. The cut is a function of the grid alone, so the same chains —
+	// and therefore bit-identical iterates — result for any worker count.
+	n := grid.Size()
 	segLen := cfg.SegmentLen
-	if segLen <= 0 || segLen > len(grid.P) {
-		segLen = len(grid.P)
+	if segLen <= 0 {
+		segLen = DefaultSegmentLen
 	}
-	segsPerRow := (len(grid.P) + segLen - 1) / segLen
-	segLen = (len(grid.P) + segsPerRow - 1) / segsPerRow
-	nRows := len(grid.Mu) * len(grid.Q)
-	nChains := nRows * segsPerRow
+	if segLen > n {
+		segLen = n
+	}
+	nChains := (n + segLen - 1) / segLen
+	segLen = (n + nChains - 1) / nChains
 	if workers > nChains {
 		workers = nChains
 	}
 
-	res := &Result{Grid: grid, Points: make([]Point, grid.Size()), Chains: nChains}
+	res := &Result{Grid: grid, Points: make([]Point, n), Chains: nChains}
 	for _, cp := range sys.CPs {
 		res.Names = append(res.Names, cp.Name)
 	}
@@ -160,13 +224,12 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 				if failed.Load() {
 					continue
 				}
-				row := chain / segsPerRow
-				pLo := (chain % segsPerRow) * segLen
-				pHi := pLo + segLen
-				if pHi > len(grid.P) {
-					pHi = len(grid.P)
+				lo := chain * segLen
+				hi := lo + segLen
+				if hi > n {
+					hi = n
 				}
-				if err := runChain(sys, grid, cfg, row, pLo, pHi, res.Points, ws, &warm); err != nil {
+				if err := runChain(systems, grid, cfg, lo, hi, res.Points, ws, &warm); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 				}
@@ -184,45 +247,37 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runChain solves the price points [pLo, pHi) of one (µ, q) row
-// sequentially, cold-starting the first point and warm-chaining the rest,
-// writing into the disjoint slice range the chain owns. It solves on the
-// worker's workspace (allocation-free per point once warm); the warm-start
-// profile is copied into the worker's own buffer because the freshly solved
-// equilibrium still borrows the workspace and the retained Point needs an
-// owning clone anyway.
-func runChain(sys *model.System, grid Grid, cfg Config, row, pLo, pHi int, points []Point, ws *game.Workspace, warmBuf *[]float64) error {
-	mi, qi := row/len(grid.Q), row%len(grid.Q)
-	mu, q := grid.Mu[mi], grid.Q[qi]
-	rowSys := sys
-	if mu != sys.Mu {
-		cp := *sys
-		cp.Mu = mu
-		rowSys = &cp
-	}
-	base := row * len(grid.P)
-	var warm []float64 // nil for the chain's cold first point
-	for pi := pLo; pi < pHi; pi++ {
-		p := grid.P[pi]
-		g, err := game.New(rowSys, p, q)
-		if err != nil {
-			return fmt.Errorf("sweep: at p=%g q=%g mu=%g: %w", p, q, mu, err)
-		}
+// runChain solves the snake-path positions [lo, hi) of one segment
+// sequentially, cold-starting the first point and warm-chaining the rest —
+// the Nash profile through Options.Initial and the utilization seed φ
+// through Options.CarryUtilSeed — writing into the disjoint result indices
+// the segment owns. It solves on the worker's workspace (allocation-free
+// per point once warm); the warm-start profile is copied into the worker's
+// own buffer because the freshly solved equilibrium still borrows the
+// workspace and the retained Point needs an owning clone anyway.
+func runChain(systems []*model.System, grid Grid, cfg Config, lo, hi int, points []Point, ws *game.Workspace, warmBuf *[]float64) error {
+	nP, nQ := len(grid.P), len(grid.Q)
+	var g game.Game // fields are re-pointed per path point; validation was hoisted into Run
+	var warm []float64
+	for k := lo; k < hi; k++ {
+		mi, qi, pi := pathCoords(k, nP, nQ)
+		g.Sys, g.P, g.Q = systems[mi], grid.P[pi], grid.Q[qi]
 		opts := cfg.Solver
 		opts.Initial = nil
 		if cfg.WarmStart {
 			opts.Initial = warm
 		}
+		opts.CarryUtilSeed = k > lo
 		eq, err := g.SolveNashWS(ws, opts)
 		if err != nil {
-			return fmt.Errorf("sweep: solve at p=%g q=%g mu=%g: %w", p, q, mu, err)
+			return fmt.Errorf("sweep: solve at p=%g q=%g mu=%g: %w", g.P, g.Q, g.Sys.Mu, err)
 		}
 		owned := eq.Clone() // escape the workspace-borrowed state
 		if cfg.WarmStart {
 			warm = game.CopyProfile(warmBuf, owned.S)
 		}
-		points[base+pi] = Point{
-			P: p, Q: q, Mu: mu, Eq: owned,
+		points[(mi*nQ+qi)*nP+pi] = Point{
+			P: g.P, Q: g.Q, Mu: g.Sys.Mu, Eq: owned,
 			Revenue: g.Revenue(owned.State),
 			Welfare: g.Welfare(owned.State),
 		}

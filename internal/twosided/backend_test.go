@@ -8,6 +8,7 @@ import (
 	"neutralnet/internal/game"
 	"neutralnet/internal/model"
 	"neutralnet/internal/numeric"
+	"neutralnet/internal/solver"
 )
 
 func feeSystem() *model.System {
@@ -77,7 +78,10 @@ func legacyOptimalFee(sys *model.System, p, cMax float64) (float64, Outcome, err
 }
 
 // TestOptimalFeeMatchesLegacy pins the workspace fee scan to the frozen
-// legacy path to ≤ 1e-12 across a seeded (p, cMax, µ) grid.
+// legacy path to ≤ 1e-12 across a seeded (p, cMax, µ) grid. The legacy scan
+// is cold by construction, so the suite pins the cold kernel explicitly
+// (since PR 4 OptimalFee's empty default selects the warm one);
+// TestOptimalFeeWarmKernelAgrees covers the warm default.
 func TestOptimalFeeMatchesLegacy(t *testing.T) {
 	for _, tc := range []struct {
 		name    string
@@ -95,7 +99,7 @@ func TestOptimalFeeMatchesLegacy(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: legacy: %v", tc.name, err)
 		}
-		cGot, outGot, err := OptimalFee(sys, tc.p, tc.cMax)
+		cGot, outGot, err := OptimalFeeKernel(sys, tc.p, tc.cMax, model.UtilBrent)
 		if err != nil {
 			t.Fatalf("%s: workspace: %v", tc.name, err)
 		}
@@ -114,11 +118,37 @@ func TestOptimalFeeMatchesLegacy(t *testing.T) {
 	}
 }
 
+// TestOptimalFeeWarmKernelAgrees checks the flipped default: the warm
+// fee-scan kernel lands on the same fee region and revenue as the cold
+// bit-identical path to solver tolerance (the polished c* may shift within
+// the optimizer's tolerance, so the comparison is on the outcome).
+func TestOptimalFeeWarmKernelAgrees(t *testing.T) {
+	sys := feeSystem()
+	cCold, outCold, err := OptimalFeeKernel(sys, 0.8, 1.2, model.UtilBrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cWarm, outWarm, err := OptimalFee(sys, 0.8, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(cWarm - cCold); d > 1e-4 {
+		t.Fatalf("c* differs by %g (warm %v vs cold %v)", d, cWarm, cCold)
+	}
+	if d := math.Abs(outWarm.Revenue - outCold.Revenue); d > 1e-9 {
+		t.Fatalf("revenue differs by %g", d)
+	}
+	if outWarm.Exited != outCold.Exited {
+		t.Fatalf("exit counts differ: %d vs %d", outWarm.Exited, outCold.Exited)
+	}
+}
+
 // TestCompareWithMatchesLegacyAllSolvers pins the comparison's Nash side to
 // the legacy adapter (SolveNash) to ≤ 1e-12 for every registered scheme.
 func TestCompareWithMatchesLegacyAllSolvers(t *testing.T) {
 	sys := feeSystem()
-	for _, method := range []game.Method{game.GaussSeidel, game.JacobiDamped, game.Anderson} {
+	for _, name := range solver.Names() {
+		method := game.Method(name)
 		g, err := game.New(sys, 0.8, 1)
 		if err != nil {
 			t.Fatal(err)

@@ -78,7 +78,12 @@ func Solve(sys *model.System, p, c float64) (Outcome, error) {
 // scanner is the workspace-threaded fee-scan kernel behind OptimalFee: the
 // populations m_i(p) are fee-independent, so a scan precomputes them once
 // and each candidate fee only masks the exited CPs and re-solves the
-// utilization fixed point in place — zero allocations per candidate.
+// utilization fixed point in place — zero allocations per candidate. Fee
+// scans are a hot path: consecutive candidate fees move φ slowly, so the
+// empty kernel name selects the warm utilization kernel
+// (model.UtilBrentWarm), each root find seeded from the previous
+// candidate's φ; model.UtilBrent restores the cold, bit-identical
+// historical scan.
 type scanner struct {
 	sys  *model.System
 	ws   *model.Workspace
@@ -86,14 +91,20 @@ type scanner struct {
 	mAll []float64 // m_i(p), independent of the fee
 }
 
-func newScanner(sys *model.System, p float64) (*scanner, error) {
+func newScanner(sys *model.System, p float64, utilKernel string) (*scanner, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
 	if p < 0 {
 		return nil, fmt.Errorf("twosided: negative price %g", p)
 	}
+	if utilKernel == "" {
+		utilKernel = model.UtilBrentWarm
+	}
 	sc := &scanner{sys: sys, ws: model.NewWorkspace(), p: p, mAll: make([]float64, sys.N())}
+	if err := sc.ws.SetUtilSolver(utilKernel); err != nil {
+		return nil, err
+	}
 	sc.ws.Bind(sys)
 	for i, cp := range sys.CPs {
 		sc.mAll[i] = cp.Demand.M(p)
@@ -120,11 +131,20 @@ func (sc *scanner) revenueAt(c float64) (float64, error) {
 }
 
 // OptimalFee finds the revenue-maximizing termination fee on [0, cMax] at a
-// fixed usage price p. Revenue is discontinuous at every v_i (a CP exits),
-// so the search scans a fine grid including every exit threshold and then
-// polishes within the best smooth segment. The scan runs on one reusable
-// physical workspace; only the final outcome is materialized.
+// fixed usage price p, on the warm hot-path default kernel. It is
+// OptimalFeeKernel with the empty (warm) kernel selection.
 func OptimalFee(sys *model.System, p, cMax float64) (float64, Outcome, error) {
+	return OptimalFeeKernel(sys, p, cMax, "")
+}
+
+// OptimalFeeKernel is OptimalFee with an explicit utilization root kernel
+// for the scan (a model workspace solver name; empty selects the warm
+// default, model.UtilBrent the cold bit-identical path). Revenue is
+// discontinuous at every v_i (a CP exits), so the search scans a fine grid
+// including every exit threshold and then polishes within the best smooth
+// segment. The scan runs on one reusable physical workspace; only the final
+// outcome is materialized.
+func OptimalFeeKernel(sys *model.System, p, cMax float64, utilKernel string) (float64, Outcome, error) {
 	if cMax <= 0 {
 		return 0, Outcome{}, errors.New("twosided: cMax must be positive")
 	}
@@ -140,7 +160,7 @@ func OptimalFee(sys *model.System, p, cMax float64) (float64, Outcome, error) {
 			candidates = append(candidates, cp.Value, math.Nextafter(cp.Value, 0))
 		}
 	}
-	sc, err := newScanner(sys, p)
+	sc, err := newScanner(sys, p, utilKernel)
 	if err != nil {
 		return 0, Outcome{}, err
 	}

@@ -33,9 +33,14 @@
 //
 // Sweeps run a worker pool over the grid and are deterministic: the result
 // is bit-identical for every worker count, because warm starts chain only
-// along each (µ, q) row's price axis. Single-shot helpers from the first
-// release (SolveEquilibrium, OptimalPrice, PlanCapacity, ...) remain as
-// thin deprecated wrappers over the Engine path.
+// within fixed snake-order segments of the grid. Hot paths (Sweep,
+// OptimalPrice, PlanCapacity, SimulateInvestment, Duopoly) default to warm
+// utilization kernels since PR 4 — WithUtilizationSolver(UtilBrent)
+// restores the fully cold bit-identical path. The §6 competition scenarios
+// are reachable through Engine.Duopoly, a session over a two-ISP market
+// with its own cache and (p₁, p₂) price sweeps. Single-shot helpers from
+// the first release (SolveEquilibrium, OptimalPrice, PlanCapacity, ...)
+// remain as thin deprecated wrappers over the Engine path.
 //
 // Deeper control (custom demand/throughput/utilization curves, welfare
 // decompositions, the flow-level grounding simulator and the per-figure

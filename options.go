@@ -23,6 +23,18 @@ const (
 	// Anderson runs Anderson-accelerated fixed-point iteration with a
 	// safeguarded fallback to Gauss–Seidel on non-contractive games.
 	Anderson = game.Anderson
+	// SOR is over-relaxed Gauss–Seidel (sequential updates with a tunable
+	// relaxation factor; fewer sweeps on slowly contracting games).
+	SOR = game.SOR
+	// JacobiAdaptive dampens the simultaneous iteration adaptively:
+	// residual-driven damping grows while the iteration contracts and
+	// shrinks on oscillation.
+	JacobiAdaptive = game.JacobiAdaptive
+	// Auto probes the contraction rate on Gauss–Seidel sweeps and
+	// switches to SOR or Anderson only when the game is slow; bit-identical
+	// to GaussSeidel on fast-contracting games and safeguarded like
+	// Anderson otherwise.
+	Auto = game.Auto
 )
 
 // Option configures an Engine at construction time.
@@ -47,7 +59,9 @@ func defaultConfig() engineConfig {
 // WithSolver selects the Nash iteration scheme (default GaussSeidel).
 // Schemes are named: the constants above cover the built-in ones, and any
 // name registered with the internal solver registry is accepted — e.g.
-// WithSolver("anderson"). An unknown name surfaces as an error from the
+// WithSolver("anderson") or WithSolver("auto"). The selection reaches every
+// Engine surface end-to-end: Solve, Sweep, SimulateInvestment, Duopoly and
+// the planner comparison. An unknown name surfaces as an error from the
 // first Solve/Sweep call.
 func WithSolver(m SolverMethod) Option {
 	return func(c *engineConfig) { c.solver.Method = m }
@@ -66,13 +80,18 @@ const (
 )
 
 // WithUtilizationSolver selects the inner utilization root kernel every Nash
-// solve runs on (default UtilBrent, the cold bracketing Brent that is
-// bit-identical to the historical results). UtilBrentWarm and UtilNewton
-// warm-start each root find from the previous solve's φ — the hot-path
-// multiplier for sweeps and epoch trajectories — and agree with the cold
-// kernel to root tolerance (~1e-12) without being bit-identical, so golden
-// outputs are re-baselined when they are adopted as a default. An unknown
-// name surfaces as an error from the first Solve/Sweep call.
+// solve runs on. Defaults are split by path since the PR 4 flip: the hot
+// paths that solve chains of nearby problems — Sweep, OptimalPrice,
+// PlanCapacity, SimulateInvestment, Duopoly — default to the warm kernel
+// (UtilBrentWarm: each root find seeded from the previous solve's φ, with
+// seeded best-response brackets riding along), while the one-shot
+// Solve/SolveAt keep the cold UtilBrent, bit-identical to the historical
+// results. The kernels agree to root tolerance (~1e-12) without being
+// bit-identical — the measured drift is recorded in
+// cmd/figures/testdata/golden/REBASELINE.md and pinned by
+// TestGoldenWarmStartUlpEnvelope. Pass UtilBrent explicitly to force the
+// fully cold, bit-identical path everywhere; an unknown name surfaces as an
+// error from the first Solve/Sweep call.
 func WithUtilizationSolver(name string) Option {
 	return func(c *engineConfig) { c.solver.UtilSolver = name }
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Lightweight benchstat-style regression gate for the sweep hot path.
+#
+# Absolute ns/op is meaningless across machines (the BENCH_solver.json
+# baseline was recorded on a specific 1-vCPU Xeon), so the check compares a
+# hardware-normalized RATIO instead: the default hot path (cold-1w, warm
+# kernel + seeded brackets + snake chains) over the pinned historical path
+# (coldkernel-1w, bit-identical legacy code this PR family does not touch),
+# both measured best-of-3 in the same run. A >10% rise of that ratio over
+# the recorded baseline ratio means the hot path itself got slower relative
+# to unchanged code — a code regression, not a hardware gap. Exits non-zero
+# on regression; CI runs this with continue-on-error so the failure
+# surfaces as a loud warning, not a red build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base_hot=$(jq -r '.benchmarks.engine_sweep_cold_1worker.after.ns_per_op' BENCH_solver.json)
+base_pin=$(jq -r '.benchmarks.engine_sweep_coldkernel_1worker.after.ns_per_op' BENCH_solver.json)
+if [ -z "$base_hot" ] || [ "$base_hot" = "null" ] || [ -z "$base_pin" ] || [ "$base_pin" = "null" ]; then
+  echo "missing engine_sweep baselines in BENCH_solver.json"
+  exit 1
+fi
+
+out=$(go test -run '^$' -bench 'EngineSweep/(cold-1w|coldkernel-1w)$' -benchtime 5x -count 3 .)
+echo "$out"
+hot=$(echo "$out" | awk '$1 ~ /^BenchmarkEngineSweep\/cold-1w/ {print $3}' | sort -n | head -1)
+pin=$(echo "$out" | awk '$1 ~ /^BenchmarkEngineSweep\/coldkernel-1w/ {print $3}' | sort -n | head -1)
+if [ -z "$hot" ] || [ -z "$pin" ]; then
+  echo "could not parse benchmark output"
+  exit 1
+fi
+
+read -r base_ratio ratio limit <<<"$(awk -v bh="$base_hot" -v bp="$base_pin" -v h="$hot" -v p="$pin" \
+  'BEGIN {br = bh/bp; printf "%.4f %.4f %.4f", br, h/p, br*1.10}')"
+echo "engine_sweep_cold_1worker / coldkernel_1worker: baseline ratio ${base_ratio}, +10% limit ${limit}, measured ${ratio} (${hot} / ${pin} ns/op, best-of-3)"
+if awk -v r="$ratio" -v lim="$limit" 'BEGIN {exit (r+0 > lim+0) ? 0 : 1}'; then
+  echo "::warning title=bench regression::engine_sweep_cold_1worker regressed >10% relative to the pinned cold-kernel path (ratio ${ratio} > ${limit}; baseline ${base_ratio} in BENCH_solver.json)"
+  exit 1
+fi
+echo "OK: hot-path ratio within 10% of the recorded baseline"
