@@ -1,0 +1,41 @@
+package neutralnet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"neutralnet"
+)
+
+// BenchmarkDuopolySweepPrices measures a 20×20 (p₁, p₂) duopoly price
+// surface through the public session, per worker count. Sweeps never read
+// the session cache, so repeat sweeps re-solve every point regardless;
+// each iteration still opens a fresh session so the timed work (including
+// the post-sweep cache fold) is identical every iteration and the cache
+// does not keep churning the same resident keys.
+func BenchmarkDuopolySweepPrices(b *testing.B) {
+	sys := neutralnet.NewSystem(1,
+		neutralnet.NewCP("video", 4, 2, 1.0),
+		neutralnet.NewCP("social", 2, 4, 0.5),
+	)
+	grid := neutralnet.UniformGrid(0.6, 1.4, 20)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%dw", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			eng, err := neutralnet.NewEngine(sys, neutralnet.WithWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := eng.Duopoly([2]float64{0.5, 0.5}, 3, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.SweepPrices(grid, grid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,10 +2,13 @@ package neutralnet
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"neutralnet/internal/duopoly"
 	"neutralnet/internal/numeric"
+	"neutralnet/internal/solver"
+	"neutralnet/internal/sweep/path"
 )
 
 // DuopolySession is a reusable equilibrium-computation session over a
@@ -17,19 +20,26 @@ import (
 // an excellent guess on price grids.
 //
 // A DuopolySession is safe for concurrent use (solves are serialized on the
-// one workspace). Like Engine.Solve, warm starting makes a solved
-// equilibrium depend on the session's solve history within solver
-// tolerance; results at equal inputs agree to tolerance, not bitwise,
-// across histories.
+// one workspace; SweepPrices runs its own worker pool on private
+// workspaces). Like Engine.Solve, warm starting makes a solved equilibrium
+// depend on the session's solve history within solver tolerance; results at
+// equal inputs agree to tolerance, not bitwise, across histories.
+// SweepPrices is the exception: it never reads the session state, so its
+// surfaces are bit-identical regardless of history or worker count.
 type DuopolySession struct {
-	m duopoly.Market
+	m       duopoly.Market
+	workers int
+
+	// telem accumulates the solver layer's scheme decisions for this
+	// session, shared with every sweep worker; read through SolverStats.
+	telem solver.Telemetry
 
 	mu      sync.Mutex
 	ws      *duopoly.Workspace
 	warmBuf []float64
 	warm    []float64
 	cache   map[[2]float64]DuopolyOutcome
-	order   [][2]float64 // insertion order, for bounded eviction
+	order   [][2]float64 // insertion order, for bounded FIFO eviction
 	cap     int
 }
 
@@ -49,9 +59,10 @@ type DuopolyOutcome struct {
 // and utilization family: capacities mu (the Engine's own µ is not
 // consulted — the duopoly splits the access market explicitly), logit price
 // sensitivity sigma, and subsidy cap q. The session inherits the Engine's
-// Nash scheme and utilization kernel, so WithSolver("auto") and
-// WithUtilizationSolver reach the duopoly end-to-end; the hot-path warm
-// kernel is the default here as everywhere.
+// Nash scheme, utilization kernel and worker-pool size, so WithSolver,
+// WithUtilizationSolver and WithWorkers reach the duopoly end-to-end; the
+// hot-path warm kernel is the default here as everywhere. The session keeps
+// its own solver telemetry (SolverStats), separate from the Engine's.
 func (e *Engine) Duopoly(mu [2]float64, sigma, q float64) (*DuopolySession, error) {
 	s := &DuopolySession{
 		m: duopoly.Market{
@@ -59,9 +70,11 @@ func (e *Engine) Duopoly(mu [2]float64, sigma, q float64) (*DuopolySession, erro
 			Solver:     string(e.cfg.solver.Method),
 			UtilSolver: e.cfg.solver.UtilSolver,
 		},
-		ws:  duopoly.NewWorkspace(),
-		cap: e.cfg.cacheSize,
+		workers: e.cfg.workers,
+		ws:      duopoly.NewWorkspace(),
+		cap:     e.cfg.cacheSize,
 	}
+	s.m.Telemetry = &s.telem
 	if err := s.m.Validate(); err != nil {
 		return nil, err
 	}
@@ -78,6 +91,26 @@ func (s *DuopolySession) CacheLen() int {
 	return len(s.cache)
 }
 
+// CachedPrices returns the resident cache keys oldest-first — the FIFO
+// eviction order: the next insertion past the cache bound evicts the first
+// returned pair. Intended for observability and tests; the slice is a
+// snapshot the caller owns.
+func (s *DuopolySession) CachedPrices() [][2]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][2]float64(nil), s.order...)
+}
+
+// SolverStats returns a snapshot of the session's auto-scheme branch
+// counters, accumulated across Solve, SweepPrices (all workers),
+// PriceEquilibrium and MonopolyBenchmark. All counters stay zero unless the
+// Engine selected WithSolver(Auto). Safe to call concurrently with a
+// running sweep.
+func (s *DuopolySession) SolverStats() SolverStats {
+	c := s.telem.Snapshot()
+	return SolverStats{AutoGaussSeidel: c.GaussSeidel, AutoSOR: c.SOR, AutoAnderson: c.Anderson}
+}
+
 // Solve returns the CP subsidization equilibrium of the duopoly at access
 // prices (p1, p2), consulting the cache and warm-starting from the
 // session's previous solve.
@@ -89,6 +122,12 @@ func (s *DuopolySession) Solve(p1, p2 float64) (DuopolyOutcome, error) {
 
 func (s *DuopolySession) solveLocked(p [2]float64) (DuopolyOutcome, error) {
 	if out, ok := s.cache[p]; ok {
+		// Refresh the warm chain from the hit: the session's next solve
+		// should seed from this profile — its nearest solved neighbor in
+		// solve order — not from whatever preceded the hit. Without the
+		// refresh a partially cached price walk warm-starts later solves
+		// from a stale, distant profile.
+		s.warm = numeric.CopyProfile(&s.warmBuf, out.S)
 		return out.clone(), nil
 	}
 	prof, st, err := s.m.CPEquilibriumWS(s.ws, p, s.warm)
@@ -96,7 +135,15 @@ func (s *DuopolySession) solveLocked(p [2]float64) (DuopolyOutcome, error) {
 		return DuopolyOutcome{}, fmt.Errorf("duopoly session: at p=(%g, %g): %w", p[0], p[1], err)
 	}
 	s.warm = numeric.CopyProfile(&s.warmBuf, prof)
-	out := DuopolyOutcome{
+	out := s.outcome(p, prof, st)
+	s.storeLocked(out)
+	return out, nil
+}
+
+// outcome assembles an owning DuopolyOutcome from a (possibly
+// workspace-borrowed) profile and state.
+func (s *DuopolySession) outcome(p [2]float64, prof []float64, st duopoly.State) DuopolyOutcome {
+	return DuopolyOutcome{
 		P:       p,
 		Shares:  st.Shares,
 		S:       append([]float64(nil), prof...),
@@ -104,16 +151,36 @@ func (s *DuopolySession) solveLocked(p [2]float64) (DuopolyOutcome, error) {
 		Revenue: [2]float64{st.Revenue(0), st.Revenue(1)},
 		Welfare: s.m.Welfare(st),
 	}
-	if s.cache != nil {
-		if len(s.order) >= s.cap {
-			oldest := s.order[0]
-			s.order = s.order[1:]
-			delete(s.cache, oldest)
-		}
-		s.cache[p] = out.clone()
-		s.order = append(s.order, p)
+}
+
+// storeLocked inserts an outcome into the bounded FIFO cache, evicting the
+// oldest insertion when full. Re-storing a resident pair overwrites the
+// cached outcome and refreshes its FIFO position to newest: a sweep tail
+// point solved before the sweep must end up holding the sweep's bits (the
+// cache answers later Solve calls and reseeds the warm chain on hits) and
+// must not be evicted by the fold in favor of an older unrelated entry —
+// both exactly as if the point had been newly inserted.
+func (s *DuopolySession) storeLocked(out DuopolyOutcome) {
+	if s.cache == nil {
+		return
 	}
-	return out, nil
+	if _, ok := s.cache[out.P]; ok {
+		s.cache[out.P] = out.clone()
+		for k, key := range s.order {
+			if key == out.P {
+				s.order = append(append(s.order[:k], s.order[k+1:]...), key)
+				break
+			}
+		}
+		return
+	}
+	if len(s.order) >= s.cap {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.cache, oldest)
+	}
+	s.cache[out.P] = out.clone()
+	s.order = append(s.order, out.P)
 }
 
 func (o DuopolyOutcome) clone() DuopolyOutcome {
@@ -122,51 +189,118 @@ func (o DuopolyOutcome) clone() DuopolyOutcome {
 }
 
 // DuopolySweepResult is a solved (p₁, p₂) price surface in row-major order:
-// Outcomes[i][j] is the equilibrium at (P1[i], P2[j]).
+// Outcomes[i][j] is the equilibrium at (P1[i], P2[j]). P1 and P2 are the
+// session's own copies of the swept grids — later caller mutation of the
+// input slices cannot corrupt the result.
 type DuopolySweepResult struct {
 	P1, P2   []float64
 	Outcomes [][]DuopolyOutcome
+	// Workers is the worker-pool size the sweep effectively ran on (the
+	// session's WithWorkers setting clamped to the chain count). It is a
+	// throughput record only: Outcomes is bit-identical at any value.
+	Workers int
+	// Chains is the number of independent warm-start chains the snake path
+	// was cut into — the sweep's parallelism budget.
+	Chains int
 }
 
-// SweepPrices solves the CP equilibrium over the Cartesian (p₁, p₂) grid.
-// The grid is traversed in snake order so consecutive solves are always
-// price neighbors and every solve warm-starts from the previous one; the
-// traversal is sequential and fixed, so the result is deterministic for a
-// fresh session. Solved points populate the session cache.
+// SweepPrices solves the CP equilibrium over the Cartesian (p₁, p₂) grid on
+// a deterministic worker pool — the same traversal scheduler that backs
+// Engine.Sweep, applied to the price plane. The grid is linearized in snake
+// order (consecutive points are always price neighbors, including at row
+// turns) and cut into fixed, grid-determined segments; each worker owns a
+// private workspace, and within a segment both the subsidy profile and the
+// per-network utilization seeds φ chain point to point while every segment
+// cold-starts its first point. Results are therefore bit-identical at any
+// worker count (WithWorkers is purely a throughput knob) and independent of
+// the session's history: unlike Solve, the sweep never reads the session
+// cache or warm store. Solved points populate the cache afterwards in snake
+// order — under a cache bound the sweep's last points stay resident — and
+// the warm store is refreshed from the final path point, so follow-up Solve
+// calls continue the chain.
 func (s *DuopolySession) SweepPrices(p1Grid, p2Grid []float64) (*DuopolySweepResult, error) {
 	if len(p1Grid) == 0 || len(p2Grid) == 0 {
 		return nil, fmt.Errorf("duopoly session: empty price grid")
 	}
-	res := &DuopolySweepResult{P1: p1Grid, P2: p2Grid, Outcomes: make([][]DuopolyOutcome, len(p1Grid))}
+	pl := path.New([]int{len(p1Grid), len(p2Grid)}, 0)
+	workers := s.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if c := pl.Chains(); workers > c {
+		workers = c
+	}
+	res := &DuopolySweepResult{
+		P1:       append([]float64(nil), p1Grid...),
+		P2:       append([]float64(nil), p2Grid...),
+		Outcomes: make([][]DuopolyOutcome, len(p1Grid)),
+		Workers:  workers,
+		Chains:   pl.Chains(),
+	}
 	for i := range res.Outcomes {
 		res.Outcomes[i] = make([]DuopolyOutcome, len(p2Grid))
 	}
+
+	type duoWorker struct {
+		ws      *duopoly.Workspace
+		warmBuf []float64
+		idx     [2]int
+	}
+	err := path.Run(pl, workers,
+		func() *duoWorker { return &duoWorker{ws: duopoly.NewWorkspace()} },
+		func(w *duoWorker, lo, hi int) error {
+			var warm []float64
+			for k := lo; k < hi; k++ {
+				pl.Coords(k, w.idx[:])
+				i, j := w.idx[0], w.idx[1]
+				p := [2]float64{res.P1[i], res.P2[j]}
+				prof, st, err := s.m.CPEquilibriumChainWS(w.ws, p, warm, k > lo)
+				if err != nil {
+					return fmt.Errorf("duopoly session: at p=(%g, %g): %w", p[0], p[1], err)
+				}
+				warm = numeric.CopyProfile(&w.warmBuf, prof)
+				res.Outcomes[i][j] = s.outcome(p, prof, st)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fold the surface back into the session: cache the tail of the snake
+	// path (only the last cap insertions can survive the FIFO bound — skip
+	// the churn for the rest) and continue the warm chain from the final
+	// path point, exactly as a sequential walk would have left it.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i := range p1Grid {
-		for jj := range p2Grid {
-			j := jj
-			if i%2 == 1 { // snake: odd rows run p₂ backward, keeping neighbors adjacent
-				j = len(p2Grid) - 1 - jj
-			}
-			out, err := s.solveLocked([2]float64{p1Grid[i], p2Grid[j]})
-			if err != nil {
-				return nil, err
-			}
-			res.Outcomes[i][j] = out
+	var idx [2]int
+	if s.cache != nil {
+		lo := 0
+		if pl.Len() > s.cap {
+			lo = pl.Len() - s.cap
+		}
+		for k := lo; k < pl.Len(); k++ {
+			pl.Coords(k, idx[:])
+			s.storeLocked(res.Outcomes[idx[0]][idx[1]])
 		}
 	}
+	pl.Coords(pl.Len()-1, idx[:])
+	s.warm = numeric.CopyProfile(&s.warmBuf, res.Outcomes[idx[0]][idx[1]].S)
 	return res, nil
 }
 
 // ArgmaxTotalRevenue returns the grid outcome maximizing combined ISP
-// revenue; ties resolve to the lowest (i, j) index.
+// revenue; ties resolve to the lowest (i, j) index. Outcomes whose combined
+// revenue is non-finite are skipped — a NaN at one grid point must not
+// poison the maximum by failing every comparison; if every outcome is
+// non-finite the first outcome is returned.
 func (r *DuopolySweepResult) ArgmaxTotalRevenue() DuopolyOutcome {
 	best := r.Outcomes[0][0]
-	bestV := best.Revenue[0] + best.Revenue[1]
+	bestV := math.Inf(-1)
 	for _, row := range r.Outcomes {
 		for _, out := range row {
-			if v := out.Revenue[0] + out.Revenue[1]; v > bestV {
+			v := out.Revenue[0] + out.Revenue[1]
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v > bestV {
 				best, bestV = out, v
 			}
 		}
@@ -177,19 +311,18 @@ func (r *DuopolySweepResult) ArgmaxTotalRevenue() DuopolyOutcome {
 // PriceEquilibrium solves the ISPs' price competition on [0, pMax] by
 // alternating best responses (maxRounds ≤ 0 selects the default), with the
 // CPs re-equilibrating inside every revenue evaluation, and returns the
-// equilibrium outcome. It runs on its own workspace, leaving the session
-// cache and warm store untouched.
+// equilibrium outcome. It runs entirely on its own workspace and leaves the
+// session cache and warm store untouched: the competition's best-response
+// trajectory jumps around the price plane, and letting it overwrite the
+// session's warm chain — or seed from it — would make session results
+// depend on when the competition ran. (Pinned by
+// TestDuopolySessionPriceEquilibriumIsolated.)
 func (s *DuopolySession) PriceEquilibrium(pMax float64, maxRounds int) (DuopolyOutcome, error) {
-	p, _, err := s.m.PriceEquilibrium(pMax, maxRounds)
+	p, prof, st, err := s.m.PriceEquilibrium(pMax, maxRounds)
 	if err != nil {
 		return DuopolyOutcome{}, err
 	}
-	// The competition returns prices and a borrowed state; re-solving the
-	// equilibrium point through the session yields a self-contained,
-	// cached outcome.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.solveLocked(p)
+	return s.outcome(p, prof, st), nil
 }
 
 // MonopolyBenchmark solves the capacity-equivalent single-ISP comparator at

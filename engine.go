@@ -9,6 +9,7 @@ import (
 	"neutralnet/internal/isp"
 	"neutralnet/internal/longrun"
 	"neutralnet/internal/planner"
+	"neutralnet/internal/solver"
 	"neutralnet/internal/sweep"
 )
 
@@ -30,6 +31,12 @@ type Engine struct {
 	// workspace makes the Nash solve itself allocation-free, so a Solve
 	// call's footprint is just the returned equilibrium's own slices.
 	wsPool sync.Pool
+
+	// telem is the session's scheme-decision telemetry, shared (by pointer,
+	// through cfg.solver.Telemetry) with every workspace the Engine's
+	// surfaces solve on — including parallel sweep workers. Atomic counters;
+	// read through SolverStats.
+	telem solver.Telemetry
 
 	mu    sync.Mutex
 	cache *eqCache
@@ -60,6 +67,10 @@ func NewEngine(sys *System, opts ...Option) (*Engine, error) {
 		opt(&cfg)
 	}
 	e := &Engine{sys: sys, cfg: cfg}
+	// Every surface that passes e.cfg.solver onward — Solve, Sweep,
+	// OptimalPrice, PlanCapacity, CompareEfficiency — reports scheme
+	// decisions into the Engine's own telemetry.
+	e.cfg.solver.Telemetry = &e.telem
 	e.wsPool.New = func() any { return game.NewWorkspace() }
 	if cfg.cacheSize > 0 {
 		e.cache = newEqCache(cfg.cacheSize)
@@ -75,6 +86,37 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats
+}
+
+// SolverStats reports which branch the "auto" meta-solver committed to,
+// accumulated across every solve this Engine ran (Solve, Sweep — all
+// workers included — OptimalPrice, PlanCapacity, SimulateInvestment, and
+// the Nash side of CompareEfficiency; the planner's coordinate ascent
+// dispatches outside the telemetry and is not counted). The
+// counters make the adaptive scheduling observable from benchmarks and
+// examples: a sweep that keeps taking the Anderson branch is telling you
+// its games contract slowly. All counters stay zero unless
+// WithSolver(Auto) selects the meta-solver. A DuopolySession keeps its own
+// counters (DuopolySession.SolverStats).
+type SolverStats struct {
+	// AutoGaussSeidel counts solves that stayed on plain Gauss–Seidel
+	// sweeps (fast contraction, or converged before the probe closed).
+	AutoGaussSeidel uint64
+	// AutoSOR counts solves delegated to ρ̂-tuned over-relaxation.
+	AutoSOR uint64
+	// AutoAnderson counts solves delegated to safeguarded Anderson
+	// acceleration.
+	AutoAnderson uint64
+}
+
+// Total returns the number of auto-dispatched solves recorded.
+func (s SolverStats) Total() uint64 { return s.AutoGaussSeidel + s.AutoSOR + s.AutoAnderson }
+
+// SolverStats returns a snapshot of the Engine's auto-scheme branch
+// counters. Safe to call concurrently with running sweeps.
+func (e *Engine) SolverStats() SolverStats {
+	c := e.telem.Snapshot()
+	return SolverStats{AutoGaussSeidel: c.GaussSeidel, AutoSOR: c.SOR, AutoAnderson: c.Anderson}
 }
 
 // CacheLen returns the number of cached equilibria.
@@ -239,6 +281,7 @@ func (e *Engine) SimulateInvestment(mu0, p, q, cost float64) (longrun.Trajectory
 		UtilSolver: e.cfg.solver.UtilSolver,
 		Tol:        e.cfg.solver.Tol,
 		MaxIter:    e.cfg.solver.MaxIter,
+		Telemetry:  e.cfg.solver.Telemetry,
 	})
 }
 

@@ -1,6 +1,7 @@
 package neutralnet_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -143,4 +144,267 @@ func TestDuopolyValidation(t *testing.T) {
 	if _, err := eng.Duopoly([2]float64{0.5, 0.5}, -1, 1); err == nil {
 		t.Fatal("negative sigma must be rejected")
 	}
+}
+
+// outcomesBitIdentical fails the test unless a and b agree bit for bit in
+// every field, including the subsidy profile.
+func outcomesBitIdentical(t *testing.T, label string, a, b neutralnet.DuopolyOutcome) {
+	t.Helper()
+	if a.P != b.P || a.Shares != b.Shares || a.Phi != b.Phi || a.Revenue != b.Revenue || a.Welfare != b.Welfare {
+		t.Fatalf("%s: outcomes differ: %+v vs %+v", label, a, b)
+	}
+	if len(a.S) != len(b.S) {
+		t.Fatalf("%s: profile lengths differ", label)
+	}
+	for k := range a.S {
+		if a.S[k] != b.S[k] {
+			t.Fatalf("%s: s[%d] differs bitwise: %x vs %x", label, k, a.S[k], b.S[k])
+		}
+	}
+}
+
+// TestDuopolySweepDeterministicAcrossWorkers pins the parallel sweep's core
+// guarantee on a 20×20 grid: bit-identical surfaces at 1, 4 and 9 workers,
+// and independence from the session's prior history (a session that already
+// solved scattered points sweeps to the same bits as a fresh one). Runs
+// under -race in CI.
+func TestDuopolySweepDeterministicAcrossWorkers(t *testing.T) {
+	p1 := neutralnet.UniformGrid(0.5, 1.4, 20)
+	p2 := neutralnet.UniformGrid(0.6, 1.5, 20)
+	var base *neutralnet.DuopolySweepResult
+	for _, workers := range []int{1, 4, 9} {
+		s := newDuopoly(t, neutralnet.WithWorkers(workers))
+		if workers == 4 {
+			// History must not leak into the sweep: pre-solve a few points
+			// (warming the session store and cache) before sweeping.
+			for _, p := range [][2]float64{{0.5, 0.6}, {1.4, 1.5}, {0.9, 0.8}} {
+				if _, err := s.Solve(p[0], p[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		res, err := s.SweepPrices(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Workers != workers || res.Chains != 25 {
+			t.Fatalf("workers=%d: recorded workers=%d chains=%d", workers, res.Workers, res.Chains)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		for i := range p1 {
+			for j := range p2 {
+				outcomesBitIdentical(t, fmt.Sprintf("workers=%d point (%d,%d)", workers, i, j),
+					base.Outcomes[i][j], res.Outcomes[i][j])
+			}
+		}
+	}
+}
+
+// TestDuopolySweepResultOwnsGrids asserts the satellite aliasing fix:
+// mutating the caller's grid slices after the sweep must not corrupt the
+// result's P1/P2.
+func TestDuopolySweepResultOwnsGrids(t *testing.T) {
+	s := newDuopoly(t)
+	p1 := neutralnet.UniformGrid(0.6, 1.2, 3)
+	p2 := neutralnet.UniformGrid(0.8, 1.0, 2)
+	res, err := s.SweepPrices(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1[0], p2[0] = -99, -99
+	if res.P1[0] != 0.6 || res.P2[0] != 0.8 {
+		t.Fatalf("result aliases caller grids: P1[0]=%g P2[0]=%g", res.P1[0], res.P2[0])
+	}
+}
+
+// TestDuopolySessionCacheFIFO pins the bounded cache's FIFO contract under
+// a sweep larger than the bound: the resident keys are exactly the last cap
+// points of the snake path, oldest-first, and the next novel solve evicts
+// the oldest of them.
+func TestDuopolySessionCacheFIFO(t *testing.T) {
+	s := newDuopoly(t, neutralnet.WithCache(4))
+	p1 := []float64{0.7, 0.9, 1.1} // 3×3 grid, snake: (0,0..2), (1,2..0), (2,0..2)
+	p2 := []float64{0.6, 0.8, 1.0}
+	if _, err := s.SweepPrices(p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	// Snake path: row 0.7 forward, row 0.9 reversed, row 1.1 forward; the
+	// last four insertions are the tail of that walk.
+	want := [][2]float64{{0.9, 0.6}, {1.1, 0.6}, {1.1, 0.8}, {1.1, 1.0}}
+	got := s.CachedPrices()
+	if len(got) != 4 || s.CacheLen() != 4 {
+		t.Fatalf("cache holds %d/%d entries, want 4", len(got), s.CacheLen())
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("FIFO order[%d] = %v, want %v (full: %v)", k, got[k], want[k], got)
+		}
+	}
+	// A novel solve evicts the oldest resident pair.
+	if _, err := s.Solve(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	got = s.CachedPrices()
+	if got[0] != want[1] || got[3] != [2]float64{2, 2} {
+		t.Fatalf("eviction order broken: %v", got)
+	}
+}
+
+// TestDuopolyWarmRefreshOnCacheHit pins the satellite warm-chain fix: after
+// a cache hit the next solve seeds from the hit profile, so
+// Solve(A), Solve(B), Solve(A) [hit], Solve(C) produces the same bits at C
+// as a session that ran Solve(A), Solve(C) — the hit rewound the chain to
+// A, rather than leaving it dangling at B.
+func TestDuopolyWarmRefreshOnCacheHit(t *testing.T) {
+	a, b, c := [2]float64{0.7, 0.7}, [2]float64{1.4, 1.3}, [2]float64{0.8, 0.75}
+
+	s1 := newDuopoly(t)
+	for _, p := range [][2]float64{a, b, a} {
+		if _, err := s1.Solve(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s1.Solve(c[0], c[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newDuopoly(t)
+	if _, err := s2.Solve(a[0], a[1]); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s2.Solve(c[0], c[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomesBitIdentical(t, "post-hit solve", got, want)
+}
+
+// TestDuopolySessionPriceEquilibriumIsolated pins the documented contract
+// the PR 4 implementation broke: PriceEquilibrium leaves the session cache
+// and warm store untouched — the cache stays empty and a follow-up Solve
+// produces the same bits as if the competition never ran.
+func TestDuopolySessionPriceEquilibriumIsolated(t *testing.T) {
+	a, c := [2]float64{0.9, 0.9}, [2]float64{1.0, 0.95}
+
+	s1 := newDuopoly(t)
+	if _, err := s1.Solve(a[0], a[1]); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := s1.PriceEquilibrium(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Welfare <= 0 || comp.Revenue[0] <= 0 {
+		t.Fatalf("degenerate competition outcome: %+v", comp)
+	}
+	if s1.CacheLen() != 1 {
+		t.Fatalf("PriceEquilibrium touched the cache: %d entries, want 1", s1.CacheLen())
+	}
+	got, err := s1.Solve(c[0], c[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newDuopoly(t)
+	if _, err := s2.Solve(a[0], a[1]); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s2.Solve(c[0], c[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomesBitIdentical(t, "post-competition solve", got, want)
+}
+
+// TestDuopolyArgmaxSkipsNonFinite is the NaN-poisoning regression test: a
+// NaN (or ±Inf) revenue at the first grid point must not win the argmax.
+func TestDuopolyArgmaxSkipsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	res := &neutralnet.DuopolySweepResult{
+		P1: []float64{0, 1}, P2: []float64{0, 1},
+		Outcomes: [][]neutralnet.DuopolyOutcome{
+			{{P: [2]float64{0, 0}, Revenue: [2]float64{nan, 1}}, {P: [2]float64{0, 1}, Revenue: [2]float64{2, 1}}},
+			{{P: [2]float64{1, 0}, Revenue: [2]float64{math.Inf(1), 0}}, {P: [2]float64{1, 1}, Revenue: [2]float64{3, 1}}},
+		},
+	}
+	if best := res.ArgmaxTotalRevenue(); best.P != [2]float64{1, 1} {
+		t.Fatalf("argmax picked %v, want the finite maximum (1,1)", best.P)
+	}
+	// All-non-finite surface: the documented first-outcome fallback.
+	res.Outcomes[0][1].Revenue = [2]float64{nan, nan}
+	res.Outcomes[1][1].Revenue = [2]float64{nan, nan}
+	if best := res.ArgmaxTotalRevenue(); best.P != [2]float64{0, 0} {
+		t.Fatalf("all-NaN fallback picked %v, want (0,0)", best.P)
+	}
+}
+
+// TestDuopolySolverStats exercises the auto-branch telemetry end to end
+// through the public session: under WithSolver(Auto) every solve —
+// including all sweep workers' — is counted, and under the default scheme
+// the counters stay zero.
+func TestDuopolySolverStats(t *testing.T) {
+	s := newDuopoly(t, neutralnet.WithSolver(neutralnet.Auto), neutralnet.WithWorkers(4))
+	grid := neutralnet.UniformGrid(0.7, 1.1, 5)
+	if _, err := s.SweepPrices(grid, grid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(1.3, 1.3); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.SolverStats()
+	if got := stats.Total(); got != 26 {
+		t.Fatalf("auto branch total %d (stats %+v), want 26 solves counted", got, stats)
+	}
+	if stats.AutoGaussSeidel == 0 {
+		t.Fatalf("fast-contracting duopoly games should stay on Gauss–Seidel: %+v", stats)
+	}
+
+	def := newDuopoly(t, neutralnet.WithWorkers(2))
+	if _, err := def.SweepPrices(grid, grid); err != nil {
+		t.Fatal(err)
+	}
+	if stats := def.SolverStats(); stats.Total() != 0 {
+		t.Fatalf("non-auto scheme recorded branches: %+v", stats)
+	}
+}
+
+// TestDuopolySweepTailResidencyWithPriorSolves pins the storeLocked
+// position-refresh: when a sweep-tail point was already resident before the
+// sweep, the fold must still leave exactly the sweep's last cap points
+// cached — the stale pre-sweep entry, not the tail point, gets evicted.
+func TestDuopolySweepTailResidencyWithPriorSolves(t *testing.T) {
+	s := newDuopoly(t, neutralnet.WithCache(4))
+	// (0.9, 0.6) is inside the coming sweep's 4-point snake tail; (5, 5) is
+	// unrelated and older than the whole sweep.
+	for _, p := range [][2]float64{{0.9, 0.6}, {5, 5}} {
+		if _, err := s.Solve(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.SweepPrices([]float64{0.7, 0.9, 1.1}, []float64{0.6, 0.8, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]float64{{0.9, 0.6}, {1.1, 0.6}, {1.1, 0.8}, {1.1, 1.0}}
+	got := s.CachedPrices()
+	if len(got) != len(want) {
+		t.Fatalf("cache holds %d entries, want %d: %v", len(got), len(want), got)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("residency[%d] = %v, want %v (full: %v)", k, got[k], want[k], got)
+		}
+	}
+	// The fold must also have overwritten the pre-sweep outcome at the tail
+	// point: a cache hit there now answers with the sweep's bits, not the
+	// stale pre-sweep solve's.
+	hit, err := s.Solve(0.9, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomesBitIdentical(t, "cached tail point", hit, res.Outcomes[1][0])
 }

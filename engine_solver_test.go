@@ -196,3 +196,51 @@ func TestEngineConcurrentSolveAndSweepRace(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestEngineSolverStats exercises the auto-branch telemetry through the
+// Engine: under WithSolver(Auto) every solve is counted — Solve once, and
+// one count per grid point across all Sweep workers — while a cache hit
+// performs no solve and the default scheme records nothing.
+func TestEngineSolverStats(t *testing.T) {
+	sys := paperEightCP()
+	e := newEngine(t, sys, neutralnet.WithSolver(neutralnet.Auto), neutralnet.WithWorkers(4))
+	if _, err := e.Solve(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SolverStats().Total(); got != 1 {
+		t.Fatalf("one solve recorded %d branches", got)
+	}
+	if _, err := e.Solve(1, 1); err != nil { // cache hit: no solve, no count
+		t.Fatal(err)
+	}
+	if got := e.SolverStats().Total(); got != 1 {
+		t.Fatalf("cache hit changed the branch count to %d", got)
+	}
+	grid := neutralnet.Grid{P: neutralnet.UniformGrid(0.1, 2, 9), Q: []float64{0, 1}}
+	if _, err := e.Sweep(grid); err != nil {
+		t.Fatal(err)
+	}
+	stats := e.SolverStats()
+	if got := stats.Total(); got != 19 {
+		t.Fatalf("after an 18-point sweep the total is %d (stats %+v), want 19", got, stats)
+	}
+	if stats.AutoGaussSeidel == 0 {
+		t.Fatalf("the paper's fast-contracting games should stay on Gauss–Seidel: %+v", stats)
+	}
+	// Longrun trajectories count too: every epoch equilibrium solve is an
+	// auto dispatch.
+	if _, err := e.SimulateInvestment(0.5, 1, 1, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SolverStats().Total(); got <= stats.Total() {
+		t.Fatalf("SimulateInvestment recorded no branches (total still %d)", got)
+	}
+
+	def := newEngine(t, sys)
+	if _, err := def.Solve(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if stats := def.SolverStats(); stats.Total() != 0 {
+		t.Fatalf("default scheme recorded branches: %+v", stats)
+	}
+}

@@ -8,7 +8,9 @@
 //
 //   - equilibrium access prices under competition vs monopoly,
 //   - system welfare in each regime,
-//   - a small (p₁, p₂) price sweep over the session's warm-started cache,
+//   - a (p₁, p₂) price sweep on the deterministic worker pool (snake-order
+//     segments, bit-identical at any worker count) with the auto
+//     meta-solver's branch telemetry,
 //   - and the complementarity claim: at the competitive prices, letting CPs
 //     subsidize still raises both ISPs' revenues.
 //
@@ -27,7 +29,12 @@ func main() {
 		neutralnet.NewCP("video", 4, 2, 1.0),
 		neutralnet.NewCP("social", 2, 4, 0.5),
 	)
-	eng, err := neutralnet.NewEngine(sys)
+	// The auto meta-solver picks the fixed-point scheme per solve;
+	// SolverStats below shows what it chose. Four workers drive the price
+	// sweep — a pure throughput knob, since sweeps are bit-identical at any
+	// worker count.
+	eng, err := neutralnet.NewEngine(sys,
+		neutralnet.WithSolver(neutralnet.Auto), neutralnet.WithWorkers(4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,16 +60,21 @@ func main() {
 	fmt.Printf("duopoly       p1=%.3f p2=%.3f      %.4f    competition disciplines the price\n",
 		comp.P[0], comp.P[1], comp.Welfare)
 
-	// A small joint price surface: the session chains warm starts through
-	// the snake-ordered grid and caches every solved point.
-	grid := neutralnet.UniformGrid(0.6, 1.4, 5)
+	// A joint price surface on the worker pool: the snake-ordered grid is
+	// cut into fixed segments, each worker chains subsidy-profile and φ
+	// warm starts within its segments, and every solved point lands in the
+	// session cache afterwards.
+	grid := neutralnet.UniformGrid(0.6, 1.4, 9)
 	sw, err := duo.SweepPrices(grid, grid)
 	if err != nil {
 		log.Fatal(err)
 	}
 	best := sw.ArgmaxTotalRevenue()
-	fmt.Printf("\n25-point price sweep: combined revenue peaks at (p1=%.2f, p2=%.2f), %d equilibria cached\n",
-		best.P[0], best.P[1], duo.CacheLen())
+	fmt.Printf("\n81-point price sweep (%d workers, %d chains): combined revenue peaks at (p1=%.2f, p2=%.2f), %d equilibria cached\n",
+		sw.Workers, sw.Chains, best.P[0], best.P[1], duo.CacheLen())
+	stats := duo.SolverStats()
+	fmt.Printf("auto solver branches: %d gauss-seidel, %d sor, %d anderson across %d solves\n",
+		stats.AutoGaussSeidel, stats.AutoSOR, stats.AutoAnderson, stats.Total())
 
 	// Complementarity: at the competitive prices, subsidization still lifts
 	// both ISPs' revenue (Corollary 1 survives competition). A q = 0

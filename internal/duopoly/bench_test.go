@@ -26,7 +26,7 @@ func BenchmarkDuopolyPriceEquilibrium(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := m.PriceEquilibrium(2, 6); err != nil {
+		if _, _, _, err := m.PriceEquilibrium(2, 6); err != nil {
 			b.Fatal(err)
 		}
 	}

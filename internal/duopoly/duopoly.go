@@ -74,6 +74,12 @@ type Market struct {
 	// The seed is reset at every equilibrium-solve boundary, so results
 	// depend only on the solve itself, never on workspace history.
 	UtilSolver string
+	// Telemetry, when non-nil, receives the solver layer's decision
+	// counters (the auto meta-solver's committed branch) from every CP
+	// equilibrium and monopoly-benchmark solve. The pointer may be shared
+	// across the parallel sweep's workers — the counters are atomic — and
+	// recording never affects iterates.
+	Telemetry *solver.Telemetry
 }
 
 // utilKernel resolves the market's utilization kernel name, applying the
@@ -308,15 +314,29 @@ func (ws *Workspace) Best(i int, x []float64) (float64, error) {
 // solve and must be copied/Cloned to be retained. A warm workspace performs
 // zero heap allocations per call.
 func (m *Market) CPEquilibriumWS(ws *Workspace, p [2]float64, warm []float64) ([]float64, State, error) {
+	return m.CPEquilibriumChainWS(ws, p, warm, false)
+}
+
+// CPEquilibriumChainWS is CPEquilibriumWS for deterministic warm chains:
+// with carryUtilSeed set, both networks' utilization seeds survive the
+// solve boundary, so φ chains across the consecutive points of a sweep
+// segment exactly as the subsidy profile does through warm. Only
+// fixed-order callers may set it — a workspace carrying seeds from an
+// arbitrary earlier solve would make warm-kernel results depend on
+// scheduling, which is precisely what the segmented sweep's
+// bit-identical-at-any-worker-count guarantee forbids.
+func (m *Market) CPEquilibriumChainWS(ws *Workspace, p [2]float64, warm []float64, carryUtilSeed bool) ([]float64, State, error) {
 	ws.bind(m, p)
 	for k := 0; k < 2; k++ {
 		if err := ws.net[k].SetUtilSolver(m.utilKernel()); err != nil {
 			return nil, State{}, err
 		}
-		// Fresh seed per equilibrium solve: within the solve the seed
-		// chains across the many per-network root finds, which is where
-		// the warm win lives.
-		ws.net[k].ResetUtilSeed()
+		// Fresh seed per equilibrium solve unless the caller chains it:
+		// within the solve the seed then spans the many per-network root
+		// finds, which is where the warm win lives.
+		if !carryUtilSeed {
+			ws.net[k].ResetUtilSeed()
+		}
 	}
 	for i := range ws.s {
 		si := 0.0
@@ -329,6 +349,7 @@ func (m *Market) CPEquilibriumWS(ws *Workspace, p [2]float64, warm []float64) ([
 	if err != nil {
 		return nil, State{}, err
 	}
+	solver.Attach(fp, m.Telemetry)
 	res, err := fp.Solve(ws, ws.s, cpTol, cpMaxIter)
 	if err != nil {
 		var ce *solver.ComponentError
@@ -363,13 +384,14 @@ func (m *Market) CPEquilibrium(p [2]float64, warm []float64) ([]float64, State, 
 // alternating best responses, with the CPs re-equilibrating inside every
 // revenue evaluation. One workspace threads the whole competition: each CP
 // equilibrium is warm-started from the previous one and solved
-// allocation-free. It returns the equilibrium prices and the final state.
-func (m *Market) PriceEquilibrium(pMax float64, maxRounds int) ([2]float64, State, error) {
+// allocation-free. It returns the equilibrium prices, the CP subsidy
+// profile there, and the final state; profile and state own their slices.
+func (m *Market) PriceEquilibrium(pMax float64, maxRounds int) ([2]float64, []float64, State, error) {
 	if err := m.Validate(); err != nil {
-		return [2]float64{}, State{}, err
+		return [2]float64{}, nil, State{}, err
 	}
 	if pMax <= 0 {
-		return [2]float64{}, State{}, errors.New("duopoly: pMax must be positive")
+		return [2]float64{}, nil, State{}, errors.New("duopoly: pMax must be positive")
 	}
 	if maxRounds <= 0 {
 		maxRounds = 30
@@ -401,11 +423,11 @@ func (m *Market) PriceEquilibrium(pMax float64, maxRounds int) ([2]float64, Stat
 			break
 		}
 	}
-	_, st, err := m.CPEquilibriumWS(ws, p, warm)
+	s, st, err := m.CPEquilibriumWS(ws, p, warm)
 	if err != nil {
-		return p, State{}, err
+		return p, nil, State{}, err
 	}
-	return p, st.Clone(), nil
+	return p, append([]float64(nil), s...), st.Clone(), nil
 }
 
 // monoWorkspace is the single-network counterpart of Workspace behind
@@ -475,7 +497,8 @@ func (ws *monoWorkspace) Best(i int, x []float64) (float64, error) {
 // equilibrium solves the monopolist's CP game at price p through the solver
 // registry, warm-starting from warm. The returned profile and state borrow
 // the workspace.
-func (ws *monoWorkspace) equilibrium(solverName, utilKernel string, p float64, warm []float64) ([]float64, model.State, error) {
+func (ws *monoWorkspace) equilibrium(m *Market, p float64, warm []float64) ([]float64, model.State, error) {
+	solverName, utilKernel := m.Solver, m.utilKernel()
 	if err := ws.phys.SetUtilSolver(utilKernel); err != nil {
 		return nil, model.State{}, err
 	}
@@ -492,6 +515,7 @@ func (ws *monoWorkspace) equilibrium(solverName, utilKernel string, p float64, w
 	if err != nil {
 		return nil, model.State{}, err
 	}
+	solver.Attach(fp, m.Telemetry)
 	res, err := fp.Solve(ws, ws.s, cpTol, cpMaxIter)
 	if err != nil {
 		var ce *solver.ComponentError
@@ -524,7 +548,7 @@ func (m *Market) MonopolyBenchmark(pMax float64) (p float64, st model.State, s [
 	var bestS, warmBuf, warm []float64
 	for k := 1; k <= 15; k++ {
 		pk := pMax * float64(k) / 15
-		sk, stk, err := ws.equilibrium(m.Solver, m.utilKernel(), pk, warm)
+		sk, stk, err := ws.equilibrium(m, pk, warm)
 		if err != nil {
 			return 0, model.State{}, nil, err
 		}
@@ -534,7 +558,7 @@ func (m *Market) MonopolyBenchmark(pMax float64) (p float64, st model.State, s [
 			bestS = append(bestS[:0], sk...)
 		}
 	}
-	sFin, stFin, err := ws.equilibrium(m.Solver, m.utilKernel(), bestP, bestS)
+	sFin, stFin, err := ws.equilibrium(m, bestP, bestS)
 	if err != nil {
 		return 0, model.State{}, nil, err
 	}

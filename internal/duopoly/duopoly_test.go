@@ -104,7 +104,7 @@ func TestPriceCompetitionUndercutsMonopoly(t *testing.T) {
 	// equilibrium price sits below the capacity-equivalent monopolist's
 	// revenue-optimal price, and system welfare is no lower.
 	m := smallMarket()
-	pDuo, stDuo, err := m.PriceEquilibrium(2, 12)
+	pDuo, _, stDuo, err := m.PriceEquilibrium(2, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestPriceCompetitionUndercutsMonopoly(t *testing.T) {
 
 func TestSymmetricDuopolySymmetricPrices(t *testing.T) {
 	m := smallMarket()
-	p, _, err := m.PriceEquilibrium(2, 12)
+	p, _, _, err := m.PriceEquilibrium(2, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,5 +157,89 @@ func TestSubsidizationStillHelpsISPsUnderCompetition(t *testing.T) {
 			t.Fatalf("ISP %d revenue did not improve under subsidization: %v vs %v",
 				k, st.Revenue(k), base.Revenue(k))
 		}
+	}
+}
+
+// TestCPEquilibriumChainDeterministic pins the chained-solve contract the
+// parallel price sweep is built on: a fixed sequence of neighboring price
+// points solved with profile + utilization-seed carry is bit-identical
+// across fresh workspaces, the chain's first point (no carry) matches the
+// plain CPEquilibriumWS bit for bit, and the chained answers agree with
+// independent cold solves to solver tolerance.
+func TestCPEquilibriumChainDeterministic(t *testing.T) {
+	m := smallMarket()
+	pts := [][2]float64{{0.8, 0.8}, {0.8, 0.9}, {0.9, 0.9}, {1.0, 0.9}}
+
+	runChain := func() [][]float64 {
+		ws := NewWorkspace()
+		var out [][]float64
+		var warm []float64
+		for k, p := range pts {
+			s, _, err := m.CPEquilibriumChainWS(ws, p, warm, k > 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			owned := append([]float64(nil), s...)
+			out = append(out, owned)
+			warm = owned
+		}
+		return out
+	}
+	a, b := runChain(), runChain()
+	for k := range a {
+		for i := range a[k] {
+			if a[k][i] != b[k][i] {
+				t.Fatalf("chain point %d s[%d] differs bitwise across fresh workspaces: %x vs %x",
+					k, i, a[k][i], b[k][i])
+			}
+		}
+	}
+
+	sFirst, _, err := m.CPEquilibriumWS(NewWorkspace(), pts[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sFirst {
+		if sFirst[i] != a[0][i] {
+			t.Fatalf("chain head s[%d] differs from CPEquilibriumWS: %x vs %x", i, sFirst[i], a[0][i])
+		}
+	}
+
+	for k, p := range pts {
+		cold, _, err := m.CPEquilibrium(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cold {
+			if d := math.Abs(cold[i] - a[k][i]); d > 1e-5 {
+				t.Fatalf("chain point %d s[%d] drifts %g from the cold solve", k, i, d)
+			}
+		}
+	}
+}
+
+// TestPriceEquilibriumReturnsProfile asserts the competition's returned
+// subsidy profile is the CP equilibrium at the returned prices (it must let
+// callers rebuild the outcome without re-solving through session state).
+func TestPriceEquilibriumReturnsProfile(t *testing.T) {
+	m := smallMarket()
+	p, s, st, err := m.PriceEquilibrium(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != len(m.CPs) {
+		t.Fatalf("profile has %d entries for %d CPs", len(s), len(m.CPs))
+	}
+	ref, refSt, err := m.CPEquilibrium(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if d := math.Abs(ref[i] - s[i]); d > 1e-6 {
+			t.Fatalf("returned profile s[%d] off the equilibrium at p=%v by %g", i, p, d)
+		}
+	}
+	if d := math.Abs(st.Net[0].Phi - refSt.Net[0].Phi); d > 1e-6 {
+		t.Fatalf("returned state drifts from the equilibrium state by %g", d)
 	}
 }

@@ -85,6 +85,13 @@ type Options struct {
 	// from an arbitrary earlier solve would make warm-kernel results
 	// scheduling-dependent.
 	CarryUtilSeed bool
+	// Telemetry, when non-nil, receives the scheme's decision counters —
+	// today the auto meta-solver's committed branch, one count per solve.
+	// Plain schemes record nothing. The Engine threads its per-session
+	// telemetry here; the pointer may be shared across sweep workers (the
+	// counters are atomic), and recording never affects iterates, so
+	// determinism guarantees are unchanged.
+	Telemetry *solver.Telemetry
 }
 
 // Equilibrium is a solved Nash equilibrium of the subsidization game,
@@ -234,6 +241,7 @@ func (g *Game) SolveNashWS(ws *Workspace, opts Options) (Equilibrium, error) {
 	if err != nil {
 		return Equilibrium{}, err
 	}
+	solver.Attach(fp, opts.Telemetry)
 	res, err := fp.Solve(ws, ws.s, tol, maxIter)
 	if err != nil {
 		var ce *solver.ComponentError

@@ -27,6 +27,7 @@ import (
 
 	"neutralnet/internal/game"
 	"neutralnet/internal/model"
+	"neutralnet/internal/solver"
 )
 
 // Config parameterizes the investment simulation.
@@ -57,6 +58,11 @@ type Config struct {
 	// reach the trajectory like its WithSolver does.
 	Tol     float64
 	MaxIter int
+	// Telemetry, when non-nil, receives the solver layer's decision
+	// counters (the auto meta-solver's committed branch) from every epoch
+	// equilibrium solve — the Engine threads its per-session telemetry here
+	// so SolverStats covers investment trajectories too.
+	Telemetry *solver.Telemetry
 }
 
 func (c Config) withDefaults() Config {
@@ -119,7 +125,7 @@ func Simulate(sys *model.System, mu0 float64, cfg Config) (Trajectory, error) {
 		return Trajectory{}, err
 	}
 	ws := game.NewWorkspace()
-	opts := game.Options{Method: cfg.Solver, UtilSolver: cfg.UtilSolver, Tol: cfg.Tol, MaxIter: cfg.MaxIter}
+	opts := game.Options{Method: cfg.Solver, UtilSolver: cfg.UtilSolver, Tol: cfg.Tol, MaxIter: cfg.MaxIter, Telemetry: cfg.Telemetry}
 	var warmBuf []float64
 	profitAt := func(mu float64) (float64, game.Equilibrium, error) {
 		sysCopy.Mu = mu
@@ -191,4 +197,3 @@ func CompareInvestment(sys *model.System, mu0 float64, cfg Config) (base, dereg 
 	}
 	return base, dereg, nil
 }
-

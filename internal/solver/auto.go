@@ -25,6 +25,11 @@ import "math"
 type auto struct {
 	sor *sor
 	and *anderson
+
+	// telem, when attached, receives one branch count per Solve — the
+	// observability behind the Engine/DuopolySession SolverStats accessors.
+	// nil records nothing.
+	telem *Telemetry
 }
 
 const (
@@ -45,6 +50,9 @@ func newAuto() *auto { return &auto{sor: &sor{omega: sorDefaultOmega}, and: newA
 
 func (*auto) Name() string { return AutoName }
 
+// SetTelemetry attaches (or, with nil, detaches) the decision telemetry.
+func (a *auto) SetTelemetry(t *Telemetry) { a.telem = t }
+
 func (a *auto) Solve(p Problem, x []float64, tol float64, maxIter int) (Result, error) {
 	var d0, dLast float64
 	for it := 1; it <= maxIter; it++ {
@@ -54,6 +62,8 @@ func (a *auto) Solve(p Problem, x []float64, tol float64, maxIter int) (Result, 
 		for i := range x {
 			br, err := p.Best(i, x)
 			if err != nil {
+				// No branch recorded: the solve died before any scheme
+				// decision completed.
 				return Result{Iterations: it}, &ComponentError{I: i, Err: err}
 			}
 			if d := math.Abs(br - x[i]); d > diff {
@@ -62,6 +72,7 @@ func (a *auto) Solve(p Problem, x []float64, tol float64, maxIter int) (Result, 
 			x[i] = br
 		}
 		if diff < tol {
+			a.telem.addGS()
 			return Result{Iterations: it, Converged: true}, nil
 		}
 		if it == 1 {
@@ -83,16 +94,20 @@ func (a *auto) Solve(p Problem, x []float64, tol float64, maxIter int) (Result, 
 		if rem <= 0 {
 			break
 		}
-		var delegate FixedPoint
 		if rho <= autoSORRho {
 			a.sor.omega = 2 / (1 + math.Sqrt(1-rho))
-			delegate = a.sor
-		} else {
-			delegate = a.and
+			a.telem.addSOR()
+			res, err := a.sor.Solve(p, x, tol, rem)
+			res.Iterations += it
+			return res, err
 		}
-		res, err := delegate.Solve(p, x, tol, rem)
+		a.telem.addAnderson()
+		res, err := a.and.Solve(p, x, tol, rem)
 		res.Iterations += it
 		return res, err
 	}
+	// Exhausted the budget without leaving the sequential sweeps (stay
+	// decision, or a budget shorter than the probe window).
+	a.telem.addGS()
 	return Result{Iterations: maxIter}, nil
 }

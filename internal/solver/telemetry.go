@@ -1,0 +1,87 @@
+package solver
+
+import "sync/atomic"
+
+// Telemetry accumulates scheme-decision counters across solver instances —
+// the observability hook behind the Engine and DuopolySession SolverStats
+// accessors. A session shares one Telemetry among every solver instance it
+// creates, including the private instances of parallel sweep workers; the
+// counters are atomic, so concurrent workers record into it freely. A nil
+// *Telemetry receiver is valid and records nothing, which is how detached
+// instances (one-shot adapters, tests) run without a conditional at every
+// call site.
+//
+// Today the only scheme with a decision to report is the "auto"
+// meta-solver; the plain schemes never touch their telemetry.
+type Telemetry struct {
+	gs, sor, anderson atomic.Uint64
+}
+
+// BranchCounts is a snapshot of the auto meta-solver's committed branches:
+// one count per Solve call that reaches a scheme decision. A solve killed
+// by a best-response error before the decision records nothing; once a
+// branch is committed it is counted even if the delegated solve errors
+// afterwards — the counters report scheduling decisions, not successes.
+type BranchCounts struct {
+	// GaussSeidel counts solves finished on plain sequential sweeps: the
+	// probe observed fast contraction (ρ̂ ≤ 0.3), or the iterate converged
+	// before the probe window closed.
+	GaussSeidel uint64
+	// SOR counts solves delegated to ρ̂-tuned over-relaxation (mild
+	// slowdown, ρ̂ ≤ 0.6).
+	SOR uint64
+	// Anderson counts solves delegated to safeguarded Anderson acceleration
+	// (slow or non-contracting probe).
+	Anderson uint64
+}
+
+// Total returns the number of recorded solves.
+func (c BranchCounts) Total() uint64 { return c.GaussSeidel + c.SOR + c.Anderson }
+
+// Snapshot returns the current counters. Safe for concurrent use; a nil
+// telemetry snapshots to zero.
+func (t *Telemetry) Snapshot() BranchCounts {
+	if t == nil {
+		return BranchCounts{}
+	}
+	return BranchCounts{
+		GaussSeidel: t.gs.Load(),
+		SOR:         t.sor.Load(),
+		Anderson:    t.anderson.Load(),
+	}
+}
+
+func (t *Telemetry) addGS() {
+	if t != nil {
+		t.gs.Add(1)
+	}
+}
+
+func (t *Telemetry) addSOR() {
+	if t != nil {
+		t.sor.Add(1)
+	}
+}
+
+func (t *Telemetry) addAnderson() {
+	if t != nil {
+		t.anderson.Add(1)
+	}
+}
+
+// TelemetrySink is implemented by schemes that report decisions into a
+// shared Telemetry (currently the auto meta-solver). Callers attach the
+// session's telemetry after instantiating a scheme; nil detaches. Schemes
+// without decisions simply do not implement the interface.
+type TelemetrySink interface {
+	SetTelemetry(*Telemetry)
+}
+
+// Attach points fp's telemetry at t when the scheme reports decisions, and
+// is a no-op otherwise — the one-line wiring the workspace layers use after
+// every registry instantiation.
+func Attach(fp FixedPoint, t *Telemetry) {
+	if sink, ok := fp.(TelemetrySink); ok {
+		sink.SetTelemetry(t)
+	}
+}

@@ -1,0 +1,134 @@
+package solver
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// midContraction is a 2-D cross-coupling map whose Gauss–Seidel per-sweep
+// error factor is ≈ 0.49 (coefficient 0.7 squared) — inside the auto
+// meta-solver's SOR window (0.3, 0.6].
+func midContraction() funcProblem {
+	return funcProblem{
+		n: 2, lo: 0, hi: 1,
+		best: func(i int, x []float64) (float64, error) {
+			return clamp(0.05+0.7*x[1-i], 0, 1), nil
+		},
+	}
+}
+
+// TestAutoTelemetryBranches pins one branch count per auto Solve, on the
+// fixture for each decision: fast contraction stays Gauss–Seidel, the mid
+// window delegates to SOR, slow contraction delegates to Anderson.
+func TestAutoTelemetryBranches(t *testing.T) {
+	cases := []struct {
+		name string
+		p    funcProblem
+		want func(BranchCounts) uint64
+	}{
+		{"gauss-seidel", contraction(), func(c BranchCounts) uint64 { return c.GaussSeidel }},
+		{"sor", midContraction(), func(c BranchCounts) uint64 { return c.SOR }},
+		{"anderson", slowContraction(), func(c BranchCounts) uint64 { return c.Anderson }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fp, err := New(AutoName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			telem := &Telemetry{}
+			Attach(fp, telem)
+			for k := 0; k < 3; k++ {
+				x := make([]float64, tc.p.n)
+				if _, err := fp.Solve(tc.p, x, 1e-10, 500); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c := telem.Snapshot()
+			if got := tc.want(c); got != 3 || c.Total() != 3 {
+				t.Fatalf("branch counts %+v, want 3 on the %s branch only", c, tc.name)
+			}
+		})
+	}
+}
+
+// TestTelemetryNilAndDetached asserts the nil-receiver contract (a detached
+// auto records nothing and does not panic) and that Attach on a scheme
+// without decisions is a no-op.
+func TestTelemetryNilAndDetached(t *testing.T) {
+	var nilT *Telemetry
+	if c := nilT.Snapshot(); c != (BranchCounts{}) {
+		t.Fatalf("nil telemetry snapshot %+v", c)
+	}
+	fp, err := New(AutoName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	if _, err := fp.Solve(midContraction(), x, 1e-10, 500); err != nil {
+		t.Fatal(err) // detached: must not panic
+	}
+	gs, err := New(GaussSeidelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Attach(gs, &Telemetry{}) // plain scheme: no-op, no interface
+	if _, ok := gs.(TelemetrySink); ok {
+		t.Fatal("gauss-seidel should not report decisions")
+	}
+}
+
+// TestTelemetryConcurrentRecording hammers one shared Telemetry from
+// several goroutines, each with its own auto instance — the sweep-worker
+// topology — and checks the total. Run under -race in CI.
+func TestTelemetryConcurrentRecording(t *testing.T) {
+	telem := &Telemetry{}
+	const workers, solves = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fp, err := New(AutoName)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			Attach(fp, telem)
+			p := contraction()
+			for k := 0; k < solves; k++ {
+				x := make([]float64, p.n)
+				if _, err := fp.Solve(p, x, 1e-10, 500); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c := telem.Snapshot(); c.Total() != workers*solves || c.GaussSeidel != workers*solves {
+		t.Fatalf("concurrent counts %+v, want %d gauss-seidel", c, workers*solves)
+	}
+}
+
+// TestAutoTelemetrySkipsErroredSolves pins the BranchCounts contract that a
+// solve killed by a best-response error completes no scheme decision and
+// records no branch.
+func TestAutoTelemetrySkipsErroredSolves(t *testing.T) {
+	fp, err := New(AutoName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	telem := &Telemetry{}
+	Attach(fp, telem)
+	boom := funcProblem{n: 2, lo: 0, hi: 1, best: func(i int, x []float64) (float64, error) {
+		return 0, errors.New("boom")
+	}}
+	if _, err := fp.Solve(boom, make([]float64, 2), 1e-10, 100); err == nil {
+		t.Fatal("erroring problem must surface its error")
+	}
+	if c := telem.Snapshot(); c.Total() != 0 {
+		t.Fatalf("errored solve recorded a branch: %+v", c)
+	}
+}

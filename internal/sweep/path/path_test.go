@@ -1,0 +1,145 @@
+package path
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCoordsSnakeAdjacency asserts the load-bearing property of the snake
+// linearization for several grid ranks and shapes: consecutive path
+// positions differ by exactly one step in exactly one coordinate, and the
+// path visits every grid point exactly once.
+func TestCoordsSnakeAdjacency(t *testing.T) {
+	for _, dims := range [][]int{
+		{7},
+		{1, 5},
+		{4, 6},
+		{3, 1, 4},
+		{2, 3, 5},
+		{3, 4, 2, 3},
+	} {
+		t.Run(fmt.Sprint(dims), func(t *testing.T) {
+			pl := New(dims, 0)
+			prev := make([]int, len(dims))
+			cur := make([]int, len(dims))
+			seen := make(map[int]bool, pl.Len())
+			for k := 0; k < pl.Len(); k++ {
+				pl.Coords(k, cur)
+				for j, d := range dims {
+					if cur[j] < 0 || cur[j] >= d {
+						t.Fatalf("position %d axis %d out of range: %v", k, j, cur)
+					}
+				}
+				r := pl.Index(cur)
+				if seen[r] {
+					t.Fatalf("position %d revisits grid point %v", k, cur)
+				}
+				seen[r] = true
+				if k > 0 {
+					diff := 0
+					for j := range dims {
+						if d := cur[j] - prev[j]; d != 0 {
+							diff++
+							if d != 1 && d != -1 {
+								t.Fatalf("positions %d->%d jump on axis %d: %v -> %v", k-1, k, j, prev, cur)
+							}
+						}
+					}
+					if diff != 1 {
+						t.Fatalf("positions %d->%d change %d coordinates: %v -> %v", k-1, k, diff, prev, cur)
+					}
+				}
+				copy(prev, cur)
+			}
+			if len(seen) != pl.Len() {
+				t.Fatalf("visited %d of %d points", len(seen), pl.Len())
+			}
+		})
+	}
+}
+
+// TestSegmentsCoverPathExactly asserts the segment cut partitions [0, n)
+// into contiguous, balanced ranges independent of any worker count.
+func TestSegmentsCoverPathExactly(t *testing.T) {
+	for _, tc := range []struct{ n, segLen int }{
+		{1, 0}, {5, 2}, {16, 0}, {17, 16}, {400, 16}, {33, 7},
+	} {
+		pl := New([]int{tc.n}, tc.segLen)
+		_, first := pl.Segment(0)
+		next := 0
+		for c := 0; c < pl.Chains(); c++ {
+			lo, hi := pl.Segment(c)
+			if lo != next || hi <= lo {
+				t.Fatalf("n=%d segLen=%d: segment %d is [%d,%d), want lo=%d", tc.n, tc.segLen, c, lo, hi, next)
+			}
+			// Every segment carries the balanced length except a shorter
+			// final remainder.
+			if l := hi - lo; l != first && c != pl.Chains()-1 {
+				t.Fatalf("n=%d segLen=%d: segment %d has length %d, want %d", tc.n, tc.segLen, c, l, first)
+			}
+			next = hi
+		}
+		if next != pl.Len() {
+			t.Fatalf("n=%d segLen=%d: segments cover [0,%d), want [0,%d)", tc.n, tc.segLen, next, pl.Len())
+		}
+	}
+}
+
+// TestRunSolvesEveryPositionOnce runs the pool at several worker counts and
+// asserts every path position is handed to exactly one segment callback.
+func TestRunSolvesEveryPositionOnce(t *testing.T) {
+	pl := New([]int{5, 9}, 4)
+	for _, workers := range []int{1, 3, 64} {
+		var mu sync.Mutex
+		hits := make([]int, pl.Len())
+		err := Run(pl, workers, func() int { return 0 }, func(_ int, lo, hi int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for k := lo; k < hi; k++ {
+				hits[k]++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: position %d solved %d times", workers, k, h)
+			}
+		}
+	}
+}
+
+// TestRunPropagatesFirstError asserts a failing segment surfaces its error
+// and stops the remaining segments from running.
+func TestRunPropagatesFirstError(t *testing.T) {
+	pl := New([]int{100}, 5)
+	sentinel := errors.New("segment failed")
+	err := Run(pl, 4, func() int { return 0 }, func(_ int, lo, hi int) error {
+		if lo >= 20 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the segment error", err)
+	}
+}
+
+// TestRunEmptyPlanIsNoOp covers the degenerate empty grid.
+func TestRunEmptyPlanIsNoOp(t *testing.T) {
+	pl := New([]int{0, 4}, 0)
+	if pl.Len() != 0 || pl.Chains() != 0 {
+		t.Fatalf("empty grid planned %d points, %d chains", pl.Len(), pl.Chains())
+	}
+	called := false
+	if err := Run(pl, 3, func() int { return 0 }, func(_ int, lo, hi int) error {
+		called = true
+		return nil
+	}); err != nil || called {
+		t.Fatalf("empty plan: err=%v called=%v", err, called)
+	}
+}

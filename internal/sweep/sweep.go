@@ -14,6 +14,11 @@
 // an excellent seed). Workers pick up whole segments, never individual
 // points, so the result is bit-identical for any worker count.
 //
+// The traversal machinery itself — snake linearization, grid-determined
+// segment cuts, the deterministic worker pool — lives in the path
+// subpackage, shared with the duopoly price-plane sweep; this package
+// binds it to the single-ISP (p, q, µ) equilibrium surface.
+//
 // Hot-path defaults: an empty Config.Solver.UtilSolver selects the warm
 // utilization kernel (model.UtilBrentWarm) — and with it, through the
 // game layer's BRAuto policy, seeded best-response brackets. Pass
@@ -24,12 +29,12 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"neutralnet/internal/game"
 	"neutralnet/internal/model"
+	"neutralnet/internal/sweep/path"
 )
 
 // Grid is a Cartesian sweep domain. P is required; Q defaults to {0} (the
@@ -77,8 +82,9 @@ type Point struct {
 // DefaultSegmentLen is the warm-start chain length used when Config.
 // SegmentLen is unset: 16 points amortize each chain's one cold solve to
 // ~6% while typical figure-resolution grids still split into enough
-// independent units to feed a worker pool.
-const DefaultSegmentLen = 16
+// independent units to feed a worker pool. It is the shared scheduler's
+// default, re-exported for callers of this package.
+const DefaultSegmentLen = path.DefaultSegmentLen
 
 // Config controls a sweep run.
 type Config struct {
@@ -112,28 +118,10 @@ type Result struct {
 	Chains int // independent warm-start chains the snake path was cut into
 }
 
-// pathCoords maps a snake-path position k to grid indices (mi, qi, pi).
-// The path visits the grid µ-slab by µ-slab; within a slab the q rows run
-// forward on even slabs and backward on odd ones, and within a row the p
-// axis runs forward on even global rows and backward on odd ones — so
-// consecutive path positions always differ by one step in exactly one
-// coordinate.
-func pathCoords(k, nP, nQ int) (mi, qi, pi int) {
-	row, o := k/nP, k%nP
-	mi = row / nQ
-	qi = row % nQ
-	if mi%2 == 1 {
-		qi = nQ - 1 - qi
-	}
-	pi = o
-	if row%2 == 1 {
-		pi = nP - 1 - o
-	}
-	return mi, qi, pi
-}
-
 // Run evaluates the grid over the system under cfg. The system is treated
-// as read-only; capacity variants are solved on shallow copies.
+// as read-only; capacity variants are solved on shallow copies. The grid
+// slices are copied into the result, so later caller mutation of the input
+// grid cannot corrupt it.
 func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
@@ -141,6 +129,12 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 	if len(grid.P) == 0 {
 		return nil, fmt.Errorf("sweep: empty price grid")
 	}
+	// The result retains the (defaulted) grid; own the axis slices so the
+	// caller mutating its grid afterwards cannot corrupt Result.At/argmax
+	// bookkeeping.
+	grid.P = append([]float64(nil), grid.P...)
+	grid.Q = append([]float64(nil), grid.Q...)
+	grid.Mu = append([]float64(nil), grid.Mu...)
 	if len(grid.Q) == 0 {
 		grid.Q = []float64{0}
 	}
@@ -178,73 +172,38 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 	if cfg.Solver.UtilSolver == "" {
 		cfg.Solver.UtilSolver = model.UtilBrentWarm
 	}
-	workers := cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
+	// Plan the snake traversal: µ-slab by µ-slab, q rows alternating within
+	// a slab, p alternating within a row. The segment cut is a function of
+	// the grid alone, so the same warm-start chains — and therefore
+	// bit-identical iterates — result for any worker count.
+	pl := path.New([]int{len(grid.Mu), len(grid.Q), len(grid.P)}, cfg.SegmentLen)
 
-	// Cut the snake path into evenly sized segments of at most SegmentLen
-	// points. The cut is a function of the grid alone, so the same chains —
-	// and therefore bit-identical iterates — result for any worker count.
-	n := grid.Size()
-	segLen := cfg.SegmentLen
-	if segLen <= 0 {
-		segLen = DefaultSegmentLen
-	}
-	if segLen > n {
-		segLen = n
-	}
-	nChains := (n + segLen - 1) / segLen
-	segLen = (n + nChains - 1) / nChains
-	if workers > nChains {
-		workers = nChains
-	}
-
-	res := &Result{Grid: grid, Points: make([]Point, n), Chains: nChains}
+	res := &Result{Grid: grid, Points: make([]Point, pl.Len()), Chains: pl.Chains()}
 	for _, cp := range sys.CPs {
 		res.Names = append(res.Names, cp.Name)
 	}
 
-	chains := make(chan int)
-	var failed atomic.Bool
-	var firstErr error
-	var errOnce sync.Once
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each worker owns one game workspace and one warm-start
-			// buffer for its whole lifetime: after the first chain the
-			// per-point equilibrium solves are allocation-free (the only
-			// per-point allocations left are the retained clones).
-			ws := game.NewWorkspace()
-			var warm []float64
-			for chain := range chains {
-				if failed.Load() {
-					continue
-				}
-				lo := chain * segLen
-				hi := lo + segLen
-				if hi > n {
-					hi = n
-				}
-				if err := runChain(systems, grid, cfg, lo, hi, res.Points, ws, &warm); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	for chain := 0; chain < nChains; chain++ {
-		chains <- chain
-	}
-	close(chains)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err := path.Run(pl, cfg.Workers,
+		// Each worker owns one game workspace and one warm-start buffer for
+		// its whole lifetime: after the first chain the per-point equilibrium
+		// solves are allocation-free (the only per-point allocations left are
+		// the retained clones).
+		func() *chainWorker { return &chainWorker{ws: game.NewWorkspace()} },
+		func(w *chainWorker, lo, hi int) error {
+			return runChain(systems, grid, cfg, pl, lo, hi, res.Points, w)
+		})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
+}
+
+// chainWorker is one sweep worker's private state: its game workspace, the
+// warm-start profile buffer, and the coordinate scratch of the path walk.
+type chainWorker struct {
+	ws      *game.Workspace
+	warmBuf []float64
+	idx     [3]int // (mi, qi, pi) scratch for path.Plan.Coords
 }
 
 // runChain solves the snake-path positions [lo, hi) of one segment
@@ -255,12 +214,12 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 // per point once warm); the warm-start profile is copied into the worker's
 // own buffer because the freshly solved equilibrium still borrows the
 // workspace and the retained Point needs an owning clone anyway.
-func runChain(systems []*model.System, grid Grid, cfg Config, lo, hi int, points []Point, ws *game.Workspace, warmBuf *[]float64) error {
-	nP, nQ := len(grid.P), len(grid.Q)
+func runChain(systems []*model.System, grid Grid, cfg Config, pl path.Plan, lo, hi int, points []Point, w *chainWorker) error {
 	var g game.Game // fields are re-pointed per path point; validation was hoisted into Run
 	var warm []float64
 	for k := lo; k < hi; k++ {
-		mi, qi, pi := pathCoords(k, nP, nQ)
+		pl.Coords(k, w.idx[:])
+		mi, qi, pi := w.idx[0], w.idx[1], w.idx[2]
 		g.Sys, g.P, g.Q = systems[mi], grid.P[pi], grid.Q[qi]
 		opts := cfg.Solver
 		opts.Initial = nil
@@ -268,15 +227,15 @@ func runChain(systems []*model.System, grid Grid, cfg Config, lo, hi int, points
 			opts.Initial = warm
 		}
 		opts.CarryUtilSeed = k > lo
-		eq, err := g.SolveNashWS(ws, opts)
+		eq, err := g.SolveNashWS(w.ws, opts)
 		if err != nil {
 			return fmt.Errorf("sweep: solve at p=%g q=%g mu=%g: %w", g.P, g.Q, g.Sys.Mu, err)
 		}
 		owned := eq.Clone() // escape the workspace-borrowed state
 		if cfg.WarmStart {
-			warm = game.CopyProfile(warmBuf, owned.S)
+			warm = game.CopyProfile(&w.warmBuf, owned.S)
 		}
-		points[(mi*nQ+qi)*nP+pi] = Point{
+		points[pl.Index(w.idx[:])] = Point{
 			P: g.P, Q: g.Q, Mu: g.Sys.Mu, Eq: owned,
 			Revenue: g.Revenue(owned.State),
 			Welfare: g.Welfare(owned.State),
@@ -292,16 +251,22 @@ func (r *Result) At(pi, qi, mi int) Point {
 }
 
 // ArgmaxRevenue returns the grid point with maximal ISP revenue; ties
-// resolve to the lowest index, so the answer is deterministic.
+// resolve to the lowest index, so the answer is deterministic. Non-finite
+// values are skipped — a NaN must not poison the maximum by failing every
+// comparison.
 func (r *Result) ArgmaxRevenue() Point { return r.argmax(func(pt Point) float64 { return pt.Revenue }) }
 
-// ArgmaxWelfare returns the grid point with maximal system welfare.
+// ArgmaxWelfare returns the grid point with maximal system welfare, under
+// the same non-finite skipping as ArgmaxRevenue.
 func (r *Result) ArgmaxWelfare() Point { return r.argmax(func(pt Point) float64 { return pt.Welfare }) }
 
+// argmax returns the point maximizing val over the finite values of the
+// surface; the first point is the (documented) fallback when every value is
+// non-finite.
 func (r *Result) argmax(val func(Point) float64) Point {
-	best, bestV := 0, val(r.Points[0])
+	best, bestV := 0, math.Inf(-1)
 	for i, pt := range r.Points {
-		if v := val(pt); v > bestV {
+		if v := val(pt); !math.IsNaN(v) && !math.IsInf(v, 0) && v > bestV {
 			best, bestV = i, v
 		}
 	}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -164,5 +165,44 @@ func TestUniform(t *testing.T) {
 	}
 	if one := Uniform(3, 9, 1); len(one) != 1 || one[0] != 3 {
 		t.Fatalf("degenerate grid: %v", one)
+	}
+}
+
+// TestResultOwnsGridSlices asserts the aliasing fix: mutating the caller's
+// grid after Run must not corrupt the result's axes (At/argmax bookkeeping
+// depends on them).
+func TestResultOwnsGridSlices(t *testing.T) {
+	p := []float64{0.3, 0.6}
+	q := []float64{0, 1}
+	res, err := Run(market(), Grid{P: p, Q: q}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[0], q[0] = -99, -99
+	if res.Grid.P[0] != 0.3 || res.Grid.Q[0] != 0 {
+		t.Fatalf("result aliases caller grid: P[0]=%g Q[0]=%g", res.Grid.P[0], res.Grid.Q[0])
+	}
+}
+
+// TestArgmaxSkipsNonFinite is the NaN-poisoning regression test: a NaN at
+// the first point must not win every comparison by default, and an all-NaN
+// surface falls back to the first point.
+func TestArgmaxSkipsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	r := &Result{Points: []Point{
+		{P: 0.1, Revenue: nan, Welfare: nan},
+		{P: 0.2, Revenue: 2, Welfare: 1},
+		{P: 0.3, Revenue: math.Inf(1), Welfare: 3},
+		{P: 0.4, Revenue: 1, Welfare: 2},
+	}}
+	if best := r.ArgmaxRevenue(); best.P != 0.2 {
+		t.Fatalf("ArgmaxRevenue picked p=%g, want the finite maximum 0.2", best.P)
+	}
+	if best := r.ArgmaxWelfare(); best.P != 0.3 {
+		t.Fatalf("ArgmaxWelfare picked p=%g, want 0.3", best.P)
+	}
+	all := &Result{Points: []Point{{P: 0.7, Revenue: nan}, {P: 0.9, Revenue: nan}}}
+	if best := all.ArgmaxRevenue(); best.P != 0.7 {
+		t.Fatalf("all-NaN fallback picked p=%g, want the first point", best.P)
 	}
 }

@@ -33,7 +33,8 @@ const (
 	// Auto probes the contraction rate on Gauss–Seidel sweeps and
 	// switches to SOR or Anderson only when the game is slow; bit-identical
 	// to GaussSeidel on fast-contracting games and safeguarded like
-	// Anderson otherwise.
+	// Anderson otherwise. Which branch it takes is observable per session
+	// through Engine.SolverStats and DuopolySession.SolverStats.
 	Auto = game.Auto
 )
 
@@ -86,7 +87,9 @@ const (
 // (UtilBrentWarm: each root find seeded from the previous solve's φ, with
 // seeded best-response brackets riding along), while the one-shot
 // Solve/SolveAt keep the cold UtilBrent, bit-identical to the historical
-// results. The kernels agree to root tolerance (~1e-12) without being
+// results. (In OptimalPrice and PlanCapacity the warm default covers the
+// grid-scan phase, which is the bulk of the solves; the final
+// golden-section refinement still runs the cold kernel.) The kernels agree to root tolerance (~1e-12) without being
 // bit-identical — the measured drift is recorded in
 // cmd/figures/testdata/golden/REBASELINE.md and pinned by
 // TestGoldenWarmStartUlpEnvelope. Pass UtilBrent explicitly to force the
@@ -108,9 +111,10 @@ func WithMaxIterations(n int) Option {
 	return func(c *engineConfig) { c.solver.MaxIter = n }
 }
 
-// WithWorkers sets the Sweep worker-pool size (default GOMAXPROCS; values
-// below 1 select 1). Sweep results are bit-identical for every worker
-// count, so this is purely a throughput knob.
+// WithWorkers sets the worker-pool size of the batch surfaces — Engine.Sweep
+// and DuopolySession.SweepPrices — (default GOMAXPROCS; values below 1
+// select 1). Both sweeps are bit-identical for every worker count, so this
+// is purely a throughput knob.
 func WithWorkers(n int) Option {
 	return func(c *engineConfig) {
 		if n < 1 {

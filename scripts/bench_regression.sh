@@ -15,26 +15,41 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 base_hot=$(jq -r '.benchmarks.engine_sweep_cold_1worker.after.ns_per_op' BENCH_solver.json)
+base_duo=$(jq -r '.benchmarks.duopoly_sweep_prices_1worker.after.ns_per_op' BENCH_solver.json)
 base_pin=$(jq -r '.benchmarks.engine_sweep_coldkernel_1worker.after.ns_per_op' BENCH_solver.json)
-if [ -z "$base_hot" ] || [ "$base_hot" = "null" ] || [ -z "$base_pin" ] || [ "$base_pin" = "null" ]; then
-  echo "missing engine_sweep baselines in BENCH_solver.json"
-  exit 1
-fi
+for v in "$base_hot" "$base_duo" "$base_pin"; do
+  if [ -z "$v" ] || [ "$v" = "null" ]; then
+    echo "missing sweep baselines in BENCH_solver.json"
+    exit 1
+  fi
+done
 
-out=$(go test -run '^$' -bench 'EngineSweep/(cold-1w|coldkernel-1w)$' -benchtime 5x -count 3 .)
+out=$(go test -run '^$' -bench 'EngineSweep/(cold-1w|coldkernel-1w)$|DuopolySweepPrices/1w$' -benchtime 5x -count 3 .)
 echo "$out"
 hot=$(echo "$out" | awk '$1 ~ /^BenchmarkEngineSweep\/cold-1w/ {print $3}' | sort -n | head -1)
+duo=$(echo "$out" | awk '$1 ~ /^BenchmarkDuopolySweepPrices\/1w/ {print $3}' | sort -n | head -1)
 pin=$(echo "$out" | awk '$1 ~ /^BenchmarkEngineSweep\/coldkernel-1w/ {print $3}' | sort -n | head -1)
-if [ -z "$hot" ] || [ -z "$pin" ]; then
+if [ -z "$hot" ] || [ -z "$duo" ] || [ -z "$pin" ]; then
   echo "could not parse benchmark output"
   exit 1
 fi
 
-read -r base_ratio ratio limit <<<"$(awk -v bh="$base_hot" -v bp="$base_pin" -v h="$hot" -v p="$pin" \
-  'BEGIN {br = bh/bp; printf "%.4f %.4f %.4f", br, h/p, br*1.10}')"
-echo "engine_sweep_cold_1worker / coldkernel_1worker: baseline ratio ${base_ratio}, +10% limit ${limit}, measured ${ratio} (${hot} / ${pin} ns/op, best-of-3)"
-if awk -v r="$ratio" -v lim="$limit" 'BEGIN {exit (r+0 > lim+0) ? 0 : 1}'; then
-  echo "::warning title=bench regression::engine_sweep_cold_1worker regressed >10% relative to the pinned cold-kernel path (ratio ${ratio} > ${limit}; baseline ${base_ratio} in BENCH_solver.json)"
+# check NAME baseline measured: warn (and exit non-zero) when the measured
+# hot-path / pinned-cold-kernel ratio rises >10% over the recorded one.
+failed=0
+check() {
+  name="$1" base="$2" meas="$3"
+  read -r base_ratio ratio limit <<<"$(awk -v bh="$base" -v bp="$base_pin" -v h="$meas" -v p="$pin" \
+    'BEGIN {br = bh/bp; printf "%.4f %.4f %.4f", br, h/p, br*1.10}')"
+  echo "${name} / coldkernel_1worker: baseline ratio ${base_ratio}, +10% limit ${limit}, measured ${ratio} (${meas} / ${pin} ns/op, best-of-3)"
+  if awk -v r="$ratio" -v lim="$limit" 'BEGIN {exit (r+0 > lim+0) ? 0 : 1}'; then
+    echo "::warning title=bench regression::${name} regressed >10% relative to the pinned cold-kernel path (ratio ${ratio} > ${limit}; baseline ${base_ratio} in BENCH_solver.json)"
+    failed=1
+  fi
+}
+check engine_sweep_cold_1worker "$base_hot" "$hot"
+check duopoly_sweep_prices_1worker "$base_duo" "$duo"
+if [ "$failed" -ne 0 ]; then
   exit 1
 fi
-echo "OK: hot-path ratio within 10% of the recorded baseline"
+echo "OK: hot-path ratios within 10% of the recorded baselines"
