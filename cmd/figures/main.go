@@ -97,15 +97,20 @@ func run(points, workers int, outDir string, charts, tables, check, regimes, the
 	if tables {
 		fmt.Println(sw.Fig7Table())
 	}
-	for name, t := range map[string]*report.Table{
-		"fig7.csv":    sw.Fig7Table(),
-		"fig8.csv":    sw.Fig8Table(),
-		"fig9.csv":    sw.Fig9Table(),
-		"fig10.csv":   sw.Fig10Table(),
-		"fig11.csv":   sw.Fig11Table(),
-		"surplus.csv": surplusTable(sw),
+	// Slice, not map: write order (and which failure surfaces first) stays
+	// deterministic.
+	for _, out := range []struct {
+		name string
+		t    *report.Table
+	}{
+		{"fig7.csv", sw.Fig7Table()},
+		{"fig8.csv", sw.Fig8Table()},
+		{"fig9.csv", sw.Fig9Table()},
+		{"fig10.csv", sw.Fig10Table()},
+		{"fig11.csv", sw.Fig11Table()},
+		{"surplus.csv", surplusTable(sw)},
 	} {
-		if err := writeCSV(name, t); err != nil {
+		if err := writeCSV(out.name, out.t); err != nil {
 			return err
 		}
 	}

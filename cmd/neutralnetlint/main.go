@@ -1,0 +1,211 @@
+// Command neutralnetlint runs the repo's static-analysis suite (package
+// neutralnet/internal/analysis): determinism, noalias, noalloc and
+// solvername. It speaks two protocols:
+//
+// Standalone, over the whole module containing the working directory
+// (package-pattern arguments are accepted for familiarity but the module
+// is always checked in full — the invariants are cross-package):
+//
+//	neutralnetlint ./...
+//
+// As a go vet tool, one package per invocation, driven by the build
+// system's dependency graph and cache:
+//
+//	go vet -vettool=$(pwd)/bin/neutralnetlint ./...
+//
+// Exit status: 0 clean, 1 operational error, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"neutralnet/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("neutralnetlint", flag.ExitOnError)
+	version := fs.String("V", "", "print version and exit (go vet tool protocol)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags as JSON (go vet tool protocol)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	switch {
+	case *version != "":
+		// The go command identifies vet tools by this line's shape and
+		// caches their results keyed on the binary's content hash.
+		id, err := selfID()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("neutralnetlint version devel buildID=%s\n", id)
+		return 0
+	case *printFlags:
+		fmt.Println("[]")
+		return 0
+	case *list:
+		for _, a := range analysis.All() {
+			fmt.Printf("%s: %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n\t"))
+		}
+		return 0
+	}
+	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetCfg(rest[0])
+	}
+	return runStandalone()
+}
+
+// runStandalone loads and checks every package of the enclosing module.
+func runStandalone() int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return fail(err)
+	}
+	root, _, err := analysis.FindModule(cwd)
+	if err != nil {
+		return fail(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return fail(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return fail(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		return fail(err)
+	}
+	return report(diags)
+}
+
+// vetConfig is the subset of the go vet .cfg file the checker needs,
+// mirroring the x/tools unitchecker protocol.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetCfg checks one package as directed by the go command: sources and
+// the export data of dependencies come from the config, facts output is
+// empty (the analyzers are package-local).
+func runVetCfg(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return fail(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fail(fmt.Errorf("parsing %s: %w", cfgPath, err))
+	}
+	// The go command requires the facts file regardless of findings.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return fail(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := analysis.ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		return fail(err)
+	}
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compImp.Import(importPath)
+	})
+	// Module context decides the determinism analyzer's package scoping.
+	var modPath string
+	if _, mp, err := analysis.FindModule(cfg.Dir); err == nil {
+		modPath = mp
+	}
+	pkg, err := analysis.CheckFiles(fset, cfg.ImportPath, modPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		return fail(err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analysis.All())
+	if err != nil {
+		return fail(err)
+	}
+	return report(diags)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// report prints unsuppressed findings one per line and returns the
+// process exit status.
+func report(diags []analysis.Diagnostic) int {
+	un := analysis.Unsuppressed(diags)
+	for _, d := range un {
+		fmt.Fprintf(os.Stderr, "%s\n", d.String())
+	}
+	if len(un) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// selfID hashes the running executable, standing in for a build ID.
+func selfID() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16]), nil
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "neutralnetlint: %v\n", err)
+	return 1
+}

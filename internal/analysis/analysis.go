@@ -1,0 +1,280 @@
+// Package analysis is the repo's static-analysis layer: a small,
+// stdlib-only framework modeled on golang.org/x/tools/go/analysis (which
+// this module deliberately does not depend on — the tree is
+// dependency-free), plus the four neutralnet analyzers that mechanize the
+// invariants the reproduction's guarantees rest on:
+//
+//   - determinism: no nondeterministic constructs (map iteration order,
+//     wall-clock time, the global math/rand source, environment reads,
+//     append-based goroutine fan-in) inside the solve-path packages whose
+//     outputs are pinned bit-identical at any worker count.
+//   - noalias: values produced by the borrowing workspace APIs (SolveInto,
+//     SolveNashWS, CPEquilibriumChainWS, ...) must not escape — be stored
+//     to fields, sent on channels, or returned — without an intervening
+//     Clone/CloneInto/CopyProfile escape.
+//   - noalloc: functions annotated //neutralnet:hotpath must avoid
+//     allocating constructs (unsized append, closures, map/slice literals,
+//     make/new, fmt calls, string concatenation, numeric interface boxing).
+//   - solvername: registry solver/kernel names must flow into their sinks
+//     (WithSolver, Market.Solver, Config.UtilSolver, ...) as named
+//     constants whose values the registry actually knows.
+//
+// The framework mirrors the x/tools shapes (Analyzer, Pass, Diagnostic) so
+// the analyzers could be ported to a real multichecker by swapping imports
+// if the dependency ever becomes available.
+//
+// # Suppression
+//
+// A finding is suppressed by a lint:ignore directive with a mandatory
+// reason:
+//
+//	//lint:ignore determinism keys are sorted before use
+//	for name := range registry { ... }
+//
+// The directive names one analyzer (or a comma-separated list, or "all")
+// and applies to its own line and the next line. A directive without a
+// reason is itself reported — every suppression must say why.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and lint:ignore
+	// directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by the multichecker's
+	// -list flag.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass presents one package to an analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ModulePath is the module the analyzed package belongs to (empty for
+	// fixture packages loaded outside a module).
+	ModulePath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed marks findings covered by a lint:ignore directive;
+	// SuppressReason carries the directive's mandatory justification.
+	Suppressed     bool
+	SuppressReason string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// lintAnalyzerName is the pseudo-analyzer malformed directives are
+// reported under. It cannot be suppressed.
+const lintAnalyzerName = "lint"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	names  map[string]bool // analyzer names, or {"all": true}
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+func (d *ignoreDirective) covers(analyzer string) bool {
+	return d.names["all"] || d.names[analyzer]
+}
+
+// RunAnalyzers applies every analyzer to every package and returns all
+// diagnostics — suppressed ones included, marked — sorted by position.
+// Malformed lint:ignore directives (no reason) are reported under the
+// "lint" pseudo-analyzer.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		// Test files are exempt: the invariants gate shipped solve-path
+		// code, and tests deliberately exercise invalid registry names,
+		// error paths and allocation patterns. (The module loader never
+		// parses them; this matters for go vet -vettool, which does.)
+		files := nonTestFiles(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				ModulePath: pkg.ModulePath,
+				diags:      &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: running %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+		diags = applyIgnores(pkg, diags)
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// applyIgnores marks diagnostics of pkg covered by its lint:ignore
+// directives as suppressed, and appends "lint" diagnostics for malformed
+// directives. Diagnostics of other packages pass through untouched.
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// directive line → directives declared there; a directive covers its
+	// own line and the following line.
+	byLine := map[string]map[int][]*ignoreDirective{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Analyzer: lintAnalyzerName,
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: need an analyzer name and a reason (//lint:ignore <analyzers> <reason>)",
+					})
+					continue
+				}
+				d := &ignoreDirective{names: map[string]bool{}, pos: pos,
+					reason: strings.Join(fields[1:], " ")}
+				for _, n := range strings.Split(fields[0], ",") {
+					d.names[n] = true
+				}
+				m := byLine[pos.Filename]
+				if m == nil {
+					m = map[int][]*ignoreDirective{}
+					byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], d)
+			}
+		}
+	}
+	inPkg := map[string]bool{}
+	for _, f := range pkg.Files {
+		inPkg[pkg.Fset.Position(f.Pos()).Filename] = true
+	}
+	for i := range diags {
+		d := &diags[i]
+		if d.Suppressed || d.Analyzer == lintAnalyzerName || !inPkg[d.Pos.Filename] {
+			continue
+		}
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, dir := range byLine[d.Pos.Filename][line] {
+				if dir.covers(d.Analyzer) {
+					d.Suppressed = true
+					d.SuppressReason = dir.reason
+					dir.used = true
+					break
+				}
+			}
+			if d.Suppressed {
+				break
+			}
+		}
+	}
+	return diags
+}
+
+// nonTestFiles filters a package's files down to non-_test.go sources.
+func nonTestFiles(pkg *Package) []*ast.File {
+	out := make([]*ast.File, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if !strings.HasSuffix(name, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Unsuppressed filters diags down to the findings that gate a build.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// --- directives shared by the analyzers -------------------------------------
+
+// hotpathDirective marks a function whose body the noalloc analyzer checks.
+const hotpathDirective = "//neutralnet:hotpath"
+
+// deterministicDirective opts a package into the determinism analyzer's
+// scope (in addition to the built-in package list).
+const deterministicDirective = "//neutralnet:deterministic"
+
+// hasDirective reports whether the comment group contains the directive as
+// a standalone comment line.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// fileHasDirective reports whether any comment in the file carries the
+// directive.
+func fileHasDirective(f *ast.File, directive string) bool {
+	for _, cg := range f.Comments {
+		if hasDirective(cg, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, NoAlias, NoAlloc, SolverName}
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+	"neutralnet/internal/solver"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	RunFixture(t, fixture("determinism"), Determinism)
+}
+
+// TestDeterminismScopeGate runs the analyzer over a fixture with the same
+// violations but no deterministic directive: out of scope, zero findings.
+func TestDeterminismScopeGate(t *testing.T) {
+	RunFixture(t, fixture("determinismscope"), Determinism)
+}
+
+func TestNoAliasFixture(t *testing.T) {
+	RunFixture(t, fixture("noalias"), NoAlias)
+}
+
+func TestNoAllocFixture(t *testing.T) {
+	RunFixture(t, fixture("noalloc"), NoAlloc)
+}
+
+func TestSolverNameFixture(t *testing.T) {
+	RunFixture(t, fixture("solvername"), SolverName)
+}
+
+// TestMalformedIgnoreReported checks the directive grammar is itself
+// linted: a reasonless //lint:ignore is reported under the "lint"
+// pseudo-analyzer and suppresses nothing.
+func TestMalformedIgnoreReported(t *testing.T) {
+	pkg, err := LoadDir(fixture("lintreason"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{Determinism})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	var lintCount, unsuppressed int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == lintAnalyzerName:
+			lintCount++
+			if !strings.Contains(d.Message, "malformed") {
+				t.Errorf("lint diagnostic does not explain itself: %s", d.Message)
+			}
+		case d.Analyzer == Determinism.Name && !d.Suppressed:
+			unsuppressed++
+		case d.Suppressed:
+			t.Errorf("reasonless directive suppressed a finding: %s", d.String())
+		}
+	}
+	if lintCount != 1 {
+		t.Errorf("got %d lint diagnostics, want 1:\n%s", lintCount, FormatDiagnostics(diags))
+	}
+	if unsuppressed != 1 {
+		t.Errorf("got %d unsuppressed determinism findings, want 1 (time.Now must not be suppressed):\n%s",
+			unsuppressed, FormatDiagnostics(diags))
+	}
+}
+
+// TestKnownNamesMatchRegistry pins the solvername analyzer's name tables
+// to the live registries, so registering a new scheme without teaching the
+// analyzer (or vice versa) fails here instead of silently drifting.
+func TestKnownNamesMatchRegistry(t *testing.T) {
+	wantSolvers := append([]string{""}, solver.Names()...)
+	sort.Strings(wantSolvers)
+	if !reflect.DeepEqual(KnownSolverNames, wantSolvers) {
+		t.Errorf("KnownSolverNames = %q, registry has %q", KnownSolverNames, wantSolvers)
+	}
+
+	wantUtil := append([]string{""}, model.UtilSolverNames()...)
+	sort.Strings(wantUtil)
+	if !reflect.DeepEqual(KnownUtilSolverNames, wantUtil) {
+		t.Errorf("KnownUtilSolverNames = %q, registry has %q", KnownUtilSolverNames, wantUtil)
+	}
+
+	wantBR := []string{game.BRAuto, game.BRCold, game.BRSeeded}
+	sort.Strings(wantBR)
+	if !reflect.DeepEqual(KnownBRSeedNames, wantBR) {
+		t.Errorf("KnownBRSeedNames = %q, game declares %q", KnownBRSeedNames, wantBR)
+	}
+}
+
+// TestTreeClean is the in-process twin of the CI lint gate: the whole
+// module must produce zero unsuppressed findings, and every suppression
+// must carry its reason.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module (stdlib from source); skipped in -short")
+	}
+	l, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("loaded only %d packages; loader is missing the tree", len(pkgs))
+	}
+	diags, err := RunAnalyzers(pkgs, All())
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if un := Unsuppressed(diags); len(un) > 0 {
+		t.Errorf("tree is not lint-clean:\n%s", FormatDiagnostics(un))
+	}
+	for _, d := range diags {
+		if d.Suppressed && strings.TrimSpace(d.SuppressReason) == "" {
+			t.Errorf("suppression without a reason at %s", d.Pos)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is the fixture harness the analyzer unit tests run on,
+// modeled on golang.org/x/tools/go/analysis/analysistest: a fixture
+// package under testdata/src/<name> annotates the lines it expects
+// findings on with
+//
+//	// want "substring"
+//
+// comments (several per line allowed: // want "a" "b"). RunFixture loads
+// the package, applies the analyzer, and fails the test on any unexpected
+// finding, any unmatched expectation, and any finding whose message does
+// not contain its expectation. Suppressed findings (lint:ignore) must NOT
+// carry a want — the harness checks the escape hatch works by expecting
+// silence.
+
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+// expectation is one `// want` clause.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// RunFixture applies analyzers to the fixture package in dir and compares
+// findings (post-suppression) with the // want comments.
+func RunFixture(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	expects := collectWants(t, pkg)
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		if !matchExpectation(expects, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected finding at %s: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected finding containing %q, got none", e.file, e.line, e.substr)
+		}
+	}
+}
+
+// collectWants parses the `// want` comments of every fixture file.
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want") && strings.Contains(c.Text, `"`) &&
+						strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want") {
+						t.Fatalf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					substr, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, substr: substr})
+				}
+			}
+		}
+	}
+	return out
+}
+
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func splitQuoted(s string) []string { return quotedRE.FindAllString(s, -1) }
+
+// matchExpectation marks (and reports) the first unmatched expectation on
+// the finding's line whose substring occurs in the message.
+func matchExpectation(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && strings.Contains(msg, e.substr) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// FormatDiagnostics renders diagnostics one per line, the way the
+// multichecker prints them.
+func FormatDiagnostics(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s\n", d.String())
+	}
+	return b.String()
+}

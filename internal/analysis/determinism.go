@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags constructs that break the repo's bit-identical
+// reproducibility guarantees inside the solve-path packages: the sweep
+// surfaces, goldens and parallel-sweep results are pinned bitwise, so any
+// order- or environment-dependence in those packages is a bug even when
+// every individual solve is correct.
+//
+// Scope: the packages listed in determinismScope (the solver, sweep,
+// settlement and core model/game packages, plus the root engine package),
+// and any package carrying a //neutralnet:deterministic comment.
+//
+// Checks:
+//
+//   - range over a map: iteration order is randomized per run, so any
+//     computation or output built from it is order-dependent. Iterate a
+//     sorted key slice or write results by index. (Loops that provably
+//     discard ordering — sorted afterwards, commutative integer counts —
+//     still trip the check; suppress those with a reasoned lint:ignore.
+//     Note float addition is NOT commutative in rounding, so summing map
+//     values is a genuine violation.)
+//   - time.Now, the global math/rand source (rand.Int, rand.Float64, ...;
+//     explicitly seeded rand.New(rand.NewSource(seed)) is fine), os.Getenv
+//     and friends: a solve's result must be a function of its inputs only.
+//   - goroutine fan-in by append: a `go func() { ... }` closure appending
+//     to a slice declared outside the closure makes result order depend on
+//     goroutine scheduling. Workers must write to disjoint indices (the
+//     internal/sweep/path pool's contract) and fan results in by position.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag nondeterministic constructs (map iteration, time.Now, global math/rand,\n" +
+		"os.Getenv, append-based goroutine fan-in) in determinism-scoped packages",
+	Run: runDeterminism,
+}
+
+// determinismScope is the built-in set of packages whose results are
+// pinned bit-identical, as module-relative paths ("" is the module root).
+var determinismScope = map[string]bool{
+	"":                    true, // root package: Engine, DuopolySession, sweep bindings
+	"internal/solver":     true,
+	"internal/sweep":      true,
+	"internal/sweep/path": true,
+	"internal/duopoly":    true,
+	"internal/longrun":    true,
+	"internal/model":      true,
+	"internal/game":       true,
+}
+
+// bannedCalls maps package path → function names whose results depend on
+// the environment or on process-global mutable state.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now": "wall-clock time",
+	},
+	"os": {
+		"Getenv":    "environment read",
+		"LookupEnv": "environment read",
+		"Environ":   "environment read",
+	},
+	// Package-level math/rand functions draw from the shared global
+	// source; rand.New(rand.NewSource(seed)) is the seeded, reproducible
+	// alternative and is not flagged.
+	"math/rand": {
+		"Int": "global rand source", "Intn": "global rand source",
+		"Int31": "global rand source", "Int31n": "global rand source",
+		"Int63": "global rand source", "Int63n": "global rand source",
+		"Uint32": "global rand source", "Uint64": "global rand source",
+		"Float32": "global rand source", "Float64": "global rand source",
+		"ExpFloat64": "global rand source", "NormFloat64": "global rand source",
+		"Perm": "global rand source", "Shuffle": "global rand source",
+		"Read": "global rand source", "Seed": "global rand source",
+	},
+}
+
+func runDeterminism(pass *Pass) error {
+	if !inDeterminismScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.CallExpr:
+				checkBannedCall(pass, n)
+			case *ast.GoStmt:
+				checkGoroutineFanIn(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inDeterminismScope reports whether the package's results are pinned
+// deterministic: member of the built-in scope list, or opted in by
+// directive.
+func inDeterminismScope(pass *Pass) bool {
+	if pass.ModulePath != "" {
+		rel := pass.Pkg.Path()
+		if rel == pass.ModulePath {
+			rel = ""
+		} else if after, ok := cutModulePrefix(rel, pass.ModulePath); ok {
+			rel = after
+		} else {
+			return false
+		}
+		if determinismScope[rel] {
+			return true
+		}
+	}
+	for _, f := range pass.Files {
+		if fileHasDirective(f, deterministicDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func cutModulePrefix(path, mod string) (string, bool) {
+	if len(path) > len(mod)+1 && path[:len(mod)] == mod && path[len(mod)] == '/' {
+		return path[len(mod)+1:], true
+	}
+	return "", false
+}
+
+// checkMapRange flags `for ... := range m` where m is map-typed.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+		pass.Reportf(rs.Pos(),
+			"range over map has nondeterministic iteration order; iterate a sorted key slice or write results by index")
+	}
+}
+
+// checkBannedCall flags calls to environment- or global-state-dependent
+// functions (time.Now, global math/rand, os.Getenv).
+func checkBannedCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return // methods (e.g. (*rand.Rand).Intn on a seeded source) are fine
+	}
+	if why, banned := bannedCalls[fn.Pkg().Path()][fn.Name()]; banned {
+		pass.Reportf(call.Pos(),
+			"call to %s.%s (%s) in a determinism-scoped package; results must be a function of explicit inputs (use a seeded rand.New(rand.NewSource(...)) for randomness)",
+			fn.Pkg().Name(), fn.Name(), why)
+	}
+}
+
+// checkGoroutineFanIn flags `go func() { ... s = append(s, ...) ... }()`
+// where s is declared outside the goroutine closure: completion order then
+// determines element order.
+func checkGoroutineFanIn(pass *Pass, g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fnIdent, ok := call.Fun.(*ast.Ident)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[fnIdent].(*types.Builtin); !isBuiltin || fnIdent.Name != "append" {
+			return true
+		}
+		target := rootIdent(call.Args[0])
+		if target == nil {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(target)
+		if obj == nil || obj.Pos() == 0 {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			pass.Reportf(call.Pos(),
+				"goroutine appends to %s declared outside the closure: result order depends on scheduling; write results by index into a pre-sized slice", target.Name)
+		}
+		return true
+	})
+}
+
+// rootIdent unwraps selectors/indexes/parens to the base identifier of an
+// expression (x in x.f[i]), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the package loader behind the standalone multichecker and
+// the analysistest fixture runner. It fills the role of
+// golang.org/x/tools/go/packages with the standard library only: module
+// packages are parsed from source and typechecked with go/types, module
+// imports resolve recursively through the same loader, and standard-library
+// imports resolve through the compiler's source importer (which needs no
+// pre-built export data, so it works in hermetic build environments).
+// The module must be dependency-free — which this one is, by policy.
+
+// A Package is one loaded, typechecked package.
+type Package struct {
+	// Path is the import path ("neutralnet/internal/game").
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// ModulePath is the module the package belongs to.
+	ModulePath string
+	Fset       *token.FileSet
+	// Files are the parsed non-test source files, sorted by filename.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// sharedFset and sharedStd are the process-wide fileset and
+// standard-library importer. Sharing them lets every loaded package —
+// module packages and fixture packages alike — reuse the (expensive,
+// source-parsed) stdlib typecheck, and keeps all positions in one fileset.
+// The source importer is not safe for concurrent use; neither is a Loader.
+var (
+	sharedFset = token.NewFileSet()
+	sharedStd  = importer.ForCompiler(sharedFset, "source", nil)
+)
+
+// A Loader loads and typechecks the packages of one module.
+type Loader struct {
+	Fset    *token.FileSet
+	modPath string
+	rootDir string
+
+	std  types.Importer
+	pkgs map[string]*Package // by import path; nil entry = load in progress
+}
+
+// NewLoader returns a loader rooted at the module directory rootDir (the
+// directory containing go.mod).
+func NewLoader(rootDir string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(rootDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Fset:    sharedFset,
+		modPath: modPath,
+		rootDir: rootDir,
+		std:     sharedStd,
+		pkgs:    map[string]*Package{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// LoadAll loads every package under the module root (skipping testdata,
+// vendor and hidden directories), in sorted import-path order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.rootDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.rootDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.rootDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		ipath := l.modPath
+		if rel != "." {
+			ipath = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(ipath, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// Import resolves an import path for the typechecker: module-internal
+// paths load (and memoize) through the loader itself; everything else is
+// assumed to be standard library and delegates to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		pkg, err := l.load(path, filepath.Join(l.rootDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and typechecks the package in dir, memoized by import path.
+func (l *Loader) load(ipath, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[ipath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", ipath)
+		}
+		return pkg, nil
+	}
+	l.pkgs[ipath] = nil // mark in progress for cycle detection
+	files, err := parseDir(l.Fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg, err := typecheck(l.Fset, ipath, files, l, l.modPath)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	l.pkgs[ipath] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of dir, sorted by filename.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typecheck runs go/types over the parsed files.
+func typecheck(fset *token.FileSet, ipath string, files []*ast.File, imp types.Importer, modPath string) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(ipath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typechecking %s: %w", ipath, err)
+	}
+	return &Package{Path: ipath, ModulePath: modPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// FindModule walks up from dir to the nearest go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if _, statErr := os.Stat(gomod); statErr == nil {
+			modPath, err = modulePath(gomod)
+			return dir, modPath, err
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// CheckFiles typechecks already-parsed files as one package using the
+// given importer. It is the entry point for external drivers (the go vet
+// -vettool protocol) that bring their own import resolution.
+func CheckFiles(fset *token.FileSet, ipath, modPath string, files []*ast.File, imp types.Importer) (*Package, error) {
+	return typecheck(fset, ipath, files, imp, modPath)
+}
+
+// ParseFiles parses the named Go files into fset with comments retained.
+func ParseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadDir loads a single standalone package (fixture dirs under testdata)
+// whose imports are standard-library only. The import path is taken from
+// the directory name.
+func LoadDir(dir string) (*Package, error) {
+	files, err := parseDir(sharedFset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg, err := typecheck(sharedFset, filepath.Base(dir), files, sharedStd, "")
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}

@@ -1,0 +1,512 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAlias enforces the workspace borrow contract. The allocation-free hot
+// paths return values that BORROW reusable workspace buffers
+// (game.SolveNashWS equilibria, model SolveInto states, the duopoly
+// CPEquilibrium*WS profile/state): they are valid only until the
+// workspace's next solve, so retaining one past the call site silently
+// aliases a buffer that the next solve overwrites. The canonical escapes
+// are Clone/CloneInto/CopyProfile.
+//
+// The analyzer tracks, per function body and in source order, local
+// variables holding a borrowing API's result (or borrowed out-param) and
+// flags borrowed values that
+//
+//   - are stored to a struct field or through an index expression,
+//   - are sent on a channel, or
+//   - are returned,
+//
+// without an intervening Clone/CloneInto/CopyProfile. Two escapes are
+// built in: functions themselves named with the borrowing convention
+// (*WS / *Into suffix) may return borrowed values — that IS their
+// contract, the caller inherits the taint — and reassignment through a
+// cleansing call (owned := eq.Clone()) clears the taint. Composite
+// literals embedding a borrowed value are themselves treated as borrowed.
+//
+// This is a syntactic, intra-procedural approximation, not an escape
+// analysis: it follows source order rather than control flow. Findings it
+// cannot see (aliasing through interfaces, cross-function flows) remain
+// the job of the -race suites; anything it does flag is either a real
+// retention bug or a case for a reasoned lint:ignore.
+var NoAlias = &Analyzer{
+	Name: "noalias",
+	Doc: "flag workspace-borrowed values (SolveNashWS, SolveInto, CPEquilibrium*WS, ...)\n" +
+		"stored, sent or returned without a Clone/CloneInto/CopyProfile escape",
+	Run: runNoAlias,
+}
+
+// borrowSpec describes which parts of a borrowing API's call alias
+// workspace storage.
+type borrowSpec struct {
+	results []int // indices into the result tuple that are borrowed
+	args    []int // indices of out-params written with borrowed storage
+}
+
+// borrowAPIs maps method names (matched by name — the borrowing convention
+// is repo-wide) to what they borrow.
+var borrowAPIs = map[string]borrowSpec{
+	"SolveInto":            {results: []int{0}},    // model: State borrows w.m / w.theta
+	"SolveNashWS":          {results: []int{0}},    // game: Equilibrium borrows ws buffers
+	"StateWS":              {results: []int{0}},    // game: State borrows phys buffers
+	"BestResponseWS":       {},                     // scalar result; listed for call-site completeness
+	"CPEquilibriumWS":      {results: []int{0, 1}}, // duopoly: profile + state borrow ws
+	"CPEquilibriumChainWS": {results: []int{0, 1}}, // duopoly: chained variant
+	"PopulationsInto":      {args: []int{0}},       // dst may alias a workspace buffer
+	"ThroughputInto":       {args: []int{0}},       // dst may alias a workspace buffer
+}
+
+// cleansers are the canonical escapes: calling one of these on (or with) a
+// borrowed value yields an owning copy.
+var cleansers = map[string]bool{
+	"Clone":       true,
+	"CloneInto":   true,
+	"CopyProfile": true,
+}
+
+func runNoAlias(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFuncAliasing(pass, fd)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// aliasChecker tracks borrowed locals through one function body.
+type aliasChecker struct {
+	pass    *Pass
+	fn      *ast.FuncDecl
+	tainted map[types.Object]string // borrowed var → API that produced it
+	// returnsBorrowed: the enclosing function follows the borrowing
+	// convention itself, so returning borrowed values is its contract.
+	returnsBorrowed bool
+}
+
+func checkFuncAliasing(pass *Pass, fd *ast.FuncDecl) {
+	c := &aliasChecker{
+		pass:    pass,
+		fn:      fd,
+		tainted: map[types.Object]string{},
+	}
+	name := fd.Name.Name
+	if _, isBorrowAPI := borrowAPIs[name]; isBorrowAPI ||
+		hasSuffix(name, "WS") || hasSuffix(name, "Into") {
+		c.returnsBorrowed = true
+	}
+	c.walkStmts(fd.Body.List)
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// walkStmts visits statements in source order, updating the taint set and
+// flagging escapes. Nested control flow recurses; closures are visited as
+// part of their enclosing statement order.
+func (c *aliasChecker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		c.walkStmt(s)
+	}
+}
+
+func (c *aliasChecker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.SendStmt:
+		if api := c.borrowedExpr(s.Value); api != "" {
+			c.pass.Reportf(s.Value.Pos(),
+				"%s result sent on a channel without Clone: the receiver retains workspace-borrowed storage", api)
+		}
+		c.checkCallsIn(s.Chan)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if api := c.borrowedExpr(r); api != "" && !c.returnsBorrowed {
+				c.pass.Reportf(r.Pos(),
+					"%s result returned from %s without Clone: the caller retains workspace-borrowed storage (borrow-returning functions are named *WS or *Into)",
+					api, c.fn.Name.Name)
+			}
+			c.checkCallsIn(r)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						c.bindVar(name, vs.Values[i])
+					}
+				}
+				for _, v := range vs.Values {
+					c.checkCallsIn(v)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		c.checkCallsIn(s.X)
+	case *ast.IfStmt:
+		c.walkOptional(s.Init)
+		c.checkCallsIn(s.Cond)
+		c.walkStmt(s.Body)
+		c.walkOptional(s.Else)
+	case *ast.ForStmt:
+		c.walkOptional(s.Init)
+		if s.Cond != nil {
+			c.checkCallsIn(s.Cond)
+		}
+		c.walkStmt(s.Body)
+		c.walkOptional(s.Post)
+	case *ast.RangeStmt:
+		c.checkCallsIn(s.X)
+		c.walkStmt(s.Body)
+	case *ast.BlockStmt:
+		c.walkStmts(s.List)
+	case *ast.SwitchStmt:
+		c.walkOptional(s.Init)
+		c.walkStmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		c.walkOptional(s.Init)
+		c.walkStmt(s.Body)
+	case *ast.CaseClause:
+		c.walkStmts(s.Body)
+	case *ast.SelectStmt:
+		c.walkStmt(s.Body)
+	case *ast.CommClause:
+		c.walkOptional(s.Comm)
+		c.walkStmts(s.Body)
+	case *ast.GoStmt:
+		c.checkCallsIn(s.Call)
+	case *ast.DeferStmt:
+		c.checkCallsIn(s.Call)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt)
+	}
+}
+
+func (c *aliasChecker) walkOptional(s ast.Stmt) {
+	if s != nil {
+		c.walkStmt(s)
+	}
+}
+
+// assign handles both taint introduction (x := borrowingCall()) and escape
+// detection (field.f = tainted, arr[i] = tainted).
+func (c *aliasChecker) assign(s *ast.AssignStmt) {
+	// Multi-value form: x, st, err := call().
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		if call, ok := stripParens(s.Rhs[0]).(*ast.CallExpr); ok {
+			if name, spec, ok := c.borrowingCall(call); ok {
+				c.checkCallsIn(call)
+				borrowedIdx := map[int]bool{}
+				for _, i := range spec.results {
+					borrowedIdx[i] = true
+				}
+				for i, lhs := range s.Lhs {
+					c.bindTarget(lhs, borrowedIdx[i], name)
+				}
+				return
+			}
+		}
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			c.bindTarget2(s.Lhs[i], s.Rhs[i])
+			c.checkCallsIn(s.Rhs[i])
+		}
+		return
+	}
+	for _, r := range s.Rhs {
+		c.checkCallsIn(r)
+	}
+}
+
+// bindTarget2 processes one lhs = rhs pair: escapes first, then taint
+// bookkeeping.
+func (c *aliasChecker) bindTarget2(lhs, rhs ast.Expr) {
+	api := c.borrowedExpr(rhs)
+	// A borrow-returning function assembling its return value stores
+	// borrowed parts into locals (st.Net[k] = ns in stateWS); that is its
+	// contract, the caller inherits the taint with the return.
+	if api != "" && c.returnsBorrowed && c.localTarget(lhs) {
+		api = ""
+	}
+	switch target := stripParens(lhs).(type) {
+	case *ast.Ident:
+		c.bindVar(target, rhs)
+	case *ast.SelectorExpr:
+		if api != "" {
+			c.pass.Reportf(rhs.Pos(),
+				"%s result stored to field %s without Clone: the field retains workspace-borrowed storage", api, target.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		if api != "" {
+			c.pass.Reportf(rhs.Pos(),
+				"%s result stored through an index expression without Clone: the slice retains workspace-borrowed storage", api)
+		}
+	case *ast.StarExpr:
+		if api != "" {
+			c.pass.Reportf(rhs.Pos(),
+				"%s result stored through a pointer without Clone: the pointee retains workspace-borrowed storage", api)
+		}
+	}
+}
+
+// localTarget reports whether the root identifier of lhs is declared
+// inside the function being checked (a local, parameter or receiver), as
+// opposed to package-level or closed-over storage.
+func (c *aliasChecker) localTarget(lhs ast.Expr) bool {
+	id := rootIdent(stripParens(lhs))
+	if id == nil {
+		return false
+	}
+	obj := c.pass.TypesInfo.ObjectOf(id)
+	return obj != nil && obj.Pos() >= c.fn.Pos() && obj.Pos() <= c.fn.End()
+}
+
+// bindVar updates the taint of a plain variable binding.
+func (c *aliasChecker) bindVar(name *ast.Ident, rhs ast.Expr) {
+	obj := c.pass.TypesInfo.ObjectOf(name)
+	if obj == nil {
+		return
+	}
+	if api := c.borrowedExpr(rhs); api != "" {
+		c.tainted[obj] = api
+	} else {
+		delete(c.tainted, obj) // reassigned from an owning value (e.g. x = x.Clone())
+	}
+}
+
+// bindTarget records borrow taint for one assignment target of a
+// multi-value borrowing call.
+func (c *aliasChecker) bindTarget(lhs ast.Expr, borrowed bool, api string) {
+	target, ok := stripParens(lhs).(*ast.Ident)
+	if !ok {
+		if borrowed {
+			c.pass.Reportf(lhs.Pos(),
+				"%s result assigned to a non-local target without Clone: it retains workspace-borrowed storage", api)
+		}
+		return
+	}
+	obj := c.pass.TypesInfo.ObjectOf(target)
+	if obj == nil {
+		return
+	}
+	if borrowed {
+		c.tainted[obj] = api
+	} else {
+		delete(c.tainted, obj)
+	}
+}
+
+// borrowingCall resolves a call to a borrowing API: the explicit table
+// first, then the naming convention — any *WS / *Into call borrows every
+// result whose type can retain storage (scalars and error are owned by
+// value; slices, pointers and structs embedding them alias the workspace).
+func (c *aliasChecker) borrowingCall(call *ast.CallExpr) (string, borrowSpec, bool) {
+	var name string
+	switch fun := stripParens(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return "", borrowSpec{}, false
+	}
+	if spec, ok := borrowAPIs[name]; ok {
+		return name, spec, true
+	}
+	if !hasSuffix(name, "WS") && !hasSuffix(name, "Into") {
+		return "", borrowSpec{}, false
+	}
+	var spec borrowSpec
+	if tv, ok := c.pass.TypesInfo.Types[call]; ok && tv.Type != nil {
+		switch t := tv.Type.(type) {
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				if rt := t.At(i).Type(); !isErrorType(rt) && typeRetainsStorage(rt, 0) {
+					spec.results = append(spec.results, i)
+				}
+			}
+		default:
+			if !isErrorType(tv.Type) && typeRetainsStorage(tv.Type, 0) {
+				spec.results = []int{0}
+			}
+		}
+	}
+	return name, spec, true
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// cleansingCall reports whether the call is a Clone/CloneInto/CopyProfile
+// escape.
+func (c *aliasChecker) cleansingCall(call *ast.CallExpr) bool {
+	if sel, ok := stripParens(call.Fun).(*ast.SelectorExpr); ok {
+		return cleansers[sel.Sel.Name]
+	}
+	if id, ok := stripParens(call.Fun).(*ast.Ident); ok {
+		return cleansers[id.Name]
+	}
+	return false
+}
+
+// borrowedExpr reports which borrowing API (if any) the value of e aliases:
+// a direct borrowing call, a tainted variable (possibly through selectors/
+// indexes), or a composite literal embedding either. Cleansing calls stop
+// the taint.
+func (c *aliasChecker) borrowedExpr(e ast.Expr) string {
+	switch e := stripParens(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.ObjectOf(e)
+		if obj != nil {
+			return c.tainted[obj]
+		}
+	case *ast.SelectorExpr:
+		// eq.S, eq.State: projecting out of a borrowed value stays borrowed.
+		return c.borrowedExpr(e.X)
+	case *ast.IndexExpr:
+		return c.borrowedExpr(e.X)
+	case *ast.UnaryExpr:
+		return c.borrowedExpr(e.X)
+	case *ast.CallExpr:
+		if c.cleansingCall(e) {
+			return ""
+		}
+		if name, spec, ok := c.borrowingCall(e); ok && len(spec.results) > 0 {
+			return name
+		}
+		// append: the result aliases the destination (arg 0), so its taint
+		// always propagates. Appended ELEMENTS are copied by value — a
+		// tainted element only keeps the result tainted when copying it
+		// retains reference storage (structs embedding slices), which is
+		// what lets the repo's canonical clone idiom
+		// append([]float64(nil), s...) cleanse a borrowed profile.
+		if id, ok := stripParens(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			if api := c.borrowedExpr(e.Args[0]); api != "" {
+				return api
+			}
+			for _, a := range e.Args[1:] {
+				if api := c.borrowedExpr(a); api != "" && c.copyRetainsStorage(a, e) {
+					return api
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if api := c.borrowedExpr(v); api != "" {
+				return api
+			}
+		}
+	}
+	return ""
+}
+
+// checkCallsIn scans an expression tree for borrowing calls whose borrowed
+// out-params (PopulationsInto/ThroughputInto dst) are non-local storage,
+// and for borrowed values passed as non-dst arguments into escaping
+// positions is out of scope (tracked at statement level instead).
+func (c *aliasChecker) checkCallsIn(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, spec, ok := c.borrowingCall(call)
+		if !ok {
+			return true
+		}
+		for _, ai := range spec.args {
+			if ai >= len(call.Args) {
+				continue
+			}
+			if target := rootIdent(call.Args[ai]); target != nil {
+				// The out-param slice itself is caller storage; writing
+				// through it is the API's contract. Nothing to do here —
+				// the dst slice only aliases workspace storage if it was
+				// borrowed, which the taint tracking catches.
+				if api := c.borrowedExpr(call.Args[ai]); api != "" && api != name {
+					c.pass.Reportf(call.Args[ai].Pos(),
+						"%s writes into a buffer borrowed from %s: aliasing two workspace-borrowed buffers", name, api)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// copyRetainsStorage reports whether copying arg's value into the
+// destination of call (an append) still retains borrowed storage: true for
+// element types embedding slices/pointers/maps, false for value types like
+// float64 where the copy is a true clone.
+func (c *aliasChecker) copyRetainsStorage(arg ast.Expr, call *ast.CallExpr) bool {
+	tv, ok := c.pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return true // unknown: stay conservative
+	}
+	t := tv.Type
+	// A spread (append(dst, s...)) copies s's elements, not s itself.
+	if call.Ellipsis.IsValid() {
+		if sl, ok := t.Underlying().(*types.Slice); ok {
+			t = sl.Elem()
+		}
+	}
+	return typeRetainsStorage(t, 0)
+}
+
+// typeRetainsStorage reports whether a by-value copy of t shares storage
+// with the original (it embeds a slice, map or pointer).
+func typeRetainsStorage(t types.Type, depth int) bool {
+	if depth > 8 {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeRetainsStorage(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return typeRetainsStorage(u.Elem(), depth+1)
+	default:
+		// slices, maps, pointers, channels, interfaces, funcs
+		return true
+	}
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAlloc checks functions annotated //neutralnet:hotpath — the paths the
+// zero-alloc benchmarks (TestSolveNashWSAllocFree, TestDuopolyWSAllocFree,
+// TestSchemesAllocFreeWhenWarm) pin — for allocating constructs, so a
+// regression is caught at lint time with a precise position instead of as
+// an opaque allocs-per-op delta:
+//
+//   - append to a buffer that is not amortized in-function (the accepted
+//     pattern is reslicing first: buf = buf[:0] / buf = buf[:n], then
+//     appending within capacity),
+//   - closure literals (each evaluation allocates; hot paths pre-bind
+//     closures once at workspace construction),
+//   - map/slice composite literals, make and new,
+//   - fmt.* calls and string concatenation,
+//   - boxing a concrete numeric value into an interface (fmt args,
+//     any-typed sinks): numeric boxing allocates.
+//
+// Error paths are exempt: constructs inside a return statement whose last
+// value is not the literal nil (i.e. the function is reporting failure)
+// are skipped, because the zero-alloc contract is measured on the success
+// path — `return 0, fmt.Errorf(...)` in a hot function stays legal.
+// Anything else that is intentional (a cold sub-branch, a once-per-bind
+// amortization the reslice heuristic cannot see) takes a reasoned
+// lint:ignore.
+//
+// The check is per annotated function: callees are only checked if they
+// are themselves annotated. Annotate the whole call chain of a hot loop.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "flag allocating constructs (unsized append, closures, map/slice literals,\n" +
+		"make/new, fmt calls, string concat, numeric interface boxing) in\n" +
+		"//neutralnet:hotpath functions",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, hotpathDirective) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	presized := presizedVars(pass, fd)
+	errorReturning := lastResultIsError(pass, fd)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			// Error-path exemption: a return whose final value is not the
+			// literal nil is reporting failure; its allocations are off the
+			// measured hot loop.
+			if errorReturning && len(n.Results) > 0 && !isNilIdent(n.Results[len(n.Results)-1]) {
+				return false
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"closure literal in hot path %s allocates per evaluation; pre-bind it once at workspace construction", fd.Name.Name)
+			return false
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal allocates in hot path %s", fd.Name.Name)
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal allocates in hot path %s", fd.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if tv, ok := pass.TypesInfo.Types[n]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "string concatenation allocates in hot path %s; use a pre-sized buffer outside the hot loop", fd.Name.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n, presized)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, presized map[string]bool) {
+	switch fun := stripParens(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if len(call.Args) > 0 && presized[types.ExprString(call.Args[0])] {
+					break // amortized: resliced in this function, append stays within cap
+				}
+				pass.Reportf(call.Pos(),
+					"append may grow and allocate in hot path %s; reslice a reusable buffer (buf = buf[:0]) or pre-size it", fd.Name.Name)
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in hot path %s; hoist the buffer into the workspace", fd.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in hot path %s; hoist the value into the workspace", fd.Name.Name)
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates in hot path %s", fn.Name(), fd.Name.Name)
+			return
+		}
+	}
+	checkNumericBoxing(pass, fd, call)
+}
+
+// checkNumericBoxing flags call arguments whose parameter type is an
+// interface while the argument is a concrete numeric value — the boxing
+// heap-allocates (pointer-shaped values do not, so only numerics are
+// flagged, matching what actually costs on the hot path).
+func checkNumericBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok {
+			continue
+		}
+		if b, ok := at.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+			pass.Reportf(arg.Pos(),
+				"numeric value boxed into interface in hot path %s: the conversion heap-allocates", fd.Name.Name)
+		}
+	}
+}
+
+// presizedVars collects the buffer expressions the function reslices
+// (buf = buf[:n], w.buf = w.buf[:0]), keyed by their printed selector path,
+// marking their appends as amortized within capacity.
+func presizedVars(pass *Pass, fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			sl, ok := stripParens(as.Rhs[i]).(*ast.SliceExpr)
+			if !ok {
+				continue
+			}
+			lhs := types.ExprString(as.Lhs[i])
+			if types.ExprString(sl.X) == lhs {
+				out[lhs] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lastResultIsError reports whether fd's final result type is error.
+func lastResultIsError(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+		return false
+	}
+	last := fd.Type.Results.List[len(fd.Type.Results.List)-1]
+	tv, ok := pass.TypesInfo.Types[last.Type]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := stripParens(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

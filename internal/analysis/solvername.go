@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SolverName polices the registry-name strings that select Nash fixed-point
+// schemes and utilization root kernels. Scheme selection is stringly typed
+// on purpose (WithSolver("anderson") must work for names registered by
+// future packages), which leaves two failure modes the compiler cannot see:
+// a typo'd raw literal at a call site, and a named constant that drifts
+// from what the registry actually registers. The analyzer flags
+//
+//   - raw string literals flowing into a solver-name sink — WithSolver /
+//     WithUtilizationSolver / SetUtilSolver / solver.New / Cached.Get call
+//     arguments, and assignments or composite-literal fields for
+//     Method / Solver / UtilSolver / BRSeed fields — instead of a named
+//     constant (solver.GaussSeidelName, model.UtilBrent, game.BRSeeded, ...),
+//   - named constants in those sinks whose value is not a known registered
+//     name.
+//
+// The known-name tables below are cross-checked against the live
+// registries (solver.Names(), model.UtilSolverNames()) by
+// TestKnownNamesMatchRegistry, so the analyzer and the registry cannot
+// drift apart silently.
+var SolverName = &Analyzer{
+	Name: "solvername",
+	Doc: "flag raw string literals (and unregistered constants) used where a\n" +
+		"registry solver/kernel name is expected (WithSolver, Method/Solver/\n" +
+		"UtilSolver fields, solver.New)",
+	Run: runSolverName,
+}
+
+// nameKind distinguishes the two registries (and the best-response bracket
+// policy namespace, which rides along for the same typo class).
+type nameKind int
+
+const (
+	solverKind nameKind = iota
+	utilKind
+	brSeedKind
+)
+
+// KnownSolverNames is the analyzer's copy of the fixed-point registry
+// contents; the empty string selects the default scheme. Kept in sync with
+// solver.Names() by TestKnownNamesMatchRegistry.
+var KnownSolverNames = []string{
+	"", "anderson", "auto", "gauss-seidel", "jacobi-adaptive", "jacobi-damped", "sor",
+}
+
+// KnownUtilSolverNames mirrors model.UtilSolverNames() (plus the empty
+// default).
+var KnownUtilSolverNames = []string{"", "brent", "newton", "warm-brent"}
+
+// KnownBRSeedNames mirrors the game package's bracket policies (BRAuto,
+// BRCold, BRSeeded).
+var KnownBRSeedNames = []string{"", "cold", "seeded"}
+
+func knownNames(k nameKind) []string {
+	switch k {
+	case utilKind:
+		return KnownUtilSolverNames
+	case brSeedKind:
+		return KnownBRSeedNames
+	default:
+		return KnownSolverNames
+	}
+}
+
+func (k nameKind) String() string {
+	switch k {
+	case utilKind:
+		return "utilization-kernel"
+	case brSeedKind:
+		return "bracket-policy"
+	default:
+		return "solver"
+	}
+}
+
+// callSinks maps function/method names whose first argument is a registry
+// name. "New" and "Get" are too generic to match by name alone, so they
+// additionally require the solver package / Cached receiver (see
+// sinkForCall).
+var callSinks = map[string]nameKind{
+	"WithSolver":            solverKind,
+	"WithUtilizationSolver": utilKind,
+	"SetUtilSolver":         utilKind,
+}
+
+// fieldSinks maps struct-field / assignment-target names that hold a
+// registry name. Only string-typed values are checked, so same-named
+// fields of non-string type never match.
+var fieldSinks = map[string]nameKind{
+	"Method":     solverKind,
+	"Solver":     solverKind,
+	"UtilSolver": utilKind,
+	"BRSeed":     brSeedKind,
+}
+
+func runSolverName(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if kind, ok := sinkForCall(pass, n); ok && len(n.Args) > 0 {
+					checkNameExpr(pass, n.Args[0], kind)
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i := range n.Lhs {
+					sel, ok := stripParens(n.Lhs[i]).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if kind, ok := fieldSinks[sel.Sel.Name]; ok && isStringExpr(pass, n.Rhs[i]) {
+						checkNameExpr(pass, n.Rhs[i], kind)
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if kind, ok := fieldSinks[key.Name]; ok && isStringExpr(pass, kv.Value) {
+						checkNameExpr(pass, kv.Value, kind)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sinkForCall resolves whether the call's first argument is a registry
+// name, and of which kind.
+func sinkForCall(pass *Pass, call *ast.CallExpr) (nameKind, bool) {
+	var name string
+	var fn *types.Func
+	switch fun := stripParens(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		fn, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	case *ast.Ident:
+		name = fun.Name
+		fn, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	default:
+		return 0, false
+	}
+	if kind, ok := callSinks[name]; ok {
+		return kind, true
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return 0, false
+	}
+	// solver.New(name) / solver.Cached.Get(name): matched by package to
+	// keep the generic names New/Get from flagging unrelated APIs.
+	if strings.HasSuffix(fn.Pkg().Path(), "internal/solver") && (name == "New" || name == "Get") {
+		return solverKind, true
+	}
+	return 0, false
+}
+
+// checkNameExpr validates one expression in registry-name position.
+func checkNameExpr(pass *Pass, e ast.Expr, kind nameKind) {
+	e = stripConversions(pass, stripParens(e))
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Kind.String() != "STRING" {
+			return
+		}
+		pass.Reportf(e.Pos(),
+			"raw string literal %s in %s-name position; use a named constant (e.g. %s) so typos fail the build",
+			e.Value, kind, exampleConstant(kind))
+	default:
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return // runtime value: flows from config/flags, checked by the registry at runtime
+		}
+		val := constant.StringVal(tv.Value)
+		names := knownNames(kind)
+		i := sort.SearchStrings(names, val)
+		if i >= len(names) || names[i] != val {
+			pass.Reportf(e.Pos(),
+				"constant %s = %q is not a registered %s name (known: %s)",
+				exprString(e), val, kind, strings.Join(nonEmpty(names), ", "))
+		}
+	}
+}
+
+// stripConversions unwraps string-type conversions (game.Method("x")) so
+// the literal inside is still checked.
+func stripConversions(pass *Pass, e ast.Expr) ast.Expr {
+	for {
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return e
+		}
+		e = stripParens(call.Args[0])
+	}
+}
+
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func exampleConstant(kind nameKind) string {
+	switch kind {
+	case utilKind:
+		return "model.UtilBrentWarm"
+	case brSeedKind:
+		return "game.BRSeeded"
+	default:
+		return "solver.AndersonName"
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	default:
+		return "expression"
+	}
+}
+
+func nonEmpty(names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}

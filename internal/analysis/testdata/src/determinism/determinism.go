@@ -1,0 +1,92 @@
+// Package determinism is the fixture for the determinism analyzer: each
+// seeded violation carries a want comment, each negative shows the
+// corresponding reproducible idiom. The package opts into the
+// deterministic scope by directive, standing in for the solve-path
+// packages:
+//
+//neutralnet:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// SumScores is order-dependent: float addition does not commute in
+// rounding, so the map's randomized iteration order changes the result's
+// bit pattern run to run.
+func SumScores(scores map[string]float64) float64 {
+	var sum float64
+	for _, v := range scores { // want "range over map"
+		sum += v
+	}
+	return sum
+}
+
+// Stamp depends on the wall clock and the process environment.
+func Stamp() (int64, string) {
+	t := time.Now().UnixNano()        // want "call to time.Now"
+	e := os.Getenv("NEUTRALNET_SEED") // want "call to os.Getenv"
+	return t, e
+}
+
+// Jitter draws from the shared global math/rand source.
+func Jitter() float64 {
+	return rand.Float64() // want "call to rand.Float64"
+}
+
+// FanIn collects worker results by append: goroutine completion order
+// decides element order.
+func FanIn(n int, f func(int) float64, done chan struct{}) []float64 {
+	var results []float64
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			results = append(results, f(i)) // want "goroutine appends to results"
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return results
+}
+
+// --- negatives --------------------------------------------------------------
+
+// SortedKeys iterates the map but sorts before use; the reasoned
+// lint:ignore documents why the order dependence is benign.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	//lint:ignore determinism keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SeededDraw uses an explicitly seeded source: reproducible, not flagged.
+func SeededDraw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// FanInByIndex writes worker results to disjoint indices: scheduling
+// cannot reorder them.
+func FanInByIndex(n int, f func(int) float64, done chan struct{}) []float64 {
+	results := make([]float64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			results[i] = f(i)
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return results
+}

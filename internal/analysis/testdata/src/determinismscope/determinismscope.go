@@ -1,0 +1,24 @@
+// Package determinismscope contains the same violations as the
+// determinism fixture but carries no neutralnet:deterministic directive
+// and is not one of the built-in scoped packages: the analyzer must stay
+// silent here. No want comments on purpose.
+package determinismscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp is nondeterministic, but this package is out of scope.
+func Stamp() int64 {
+	return time.Now().UnixNano() + rand.Int63()
+}
+
+// Sum iterates a map, but this package is out of scope.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,14 @@
+// Package lintreason checks that a reasonless lint:ignore directive is
+// itself reported under the "lint" pseudo-analyzer and suppresses
+// nothing. Checked by a direct RunAnalyzers test, not RunFixture.
+//
+//neutralnet:deterministic
+package lintreason
+
+import "time"
+
+// Broken tries to suppress a finding without giving a reason.
+func Broken() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,118 @@
+// Package noalias is the fixture for the noalias analyzer. The types
+// below stand in for the repo's workspace-backed solver API: methods named
+// by the borrowing convention (*WS, *Into) return values that alias
+// reusable workspace buffers, and Clone is the owning escape.
+package noalias
+
+// State stands in for a workspace-backed solver state: it embeds a slice,
+// so a shallow copy still aliases the backing array.
+type State struct{ M []float64 }
+
+// Clone returns an owning deep copy.
+func (s *State) Clone() *State {
+	return &State{M: append([]float64(nil), s.M...)}
+}
+
+// WS stands in for a solver workspace with reusable buffers.
+type WS struct {
+	st   State
+	prof []float64
+}
+
+// SolveNashWS borrows workspace storage: the result is valid until the
+// next solve.
+func (w *WS) SolveNashWS() *State { return &w.st }
+
+// SolveInto borrows workspace storage.
+func (w *WS) SolveInto() *State { return &w.st }
+
+// CPEquilibriumWS borrows both results.
+func (w *WS) CPEquilibriumWS() ([]float64, *State) { return w.prof, &w.st }
+
+// PopulationsInto fills dst, which must be caller-owned storage.
+func (w *WS) PopulationsInto(dst []float64) {}
+
+// Holder retains a state across solves.
+type Holder struct {
+	Last *State
+}
+
+// Retain stores a borrowed result to a struct field.
+func Retain(w *WS, h *Holder) {
+	st := w.SolveNashWS()
+	h.Last = st // want "SolveNashWS result stored to field Last"
+}
+
+// Send ships a borrowed result on a channel.
+func Send(w *WS, ch chan *State) {
+	st := w.SolveNashWS()
+	ch <- st // want "SolveNashWS result sent on a channel"
+}
+
+// Leak returns a borrowed result from a function whose name does not
+// follow the borrowing convention.
+func Leak(w *WS) *State {
+	st := w.SolveInto()
+	return st // want "SolveInto result returned from Leak"
+}
+
+// Collect stores borrowed results through index expressions.
+func Collect(w *WS, out [][]float64, states []*State) {
+	prof, st := w.CPEquilibriumWS()
+	out[0] = prof  // want "CPEquilibriumWS result stored through an index expression"
+	states[1] = st // want "CPEquilibriumWS result stored through an index expression"
+}
+
+// AliasedInto writes one borrowed buffer into another.
+func AliasedInto(w *WS) {
+	st := w.SolveInto()
+	w.PopulationsInto(st.M) // want "PopulationsInto writes into a buffer borrowed from SolveInto"
+}
+
+// ChainStateWS is not in the explicit borrow-API table: the *WS suffix
+// alone marks it borrowing, with the spec derived from its result types.
+func (w *WS) ChainStateWS() *State { return &w.st }
+
+// RetainConvention stores a convention-matched borrow to a field.
+func RetainConvention(w *WS, h *Holder) {
+	st := w.ChainStateWS()
+	h.Last = st // want "ChainStateWS result stored to field Last"
+}
+
+// --- negatives --------------------------------------------------------------
+
+// RetainClone is the canonical escape: Clone yields an owning copy.
+func RetainClone(w *WS, h *Holder) {
+	st := w.SolveNashWS()
+	h.Last = st.Clone()
+}
+
+// chainWS follows the borrowing convention itself (WS suffix), so
+// returning the borrow is its contract: the caller inherits the taint.
+func chainWS(w *WS) *State {
+	st := w.SolveNashWS()
+	return st
+}
+
+// OwnProfile cleanses a borrowed slice by copying into fresh storage
+// (the repo's canonical append-to-nil clone idiom).
+func OwnProfile(w *WS) []float64 {
+	prof, _ := w.CPEquilibriumWS()
+	owned := append([]float64(nil), prof...)
+	return owned
+}
+
+// FillOwned passes caller-owned storage to an Into API: that is the
+// API's contract, not an aliasing bug.
+func FillOwned(w *WS, dst []float64) {
+	w.PopulationsInto(dst)
+}
+
+// RetainIgnored documents an intentional retention with the escape hatch.
+func RetainIgnored(w *WS, h *Holder) {
+	st := w.SolveNashWS()
+	//lint:ignore noalias fixture demonstrates the reasoned escape hatch
+	h.Last = st
+}
+
+var _ = chainWS

@@ -1,0 +1,98 @@
+// Package noalloc is the fixture for the noalloc analyzer: annotated
+// functions carry one allocating construct per case, the negatives show
+// the amortized idioms the analyzer accepts.
+package noalloc
+
+import "fmt"
+
+// Sink accepts an interface argument; passing a concrete numeric boxes it.
+func Sink(v any) {}
+
+// Grow appends without an amortized buffer.
+//
+//neutralnet:hotpath
+func Grow(xs []float64, x float64) []float64 {
+	return append(xs, x) // want "append may grow and allocate in hot path Grow"
+}
+
+// Fill allocates fresh buffers per call.
+//
+//neutralnet:hotpath
+func Fill(n int) []float64 {
+	buf := make([]float64, n) // want "make allocates in hot path Fill"
+	p := new(float64)         // want "new allocates in hot path Fill"
+	_ = p
+	return buf
+}
+
+// Bind allocates a closure per evaluation.
+//
+//neutralnet:hotpath
+func Bind(x float64) func() float64 {
+	return func() float64 { return x } // want "closure literal in hot path Bind"
+}
+
+// Lits builds per-call composite literals.
+//
+//neutralnet:hotpath
+func Lits(k string) float64 {
+	weights := map[string]float64{"a": 1} // want "map literal allocates in hot path Lits"
+	seed := []float64{1, 2}               // want "slice literal allocates in hot path Lits"
+	return weights[k] + seed[0]
+}
+
+// Format allocates through string concatenation and fmt.
+//
+//neutralnet:hotpath
+func Format(name string, iter int) string {
+	label := "solver-" + name       // want "string concatenation allocates in hot path Format"
+	return label + fmt.Sprint(iter) // want "string concatenation allocates in hot path Format" "fmt.Sprint allocates in hot path Format"
+}
+
+// Box boxes a numeric into an interface sink.
+//
+//neutralnet:hotpath
+func Box(x float64) {
+	Sink(x) // want "numeric value boxed into interface in hot path Box"
+}
+
+// --- negatives --------------------------------------------------------------
+
+// Amortized reslices its buffer first: the appends stay within capacity.
+//
+//neutralnet:hotpath
+func Amortized(buf []float64, xs []float64) []float64 {
+	buf = buf[:0]
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	return buf
+}
+
+// FailFast's allocations sit on the error path, which the zero-alloc
+// contract does not measure.
+//
+//neutralnet:hotpath
+func FailFast(n int) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative n %d", n)
+	}
+	return float64(n), nil
+}
+
+// Cold is not annotated: the analyzer leaves it alone.
+func Cold(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+// Pooled documents a deliberate allocation with the escape hatch.
+//
+//neutralnet:hotpath
+func Pooled(n int) []float64 {
+	//lint:ignore noalloc grow-once amortization, reached only on first use
+	return make([]float64, n)
+}

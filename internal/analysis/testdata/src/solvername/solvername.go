@@ -1,0 +1,72 @@
+// Package solvername is the fixture for the solvername analyzer: sinks
+// mirror the repo's option constructors and string-typed selection fields.
+package solvername
+
+// Method is the scheme-name type, mirroring game.Method.
+type Method string
+
+// Config mirrors the string-typed solver-selection fields.
+type Config struct {
+	Solver     string
+	UtilSolver string
+	BRSeed     string
+}
+
+// Game mirrors the game options struct.
+type Game struct {
+	Method Method
+}
+
+// Weights has a same-named field of non-string type: never checked.
+type Weights struct {
+	Solver int
+}
+
+// WithSolver mirrors the root option constructor.
+func WithSolver(name string) {}
+
+// WithUtilizationSolver mirrors the root option constructor.
+func WithUtilizationSolver(name string) {}
+
+// Named constants; TyposeidelName has drifted from the registry.
+const (
+	GaussSeidelName = "gauss-seidel"
+	UtilBrentWarm   = "warm-brent"
+	SeededBrackets  = "seeded"
+	TyposeidelName  = "gauss-seidle"
+)
+
+func pick() string { return "" }
+
+func use() {
+	WithSolver("anderson")               // want "raw string literal \"anderson\" in solver-name position"
+	WithSolver(GaussSeidelName)          // ok: known constant
+	WithSolver(TyposeidelName)           // want "constant TyposeidelName = \"gauss-seidle\" is not a registered solver name"
+	WithUtilizationSolver("brent")       // want "raw string literal \"brent\" in utilization-kernel-name position"
+	WithUtilizationSolver(UtilBrentWarm) // ok: known constant
+
+	var cfg Config
+	cfg.Solver = "sor"      // want "raw string literal \"sor\""
+	cfg.UtilSolver = pick() // ok: runtime value, validated by the registry
+	cfg.BRSeed = SeededBrackets
+
+	cfg2 := Config{
+		Solver: "jacobi-damped", // want "raw string literal \"jacobi-damped\""
+		BRSeed: "warm",          // want "raw string literal \"warm\""
+	}
+	_ = cfg2
+
+	g := Game{Method: Method("gauss-seidel")} // want "raw string literal \"gauss-seidel\""
+	g.Method = Method(GaussSeidelName)        // ok: conversion of a known constant
+	_ = g
+
+	w := Weights{Solver: 3} // ok: non-string field is out of scope
+	_ = w
+
+	//lint:ignore solvername fixture demonstrates the reasoned escape hatch
+	WithSolver("sor")
+
+	_ = cfg
+}
+
+var _ = use

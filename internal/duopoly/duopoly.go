@@ -236,6 +236,8 @@ func (ws *Workspace) bind(m *Market, p [2]float64) {
 // prime refreshes both networks' population buffers for the full current
 // iterate; the evaluation closure afterwards only touches the component it
 // varies, so a best-response search pays the full 2n-demand evaluation once.
+//
+//neutralnet:hotpath
 func (ws *Workspace) prime() {
 	for k := 0; k < 2; k++ {
 		mk := ws.net[k].M()
@@ -249,6 +251,8 @@ func (ws *Workspace) prime() {
 // re-solving both networks' fixed points after refreshing only component i
 // of each population buffer. The other components are bit-identical to a
 // full recompute, so the value matches the one-shot Solve path exactly.
+//
+//neutralnet:hotpath
 func (ws *Workspace) utilityOne(i int) (float64, error) {
 	total := 0.0
 	for k := 0; k < 2; k++ {
@@ -264,6 +268,8 @@ func (ws *Workspace) utilityOne(i int) (float64, error) {
 
 // stateWS solves both networks at the current iterate, entirely in
 // workspace buffers. The returned state borrows them.
+//
+//neutralnet:hotpath
 func (ws *Workspace) stateWS() (State, error) {
 	ws.prime()
 	st := State{P: ws.p, Shares: ws.shares}
@@ -290,6 +296,8 @@ func (ws *Workspace) Box() (lo, hi float64) { return 0, ws.m.Q }
 // loop). The solver layer iterates on the workspace's own s buffer, so x
 // normally aliases it; a defensive copy covers solvers that present a
 // different iterate.
+//
+//neutralnet:hotpath
 func (ws *Workspace) Best(i int, x []float64) (float64, error) {
 	if &x[0] != &ws.s[0] {
 		copy(ws.s, x)
@@ -313,6 +321,8 @@ func (ws *Workspace) Best(i int, x []float64) (float64, error) {
 // state BORROW the workspace's buffers — they are valid only until the next
 // solve and must be copied/Cloned to be retained. A warm workspace performs
 // zero heap allocations per call.
+//
+//neutralnet:hotpath
 func (m *Market) CPEquilibriumWS(ws *Workspace, p [2]float64, warm []float64) ([]float64, State, error) {
 	return m.CPEquilibriumChainWS(ws, p, warm, false)
 }
@@ -325,6 +335,8 @@ func (m *Market) CPEquilibriumWS(ws *Workspace, p [2]float64, warm []float64) ([
 // arbitrary earlier solve would make warm-kernel results depend on
 // scheduling, which is precisely what the segmented sweep's
 // bit-identical-at-any-worker-count guarantee forbids.
+//
+//neutralnet:hotpath
 func (m *Market) CPEquilibriumChainWS(ws *Workspace, p [2]float64, warm []float64, carryUtilSeed bool) ([]float64, State, error) {
 	ws.bind(m, p)
 	for k := 0; k < 2; k++ {
@@ -494,10 +506,10 @@ func (ws *monoWorkspace) Best(i int, x []float64) (float64, error) {
 	return best, nil
 }
 
-// equilibrium solves the monopolist's CP game at price p through the solver
+// equilibriumWS solves the monopolist's CP game at price p through the solver
 // registry, warm-starting from warm. The returned profile and state borrow
 // the workspace.
-func (ws *monoWorkspace) equilibrium(m *Market, p float64, warm []float64) ([]float64, model.State, error) {
+func (ws *monoWorkspace) equilibriumWS(m *Market, p float64, warm []float64) ([]float64, model.State, error) {
 	solverName, utilKernel := m.Solver, m.utilKernel()
 	if err := ws.phys.SetUtilSolver(utilKernel); err != nil {
 		return nil, model.State{}, err
@@ -548,7 +560,7 @@ func (m *Market) MonopolyBenchmark(pMax float64) (p float64, st model.State, s [
 	var bestS, warmBuf, warm []float64
 	for k := 1; k <= 15; k++ {
 		pk := pMax * float64(k) / 15
-		sk, stk, err := ws.equilibrium(m, pk, warm)
+		sk, stk, err := ws.equilibriumWS(m, pk, warm)
 		if err != nil {
 			return 0, model.State{}, nil, err
 		}
@@ -558,7 +570,7 @@ func (m *Market) MonopolyBenchmark(pMax float64) (p float64, st model.State, s [
 			bestS = append(bestS[:0], sk...)
 		}
 	}
-	sFin, stFin, err := ws.equilibrium(m, bestP, bestS)
+	sFin, stFin, err := ws.equilibriumWS(m, bestP, bestS)
 	if err != nil {
 		return 0, model.State{}, nil, err
 	}

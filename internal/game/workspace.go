@@ -108,6 +108,8 @@ func (ws *Workspace) solverFor(m Method) (solver.FixedPoint, error) {
 // subsidy iterate, entirely in workspace buffers. The returned state
 // borrows them. Operation order matches the allocating Game.State exactly,
 // so results are bit-identical.
+//
+//neutralnet:hotpath
 func (g *Game) stateWS(ws *Workspace) (model.State, error) {
 	for j := range ws.t {
 		ws.t[j] = g.P - ws.s[j]
@@ -120,6 +122,8 @@ func (g *Game) stateWS(ws *Workspace) (model.State, error) {
 // current iterate. The per-CP evaluation closures afterwards only touch the
 // one component they vary (stateOneWS), so a best-response root-find pays
 // the full n-CP demand evaluation exactly once.
+//
+//neutralnet:hotpath
 func (ws *Workspace) prime() {
 	g := ws.g
 	for j := range ws.t {
@@ -154,6 +158,8 @@ const brSeedFrac = 1.0 / 64
 // freshest iterate value ws.s[i]; any seeded failure degrades to this cold
 // path, which otherwise ignores ws.s[i] (the closures swap the evaluation
 // point in and restore it).
+//
+//neutralnet:hotpath
 func (g *Game) bestResponseWS(ws *Workspace, i int) (float64, error) {
 	if g.Q == 0 {
 		return 0, nil
@@ -197,6 +203,8 @@ func (g *Game) bestResponseWS(ws *Workspace, i int) (float64, error) {
 // root agrees with the cold path's to the shared Brent tolerance 1e-11
 // without being bit-identical, which is why the seeded policy rides the
 // warm utilization kernels and their golden re-baseline.
+//
+//neutralnet:hotpath
 func (g *Game) bestResponseSeededWS(ws *Workspace, i int) (float64, bool) {
 	ws.i = i
 	ws.prime()
@@ -236,6 +244,8 @@ func (g *Game) bestResponseSeededWS(ws *Workspace, i int) (float64, bool) {
 // seededWalkUp holds a lower point a with marginal fa > 0 and walks the
 // upper endpoint right with doubling steps until the marginal crosses zero
 // or the cap corner proves binding.
+//
+//neutralnet:hotpath
 func (g *Game) seededWalkUp(ws *Workspace, a, fa, step float64) (float64, bool) {
 	for k := 0; k < 64; k++ {
 		b := a + step
@@ -265,6 +275,8 @@ func (g *Game) seededWalkUp(ws *Workspace, a, fa, step float64) (float64, bool) 
 // seededWalkDown holds an upper point b with marginal fb < 0 and walks the
 // lower endpoint left with doubling steps until the marginal crosses zero
 // or the zero corner proves binding.
+//
+//neutralnet:hotpath
 func (g *Game) seededWalkDown(ws *Workspace, b, fb, step float64) (float64, bool) {
 	for k := 0; k < 64; k++ {
 		a := b - step
@@ -293,6 +305,8 @@ func (g *Game) seededWalkDown(ws *Workspace, b, fb, step float64) (float64, bool
 
 // seededBrent finishes a seeded bracket with the same Brent kernel and
 // tolerance as the cold path, clamped into the box.
+//
+//neutralnet:hotpath
 func (g *Game) seededBrent(ws *Workspace, a, b, fa, fb float64) (float64, bool) {
 	root, err := numeric.BrentWith(ws.marginalFn, a, b, fa, fb, 1e-11)
 	if err != nil {
@@ -304,6 +318,8 @@ func (g *Game) seededBrent(ws *Workspace, a, b, fa, fb float64) (float64, bool) 
 // bestResponseSearchWS is BestResponseSearch on the workspace iterate:
 // grid scan plus golden-section refinement of the raw utility, with no
 // concavity assumption.
+//
+//neutralnet:hotpath
 func (g *Game) bestResponseSearchWS(ws *Workspace, i int) (float64, error) {
 	if g.Q == 0 {
 		return 0, nil
@@ -329,6 +345,8 @@ func (ws *Workspace) SetUtilSolver(name string) error { return ws.phys.SetUtilSo
 // bit-identical to it under the default utilization kernel. The returned
 // state borrows the workspace's buffers and must be escaped with Clone to be
 // retained; s is copied, never retained.
+//
+//neutralnet:hotpath
 func (g *Game) StateWS(ws *Workspace, s []float64) (model.State, error) {
 	if len(s) != g.N() {
 		return model.State{}, fmt.Errorf("game: %d subsidies for %d CPs", len(s), g.N())
@@ -343,6 +361,8 @@ func (g *Game) StateWS(ws *Workspace, s []float64) (model.State, error) {
 // chains, montecarlo ladders, epoch trajectories). It delegates to
 // numeric.CopyProfile, the single definition shared with packages that do
 // not import game.
+//
+//neutralnet:hotpath
 func CopyProfile(buf *[]float64, s []float64) []float64 {
 	return numeric.CopyProfile(buf, s)
 }
@@ -359,6 +379,8 @@ func (ws *Workspace) Box() (lo, hi float64) { return 0, ws.g.Q }
 // solver layer iterates on the workspace's own s buffer, so x normally
 // aliases it; a defensive copy covers solvers that present a different
 // iterate.
+//
+//neutralnet:hotpath
 func (ws *Workspace) Best(i int, x []float64) (float64, error) {
 	if &x[0] != &ws.s[0] {
 		copy(ws.s, x)

@@ -122,6 +122,8 @@ func (w *Workspace) M() []float64 { return w.m }
 // PopulationsInto writes m_i(t_i) into dst for the per-CP effective prices
 // t. dst must have length len(s.CPs). It is the in-place kernel behind
 // PopulationsAt.
+//
+//neutralnet:hotpath
 func (s *System) PopulationsInto(dst, t []float64) {
 	for i := range s.CPs {
 		dst[i] = s.CPs[i].Demand.M(t[i])
@@ -130,6 +132,8 @@ func (s *System) PopulationsInto(dst, t []float64) {
 
 // ThroughputInto writes θ_i = m_i·λ_i(φ) into dst at utilization phi. It is
 // the in-place kernel behind ThroughputAt.
+//
+//neutralnet:hotpath
 func (s *System) ThroughputInto(dst []float64, phi float64, m []float64) {
 	for i := range s.CPs {
 		dst[i] = m[i] * s.CPs[i].Throughput.Lambda(phi)
@@ -141,6 +145,8 @@ func (s *System) ThroughputInto(dst []float64, phi float64, m []float64) {
 // buffers (State.M aliases w.M(), State.Theta aliases the throughput
 // buffer); callers that retain it across solves must Clone it. The math is
 // identical to Solve: same checks, same bracketing, same Brent iteration.
+//
+//neutralnet:hotpath
 func (s *System) SolveInto(w *Workspace) (State, error) {
 	phi, err := s.solveUtilizationWS(w)
 	if err != nil {
@@ -155,6 +161,8 @@ func (s *System) SolveInto(w *Workspace) (State, error) {
 // kernel the operation order matches SolveUtilization exactly, so results
 // are bit-identical; the warm kernels find the same root to tolerance via a
 // different evaluation sequence.
+//
+//neutralnet:hotpath
 func (s *System) solveUtilizationWS(w *Workspace) (float64, error) {
 	if w.sys != s {
 		w.Bind(s)

@@ -52,6 +52,7 @@ func (j *jacobiAdaptive) ensure(n int) {
 	j.rPrev = make([]float64, n)
 }
 
+//neutralnet:hotpath
 func (j *jacobiAdaptive) Solve(p Problem, x []float64, tol float64, maxIter int) (Result, error) {
 	n := len(x)
 	j.ensure(n)

@@ -81,6 +81,7 @@ func (s *anderson) ensure(n int) {
 	s.gamma = make([]float64, s.depth)
 }
 
+//neutralnet:hotpath
 func (s *anderson) Solve(p Problem, x []float64, tol float64, maxIter int) (Result, error) {
 	n := len(x)
 	s.ensure(n)

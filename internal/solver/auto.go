@@ -53,6 +53,7 @@ func (*auto) Name() string { return AutoName }
 // SetTelemetry attaches (or, with nil, detaches) the decision telemetry.
 func (a *auto) SetTelemetry(t *Telemetry) { a.telem = t }
 
+//neutralnet:hotpath
 func (a *auto) Solve(p Problem, x []float64, tol float64, maxIter int) (Result, error) {
 	var d0, dLast float64
 	for it := 1; it <= maxIter; it++ {

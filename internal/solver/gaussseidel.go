@@ -11,6 +11,7 @@ type gaussSeidel struct{}
 
 func (gaussSeidel) Name() string { return GaussSeidelName }
 
+//neutralnet:hotpath
 func (gaussSeidel) Solve(p Problem, x []float64, tol float64, maxIter int) (Result, error) {
 	var iters int
 	var converged bool

@@ -16,9 +16,11 @@ const jacobiDamping = 0.5
 
 func (*jacobiDamped) Name() string { return JacobiDampedName }
 
+//neutralnet:hotpath
 func (j *jacobiDamped) Solve(p Problem, x []float64, tol float64, maxIter int) (Result, error) {
 	n := len(x)
 	if cap(j.fx) < n {
+		//lint:ignore noalloc grow-once scratch sizing; warm solves never reach this branch
 		j.fx = make([]float64, n)
 	}
 	fx := j.fx[:n]

@@ -139,6 +139,7 @@ func Names() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	names := make([]string, 0, len(registry))
+	//lint:ignore determinism keys are sorted below before returning
 	for n := range registry {
 		names = append(names, n)
 	}

@@ -40,6 +40,7 @@ func NewSOR(omega float64) FixedPoint {
 
 func (*sor) Name() string { return SORName }
 
+//neutralnet:hotpath
 func (s *sor) Solve(p Problem, x []float64, tol float64, maxIter int) (Result, error) {
 	lo, hi := p.Box()
 	for it := 1; it <= maxIter; it++ {

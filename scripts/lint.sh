@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build and run the neutralnetlint analyzer suite over the whole module,
+# exactly as the CI lint gate does. Zero unsuppressed findings pass.
+#
+# Usage:
+#   ./scripts/lint.sh            # standalone multichecker (module-wide)
+#   ./scripts/lint.sh --vet      # same analyzers via go vet -vettool
+#
+# The --vet form goes through the go command's build graph and cache, so
+# it also covers configurations the standalone loader does not (it is the
+# form to use from editors/IDE integrations).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p bin
+go build -o bin/neutralnetlint ./cmd/neutralnetlint
+
+if [[ "${1:-}" == "--vet" ]]; then
+  go vet -vettool="$(pwd)/bin/neutralnetlint" ./...
+else
+  ./bin/neutralnetlint ./...
+fi
+echo "neutralnetlint: clean"
