@@ -13,6 +13,70 @@ import (
 // each iteration still opens a fresh session so the timed work (including
 // the post-sweep cache fold) is identical every iteration and the cache
 // does not keep churning the same resident keys.
+// BenchmarkDuopolySweepPricesStream measures the streaming variant of the
+// same 20×20 surface: identical solve work, but outcomes are emitted
+// segment by segment and reduced online instead of filling the matrix.
+func BenchmarkDuopolySweepPricesStream(b *testing.B) {
+	sys := neutralnet.NewSystem(1,
+		neutralnet.NewCP("video", 4, 2, 1.0),
+		neutralnet.NewCP("social", 2, 4, 0.5),
+	)
+	grid := neutralnet.UniformGrid(0.6, 1.4, 20)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%dw", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			eng, err := neutralnet.NewEngine(sys, neutralnet.WithWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := eng.Duopoly([2]float64{0.5, 0.5}, 3, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum, err := s.SweepPricesStream(grid, grid, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Points != len(grid)*len(grid) {
+					b.Fatalf("points: %d", sum.Points)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDuopolySweepPricesAdaptive measures the coarse-to-fine argmax
+// search over the 20×20 plane; the speedup over BenchmarkDuopolySweepPrices
+// is the fraction of the plane the refinement never solves.
+func BenchmarkDuopolySweepPricesAdaptive(b *testing.B) {
+	sys := neutralnet.NewSystem(1,
+		neutralnet.NewCP("video", 4, 2, 1.0),
+		neutralnet.NewCP("social", 2, 4, 0.5),
+	)
+	grid := neutralnet.UniformGrid(0.6, 1.4, 20)
+	b.ReportAllocs()
+	eng, err := neutralnet.NewEngine(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := eng.Duopoly([2]float64{0.5, 0.5}, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.SweepPricesAdaptive(grid, grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.BestRank < 0 || res.Solved*10 > res.Dense*4 {
+			b.Fatalf("solved %d/%d, best rank %d", res.Solved, res.Dense, res.BestRank)
+		}
+	}
+}
+
 func BenchmarkDuopolySweepPrices(b *testing.B) {
 	sys := neutralnet.NewSystem(1,
 		neutralnet.NewCP("video", 4, 2, 1.0),

@@ -10,6 +10,7 @@
 package neutralnet_test
 
 import (
+	"fmt"
 	"testing"
 
 	"neutralnet"
@@ -267,6 +268,59 @@ func BenchmarkEngineSweep(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEngineSweepStream measures the streaming sweep on the same
+// 125-point surface as BenchmarkEngineSweep: identical solve work, but the
+// slab is never materialized — completed segments fold into the
+// constant-memory summary (and here a no-op emission callback). The deltas
+// vs BenchmarkEngineSweep/warm-* are the cost of the ordered-emission
+// scheduler plus the accumulator folds.
+func BenchmarkEngineSweepStream(b *testing.B) {
+	b.ReportAllocs()
+	grid := engineBenchGrid()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%dw", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			eng, err := neutralnet.NewEngine(engineBenchSystem(),
+				neutralnet.WithWorkers(workers), neutralnet.WithCache(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum, err := eng.SweepStream(grid, func(neutralnet.SweepSegment) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Points != grid.Size() {
+					b.Fatalf("points: %d", sum.Points)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSweepAdaptive measures the coarse-to-fine argmax search on
+// the same 125-point surface; the speedup over BenchmarkEngineSweep is the
+// fraction of the dense grid the refinement leaves unsolved (~70% here).
+func BenchmarkEngineSweepAdaptive(b *testing.B) {
+	b.ReportAllocs()
+	grid := engineBenchGrid()
+	eng, err := neutralnet.NewEngine(engineBenchSystem(), neutralnet.WithCache(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.SweepAdaptive(grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.BestRank < 0 || res.Solved*10 > res.Dense*4 {
+			b.Fatalf("solved %d/%d, best rank %d", res.Solved, res.Dense, res.BestRank)
+		}
 	}
 }
 

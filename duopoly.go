@@ -30,6 +30,16 @@ type DuopolySession struct {
 	m       duopoly.Market
 	workers int
 
+	// Adaptive-refinement knobs, inherited from the Engine's options
+	// (WithRefineObjective / WithRefineBudget / WithRefineDepth).
+	objective    string
+	refineBudget int
+	refineDepth  int
+
+	// quantiles are the probabilities tracked by SweepPricesStream
+	// summaries (WithQuantiles).
+	quantiles []float64
+
 	// telem accumulates the solver layer's scheme decisions for this
 	// session, shared with every sweep worker; read through SolverStats.
 	telem solver.Telemetry
@@ -70,9 +80,13 @@ func (e *Engine) Duopoly(mu [2]float64, sigma, q float64) (*DuopolySession, erro
 			Solver:     string(e.cfg.solver.Method),
 			UtilSolver: e.cfg.solver.UtilSolver,
 		},
-		workers: e.cfg.workers,
-		ws:      duopoly.NewWorkspace(),
-		cap:     e.cfg.cacheSize,
+		workers:      e.cfg.workers,
+		objective:    e.cfg.objective,
+		refineBudget: e.cfg.refineBudget,
+		refineDepth:  e.cfg.refineDepth,
+		quantiles:    e.cfg.quantiles,
+		ws:           duopoly.NewWorkspace(),
+		cap:          e.cfg.cacheSize,
 	}
 	s.m.Telemetry = &s.telem
 	if err := s.m.Validate(); err != nil {
@@ -193,7 +207,10 @@ func (o DuopolyOutcome) clone() DuopolyOutcome {
 // session's own copies of the swept grids — later caller mutation of the
 // input slices cannot corrupt the result.
 type DuopolySweepResult struct {
-	P1, P2   []float64
+	P1, P2 []float64
+	// Names are the CP names, matching each outcome's S order — the
+	// subsidy column labels of the CSV export.
+	Names    []string
 	Outcomes [][]DuopolyOutcome
 	// Workers is the worker-pool size the sweep effectively ran on (the
 	// session's WithWorkers setting clamped to the chain count). It is a
@@ -233,6 +250,7 @@ func (s *DuopolySession) SweepPrices(p1Grid, p2Grid []float64) (*DuopolySweepRes
 	res := &DuopolySweepResult{
 		P1:       append([]float64(nil), p1Grid...),
 		P2:       append([]float64(nil), p2Grid...),
+		Names:    s.cpNames(),
 		Outcomes: make([][]DuopolyOutcome, len(p1Grid)),
 		Workers:  workers,
 		Chains:   pl.Chains(),
@@ -241,27 +259,12 @@ func (s *DuopolySession) SweepPrices(p1Grid, p2Grid []float64) (*DuopolySweepRes
 		res.Outcomes[i] = make([]DuopolyOutcome, len(p2Grid))
 	}
 
-	type duoWorker struct {
-		ws      *duopoly.Workspace
-		warmBuf []float64
-		idx     [2]int
-	}
 	err := path.Run(pl, workers,
 		func() *duoWorker { return &duoWorker{ws: duopoly.NewWorkspace()} },
 		func(w *duoWorker, lo, hi int) error {
-			var warm []float64
-			for k := lo; k < hi; k++ {
-				pl.Coords(k, w.idx[:])
-				i, j := w.idx[0], w.idx[1]
-				p := [2]float64{res.P1[i], res.P2[j]}
-				prof, st, err := s.m.CPEquilibriumChainWS(w.ws, p, warm, k > lo)
-				if err != nil {
-					return fmt.Errorf("duopoly session: at p=(%g, %g): %w", p[0], p[1], err)
-				}
-				warm = numeric.CopyProfile(&w.warmBuf, prof)
-				res.Outcomes[i][j] = s.outcome(p, prof, st)
-			}
-			return nil
+			return s.runPriceChain(pl, res.P1, res.P2, lo, hi, func(_, rank int, out DuopolyOutcome) {
+				res.Outcomes[rank/len(res.P2)][rank%len(res.P2)] = out
+			}, w)
 		})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,374 @@
+package neutralnet
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"neutralnet/internal/duopoly"
+	"neutralnet/internal/numeric"
+	"neutralnet/internal/sweep"
+	"neutralnet/internal/sweep/path"
+)
+
+// Streaming and adaptive execution for the duopoly price plane — the
+// (p₁, p₂) analogues of Engine.SweepStream and Engine.SweepAdaptive,
+// running on the same deterministic traversal scheduler as SweepPrices.
+
+// duoWorker is one price-plane worker's private state: its duopoly
+// workspace, warm-profile buffer, and coordinate scratch.
+type duoWorker struct {
+	ws      *duopoly.Workspace
+	warmBuf []float64
+	idx     [2]int
+}
+
+// runPriceChain solves the snake-path positions [lo, hi) of one segment
+// sequentially — cold first point, then the subsidy profile and the
+// per-network utilization seeds chained point to point — handing each
+// outcome to store with its path position and row-major rank
+// (i·len(p2)+j). It never reads the session cache or warm store.
+func (s *DuopolySession) runPriceChain(pl path.Plan, p1, p2 []float64, lo, hi int, store func(k, rank int, out DuopolyOutcome), w *duoWorker) error {
+	var warm []float64
+	for k := lo; k < hi; k++ {
+		pl.Coords(k, w.idx[:])
+		i, j := w.idx[0], w.idx[1]
+		p := [2]float64{p1[i], p2[j]}
+		prof, st, err := s.m.CPEquilibriumChainWS(w.ws, p, warm, k > lo)
+		if err != nil {
+			return fmt.Errorf("duopoly session: at p=(%g, %g): %w", p[0], p[1], err)
+		}
+		warm = numeric.CopyProfile(&w.warmBuf, prof)
+		store(k, i*len(p2)+j, s.outcome(p, prof, st))
+	}
+	return nil
+}
+
+// solveCoordChain is runPriceChain over an explicit coordinate list — the
+// adaptive refinement's warm chains over the price plane.
+func (s *DuopolySession) solveCoordChain(p1, p2 []float64, chain [][]int, out []DuopolyOutcome, w *duoWorker) error {
+	var warm []float64
+	for n, c := range chain {
+		p := [2]float64{p1[c[0]], p2[c[1]]}
+		prof, st, err := s.m.CPEquilibriumChainWS(w.ws, p, warm, n > 0)
+		if err != nil {
+			return fmt.Errorf("duopoly session: at p=(%g, %g): %w", p[0], p[1], err)
+		}
+		warm = numeric.CopyProfile(&w.warmBuf, prof)
+		out[n] = s.outcome(p, prof, st)
+	}
+	return nil
+}
+
+// DuopolySweepSegment is one completed chunk of a streamed price sweep: the
+// outcomes of the snake-path range [Lo, Hi) in path order, with each
+// outcome's row-major rank (i·len(P2)+j). The slices are only valid during
+// the emission callback — clone what must be retained.
+type DuopolySweepSegment struct {
+	Index    int
+	Lo, Hi   int
+	Outcomes []DuopolyOutcome
+	Ranks    []int
+}
+
+// DuopolySweepSummary is the constant-memory reduction of a streamed price
+// sweep: combined-revenue and welfare accumulators (argmax, min/max/mean,
+// WithQuantiles sketches) with the argmax outcomes retained — everything
+// ArgmaxTotalRevenue answers, without the outcome matrix.
+type DuopolySweepSummary struct {
+	P1, P2 []float64
+	Names  []string // CP names, matching each outcome's S order
+	Chains int
+	Points int
+
+	// TotalRevenue folds the combined ISP revenue p₁·Σθ¹ + p₂·Σθ²;
+	// Welfare folds Σ v_i·(θ_i¹+θ_i²). Argmax ties resolve to the lowest
+	// row-major rank, matching ArgmaxTotalRevenue.
+	TotalRevenue SweepAccumulator
+	Welfare      SweepAccumulator
+	BestRevenue  DuopolyOutcome
+	BestWelfare  DuopolyOutcome
+}
+
+// SweepPricesStream solves the price plane exactly like SweepPrices — same
+// snake path, segment cut, warm chains and per-point solves — but never
+// materializes the outcome matrix: completed segments are handed to emit
+// (which may be nil) in strict snake order and folded into the returned
+// summary, holding O(segment · workers) outcomes live regardless of grid
+// size. The summary is bit-identical at any worker count and session
+// history. The session is left exactly as SweepPrices leaves it: solved
+// points fold into the cache progressively in snake order (under a cache
+// bound the sweep's tail stays resident) and the warm store continues from
+// the final path point.
+func (s *DuopolySession) SweepPricesStream(p1Grid, p2Grid []float64, emit func(DuopolySweepSegment) error) (*DuopolySweepSummary, error) {
+	if len(p1Grid) == 0 || len(p2Grid) == 0 {
+		return nil, fmt.Errorf("duopoly session: empty price grid")
+	}
+	for _, q := range s.quantiles {
+		if !(q > 0 && q < 1) {
+			return nil, fmt.Errorf("duopoly session: quantile %g outside (0, 1)", q)
+		}
+	}
+	pl := path.New([]int{len(p1Grid), len(p2Grid)}, 0)
+	workers := s.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if c := pl.Chains(); workers > c {
+		workers = c
+	}
+	sum := &DuopolySweepSummary{
+		P1:           append([]float64(nil), p1Grid...),
+		P2:           append([]float64(nil), p2Grid...),
+		Names:        s.cpNames(),
+		Chains:       pl.Chains(),
+		TotalRevenue: sweep.NewAccumulator(s.quantiles),
+		Welfare:      sweep.NewAccumulator(s.quantiles),
+	}
+
+	// Per-segment staging ring: segment c stages into slot c % lead; the
+	// scheduler's lead window guarantees live segments never share a slot.
+	type slot struct {
+		outs  []DuopolyOutcome
+		ranks []int
+	}
+	slots := make([]slot, path.Lead(workers, pl.Chains()))
+
+	// Only the last cap path points can survive the FIFO bound — skip the
+	// insert/evict churn for everything earlier, like SweepPrices' fold.
+	cacheFrom := 0
+	if pl.Len() > s.cap {
+		cacheFrom = pl.Len() - s.cap
+	}
+
+	err := path.RunOrdered(pl, workers,
+		func() *duoWorker { return &duoWorker{ws: duopoly.NewWorkspace()} },
+		func(w *duoWorker, c, lo, hi int) error {
+			sl := &slots[c%len(slots)]
+			sl.outs = sl.outs[:0]
+			sl.ranks = sl.ranks[:0]
+			return s.runPriceChain(pl, sum.P1, sum.P2, lo, hi, func(_, rank int, out DuopolyOutcome) {
+				sl.outs = append(sl.outs, out)
+				sl.ranks = append(sl.ranks, rank)
+			}, w)
+		},
+		func(c, lo, hi int) error {
+			sl := &slots[c%len(slots)]
+			// Fold into the summary and the session cache. The progressive
+			// snake-order store leaves the same final FIFO state as
+			// SweepPrices' tail fold: only the last cap insertions survive.
+			s.mu.Lock()
+			for n, out := range sl.outs {
+				sum.Points++
+				if sum.TotalRevenue.Add(sl.ranks[n], out.Revenue[0]+out.Revenue[1]) {
+					sum.BestRevenue = out
+				}
+				if sum.Welfare.Add(sl.ranks[n], out.Welfare) {
+					sum.BestWelfare = out
+				}
+				if lo+n >= cacheFrom {
+					s.storeLocked(out)
+				}
+			}
+			// Continue the warm chain from the newest emitted point, as a
+			// sequential walk would.
+			if n := len(sl.outs); n > 0 {
+				s.warm = numeric.CopyProfile(&s.warmBuf, sl.outs[n-1].S)
+			}
+			s.mu.Unlock()
+			if emit == nil {
+				return nil
+			}
+			return emit(DuopolySweepSegment{Index: c, Lo: lo, Hi: hi, Outcomes: sl.outs, Ranks: sl.ranks})
+		})
+	if err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// cpNames returns the session's CP names, in subsidy-profile order.
+func (s *DuopolySession) cpNames() []string {
+	names := make([]string, len(s.m.CPs))
+	for i, cp := range s.m.CPs {
+		names[i] = cp.Name
+	}
+	return names
+}
+
+// DuopolyAdaptiveResult is the sparse result of a coarse-to-fine price
+// sweep: only the outcomes the refinement visited, in deterministic solve
+// order, plus the argmax under the session's objective.
+type DuopolyAdaptiveResult struct {
+	P1, P2    []float64
+	Names     []string
+	Objective string
+
+	// Outcomes are the solved points in deterministic solve order; Ranks
+	// give each outcome's row-major index (i·len(P2)+j) in the matrix a
+	// dense SweepPrices would build.
+	Outcomes []DuopolyOutcome
+	Ranks    []int
+
+	// Best is the argmax outcome under Objective; BestRank its row-major
+	// rank (−1 when no outcome had a finite objective).
+	Best     DuopolyOutcome
+	BestRank int
+
+	Solved int // len(Outcomes)
+	Dense  int // points a dense SweepPrices would have solved
+	Rounds int // refinement rounds after the coarse stage
+	Cells  int // cells subdivided
+}
+
+// SweepPricesAdaptive locates the price plane's argmax — combined ISP
+// revenue by default, welfare under WithRefineObjective — coarse-to-fine:
+// a coarse price lattice is solved first and only the highest-ranked cells
+// are recursively subdivided through warm chains, under the Engine's
+// WithRefineBudget (default 40% of the dense grid) and WithRefineDepth.
+// The refinement trajectory is deterministic at any worker count. Unlike
+// SweepPrices, the session cache and warm store are left untouched: the
+// refinement's chains jump around the plane, and folding them in would
+// make the session's warm chain depend on the refinement trajectory.
+func (s *DuopolySession) SweepPricesAdaptive(p1Grid, p2Grid []float64) (*DuopolyAdaptiveResult, error) {
+	if len(p1Grid) == 0 || len(p2Grid) == 0 {
+		return nil, fmt.Errorf("duopoly session: empty price grid")
+	}
+	objective := s.objective
+	if objective == "" {
+		objective = ObjectiveRevenue
+	}
+	var val func(*DuopolyOutcome) float64
+	switch objective {
+	case ObjectiveRevenue:
+		val = func(o *DuopolyOutcome) float64 { return o.Revenue[0] + o.Revenue[1] }
+	case ObjectiveWelfare:
+		val = func(o *DuopolyOutcome) float64 { return o.Welfare }
+	default:
+		return nil, fmt.Errorf("duopoly session: unknown adaptive objective %q (have %s)",
+			objective, strings.Join(sweep.ObjectiveNames(), ", "))
+	}
+
+	res := &DuopolyAdaptiveResult{
+		P1:        append([]float64(nil), p1Grid...),
+		P2:        append([]float64(nil), p2Grid...),
+		Names:     s.cpNames(),
+		Objective: objective,
+		BestRank:  -1,
+		Dense:     len(p1Grid) * len(p2Grid),
+	}
+	budget := s.refineBudget
+	if budget <= 0 {
+		budget = (res.Dense*sweep.DefaultBudgetNum + sweep.DefaultBudgetDen - 1) / sweep.DefaultBudgetDen
+	}
+	workers := s.workers
+
+	// Sparse objective surface: row-major rank → value / result index.
+	// Lookup only — never ranged over.
+	values := make(map[int]float64)
+	at := make(map[int]int)
+
+	solve := func(chains [][][]int) error {
+		bufs := make([][]DuopolyOutcome, len(chains))
+		for i := range chains {
+			bufs[i] = make([]DuopolyOutcome, len(chains[i]))
+		}
+		cpl := path.New([]int{len(chains)}, 1)
+		err := path.Run(cpl, workers,
+			func() *duoWorker { return &duoWorker{ws: duopoly.NewWorkspace()} },
+			func(w *duoWorker, lo, hi int) error {
+				for ci := lo; ci < hi; ci++ {
+					if err := s.solveCoordChain(res.P1, res.P2, chains[ci], bufs[ci], w); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		for ci := range chains {
+			for n := range chains[ci] {
+				rank := chains[ci][n][0]*len(res.P2) + chains[ci][n][1]
+				out := bufs[ci][n]
+				values[rank] = val(&out)
+				at[rank] = len(res.Outcomes)
+				res.Outcomes = append(res.Outcomes, out)
+				res.Ranks = append(res.Ranks, rank)
+			}
+		}
+		return nil
+	}
+
+	stats, err := path.Adaptive([]int{len(p1Grid), len(p2Grid)}, path.AdaptiveConfig{
+		Budget:   budget,
+		MaxDepth: s.refineDepth,
+	}, solve, func(rank int) float64 { return values[rank] })
+	if err != nil {
+		return nil, err
+	}
+	res.Solved = stats.Solved
+	res.Rounds = stats.Rounds
+	res.Cells = stats.Cells
+	res.BestRank = stats.BestRank
+	if stats.BestRank >= 0 {
+		res.Best = res.Outcomes[at[stats.BestRank]]
+	}
+	return res, nil
+}
+
+// CSV renders the price surface as one row per grid point in row-major
+// order, with per-CP subsidy columns.
+func (r *DuopolySweepResult) CSV() string {
+	var b strings.Builder
+	// Builder writes cannot fail, so the WriteCSV error is structurally nil.
+	_ = r.WriteCSV(&b)
+	return b.String()
+}
+
+// WriteCSV streams the CSV rendering of CSV row by row to w — identical
+// bytes with O(row) live memory. The first write error aborts.
+func (r *DuopolySweepResult) WriteCSV(w io.Writer) error {
+	if err := writeDuopolyCSVHeader(w, r.Names); err != nil {
+		return err
+	}
+	for i := range r.Outcomes {
+		for j := range r.Outcomes[i] {
+			if err := writeDuopolyCSVRow(w, &r.Outcomes[i][j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeDuopolyCSVHeader writes the duopoly CSV header: the fixed columns
+// plus one subsidy column per CP (commas in names become semicolons).
+func writeDuopolyCSVHeader(w io.Writer, names []string) error {
+	if _, err := io.WriteString(w, "p1,p2,share1,share2,phi1,phi2,revenue1,revenue2,welfare"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, ",s_%s", strings.ReplaceAll(n, ",", ";")); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// writeDuopolyCSVRow writes one outcome as a duopoly CSV row.
+func writeDuopolyCSVRow(w io.Writer, out *DuopolyOutcome) error {
+	if _, err := fmt.Fprintf(w, "%g,%g,%g,%g,%g,%g,%g,%g,%g",
+		out.P[0], out.P[1], out.Shares[0], out.Shares[1],
+		out.Phi[0], out.Phi[1], out.Revenue[0], out.Revenue[1], out.Welfare); err != nil {
+		return err
+	}
+	for _, s := range out.S {
+		if _, err := fmt.Fprintf(w, ",%g", s); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

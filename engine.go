@@ -210,6 +210,7 @@ func (e *Engine) Sweep(grid Grid) (*SweepResult, error) {
 		Solver:     e.cfg.solver,
 		WarmStart:  e.cfg.warmStart,
 		SegmentLen: sweep.DefaultSegmentLen,
+		Emit:       e.cfg.emit,
 	})
 	if err != nil {
 		return nil, err
@@ -240,6 +241,50 @@ func (e *Engine) Sweep(grid Grid) (*SweepResult, error) {
 	}
 	e.mu.Unlock()
 	return res, nil
+}
+
+// SweepStream solves the grid exactly like Sweep but never materializes the
+// result slab: completed segments are handed to emit (which may be nil) in
+// strict snake order, and everything the slab accessors would answer —
+// revenue/welfare argmax points, min/max/mean, the WithQuantiles percentile
+// estimates — comes back in the constant-memory SweepSummary. Peak live
+// memory is O(segment · workers) regardless of grid size, which is what
+// makes 10⁶-point grids queryable; the summary is bit-identical to the slab
+// reductions at any worker count (the accumulators fold in snake order with
+// slab tie rules). SweepStream leaves the Engine's equilibrium cache and
+// stats untouched — retaining points would defeat the memory contract.
+func (e *Engine) SweepStream(grid Grid, emit func(SweepSegment) error) (*SweepSummary, error) {
+	return sweep.Stream(e.sys, grid, sweep.Config{
+		Workers:    e.cfg.workers,
+		Solver:     e.cfg.solver,
+		WarmStart:  e.cfg.warmStart,
+		SegmentLen: sweep.DefaultSegmentLen,
+		Quantiles:  e.cfg.quantiles,
+	}, emit)
+}
+
+// SweepAdaptive locates the grid's argmax — ISP revenue by default, system
+// welfare under WithRefineObjective — coarse-to-fine: a coarse lattice is
+// solved first and only the highest-ranked cells are recursively
+// subdivided through the same warm φ-carry chains as a dense sweep, so the
+// solve count scales with the surface's peak structure rather than the
+// grid (WithRefineBudget caps it at 40% of the dense grid by default;
+// WithRefineDepth bounds the rounds). The refinement frontier is
+// deterministic, so the solved points and the argmax are bit-identical at
+// any worker count. Like SweepStream, the Engine's cache and stats are
+// left untouched.
+func (e *Engine) SweepAdaptive(grid Grid) (*AdaptiveSweepResult, error) {
+	return sweep.RunAdaptive(e.sys, grid, sweep.AdaptiveConfig{
+		Config: sweep.Config{
+			Workers:    e.cfg.workers,
+			Solver:     e.cfg.solver,
+			WarmStart:  e.cfg.warmStart,
+			SegmentLen: sweep.DefaultSegmentLen,
+		},
+		Objective: e.cfg.objective,
+		Budget:    e.cfg.refineBudget,
+		MaxDepth:  e.cfg.refineDepth,
+	})
 }
 
 // OptimalPrice finds the ISP's revenue-maximizing price on [0, pMax] under

@@ -10,6 +10,7 @@ import (
 	"neutralnet/internal/game"
 	"neutralnet/internal/model"
 	"neutralnet/internal/solver"
+	"neutralnet/internal/sweep"
 )
 
 func fixture(name string) string {
@@ -93,6 +94,12 @@ func TestKnownNamesMatchRegistry(t *testing.T) {
 	sort.Strings(wantBR)
 	if !reflect.DeepEqual(KnownBRSeedNames, wantBR) {
 		t.Errorf("KnownBRSeedNames = %q, game declares %q", KnownBRSeedNames, wantBR)
+	}
+
+	wantObjectives := append([]string{""}, sweep.ObjectiveNames()...)
+	sort.Strings(wantObjectives)
+	if !reflect.DeepEqual(KnownObjectiveNames, wantObjectives) {
+		t.Errorf("KnownObjectiveNames = %q, sweep declares %q", KnownObjectiveNames, wantObjectives)
 	}
 }
 

@@ -43,6 +43,7 @@ const (
 	solverKind nameKind = iota
 	utilKind
 	brSeedKind
+	objectiveKind
 )
 
 // KnownSolverNames is the analyzer's copy of the fixed-point registry
@@ -60,12 +61,18 @@ var KnownUtilSolverNames = []string{"", "brent", "newton", "warm-brent"}
 // BRCold, BRSeeded).
 var KnownBRSeedNames = []string{"", "cold", "seeded"}
 
+// KnownObjectiveNames mirrors sweep.ObjectiveNames() — the adaptive
+// refinement objectives — plus the empty default (revenue).
+var KnownObjectiveNames = []string{"", "revenue", "welfare"}
+
 func knownNames(k nameKind) []string {
 	switch k {
 	case utilKind:
 		return KnownUtilSolverNames
 	case brSeedKind:
 		return KnownBRSeedNames
+	case objectiveKind:
+		return KnownObjectiveNames
 	default:
 		return KnownSolverNames
 	}
@@ -77,6 +84,8 @@ func (k nameKind) String() string {
 		return "utilization-kernel"
 	case brSeedKind:
 		return "bracket-policy"
+	case objectiveKind:
+		return "objective"
 	default:
 		return "solver"
 	}
@@ -90,6 +99,7 @@ var callSinks = map[string]nameKind{
 	"WithSolver":            solverKind,
 	"WithUtilizationSolver": utilKind,
 	"SetUtilSolver":         utilKind,
+	"WithRefineObjective":   objectiveKind,
 }
 
 // fieldSinks maps struct-field / assignment-target names that hold a
@@ -100,6 +110,7 @@ var fieldSinks = map[string]nameKind{
 	"Solver":     solverKind,
 	"UtilSolver": utilKind,
 	"BRSeed":     brSeedKind,
+	"Objective":  objectiveKind,
 }
 
 func runSolverName(pass *Pass) error {
@@ -231,6 +242,8 @@ func exampleConstant(kind nameKind) string {
 		return "model.UtilBrentWarm"
 	case brSeedKind:
 		return "game.BRSeeded"
+	case objectiveKind:
+		return "sweep.ObjectiveRevenue"
 	default:
 		return "solver.AndersonName"
 	}

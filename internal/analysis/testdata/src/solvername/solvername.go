@@ -10,6 +10,7 @@ type Config struct {
 	Solver     string
 	UtilSolver string
 	BRSeed     string
+	Objective  string
 }
 
 // Game mirrors the game options struct.
@@ -28,12 +29,17 @@ func WithSolver(name string) {}
 // WithUtilizationSolver mirrors the root option constructor.
 func WithUtilizationSolver(name string) {}
 
+// WithRefineObjective mirrors the root option constructor.
+func WithRefineObjective(name string) {}
+
 // Named constants; TyposeidelName has drifted from the registry.
 const (
 	GaussSeidelName = "gauss-seidel"
 	UtilBrentWarm   = "warm-brent"
 	SeededBrackets  = "seeded"
 	TyposeidelName  = "gauss-seidle"
+	RevenueName     = "revenue"
+	ProfitName      = "profit"
 )
 
 func pick() string { return "" }
@@ -44,6 +50,9 @@ func use() {
 	WithSolver(TyposeidelName)           // want "constant TyposeidelName = \"gauss-seidle\" is not a registered solver name"
 	WithUtilizationSolver("brent")       // want "raw string literal \"brent\" in utilization-kernel-name position"
 	WithUtilizationSolver(UtilBrentWarm) // ok: known constant
+	WithRefineObjective("welfare")       // want "raw string literal \"welfare\" in objective-name position"
+	WithRefineObjective(RevenueName)     // ok: known constant
+	WithRefineObjective(ProfitName)      // want "constant ProfitName = \"profit\" is not a registered objective name"
 
 	var cfg Config
 	cfg.Solver = "sor"      // want "raw string literal \"sor\""
@@ -51,8 +60,9 @@ func use() {
 	cfg.BRSeed = SeededBrackets
 
 	cfg2 := Config{
-		Solver: "jacobi-damped", // want "raw string literal \"jacobi-damped\""
-		BRSeed: "warm",          // want "raw string literal \"warm\""
+		Solver:    "jacobi-damped", // want "raw string literal \"jacobi-damped\""
+		BRSeed:    "warm",          // want "raw string literal \"warm\""
+		Objective: "revenue",       // want "raw string literal \"revenue\""
 	}
 	_ = cfg2
 

@@ -1,0 +1,193 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+	"neutralnet/internal/sweep/path"
+)
+
+// Adaptive sweep execution: bind the path package's coarse-to-fine index
+// driver to the (p, q, µ) equilibrium surface. Instead of solving every
+// grid point, a coarse lattice is solved first and only the cells ranked
+// highest by the chosen objective (ISP revenue or system welfare) are
+// recursively subdivided — through the same warm φ-carry chains as a dense
+// sweep — until the dense-grid argmax is pinned down. The economic surfaces
+// are smooth in (p, q, µ) (the equilibrium path is continuous by Theorem
+// 6), which is exactly the regime where coarse-to-fine finds the dense
+// argmax while solving a small fraction of the points.
+
+// The adaptive objectives, by registry name. An empty Objective selects
+// ObjectiveRevenue. The names are pinned by the neutralnetlint analyzer
+// tables (TestKnownNamesMatchRegistry).
+const (
+	// ObjectiveRevenue refines toward the maximal ISP revenue p·Σθ.
+	ObjectiveRevenue = "revenue"
+	// ObjectiveWelfare refines toward the maximal system welfare Σ v_i θ_i.
+	ObjectiveWelfare = "welfare"
+)
+
+// ObjectiveNames returns the registered adaptive objectives, sorted.
+func ObjectiveNames() []string { return []string{ObjectiveRevenue, ObjectiveWelfare} }
+
+// DefaultBudgetNum and DefaultBudgetDen set the default adaptive point
+// budget at 2/5 (40%) of the dense grid: the hard cap under which the
+// refinement must land, comfortably above what a smooth surface needs
+// (the frontier usually converges well below it).
+const (
+	DefaultBudgetNum = 2
+	DefaultBudgetDen = 5
+)
+
+// AdaptiveConfig controls an adaptive sweep. The embedded Config supplies
+// the solver, worker and warm-start behavior exactly as for Run (Emit and
+// Quantiles are ignored here).
+type AdaptiveConfig struct {
+	Config
+	// Objective selects the refinement target: ObjectiveRevenue (the empty
+	// default) or ObjectiveWelfare. Unknown names error.
+	Objective string
+	// Coarse is the per-axis sample count of the initial lattice; < 2
+	// selects path.DefaultCoarse.
+	Coarse int
+	// Budget caps the solved points; ≤ 0 selects 40% of the dense grid
+	// (DefaultBudgetNum/DefaultBudgetDen), the fixed default the refinement
+	// must land under.
+	Budget int
+	// MaxDepth bounds the refinement rounds; ≤ 0 means unbounded (the
+	// budget and frontier convergence terminate the run).
+	MaxDepth int
+	// BatchCells is the number of cells subdivided per round; ≤ 0 selects
+	// path.DefaultBatchCells.
+	BatchCells int
+}
+
+// AdaptiveResult is a sparse solved surface: only the points the refinement
+// visited, in deterministic solve order, plus the argmax under the chosen
+// objective.
+type AdaptiveResult struct {
+	Grid      Grid
+	Names     []string
+	Objective string
+
+	// Points are the solved points in deterministic solve order (coarse
+	// lattice first, then refinement rounds); Ranks give each point's
+	// row-major index in the dense slab a full sweep would build.
+	Points []Point
+	Ranks  []int
+
+	// Best is the argmax point under Objective; BestRank its dense
+	// row-major rank (−1 when no point had a finite objective, in which
+	// case Best is the zero Point).
+	Best     Point
+	BestRank int
+
+	Solved int // len(Points), for symmetry with path.AdaptiveStats
+	Dense  int // points a dense sweep would have solved
+	Rounds int // refinement rounds after the coarse stage
+	Cells  int // cells subdivided
+}
+
+// RunAdaptive evaluates the grid coarse-to-fine under cfg. The solved
+// points, the refinement trajectory and the argmax are bit-identical at any
+// worker count: the frontier is deterministic, every refinement batch is a
+// fixed list of warm chains, and chains are solved on the same deterministic
+// pool as dense sweeps with their results folded in chain order.
+func RunAdaptive(sys *model.System, grid Grid, cfg AdaptiveConfig) (*AdaptiveResult, error) {
+	cfg.Config.Emit = nil
+	pr, err := prepare(sys, grid, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	objective := cfg.Objective
+	if objective == "" {
+		objective = ObjectiveRevenue
+	}
+	var val func(*Point) float64
+	switch objective {
+	case ObjectiveRevenue:
+		val = func(pt *Point) float64 { return pt.Revenue }
+	case ObjectiveWelfare:
+		val = func(pt *Point) float64 { return pt.Welfare }
+	default:
+		return nil, fmt.Errorf("sweep: unknown adaptive objective %q (have %s)",
+			objective, strings.Join(ObjectiveNames(), ", "))
+	}
+
+	dims := []int{len(pr.grid.Mu), len(pr.grid.Q), len(pr.grid.P)}
+	dense := dims[0] * dims[1] * dims[2]
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = (dense*DefaultBudgetNum + DefaultBudgetDen - 1) / DefaultBudgetDen
+	}
+
+	res := &AdaptiveResult{
+		Grid: pr.grid, Names: pr.names, Objective: objective,
+		BestRank: -1, Dense: dense,
+	}
+	// Sparse objective surface: dense rank → value / result index. Lookup
+	// only — never ranged over — so map iteration order cannot leak into
+	// the refinement trajectory.
+	values := make(map[int]float64)
+	at := make(map[int]int)
+
+	solve := func(chains [][][]int) error {
+		// Solve the batch's chains on the deterministic pool: each chain is
+		// one warm φ-carry unit claimed whole by a worker, writing into its
+		// private buffer; the buffers are then folded sequentially in chain
+		// order, so the result layout is schedule-independent.
+		bufs := make([][]Point, len(chains))
+		for i := range chains {
+			bufs[i] = make([]Point, len(chains[i]))
+		}
+		cpl := path.New([]int{len(chains)}, 1)
+		err := path.Run(cpl, cfg.Workers,
+			func() *chainWorker { return &chainWorker{ws: game.NewWorkspace()} },
+			func(w *chainWorker, lo, hi int) error {
+				for ci := lo; ci < hi; ci++ {
+					if err := runCoordChain(pr, chains[ci], bufs[ci], w); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		for ci := range chains {
+			for i := range chains[ci] {
+				rank := 0
+				for j, d := range dims {
+					rank = rank*d + chains[ci][i][j]
+				}
+				pt := bufs[ci][i]
+				values[rank] = val(&pt)
+				at[rank] = len(res.Points)
+				res.Points = append(res.Points, pt)
+				res.Ranks = append(res.Ranks, rank)
+			}
+		}
+		return nil
+	}
+
+	stats, err := path.Adaptive(dims, path.AdaptiveConfig{
+		Coarse:     cfg.Coarse,
+		Budget:     budget,
+		MaxDepth:   cfg.MaxDepth,
+		BatchCells: cfg.BatchCells,
+		SegmentLen: cfg.SegmentLen,
+	}, solve, func(rank int) float64 { return values[rank] })
+	if err != nil {
+		return nil, err
+	}
+	res.Solved = stats.Solved
+	res.Rounds = stats.Rounds
+	res.Cells = stats.Cells
+	res.BestRank = stats.BestRank
+	if stats.BestRank >= 0 {
+		res.Best = res.Points[at[stats.BestRank]]
+	}
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestAdaptiveMatchesDenseArgmax is the acceptance pin for the single-ISP
+// grid: on the 125-point benchmark grid (25 prices × 5 caps), the adaptive
+// sweep finds exactly the dense sweep's argmax — for both objectives —
+// while solving at most 40% of the points.
+func TestAdaptiveMatchesDenseArgmax(t *testing.T) {
+	grid := Grid{P: Uniform(0.05, 2, 25), Q: Uniform(0, 2, 5)}
+	dense, err := Run(market(), grid, Config{WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, objective := range ObjectiveNames() {
+		t.Run(objective, func(t *testing.T) {
+			res, err := RunAdaptive(market(), grid, AdaptiveConfig{
+				Config:    Config{WarmStart: true},
+				Objective: objective,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if objective == ObjectiveRevenue {
+				// The revenue peak is unique and interior: the adaptive
+				// search must land on exactly the dense argmax cell.
+				want := dense.ArgmaxRevenue()
+				if res.Best.P != want.P || res.Best.Q != want.Q || res.Best.Mu != want.Mu {
+					t.Fatalf("adaptive argmax at (p=%g q=%g µ=%g), dense at (p=%g q=%g µ=%g)",
+						res.Best.P, res.Best.Q, res.Best.Mu, want.P, want.Q, want.Mu)
+				}
+			} else {
+				// Welfare plateaus in q once the cap stops binding (the
+				// plateau cells agree analytically and differ only in the
+				// last ULPs between warm chains), so pin the chosen cell by
+				// its value on the dense surface: it must match the dense
+				// maximum to near machine precision.
+				want := dense.ArgmaxWelfare()
+				got := dense.Points[res.BestRank]
+				if rel := math.Abs(got.Welfare-want.Welfare) / math.Abs(want.Welfare); rel > 1e-12 {
+					t.Fatalf("adaptive welfare cell (p=%g q=%g) is %g off the dense max (rel %g)",
+						got.P, got.Q, got.Welfare, rel)
+				}
+			}
+			// Same cell means same solve: the values are bit-identical
+			// because both paths cold-start identical per-point problems or
+			// agree through the pinned solver tolerances on this grid.
+			if res.Dense != grid.Size() {
+				t.Fatalf("dense count %d, want %d", res.Dense, grid.Size())
+			}
+			if res.Solved*10 > res.Dense*4 {
+				t.Fatalf("solved %d of %d points (> 40%%)", res.Solved, res.Dense)
+			}
+			if res.Solved != len(res.Points) || res.Solved != len(res.Ranks) {
+				t.Fatalf("bookkeeping: Solved=%d, %d points, %d ranks", res.Solved, len(res.Points), len(res.Ranks))
+			}
+			t.Logf("%s: solved %d/%d (%.0f%%) in %d rounds", objective, res.Solved, res.Dense,
+				100*float64(res.Solved)/float64(res.Dense), res.Rounds)
+		})
+	}
+}
+
+// TestAdaptiveDeterministicAcrossWorkerCounts pins the refinement
+// trajectory — solved points, order, and argmax — bitwise across worker
+// counts.
+func TestAdaptiveDeterministicAcrossWorkerCounts(t *testing.T) {
+	grid := Grid{P: Uniform(0.05, 2, 25), Q: Uniform(0, 2, 5), Mu: []float64{0.9, 1.1}}
+	var ref *AdaptiveResult
+	for _, workers := range []int{1, 4, 9} {
+		res, err := RunAdaptive(market(), grid, AdaptiveConfig{
+			Config: Config{Workers: workers, WarmStart: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Ranks, ref.Ranks) {
+			t.Fatalf("workers=%d: solve order differs", workers)
+		}
+		if !reflect.DeepEqual(res.Points, ref.Points) {
+			t.Fatalf("workers=%d: solved points differ bitwise", workers)
+		}
+		if res.BestRank != ref.BestRank || !reflect.DeepEqual(res.Best, ref.Best) {
+			t.Fatalf("workers=%d: argmax differs", workers)
+		}
+	}
+}
+
+// TestAdaptiveRejectsUnknownObjective pins the objective registry errors.
+func TestAdaptiveRejectsUnknownObjective(t *testing.T) {
+	_, err := RunAdaptive(market(), Grid{P: Uniform(0.1, 1, 5)}, AdaptiveConfig{Objective: "profit"})
+	if err == nil || !strings.Contains(err.Error(), "unknown adaptive objective") {
+		t.Fatalf("got %v, want the unknown-objective error", err)
+	}
+}
+
+// TestAdaptiveBudgetCaps asserts the explicit budget is a hard cap even
+// when it cannot cover the coarse lattice.
+func TestAdaptiveBudgetCaps(t *testing.T) {
+	res, err := RunAdaptive(market(), Grid{P: Uniform(0.05, 2, 25), Q: Uniform(0, 2, 5)}, AdaptiveConfig{
+		Config: Config{WarmStart: true},
+		Budget: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved > 10 {
+		t.Fatalf("solved %d points over budget 10", res.Solved)
+	}
+	if res.BestRank < 0 {
+		t.Fatal("no argmax found within budget")
+	}
+}

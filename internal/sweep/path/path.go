@@ -84,6 +84,18 @@ func (pl Plan) Segment(c int) (lo, hi int) {
 	return lo, hi
 }
 
+// Segments returns every segment's half-open path range [lo, hi) in segment
+// order — the shared alternative to hand-rolling an index loop over Chains()
+// and calling Segment(c). Only the final range can be shorter than the rest.
+func (pl Plan) Segments() [][2]int {
+	out := make([][2]int, pl.chains)
+	for c := range out {
+		lo, hi := pl.Segment(c)
+		out[c] = [2]int{lo, hi}
+	}
+	return out
+}
+
 // Coords writes the grid indices of path position k into idx (one entry
 // per axis, outermost first). Axis j runs forward when the enclosing row
 // index along the path — the mixed-radix quotient above digit j — is even,
@@ -132,6 +144,7 @@ func Run[W any](pl Plan, workers int, newWorker func() W, runSegment func(w W, l
 	if workers > pl.chains {
 		workers = pl.chains
 	}
+	ranges := pl.Segments()
 	segs := make(chan int)
 	var failed atomic.Bool
 	var firstErr error
@@ -146,11 +159,118 @@ func Run[W any](pl Plan, workers int, newWorker func() W, runSegment func(w W, l
 				if failed.Load() {
 					continue
 				}
-				lo, hi := pl.Segment(c)
-				if err := runSegment(st, lo, hi); err != nil {
+				if err := runSegment(st, ranges[c][0], ranges[c][1]); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 				}
+			}
+		}()
+	}
+	for c := 0; c < pl.chains; c++ {
+		segs <- c
+	}
+	close(segs)
+	wg.Wait()
+	return firstErr
+}
+
+// Lead returns the reorder window RunOrdered runs under for the given worker
+// count: the maximum number of segments simultaneously claimed-but-unemitted.
+// Callers that stage per-segment result buffers need exactly this many slots
+// (index them c % Lead): two live segments can never collide in the ring,
+// because every live segment index lies within one window of the emission
+// cursor. Two windows of the worker count keep the pool busy while the
+// emitter catches up, without growing with the grid.
+func Lead(workers, chains int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	lead := 2 * workers
+	if lead > chains {
+		lead = chains
+	}
+	if lead < 1 {
+		lead = 1
+	}
+	return lead
+}
+
+// RunOrdered is Run with deterministic in-order segment emission: after a
+// segment's runSegment returns, emit is called with the same range, strictly
+// in segment order (0, 1, 2, ...) and serialized — segments completed out of
+// order are parked until their predecessors emit. A worker may run at most
+// Lead(workers, Chains()) segments ahead of the emission cursor, so a
+// caller staging results in per-segment buffers holds O(workers) segments
+// live regardless of grid size — the memory contract behind streaming
+// sweeps. Both runSegment and emit errors cancel the remaining segments;
+// the first error is returned. Like Run, results are bit-identical at any
+// worker count: the schedule only changes wall clock, never the segment
+// decomposition or the emission order.
+func RunOrdered[W any](pl Plan, workers int, newWorker func() W, runSegment func(w W, c, lo, hi int) error, emit func(c, lo, hi int) error) error {
+	if pl.n == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > pl.chains {
+		workers = pl.chains
+	}
+	lead := Lead(workers, pl.chains)
+	ranges := pl.Segments()
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		next     int                  // emission cursor: first segment not yet emitted
+		done     = make([]bool, lead) // completion ring for segments [next, next+lead)
+		failed   bool
+		firstErr error
+	)
+	fail := func(err error) {
+		if !failed {
+			failed, firstErr = true, err
+		}
+	}
+
+	segs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := newWorker()
+			for c := range segs {
+				mu.Lock()
+				for c >= next+lead && !failed {
+					cond.Wait()
+				}
+				bad := failed
+				mu.Unlock()
+				if bad {
+					continue
+				}
+				err := runSegment(st, c, ranges[c][0], ranges[c][1])
+				mu.Lock()
+				if err != nil {
+					fail(err)
+				}
+				if !failed {
+					done[c%lead] = true
+					// Drain every consecutively completed segment. Emission
+					// runs under the lock: serialized, in order, and
+					// happens-after the worker's buffer writes.
+					for next < pl.chains && done[next%lead] {
+						done[next%lead] = false
+						if e := emit(next, ranges[next][0], ranges[next][1]); e != nil {
+							fail(e)
+							break
+						}
+						next++
+					}
+				}
+				cond.Broadcast()
+				mu.Unlock()
 			}
 		}()
 	}

@@ -143,3 +143,336 @@ func TestRunEmptyPlanIsNoOp(t *testing.T) {
 		t.Fatalf("empty plan: err=%v called=%v", err, called)
 	}
 }
+
+// TestSegmentsMatchSegment asserts Segments() returns exactly the ranges of
+// Segment(c), covering the edge cases: a shorter final partial segment and
+// segLen ≥ n collapsing the plan into one segment.
+func TestSegmentsMatchSegment(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		dims   []int
+		segLen int
+	}{
+		{"last-partial", []int{17}, 16},    // 2 chains, final segment shorter
+		{"seglen-exceeds-n", []int{7}, 50}, // one segment spanning the path
+		{"seglen-equals-n", []int{12}, 12},
+		{"balanced", []int{5, 9}, 4},
+		{"default", []int{4, 4}, 0},
+		{"empty", []int{0, 3}, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pl := New(tc.dims, tc.segLen)
+			segs := pl.Segments()
+			if len(segs) != pl.Chains() {
+				t.Fatalf("Segments() has %d entries, want Chains()=%d", len(segs), pl.Chains())
+			}
+			for c, sg := range segs {
+				lo, hi := pl.Segment(c)
+				if sg[0] != lo || sg[1] != hi {
+					t.Fatalf("segment %d: Segments()=%v, Segment()=[%d,%d)", c, sg, lo, hi)
+				}
+				if hi > pl.Len() {
+					t.Fatalf("segment %d: hi=%d exceeds Len()=%d", c, hi, pl.Len())
+				}
+			}
+			if n := len(segs); n > 0 {
+				if segs[0][0] != 0 || segs[n-1][1] != pl.Len() {
+					t.Fatalf("segments %v do not span [0,%d)", segs, pl.Len())
+				}
+			}
+			if tc.segLen >= pl.Len() && pl.Len() > 0 && pl.Chains() != 1 {
+				t.Fatalf("segLen=%d ≥ n=%d should plan one segment, got %d", tc.segLen, pl.Len(), pl.Chains())
+			}
+		})
+	}
+}
+
+// TestRunOrderedEmitsInOrder asserts emit fires exactly once per segment, in
+// strict segment order, at every worker count — with out-of-order segment
+// completion forced by making early segments slow.
+func TestRunOrderedEmitsInOrder(t *testing.T) {
+	pl := New([]int{60}, 5)
+	for _, workers := range []int{1, 4, 9} {
+		var emitted [][2]int
+		var mu sync.Mutex
+		ran := make([]int, pl.Chains())
+		err := RunOrdered(pl, workers,
+			func() int { return 0 },
+			func(_ int, c, lo, hi int) error {
+				mu.Lock()
+				ran[c]++
+				mu.Unlock()
+				return nil
+			},
+			func(c, lo, hi int) error {
+				emitted = append(emitted, [2]int{lo, hi})
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(emitted) != pl.Chains() {
+			t.Fatalf("workers=%d: emitted %d segments, want %d", workers, len(emitted), pl.Chains())
+		}
+		next := 0
+		for i, sg := range emitted {
+			if sg[0] != next {
+				t.Fatalf("workers=%d: emission %d is [%d,%d), want lo=%d", workers, i, sg[0], sg[1], next)
+			}
+			next = sg[1]
+		}
+		if next != pl.Len() {
+			t.Fatalf("workers=%d: emissions cover [0,%d), want [0,%d)", workers, next, pl.Len())
+		}
+		for c, n := range ran {
+			if n != 1 {
+				t.Fatalf("workers=%d: segment %d ran %d times", workers, c, n)
+			}
+		}
+	}
+}
+
+// TestRunOrderedBoundsLead asserts no worker runs further than
+// Lead(workers, chains) segments ahead of the emission cursor — the memory
+// contract streaming callers size their reorder buffers by.
+func TestRunOrderedBoundsLead(t *testing.T) {
+	pl := New([]int{96}, 4)
+	workers := 3
+	lead := Lead(workers, pl.Chains())
+	var mu sync.Mutex
+	emittedThrough := 0 // segments [0, emittedThrough) have been emitted
+	maxAhead := 0
+	err := RunOrdered(pl, workers,
+		func() int { return 0 },
+		func(_ int, c, lo, hi int) error {
+			mu.Lock()
+			if ahead := c - emittedThrough; ahead > maxAhead {
+				maxAhead = ahead
+			}
+			mu.Unlock()
+			return nil
+		},
+		func(c, lo, hi int) error {
+			mu.Lock()
+			emittedThrough = c + 1
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxAhead >= lead {
+		t.Fatalf("a worker ran %d segments ahead of the emission cursor; lead window is %d", maxAhead, lead)
+	}
+}
+
+// TestRunOrderedPropagatesErrors asserts the first error — from either the
+// segment callback or the emit callback — is returned and cancels the rest.
+func TestRunOrderedPropagatesErrors(t *testing.T) {
+	pl := New([]int{100}, 5)
+	segErr := errors.New("segment failed")
+	err := RunOrdered(pl, 4,
+		func() int { return 0 },
+		func(_ int, c, lo, hi int) error {
+			if c == 3 {
+				return segErr
+			}
+			return nil
+		},
+		func(c, lo, hi int) error { return nil })
+	if !errors.Is(err, segErr) {
+		t.Fatalf("segment error: got %v, want %v", err, segErr)
+	}
+
+	emitErr := errors.New("emit failed")
+	var emitted int
+	err = RunOrdered(pl, 4,
+		func() int { return 0 },
+		func(_ int, c, lo, hi int) error { return nil },
+		func(c, lo, hi int) error {
+			if c == 2 {
+				return emitErr
+			}
+			emitted++
+			return nil
+		})
+	if !errors.Is(err, emitErr) {
+		t.Fatalf("emit error: got %v, want %v", err, emitErr)
+	}
+	if emitted != 2 {
+		t.Fatalf("emitted %d segments before the failing one, want 2", emitted)
+	}
+}
+
+// TestRunOrderedEmptyPlanIsNoOp covers the degenerate empty grid.
+func TestRunOrderedEmptyPlanIsNoOp(t *testing.T) {
+	pl := New([]int{0, 4}, 0)
+	called := false
+	if err := RunOrdered(pl, 3,
+		func() int { return 0 },
+		func(_ int, c, lo, hi int) error { called = true; return nil },
+		func(c, lo, hi int) error { called = true; return nil },
+	); err != nil || called {
+		t.Fatalf("empty plan: err=%v called=%v", err, called)
+	}
+}
+
+// TestLeadWindow pins the reorder-window arithmetic.
+func TestLeadWindow(t *testing.T) {
+	for _, tc := range []struct{ workers, chains, want int }{
+		{1, 10, 2}, {4, 100, 8}, {4, 5, 5}, {0, 10, 2}, {3, 1, 1}, {1, 1, 1},
+	} {
+		if got := Lead(tc.workers, tc.chains); got != tc.want {
+			t.Fatalf("Lead(%d, %d) = %d, want %d", tc.workers, tc.chains, got, tc.want)
+		}
+	}
+}
+
+// adaptiveRunSynthetic drives Adaptive over a synthetic separable objective
+// with a unique interior peak and returns the stats plus solve bookkeeping.
+func adaptiveRunSynthetic(t *testing.T, dims []int, peak []int, cfg AdaptiveConfig) (AdaptiveStats, map[int]int) {
+	t.Helper()
+	rank := func(coords []int) int {
+		r := 0
+		for j, d := range dims {
+			r = r*d + coords[j]
+		}
+		return r
+	}
+	want := rank(peak)
+	solveCount := make(map[int]int)
+	stats, err := Adaptive(dims, cfg,
+		func(chains [][][]int) error {
+			for _, chain := range chains {
+				for _, coords := range chain {
+					solveCount[rank(coords)]++
+				}
+			}
+			return nil
+		},
+		func(r int) float64 {
+			// Smooth unimodal objective peaking exactly at `peak`: negative
+			// squared distance in index space.
+			v := 0.0
+			rem := r
+			for j := len(dims) - 1; j >= 0; j-- {
+				c := rem % dims[j]
+				rem /= dims[j]
+				d := float64(c - peak[j])
+				v -= d * d
+			}
+			return v
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BestRank != want {
+		t.Fatalf("adaptive argmax rank %d, want %d (peak %v)", stats.BestRank, want, peak)
+	}
+	return stats, solveCount
+}
+
+// TestAdaptiveFindsPeak asserts the coarse-to-fine driver locates the exact
+// dense-grid argmax of a smooth objective while solving a fraction of the
+// grid, never solving a point twice, and staying within budget.
+func TestAdaptiveFindsPeak(t *testing.T) {
+	for _, tc := range []struct {
+		dims []int
+		peak []int
+	}{
+		{[]int{25, 5}, []int{13, 2}},
+		{[]int{25, 5}, []int{0, 0}},  // corner peak
+		{[]int{25, 5}, []int{24, 4}}, // far corner
+		{[]int{20, 20}, []int{7, 11}},
+		{[]int{40, 1}, []int{29, 0}}, // degenerate axis
+		{[]int{9, 9, 9}, []int{4, 6, 2}},
+	} {
+		t.Run(fmt.Sprint(tc.dims, tc.peak), func(t *testing.T) {
+			stats, solved := adaptiveRunSynthetic(t, tc.dims, tc.peak, AdaptiveConfig{})
+			for r, n := range solved {
+				if n != 1 {
+					t.Fatalf("rank %d solved %d times", r, n)
+				}
+			}
+			if stats.Solved != len(solved) {
+				t.Fatalf("stats.Solved=%d but %d distinct points solved", stats.Solved, len(solved))
+			}
+			if stats.Solved > stats.Dense {
+				t.Fatalf("solved %d of %d points", stats.Solved, stats.Dense)
+			}
+			// The headline win: a smooth peak is pinned down well under the
+			// dense solve count on every grid large enough to matter.
+			if stats.Dense >= 100 && stats.Solved*10 > stats.Dense*4 {
+				t.Fatalf("solved %d of %d points (> 40%%)", stats.Solved, stats.Dense)
+			}
+		})
+	}
+}
+
+// TestAdaptiveRespectsBudget asserts the point budget is a hard cap.
+func TestAdaptiveRespectsBudget(t *testing.T) {
+	dims := []int{30, 30}
+	stats, solved := adaptiveRunSynthetic(t, dims, []int{15, 15}, AdaptiveConfig{Budget: 200})
+	if stats.Solved > 200 || len(solved) > 200 {
+		t.Fatalf("solved %d points, budget 200", stats.Solved)
+	}
+}
+
+// TestAdaptiveErrorPropagates asserts a solve error aborts the run.
+func TestAdaptiveErrorPropagates(t *testing.T) {
+	sentinel := errors.New("solve failed")
+	_, err := Adaptive([]int{10, 10}, AdaptiveConfig{},
+		func(chains [][][]int) error { return sentinel },
+		func(r int) float64 { return 0 })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the solve error", err)
+	}
+}
+
+// TestAdaptiveEmptyGrid covers the degenerate empty grid.
+func TestAdaptiveEmptyGrid(t *testing.T) {
+	stats, err := Adaptive([]int{0, 5}, AdaptiveConfig{},
+		func(chains [][][]int) error { return errors.New("must not solve") },
+		func(r int) float64 { return 0 })
+	if err != nil || stats.Solved != 0 || stats.BestRank != -1 {
+		t.Fatalf("empty grid: stats=%+v err=%v", stats, err)
+	}
+}
+
+// TestAdaptiveChainsAreSnakeNeighbors asserts every chain handed to the
+// solver walks grid neighbors — the property warm φ-carry depends on.
+func TestAdaptiveChainsAreSnakeNeighbors(t *testing.T) {
+	dims := []int{25, 5}
+	_, err := Adaptive(dims, AdaptiveConfig{},
+		func(chains [][][]int) error {
+			for _, chain := range chains {
+				for i := 1; i < len(chain); i++ {
+					diff := 0
+					for j := range dims {
+						d := chain[i][j] - chain[i-1][j]
+						if d < 0 {
+							d = -d
+						}
+						diff += d
+					}
+					// Chains walk the sampled sub-lattice, so consecutive
+					// points differ on exactly one axis — by one sub-lattice
+					// step, which may span several dense indices.
+					axes := 0
+					for j := range dims {
+						if chain[i][j] != chain[i-1][j] {
+							axes++
+						}
+					}
+					if axes != 1 {
+						t.Fatalf("chain step %v -> %v changes %d axes", chain[i-1], chain[i], axes)
+					}
+				}
+			}
+			return nil
+		},
+		func(r int) float64 { return float64(-r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+}

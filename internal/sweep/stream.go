@@ -1,0 +1,389 @@
+package sweep
+
+import (
+	"math"
+
+	"neutralnet/internal/game"
+	"neutralnet/internal/model"
+	"neutralnet/internal/sweep/path"
+)
+
+// Streaming sweep execution: instead of materializing the full result slab,
+// completed segments are emitted to the caller in deterministic snake order
+// and folded into constant-memory accumulators. Peak live memory is
+// O(segment · reorder window) — a function of the worker count and segment
+// length, never the grid — so a 10⁶-point grid streams in the same space
+// as a figure-resolution one.
+//
+// Determinism contract: the emission order is the segment order (a function
+// of the grid alone), and every accumulator folds values in snake-path
+// order with ties on the argmax resolved by row-major rank. Both are
+// independent of the worker count, so a Stream run is bit-identical — in
+// every accumulator field, including the order-sensitive quantile sketches
+// — to a single-threaded run, and to Summarize over a slab solved by Run.
+
+// Segment is one completed chunk of a sweep: the solved points of the snake
+// path range [Lo, Hi), in path order. Ranks maps each point to its
+// row-major index in the dense slab (the Result.Points position a full
+// sweep would give it). The slices are only valid during the emission
+// callback — the scheduler reuses the buffers for later segments; clone
+// what must be retained.
+type Segment struct {
+	Index  int // segment index, 0-based, emitted strictly in order
+	Lo, Hi int // half-open snake-path range
+	Points []Point
+	Ranks  []int
+}
+
+// Accumulator folds one objective's values online in constant memory:
+// count, min/max/sum, the argmax (by row-major rank, matching the slab
+// argmax tie rule), and optional P² quantile sketches. Only finite values
+// fold — a NaN surface cell must not poison the reductions, mirroring the
+// slab argmax. Build with NewAccumulator (the zero value lacks the empty
+// sentinels).
+type Accumulator struct {
+	Count     int     // finite observations folded
+	Min, Max  float64 // over the finite observations
+	Sum       float64
+	BestRank  int     // row-major rank of the argmax; -1 until a finite value arrives
+	BestValue float64 // value at BestRank
+	marks     []quantileMark
+}
+
+// quantileMark is one tracked probability and its P² sketch.
+type quantileMark struct {
+	q      float64
+	sketch p2Sketch
+}
+
+// NewAccumulator returns an accumulator tracking the given quantile
+// probabilities (each in (0, 1), validated by the caller).
+func NewAccumulator(quantiles []float64) Accumulator {
+	a := Accumulator{}
+	a.init(quantiles)
+	return a
+}
+
+func (a *Accumulator) init(quantiles []float64) {
+	a.BestRank = -1
+	a.Min, a.Max = math.Inf(1), math.Inf(-1)
+	if len(quantiles) > 0 {
+		a.marks = make([]quantileMark, len(quantiles))
+		for i, q := range quantiles {
+			a.marks[i] = quantileMark{q: q, sketch: p2Sketch{q: q}}
+		}
+	}
+}
+
+// Add folds one observation with its row-major rank and reports whether it
+// became the new argmax — ties on the value resolve to the lower rank,
+// which is exactly the slab argmax's first-strict-maximum-in-row-major-
+// order rule, so a streaming fold in any point order that supplies true
+// ranks lands on the identical winner. Non-finite values are skipped.
+//
+//neutralnet:hotpath
+func (a *Accumulator) Add(rank int, v float64) bool {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return false
+	}
+	a.Count++
+	if v < a.Min || a.Count == 1 {
+		a.Min = v
+	}
+	if v > a.Max || a.Count == 1 {
+		a.Max = v
+	}
+	a.Sum += v
+	for i := range a.marks {
+		a.marks[i].sketch.add(v)
+	}
+	if a.BestRank < 0 || v > a.BestValue || (v == a.BestValue && rank < a.BestRank) {
+		a.BestRank, a.BestValue = rank, v
+		return true
+	}
+	return false
+}
+
+// Mean returns the mean of the folded finite observations (NaN when empty).
+func (a *Accumulator) Mean() float64 {
+	if a.Count == 0 {
+		return math.NaN()
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// Quantiles returns the tracked probabilities, in registration order.
+func (a *Accumulator) Quantiles() []float64 {
+	out := make([]float64, len(a.marks))
+	for i := range a.marks {
+		out[i] = a.marks[i].q
+	}
+	return out
+}
+
+// Quantile returns the P² estimate for a tracked probability q (NaN for an
+// untracked probability or an empty accumulator). The estimate is exact
+// while fewer than six observations have been folded and a constant-memory
+// approximation afterwards; for a fixed fold order — which Stream
+// guarantees — it is deterministic to the bit.
+func (a *Accumulator) Quantile(q float64) float64 {
+	for i := range a.marks {
+		if a.marks[i].q == q {
+			return a.marks[i].sketch.value()
+		}
+	}
+	return math.NaN()
+}
+
+// p2Sketch is the P² (Jain–Chlamtac) single-quantile estimator: five
+// markers tracking the running quantile of a stream in O(1) memory. The
+// marker updates depend on the observation order, which is why every fold
+// in this package runs in snake-path order regardless of worker count.
+type p2Sketch struct {
+	q    float64
+	n    int        // observations folded
+	h    [5]float64 // marker heights
+	pos  [5]float64 // marker positions (1-based)
+	want [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increments
+}
+
+// add folds one observation.
+//
+//neutralnet:hotpath
+func (s *p2Sketch) add(v float64) {
+	if s.n < 5 {
+		s.h[s.n] = v
+		s.n++
+		if s.n == 5 {
+			// Insertion-sort the first five observations into marker order
+			// and initialize the desired positions.
+			for i := 1; i < 5; i++ {
+				x := s.h[i]
+				j := i - 1
+				for j >= 0 && s.h[j] > x {
+					s.h[j+1] = s.h[j]
+					j--
+				}
+				s.h[j+1] = x
+			}
+			q := s.q
+			s.pos = [5]float64{1, 2, 3, 4, 5}
+			s.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+			s.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+		}
+		return
+	}
+	s.n++
+	// Locate the cell containing v, clamping the extreme markers.
+	var k int
+	switch {
+	case v < s.h[0]:
+		s.h[0] = v
+		k = 0
+	case v >= s.h[4]:
+		s.h[4] = v
+		k = 3
+	default:
+		k = 3
+		for i := 1; i < 4; i++ {
+			if v < s.h[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		s.want[i] += s.inc[i]
+	}
+	// Adjust the interior markers toward their desired positions.
+	for i := 1; i < 4; i++ {
+		d := s.want[i] - s.pos[i]
+		if (d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			hp := s.parabolic(i, sign)
+			if s.h[i-1] < hp && hp < s.h[i+1] {
+				s.h[i] = hp
+			} else {
+				s.h[i] = s.linear(i, sign)
+			}
+			s.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker interpolation.
+//
+//neutralnet:hotpath
+func (s *p2Sketch) parabolic(i int, d float64) float64 {
+	return s.h[i] + d/(s.pos[i+1]-s.pos[i-1])*((s.pos[i]-s.pos[i-1]+d)*(s.h[i+1]-s.h[i])/(s.pos[i+1]-s.pos[i])+
+		(s.pos[i+1]-s.pos[i]-d)*(s.h[i]-s.h[i-1])/(s.pos[i]-s.pos[i-1]))
+}
+
+// linear is the fallback marker interpolation when the parabola overshoots.
+//
+//neutralnet:hotpath
+func (s *p2Sketch) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return s.h[i] + d*(s.h[j]-s.h[i])/(s.pos[j]-s.pos[i])
+}
+
+// value returns the current estimate: the middle marker once five
+// observations are in, the exact order statistic before that.
+func (s *p2Sketch) value() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if s.n >= 5 {
+		return s.h[2]
+	}
+	// Exact small-sample quantile: sort the folded prefix and interpolate
+	// linearly at q·(n−1).
+	var tmp [5]float64
+	copy(tmp[:], s.h[:s.n])
+	for i := 1; i < s.n; i++ {
+		x := tmp[i]
+		j := i - 1
+		for j >= 0 && tmp[j] > x {
+			tmp[j+1] = tmp[j]
+			j--
+		}
+		tmp[j+1] = x
+	}
+	t := s.q * float64(s.n-1)
+	lo := int(t)
+	if lo >= s.n-1 {
+		return tmp[s.n-1]
+	}
+	frac := t - float64(lo)
+	return tmp[lo] + frac*(tmp[lo+1]-tmp[lo])
+}
+
+// Summary is the constant-memory reduction of a sweep: everything the slab
+// accessors (ArgmaxRevenue, ArgmaxWelfare, min/max/mean, percentile bands)
+// answer, without the slab.
+type Summary struct {
+	Grid   Grid
+	Names  []string
+	Chains int // segments the snake path was cut into (== emission count)
+	Points int // grid points folded
+
+	Revenue Accumulator
+	Welfare Accumulator
+	// BestRevenue and BestWelfare are the argmax points themselves (owned
+	// clones), retained as the accumulators identify them.
+	BestRevenue Point
+	BestWelfare Point
+}
+
+// newSummary builds the summary shell for a prepared sweep.
+func newSummary(pr *prepared, chains int) *Summary {
+	return &Summary{
+		Grid:    pr.grid,
+		Names:   pr.names,
+		Chains:  chains,
+		Revenue: NewAccumulator(pr.cfg.Quantiles),
+		Welfare: NewAccumulator(pr.cfg.Quantiles),
+	}
+}
+
+// fold adds one solved point.
+func (s *Summary) fold(rank int, pt Point) {
+	s.Points++
+	if s.Revenue.Add(rank, pt.Revenue) {
+		s.BestRevenue = pt
+	}
+	if s.Welfare.Add(rank, pt.Welfare) {
+		s.BestWelfare = pt
+	}
+}
+
+// Stream evaluates the grid exactly like Run — same validation, defaults,
+// snake path, warm chains, and per-point solves — but never materializes
+// the result slab: completed segments are handed to emit (which may be nil)
+// in strict snake order and folded into the returned Summary. A worker runs
+// at most path.Lead(workers, chains) segments ahead of the emission cursor,
+// so peak live memory is O(segment · workers) regardless of grid size. The
+// Summary — argmaxes included — is bit-identical to Summarize over the slab
+// Run would have produced, at any worker count.
+func Stream(sys *model.System, grid Grid, cfg Config, emit func(Segment) error) (*Summary, error) {
+	// cfg.Emit is the slab-observer hook; the emit argument is this mode's
+	// channel. Clear it so prepare's config snapshot is unambiguous.
+	cfg.Emit = nil
+	pr, err := prepare(sys, grid, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pl := pr.pl
+	sum := newSummary(pr, pl.Chains())
+
+	// Per-segment staging ring: segment c stages into slot c % lead, and
+	// the lead window guarantees two live segments never share a slot.
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > pl.Chains() {
+		workers = pl.Chains()
+	}
+	type slot struct {
+		pts   []Point
+		ranks []int
+	}
+	slots := make([]slot, path.Lead(workers, pl.Chains()))
+
+	err = path.RunOrdered(pl, cfg.Workers,
+		func() *chainWorker { return &chainWorker{ws: game.NewWorkspace()} },
+		func(w *chainWorker, c, lo, hi int) error {
+			sl := &slots[c%len(slots)]
+			sl.pts = sl.pts[:0]
+			sl.ranks = sl.ranks[:0]
+			return runChain(pr, pl, lo, hi, func(_, rank int, pt Point) {
+				sl.pts = append(sl.pts, pt)
+				sl.ranks = append(sl.ranks, rank)
+			}, w)
+		},
+		func(c, lo, hi int) error {
+			sl := &slots[c%len(slots)]
+			for i, pt := range sl.pts {
+				sum.fold(sl.ranks[i], pt)
+			}
+			if emit == nil {
+				return nil
+			}
+			return emit(Segment{Index: c, Lo: lo, Hi: hi, Points: sl.pts, Ranks: sl.ranks})
+		})
+	if err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// Summarize folds a materialized slab into a Summary by walking the snake
+// path — the reference implementation the streaming accumulators are pinned
+// against: Stream(sys, grid, cfg, nil) must equal Summarize(Run(...)) field
+// for field, including the order-sensitive quantile sketch state, because
+// both fold the identical values in the identical (path) order.
+func Summarize(r *Result, quantiles []float64) *Summary {
+	pl := path.New([]int{len(r.Grid.Mu), len(r.Grid.Q), len(r.Grid.P)}, 0)
+	sum := &Summary{
+		Grid:    r.Grid,
+		Names:   r.Names,
+		Chains:  r.Chains,
+		Revenue: NewAccumulator(quantiles),
+		Welfare: NewAccumulator(quantiles),
+	}
+	var idx [3]int
+	for k := 0; k < pl.Len(); k++ {
+		pl.Coords(k, idx[:])
+		rank := pl.Index(idx[:])
+		sum.fold(rank, r.Points[rank])
+	}
+	return sum
+}

@@ -1,0 +1,282 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// streamGrid is the seeded grid the streaming property suite runs on: big
+// enough to cut into many segments and to exercise the quantile sketches
+// past their exact-prefix regime.
+func streamGrid() Grid {
+	return Grid{
+		P:  Uniform(0.05, 2, 9),
+		Q:  Uniform(0, 1.5, 4),
+		Mu: []float64{0.8, 1, 1.25},
+	}
+}
+
+var streamQuantiles = []float64{0.5, 0.9}
+
+// accEqual compares two accumulators bitwise, sketches included.
+func accEqual(t *testing.T, label string, a, b *Accumulator) {
+	t.Helper()
+	if a.Count != b.Count || a.Min != b.Min || a.Max != b.Max || a.Sum != b.Sum ||
+		a.BestRank != b.BestRank || a.BestValue != b.BestValue {
+		t.Fatalf("%s: scalar fields differ:\n%+v\n%+v", label, a, b)
+	}
+	if !reflect.DeepEqual(a.marks, b.marks) {
+		t.Fatalf("%s: quantile sketch state differs:\n%+v\n%+v", label, a.marks, b.marks)
+	}
+}
+
+// TestStreamDeterministicAcrossWorkerCounts pins the tentpole contract: the
+// streaming summary — argmaxes, moments and the order-sensitive P² sketches
+// — is bit-identical to the full-slab reference fold (Summarize over Run) at
+// every worker count, and so are the emitted segments.
+func TestStreamDeterministicAcrossWorkerCounts(t *testing.T) {
+	grid := streamGrid()
+	base := Config{WarmStart: true, SegmentLen: 7, Quantiles: streamQuantiles}
+
+	slab, err := Run(market(), grid, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Summarize(slab, streamQuantiles)
+
+	var refRows [][]float64 // per-point (rank, revenue, welfare) in emission order
+	for _, workers := range []int{1, 4, 9} {
+		cfg := base
+		cfg.Workers = workers
+		var rows [][]float64
+		nextLo := 0
+		sum, err := Stream(market(), grid, cfg, func(seg Segment) error {
+			if seg.Lo != nextLo {
+				t.Fatalf("workers=%d: segment %d starts at %d, want %d", workers, seg.Index, seg.Lo, nextLo)
+			}
+			nextLo = seg.Hi
+			for i, pt := range seg.Points {
+				rows = append(rows, []float64{float64(seg.Ranks[i]), pt.Revenue, pt.Welfare, pt.Eq.State.Phi})
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nextLo != grid.Size() {
+			t.Fatalf("workers=%d: emissions cover %d of %d points", workers, nextLo, grid.Size())
+		}
+
+		accEqual(t, "revenue", &sum.Revenue, &ref.Revenue)
+		accEqual(t, "welfare", &sum.Welfare, &ref.Welfare)
+		if sum.Points != ref.Points || sum.Chains != ref.Chains {
+			t.Fatalf("workers=%d: points/chains %d/%d, want %d/%d", workers, sum.Points, sum.Chains, ref.Points, ref.Chains)
+		}
+
+		// The retained argmax points match the slab accessors bitwise.
+		if wantRev := slab.ArgmaxRevenue(); !reflect.DeepEqual(sum.BestRevenue, wantRev) {
+			t.Fatalf("workers=%d: BestRevenue differs from slab argmax", workers)
+		}
+		if wantWel := slab.ArgmaxWelfare(); !reflect.DeepEqual(sum.BestWelfare, wantWel) {
+			t.Fatalf("workers=%d: BestWelfare differs from slab argmax", workers)
+		}
+
+		// Emitted streams are bit-identical across worker counts.
+		if refRows == nil {
+			refRows = rows
+		} else if !reflect.DeepEqual(rows, refRows) {
+			t.Fatalf("workers=%d: emitted point stream differs from workers=1", workers)
+		}
+	}
+
+	// The emitted points are exactly the slab, in snake order.
+	if len(refRows) != len(slab.Points) {
+		t.Fatalf("emitted %d points, slab has %d", len(refRows), len(slab.Points))
+	}
+	for _, row := range refRows {
+		pt := slab.Points[int(row[0])]
+		if pt.Revenue != row[1] || pt.Welfare != row[2] || pt.Eq.State.Phi != row[3] {
+			t.Fatalf("emitted point at rank %d differs from slab", int(row[0]))
+		}
+	}
+}
+
+// TestRunEmitObservesSlabSegments pins the slab-building Emit hook: the
+// segments arrive in order, cover the path, and mirror the slab entries.
+func TestRunEmitObservesSlabSegments(t *testing.T) {
+	grid := streamGrid()
+	var nextLo, count int
+	cfg := Config{Workers: 4, WarmStart: true, SegmentLen: 7}
+	cfg.Emit = func(seg Segment) error {
+		if seg.Lo != nextLo {
+			t.Fatalf("segment %d starts at %d, want %d", seg.Index, seg.Lo, nextLo)
+		}
+		nextLo = seg.Hi
+		count += len(seg.Points)
+		return nil
+	}
+	res, err := Run(market(), grid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(res.Points) || nextLo != len(res.Points) {
+		t.Fatalf("emitted %d points covering [0,%d), slab has %d", count, nextLo, len(res.Points))
+	}
+
+	// And the emitted slab is bit-identical to a run without the observer.
+	plain, err := Run(market(), grid, Config{Workers: 4, WarmStart: true, SegmentLen: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Points, plain.Points) {
+		t.Fatal("observed run differs from plain run")
+	}
+}
+
+// TestStreamEmitErrorCancels asserts an emission error aborts the sweep.
+func TestStreamEmitErrorCancels(t *testing.T) {
+	sentinel := errors.New("emit failed")
+	_, err := Stream(market(), streamGrid(), Config{Workers: 4, SegmentLen: 7}, func(seg Segment) error {
+		if seg.Index == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the emit error", err)
+	}
+}
+
+// TestStreamRejectsBadQuantiles pins quantile validation.
+func TestStreamRejectsBadQuantiles(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := Stream(market(), Grid{P: []float64{0.5}}, Config{Quantiles: []float64{q}}, nil); err == nil {
+			t.Fatalf("quantile %g accepted", q)
+		}
+	}
+}
+
+// TestAccumulatorSkipsNonFinite asserts NaN/Inf observations fold into
+// nothing, matching the slab argmax semantics.
+func TestAccumulatorSkipsNonFinite(t *testing.T) {
+	a := NewAccumulator(nil)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if a.Add(0, v) {
+			t.Fatalf("non-finite %g became the argmax", v)
+		}
+	}
+	if a.Count != 0 || a.BestRank != -1 {
+		t.Fatalf("non-finite values folded: %+v", a)
+	}
+	if !a.Add(3, 1.5) || a.BestRank != 3 || a.Min != 1.5 || a.Max != 1.5 {
+		t.Fatalf("first finite value mishandled: %+v", a)
+	}
+	// Equal value at a lower rank wins (slab first-max rule); at a higher
+	// rank it does not.
+	if !a.Add(1, 1.5) || a.BestRank != 1 {
+		t.Fatalf("lower-rank tie did not win: %+v", a)
+	}
+	if a.Add(2, 1.5) || a.BestRank != 1 {
+		t.Fatalf("higher-rank tie won: %+v", a)
+	}
+}
+
+// TestQuantileSketchTracksExactQuantiles drives the P² sketch over a
+// deterministic pseudo-random stream and checks it lands near the exact
+// sample quantiles — plus exactness on the small-sample prefix path.
+func TestQuantileSketchTracksExactQuantiles(t *testing.T) {
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		s := p2Sketch{q: q}
+		// Deterministic LCG stream; values in [0, 1).
+		var vals []float64
+		x := uint64(12345)
+		for i := 0; i < 4000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			v := float64(x>>11) / float64(1<<53)
+			s.add(v)
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		exact := vals[int(q*float64(len(vals)))]
+		if got := s.value(); math.Abs(got-exact) > 0.02 {
+			t.Fatalf("q=%g: sketch %g, exact %g", q, got, exact)
+		}
+	}
+
+	// Small-sample path: fewer than five observations are exact.
+	s := p2Sketch{q: 0.5}
+	s.add(3)
+	s.add(1)
+	s.add(2)
+	if got := s.value(); got != 2 {
+		t.Fatalf("median of {3,1,2} = %g, want 2", got)
+	}
+}
+
+// TestWriteCSVAndJSONMatchStringRenderers pins the satellite contract: the
+// io.Writer streaming exporters produce byte-identical output to the
+// historical in-memory renderers.
+func TestWriteCSVAndJSONMatchStringRenderers(t *testing.T) {
+	res, err := Run(market(), Grid{P: Uniform(0.1, 1, 4), Q: []float64{0, 1}}, Config{WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := res.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if csvBuf.String() != res.CSV() {
+		t.Fatal("WriteCSV differs from CSV")
+	}
+
+	// The JSON golden is the historical one-shot MarshalIndent document —
+	// rebuilt here independently, since JSON() itself now streams.
+	oneShot := func(r *Result) []byte {
+		pts := make([]jsonPoint, len(r.Points))
+		for i, pt := range r.Points {
+			pts[i] = jsonPoint{
+				Mu: pt.Mu, Q: pt.Q, P: pt.P, Phi: pt.Eq.State.Phi,
+				Revenue: pt.Revenue, Welfare: pt.Welfare, S: pt.Eq.S,
+				Iterations: pt.Eq.Iterations, Converged: pt.Eq.Converged,
+			}
+		}
+		b, err := json.MarshalIndent(struct {
+			Names  []string    `json:"cps"`
+			Points []jsonPoint `json:"points"`
+		}{r.Names, pts}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	var jsonBuf bytes.Buffer
+	if err := res.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if want := oneShot(res); !bytes.Equal(jsonBuf.Bytes(), want) {
+		t.Fatalf("WriteJSON differs from MarshalIndent:\n%s\n---\n%s", jsonBuf.Bytes(), want)
+	}
+	got, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, jsonBuf.Bytes()) {
+		t.Fatal("JSON differs from WriteJSON")
+	}
+
+	// Empty-points and nil-names shapes stay identical too (the layouts
+	// MarshalIndent picks for null/[] are part of the golden contract).
+	empty := &Result{Grid: res.Grid}
+	var eb bytes.Buffer
+	if err := empty.WriteJSON(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if want := oneShot(empty); !bytes.Equal(eb.Bytes(), want) {
+		t.Fatalf("empty WriteJSON differs:\n%s\n---\n%s", eb.Bytes(), want)
+	}
+}

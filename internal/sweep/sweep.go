@@ -27,8 +27,10 @@
 package sweep
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 
@@ -107,6 +109,15 @@ type Config struct {
 	// starts). The cut depends only on the grid — never on Workers — so
 	// determinism is preserved. ≤ 0 selects DefaultSegmentLen.
 	SegmentLen int
+	// Emit, when set, is called once per completed segment in strict
+	// segment order while the result slab is being built (Run) or instead
+	// of building one (Stream). The Segment's Points slice is only valid
+	// during the callback. An Emit error cancels the sweep.
+	Emit func(Segment) error
+	// Quantiles are the probabilities (each in (0, 1)) tracked by the
+	// streaming revenue/welfare quantile sketches of a Stream run's
+	// Summary. Ignored by Run; empty tracks none.
+	Quantiles []float64
 }
 
 // Result is a solved sweep with points in deterministic order:
@@ -118,11 +129,21 @@ type Result struct {
 	Chains int // independent warm-start chains the snake path was cut into
 }
 
-// Run evaluates the grid over the system under cfg. The system is treated
-// as read-only; capacity variants are solved on shallow copies. The grid
-// slices are copied into the result, so later caller mutation of the input
-// grid cannot corrupt it.
-func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
+// prepared is the validated, defaulted input of one sweep execution —
+// shared by the slab (Run), streaming (Stream) and adaptive (RunAdaptive)
+// modes so every entry point applies identical defaulting and therefore
+// solves identical per-point problems.
+type prepared struct {
+	grid    Grid            // defaulted grid with owned axis slices
+	systems []*model.System // one validated (shallow-copied) system per µ
+	cfg     Config          // with the hot-path solver defaults applied
+	pl      path.Plan       // snake traversal of (µ, q, p)
+	names   []string        // CP names
+}
+
+// prepare validates the system and grid, defaults the axes and solver
+// configuration, and plans the snake traversal.
+func prepare(sys *model.System, grid Grid, cfg Config) (*prepared, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -154,6 +175,11 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("sweep: negative policy cap q=%g", q)
 		}
 	}
+	for _, q := range cfg.Quantiles {
+		if !(q > 0 && q < 1) {
+			return nil, fmt.Errorf("sweep: quantile %g outside (0, 1)", q)
+		}
+	}
 	systems := make([]*model.System, len(grid.Mu))
 	for mi, mu := range grid.Mu {
 		rowSys := sys
@@ -172,30 +198,84 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 	if cfg.Solver.UtilSolver == "" {
 		cfg.Solver.UtilSolver = model.UtilBrentWarm
 	}
+	names := make([]string, 0, len(sys.CPs))
+	for _, cp := range sys.CPs {
+		names = append(names, cp.Name)
+	}
 	// Plan the snake traversal: µ-slab by µ-slab, q rows alternating within
 	// a slab, p alternating within a row. The segment cut is a function of
 	// the grid alone, so the same warm-start chains — and therefore
 	// bit-identical iterates — result for any worker count.
 	pl := path.New([]int{len(grid.Mu), len(grid.Q), len(grid.P)}, cfg.SegmentLen)
+	return &prepared{grid: grid, systems: systems, cfg: cfg, pl: pl, names: names}, nil
+}
 
-	res := &Result{Grid: grid, Points: make([]Point, pl.Len()), Chains: pl.Chains()}
-	for _, cp := range sys.CPs {
-		res.Names = append(res.Names, cp.Name)
+// Run evaluates the grid over the system under cfg. The system is treated
+// as read-only; capacity variants are solved on shallow copies. The grid
+// slices are copied into the result, so later caller mutation of the input
+// grid cannot corrupt it. When cfg.Emit is set, the completed segments are
+// additionally emitted in strict snake order while the slab is built.
+func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
+	pr, err := prepare(sys, grid, cfg)
+	if err != nil {
+		return nil, err
 	}
+	pl := pr.pl
+	res := &Result{Grid: pr.grid, Names: pr.names, Points: make([]Point, pl.Len()), Chains: pl.Chains()}
 
-	err := path.Run(pl, cfg.Workers,
-		// Each worker owns one game workspace and one warm-start buffer for
-		// its whole lifetime: after the first chain the per-point equilibrium
-		// solves are allocation-free (the only per-point allocations left are
-		// the retained clones).
-		func() *chainWorker { return &chainWorker{ws: game.NewWorkspace()} },
-		func(w *chainWorker, lo, hi int) error {
-			return runChain(systems, grid, cfg, pl, lo, hi, res.Points, w)
-		})
+	// Each worker owns one game workspace and one warm-start buffer for
+	// its whole lifetime: after the first chain the per-point equilibrium
+	// solves are allocation-free (the only per-point allocations left are
+	// the retained clones).
+	newWorker := func() *chainWorker { return &chainWorker{ws: game.NewWorkspace()} }
+	store := func(_, rank int, pt Point) { res.Points[rank] = pt }
+
+	if cfg.Emit == nil {
+		err = path.Run(pl, cfg.Workers, newWorker,
+			func(w *chainWorker, lo, hi int) error {
+				return runChain(pr, pl, lo, hi, store, w)
+			})
+	} else {
+		// Observed mode: the slab is built exactly as above, but completed
+		// segments are handed to cfg.Emit in snake order as they finish.
+		// Emission is serialized by the scheduler, so one shared scratch
+		// view (points gathered back into path order) suffices.
+		view := segmentView{pl: pl}
+		err = path.RunOrdered(pl, cfg.Workers, newWorker,
+			func(w *chainWorker, _, lo, hi int) error {
+				return runChain(pr, pl, lo, hi, store, w)
+			},
+			func(c, lo, hi int) error {
+				return cfg.Emit(view.fromSlab(c, lo, hi, res.Points))
+			})
+	}
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// segmentView is the reusable scratch behind ordered segment emission: one
+// segment's points gathered into path order. Reuse is safe because the
+// scheduler serializes emission.
+type segmentView struct {
+	pl    path.Plan
+	pts   []Point
+	ranks []int
+	idx   [3]int
+}
+
+// fromSlab gathers the slab entries of path range [lo, hi) into path order.
+func (v *segmentView) fromSlab(c, lo, hi int, slab []Point) Segment {
+	v.pts = v.pts[:0]
+	v.ranks = v.ranks[:0]
+	for k := lo; k < hi; k++ {
+		v.pl.Coords(k, v.idx[:])
+		r := v.pl.Index(v.idx[:])
+		v.pts = append(v.pts, slab[r])
+		v.ranks = append(v.ranks, r)
+	}
+	return Segment{Index: c, Lo: lo, Hi: hi, Points: v.pts, Ranks: v.ranks}
 }
 
 // chainWorker is one sweep worker's private state: its game workspace, the
@@ -209,39 +289,69 @@ type chainWorker struct {
 // runChain solves the snake-path positions [lo, hi) of one segment
 // sequentially, cold-starting the first point and warm-chaining the rest —
 // the Nash profile through Options.Initial and the utilization seed φ
-// through Options.CarryUtilSeed — writing into the disjoint result indices
-// the segment owns. It solves on the worker's workspace (allocation-free
-// per point once warm); the warm-start profile is copied into the worker's
-// own buffer because the freshly solved equilibrium still borrows the
-// workspace and the retained Point needs an owning clone anyway.
-func runChain(systems []*model.System, grid Grid, cfg Config, pl path.Plan, lo, hi int, points []Point, w *chainWorker) error {
-	var g game.Game // fields are re-pointed per path point; validation was hoisted into Run
+// through Options.CarryUtilSeed — handing each solved point to store with
+// its path position and row-major rank. Chains write disjoint rank sets,
+// so slab stores need no locking.
+func runChain(pr *prepared, pl path.Plan, lo, hi int, store func(k, rank int, pt Point), w *chainWorker) error {
+	var g game.Game // fields are re-pointed per path point; validation was hoisted into prepare
 	var warm []float64
 	for k := lo; k < hi; k++ {
 		pl.Coords(k, w.idx[:])
-		mi, qi, pi := w.idx[0], w.idx[1], w.idx[2]
-		g.Sys, g.P, g.Q = systems[mi], grid.P[pi], grid.Q[qi]
-		opts := cfg.Solver
-		opts.Initial = nil
-		if cfg.WarmStart {
-			opts.Initial = warm
-		}
-		opts.CarryUtilSeed = k > lo
-		eq, err := g.SolveNashWS(w.ws, opts)
+		pt, nextWarm, err := solveOne(pr, &g, w.idx[0], w.idx[1], w.idx[2], k > lo, warm, w)
 		if err != nil {
-			return fmt.Errorf("sweep: solve at p=%g q=%g mu=%g: %w", g.P, g.Q, g.Sys.Mu, err)
+			return err
 		}
-		owned := eq.Clone() // escape the workspace-borrowed state
-		if cfg.WarmStart {
-			warm = game.CopyProfile(&w.warmBuf, owned.S)
-		}
-		points[pl.Index(w.idx[:])] = Point{
-			P: g.P, Q: g.Q, Mu: g.Sys.Mu, Eq: owned,
-			Revenue: g.Revenue(owned.State),
-			Welfare: g.Welfare(owned.State),
-		}
+		warm = nextWarm
+		store(k, pl.Index(w.idx[:]), pt)
 	}
 	return nil
+}
+
+// runCoordChain is runChain over an explicit coordinate list — the adaptive
+// refinement's warm chains, which walk sampled sub-lattices rather than
+// contiguous path ranges. Solved points land in out (len(chain)).
+func runCoordChain(pr *prepared, chain [][]int, out []Point, w *chainWorker) error {
+	var g game.Game
+	var warm []float64
+	for i, c := range chain {
+		pt, nextWarm, err := solveOne(pr, &g, c[0], c[1], c[2], i > 0, warm, w)
+		if err != nil {
+			return err
+		}
+		warm = nextWarm
+		out[i] = pt
+	}
+	return nil
+}
+
+// solveOne solves the equilibrium at grid indices (mi, qi, pi) on the
+// worker's workspace and returns an owned Point plus the warm profile for
+// the next chained solve. chained selects the φ-seed carry (never on a
+// chain's cold first point). It solves allocation-free once the workspace
+// is warm; the warm profile is copied into the worker's own buffer because
+// the freshly solved equilibrium still borrows the workspace and the
+// retained Point needs an owning clone anyway.
+func solveOne(pr *prepared, g *game.Game, mi, qi, pi int, chained bool, warm []float64, w *chainWorker) (Point, []float64, error) {
+	g.Sys, g.P, g.Q = pr.systems[mi], pr.grid.P[pi], pr.grid.Q[qi]
+	opts := pr.cfg.Solver
+	opts.Initial = nil
+	if pr.cfg.WarmStart {
+		opts.Initial = warm
+	}
+	opts.CarryUtilSeed = chained
+	eq, err := g.SolveNashWS(w.ws, opts)
+	if err != nil {
+		return Point{}, warm, fmt.Errorf("sweep: solve at p=%g q=%g mu=%g: %w", g.P, g.Q, g.Sys.Mu, err)
+	}
+	owned := eq.Clone() // escape the workspace-borrowed state
+	if pr.cfg.WarmStart {
+		warm = game.CopyProfile(&w.warmBuf, owned.S)
+	}
+	return Point{
+		P: g.P, Q: g.Q, Mu: g.Sys.Mu, Eq: owned,
+		Revenue: g.Revenue(owned.State),
+		Welfare: g.Welfare(owned.State),
+	}, warm, nil
 }
 
 // At returns the point at price index pi, cap index qi and capacity index
@@ -298,19 +408,53 @@ func (r *Result) surface(mi int, val func(Point) float64) [][]float64 {
 // columns, in deterministic point order.
 func (r *Result) CSV() string {
 	var b strings.Builder
-	b.WriteString("mu,q,p,phi,revenue,welfare")
-	for _, n := range r.Names {
-		fmt.Fprintf(&b, ",s_%s", strings.ReplaceAll(n, ",", ";"))
-	}
-	b.WriteByte('\n')
-	for _, pt := range r.Points {
-		fmt.Fprintf(&b, "%g,%g,%g,%g,%g,%g", pt.Mu, pt.Q, pt.P, pt.Eq.State.Phi, pt.Revenue, pt.Welfare)
-		for _, s := range pt.Eq.S {
-			fmt.Fprintf(&b, ",%g", s)
-		}
-		b.WriteByte('\n')
-	}
+	// Builder writes cannot fail, so the WriteCSV error is structurally nil.
+	_ = r.WriteCSV(&b)
 	return b.String()
+}
+
+// WriteCSV streams the CSV rendering of CSV row by row to w — identical
+// bytes, but with O(row) live memory instead of one in-memory string, so
+// huge sweeps export in constant space. The first write error aborts.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if err := writeCSVHeader(w, r.Names); err != nil {
+		return err
+	}
+	for i := range r.Points {
+		if err := writeCSVRow(w, &r.Points[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCSVHeader writes the sweep CSV header row: the fixed columns plus
+// one subsidy column per CP (commas in names become semicolons).
+func writeCSVHeader(w io.Writer, names []string) error {
+	if _, err := io.WriteString(w, "mu,q,p,phi,revenue,welfare"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, ",s_%s", strings.ReplaceAll(n, ",", ";")); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// writeCSVRow writes one solved point as a sweep CSV row.
+func writeCSVRow(w io.Writer, pt *Point) error {
+	if _, err := fmt.Fprintf(w, "%g,%g,%g,%g,%g,%g", pt.Mu, pt.Q, pt.P, pt.Eq.State.Phi, pt.Revenue, pt.Welfare); err != nil {
+		return err
+	}
+	for _, s := range pt.Eq.S {
+		if _, err := fmt.Fprintf(w, ",%g", s); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
 }
 
 // jsonPoint is the flattened machine-readable schema of JSON.
@@ -328,16 +472,77 @@ type jsonPoint struct {
 
 // JSON renders the sweep as a flat array of points in deterministic order.
 func (r *Result) JSON() ([]byte, error) {
-	pts := make([]jsonPoint, len(r.Points))
-	for i, pt := range r.Points {
-		pts[i] = jsonPoint{
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// WriteJSON streams the JSON rendering of JSON to w point by point —
+// byte-identical to marshalling the whole document at once (the historical
+// MarshalIndent layout, pinned by goldens), but with O(point) live memory.
+func (r *Result) WriteJSON(w io.Writer) error {
+	if err := writeJSONHead(w, r.Names); err != nil {
+		return err
+	}
+	for i := range r.Points {
+		pt := &r.Points[i]
+		if err := writeJSONPoint(w, i == 0, jsonPoint{
 			Mu: pt.Mu, Q: pt.Q, P: pt.P, Phi: pt.Eq.State.Phi,
 			Revenue: pt.Revenue, Welfare: pt.Welfare, S: pt.Eq.S,
 			Iterations: pt.Eq.Iterations, Converged: pt.Eq.Converged,
+		}); err != nil {
+			return err
 		}
 	}
-	return json.MarshalIndent(struct {
-		Names  []string    `json:"cps"`
-		Points []jsonPoint `json:"points"`
-	}{r.Names, pts}, "", "  ")
+	return writeJSONTail(w, len(r.Points) == 0)
+}
+
+// writeJSONHead opens the sweep JSON document: the CP name list, then the
+// "points" key, positioned for element streaming. The fragments replicate
+// encoding/json's MarshalIndent layout exactly (each nested value is
+// marshalled with the prefix of its nesting depth), which is what keeps the
+// streamed bytes identical to the one-shot document.
+func writeJSONHead(w io.Writer, names []string) error {
+	namesJSON, err := json.MarshalIndent(names, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "{\n  \"cps\": "); err != nil {
+		return err
+	}
+	if _, err := w.Write(namesJSON); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, ",\n  \"points\": ")
+	return err
+}
+
+// writeJSONPoint streams one point array element (the first opens the
+// array).
+func writeJSONPoint(w io.Writer, first bool, pt jsonPoint) error {
+	b, err := json.MarshalIndent(pt, "    ", "  ")
+	if err != nil {
+		return err
+	}
+	sep := ",\n    "
+	if first {
+		sep = "[\n    "
+	}
+	if _, err := io.WriteString(w, sep); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// writeJSONTail closes the points array and the document.
+func writeJSONTail(w io.Writer, empty bool) error {
+	tail := "\n  ]\n}"
+	if empty {
+		tail = "[]\n}"
+	}
+	_, err := io.WriteString(w, tail)
+	return err
 }

@@ -5,6 +5,7 @@ import (
 
 	"neutralnet/internal/game"
 	"neutralnet/internal/model"
+	"neutralnet/internal/sweep"
 )
 
 // SolverMethod selects the Nash iteration scheme used by an Engine. It is
@@ -47,6 +48,12 @@ type engineConfig struct {
 	workers   int          // worker-pool size for Sweep
 	cacheSize int          // bounded equilibrium cache entries; 0 disables
 	warmStart bool         // seed solves from nearby solved profiles
+
+	emit         func(SweepSegment) error // ordered segment observer for Sweep
+	quantiles    []float64                // probabilities tracked by streaming summaries
+	objective    string                   // adaptive refinement objective; "" → revenue
+	refineBudget int                      // adaptive solved-point cap; ≤ 0 → 40% of dense
+	refineDepth  int                      // adaptive refinement-round bound; ≤ 0 → unbounded
 }
 
 func defaultConfig() engineConfig {
@@ -144,3 +151,53 @@ func WithCache(n int) Option {
 func WithWarmStart(enabled bool) Option {
 	return func(c *engineConfig) { c.warmStart = enabled }
 }
+
+// WithSegmentEmit installs an ordered segment observer on Engine.Sweep:
+// emit is called once per completed snake-path segment, strictly in segment
+// order and serialized, while the result slab is being assembled — progress
+// reporting and incremental export without waiting for the full sweep. The
+// SweepSegment's slices are only valid during the callback. An emit error
+// cancels the sweep. (Engine.SweepStream takes its emission callback per
+// call instead, since streaming is the point of that surface.)
+func WithSegmentEmit(emit func(SweepSegment) error) Option {
+	return func(c *engineConfig) { c.emit = emit }
+}
+
+// WithQuantiles selects the probabilities (each in (0, 1)) tracked by the
+// constant-memory quantile sketches of Engine.SweepStream summaries, for
+// both the revenue and welfare accumulators. Empty (the default) tracks
+// none. Invalid probabilities surface as an error from SweepStream.
+func WithQuantiles(qs ...float64) Option {
+	return func(c *engineConfig) { c.quantiles = append([]float64(nil), qs...) }
+}
+
+// WithRefineObjective selects the surface Engine.SweepAdaptive refines
+// toward: ObjectiveRevenue (the default) or ObjectiveWelfare. An unknown
+// name surfaces as an error from SweepAdaptive.
+func WithRefineObjective(name string) Option {
+	return func(c *engineConfig) { c.objective = name }
+}
+
+// WithRefineBudget caps the points Engine.SweepAdaptive solves, coarse
+// lattice included. Non-positive (the default) selects 40% of the dense
+// grid; the refinement usually converges well below either cap.
+func WithRefineBudget(points int) Option {
+	return func(c *engineConfig) { c.refineBudget = points }
+}
+
+// WithRefineDepth bounds the number of Engine.SweepAdaptive refinement
+// rounds after the coarse stage. Non-positive (the default) leaves the
+// rounds unbounded — the budget and frontier convergence terminate the
+// search.
+func WithRefineDepth(rounds int) Option {
+	return func(c *engineConfig) { c.refineDepth = rounds }
+}
+
+// The adaptive refinement objectives, re-exported from the sweep core for
+// WithRefineObjective.
+const (
+	// ObjectiveRevenue refines toward maximal ISP revenue p·Σθ.
+	ObjectiveRevenue = sweep.ObjectiveRevenue
+	// ObjectiveWelfare refines toward maximal system welfare Σ v_i θ_i.
+	ObjectiveWelfare = sweep.ObjectiveWelfare
+)

@@ -17,19 +17,33 @@ cd "$(dirname "$0")/.."
 base_hot=$(jq -r '.benchmarks.engine_sweep_cold_1worker.after.ns_per_op' BENCH_solver.json)
 base_duo=$(jq -r '.benchmarks.duopoly_sweep_prices_1worker.after.ns_per_op' BENCH_solver.json)
 base_pin=$(jq -r '.benchmarks.engine_sweep_coldkernel_1worker.after.ns_per_op' BENCH_solver.json)
-for v in "$base_hot" "$base_duo" "$base_pin"; do
+base_stream=$(jq -r '.benchmarks.engine_sweep_stream_1worker.after.ns_per_op' BENCH_solver.json)
+base_adapt=$(jq -r '.benchmarks.engine_sweep_adaptive.after.ns_per_op' BENCH_solver.json)
+base_duostream=$(jq -r '.benchmarks.duopoly_sweep_prices_stream_1worker.after.ns_per_op' BENCH_solver.json)
+base_duoadapt=$(jq -r '.benchmarks.duopoly_sweep_prices_adaptive.after.ns_per_op' BENCH_solver.json)
+for v in "$base_hot" "$base_duo" "$base_pin" "$base_stream" "$base_adapt" "$base_duostream" "$base_duoadapt"; do
   if [ -z "$v" ] || [ "$v" = "null" ]; then
     echo "missing sweep baselines in BENCH_solver.json"
     exit 1
   fi
 done
 
-out=$(go test -run '^$' -bench 'EngineSweep/(cold-1w|coldkernel-1w)$|DuopolySweepPrices/1w$' -benchtime 5x -count 3 .)
+# -bench patterns are split on every '/', so alternation across levels is
+# expressed as one alternation per level: top-level names, then the 1-worker
+# (or pinned cold) variants. The leaf Adaptive benchmarks have no sub-level
+# (a two-level pattern excludes them entirely), so they get their own run.
+out=$(go test -run '^$' -bench '^Benchmark(EngineSweep|EngineSweepStream|DuopolySweepPrices|DuopolySweepPricesStream)$/^(cold-1w|coldkernel-1w|1w)$' -benchtime 5x -count 3 .)
+out="$out
+$(go test -run '^$' -bench '^Benchmark(EngineSweepAdaptive|DuopolySweepPricesAdaptive)$' -benchtime 5x -count 3 .)"
 echo "$out"
 hot=$(echo "$out" | awk '$1 ~ /^BenchmarkEngineSweep\/cold-1w/ {print $3}' | sort -n | head -1)
 duo=$(echo "$out" | awk '$1 ~ /^BenchmarkDuopolySweepPrices\/1w/ {print $3}' | sort -n | head -1)
 pin=$(echo "$out" | awk '$1 ~ /^BenchmarkEngineSweep\/coldkernel-1w/ {print $3}' | sort -n | head -1)
-if [ -z "$hot" ] || [ -z "$duo" ] || [ -z "$pin" ]; then
+stream=$(echo "$out" | awk '$1 ~ /^BenchmarkEngineSweepStream\/1w/ {print $3}' | sort -n | head -1)
+adapt=$(echo "$out" | awk '$1 ~ /^BenchmarkEngineSweepAdaptive/ {print $3}' | sort -n | head -1)
+duostream=$(echo "$out" | awk '$1 ~ /^BenchmarkDuopolySweepPricesStream\/1w/ {print $3}' | sort -n | head -1)
+duoadapt=$(echo "$out" | awk '$1 ~ /^BenchmarkDuopolySweepPricesAdaptive/ {print $3}' | sort -n | head -1)
+if [ -z "$hot" ] || [ -z "$duo" ] || [ -z "$pin" ] || [ -z "$stream" ] || [ -z "$adapt" ] || [ -z "$duostream" ] || [ -z "$duoadapt" ]; then
   echo "could not parse benchmark output"
   exit 1
 fi
@@ -49,6 +63,10 @@ check() {
 }
 check engine_sweep_cold_1worker "$base_hot" "$hot"
 check duopoly_sweep_prices_1worker "$base_duo" "$duo"
+check engine_sweep_stream_1worker "$base_stream" "$stream"
+check engine_sweep_adaptive "$base_adapt" "$adapt"
+check duopoly_sweep_prices_stream_1worker "$base_duostream" "$duostream"
+check duopoly_sweep_prices_adaptive "$base_duoadapt" "$duoadapt"
 if [ "$failed" -ne 0 ]; then
   exit 1
 fi

@@ -1,0 +1,384 @@
+package neutralnet_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"neutralnet"
+)
+
+// streamEngineGrid is the pinned streaming-test domain: small enough to
+// sweep densely, segmented enough (snake path over 9×3×2 = 54 points) to
+// exercise multi-chain scheduling.
+func streamEngineGrid() neutralnet.Grid {
+	return neutralnet.Grid{
+		P:  neutralnet.UniformGrid(0.05, 2, 9),
+		Q:  []float64{0, 0.75, 1.5},
+		Mu: []float64{0.8, 1.1},
+	}
+}
+
+// rankOf recovers a point's row-major rank — its index in the dense
+// result's deterministic point order — by coordinate lookup.
+func rankOf(t *testing.T, dense *neutralnet.SweepResult, pt neutralnet.SweepPoint) int {
+	t.Helper()
+	for k, dp := range dense.Points {
+		if dp.P == pt.P && dp.Q == pt.Q && dp.Mu == pt.Mu {
+			return k
+		}
+	}
+	t.Fatalf("point (µ=%g q=%g p=%g) not on grid", pt.Mu, pt.Q, pt.P)
+	return -1
+}
+
+// TestEngineSweepStreamMatchesSweep pins the streaming surface to the slab
+// one: every emitted point must be bit-identical to the dense sweep's point
+// of the same rank, the summary argmaxes must equal the slab reductions,
+// and the summary must be bit-identical at every worker count.
+func TestEngineSweepStreamMatchesSweep(t *testing.T) {
+	grid := streamEngineGrid()
+	dense, err := newEngine(t, paperTwoCP()).Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ref *neutralnet.SweepSummary
+	for _, workers := range []int{1, 4, 9} {
+		eng := newEngine(t, paperTwoCP(),
+			neutralnet.WithWorkers(workers), neutralnet.WithQuantiles(0.5, 0.9))
+		covered := make([]bool, len(dense.Points))
+		nextSeg := 0
+		sum, err := eng.SweepStream(grid, func(seg neutralnet.SweepSegment) error {
+			if seg.Index != nextSeg {
+				t.Errorf("workers=%d: segment %d emitted out of order (want %d)", workers, seg.Index, nextSeg)
+			}
+			nextSeg++
+			for n, pt := range seg.Points {
+				rank := seg.Ranks[n]
+				if covered[rank] {
+					t.Errorf("workers=%d: rank %d emitted twice", workers, rank)
+				}
+				covered[rank] = true
+				if !reflect.DeepEqual(pt, dense.Points[rank]) {
+					t.Errorf("workers=%d: rank %d: stream %+v vs dense %+v", workers, rank, pt, dense.Points[rank])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rank, ok := range covered {
+			if !ok {
+				t.Fatalf("workers=%d: rank %d never emitted", workers, rank)
+			}
+		}
+		if best := dense.ArgmaxRevenue(); !reflect.DeepEqual(sum.BestRevenue, best) {
+			t.Errorf("workers=%d: BestRevenue %+v vs slab argmax %+v", workers, sum.BestRevenue, best)
+		}
+		if sum.Points != len(dense.Points) {
+			t.Errorf("workers=%d: summary counted %d points, want %d", workers, sum.Points, len(dense.Points))
+		}
+		if ref == nil {
+			ref = sum
+		} else if !reflect.DeepEqual(sum, ref) {
+			t.Errorf("workers=%d: summary differs from 1-worker summary", workers)
+		}
+	}
+}
+
+// TestEngineSweepStreamLeavesCacheCold pins the memory contract: streaming
+// a grid must not grow the Engine's equilibrium cache (retaining points
+// would defeat the O(segment) promise), while the slab Sweep folds its tail
+// into the cache as before.
+func TestEngineSweepStreamLeavesCacheCold(t *testing.T) {
+	grid := streamEngineGrid()
+
+	streamed := newEngine(t, paperTwoCP())
+	if _, err := streamed.SweepStream(grid, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := streamed.CacheLen(); n != 0 {
+		t.Fatalf("SweepStream left %d cache entries, want 0", n)
+	}
+
+	dense := newEngine(t, paperTwoCP())
+	if _, err := dense.Sweep(grid); err != nil {
+		t.Fatal(err)
+	}
+	if dense.CacheLen() == 0 {
+		t.Fatal("Sweep left the cache empty — the contrast this test pins is gone")
+	}
+}
+
+// TestWithSegmentEmitObservesSweep wires the ordered segment observer
+// through Engine.Sweep: the callback sees every point in segment order
+// while the slab still comes back complete and unchanged.
+func TestWithSegmentEmitObservesSweep(t *testing.T) {
+	grid := streamEngineGrid()
+	plain, err := newEngine(t, paperTwoCP()).Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := 0
+	nextSeg := 0
+	eng := newEngine(t, paperTwoCP(), neutralnet.WithWorkers(4),
+		neutralnet.WithSegmentEmit(func(seg neutralnet.SweepSegment) error {
+			if seg.Index != nextSeg {
+				t.Errorf("segment %d emitted out of order (want %d)", seg.Index, nextSeg)
+			}
+			nextSeg++
+			seen += len(seg.Points)
+			return nil
+		}))
+	res, err := eng.Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(plain.Points) {
+		t.Fatalf("observer saw %d points, want %d", seen, len(plain.Points))
+	}
+	if !reflect.DeepEqual(res.Points, plain.Points) {
+		t.Fatal("observed sweep differs from plain sweep")
+	}
+}
+
+// TestEngineSweepAdaptiveMatchesDenseArgmax is the acceptance pin: on the
+// 125-point grid the coarse-to-fine refinement must land on the same
+// revenue argmax cell as the dense sweep while solving at most 40% of the
+// points, bit-identically at every worker count.
+func TestEngineSweepAdaptiveMatchesDenseArgmax(t *testing.T) {
+	grid := neutralnet.Grid{
+		P: neutralnet.UniformGrid(0.05, 2, 25),
+		Q: neutralnet.UniformGrid(0, 2, 5),
+	}
+	dense, err := newEngine(t, paperTwoCP()).Sweep(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := dense.ArgmaxRevenue()
+
+	var ref *neutralnet.AdaptiveSweepResult
+	for _, workers := range []int{1, 4, 9} {
+		res, err := newEngine(t, paperTwoCP(), neutralnet.WithWorkers(workers)).SweepAdaptive(grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same argmax cell as the dense sweep. The payloads agree to chain
+		// tolerance, not bitwise: the refinement reaches the cell through a
+		// different warm chain than the dense snake path.
+		if res.Best.P != best.P || res.Best.Q != best.Q || res.Best.Mu != best.Mu {
+			t.Errorf("workers=%d: adaptive argmax cell (p=%g q=%g µ=%g) vs dense (p=%g q=%g µ=%g)",
+				workers, res.Best.P, res.Best.Q, res.Best.Mu, best.P, best.Q, best.Mu)
+		}
+		if wantRank := rankOf(t, dense, best); res.BestRank != wantRank {
+			t.Errorf("workers=%d: BestRank %d, want %d", workers, res.BestRank, wantRank)
+		}
+		if rel := (res.Best.Revenue - best.Revenue) / best.Revenue; rel > 1e-9 || rel < -1e-9 {
+			t.Errorf("workers=%d: argmax revenue %v vs dense %v", workers, res.Best.Revenue, best.Revenue)
+		}
+		if res.Dense != len(dense.Points) {
+			t.Errorf("workers=%d: Dense = %d, want %d", workers, res.Dense, len(dense.Points))
+		}
+		// The acceptance bound: ≤ 40% of the dense grid solved.
+		if res.Solved*10 > res.Dense*4 {
+			t.Errorf("workers=%d: solved %d of %d points (> 40%%)", workers, res.Solved, res.Dense)
+		}
+		t.Logf("workers=%d: solved %d/%d (%.0f%%) in %d rounds over %d cells",
+			workers, res.Solved, res.Dense, 100*float64(res.Solved)/float64(res.Dense), res.Rounds, res.Cells)
+		if ref == nil {
+			ref = res
+		} else if !reflect.DeepEqual(res, ref) {
+			t.Errorf("workers=%d: adaptive result differs from 1-worker run", workers)
+		}
+	}
+}
+
+// duopolyStreamGrids returns the small pinned price plane of the duopoly
+// streaming tests.
+func duopolyStreamGrids() (p1, p2 []float64) {
+	return neutralnet.UniformGrid(0.6, 1.4, 5), neutralnet.UniformGrid(0.7, 1.3, 4)
+}
+
+// TestDuopolySweepPricesStreamMatchesSweepPrices pins the duopoly streaming
+// surface to SweepPrices: bit-identical outcomes point for point, the same
+// argmax, the same final session state (cache keys and follow-up solve),
+// and a worker-count-independent summary.
+func TestDuopolySweepPricesStreamMatchesSweepPrices(t *testing.T) {
+	p1, p2 := duopolyStreamGrids()
+	denseSession := newDuopoly(t)
+	dense, err := denseSession.SweepPrices(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseFollow, err := denseSession.Solve(p1[2], p2[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ref *neutralnet.DuopolySweepSummary
+	for _, workers := range []int{1, 4, 9} {
+		s := newDuopoly(t, neutralnet.WithWorkers(workers), neutralnet.WithQuantiles(0.5))
+		covered := 0
+		nextSeg := 0
+		sum, err := s.SweepPricesStream(p1, p2, func(seg neutralnet.DuopolySweepSegment) error {
+			if seg.Index != nextSeg {
+				t.Errorf("workers=%d: segment %d emitted out of order (want %d)", workers, seg.Index, nextSeg)
+			}
+			nextSeg++
+			for n, out := range seg.Outcomes {
+				rank := seg.Ranks[n]
+				i, j := rank/len(p2), rank%len(p2)
+				if !reflect.DeepEqual(out, dense.Outcomes[i][j]) {
+					t.Errorf("workers=%d: (%d,%d): stream %+v vs dense %+v", workers, i, j, out, dense.Outcomes[i][j])
+				}
+				covered++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if covered != len(p1)*len(p2) {
+			t.Fatalf("workers=%d: emitted %d outcomes, want %d", workers, covered, len(p1)*len(p2))
+		}
+		if best := dense.ArgmaxTotalRevenue(); !reflect.DeepEqual(sum.BestRevenue, best) {
+			t.Errorf("workers=%d: BestRevenue %+v vs ArgmaxTotalRevenue %+v", workers, sum.BestRevenue, best)
+		}
+
+		// The session must be left exactly as SweepPrices leaves it.
+		if !reflect.DeepEqual(s.CachedPrices(), denseSession.CachedPrices()) {
+			t.Errorf("workers=%d: cache keys differ from a SweepPrices session", workers)
+		}
+		follow, err := s.Solve(p1[2], p2[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(follow, denseFollow) {
+			t.Errorf("workers=%d: follow-up solve differs from a SweepPrices session", workers)
+		}
+
+		if ref == nil {
+			ref = sum
+		} else if sum.Points != ref.Points ||
+			!reflect.DeepEqual(sum.TotalRevenue, ref.TotalRevenue) ||
+			!reflect.DeepEqual(sum.Welfare, ref.Welfare) ||
+			!reflect.DeepEqual(sum.BestRevenue, ref.BestRevenue) ||
+			!reflect.DeepEqual(sum.BestWelfare, ref.BestWelfare) {
+			t.Errorf("workers=%d: summary differs from 1-worker summary", workers)
+		}
+	}
+}
+
+// TestDuopolySweepPricesAdaptiveMatchesDense is the duopoly acceptance pin:
+// on the 20×20 price plane the refinement must find the dense sweep's
+// combined-revenue argmax while solving at most 40% of the points.
+func TestDuopolySweepPricesAdaptiveMatchesDense(t *testing.T) {
+	p1 := neutralnet.UniformGrid(0.6, 1.4, 20)
+	p2 := neutralnet.UniformGrid(0.6, 1.4, 20)
+	dense, err := newDuopoly(t).SweepPrices(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := dense.ArgmaxTotalRevenue()
+
+	var ref *neutralnet.DuopolyAdaptiveResult
+	for _, workers := range []int{1, 4} {
+		res, err := newDuopoly(t, neutralnet.WithWorkers(workers)).SweepPricesAdaptive(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Best, best) {
+			t.Errorf("workers=%d: adaptive argmax %+v vs dense %+v", workers, res.Best, best)
+		}
+		if res.Solved*10 > res.Dense*4 {
+			t.Errorf("workers=%d: solved %d of %d points (> 40%%)", workers, res.Solved, res.Dense)
+		}
+		t.Logf("workers=%d: solved %d/%d (%.0f%%) in %d rounds",
+			workers, res.Solved, res.Dense, 100*float64(res.Solved)/float64(res.Dense), res.Rounds)
+		if ref == nil {
+			ref = res
+		} else if !reflect.DeepEqual(res, ref) {
+			t.Errorf("workers=%d: adaptive result differs from 1-worker run", workers)
+		}
+	}
+}
+
+// TestDuopolySweepPricesAdaptiveLeavesSessionCold pins that the refinement
+// does not disturb the session cache or warm chain (its chains jump around
+// the plane, so folding them in would make session state trajectory-
+// dependent).
+func TestDuopolySweepPricesAdaptiveLeavesSessionCold(t *testing.T) {
+	p1, p2 := duopolyStreamGrids()
+	s := newDuopoly(t)
+	if _, err := s.SweepPricesAdaptive(p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.CacheLen(); n != 0 {
+		t.Fatalf("adaptive sweep left %d cache entries, want 0", n)
+	}
+	fresh, err := newDuopoly(t).Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, fresh) {
+		t.Fatal("solve after adaptive sweep differs from a fresh session solve")
+	}
+}
+
+// TestDuopolySweepPricesAdaptiveRejectsUnknownObjective pins the error path
+// of the objective registry wiring.
+func TestDuopolySweepPricesAdaptiveRejectsUnknownObjective(t *testing.T) {
+	p1, p2 := duopolyStreamGrids()
+	s := newDuopoly(t, neutralnet.WithRefineObjective("profit"))
+	_, err := s.SweepPricesAdaptive(p1, p2)
+	if err == nil || !strings.Contains(err.Error(), "unknown adaptive objective") {
+		t.Fatalf("want unknown-objective error, got %v", err)
+	}
+}
+
+// TestDuopolySweepResultCSVStreams pins WriteCSV to CSV byte for byte and
+// spot-checks the layout: a header with per-CP subsidy columns and one
+// row-major row per grid point.
+func TestDuopolySweepResultCSVStreams(t *testing.T) {
+	p1, p2 := duopolyStreamGrids()
+	res, err := newDuopoly(t).SweepPrices(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != res.CSV() {
+		t.Fatal("WriteCSV and CSV render different bytes")
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if want := 1 + len(p1)*len(p2); len(lines) != want {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), want)
+	}
+	if want := "p1,p2,share1,share2,phi1,phi2,revenue1,revenue2,welfare,s_video,s_social"; lines[0] != want {
+		t.Fatalf("CSV header %q, want %q", lines[0], want)
+	}
+	for k, line := range lines[1:] {
+		i, j := k/len(p2), k%len(p2)
+		out := res.Outcomes[i][j]
+		if !strings.HasPrefix(line, formatPricePrefix(out.P[0], out.P[1])) {
+			t.Fatalf("row %d starts %q, want prices (%g, %g)", k, line, out.P[0], out.P[1])
+		}
+	}
+}
+
+// formatPricePrefix renders the leading two CSV columns the way WriteCSV
+// does.
+func formatPricePrefix(p1, p2 float64) string {
+	return fmt.Sprintf("%g,%g,", p1, p2)
+}

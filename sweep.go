@@ -22,8 +22,25 @@ type (
 	SweepPoint = sweep.Point
 	// SweepResult holds the solved points in deterministic order
 	// (µ-major, then q, then p) with accessors (ArgmaxRevenue,
-	// WelfareSurface, CSV/JSON export).
+	// WelfareSurface, CSV/JSON export — including the streaming
+	// WriteCSV/WriteJSON variants).
 	SweepResult = sweep.Result
+	// SweepSegment is one completed chunk of a sweep, emitted in snake
+	// order by Engine.SweepStream and the WithSegmentEmit observer. Its
+	// slices are only valid during the emission callback.
+	SweepSegment = sweep.Segment
+	// SweepSummary is the constant-memory reduction of a streamed sweep:
+	// revenue/welfare argmaxes (with the argmax points retained),
+	// min/max/mean and the configured quantile estimates, bit-identical to
+	// the slab reductions at any worker count.
+	SweepSummary = sweep.Summary
+	// SweepAccumulator is one objective's online reduction inside a
+	// SweepSummary.
+	SweepAccumulator = sweep.Accumulator
+	// AdaptiveSweepResult is the sparse result of a coarse-to-fine
+	// Engine.SweepAdaptive run: the solved points, the refinement
+	// bookkeeping, and the argmax under the configured objective.
+	AdaptiveSweepResult = sweep.AdaptiveResult
 )
 
 // UniformGrid returns n evenly spaced points on [lo, hi] inclusive — the
