@@ -1,0 +1,110 @@
+package neutralnet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"neutralnet"
+)
+
+func oligopolyBenchGrids() [][]float64 {
+	return [][]float64{
+		neutralnet.UniformGrid(0.6, 1.4, 8),
+		neutralnet.UniformGrid(0.6, 1.4, 8),
+		neutralnet.UniformGrid(0.7, 1.3, 6),
+	}
+}
+
+func oligopolyBenchEngine(b *testing.B, workers int) *neutralnet.Engine {
+	b.Helper()
+	sys := neutralnet.NewSystem(1,
+		neutralnet.NewCP("video", 4, 2, 1.0),
+		neutralnet.NewCP("social", 2, 4, 0.5),
+	)
+	opts := []neutralnet.Option{}
+	if workers > 0 {
+		opts = append(opts, neutralnet.WithWorkers(workers))
+	}
+	eng, err := neutralnet.NewEngine(sys, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkOligopolySweepPrices measures an 8×8×6 (p₁, p₂, p₃) three-ISP
+// price hypercube through the public session, per worker count — the N = 3
+// row of BENCH_solver.json. Sweeps never read the session cache; each
+// iteration still opens a fresh session so the timed work (including the
+// post-sweep cache fold) is identical every iteration.
+func BenchmarkOligopolySweepPrices(b *testing.B) {
+	grids := oligopolyBenchGrids()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%dw", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			eng := oligopolyBenchEngine(b, workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := eng.Oligopoly([]float64{0.4, 0.3, 0.3}, 3, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.SweepPrices(grids...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOligopolySweepPricesStream measures the streaming variant of the
+// same 8×8×6 hypercube: identical solve work, but outcomes are emitted
+// segment by segment and reduced online instead of filling the surface.
+func BenchmarkOligopolySweepPricesStream(b *testing.B) {
+	grids := oligopolyBenchGrids()
+	points := 8 * 8 * 6
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%dw", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			eng := oligopolyBenchEngine(b, workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := eng.Oligopoly([]float64{0.4, 0.3, 0.3}, 3, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum, err := s.SweepPricesStream(grids, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Points != points {
+					b.Fatalf("points: %d", sum.Points)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOligopolySweepPricesAdaptive measures the coarse-to-fine argmax
+// search over the 8×8×6 hypercube; the speedup over
+// BenchmarkOligopolySweepPrices is the fraction of the hypercube the
+// refinement never solves.
+func BenchmarkOligopolySweepPricesAdaptive(b *testing.B) {
+	grids := oligopolyBenchGrids()
+	b.ReportAllocs()
+	eng := oligopolyBenchEngine(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := eng.Oligopoly([]float64{0.4, 0.3, 0.3}, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.SweepPricesAdaptive(grids...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.BestRank < 0 || res.Solved*10 > res.Dense*4 {
+			b.Fatalf("solved %d/%d, best rank %d", res.Solved, res.Dense, res.BestRank)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package neutralnet_test
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"neutralnet"
+)
+
+func newOligopoly(t *testing.T, mu []float64, opts ...neutralnet.Option) *neutralnet.OligopolySession {
+	t.Helper()
+	eng, err := neutralnet.NewEngine(duopolySystem(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := eng.Oligopoly(mu, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// bitsEq fails unless a and b agree bit for bit.
+func bitsEq(t *testing.T, label string, a, b float64) {
+	t.Helper()
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("%s: %v vs %v differ", label, a, b)
+	}
+}
+
+func bitsEqSlice(t *testing.T, label string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		bitsEq(t, fmt.Sprintf("%s[%d]", label, i), a[i], b[i])
+	}
+}
+
+// oligoMatchesDuo fails unless an N = 2 oligopoly outcome agrees bit for
+// bit with a duopoly outcome, field for field.
+func oligoMatchesDuo(t *testing.T, label string, o neutralnet.OligopolyOutcome, d neutralnet.DuopolyOutcome) {
+	t.Helper()
+	bitsEqSlice(t, label+".P", o.P, d.P[:])
+	bitsEqSlice(t, label+".Shares", o.Shares, d.Shares[:])
+	bitsEqSlice(t, label+".S", o.S, d.S)
+	bitsEqSlice(t, label+".Phi", o.Phi, d.Phi[:])
+	bitsEqSlice(t, label+".Revenue", o.Revenue, d.Revenue[:])
+	bitsEq(t, label+".Welfare", o.Welfare, d.Welfare)
+}
+
+// TestOligopolyN2MatchesDuopolySession is the session-level half of the
+// acceptance pin: an N = 2 oligopoly session must reproduce the duopoly
+// session bit for bit — direct solves, cache behavior, price equilibrium
+// and the monopoly benchmark.
+func TestOligopolyN2MatchesDuopolySession(t *testing.T) {
+	duo := newDuopoly(t)
+	oli := newOligopoly(t, []float64{0.5, 0.5})
+	if oli.Players() != 2 {
+		t.Fatalf("Players() = %d", oli.Players())
+	}
+
+	// A short price walk exercising warm chaining and a cache hit.
+	walk := [][2]float64{{1, 1}, {1.1, 1}, {1.1, 0.9}, {1, 1}}
+	for _, p := range walk {
+		od, err := duo.Solve(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		oo, err := oli.Solve(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		oligoMatchesDuo(t, fmt.Sprintf("solve(%v)", p), oo, od)
+	}
+	if duo.CacheLen() != oli.CacheLen() {
+		t.Fatalf("cache lengths diverge: duo %d vs oligo %d", duo.CacheLen(), oli.CacheLen())
+	}
+
+	// Price competition and monopoly benchmark, on isolated workspaces.
+	ped, err := duo.PriceEquilibrium(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peo, err := oli.PriceEquilibrium(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oligoMatchesDuo(t, "price equilibrium", peo, ped)
+
+	pd, wd, sd, err := duo.MonopolyBenchmark(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, wo, so, err := oli.MonopolyBenchmark(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsEq(t, "monopoly price", po, pd)
+	bitsEq(t, "monopoly welfare", wo, wd)
+	bitsEqSlice(t, "monopoly subsidies", so, sd)
+}
+
+// TestOligopolyN2SweepMatchesDuopoly20x20 is the sweep half of the
+// acceptance pin: on the 20×20 price plane the N = 2 oligopoly sweep must
+// reproduce the duopoly surface point for point (bitwise, which implies the
+// required ≤1e-12), along with the argmax and the CSV export bytes.
+func TestOligopolyN2SweepMatchesDuopoly20x20(t *testing.T) {
+	grid := neutralnet.UniformGrid(0.6, 1.4, 20)
+	dense, err := newDuopoly(t).SweepPrices(grid, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := newOligopoly(t, []float64{0.5, 0.5}).SweepPrices(grid, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 400 {
+		t.Fatalf("surface has %d points", res.Len())
+	}
+	for i := range grid {
+		for j := range grid {
+			oligoMatchesDuo(t, fmt.Sprintf("point (%d,%d)", i, j), res.At(i, j), dense.Outcomes[i][j])
+		}
+	}
+	oligoMatchesDuo(t, "argmax", res.ArgmaxTotalRevenue(), dense.ArgmaxTotalRevenue())
+	if res.CSV() != dense.CSV() {
+		t.Fatal("N=2 CSV export differs from the duopoly CSV export")
+	}
+}
+
+// oligopolyGrids builds the N-dimensional test hypercubes: N = 3 → 5×4×3,
+// N = 4 → 3×3×2×2.
+func oligopolyGrids(n int) [][]float64 {
+	switch n {
+	case 3:
+		return [][]float64{
+			neutralnet.UniformGrid(0.6, 1.4, 5),
+			neutralnet.UniformGrid(0.7, 1.3, 4),
+			neutralnet.UniformGrid(0.8, 1.2, 3),
+		}
+	case 4:
+		return [][]float64{
+			neutralnet.UniformGrid(0.6, 1.4, 3),
+			neutralnet.UniformGrid(0.7, 1.3, 3),
+			neutralnet.UniformGrid(0.8, 1.2, 2),
+			neutralnet.UniformGrid(0.9, 1.1, 2),
+		}
+	default:
+		panic("unsupported test dimensionality")
+	}
+}
+
+func equalMu(n int) []float64 {
+	mu := make([]float64, n)
+	for k := range mu {
+		mu[k] = 1.0 / float64(n)
+	}
+	return mu
+}
+
+// TestOligopolySweepDeterministicAcrossWorkers pins the acceptance
+// determinism bar at real dimensionality: N = 3 and N = 4 hypercube sweeps
+// are bit-identical at 1, 4 and 9 workers (the suite runs under -race and
+// -count=2 in CI).
+func TestOligopolySweepDeterministicAcrossWorkers(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		grids := oligopolyGrids(n)
+		var ref *neutralnet.OligopolySweepResult
+		for _, workers := range []int{1, 4, 9} {
+			res, err := newOligopoly(t, equalMu(n), neutralnet.WithWorkers(workers)).SweepPrices(grids...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			for rank := range res.Outcomes {
+				a, b := res.Outcomes[rank], ref.Outcomes[rank]
+				bitsEqSlice(t, fmt.Sprintf("N=%d workers=%d rank=%d S", n, workers, rank), a.S, b.S)
+				bitsEqSlice(t, fmt.Sprintf("N=%d workers=%d rank=%d Phi", n, workers, rank), a.Phi, b.Phi)
+				bitsEqSlice(t, fmt.Sprintf("N=%d workers=%d rank=%d Revenue", n, workers, rank), a.Revenue, b.Revenue)
+				bitsEq(t, fmt.Sprintf("N=%d workers=%d rank=%d Welfare", n, workers, rank), a.Welfare, b.Welfare)
+			}
+		}
+	}
+}
+
+// TestOligopolySweepDeterministicAcrossHistory pins the second half of the
+// sweep contract: the surface is independent of the session's solve
+// history — a session that has already solved unrelated points sweeps the
+// same bits as a fresh one.
+func TestOligopolySweepDeterministicAcrossHistory(t *testing.T) {
+	grids := oligopolyGrids(3)
+	fresh, err := newOligopoly(t, equalMu(3)).SweepPrices(grids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := newOligopoly(t, equalMu(3))
+	for _, p := range [][]float64{{2, 0.1, 1.3}, {0.2, 1.9, 0.4}} {
+		if _, err := dirty.Solve(p...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := dirty.SweepPrices(grids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := range res.Outcomes {
+		bitsEqSlice(t, fmt.Sprintf("rank=%d S", rank), res.Outcomes[rank].S, fresh.Outcomes[rank].S)
+		bitsEqSlice(t, fmt.Sprintf("rank=%d Phi", rank), res.Outcomes[rank].Phi, fresh.Outcomes[rank].Phi)
+	}
+}
+
+// TestOligopolySessionCacheFIFO checks the bounded price-vector-keyed
+// cache: eviction is strictly insertion-ordered, re-solving a resident
+// vector refreshes its position, and a sweep leaves the path tail resident.
+func TestOligopolySessionCacheFIFO(t *testing.T) {
+	s := newOligopoly(t, equalMu(3), neutralnet.WithCache(2))
+	pts := [][]float64{{1, 1, 1}, {1.1, 1, 1}, {1.2, 1, 1}}
+	for _, p := range pts {
+		if _, err := s.Solve(p...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.CacheLen(); n != 2 {
+		t.Fatalf("cache len %d, want 2", n)
+	}
+	keys := s.CachedPrices()
+	if !reflect.DeepEqual(keys[0], pts[1]) || !reflect.DeepEqual(keys[1], pts[2]) {
+		t.Fatalf("FIFO order %v, want [%v %v]", keys, pts[1], pts[2])
+	}
+	// A cache hit must not disturb the FIFO order...
+	if _, err := s.Solve(pts[1]...); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.CachedPrices(), keys) {
+		t.Fatal("cache hit disturbed FIFO order")
+	}
+	// ...and a sweep leaves the last cap path points resident.
+	grids := [][]float64{{0.8, 0.9}, {1.0}, {1.0}}
+	res, err := s.SweepPrices(grids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys = s.CachedPrices()
+	if len(keys) != 2 {
+		t.Fatalf("cache len %d after sweep", len(keys))
+	}
+	// Snake tail of the 2×1×1 path is rank 1 then rank... the last two
+	// path points are (0.8,1,1) then (0.9,1,1), oldest-first.
+	if !reflect.DeepEqual(keys[1], res.Outcomes[res.Len()-1].P) {
+		t.Fatalf("newest cache key %v is not the sweep tail", keys[1])
+	}
+	hit, err := s.Solve(keys[1]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsEqSlice(t, "cached tail point", hit.S, res.At(1, 0, 0).S)
+}
+
+// TestOligopolyPriceEquilibriumIsolated pins that the N = 3 price
+// competition leaves the session cache and warm chain untouched.
+func TestOligopolyPriceEquilibriumIsolated(t *testing.T) {
+	s := newOligopoly(t, equalMu(3))
+	want, err := newOligopoly(t, equalMu(3)).Solve(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PriceEquilibrium(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.CacheLen(); n != 0 {
+		t.Fatalf("price equilibrium left %d cache entries", n)
+	}
+	got, err := s.Solve(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsEqSlice(t, "post-competition solve S", got.S, want.S)
+	bitsEqSlice(t, "post-competition solve Phi", got.Phi, want.Phi)
+}
+
+// TestOligopolyValidation covers the session construction and call-shape
+// error paths.
+func TestOligopolyValidation(t *testing.T) {
+	eng, err := neutralnet.NewEngine(duopolySystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Oligopoly(nil, 3, 1); err == nil {
+		t.Fatal("empty capacity vector accepted")
+	}
+	if _, err := eng.Oligopoly([]float64{0.5, -0.1}, 3, 1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	s, err := eng.Oligopoly([]float64{0.4, 0.3, 0.3}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(1, 1); err == nil {
+		t.Fatal("price-count mismatch accepted")
+	}
+	if _, err := s.SweepPrices([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("grid-count mismatch accepted")
+	}
+	if _, err := s.SweepPrices([]float64{1}, nil, []float64{1}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := s.PriceEquilibrium(0, 0); err == nil {
+		t.Fatal("pMax = 0 accepted")
+	}
+}
+
+// TestOligopolySolverStats checks the telemetry plumbing end-to-end: under
+// WithSolver(Auto) an N = 3 sweep records branch decisions from every
+// worker into the session's counters.
+func TestOligopolySolverStats(t *testing.T) {
+	s := newOligopoly(t, equalMu(3), neutralnet.WithSolver(neutralnet.Auto), neutralnet.WithWorkers(4))
+	if s.SolverStats().Total() != 0 {
+		t.Fatal("fresh session has nonzero solver stats")
+	}
+	if _, err := s.SweepPrices(oligopolyGrids(3)...); err != nil {
+		t.Fatal(err)
+	}
+	if s.SolverStats().Total() == 0 {
+		t.Fatal("auto sweep recorded no branch decisions")
+	}
+	// A non-auto session records nothing.
+	gs := newOligopoly(t, equalMu(3))
+	if _, err := gs.Solve(1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if gs.SolverStats().Total() != 0 {
+		t.Fatal("gauss-seidel session recorded auto branches")
+	}
+}
+
+// TestOligopolyCacheKeyFoldsNegativeZero pins the generalized cache key
+// against the latent 2-D assumption audit: the duopoly's [2]float64 map key
+// compares with ==, under which −0 and +0 are the same price — the
+// oligopoly's bit-encoded vector key must fold them too, so a −0 price hits
+// the +0 entry instead of duplicating it.
+func TestOligopolyCacheKeyFoldsNegativeZero(t *testing.T) {
+	s := newOligopoly(t, equalMu(3))
+	out1, err := s.Solve(0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := s.Solve(math.Copysign(0, -1), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheLen() != 1 {
+		t.Fatalf("cache len %d: −0 price missed the +0 entry", s.CacheLen())
+	}
+	bitsEqSlice(t, "−0 cache hit S", out2.S, out1.S)
+}
+
+// TestOligopolySweepResultOwnsGrids pins the defensive copies: mutating the
+// caller's grid slices after the sweep must not corrupt the result.
+func TestOligopolySweepResultOwnsGrids(t *testing.T) {
+	g1 := []float64{0.9, 1.1}
+	g2 := []float64{1.0}
+	g3 := []float64{1.0}
+	res, err := newOligopoly(t, equalMu(3)).SweepPrices(g1, g2, g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1[0] = -7
+	if res.Grids[0][0] != 0.9 {
+		t.Fatal("result aliases the caller's grid slice")
+	}
+}

@@ -25,6 +25,7 @@ func TestExamplesAndCommandsRun(t *testing.T) {
 		{"./examples/price-regulation", nil, "unregulated monopoly"},
 		{"./examples/capacity-planning", nil, "invest"},
 		{"./examples/isp-competition", nil, "duopoly"},
+		{"./examples/oligopoly", nil, "oligopoly sweep"},
 		{"./examples/data-caps", nil, "metered region"},
 		{"./examples/investment", nil, "steady state"},
 		{"./cmd/figures", []string{"-points", "9", "-charts=false"}, "shape checks"},

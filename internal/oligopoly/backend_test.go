@@ -1,0 +1,280 @@
+package oligopoly
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/duopoly"
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+	"neutralnet/internal/solver"
+)
+
+// The equivalence suite pins the N-ISP generalization to the two markets the
+// repo already trusts: an N = 2 oligopoly must reproduce duopoly.Market and
+// an N = 1 oligopoly (through MonopolyBenchmark) must reproduce
+// duopoly.Market.MonopolyBenchmark. Because the oligopoly code performs the
+// duopoly's float operations in the duopoly's order, the pins are exact
+// (bitwise), which is strictly stronger than the ≤1e-12 acceptance bar.
+
+// fixtures is the seeded grid of paired duopoly/oligopoly market instances
+// the suite runs over: varying prices, caps, capacity splits and logit
+// sensitivities, in the style of the duopoly backend suite.
+type fixture struct {
+	name  string
+	duo   *duopoly.Market
+	oli   *Market
+	p     [2]float64
+	sigma float64
+}
+
+func testCPs() []model.CP {
+	mk := func(a, b, v float64) model.CP {
+		return model.CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	return []model.CP{mk(4, 2, 1), mk(2, 4, 0.5), mk(3, 3, 0.8)}
+}
+
+func fixtures() []fixture {
+	base := testCPs()
+	var out []fixture
+	for _, tc := range []struct {
+		name  string
+		mu    [2]float64
+		q     float64
+		sigma float64
+		p     [2]float64
+	}{
+		{"symmetric", [2]float64{0.5, 0.5}, 1, 3, [2]float64{1, 1}},
+		{"asymmetric-mu", [2]float64{0.3, 0.8}, 1, 3, [2]float64{0.9, 1.1}},
+		{"tight-cap", [2]float64{0.5, 0.5}, 0.3, 2, [2]float64{0.7, 0.7}},
+		{"loose-cap", [2]float64{0.6, 0.4}, 2, 5, [2]float64{1.4, 0.6}},
+		{"zero-cap", [2]float64{0.5, 0.5}, 0, 3, [2]float64{1, 1}},
+	} {
+		out = append(out, fixture{
+			name:  tc.name,
+			duo:   &duopoly.Market{CPs: base, Util: econ.LinearUtilization{}, Mu: tc.mu, Sigma: tc.sigma, Q: tc.q},
+			oli:   &Market{CPs: base, Util: econ.LinearUtilization{}, Mu: []float64{tc.mu[0], tc.mu[1]}, Sigma: tc.sigma, Q: tc.q},
+			p:     tc.p,
+			sigma: tc.sigma,
+		})
+	}
+	return out
+}
+
+func bitEq(t *testing.T, ctx string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: got %v (%#x), want %v (%#x)", ctx,
+			got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+func bitEqSlice(t *testing.T, ctx string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		bitEq(t, ctx, got[i], want[i])
+	}
+}
+
+func bitEqNet(t *testing.T, ctx string, got, want model.State) {
+	t.Helper()
+	bitEq(t, ctx+".Phi", got.Phi, want.Phi)
+	bitEqSlice(t, ctx+".M", got.M, want.M)
+	bitEqSlice(t, ctx+".Theta", got.Theta, want.Theta)
+}
+
+// TestSharesMatchDuopolyBitwise pins the N = 2 logit split to
+// duopoly.Market.Shares bit for bit across a seeded (σ, p₁, p₂) grid.
+func TestSharesMatchDuopolyBitwise(t *testing.T) {
+	for _, sigma := range []float64{0, 0.5, 2, 5} {
+		duo := &duopoly.Market{Sigma: sigma}
+		oli := &Market{Sigma: sigma, Mu: []float64{1, 1}}
+		dst := make([]float64, 2)
+		for _, p1 := range []float64{0, 0.3, 1, 2.5} {
+			for _, p2 := range []float64{0.1, 1, 1.9} {
+				s1, s2 := duo.Shares(p1, p2)
+				oli.SharesInto(dst, []float64{p1, p2})
+				bitEq(t, "share 0", dst[0], s1)
+				bitEq(t, "share 1", dst[1], s2)
+			}
+		}
+	}
+}
+
+// TestCPEquilibriumMatchesDuopolyAllSolvers pins the N = 2 CP equilibrium
+// (subsidy profile, shares, and every network's physical state) to the
+// duopoly workspace path bit for bit, for every registered fixed-point
+// scheme including "auto", under both the cold and warm utilization
+// kernels.
+func TestCPEquilibriumMatchesDuopolyAllSolvers(t *testing.T) {
+	for _, scheme := range solver.Names() {
+		for _, kernel := range []string{model.UtilBrent, model.UtilBrentWarm} {
+			for _, tc := range fixtures() {
+				duo, oli := *tc.duo, *tc.oli
+				duo.Solver, oli.Solver = scheme, scheme
+				duo.UtilSolver, oli.UtilSolver = kernel, kernel
+				sDuo, stDuo, err := duo.CPEquilibrium(tc.p, nil)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: duopoly: %v", scheme, kernel, tc.name, err)
+				}
+				sOli, stOli, err := oli.CPEquilibrium([]float64{tc.p[0], tc.p[1]}, nil)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: oligopoly: %v", scheme, kernel, tc.name, err)
+				}
+				ctx := scheme + "/" + kernel + "/" + tc.name
+				bitEqSlice(t, ctx+": s", sOli, sDuo)
+				bitEqSlice(t, ctx+": shares", stOli.Shares, stDuo.Shares[:])
+				for k := 0; k < 2; k++ {
+					bitEqNet(t, ctx+": net", stOli.Net[k], stDuo.Net[k])
+				}
+				bitEq(t, ctx+": welfare", oli.Welfare(stOli), duo.Welfare(stDuo))
+				for i := range sOli {
+					bitEq(t, ctx+": throughput", stOli.TotalThroughput(i), stDuo.TotalThroughput(i))
+				}
+			}
+		}
+	}
+}
+
+// TestCPEquilibriumWarmChainMatchesDuopoly walks both implementations down
+// the same price chain with warm subsidy carry and φ (utilization-seed)
+// carry, as the sweep workers do, and requires bitwise agreement at every
+// link — the chained states are history-dependent, so this is the strongest
+// equivalence the sweep layer relies on.
+func TestCPEquilibriumWarmChainMatchesDuopoly(t *testing.T) {
+	tc := fixtures()[1]
+	wsDuo, wsOli := duopoly.NewWorkspace(), NewWorkspace()
+	var warmDuo, warmOli []float64
+	chain := [][2]float64{{0.4, 1.2}, {0.5, 1.2}, {0.6, 1.2}, {0.6, 1.1}, {0.6, 1.0}}
+	for n, p := range chain {
+		carry := n > 0
+		sDuo, stDuo, err := tc.duo.CPEquilibriumChainWS(wsDuo, p, warmDuo, carry)
+		if err != nil {
+			t.Fatalf("link %d: duopoly: %v", n, err)
+		}
+		sOli, stOli, err := tc.oli.CPEquilibriumChainWS(wsOli, []float64{p[0], p[1]}, warmOli, carry)
+		if err != nil {
+			t.Fatalf("link %d: oligopoly: %v", n, err)
+		}
+		bitEqSlice(t, "chain s", sOli, sDuo)
+		for k := 0; k < 2; k++ {
+			bitEqNet(t, "chain net", stOli.Net[k], stDuo.Net[k])
+		}
+		warmDuo = append(warmDuo[:0], sDuo...)
+		warmOli = append(warmOli[:0], sOli...)
+	}
+}
+
+// TestPriceEquilibriumMatchesDuopoly pins the N = 2 sequential
+// best-response price competition to duopoly.Market.PriceEquilibrium bit
+// for bit (prices, subsidies, final state).
+func TestPriceEquilibriumMatchesDuopoly(t *testing.T) {
+	for _, i := range []int{0, 1} {
+		tc := fixtures()[i]
+		pDuo, sDuo, stDuo, err := tc.duo.PriceEquilibrium(2, 0)
+		if err != nil {
+			t.Fatalf("%s: duopoly: %v", tc.name, err)
+		}
+		pOli, sOli, stOli, err := tc.oli.PriceEquilibrium(2, 0)
+		if err != nil {
+			t.Fatalf("%s: oligopoly: %v", tc.name, err)
+		}
+		bitEqSlice(t, tc.name+": p*", pOli, pDuo[:])
+		bitEqSlice(t, tc.name+": s*", sOli, sDuo)
+		for k := 0; k < 2; k++ {
+			bitEqNet(t, tc.name+": net", stOli.Net[k], stDuo.Net[k])
+		}
+	}
+}
+
+// TestMonopolyBenchmarkMatchesDuopolyBitwise pins the N = 1 special case:
+// the oligopoly monopoly benchmark (implemented as a one-ISP market with
+// µ = Σµ_k) must reproduce the duopoly's dedicated monoWorkspace scan bit
+// for bit — optimal price, physical state, and subsidy profile.
+func TestMonopolyBenchmarkMatchesDuopolyBitwise(t *testing.T) {
+	for _, scheme := range []string{"", solver.AndersonName, solver.AutoName} {
+		for _, tc := range fixtures() {
+			duo, oli := *tc.duo, *tc.oli
+			duo.Solver, oli.Solver = scheme, scheme
+			pDuo, stDuo, sDuo, err := duo.MonopolyBenchmark(2)
+			if err != nil {
+				t.Fatalf("%s/%s: duopoly: %v", scheme, tc.name, err)
+			}
+			pOli, stOli, sOli, err := oli.MonopolyBenchmark(2)
+			if err != nil {
+				t.Fatalf("%s/%s: oligopoly: %v", scheme, tc.name, err)
+			}
+			ctx := scheme + "/" + tc.name
+			bitEq(t, ctx+": p", pOli, pDuo)
+			bitEqSlice(t, ctx+": s", sOli, sDuo)
+			bitEqNet(t, ctx+": state", stOli, stDuo)
+		}
+	}
+}
+
+// TestSolveMatchesDuopoly pins the one-shot allocating Solve entry at fixed
+// (p, s) — the path the workspace kernels must agree with — to the duopoly
+// one-shot, bit for bit.
+func TestSolveMatchesDuopoly(t *testing.T) {
+	for _, tc := range fixtures() {
+		s := []float64{0.2, 0, 0.4}
+		if tc.oli.Q == 0 {
+			s = []float64{0, 0, 0}
+		}
+		stDuo, err := tc.duo.Solve(tc.p, s)
+		if err != nil {
+			t.Fatalf("%s: duopoly: %v", tc.name, err)
+		}
+		stOli, err := tc.oli.Solve([]float64{tc.p[0], tc.p[1]}, s)
+		if err != nil {
+			t.Fatalf("%s: oligopoly: %v", tc.name, err)
+		}
+		bitEqSlice(t, tc.name+": shares", stOli.Shares, stDuo.Shares[:])
+		for k := 0; k < 2; k++ {
+			bitEqNet(t, tc.name+": net", stOli.Net[k], stDuo.Net[k])
+		}
+		for i := range s {
+			bitEq(t, tc.name+": utility", tc.oli.Utility(i, s, stOli), tc.duo.Utility(i, s, stDuo))
+		}
+	}
+}
+
+// TestTelemetryRecordsUnderAuto checks the Telemetry plumbing: an N = 3
+// market solved under the auto meta-scheme must record solver decisions,
+// and recording must not change iterates (solve with and without telemetry
+// agree bitwise).
+func TestTelemetryRecordsUnderAuto(t *testing.T) {
+	m := &Market{
+		CPs: testCPs(), Util: econ.LinearUtilization{},
+		Mu: []float64{0.3, 0.4, 0.5}, Sigma: 3, Q: 1,
+		Solver: solver.AutoName,
+	}
+	p := []float64{0.8, 1.0, 1.2}
+	sPlain, stPlain, err := m.CPEquilibrium(p, nil)
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	var tel solver.Telemetry
+	mt := *m
+	mt.Telemetry = &tel
+	sTel, stTel, err := mt.CPEquilibrium(p, nil)
+	if err != nil {
+		t.Fatalf("telemetry: %v", err)
+	}
+	bitEqSlice(t, "s under telemetry", sTel, sPlain)
+	for k := range stPlain.Net {
+		bitEqNet(t, "net under telemetry", stTel.Net[k], stPlain.Net[k])
+	}
+	snap := tel.Snapshot()
+	if snap.Total() == 0 {
+		t.Fatalf("telemetry recorded no solves: %+v", snap)
+	}
+}

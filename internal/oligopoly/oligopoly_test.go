@@ -1,0 +1,248 @@
+package oligopoly
+
+import (
+	"math"
+	"testing"
+
+	"neutralnet/internal/econ"
+	"neutralnet/internal/model"
+)
+
+// smallMarketN is the N-ISP counterpart of the duopoly test fixture: the
+// same two-CP catalog over N equal capacity shares of the duopoly's unit
+// total, so the market stays comparable as N grows.
+func smallMarketN(n int) *Market {
+	mk := func(a, b, v float64) model.CP {
+		return model.CP{
+			Demand:     econ.NewExpDemand(a),
+			Throughput: econ.NewExpThroughput(b),
+			Value:      v,
+		}
+	}
+	mu := make([]float64, n)
+	for k := range mu {
+		mu[k] = 1.0 / float64(n)
+	}
+	return &Market{
+		CPs:   []model.CP{mk(4, 2, 1), mk(2, 4, 0.5)},
+		Util:  econ.LinearUtilization{},
+		Mu:    mu,
+		Sigma: 3,
+		Q:     1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := smallMarketN(3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Market{
+		{},
+		{CPs: smallMarketN(1).CPs},
+		{CPs: smallMarketN(1).CPs, Mu: []float64{1, 0}, Util: econ.LinearUtilization{}},
+		{CPs: smallMarketN(1).CPs, Mu: []float64{1, -1}, Util: econ.LinearUtilization{}},
+		{CPs: smallMarketN(1).CPs, Mu: []float64{1}},
+		{CPs: smallMarketN(1).CPs, Mu: []float64{1}, Util: econ.LinearUtilization{}, Sigma: -1},
+		{CPs: smallMarketN(1).CPs, Mu: []float64{1}, Util: econ.LinearUtilization{}, Q: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("bad market %d validated", i)
+		}
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	m := smallMarketN(3)
+	if _, err := m.Solve([]float64{1, 1}, []float64{0, 0}); err == nil {
+		t.Fatal("price/ISP dimension mismatch accepted")
+	}
+	if _, err := m.Solve([]float64{1, 1, 1}, []float64{0}); err == nil {
+		t.Fatal("subsidy/CP dimension mismatch accepted")
+	}
+	if _, _, err := m.CPEquilibrium([]float64{1}, nil); err == nil {
+		t.Fatal("CPEquilibrium price dimension mismatch accepted")
+	}
+}
+
+func TestUnknownSolverSurfaces(t *testing.T) {
+	m := smallMarketN(2)
+	m.Solver = "no-such-scheme" //lint:ignore solvername negative-path fixture: must NOT be a registered scheme
+	if _, _, err := m.CPEquilibrium([]float64{1, 1}, nil); err == nil {
+		t.Fatal("unknown fixed-point scheme accepted")
+	}
+}
+
+func TestUnknownUtilKernelSurfaces(t *testing.T) {
+	m := smallMarketN(2)
+	m.UtilSolver = "no-such-kernel" //lint:ignore solvername negative-path fixture: must NOT be a registered kernel
+	if _, _, err := m.CPEquilibrium([]float64{1, 1}, nil); err == nil {
+		t.Fatal("unknown utilization kernel accepted")
+	}
+}
+
+func TestPriceEquilibriumRejectsBadPMax(t *testing.T) {
+	if _, _, _, err := smallMarketN(2).PriceEquilibrium(0, 0); err == nil {
+		t.Fatal("pMax = 0 accepted")
+	}
+}
+
+// TestStateCloneIndependence checks the borrow contract's escape hatch:
+// a cloned state must not alias the workspace buffers the original
+// borrowed.
+func TestStateCloneIndependence(t *testing.T) {
+	m := smallMarketN(3)
+	ws := NewWorkspace()
+	p := []float64{0.9, 1.0, 1.1}
+	_, st, err := m.CPEquilibriumWS(ws, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Clone()
+	phi := snap.Net[0].Phi
+	theta := snap.Net[2].Theta[0]
+	// Re-solve at very different prices: borrowed buffers get overwritten.
+	if _, _, err := m.CPEquilibriumWS(ws, []float64{0.1, 2.0, 0.3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Net[0].Phi != phi || snap.Net[2].Theta[0] != theta {
+		t.Fatal("Clone aliases workspace buffers")
+	}
+}
+
+// TestSymmetricOligopolySymmetricPrices: with equal capacities the
+// sequential best-response competition must end at (near-)equal prices for
+// every player — the N-player version of the duopoly symmetry test.
+func TestSymmetricOligopolySymmetricPrices(t *testing.T) {
+	m := smallMarketN(3)
+	p, s, st, err := m.PriceEquilibrium(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(p); k++ {
+		if d := math.Abs(p[k] - p[0]); d > 1e-3 {
+			t.Fatalf("asymmetric prices in symmetric market: %v", p)
+		}
+	}
+	if len(s) != len(m.CPs) || len(st.Net) != 3 {
+		t.Fatalf("malformed equilibrium result: %d subsidies, %d networks", len(s), len(st.Net))
+	}
+	for k := range st.Net {
+		if st.Net[k].Phi < 0 || st.Net[k].Phi > 1 {
+			t.Fatalf("network %d utilization %v outside [0,1]", k, st.Net[k].Phi)
+		}
+	}
+}
+
+// TestChainIndependentOfWorkspaceHistory: a chained solve sequence must
+// give bit-identical results on a fresh workspace and on one that
+// previously solved unrelated markets — the property the deterministic
+// sweep scheduler relies on at segment starts.
+func TestChainIndependentOfWorkspaceHistory(t *testing.T) {
+	m := smallMarketN(3)
+	chain := [][]float64{{0.5, 1.0, 1.5}, {0.6, 1.0, 1.5}, {0.7, 1.0, 1.5}}
+
+	run := func(ws *Workspace) [][]float64 {
+		var out [][]float64
+		var warm []float64
+		for n, p := range chain {
+			s, _, err := m.CPEquilibriumChainWS(ws, p, warm, n > 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm = append(warm[:0], s...)
+			out = append(out, append([]float64(nil), s...))
+		}
+		return out
+	}
+
+	fresh := run(NewWorkspace())
+
+	dirty := NewWorkspace()
+	other := smallMarketN(4)
+	if _, _, err := other.CPEquilibriumWS(dirty, []float64{2, 0.1, 1.3, 0.7}, nil); err != nil {
+		t.Fatal(err)
+	}
+	reused := run(dirty)
+
+	for n := range fresh {
+		for i := range fresh[n] {
+			if math.Float64bits(fresh[n][i]) != math.Float64bits(reused[n][i]) {
+				t.Fatalf("link %d s[%d]: fresh %v vs reused-workspace %v", n, i, fresh[n][i], reused[n][i])
+			}
+		}
+	}
+}
+
+// TestOligopolyWSAllocFree asserts the zero-alloc contract of the chain hot
+// path at N = 3: a warm workspace solves the CP equilibrium — plain and
+// φ-carrying — with zero steady-state heap allocations.
+func TestOligopolyWSAllocFree(t *testing.T) {
+	m := smallMarketN(3)
+	ws := NewWorkspace()
+	p := []float64{0.9, 1.0, 1.1}
+	if _, _, err := m.CPEquilibriumWS(ws, p, nil); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := m.CPEquilibriumWS(ws, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CPEquilibriumWS allocates %v objects per solve on a warm workspace", allocs)
+	}
+	warm := make([]float64, len(m.CPs))
+	allocs = testing.AllocsPerRun(5, func() {
+		s, _, err := m.CPEquilibriumChainWS(ws, p, warm, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(warm, s)
+	})
+	if allocs != 0 {
+		t.Fatalf("CPEquilibriumChainWS allocates %v objects per solve on a warm chain", allocs)
+	}
+}
+
+// FuzzOligopolyShares fuzzes the logit split over (σ, p₁..p₄): every share
+// must lie in [0,1], the shares must sum to 1 (within float error), and the
+// split must be symmetric under player permutation — permuting the price
+// vector must permute the shares and nothing else.
+func FuzzOligopolyShares(f *testing.F) {
+	f.Add(3.0, 1.0, 1.0, 1.0, 1.0)
+	f.Add(0.0, 0.5, 1.5, 2.0, 0.1)
+	f.Add(5.0, 0.0, 0.0, 3.0, 0.7)
+	f.Add(0.5, 2.0, 1.0, 0.0, 4.0)
+	f.Fuzz(func(t *testing.T, sigma, p1, p2, p3, p4 float64) {
+		if math.IsNaN(sigma) || sigma < 0 || sigma > 50 {
+			t.Skip()
+		}
+		p := []float64{p1, p2, p3, p4}
+		for _, pk := range p {
+			if math.IsNaN(pk) || pk < 0 || pk > 100 {
+				t.Skip()
+			}
+		}
+		m := &Market{Sigma: sigma, Mu: []float64{1, 1, 1, 1}}
+		shares := m.Shares(p)
+		sum := 0.0
+		for k, sh := range shares {
+			if !(sh >= 0 && sh <= 1) {
+				t.Fatalf("share %d = %v outside [0,1] at σ=%v p=%v", k, sh, sigma, p)
+			}
+			sum += sh
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("shares sum to %v at σ=%v p=%v", sum, sigma, p)
+		}
+		// Permutation symmetry: rotate the price vector one step.
+		rot := []float64{p[1], p[2], p[3], p[0]}
+		sharesRot := m.Shares(rot)
+		for k := range rot {
+			if d := math.Abs(sharesRot[k] - shares[(k+1)%4]); d > 1e-12 {
+				t.Fatalf("permutation asymmetry %g at σ=%v p=%v", d, sigma, p)
+			}
+		}
+	})
+}

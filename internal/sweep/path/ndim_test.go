@@ -1,0 +1,214 @@
+package path
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The N-dimensional audit suite: the oligopoly generalization drives this
+// scheduler at real dimensionality (one axis per ISP), so the invariants
+// the 2-D sweeps rely on are re-pinned here for high-rank hypercubes,
+// degenerate (size-1) interior axes, and deep nesting — the shapes a
+// hard-coded 2-D assumption would break on.
+
+// TestCoordsSnakeAdjacencyHighRank extends the snake-adjacency pin to 5-D
+// and 6-D hypercubes, including size-1 axes in every position (leading,
+// interior, trailing, and consecutive) — the degenerate shapes where a
+// parity or mixed-radix slip would first surface.
+func TestCoordsSnakeAdjacencyHighRank(t *testing.T) {
+	for _, dims := range [][]int{
+		{2, 3, 2, 3, 2},
+		{3, 2, 2, 2, 3, 2},
+		{1, 4, 3},       // leading degenerate axis
+		{4, 1, 3},       // interior degenerate axis
+		{4, 3, 1},       // trailing degenerate axis
+		{1, 1, 5, 1, 2}, // consecutive degenerate axes
+		{2, 1, 2, 1, 2},
+		{1, 1, 1}, // fully degenerate: single point
+	} {
+		t.Run(fmt.Sprint(dims), func(t *testing.T) {
+			pl := New(dims, 0)
+			prev := make([]int, len(dims))
+			cur := make([]int, len(dims))
+			seen := make(map[int]bool, pl.Len())
+			for k := 0; k < pl.Len(); k++ {
+				pl.Coords(k, cur)
+				r := pl.Index(cur)
+				if seen[r] {
+					t.Fatalf("position %d revisits grid point %v", k, cur)
+				}
+				seen[r] = true
+				if k > 0 {
+					diff := 0
+					for j := range dims {
+						if d := cur[j] - prev[j]; d != 0 {
+							diff++
+							if d != 1 && d != -1 {
+								t.Fatalf("positions %d->%d jump on axis %d: %v -> %v", k-1, k, j, prev, cur)
+							}
+						}
+					}
+					if diff != 1 {
+						t.Fatalf("positions %d->%d change %d coordinates: %v -> %v", k-1, k, diff, prev, cur)
+					}
+				}
+				copy(prev, cur)
+			}
+			if len(seen) != pl.Len() {
+				t.Fatalf("visited %d of %d points", len(seen), pl.Len())
+			}
+		})
+	}
+}
+
+// TestIndexCoordsRoundTripHighRank pins Index∘Coords = identity on the path
+// positions and Coords∘(rank→path) consistency for every point of a 5-D
+// hypercube: every row-major rank must be produced by exactly one path
+// position.
+func TestIndexCoordsRoundTripHighRank(t *testing.T) {
+	dims := []int{3, 2, 4, 1, 3}
+	pl := New(dims, 0)
+	idx := make([]int, len(dims))
+	fromRank := make(map[int]int, pl.Len())
+	for k := 0; k < pl.Len(); k++ {
+		pl.Coords(k, idx)
+		r := pl.Index(idx)
+		if prev, dup := fromRank[r]; dup {
+			t.Fatalf("rank %d produced by path positions %d and %d", r, prev, k)
+		}
+		fromRank[r] = k
+	}
+	for r := 0; r < pl.Len(); r++ {
+		if _, ok := fromRank[r]; !ok {
+			t.Fatalf("row-major rank %d never visited", r)
+		}
+	}
+}
+
+// TestRunSolvesEveryPositionOnceHighRank re-pins the scheduler's
+// exactly-once guarantee on a 4-D plan across worker counts, with the
+// segment→worker assignment recorded: every position solved once, whole
+// segments only.
+func TestRunSolvesEveryPositionOnceHighRank(t *testing.T) {
+	pl := New([]int{4, 3, 2, 3}, 5)
+	for _, workers := range []int{1, 4, 9, 64} {
+		counts := make([]int32, pl.Len())
+		err := Run(pl, workers,
+			func() *struct{} { return &struct{}{} },
+			func(_ *struct{}, lo, hi int) error {
+				for k := lo; k < hi; k++ {
+					counts[k]++ // segment ranges never overlap, so no race
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: position %d solved %d times", workers, k, c)
+			}
+		}
+	}
+}
+
+// TestRunOrderedEmitsInOrderHighRank pins strict in-order segment emission
+// on a 4-D plan at several worker counts — the property the streaming
+// hypercube summary's order-sensitive folds depend on.
+func TestRunOrderedEmitsInOrderHighRank(t *testing.T) {
+	pl := New([]int{3, 4, 2, 3}, 4)
+	for _, workers := range []int{1, 4, 9} {
+		next := 0
+		covered := 0
+		err := RunOrdered(pl, workers,
+			func() *struct{} { return &struct{}{} },
+			func(_ *struct{}, c, lo, hi int) error { return nil },
+			func(c, lo, hi int) error {
+				if c != next {
+					t.Fatalf("workers=%d: segment %d emitted, want %d", workers, c, next)
+				}
+				next++
+				covered += hi - lo
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if covered != pl.Len() {
+			t.Fatalf("workers=%d: emitted %d positions of %d", workers, covered, pl.Len())
+		}
+	}
+}
+
+// TestAdaptiveFindsPeakHighRank extends the refinement pin to 4-D and 5-D
+// hypercubes (interior, corner, and degenerate-axis peaks): the
+// coarse-to-fine search must locate the exact argmax cell of the synthetic
+// unimodal objective without exceeding its budget.
+func TestAdaptiveFindsPeakHighRank(t *testing.T) {
+	for _, tc := range []struct {
+		dims []int
+		peak []int
+	}{
+		{[]int{6, 6, 6, 6}, []int{2, 4, 1, 3}},
+		{[]int{6, 6, 6, 6}, []int{0, 0, 0, 0}},
+		{[]int{6, 6, 6, 6}, []int{5, 5, 5, 5}},
+		{[]int{5, 4, 3, 4, 5}, []int{2, 1, 2, 3, 0}},
+		{[]int{8, 1, 8, 1}, []int{6, 0, 2, 0}}, // degenerate interior axes
+	} {
+		t.Run(fmt.Sprint(tc.dims, tc.peak), func(t *testing.T) {
+			stats, solved := adaptiveRunSynthetic(t, tc.dims, tc.peak, AdaptiveConfig{})
+			dense := 1
+			for _, d := range tc.dims {
+				dense *= d
+			}
+			if stats.Solved >= dense {
+				t.Fatalf("adaptive solved %d of %d points — no savings", stats.Solved, dense)
+			}
+			for r, c := range solved {
+				if c != 1 {
+					t.Fatalf("rank %d solved %d times", r, c)
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveBudgetHighRank pins the budget clamp at 4-D: a binding budget
+// (the default 5-point coarse lattice alone is 5⁴ = 625 of it) must stop
+// the refinement without overshooting, whether or not the exact peak was
+// reached by then — the clamp is about cost, not convergence.
+func TestAdaptiveBudgetHighRank(t *testing.T) {
+	dims := []int{8, 8, 8, 8}
+	const budget = 1200
+	solved := 0
+	stats, err := Adaptive(dims, AdaptiveConfig{Budget: budget},
+		func(chains [][][]int) error {
+			for _, chain := range chains {
+				solved += len(chain)
+			}
+			return nil
+		},
+		func(r int) float64 {
+			v := 0.0
+			rem := r
+			for j, peak := range []int{6, 2, 5, 3} { // reversed-axis decode of [3,5,2,6]
+				c := rem % dims[len(dims)-1-j]
+				rem /= dims[len(dims)-1-j]
+				d := float64(c - peak)
+				v -= d * d
+			}
+			return v
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Solved != solved {
+		t.Fatalf("stats.Solved %d vs observed %d", stats.Solved, solved)
+	}
+	if stats.Solved > budget+stats.Cells {
+		t.Fatalf("adaptive solved %d points against budget %d (%d cells)", stats.Solved, budget, stats.Cells)
+	}
+	if stats.Solved*10 > 8*8*8*8*4 {
+		t.Fatalf("adaptive solved %d of %d points (> 40%%)", stats.Solved, 8*8*8*8)
+	}
+}

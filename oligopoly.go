@@ -1,0 +1,430 @@
+package neutralnet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"neutralnet/internal/numeric"
+	"neutralnet/internal/oligopoly"
+	"neutralnet/internal/solver"
+	"neutralnet/internal/sweep/path"
+)
+
+// OligopolySession is the N-ISP generalization of DuopolySession: a
+// reusable equilibrium-computation session over an N-network access market
+// sharing the Engine's CP catalog. It owns one oligopoly workspace (so
+// repeated solves are allocation-free once warm), a bounded equilibrium
+// cache keyed on the price vector, and a warm-start store seeding each CP
+// equilibrium from the previous one.
+//
+// An OligopolySession is safe for concurrent use (solves are serialized on
+// the one workspace; sweeps run their own worker pools on private
+// workspaces). Like DuopolySession, warm starting makes a solved
+// equilibrium depend on the session's solve history within solver
+// tolerance; the sweeps are the exception — they never read the session
+// state, so their surfaces are bit-identical regardless of history or
+// worker count.
+type OligopolySession struct {
+	m       oligopoly.Market
+	workers int
+
+	// Adaptive-refinement knobs, inherited from the Engine's options
+	// (WithRefineObjective / WithRefineBudget / WithRefineDepth).
+	objective    string
+	refineBudget int
+	refineDepth  int
+
+	// quantiles are the probabilities tracked by SweepPricesStream
+	// summaries (WithQuantiles).
+	quantiles []float64
+
+	// telem accumulates the solver layer's scheme decisions for this
+	// session, shared with every sweep worker; read through SolverStats.
+	telem solver.Telemetry
+
+	mu      sync.Mutex
+	ws      *oligopoly.Workspace
+	warmBuf []float64
+	warm    []float64
+	cache   map[string]OligopolyOutcome
+	order   []string // insertion order, for bounded FIFO eviction
+	cap     int
+}
+
+// OligopolyOutcome is one solved oligopoly competition point: the CP
+// subsidy equilibrium at fixed access prices, with every network's physical
+// state summarized. All slices are owned by the outcome.
+type OligopolyOutcome struct {
+	P       []float64 // access prices (p₁..p_N)
+	Shares  []float64 // logit user split
+	S       []float64 // CP subsidy equilibrium (shared across networks)
+	Phi     []float64 // per-network equilibrium utilization
+	Revenue []float64 // per-ISP usage revenue p_k·Σθ^k
+	Welfare float64   // Σ v_i·Σ_k θ_i^k
+}
+
+// TotalRevenue returns the combined ISP revenue Σ_k p_k·Σθ^k.
+func (o *OligopolyOutcome) TotalRevenue() float64 {
+	total := 0.0
+	for _, r := range o.Revenue {
+		total += r
+	}
+	return total
+}
+
+func (o OligopolyOutcome) clone() OligopolyOutcome {
+	o.P = append([]float64(nil), o.P...)
+	o.Shares = append([]float64(nil), o.Shares...)
+	o.S = append([]float64(nil), o.S...)
+	o.Phi = append([]float64(nil), o.Phi...)
+	o.Revenue = append([]float64(nil), o.Revenue...)
+	return o
+}
+
+// priceKey encodes a price vector as a FIFO-cache map key from the exact
+// float bits, with −0 normalized to +0 so the bit key agrees with ==
+// equality on every price a solve can cache (the duopoly's array key has
+// the same −0 folding through ==).
+func priceKey(p []float64) string {
+	buf := make([]byte, 0, 8*len(p))
+	for _, v := range p {
+		if v == 0 {
+			v = 0 // fold −0 into +0
+		}
+		b := math.Float64bits(v)
+		buf = append(buf,
+			byte(b), byte(b>>8), byte(b>>16), byte(b>>24),
+			byte(b>>32), byte(b>>40), byte(b>>48), byte(b>>56))
+	}
+	return string(buf)
+}
+
+// Oligopoly opens an N-ISP competition session over the Engine's CP catalog
+// and utilization family: one capacity per ISP in mu (N = len(mu); the
+// Engine's own µ is not consulted — the oligopoly splits the access market
+// explicitly), logit price sensitivity sigma, and subsidy cap q. The
+// session inherits the Engine's Nash scheme, utilization kernel and
+// worker-pool size, so WithSolver, WithUtilizationSolver and WithWorkers
+// reach the oligopoly end-to-end; the hot-path warm kernel is the default
+// here as everywhere. The session keeps its own solver telemetry
+// (SolverStats), separate from the Engine's.
+//
+// An N = 2 session reproduces the DuopolySession's results bit for bit; an
+// N = 1 market's MonopolyBenchmark reproduces the duopoly benchmark — both
+// pinned by the root equivalence suite.
+func (e *Engine) Oligopoly(mu []float64, sigma, q float64) (*OligopolySession, error) {
+	s := &OligopolySession{
+		m: oligopoly.Market{
+			CPs: e.sys.CPs, Util: e.sys.Util,
+			Mu: append([]float64(nil), mu...), Sigma: sigma, Q: q,
+			Solver:     string(e.cfg.solver.Method),
+			UtilSolver: e.cfg.solver.UtilSolver,
+		},
+		workers:      e.cfg.workers,
+		objective:    e.cfg.objective,
+		refineBudget: e.cfg.refineBudget,
+		refineDepth:  e.cfg.refineDepth,
+		quantiles:    e.cfg.quantiles,
+		ws:           oligopoly.NewWorkspace(),
+		cap:          e.cfg.cacheSize,
+	}
+	s.m.Telemetry = &s.telem
+	if err := s.m.Validate(); err != nil {
+		return nil, err
+	}
+	if s.cap > 0 {
+		s.cache = make(map[string]OligopolyOutcome, s.cap)
+	}
+	return s, nil
+}
+
+// Players returns N, the session's ISP count.
+func (s *OligopolySession) Players() int { return s.m.Players() }
+
+// CacheLen returns the number of cached oligopoly equilibria.
+func (s *OligopolySession) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// CachedPrices returns the resident cache keys oldest-first — the FIFO
+// eviction order: the next insertion past the cache bound evicts the first
+// returned vector. Intended for observability and tests; the slices are a
+// snapshot the caller owns.
+func (s *OligopolySession) CachedPrices() [][]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]float64, len(s.order))
+	for i, key := range s.order {
+		out[i] = append([]float64(nil), s.cache[key].P...)
+	}
+	return out
+}
+
+// SolverStats returns a snapshot of the session's auto-scheme branch
+// counters, accumulated across Solve, the sweeps (all workers),
+// PriceEquilibrium and MonopolyBenchmark. All counters stay zero unless the
+// Engine selected WithSolver(Auto). Safe to call concurrently with a
+// running sweep.
+func (s *OligopolySession) SolverStats() SolverStats {
+	c := s.telem.Snapshot()
+	return SolverStats{AutoGaussSeidel: c.GaussSeidel, AutoSOR: c.SOR, AutoAnderson: c.Anderson}
+}
+
+// Solve returns the CP subsidization equilibrium of the oligopoly at access
+// prices p (one per ISP), consulting the cache and warm-starting from the
+// session's previous solve.
+func (s *OligopolySession) Solve(p ...float64) (OligopolyOutcome, error) {
+	if len(p) != s.m.Players() {
+		return OligopolyOutcome{}, fmt.Errorf("oligopoly session: %d prices for %d ISPs", len(p), s.m.Players())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.solveLocked(p)
+}
+
+func (s *OligopolySession) solveLocked(p []float64) (OligopolyOutcome, error) {
+	key := priceKey(p)
+	if out, ok := s.cache[key]; ok {
+		// Refresh the warm chain from the hit, exactly as the duopoly
+		// session does: the next solve should seed from this profile, its
+		// nearest solved neighbor in solve order.
+		s.warm = numeric.CopyProfile(&s.warmBuf, out.S)
+		return out.clone(), nil
+	}
+	prof, st, err := s.m.CPEquilibriumWS(s.ws, p, s.warm)
+	if err != nil {
+		return OligopolyOutcome{}, fmt.Errorf("oligopoly session: at p=%v: %w", p, err)
+	}
+	s.warm = numeric.CopyProfile(&s.warmBuf, prof)
+	out := s.outcome(p, prof, st)
+	s.storeLocked(key, out)
+	return out, nil
+}
+
+// outcome assembles an owning OligopolyOutcome from a (possibly
+// workspace-borrowed) profile and state.
+func (s *OligopolySession) outcome(p []float64, prof []float64, st oligopoly.State) OligopolyOutcome {
+	n := s.m.Players()
+	out := OligopolyOutcome{
+		P:       append([]float64(nil), p...),
+		Shares:  append([]float64(nil), st.Shares...),
+		S:       append([]float64(nil), prof...),
+		Phi:     make([]float64, n),
+		Revenue: make([]float64, n),
+		Welfare: s.m.Welfare(st),
+	}
+	for k := 0; k < n; k++ {
+		out.Phi[k] = st.Net[k].Phi
+		out.Revenue[k] = st.Revenue(k)
+	}
+	return out
+}
+
+// storeLocked inserts an outcome into the bounded FIFO cache, evicting the
+// oldest insertion when full. Re-storing a resident vector overwrites the
+// cached outcome and refreshes its FIFO position to newest, matching the
+// duopoly session's contract.
+func (s *OligopolySession) storeLocked(key string, out OligopolyOutcome) {
+	if s.cache == nil {
+		return
+	}
+	if _, ok := s.cache[key]; ok {
+		s.cache[key] = out.clone()
+		for k, k2 := range s.order {
+			if k2 == key {
+				s.order = append(append(s.order[:k], s.order[k+1:]...), key)
+				break
+			}
+		}
+		return
+	}
+	if len(s.order) >= s.cap {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.cache, oldest)
+	}
+	s.cache[key] = out.clone()
+	s.order = append(s.order, key)
+}
+
+// OligopolySweepResult is a solved (p₁..p_N) price hypercube in row-major
+// order: Outcomes[rank] is the equilibrium at the grid point whose
+// coordinates linearize to rank (At resolves coordinates). Grids holds the
+// session's own copies of the swept per-ISP price grids.
+type OligopolySweepResult struct {
+	Grids [][]float64
+	// Names are the CP names, matching each outcome's S order — the
+	// subsidy column labels of the CSV export.
+	Names []string
+	// Outcomes is the flat row-major surface: len = Π len(Grids[k]).
+	Outcomes []OligopolyOutcome
+	// Workers is the worker-pool size the sweep effectively ran on (the
+	// session's WithWorkers setting clamped to the chain count). It is a
+	// throughput record only: Outcomes is bit-identical at any value.
+	Workers int
+	// Chains is the number of independent warm-start chains the snake path
+	// was cut into — the sweep's parallelism budget.
+	Chains int
+}
+
+// Len returns the number of swept grid points.
+func (r *OligopolySweepResult) Len() int { return len(r.Outcomes) }
+
+// At returns the outcome at grid coordinates idx (one index per ISP).
+func (r *OligopolySweepResult) At(idx ...int) OligopolyOutcome {
+	rank := 0
+	for d, i := range idx {
+		rank = rank*len(r.Grids[d]) + i
+	}
+	return r.Outcomes[rank]
+}
+
+// SweepPrices solves the CP equilibrium over the Cartesian price hypercube
+// ×_k grids[k] on a deterministic worker pool — the same traversal
+// scheduler that backs Engine.Sweep and the duopoly price plane, at N
+// dimensions. The hypercube is linearized in snake order (consecutive
+// points are always price neighbors, including at axis turns) and cut into
+// fixed, grid-determined segments; each worker owns a private workspace,
+// and within a segment both the subsidy profile and the per-network
+// utilization seeds φ chain point to point while every segment cold-starts
+// its first point. Results are therefore bit-identical at any worker count
+// (WithWorkers is purely a throughput knob) and independent of the
+// session's history: the sweep never reads the session cache or warm store.
+// Solved points populate the cache afterwards in snake order — under a
+// cache bound the sweep's last points stay resident — and the warm store is
+// refreshed from the final path point, so follow-up Solve calls continue
+// the chain.
+func (s *OligopolySession) SweepPrices(grids ...[]float64) (*OligopolySweepResult, error) {
+	dims, err := s.sweepDims(grids)
+	if err != nil {
+		return nil, err
+	}
+	pl := path.New(dims, 0)
+	workers := s.sweepWorkers(pl)
+	res := &OligopolySweepResult{
+		Grids:    cloneGrids(grids),
+		Names:    s.cpNames(),
+		Outcomes: make([]OligopolyOutcome, pl.Len()),
+		Workers:  workers,
+		Chains:   pl.Chains(),
+	}
+
+	err = path.Run(pl, workers,
+		func() *oligoWorker { return s.newOligoWorker() },
+		func(w *oligoWorker, lo, hi int) error {
+			return s.runPriceChain(pl, res.Grids, lo, hi, func(_, rank int, out OligopolyOutcome) {
+				res.Outcomes[rank] = out
+			}, w)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fold the surface back into the session: cache the tail of the snake
+	// path (only the last cap insertions can survive the FIFO bound — skip
+	// the churn for the rest) and continue the warm chain from the final
+	// path point, exactly as a sequential walk would have left it.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := make([]int, len(dims))
+	if s.cache != nil {
+		lo := 0
+		if pl.Len() > s.cap {
+			lo = pl.Len() - s.cap
+		}
+		for k := lo; k < pl.Len(); k++ {
+			pl.Coords(k, idx)
+			out := res.Outcomes[pl.Index(idx)]
+			s.storeLocked(priceKey(out.P), out)
+		}
+	}
+	pl.Coords(pl.Len()-1, idx)
+	s.warm = numeric.CopyProfile(&s.warmBuf, res.Outcomes[pl.Index(idx)].S)
+	return res, nil
+}
+
+// sweepDims validates a price-grid list against the session's ISP count and
+// returns the hypercube dimensions.
+func (s *OligopolySession) sweepDims(grids [][]float64) ([]int, error) {
+	if len(grids) != s.m.Players() {
+		return nil, fmt.Errorf("oligopoly session: %d price grids for %d ISPs", len(grids), s.m.Players())
+	}
+	dims := make([]int, len(grids))
+	for k, g := range grids {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("oligopoly session: empty price grid %d", k)
+		}
+		dims[k] = len(g)
+	}
+	return dims, nil
+}
+
+// sweepWorkers clamps the session's worker setting to the plan's chain
+// count.
+func (s *OligopolySession) sweepWorkers(pl path.Plan) int {
+	workers := s.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if c := pl.Chains(); workers > c {
+		workers = c
+	}
+	return workers
+}
+
+func cloneGrids(grids [][]float64) [][]float64 {
+	out := make([][]float64, len(grids))
+	for k, g := range grids {
+		out[k] = append([]float64(nil), g...)
+	}
+	return out
+}
+
+// ArgmaxTotalRevenue returns the grid outcome maximizing combined ISP
+// revenue; ties resolve to the lowest row-major rank. Outcomes whose
+// combined revenue is non-finite are skipped — a NaN at one grid point must
+// not poison the maximum by failing every comparison; if every outcome is
+// non-finite the first outcome is returned.
+func (r *OligopolySweepResult) ArgmaxTotalRevenue() OligopolyOutcome {
+	best := r.Outcomes[0]
+	bestV := math.Inf(-1)
+	for i := range r.Outcomes {
+		v := r.Outcomes[i].TotalRevenue()
+		if !math.IsNaN(v) && !math.IsInf(v, 0) && v > bestV {
+			best, bestV = r.Outcomes[i], v
+		}
+	}
+	return best
+}
+
+// PriceEquilibrium solves the N ISPs' price competition on [0, pMax] by
+// sequential best responses (maxRounds ≤ 0 selects the default), with the
+// CPs re-equilibrating inside every revenue evaluation, and returns the
+// equilibrium outcome. It runs entirely on its own workspace and leaves the
+// session cache and warm store untouched, for the same history-isolation
+// reasons as the duopoly session.
+func (s *OligopolySession) PriceEquilibrium(pMax float64, maxRounds int) (OligopolyOutcome, error) {
+	p, prof, st, err := s.m.PriceEquilibrium(pMax, maxRounds)
+	if err != nil {
+		return OligopolyOutcome{}, err
+	}
+	return s.outcome(p, prof, st), nil
+}
+
+// MonopolyBenchmark solves the capacity-equivalent single-ISP comparator
+// (µ = Σ_k µ_k) at its revenue-optimal price on [0, pMax], for the
+// competition-vs-monopoly comparisons of §6 at any N.
+func (s *OligopolySession) MonopolyBenchmark(pMax float64) (price float64, welfare float64, subsidies []float64, err error) {
+	p, st, sub, err := s.m.MonopolyBenchmark(pMax)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	w := 0.0
+	for i, cp := range s.m.CPs {
+		w += cp.Value * st.Theta[i]
+	}
+	return p, w, sub, nil
+}

@@ -1,0 +1,409 @@
+package neutralnet
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"neutralnet/internal/numeric"
+	"neutralnet/internal/oligopoly"
+	"neutralnet/internal/sweep"
+	"neutralnet/internal/sweep/path"
+)
+
+// Streaming and adaptive execution for the N-ISP price hypercube — the
+// (p₁..p_N) analogues of the duopoly's SweepPricesStream and
+// SweepPricesAdaptive, running on the same deterministic traversal
+// scheduler as OligopolySession.SweepPrices.
+
+// oligoWorker is one hypercube worker's private state: its oligopoly
+// workspace, warm-profile buffer, and coordinate/price scratch.
+type oligoWorker struct {
+	ws      *oligopoly.Workspace
+	warmBuf []float64
+	idx     []int
+	p       []float64
+}
+
+func (s *OligopolySession) newOligoWorker() *oligoWorker {
+	n := s.m.Players()
+	return &oligoWorker{
+		ws:  oligopoly.NewWorkspace(),
+		idx: make([]int, n),
+		p:   make([]float64, n),
+	}
+}
+
+// runPriceChain solves the snake-path positions [lo, hi) of one segment
+// sequentially — cold first point, then the subsidy profile and the
+// per-network utilization seeds chained point to point — handing each
+// outcome to store with its path position and row-major rank. It never
+// reads the session cache or warm store.
+func (s *OligopolySession) runPriceChain(pl path.Plan, grids [][]float64, lo, hi int, store func(k, rank int, out OligopolyOutcome), w *oligoWorker) error {
+	var warm []float64
+	for k := lo; k < hi; k++ {
+		pl.Coords(k, w.idx)
+		for d, i := range w.idx {
+			w.p[d] = grids[d][i]
+		}
+		prof, st, err := s.m.CPEquilibriumChainWS(w.ws, w.p, warm, k > lo)
+		if err != nil {
+			return fmt.Errorf("oligopoly session: at p=%v: %w", w.p, err)
+		}
+		warm = numeric.CopyProfile(&w.warmBuf, prof)
+		store(k, pl.Index(w.idx), s.outcome(w.p, prof, st))
+	}
+	return nil
+}
+
+// solveCoordChain is runPriceChain over an explicit coordinate list — the
+// adaptive refinement's warm chains over the price hypercube.
+func (s *OligopolySession) solveCoordChain(grids [][]float64, chain [][]int, out []OligopolyOutcome, w *oligoWorker) error {
+	var warm []float64
+	for n, c := range chain {
+		for d, i := range c {
+			w.p[d] = grids[d][i]
+		}
+		prof, st, err := s.m.CPEquilibriumChainWS(w.ws, w.p, warm, n > 0)
+		if err != nil {
+			return fmt.Errorf("oligopoly session: at p=%v: %w", w.p, err)
+		}
+		warm = numeric.CopyProfile(&w.warmBuf, prof)
+		out[n] = s.outcome(w.p, prof, st)
+	}
+	return nil
+}
+
+// cpNames returns the session's CP names, in subsidy-profile order.
+func (s *OligopolySession) cpNames() []string {
+	names := make([]string, len(s.m.CPs))
+	for i, cp := range s.m.CPs {
+		names[i] = cp.Name
+	}
+	return names
+}
+
+// OligopolySweepSegment is one completed chunk of a streamed price sweep:
+// the outcomes of the snake-path range [Lo, Hi) in path order, with each
+// outcome's row-major rank. The slices are only valid during the emission
+// callback — clone what must be retained.
+type OligopolySweepSegment struct {
+	Index    int
+	Lo, Hi   int
+	Outcomes []OligopolyOutcome
+	Ranks    []int
+}
+
+// OligopolySweepSummary is the constant-memory reduction of a streamed
+// price sweep: combined-revenue and welfare accumulators (argmax,
+// min/max/mean, WithQuantiles sketches) with the argmax outcomes retained —
+// everything ArgmaxTotalRevenue answers, without the outcome hypercube.
+type OligopolySweepSummary struct {
+	Grids  [][]float64
+	Names  []string // CP names, matching each outcome's S order
+	Chains int
+	Points int
+
+	// TotalRevenue folds the combined ISP revenue Σ_k p_k·Σθ^k; Welfare
+	// folds Σ v_i·Σ_k θ_i^k. Argmax ties resolve to the lowest row-major
+	// rank, matching ArgmaxTotalRevenue.
+	TotalRevenue SweepAccumulator
+	Welfare      SweepAccumulator
+	BestRevenue  OligopolyOutcome
+	BestWelfare  OligopolyOutcome
+}
+
+// SweepPricesStream solves the price hypercube exactly like SweepPrices —
+// same snake path, segment cut, warm chains and per-point solves — but
+// never materializes the outcome surface: completed segments are handed to
+// emit (which may be nil) in strict snake order and folded into the
+// returned summary, holding O(segment · workers) outcomes live regardless
+// of grid size. The summary is bit-identical at any worker count and
+// session history. The session is left exactly as SweepPrices leaves it:
+// solved points fold into the cache progressively in snake order (under a
+// cache bound the sweep's tail stays resident) and the warm store continues
+// from the final path point.
+func (s *OligopolySession) SweepPricesStream(grids [][]float64, emit func(OligopolySweepSegment) error) (*OligopolySweepSummary, error) {
+	dims, err := s.sweepDims(grids)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range s.quantiles {
+		if !(q > 0 && q < 1) {
+			return nil, fmt.Errorf("oligopoly session: quantile %g outside (0, 1)", q)
+		}
+	}
+	pl := path.New(dims, 0)
+	workers := s.sweepWorkers(pl)
+	sum := &OligopolySweepSummary{
+		Grids:        cloneGrids(grids),
+		Names:        s.cpNames(),
+		Chains:       pl.Chains(),
+		TotalRevenue: sweep.NewAccumulator(s.quantiles),
+		Welfare:      sweep.NewAccumulator(s.quantiles),
+	}
+
+	// Per-segment staging ring: segment c stages into slot c % lead; the
+	// scheduler's lead window guarantees live segments never share a slot.
+	type slot struct {
+		outs  []OligopolyOutcome
+		ranks []int
+	}
+	slots := make([]slot, path.Lead(workers, pl.Chains()))
+
+	// Only the last cap path points can survive the FIFO bound — skip the
+	// insert/evict churn for everything earlier, like SweepPrices' fold.
+	cacheFrom := 0
+	if pl.Len() > s.cap {
+		cacheFrom = pl.Len() - s.cap
+	}
+
+	err = path.RunOrdered(pl, workers,
+		func() *oligoWorker { return s.newOligoWorker() },
+		func(w *oligoWorker, c, lo, hi int) error {
+			sl := &slots[c%len(slots)]
+			sl.outs = sl.outs[:0]
+			sl.ranks = sl.ranks[:0]
+			return s.runPriceChain(pl, sum.Grids, lo, hi, func(_, rank int, out OligopolyOutcome) {
+				sl.outs = append(sl.outs, out)
+				sl.ranks = append(sl.ranks, rank)
+			}, w)
+		},
+		func(c, lo, hi int) error {
+			sl := &slots[c%len(slots)]
+			// Fold into the summary and the session cache. The progressive
+			// snake-order store leaves the same final FIFO state as
+			// SweepPrices' tail fold: only the last cap insertions survive.
+			s.mu.Lock()
+			for n, out := range sl.outs {
+				sum.Points++
+				if sum.TotalRevenue.Add(sl.ranks[n], out.TotalRevenue()) {
+					sum.BestRevenue = out
+				}
+				if sum.Welfare.Add(sl.ranks[n], out.Welfare) {
+					sum.BestWelfare = out
+				}
+				if lo+n >= cacheFrom {
+					s.storeLocked(priceKey(out.P), out)
+				}
+			}
+			// Continue the warm chain from the newest emitted point, as a
+			// sequential walk would.
+			if n := len(sl.outs); n > 0 {
+				s.warm = numeric.CopyProfile(&s.warmBuf, sl.outs[n-1].S)
+			}
+			s.mu.Unlock()
+			if emit == nil {
+				return nil
+			}
+			return emit(OligopolySweepSegment{Index: c, Lo: lo, Hi: hi, Outcomes: sl.outs, Ranks: sl.ranks})
+		})
+	if err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// OligopolyAdaptiveResult is the sparse result of a coarse-to-fine price
+// sweep: only the outcomes the refinement visited, in deterministic solve
+// order, plus the argmax under the session's objective.
+type OligopolyAdaptiveResult struct {
+	Grids     [][]float64
+	Names     []string
+	Objective string
+
+	// Outcomes are the solved points in deterministic solve order; Ranks
+	// give each outcome's row-major index in the hypercube a dense
+	// SweepPrices would build.
+	Outcomes []OligopolyOutcome
+	Ranks    []int
+
+	// Best is the argmax outcome under Objective; BestRank its row-major
+	// rank (−1 when no outcome had a finite objective).
+	Best     OligopolyOutcome
+	BestRank int
+
+	Solved int // len(Outcomes)
+	Dense  int // points a dense SweepPrices would have solved
+	Rounds int // refinement rounds after the coarse stage
+	Cells  int // cells subdivided
+}
+
+// SweepPricesAdaptive locates the price hypercube's argmax — combined ISP
+// revenue by default, welfare under WithRefineObjective — coarse-to-fine: a
+// coarse price lattice is solved first and only the highest-ranked cells
+// are recursively subdivided through warm chains, under the Engine's
+// WithRefineBudget (default 40% of the dense grid) and WithRefineDepth. The
+// refinement trajectory is deterministic at any worker count. Unlike
+// SweepPrices, the session cache and warm store are left untouched: the
+// refinement's chains jump around the hypercube, and folding them in would
+// make the session's warm chain depend on the refinement trajectory.
+func (s *OligopolySession) SweepPricesAdaptive(grids ...[]float64) (*OligopolyAdaptiveResult, error) {
+	dims, err := s.sweepDims(grids)
+	if err != nil {
+		return nil, err
+	}
+	objective := s.objective
+	if objective == "" {
+		objective = ObjectiveRevenue
+	}
+	var val func(*OligopolyOutcome) float64
+	switch objective {
+	case ObjectiveRevenue:
+		val = func(o *OligopolyOutcome) float64 { return o.TotalRevenue() }
+	case ObjectiveWelfare:
+		val = func(o *OligopolyOutcome) float64 { return o.Welfare }
+	default:
+		return nil, fmt.Errorf("oligopoly session: unknown adaptive objective %q (have %s)",
+			objective, strings.Join(sweep.ObjectiveNames(), ", "))
+	}
+
+	dense := 1
+	for _, d := range dims {
+		dense *= d
+	}
+	res := &OligopolyAdaptiveResult{
+		Grids:     cloneGrids(grids),
+		Names:     s.cpNames(),
+		Objective: objective,
+		BestRank:  -1,
+		Dense:     dense,
+	}
+	budget := s.refineBudget
+	if budget <= 0 {
+		budget = (dense*sweep.DefaultBudgetNum + sweep.DefaultBudgetDen - 1) / sweep.DefaultBudgetDen
+	}
+	workers := s.workers
+
+	// Sparse objective surface: row-major rank → value / result index.
+	// Lookup only — never ranged over.
+	values := make(map[int]float64)
+	at := make(map[int]int)
+
+	solve := func(chains [][][]int) error {
+		bufs := make([][]OligopolyOutcome, len(chains))
+		for i := range chains {
+			bufs[i] = make([]OligopolyOutcome, len(chains[i]))
+		}
+		cpl := path.New([]int{len(chains)}, 1)
+		err := path.Run(cpl, workers,
+			func() *oligoWorker { return s.newOligoWorker() },
+			func(w *oligoWorker, lo, hi int) error {
+				for ci := lo; ci < hi; ci++ {
+					if err := s.solveCoordChain(res.Grids, chains[ci], bufs[ci], w); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		for ci := range chains {
+			for n := range chains[ci] {
+				rank := 0
+				for d, i := range chains[ci][n] {
+					rank = rank*dims[d] + i
+				}
+				out := bufs[ci][n]
+				values[rank] = val(&out)
+				at[rank] = len(res.Outcomes)
+				res.Outcomes = append(res.Outcomes, out)
+				res.Ranks = append(res.Ranks, rank)
+			}
+		}
+		return nil
+	}
+
+	stats, err := path.Adaptive(dims, path.AdaptiveConfig{
+		Budget:   budget,
+		MaxDepth: s.refineDepth,
+	}, solve, func(rank int) float64 { return values[rank] })
+	if err != nil {
+		return nil, err
+	}
+	res.Solved = stats.Solved
+	res.Rounds = stats.Rounds
+	res.Cells = stats.Cells
+	res.BestRank = stats.BestRank
+	if stats.BestRank >= 0 {
+		res.Best = res.Outcomes[at[stats.BestRank]]
+	}
+	return res, nil
+}
+
+// CSV renders the price surface as one row per grid point in row-major
+// order, with per-ISP price/share/utilization/revenue columns and per-CP
+// subsidy columns. For N = 2 the bytes match the duopoly CSV export.
+func (r *OligopolySweepResult) CSV() string {
+	var b strings.Builder
+	// Builder writes cannot fail, so the WriteCSV error is structurally nil.
+	_ = r.WriteCSV(&b)
+	return b.String()
+}
+
+// WriteCSV streams the CSV rendering of CSV row by row to w — identical
+// bytes with O(row) live memory. The first write error aborts.
+func (r *OligopolySweepResult) WriteCSV(w io.Writer) error {
+	if err := writeOligopolyCSVHeader(w, len(r.Grids), r.Names); err != nil {
+		return err
+	}
+	for i := range r.Outcomes {
+		if err := writeOligopolyCSVRow(w, &r.Outcomes[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeOligopolyCSVHeader writes the N-ISP CSV header: per-ISP column
+// groups plus one subsidy column per CP (commas in names become
+// semicolons).
+func writeOligopolyCSVHeader(w io.Writer, n int, names []string) error {
+	for _, group := range []string{"p", "share", "phi", "revenue"} {
+		for k := 1; k <= n; k++ {
+			sep := ","
+			if group == "p" && k == 1 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "%s%s%d", sep, group, k); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := io.WriteString(w, ",welfare"); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, ",s_%s", strings.ReplaceAll(name, ",", ";")); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// writeOligopolyCSVRow writes one outcome as an N-ISP CSV row.
+func writeOligopolyCSVRow(w io.Writer, out *OligopolyOutcome) error {
+	for gi, group := range [][]float64{out.P, out.Shares, out.Phi, out.Revenue} {
+		for k, v := range group {
+			sep := ","
+			if gi == 0 && k == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "%s%g", sep, v); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, ",%g", out.Welfare); err != nil {
+		return err
+	}
+	for _, s := range out.S {
+		if _, err := fmt.Fprintf(w, ",%g", s); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

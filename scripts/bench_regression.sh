@@ -21,7 +21,8 @@ base_stream=$(jq -r '.benchmarks.engine_sweep_stream_1worker.after.ns_per_op' BE
 base_adapt=$(jq -r '.benchmarks.engine_sweep_adaptive.after.ns_per_op' BENCH_solver.json)
 base_duostream=$(jq -r '.benchmarks.duopoly_sweep_prices_stream_1worker.after.ns_per_op' BENCH_solver.json)
 base_duoadapt=$(jq -r '.benchmarks.duopoly_sweep_prices_adaptive.after.ns_per_op' BENCH_solver.json)
-for v in "$base_hot" "$base_duo" "$base_pin" "$base_stream" "$base_adapt" "$base_duostream" "$base_duoadapt"; do
+base_oligo=$(jq -r '.benchmarks.oligopoly_sweep_prices_n3_1worker.after.ns_per_op' BENCH_solver.json)
+for v in "$base_hot" "$base_duo" "$base_pin" "$base_stream" "$base_adapt" "$base_duostream" "$base_duoadapt" "$base_oligo"; do
   if [ -z "$v" ] || [ "$v" = "null" ]; then
     echo "missing sweep baselines in BENCH_solver.json"
     exit 1
@@ -32,7 +33,7 @@ done
 # expressed as one alternation per level: top-level names, then the 1-worker
 # (or pinned cold) variants. The leaf Adaptive benchmarks have no sub-level
 # (a two-level pattern excludes them entirely), so they get their own run.
-out=$(go test -run '^$' -bench '^Benchmark(EngineSweep|EngineSweepStream|DuopolySweepPrices|DuopolySweepPricesStream)$/^(cold-1w|coldkernel-1w|1w)$' -benchtime 5x -count 3 .)
+out=$(go test -run '^$' -bench '^Benchmark(EngineSweep|EngineSweepStream|DuopolySweepPrices|DuopolySweepPricesStream|OligopolySweepPrices|OligopolySweepPricesStream)$/^(cold-1w|coldkernel-1w|1w)$' -benchtime 5x -count 3 .)
 out="$out
 $(go test -run '^$' -bench '^Benchmark(EngineSweepAdaptive|DuopolySweepPricesAdaptive)$' -benchtime 5x -count 3 .)"
 echo "$out"
@@ -43,7 +44,8 @@ stream=$(echo "$out" | awk '$1 ~ /^BenchmarkEngineSweepStream\/1w/ {print $3}' |
 adapt=$(echo "$out" | awk '$1 ~ /^BenchmarkEngineSweepAdaptive/ {print $3}' | sort -n | head -1)
 duostream=$(echo "$out" | awk '$1 ~ /^BenchmarkDuopolySweepPricesStream\/1w/ {print $3}' | sort -n | head -1)
 duoadapt=$(echo "$out" | awk '$1 ~ /^BenchmarkDuopolySweepPricesAdaptive/ {print $3}' | sort -n | head -1)
-if [ -z "$hot" ] || [ -z "$duo" ] || [ -z "$pin" ] || [ -z "$stream" ] || [ -z "$adapt" ] || [ -z "$duostream" ] || [ -z "$duoadapt" ]; then
+oligo=$(echo "$out" | awk '$1 ~ /^BenchmarkOligopolySweepPrices\/1w/ {print $3}' | sort -n | head -1)
+if [ -z "$hot" ] || [ -z "$duo" ] || [ -z "$pin" ] || [ -z "$stream" ] || [ -z "$adapt" ] || [ -z "$duostream" ] || [ -z "$duoadapt" ] || [ -z "$oligo" ]; then
   echo "could not parse benchmark output"
   exit 1
 fi
@@ -67,6 +69,7 @@ check engine_sweep_stream_1worker "$base_stream" "$stream"
 check engine_sweep_adaptive "$base_adapt" "$adapt"
 check duopoly_sweep_prices_stream_1worker "$base_duostream" "$duostream"
 check duopoly_sweep_prices_adaptive "$base_duoadapt" "$duoadapt"
+check oligopoly_sweep_prices_n3_1worker "$base_oligo" "$oligo"
 if [ "$failed" -ne 0 ]; then
   exit 1
 fi

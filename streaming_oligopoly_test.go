@@ -1,0 +1,252 @@
+package neutralnet_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"neutralnet"
+)
+
+// TestOligopolySweepPricesStreamDeterministicMatchesSweepPrices pins the
+// streaming sweep at N = 3: segments emit in strict snake order, every
+// streamed outcome equals its dense counterpart, the summary is
+// bit-identical across 1/4/9 workers (reflect.DeepEqual on the accumulator
+// compares every fold, including the quantile sketches), and the session is
+// left exactly as a dense SweepPrices leaves it.
+func TestOligopolySweepPricesStreamDeterministicMatchesSweepPrices(t *testing.T) {
+	grids := oligopolyGrids(3)
+	denseSession := newOligopoly(t, equalMu(3))
+	dense, err := denseSession.SweepPrices(grids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseFollow, err := denseSession.Solve(grids[0][2], grids[1][1], grids[2][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ref *neutralnet.OligopolySweepSummary
+	for _, workers := range []int{1, 4, 9} {
+		s := newOligopoly(t, equalMu(3), neutralnet.WithWorkers(workers), neutralnet.WithQuantiles(0.5))
+		covered := 0
+		nextSeg := 0
+		sum, err := s.SweepPricesStream(grids, func(seg neutralnet.OligopolySweepSegment) error {
+			if seg.Index != nextSeg {
+				t.Errorf("workers=%d: segment %d emitted out of order (want %d)", workers, seg.Index, nextSeg)
+			}
+			nextSeg++
+			for n, out := range seg.Outcomes {
+				if !reflect.DeepEqual(out, dense.Outcomes[seg.Ranks[n]]) {
+					t.Errorf("workers=%d: rank %d: stream %+v vs dense %+v", workers, seg.Ranks[n], out, dense.Outcomes[seg.Ranks[n]])
+				}
+				covered++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if covered != dense.Len() {
+			t.Fatalf("workers=%d: emitted %d outcomes, want %d", workers, covered, dense.Len())
+		}
+		if best := dense.ArgmaxTotalRevenue(); !reflect.DeepEqual(sum.BestRevenue, best) {
+			t.Errorf("workers=%d: BestRevenue %+v vs ArgmaxTotalRevenue %+v", workers, sum.BestRevenue, best)
+		}
+
+		// The session must be left exactly as SweepPrices leaves it.
+		if !reflect.DeepEqual(s.CachedPrices(), denseSession.CachedPrices()) {
+			t.Errorf("workers=%d: cache keys differ from a SweepPrices session", workers)
+		}
+		follow, err := s.Solve(grids[0][2], grids[1][1], grids[2][0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(follow, denseFollow) {
+			t.Errorf("workers=%d: follow-up solve differs from a SweepPrices session", workers)
+		}
+
+		if ref == nil {
+			ref = sum
+		} else if sum.Points != ref.Points ||
+			!reflect.DeepEqual(sum.TotalRevenue, ref.TotalRevenue) ||
+			!reflect.DeepEqual(sum.Welfare, ref.Welfare) ||
+			!reflect.DeepEqual(sum.BestRevenue, ref.BestRevenue) ||
+			!reflect.DeepEqual(sum.BestWelfare, ref.BestWelfare) {
+			t.Errorf("workers=%d: summary differs from 1-worker summary", workers)
+		}
+	}
+}
+
+// TestOligopolyStreamSummaryMatchesDenseFold pins the streamed summary to a
+// reference fold of the dense surface in snake order — the same
+// order-sensitive accumulator fed the same values must produce the same
+// bits, quantile sketches included.
+func TestOligopolyStreamSummaryMatchesDenseFold(t *testing.T) {
+	grids := oligopolyGrids(3)
+	dense, err := newOligopoly(t, equalMu(3), neutralnet.WithQuantiles(0.25, 0.75)).SweepPrices(grids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := newOligopoly(t, equalMu(3), neutralnet.WithQuantiles(0.25, 0.75), neutralnet.WithWorkers(4)).
+		SweepPricesStream(grids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference fold: walk the dense surface in snake-path order, as the
+	// in-order emission does.
+	rev := neutralnet.NewSweepAccumulator(0.25, 0.75)
+	wel := neutralnet.NewSweepAccumulator(0.25, 0.75)
+	var bestRev, bestWel neutralnet.OligopolyOutcome
+	walkSnakePath([]int{5, 4, 3}, func(rank int) {
+		out := dense.Outcomes[rank]
+		if rev.Add(rank, out.TotalRevenue()) {
+			bestRev = out
+		}
+		if wel.Add(rank, out.Welfare) {
+			bestWel = out
+		}
+	})
+	if !reflect.DeepEqual(sum.TotalRevenue, rev) || !reflect.DeepEqual(sum.Welfare, wel) {
+		t.Fatal("stream summary accumulators differ from the dense snake-order fold")
+	}
+	if !reflect.DeepEqual(sum.BestRevenue, bestRev) || !reflect.DeepEqual(sum.BestWelfare, bestWel) {
+		t.Fatal("stream summary argmax outcomes differ from the dense snake-order fold")
+	}
+}
+
+// walkSnakePath visits a hypercube's row-major ranks in snake-path order:
+// the last axis sweeps forward/backward alternately, and each turn
+// propagates the parity upward — the reference linearization the sweep
+// scheduler uses.
+func walkSnakePath(dims []int, visit func(rank int)) {
+	idx := make([]int, len(dims))
+	dir := make([]int, len(dims))
+	for d := range dir {
+		dir[d] = 1
+	}
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	for n := 0; n < total; n++ {
+		rank := 0
+		for d, i := range idx {
+			rank = rank*dims[d] + i
+		}
+		visit(rank)
+		for d := len(dims) - 1; d >= 0; d-- {
+			next := idx[d] + dir[d]
+			if next >= 0 && next < dims[d] {
+				idx[d] = next
+				break
+			}
+			dir[d] = -dir[d]
+		}
+	}
+}
+
+// TestOligopolySweepPricesAdaptiveMatchesDense pins the coarse-to-fine
+// refinement on the N = 3 hypercube: it must find the dense argmax cell
+// within the default ≤40% budget, deterministically across worker counts.
+func TestOligopolySweepPricesAdaptiveMatchesDense(t *testing.T) {
+	grids := [][]float64{
+		neutralnet.UniformGrid(0.6, 1.4, 8),
+		neutralnet.UniformGrid(0.6, 1.4, 8),
+		neutralnet.UniformGrid(0.7, 1.3, 6),
+	}
+	dense, err := newOligopoly(t, equalMu(3)).SweepPrices(grids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := dense.ArgmaxTotalRevenue()
+
+	var ref *neutralnet.OligopolyAdaptiveResult
+	for _, workers := range []int{1, 4} {
+		res, err := newOligopoly(t, equalMu(3), neutralnet.WithWorkers(workers)).SweepPricesAdaptive(grids...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Best, best) {
+			t.Errorf("workers=%d: adaptive argmax %+v vs dense %+v", workers, res.Best, best)
+		}
+		if res.Solved*10 > res.Dense*4 {
+			t.Errorf("workers=%d: solved %d of %d points (> 40%%)", workers, res.Solved, res.Dense)
+		}
+		t.Logf("workers=%d: solved %d/%d (%.0f%%) in %d rounds",
+			workers, res.Solved, res.Dense, 100*float64(res.Solved)/float64(res.Dense), res.Rounds)
+		if ref == nil {
+			ref = res
+		} else if !reflect.DeepEqual(res, ref) {
+			t.Errorf("workers=%d: adaptive result differs from 1-worker run", workers)
+		}
+	}
+}
+
+// TestOligopolySweepPricesAdaptiveLeavesSessionCold pins the refinement's
+// history isolation, as for the duopoly.
+func TestOligopolySweepPricesAdaptiveLeavesSessionCold(t *testing.T) {
+	grids := oligopolyGrids(3)
+	s := newOligopoly(t, equalMu(3))
+	if _, err := s.SweepPricesAdaptive(grids...); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.CacheLen(); n != 0 {
+		t.Fatalf("adaptive sweep left %d cache entries, want 0", n)
+	}
+	fresh, err := newOligopoly(t, equalMu(3)).Solve(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Solve(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, fresh) {
+		t.Fatal("solve after adaptive sweep differs from a fresh session solve")
+	}
+}
+
+// TestOligopolySweepPricesAdaptiveRejectsUnknownObjective pins the error
+// path of the objective registry wiring.
+func TestOligopolySweepPricesAdaptiveRejectsUnknownObjective(t *testing.T) {
+	s := newOligopoly(t, equalMu(3), neutralnet.WithRefineObjective("profit"))
+	if _, err := s.SweepPricesAdaptive(oligopolyGrids(3)...); err == nil || !strings.Contains(err.Error(), "unknown adaptive objective") {
+		t.Fatalf("want unknown-objective error, got %v", err)
+	}
+}
+
+// TestOligopolySweepResultCSVStreams pins WriteCSV to CSV byte for byte and
+// spot-checks the N-ISP layout: per-ISP column groups, one subsidy column
+// per CP, one row-major row per grid point.
+func TestOligopolySweepResultCSVStreams(t *testing.T) {
+	grids := [][]float64{{0.9, 1.1}, {1.0}, {0.8, 1.2}}
+	res, err := newOligopoly(t, equalMu(3)).SweepPrices(grids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := res.CSV()
+	if buf.String() != csv {
+		t.Fatal("WriteCSV bytes differ from CSV()")
+	}
+	lines := strings.Split(strings.TrimSuffix(csv, "\n"), "\n")
+	if len(lines) != 1+res.Len() {
+		t.Fatalf("%d CSV lines for %d points", len(lines), res.Len())
+	}
+	wantHeader := "p1,p2,p3,share1,share2,share3,phi1,phi2,phi3,revenue1,revenue2,revenue3,welfare,s_video,s_social"
+	if lines[0] != wantHeader {
+		t.Fatalf("header %q, want %q", lines[0], wantHeader)
+	}
+	// Row-major: row 1 is the outcome at coordinates (0,0,0).
+	first := res.At(0, 0, 0)
+	if !strings.HasPrefix(lines[1], fmt.Sprintf("%g,%g,%g,", first.P[0], first.P[1], first.P[2])) {
+		t.Fatalf("first row %q does not match outcome at (0,0,0)", lines[1])
+	}
+}

@@ -46,3 +46,11 @@ type (
 // UniformGrid returns n evenly spaced points on [lo, hi] inclusive — the
 // usual way to build a Grid axis.
 func UniformGrid(lo, hi float64, n int) []float64 { return sweep.Uniform(lo, hi, n) }
+
+// NewSweepAccumulator returns an empty SweepAccumulator tracking the given
+// quantile probabilities — the reduction the streaming sweeps fold into,
+// exposed for callers building their own reference folds (equivalence
+// tests, custom reductions over emitted segments).
+func NewSweepAccumulator(quantiles ...float64) SweepAccumulator {
+	return sweep.NewAccumulator(quantiles)
+}
