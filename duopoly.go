@@ -1,6 +1,7 @@
 package neutralnet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"neutralnet/internal/duopoly"
 	"neutralnet/internal/numeric"
 	"neutralnet/internal/solver"
+	"neutralnet/internal/sweep"
 	"neutralnet/internal/sweep/path"
 )
 
@@ -44,6 +46,12 @@ type DuopolySession struct {
 	// session, shared with every sweep worker; read through SolverStats.
 	telem solver.Telemetry
 
+	// faultHook is the test-only deterministic fault seam (see
+	// internal/faultinject), called once per sweep point with its
+	// row-major rank. Settable only from export_test.go; nil in
+	// production.
+	faultHook sweep.FaultHook
+
 	mu      sync.Mutex
 	ws      *duopoly.Workspace
 	warmBuf []float64
@@ -79,6 +87,7 @@ func (e *Engine) Duopoly(mu [2]float64, sigma, q float64) (*DuopolySession, erro
 			CPs: e.sys.CPs, Util: e.sys.Util, Mu: mu, Sigma: sigma, Q: q,
 			Solver:     string(e.cfg.solver.Method),
 			UtilSolver: e.cfg.solver.UtilSolver,
+			Fallback:   string(e.cfg.solver.Fallback),
 		},
 		workers:      e.cfg.workers,
 		objective:    e.cfg.objective,
@@ -122,7 +131,12 @@ func (s *DuopolySession) CachedPrices() [][2]float64 {
 // running sweep.
 func (s *DuopolySession) SolverStats() SolverStats {
 	c := s.telem.Snapshot()
-	return SolverStats{AutoGaussSeidel: c.GaussSeidel, AutoSOR: c.SOR, AutoAnderson: c.Anderson}
+	return SolverStats{
+		AutoGaussSeidel: c.GaussSeidel,
+		AutoSOR:         c.SOR,
+		AutoAnderson:    c.Anderson,
+		FallbackSolves:  c.Fallbacks,
+	}
 }
 
 // Solve returns the CP subsidization equilibrium of the duopoly at access
@@ -132,6 +146,17 @@ func (s *DuopolySession) Solve(p1, p2 float64) (DuopolyOutcome, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.solveLocked([2]float64{p1, p2})
+}
+
+// SolveCtx is Solve with cooperative cancellation: a single solve is one
+// cancellation segment, so ctx is checked once on entry — an already
+// cancelled context returns ctx.Err() with the session cache and warm
+// store untouched, and an uncancelled call is bit-identical to Solve.
+func (s *DuopolySession) SolveCtx(ctx context.Context, p1, p2 float64) (DuopolyOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return DuopolyOutcome{}, err
+	}
+	return s.Solve(p1, p2)
 }
 
 func (s *DuopolySession) solveLocked(p [2]float64) (DuopolyOutcome, error) {
@@ -146,7 +171,10 @@ func (s *DuopolySession) solveLocked(p [2]float64) (DuopolyOutcome, error) {
 	}
 	prof, st, err := s.m.CPEquilibriumWS(s.ws, p, s.warm)
 	if err != nil {
-		return DuopolyOutcome{}, fmt.Errorf("duopoly session: at p=(%g, %g): %w", p[0], p[1], err)
+		return DuopolyOutcome{}, &SolveError{
+			Surface: sweep.SurfaceDuopoly, Prices: []float64{p[0], p[1]},
+			Scheme: sweep.ResolveScheme(s.m.Solver), Err: err,
+		}
 	}
 	s.warm = numeric.CopyProfile(&s.warmBuf, prof)
 	out := s.outcome(p, prof, st)
@@ -234,8 +262,20 @@ type DuopolySweepResult struct {
 // cache or warm store. Solved points populate the cache afterwards in snake
 // order — under a cache bound the sweep's last points stay resident — and
 // the warm store is refreshed from the final path point, so follow-up Solve
-// calls continue the chain.
+// calls continue the chain. SweepPrices is SweepPricesCtx under
+// context.Background(): never cancelled.
 func (s *DuopolySession) SweepPrices(p1Grid, p2Grid []float64) (*DuopolySweepResult, error) {
+	return s.SweepPricesCtx(context.Background(), p1Grid, p2Grid)
+}
+
+// SweepPricesCtx is SweepPrices with cooperative cancellation at segment
+// boundaries: the worker pool polls ctx.Err() once per claimed warm-start
+// segment, so an uncancelled run is bit-identical to SweepPrices at any
+// worker count, and a cancelled run returns ctx.Err() with the session
+// cache and warm store exactly as they were before the call — the fold
+// into the session happens only after the whole sweep succeeds. A
+// panicking worker likewise surfaces as a *PanicError with nothing folded.
+func (s *DuopolySession) SweepPricesCtx(ctx context.Context, p1Grid, p2Grid []float64) (*DuopolySweepResult, error) {
 	if len(p1Grid) == 0 || len(p2Grid) == 0 {
 		return nil, fmt.Errorf("duopoly session: empty price grid")
 	}
@@ -259,7 +299,7 @@ func (s *DuopolySession) SweepPrices(p1Grid, p2Grid []float64) (*DuopolySweepRes
 		res.Outcomes[i] = make([]DuopolyOutcome, len(p2Grid))
 	}
 
-	err := path.Run(pl, workers,
+	err := path.RunCtx(ctx, pl, workers,
 		func() *duoWorker { return &duoWorker{ws: duopoly.NewWorkspace()} },
 		func(w *duoWorker, lo, hi int) error {
 			return s.runPriceChain(pl, res.P1, res.P2, lo, hi, func(_, rank int, out DuopolyOutcome) {

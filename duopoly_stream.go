@@ -1,8 +1,10 @@
 package neutralnet
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"neutralnet/internal/duopoly"
@@ -33,15 +35,55 @@ func (s *DuopolySession) runPriceChain(pl path.Plan, p1, p2 []float64, lo, hi in
 	for k := lo; k < hi; k++ {
 		pl.Coords(k, w.idx[:])
 		i, j := w.idx[0], w.idx[1]
+		rank := i*len(p2) + j
 		p := [2]float64{p1[i], p2[j]}
-		prof, st, err := s.m.CPEquilibriumChainWS(w.ws, p, warm, k > lo)
+		prof, st, poison, err := s.solvePointWS(w, p, rank, warm, k > lo)
 		if err != nil {
-			return fmt.Errorf("duopoly session: at p=(%g, %g): %w", p[0], p[1], err)
+			return err
 		}
 		warm = numeric.CopyProfile(&w.warmBuf, prof)
-		store(k, i*len(p2)+j, s.outcome(p, prof, st))
+		store(k, rank, s.pointOutcome(p, prof, st, poison))
 	}
 	return nil
+}
+
+// solvePointWS is the session's per-point CP-equilibrium solve with the
+// test-only fault seam (consulted exactly once per point, keyed on the
+// point's row-major rank) and the typed error wrap applied: an armed Fail
+// rank dies before the solve, and any failure surfaces as a *SolveError
+// locating the point on the price plane. poison reports whether the fault
+// seam asked for the point's objectives to be NaN-poisoned.
+func (s *DuopolySession) solvePointWS(w *duoWorker, p [2]float64, rank int, warm []float64, chained bool) (prof []float64, st duopoly.State, poison bool, err error) {
+	if s.faultHook != nil {
+		var ferr error
+		poison, ferr = s.faultHook(rank)
+		if ferr != nil {
+			return nil, duopoly.State{}, false, &SolveError{
+				Surface: sweep.SurfaceDuopoly, Prices: []float64{p[0], p[1]},
+				Scheme: sweep.ResolveScheme(s.m.Solver), Err: ferr,
+			}
+		}
+	}
+	prof, st, err = s.m.CPEquilibriumChainWS(w.ws, p, warm, chained)
+	if err != nil {
+		return nil, duopoly.State{}, false, &SolveError{
+			Surface: sweep.SurfaceDuopoly, Prices: []float64{p[0], p[1]},
+			Scheme: sweep.ResolveScheme(s.m.Solver), Err: err,
+		}
+	}
+	return prof, st, poison, nil
+}
+
+// pointOutcome assembles the point's outcome, applying the fault seam's
+// NaN poisoning when asked (the solve itself ran normally, keeping the
+// warm chain intact — only the point's objectives turn non-finite,
+// exercising the reductions' non-finite skipping).
+func (s *DuopolySession) pointOutcome(p [2]float64, prof []float64, st duopoly.State, poison bool) DuopolyOutcome {
+	out := s.outcome(p, prof, st)
+	if poison {
+		out.Revenue[0], out.Revenue[1], out.Welfare = math.NaN(), math.NaN(), math.NaN()
+	}
+	return out
 }
 
 // solveCoordChain is runPriceChain over an explicit coordinate list — the
@@ -50,12 +92,12 @@ func (s *DuopolySession) solveCoordChain(p1, p2 []float64, chain [][]int, out []
 	var warm []float64
 	for n, c := range chain {
 		p := [2]float64{p1[c[0]], p2[c[1]]}
-		prof, st, err := s.m.CPEquilibriumChainWS(w.ws, p, warm, n > 0)
+		prof, st, poison, err := s.solvePointWS(w, p, c[0]*len(p2)+c[1], warm, n > 0)
 		if err != nil {
-			return fmt.Errorf("duopoly session: at p=(%g, %g): %w", p[0], p[1], err)
+			return err
 		}
 		warm = numeric.CopyProfile(&w.warmBuf, prof)
-		out[n] = s.outcome(p, prof, st)
+		out[n] = s.pointOutcome(p, prof, st, poison)
 	}
 	return nil
 }
@@ -97,10 +139,24 @@ type DuopolySweepSummary struct {
 // summary, holding O(segment · workers) outcomes live regardless of grid
 // size. The summary is bit-identical at any worker count and session
 // history. The session is left exactly as SweepPrices leaves it: solved
-// points fold into the cache progressively in snake order (under a cache
-// bound the sweep's tail stays resident) and the warm store continues from
-// the final path point.
+// points fold into the cache in snake order (under a cache bound the
+// sweep's tail stays resident) and the warm store continues from the
+// final path point — but only when the whole sweep succeeds. A failed,
+// cancelled or panicking sweep leaves the cache and warm store exactly as
+// they were before the call: the fold is staged during the sweep and
+// committed atomically after the last segment, so a follow-up Solve on a
+// failed session is bit-identical to one on a session that never swept.
+// SweepPricesStream is SweepPricesStreamCtx under context.Background().
 func (s *DuopolySession) SweepPricesStream(p1Grid, p2Grid []float64, emit func(DuopolySweepSegment) error) (*DuopolySweepSummary, error) {
+	return s.SweepPricesStreamCtx(context.Background(), p1Grid, p2Grid, emit)
+}
+
+// SweepPricesStreamCtx is SweepPricesStream with cooperative cancellation
+// at segment boundaries: the ordered pool polls ctx.Err() once per claimed
+// segment, an uncancelled run is bit-identical to SweepPricesStream at any
+// worker count, and a cancelled run returns ctx.Err() with no further emit
+// calls and the session cache and warm store untouched.
+func (s *DuopolySession) SweepPricesStreamCtx(ctx context.Context, p1Grid, p2Grid []float64, emit func(DuopolySweepSegment) error) (*DuopolySweepSummary, error) {
 	if len(p1Grid) == 0 || len(p2Grid) == 0 {
 		return nil, fmt.Errorf("duopoly session: empty price grid")
 	}
@@ -141,7 +197,15 @@ func (s *DuopolySession) SweepPricesStream(p1Grid, p2Grid []float64, emit func(D
 		cacheFrom = pl.Len() - s.cap
 	}
 
-	err := path.RunOrdered(pl, workers,
+	// Failure atomicity: nothing touches the session until the whole sweep
+	// succeeds. Cache-worthy outcomes are staged in emission (snake) order
+	// and the final path point's profile retained — each outcome owns its S
+	// slice, so staging survives the slot ring's reuse — then committed in
+	// one step after the pool returns clean.
+	staged := make([]DuopolyOutcome, 0, pl.Len()-cacheFrom)
+	var lastS []float64
+
+	err := path.RunOrderedCtx(ctx, pl, workers,
 		func() *duoWorker { return &duoWorker{ws: duopoly.NewWorkspace()} },
 		func(w *duoWorker, c, lo, hi int) error {
 			sl := &slots[c%len(slots)]
@@ -154,10 +218,9 @@ func (s *DuopolySession) SweepPricesStream(p1Grid, p2Grid []float64, emit func(D
 		},
 		func(c, lo, hi int) error {
 			sl := &slots[c%len(slots)]
-			// Fold into the summary and the session cache. The progressive
-			// snake-order store leaves the same final FIFO state as
+			// Fold into the summary and stage the cache fold. The staged
+			// snake-order replay leaves the same final FIFO state as
 			// SweepPrices' tail fold: only the last cap insertions survive.
-			s.mu.Lock()
 			for n, out := range sl.outs {
 				sum.Points++
 				if sum.TotalRevenue.Add(sl.ranks[n], out.Revenue[0]+out.Revenue[1]) {
@@ -167,15 +230,12 @@ func (s *DuopolySession) SweepPricesStream(p1Grid, p2Grid []float64, emit func(D
 					sum.BestWelfare = out
 				}
 				if lo+n >= cacheFrom {
-					s.storeLocked(out)
+					staged = append(staged, out)
 				}
 			}
-			// Continue the warm chain from the newest emitted point, as a
-			// sequential walk would.
 			if n := len(sl.outs); n > 0 {
-				s.warm = numeric.CopyProfile(&s.warmBuf, sl.outs[n-1].S)
+				lastS = sl.outs[n-1].S
 			}
-			s.mu.Unlock()
 			if emit == nil {
 				return nil
 			}
@@ -184,6 +244,17 @@ func (s *DuopolySession) SweepPricesStream(p1Grid, p2Grid []float64, emit func(D
 	if err != nil {
 		return nil, err
 	}
+	// Commit: the sweep succeeded end to end, fold the staged tail into the
+	// cache and continue the warm chain from the final path point, as a
+	// sequential walk would.
+	s.mu.Lock()
+	for i := range staged {
+		s.storeLocked(staged[i])
+	}
+	if lastS != nil {
+		s.warm = numeric.CopyProfile(&s.warmBuf, lastS)
+	}
+	s.mu.Unlock()
 	return sum, nil
 }
 
@@ -230,7 +301,17 @@ type DuopolyAdaptiveResult struct {
 // SweepPrices, the session cache and warm store are left untouched: the
 // refinement's chains jump around the plane, and folding them in would
 // make the session's warm chain depend on the refinement trajectory.
+// SweepPricesAdaptive is SweepPricesAdaptiveCtx under context.Background().
 func (s *DuopolySession) SweepPricesAdaptive(p1Grid, p2Grid []float64) (*DuopolyAdaptiveResult, error) {
+	return s.SweepPricesAdaptiveCtx(context.Background(), p1Grid, p2Grid)
+}
+
+// SweepPricesAdaptiveCtx is SweepPricesAdaptive with cooperative
+// cancellation: ctx is polled between refinement rounds and at every
+// chain-segment boundary inside each round's pool. An uncancelled run is
+// bit-identical to SweepPricesAdaptive; a cancelled one returns ctx.Err()
+// (the session was untouched either way).
+func (s *DuopolySession) SweepPricesAdaptiveCtx(ctx context.Context, p1Grid, p2Grid []float64) (*DuopolyAdaptiveResult, error) {
 	if len(p1Grid) == 0 || len(p2Grid) == 0 {
 		return nil, fmt.Errorf("duopoly session: empty price grid")
 	}
@@ -274,7 +355,7 @@ func (s *DuopolySession) SweepPricesAdaptive(p1Grid, p2Grid []float64) (*Duopoly
 			bufs[i] = make([]DuopolyOutcome, len(chains[i]))
 		}
 		cpl := path.New([]int{len(chains)}, 1)
-		err := path.Run(cpl, workers,
+		err := path.RunCtx(ctx, cpl, workers,
 			func() *duoWorker { return &duoWorker{ws: duopoly.NewWorkspace()} },
 			func(w *duoWorker, lo, hi int) error {
 				for ci := lo; ci < hi; ci++ {
@@ -300,7 +381,7 @@ func (s *DuopolySession) SweepPricesAdaptive(p1Grid, p2Grid []float64) (*Duopoly
 		return nil
 	}
 
-	stats, err := path.Adaptive([]int{len(p1Grid), len(p2Grid)}, path.AdaptiveConfig{
+	stats, err := path.AdaptiveCtx(ctx, []int{len(p1Grid), len(p2Grid)}, path.AdaptiveConfig{
 		Budget:   budget,
 		MaxDepth: s.refineDepth,
 	}, solve, func(rank int) float64 { return values[rank] })

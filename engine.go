@@ -2,6 +2,7 @@ package neutralnet
 
 import (
 	"container/list"
+	"context"
 	"math"
 	"sync"
 
@@ -107,16 +108,27 @@ type SolverStats struct {
 	// AutoAnderson counts solves delegated to safeguarded Anderson
 	// acceleration.
 	AutoAnderson uint64
+	// FallbackSolves counts WithFallbackSolver ladder retries: a primary
+	// scheme exhausted its iteration budget without converging and the
+	// point was retried through the fallback scheme. Counted when the
+	// retry is issued, whether or not it then converges.
+	FallbackSolves uint64
 }
 
-// Total returns the number of auto-dispatched solves recorded.
+// Total returns the number of auto-dispatched solves recorded. Fallback
+// retries are a separate ladder, not an auto branch, and are excluded.
 func (s SolverStats) Total() uint64 { return s.AutoGaussSeidel + s.AutoSOR + s.AutoAnderson }
 
-// SolverStats returns a snapshot of the Engine's auto-scheme branch
-// counters. Safe to call concurrently with running sweeps.
+// SolverStats returns a snapshot of the Engine's auto-scheme branch and
+// fallback-ladder counters. Safe to call concurrently with running sweeps.
 func (e *Engine) SolverStats() SolverStats {
 	c := e.telem.Snapshot()
-	return SolverStats{AutoGaussSeidel: c.GaussSeidel, AutoSOR: c.SOR, AutoAnderson: c.Anderson}
+	return SolverStats{
+		AutoGaussSeidel: c.GaussSeidel,
+		AutoSOR:         c.SOR,
+		AutoAnderson:    c.Anderson,
+		FallbackSolves:  c.Fallbacks,
+	}
 }
 
 // CacheLen returns the number of cached equilibria.
@@ -136,6 +148,14 @@ func (e *Engine) Solve(p, q float64) (Equilibrium, error) {
 	return e.SolveAt(p, q, e.sys.Mu)
 }
 
+// SolveCtx is Solve with cooperative cancellation: a single solve is one
+// cancellation segment, so ctx is checked once on entry — an already
+// cancelled context returns ctx.Err() before touching the cache or solving,
+// and an uncancelled call is bit-identical to Solve.
+func (e *Engine) SolveCtx(ctx context.Context, p, q float64) (Equilibrium, error) {
+	return e.SolveAtCtx(ctx, p, q, e.sys.Mu)
+}
+
 // gameAt builds the game at (p, q) on the Engine's system with capacity µ
 // (a copy when µ differs; the Engine's system is never mutated).
 func (e *Engine) gameAt(p, q, mu float64) (*Game, error) {
@@ -151,6 +171,17 @@ func (e *Engine) gameAt(p, q, mu float64) (*Game, error) {
 // SolveAt is Solve with a capacity override: the game is solved on a copy
 // of the system with capacity µ (the Engine's system is not mutated).
 func (e *Engine) SolveAt(p, q, mu float64) (Equilibrium, error) {
+	return e.SolveAtCtx(context.Background(), p, q, mu)
+}
+
+// SolveAtCtx is SolveAt with cooperative cancellation, under the same
+// one-segment semantics as SolveCtx: an already cancelled context returns
+// ctx.Err() with the Engine's cache, warm state and stats untouched; once
+// the solve starts it runs to completion.
+func (e *Engine) SolveAtCtx(ctx context.Context, p, q, mu float64) (Equilibrium, error) {
+	if err := ctx.Err(); err != nil {
+		return Equilibrium{}, err
+	}
 	key := eqKey{p: p, q: q, mu: mu}
 	e.mu.Lock()
 	if e.cache != nil {
@@ -203,14 +234,27 @@ func (e *Engine) SolveAt(p, q, mu float64) (Equilibrium, error) {
 // profile and the utilization seed φ — chain within each segment only,
 // never across segments or through the cache. Sweeps default to the warm
 // utilization kernel (see WithUtilizationSolver). Solved points are
-// inserted into the cache for later Solve calls.
+// inserted into the cache for later Solve calls. Sweep is SweepCtx under
+// context.Background(): never cancelled.
 func (e *Engine) Sweep(grid Grid) (*SweepResult, error) {
-	res, err := sweep.Run(e.sys, grid, sweep.Config{
+	return e.SweepCtx(context.Background(), grid)
+}
+
+// SweepCtx is Sweep with cooperative cancellation at segment boundaries:
+// the worker pool polls ctx.Err() once per claimed warm-start segment, so
+// an uncancelled run is bit-identical to Sweep (at any worker count) and a
+// cancelled run returns ctx.Err() with the Engine's cache and stats exactly
+// as they were before the call — the cache fold happens only after the
+// whole sweep succeeds. A panicking worker likewise surfaces as a
+// *PanicError instead of killing the process, with nothing folded.
+func (e *Engine) SweepCtx(ctx context.Context, grid Grid) (*SweepResult, error) {
+	res, err := sweep.RunCtx(ctx, e.sys, grid, sweep.Config{
 		Workers:    e.cfg.workers,
 		Solver:     e.cfg.solver,
 		WarmStart:  e.cfg.warmStart,
 		SegmentLen: sweep.DefaultSegmentLen,
 		Emit:       e.cfg.emit,
+		FaultHook:  e.cfg.faultHook,
 	})
 	if err != nil {
 		return nil, err
@@ -253,13 +297,23 @@ func (e *Engine) Sweep(grid Grid) (*SweepResult, error) {
 // reductions at any worker count (the accumulators fold in snake order with
 // slab tie rules). SweepStream leaves the Engine's equilibrium cache and
 // stats untouched — retaining points would defeat the memory contract.
+// SweepStream is SweepStreamCtx under context.Background().
 func (e *Engine) SweepStream(grid Grid, emit func(SweepSegment) error) (*SweepSummary, error) {
-	return sweep.Stream(e.sys, grid, sweep.Config{
+	return e.SweepStreamCtx(context.Background(), grid, emit)
+}
+
+// SweepStreamCtx is SweepStream with cooperative cancellation at segment
+// boundaries: a cancelled context stops claiming segments, suppresses the
+// remaining emits, and returns ctx.Err() with no summary; an uncancelled
+// run is bit-identical to SweepStream at any worker count.
+func (e *Engine) SweepStreamCtx(ctx context.Context, grid Grid, emit func(SweepSegment) error) (*SweepSummary, error) {
+	return sweep.StreamCtx(ctx, e.sys, grid, sweep.Config{
 		Workers:    e.cfg.workers,
 		Solver:     e.cfg.solver,
 		WarmStart:  e.cfg.warmStart,
 		SegmentLen: sweep.DefaultSegmentLen,
 		Quantiles:  e.cfg.quantiles,
+		FaultHook:  e.cfg.faultHook,
 	}, emit)
 }
 
@@ -272,14 +326,24 @@ func (e *Engine) SweepStream(grid Grid, emit func(SweepSegment) error) (*SweepSu
 // WithRefineDepth bounds the rounds). The refinement frontier is
 // deterministic, so the solved points and the argmax are bit-identical at
 // any worker count. Like SweepStream, the Engine's cache and stats are
-// left untouched.
+// left untouched. SweepAdaptive is SweepAdaptiveCtx under
+// context.Background().
 func (e *Engine) SweepAdaptive(grid Grid) (*AdaptiveSweepResult, error) {
-	return sweep.RunAdaptive(e.sys, grid, sweep.AdaptiveConfig{
+	return e.SweepAdaptiveCtx(context.Background(), grid)
+}
+
+// SweepAdaptiveCtx is SweepAdaptive with cooperative cancellation: the
+// refinement loop checks ctx before each batch and the batch pool polls it
+// at segment claims; a cancelled run returns ctx.Err() with no partial
+// result, an uncancelled one is bit-identical to SweepAdaptive.
+func (e *Engine) SweepAdaptiveCtx(ctx context.Context, grid Grid) (*AdaptiveSweepResult, error) {
+	return sweep.RunAdaptiveCtx(ctx, e.sys, grid, sweep.AdaptiveConfig{
 		Config: sweep.Config{
 			Workers:    e.cfg.workers,
 			Solver:     e.cfg.solver,
 			WarmStart:  e.cfg.warmStart,
 			SegmentLen: sweep.DefaultSegmentLen,
+			FaultHook:  e.cfg.faultHook,
 		},
 		Objective: e.cfg.objective,
 		Budget:    e.cfg.refineBudget,

@@ -1,0 +1,60 @@
+package neutralnet
+
+import (
+	"neutralnet/internal/game"
+	"neutralnet/internal/numeric"
+	"neutralnet/internal/sweep"
+	"neutralnet/internal/sweep/path"
+)
+
+// Structured error taxonomy of the solve/sweep stack. Every long-running
+// surface fails with a typed error that both renders the historical message
+// and participates in errors.Is/As chains:
+//
+//   - *SolveError wraps any per-point solve failure inside a sweep with the
+//     point's grid location, the configured scheme and the iteration count;
+//     Unwrap reaches the cause.
+//   - *PanicError is a recovered worker panic (segment rank + stack); the
+//     process survives and the sweep fails like any other first error.
+//   - *DimensionError is a subsidy-vector length mismatch; errors.Is
+//     matches ErrDimension.
+//   - The sentinels below classify the leaf causes: errors.Is(err,
+//     ErrNotConverged) is true for a Nash iteration that exhausted its
+//     budget anywhere in the stack — the engine's game solves and the
+//     sessions' CP equilibria alike.
+type (
+	// SolveError is a per-point solve failure located on its sweep grid:
+	// P/Q/Mu for Engine sweeps, Prices for the session price sweeps, plus
+	// the configured solver scheme and the failed solve's iteration count.
+	// Retrieve it from any sweep error with errors.As; Unwrap exposes the
+	// cause (ErrNotConverged, ErrNoBracket, ErrMaxIter, an injected test
+	// fault, ...).
+	SolveError = sweep.SolveError
+	// PanicError is a panic recovered at a sweep-segment boundary: the
+	// segment's rank, the recovered value, and the goroutine stack captured
+	// at recovery. Sweeps return it instead of crashing the process, with
+	// caches and warm stores untouched.
+	PanicError = path.PanicError
+	// DimensionError reports a subsidy vector whose length does not match
+	// the CP population (game, duopoly and oligopoly alike); errors.Is
+	// matches ErrDimension, errors.As extracts the lengths.
+	DimensionError = game.DimensionError
+)
+
+// Sentinel errors.Is targets, re-exported from the internal packages that
+// produce them.
+var (
+	// ErrNotConverged classifies every exhausted iteration budget: the Nash
+	// iteration of Engine solves and sweeps, and the CP equilibria of the
+	// duopoly/oligopoly sessions.
+	ErrNotConverged = game.ErrNotConverged
+	// ErrDimension classifies subsidy-vector dimension mismatches; the
+	// concrete error is a *DimensionError.
+	ErrDimension = game.ErrDimension
+	// ErrNoBracket is the root-kernel failure of a best-response root find
+	// whose marginal utility never changed sign on the search interval.
+	ErrNoBracket = numeric.ErrNoBracket
+	// ErrMaxIter is the root-kernel failure of a bracketed root find that
+	// exhausted its iteration budget.
+	ErrMaxIter = numeric.ErrMaxIter
+)

@@ -97,6 +97,7 @@ func (k nameKind) String() string {
 // sinkForCall).
 var callSinks = map[string]nameKind{
 	"WithSolver":            solverKind,
+	"WithFallbackSolver":    solverKind,
 	"WithUtilizationSolver": utilKind,
 	"SetUtilSolver":         utilKind,
 	"WithRefineObjective":   objectiveKind,
@@ -108,6 +109,7 @@ var callSinks = map[string]nameKind{
 var fieldSinks = map[string]nameKind{
 	"Method":     solverKind,
 	"Solver":     solverKind,
+	"Fallback":   solverKind,
 	"UtilSolver": utilKind,
 	"BRSeed":     brSeedKind,
 	"Objective":  objectiveKind,

@@ -15,7 +15,8 @@ type Config struct {
 
 // Game mirrors the game options struct.
 type Game struct {
-	Method Method
+	Method   Method
+	Fallback Method
 }
 
 // Weights has a same-named field of non-string type: never checked.
@@ -25,6 +26,9 @@ type Weights struct {
 
 // WithSolver mirrors the root option constructor.
 func WithSolver(name string) {}
+
+// WithFallbackSolver mirrors the root option constructor.
+func WithFallbackSolver(name string) {}
 
 // WithUtilizationSolver mirrors the root option constructor.
 func WithUtilizationSolver(name string) {}
@@ -48,6 +52,8 @@ func use() {
 	WithSolver("anderson")               // want "raw string literal \"anderson\" in solver-name position"
 	WithSolver(GaussSeidelName)          // ok: known constant
 	WithSolver(TyposeidelName)           // want "constant TyposeidelName = \"gauss-seidle\" is not a registered solver name"
+	WithFallbackSolver("gauss-seidel")   // want "raw string literal \"gauss-seidel\" in solver-name position"
+	WithFallbackSolver(GaussSeidelName)  // ok: known constant
 	WithUtilizationSolver("brent")       // want "raw string literal \"brent\" in utilization-kernel-name position"
 	WithUtilizationSolver(UtilBrentWarm) // ok: known constant
 	WithRefineObjective("welfare")       // want "raw string literal \"welfare\" in objective-name position"
@@ -68,6 +74,8 @@ func use() {
 
 	g := Game{Method: Method("gauss-seidel")} // want "raw string literal \"gauss-seidel\""
 	g.Method = Method(GaussSeidelName)        // ok: conversion of a known constant
+	g.Fallback = Method("sor")                // want "raw string literal \"sor\""
+	g.Fallback = Method(GaussSeidelName)      // ok: conversion of a known constant
 	_ = g
 
 	w := Weights{Solver: 3} // ok: non-string field is out of scope

@@ -34,6 +34,7 @@ import (
 	"math"
 
 	"neutralnet/internal/econ"
+	"neutralnet/internal/game"
 	"neutralnet/internal/model"
 	"neutralnet/internal/numeric"
 	"neutralnet/internal/solver"
@@ -51,6 +52,12 @@ const (
 	cpTol     = 1e-7
 	cpMaxIter = 200
 )
+
+// ErrCPNotConverged is returned when the CP fixed point exhausts its
+// iteration budget (after any configured fallback retry). It satisfies
+// errors.Is(err, game.ErrNotConverged): non-convergence is one class across
+// the whole equilibrium stack. The message matches the historical string.
+var ErrCPNotConverged error = game.NotConverged("duopoly: CP equilibrium did not converge")
 
 // Market is a two-ISP access market sharing one CP catalog.
 type Market struct {
@@ -80,6 +87,13 @@ type Market struct {
 	// across the parallel sweep's workers — the counters are atomic — and
 	// recording never affects iterates.
 	Telemetry *solver.Telemetry
+	// Fallback, when non-empty and naming a different registered scheme
+	// than Solver (after empty→default resolution), arms the
+	// graceful-degradation ladder on the CP equilibrium: a solve that
+	// exhausts its iteration budget without converging is retried once
+	// through the fallback scheme from the primary's final iterate.
+	// Retries are recorded in Telemetry (BranchCounts.Fallbacks).
+	Fallback string
 }
 
 // utilKernel resolves the market's utilization kernel name, applying the
@@ -153,7 +167,7 @@ func (m *Market) network(k int) *model.System {
 // It is the one-shot allocating entry; hot loops hold a Workspace.
 func (m *Market) Solve(p [2]float64, s []float64) (State, error) {
 	if len(s) != len(m.CPs) {
-		return State{}, fmt.Errorf("duopoly: %d subsidies for %d CPs", len(s), len(m.CPs))
+		return State{}, &game.DimensionError{Pkg: "duopoly", Got: len(s), Want: len(m.CPs)}
 	}
 	st := State{P: p}
 	st.Shares[0], st.Shares[1] = m.Shares(p[0], p[1])
@@ -195,7 +209,8 @@ type Workspace struct {
 	utilityFn  func(float64) float64
 	utilityErr error
 
-	fp solver.Cached // cached fixed-point instance for the last-used scheme
+	fp   solver.Cached // cached fixed-point instance for the last-used scheme
+	fbFp solver.Cached // fallback-ladder instance, cached apart from fp
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized on first bind.
@@ -371,7 +386,29 @@ func (m *Market) CPEquilibriumChainWS(ws *Workspace, p [2]float64, warm []float6
 		return nil, State{}, err
 	}
 	if !res.Converged {
-		return nil, State{}, errors.New("duopoly: CP equilibrium did not converge")
+		// Graceful degradation: retry once through the fallback scheme from
+		// the primary's final iterate before reporting non-convergence.
+		fbName, fire := solver.FallbackName(m.Solver, m.Fallback)
+		if !fire {
+			return nil, State{}, ErrCPNotConverged
+		}
+		fb, ferr := ws.fbFp.Get(fbName)
+		if ferr != nil {
+			return nil, State{}, ferr
+		}
+		m.Telemetry.RecordFallback()
+		solver.Attach(fb, m.Telemetry)
+		res, err = fb.Solve(ws, ws.s, cpTol, cpMaxIter)
+		if err != nil {
+			var ce *solver.ComponentError
+			if errors.As(err, &ce) {
+				return nil, State{}, ce.Err
+			}
+			return nil, State{}, err
+		}
+		if !res.Converged {
+			return nil, State{}, ErrCPNotConverged
+		}
 	}
 	st, err := ws.stateWS()
 	if err != nil {

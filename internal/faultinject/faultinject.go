@@ -1,0 +1,124 @@
+// Package faultinject is the deterministic fault seam behind the
+// robustness regression suites. An Injector maps row-major grid ranks to
+// fault modes — fail, panic, or poison-with-NaN — and exposes a hook the
+// sweep layers call once per point solve. Because faults key on the
+// point's rank (a function of the grid alone) rather than on solve order,
+// an injected fault lands on exactly the same point at any worker count
+// and under any schedule, which is what lets the first-error-cancellation,
+// failure-atomicity and stream-shutdown suites assert bit-exact outcomes
+// under -race.
+//
+// The seam is wired through test-only hooks: sweep.Config.FaultHook for
+// the engine sweeps and the unexported session hooks exposed by the root
+// package's export_test.go. Production builds never construct an Injector
+// and pay one nil check per point.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Mode selects what happens at an injected rank.
+type Mode int
+
+const (
+	// Fail makes the hook return an *InjectedError: the point fails like a
+	// real solve failure (wrapped in the sweep layer's *SolveError) and
+	// cancels the remaining segments.
+	Fail Mode = iota
+	// Panic makes the hook panic with an *InjectedPanic: the worker pool
+	// must recover it into a *path.PanicError and survive.
+	Panic
+	// NaN lets the solve complete and poisons the point's objectives with
+	// NaN, exercising the reductions' non-finite skipping.
+	NaN
+)
+
+// String names the mode for messages.
+func (m Mode) String() string {
+	switch m {
+	case Fail:
+		return "fail"
+	case Panic:
+		return "panic"
+	case NaN:
+		return "nan"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ErrInjected is the errors.Is target every injected failure matches.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// InjectedError is the typed failure a Fail-mode rank produces.
+type InjectedError struct {
+	Rank int // row-major rank the fault was keyed on
+}
+
+// Error identifies the fault and its rank.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected failure at rank %d", e.Rank)
+}
+
+// Is matches the ErrInjected class.
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+// InjectedPanic is the value a Panic-mode rank panics with, so recovery
+// tests can assert the panic payload round-tripped through the pool.
+type InjectedPanic struct {
+	Rank int
+}
+
+// String renders the payload (panic values print via %v).
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic at rank %d", p.Rank)
+}
+
+// Injector is a rank-keyed fault table. The zero value injects nothing;
+// Set arms ranks. Hook dispatch is concurrency-safe (sweep workers call it
+// in parallel) because the table is read-only after arming — arm before
+// handing the hook to a sweep.
+type Injector struct {
+	faults map[int]Mode
+	calls  atomic.Int64 // total hook invocations, for coverage asserts
+}
+
+// New returns an empty injector.
+func New() *Injector { return &Injector{faults: map[int]Mode{}} }
+
+// Set arms rank with mode, replacing any previous arming. Not safe
+// concurrently with Hook calls; arm before the sweep starts.
+func (in *Injector) Set(rank int, m Mode) *Injector {
+	if in.faults == nil {
+		in.faults = map[int]Mode{}
+	}
+	in.faults[rank] = m
+	return in
+}
+
+// Calls reports how many times the hook has run — a cheap way for suites
+// to assert cancellation actually skipped the remaining points.
+func (in *Injector) Calls() int64 { return in.calls.Load() }
+
+// Hook is the rank-keyed fault seam in the shape the sweep layers consume
+// (sweep.FaultHook and the session hooks are assignment-compatible): it
+// panics on Panic ranks, errors on Fail ranks, reports poisonNaN on NaN
+// ranks, and does nothing elsewhere.
+func (in *Injector) Hook(rank int) (poisonNaN bool, err error) {
+	in.calls.Add(1)
+	mode, armed := in.faults[rank]
+	if !armed {
+		return false, nil
+	}
+	switch mode {
+	case Fail:
+		return false, &InjectedError{Rank: rank}
+	case Panic:
+		panic(&InjectedPanic{Rank: rank})
+	case NaN:
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,50 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDimension is the errors.Is target for every subsidy-vector dimension
+// mismatch in the game stack (and the duopoly/oligopoly markets built on
+// it). The concrete error is always a *DimensionError; match the class with
+// errors.Is(err, game.ErrDimension) and extract the lengths with errors.As.
+var ErrDimension = errors.New("subsidy dimension mismatch")
+
+// DimensionError reports a subsidy vector whose length does not match the
+// CP population it is applied to. It unifies the previously ad-hoc
+// "%d subsidies for %d CPs" fmt.Errorf sites behind one type; the rendered
+// message is unchanged site for site (Pkg carries the originating package
+// prefix: "game", "duopoly", "oligopoly").
+type DimensionError struct {
+	Pkg  string // originating package prefix in the rendered message
+	Got  int    // supplied subsidy-vector length
+	Want int    // CP count of the game or market
+}
+
+// Error renders exactly the historical message for the originating site.
+func (e *DimensionError) Error() string {
+	return fmt.Sprintf("%s: %d subsidies for %d CPs", e.Pkg, e.Got, e.Want)
+}
+
+// Is matches the ErrDimension class sentinel, so callers can test the
+// category without knowing the concrete type.
+func (e *DimensionError) Is(target error) bool { return target == ErrDimension }
+
+// dimensionError builds the game-package instance; the market packages
+// construct theirs with their own Pkg prefix.
+func dimensionError(got, want int) *DimensionError {
+	return &DimensionError{Pkg: "game", Got: got, Want: want}
+}
+
+// NotConverged is a non-convergence sentinel with a package-specific
+// message: errors.Is(err, game.ErrNotConverged) matches any NotConverged
+// value, which is how the duopoly/oligopoly CP-equilibrium sentinels join
+// the same taxonomy as the Nash iteration without sharing its message.
+type NotConverged string
+
+// Error returns the sentinel's message verbatim.
+func (e NotConverged) Error() string { return string(e) }
+
+// Is matches the shared ErrNotConverged class.
+func (e NotConverged) Is(target error) bool { return target == ErrNotConverged }

@@ -1,0 +1,160 @@
+package game
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"neutralnet/internal/solver"
+)
+
+// The error-taxonomy contract: every dimension mismatch is a
+// *DimensionError matching ErrDimension, every exhausted iteration budget
+// matches ErrNotConverged (the market sessions' NotConverged sentinels
+// included), and the rendered messages are bit-for-bit the historical
+// fmt.Errorf strings.
+
+func TestDimensionErrorClass(t *testing.T) {
+	g, _ := New(threeCP(), 1, 1)
+	short := []float64{0, 0.1}
+
+	_, stateErr := g.State(short)
+	_, brErr := g.BestResponse(0, short)
+	_, searchErr := g.BestResponseSearch(0, short)
+	for name, err := range map[string]error{
+		"State": stateErr, "BestResponse": brErr, "BestResponseSearch": searchErr,
+	} {
+		if err == nil {
+			t.Fatalf("%s accepted a short profile", name)
+		}
+		if !errors.Is(err, ErrDimension) {
+			t.Fatalf("%s: errors.Is(err, ErrDimension) = false for %v", name, err)
+		}
+		var de *DimensionError
+		if !errors.As(err, &de) {
+			t.Fatalf("%s: not a *DimensionError: %T", name, err)
+		}
+		if de.Pkg != "game" || de.Got != 2 || de.Want != 3 {
+			t.Fatalf("%s: fields = %+v", name, de)
+		}
+		if err.Error() != "game: 2 subsidies for 3 CPs" {
+			t.Fatalf("%s renders %q", name, err.Error())
+		}
+	}
+
+	// The market packages construct the same type under their own Pkg; the
+	// class sentinel unifies all of them.
+	duo := &DimensionError{Pkg: "duopoly", Got: 1, Want: 4}
+	if !errors.Is(duo, ErrDimension) {
+		t.Fatal("duopoly dimension error does not match ErrDimension")
+	}
+	if duo.Error() != "duopoly: 1 subsidies for 4 CPs" {
+		t.Fatalf("duopoly renders %q", duo.Error())
+	}
+	if errors.Is(errors.New("game: 2 subsidies for 3 CPs"), ErrDimension) {
+		t.Fatal("a plain error with the same text must not match the class")
+	}
+}
+
+func TestNotConvergedClass(t *testing.T) {
+	g, _ := New(threeCP(), 1, 1)
+	_, err := g.SolveNash(Options{MaxIter: 1})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("budget-1 solve: want ErrNotConverged, got %v", err)
+	}
+
+	// The sessions' sentinels are NotConverged values: their messages stay
+	// exactly what they were, and errors.Is unifies them with the class.
+	cp := NotConverged("duopoly: CP equilibrium did not converge")
+	if cp.Error() != "duopoly: CP equilibrium did not converge" {
+		t.Fatalf("NotConverged renders %q", cp.Error())
+	}
+	if !errors.Is(cp, ErrNotConverged) {
+		t.Fatal("NotConverged value does not match ErrNotConverged")
+	}
+	if errors.Is(cp, ErrDimension) {
+		t.Fatal("NotConverged must not match the dimension class")
+	}
+}
+
+// TestFallbackLadderConverges arms the ladder on a budget the damped
+// Jacobi primary cannot meet (it needs ~31 iterations on this game) and
+// asserts the Gauss–Seidel retry converges from the primary's final
+// iterate, the iteration count sums both rungs, and the retry is counted
+// in the telemetry.
+func TestFallbackLadderConverges(t *testing.T) {
+	g, _ := New(threeCP(), 1, 1)
+	var tel solver.Telemetry
+	eq, err := g.SolveNash(Options{
+		Method: JacobiDamped, MaxIter: 10,
+		Fallback: GaussSeidel, Telemetry: &tel,
+	})
+	if err != nil {
+		t.Fatalf("ladder did not rescue the solve: %v", err)
+	}
+	if !eq.Converged {
+		t.Fatal("ladder result not marked converged")
+	}
+	if eq.Iterations <= 10 {
+		t.Fatalf("Iterations = %d, want the two rungs' sum > 10", eq.Iterations)
+	}
+	if n := tel.Snapshot().Fallbacks; n != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", n)
+	}
+
+	// The rescued equilibrium is the same fixed point the primary would
+	// have reached with a full budget.
+	ref, err := g.SolveNash(Options{Method: JacobiDamped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.S {
+		if math.Abs(eq.S[i]-ref.S[i]) > 1e-7 {
+			t.Fatalf("ladder fixed point drifted at %d: %v vs %v", i, eq.S, ref.S)
+		}
+	}
+
+	// Without the ladder the same budget fails with the class sentinel.
+	if _, err := g.SolveNash(Options{Method: JacobiDamped, MaxIter: 10}); !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("primary alone: want ErrNotConverged, got %v", err)
+	}
+}
+
+// TestFallbackSameSchemeIsOff pins the no-op rule: a fallback resolving to
+// the primary's own scheme never retries (the retry would repeat the exact
+// computation), so the solve fails as if no ladder were armed.
+func TestFallbackSameSchemeIsOff(t *testing.T) {
+	g, _ := New(threeCP(), 1, 1)
+	var tel solver.Telemetry
+	_, err := g.SolveNash(Options{
+		Method: JacobiDamped, MaxIter: 10,
+		Fallback: JacobiDamped, Telemetry: &tel,
+	})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("want ErrNotConverged, got %v", err)
+	}
+	if n := tel.Snapshot().Fallbacks; n != 0 {
+		t.Fatalf("Fallbacks = %d, want 0", n)
+	}
+	// Empty fallback against the default primary: also off.
+	if _, err := g.SolveNash(Options{MaxIter: 1, Fallback: GaussSeidel}); !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("fallback == resolved primary: want ErrNotConverged, got %v", err)
+	}
+}
+
+// TestFallbackUnknownNameLazy pins lazy validation: a bogus fallback name
+// is invisible while the primary converges and only surfaces when the
+// ladder actually fires.
+func TestFallbackUnknownNameLazy(t *testing.T) {
+	g, _ := New(threeCP(), 1, 1)
+	if _, err := g.SolveNash(Options{Method: GaussSeidel, Fallback: "no-such-scheme"}); err != nil {
+		t.Fatalf("happy path resolved the fallback: %v", err)
+	}
+	_, err := g.SolveNash(Options{Method: JacobiDamped, MaxIter: 10, Fallback: "no-such-scheme"})
+	if err == nil {
+		t.Fatal("firing ladder accepted an unknown scheme")
+	}
+	if errors.Is(err, ErrNotConverged) {
+		t.Fatalf("unknown-scheme error hidden behind ErrNotConverged: %v", err)
+	}
+}

@@ -65,7 +65,7 @@ func (g *Game) Prices(s []float64) []float64 { return EffectivePrices(g.P, s) }
 // populations m_i(p − s_i), the utilization fixed point, and throughputs.
 func (g *Game) State(s []float64) (model.State, error) {
 	if len(s) != g.N() {
-		return model.State{}, fmt.Errorf("game: %d subsidies for %d CPs", len(s), g.N())
+		return model.State{}, dimensionError(len(s), g.N())
 	}
 	return g.Sys.Solve(g.Sys.PopulationsAt(g.Prices(s)))
 }

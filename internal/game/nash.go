@@ -86,12 +86,23 @@ type Options struct {
 	// scheduling-dependent.
 	CarryUtilSeed bool
 	// Telemetry, when non-nil, receives the scheme's decision counters —
-	// today the auto meta-solver's committed branch, one count per solve.
-	// Plain schemes record nothing. The Engine threads its per-session
-	// telemetry here; the pointer may be shared across sweep workers (the
-	// counters are atomic), and recording never affects iterates, so
-	// determinism guarantees are unchanged.
+	// the auto meta-solver's committed branch and the fallback ladder's
+	// retries, one count per decision. Plain schemes record nothing. The
+	// Engine threads its per-session telemetry here; the pointer may be
+	// shared across sweep workers (the counters are atomic), and recording
+	// never affects iterates, so determinism guarantees are unchanged.
 	Telemetry *solver.Telemetry
+	// Fallback, when non-empty and naming a different scheme than Method
+	// (after empty→default resolution), arms the graceful-degradation
+	// ladder: a solve that exhausts MaxIter without converging is retried
+	// once through the fallback scheme, continuing from the primary's final
+	// iterate under the same tolerance and budget. Gauss–Seidel — the
+	// scheme the subsidization game provably converges under (Theorem 4's
+	// contraction) — is the intended rung. Retries are recorded in
+	// Telemetry (BranchCounts.Fallbacks); the returned Iterations is the
+	// two rungs' sum. An unknown fallback name only surfaces when the
+	// ladder fires — the happy path never resolves it.
+	Fallback Method
 }
 
 // Equilibrium is a solved Nash equilibrium of the subsidization game,
@@ -157,7 +168,7 @@ func (g *Game) BestResponse(i int, s []float64) (float64, error) {
 // caller's slice is never retained.
 func (g *Game) BestResponseWS(ws *Workspace, i int, s []float64) (float64, error) {
 	if len(s) != g.N() {
-		return 0, fmt.Errorf("game: %d subsidies for %d CPs", len(s), g.N())
+		return 0, dimensionError(len(s), g.N())
 	}
 	ws.bind(g)
 	copy(ws.s, s)
@@ -169,7 +180,7 @@ func (g *Game) BestResponseWS(ws *Workspace, i int, s []float64) (float64, error
 // fallback (and ablation) path for BestResponse.
 func (g *Game) BestResponseSearch(i int, s []float64) (float64, error) {
 	if len(s) != g.N() {
-		return 0, fmt.Errorf("game: %d subsidies for %d CPs", len(s), g.N())
+		return 0, dimensionError(len(s), g.N())
 	}
 	ws := NewWorkspace()
 	ws.bind(g)
@@ -249,6 +260,29 @@ func (g *Game) SolveNashWS(ws *Workspace, opts Options) (Equilibrium, error) {
 			return Equilibrium{S: ws.s}, fmt.Errorf("game: best response of CP %d: %w", ce.I, ce.Err)
 		}
 		return Equilibrium{S: ws.s}, err
+	}
+
+	if !res.Converged {
+		if fb, ok, ferr := ws.fallbackFor(opts.Method, opts.Fallback); ferr != nil {
+			return Equilibrium{S: ws.s, Iterations: res.Iterations}, ferr
+		} else if ok {
+			// Graceful degradation: retry the point through the fallback
+			// scheme from the primary's final iterate — the warm chain and
+			// utilization seed carry straight through, so the ladder costs
+			// only the extra sweeps it actually runs.
+			opts.Telemetry.RecordFallback()
+			solver.Attach(fb, opts.Telemetry)
+			prior := res.Iterations
+			res, err = fb.Solve(ws, ws.s, tol, maxIter)
+			if err != nil {
+				var ce *solver.ComponentError
+				if errors.As(err, &ce) {
+					return Equilibrium{S: ws.s}, fmt.Errorf("game: best response of CP %d: %w", ce.I, ce.Err)
+				}
+				return Equilibrium{S: ws.s}, err
+			}
+			res.Iterations += prior
+		}
 	}
 
 	st, err := g.stateWS(ws)

@@ -1,7 +1,6 @@
 package game
 
 import (
-	"fmt"
 	"math"
 
 	"neutralnet/internal/model"
@@ -52,6 +51,9 @@ type Workspace struct {
 	// fp caches the solver instance for the last-used method, so repeated
 	// solves do not re-instantiate (or re-allocate) the scheme's scratch.
 	fp solver.Cached
+	// fbFp caches the fallback-ladder instance separately, so a firing
+	// ladder never evicts the primary from fp (Cached holds one instance).
+	fbFp solver.Cached
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized on first bind.
@@ -102,6 +104,23 @@ func (ws *Workspace) bind(g *Game) {
 // instantiating (and caching) it on first use or method change.
 func (ws *Workspace) solverFor(m Method) (solver.FixedPoint, error) {
 	return ws.fp.Get(string(m))
+}
+
+// fallbackFor resolves the fallback-ladder rung for a primary/fallback
+// method pair: ok reports whether the ladder should fire (a fallback is
+// configured and names a different scheme than the primary after the
+// empty→default resolution both share). The instance comes from the
+// dedicated fbFp cache so the primary instance stays cached in fp.
+func (ws *Workspace) fallbackFor(primary, fallback Method) (fp solver.FixedPoint, ok bool, err error) {
+	fbName, fire := solver.FallbackName(string(primary), string(fallback))
+	if !fire {
+		return nil, false, nil
+	}
+	fp, err = ws.fbFp.Get(fbName)
+	if err != nil {
+		return nil, false, err
+	}
+	return fp, true, nil
 }
 
 // stateWS solves the physical state induced by the workspace's current
@@ -349,7 +368,7 @@ func (ws *Workspace) SetUtilSolver(name string) error { return ws.phys.SetUtilSo
 //neutralnet:hotpath
 func (g *Game) StateWS(ws *Workspace, s []float64) (model.State, error) {
 	if len(s) != g.N() {
-		return model.State{}, fmt.Errorf("game: %d subsidies for %d CPs", len(s), g.N())
+		return model.State{}, dimensionError(len(s), g.N())
 	}
 	ws.bind(g)
 	copy(ws.s, s)

@@ -30,6 +30,7 @@ import (
 	"math"
 
 	"neutralnet/internal/econ"
+	"neutralnet/internal/game"
 	"neutralnet/internal/model"
 	"neutralnet/internal/numeric"
 	"neutralnet/internal/solver"
@@ -46,6 +47,12 @@ const (
 	cpTol     = 1e-7
 	cpMaxIter = 200
 )
+
+// ErrCPNotConverged is returned when the CP fixed point exhausts its
+// iteration budget (after any configured fallback retry). It satisfies
+// errors.Is(err, game.ErrNotConverged), like the duopoly sentinel; the
+// message matches the historical string.
+var ErrCPNotConverged error = game.NotConverged("oligopoly: CP equilibrium did not converge")
 
 // Market is an N-ISP access market sharing one CP catalog. The player count
 // is len(Mu).
@@ -71,6 +78,13 @@ type Market struct {
 	// pointer may be shared across parallel sweep workers — the counters
 	// are atomic — and recording never affects iterates.
 	Telemetry *solver.Telemetry
+	// Fallback, when non-empty and naming a different registered scheme
+	// than Solver (after empty→default resolution), arms the
+	// graceful-degradation ladder on the CP equilibrium: a solve that
+	// exhausts its iteration budget without converging is retried once
+	// through the fallback scheme from the primary's final iterate.
+	// Retries are recorded in Telemetry (BranchCounts.Fallbacks).
+	Fallback string
 }
 
 // Players returns N, the number of competing access ISPs.
@@ -178,7 +192,7 @@ func (m *Market) Solve(p, s []float64) (State, error) {
 		return State{}, fmt.Errorf("oligopoly: %d prices for %d ISPs", len(p), len(m.Mu))
 	}
 	if len(s) != len(m.CPs) {
-		return State{}, fmt.Errorf("oligopoly: %d subsidies for %d CPs", len(s), len(m.CPs))
+		return State{}, &game.DimensionError{Pkg: "oligopoly", Got: len(s), Want: len(m.CPs)}
 	}
 	st := State{
 		P:      append([]float64(nil), p...),
@@ -224,7 +238,8 @@ type Workspace struct {
 	utilityFn  func(float64) float64
 	utilityErr error
 
-	fp solver.Cached // cached fixed-point instance for the last-used scheme
+	fp   solver.Cached // cached fixed-point instance for the last-used scheme
+	fbFp solver.Cached // fallback-ladder instance, cached apart from fp
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized on first bind.
@@ -422,7 +437,29 @@ func (m *Market) CPEquilibriumChainWS(ws *Workspace, p []float64, warm []float64
 		return nil, State{}, err
 	}
 	if !res.Converged {
-		return nil, State{}, errors.New("oligopoly: CP equilibrium did not converge")
+		// Graceful degradation: retry once through the fallback scheme from
+		// the primary's final iterate before reporting non-convergence.
+		fbName, fire := solver.FallbackName(m.Solver, m.Fallback)
+		if !fire {
+			return nil, State{}, ErrCPNotConverged
+		}
+		fb, ferr := ws.fbFp.Get(fbName)
+		if ferr != nil {
+			return nil, State{}, ferr
+		}
+		m.Telemetry.RecordFallback()
+		solver.Attach(fb, m.Telemetry)
+		res, err = fb.Solve(ws, ws.s, cpTol, cpMaxIter)
+		if err != nil {
+			var ce *solver.ComponentError
+			if errors.As(err, &ce) {
+				return nil, State{}, ce.Err
+			}
+			return nil, State{}, err
+		}
+		if !res.Converged {
+			return nil, State{}, ErrCPNotConverged
+		}
 	}
 	st, err := ws.stateWS()
 	if err != nil {

@@ -102,6 +102,25 @@ const (
 // DefaultName is the scheme an empty name resolves to.
 const DefaultName = GaussSeidelName
 
+// FallbackName decides whether a fallback ladder applies for a
+// primary/fallback scheme-name pair: it reports the resolved fallback name
+// and true when a fallback is configured and names a different scheme than
+// the primary after both go through the empty→default resolution. The
+// workspace layers (game, duopoly, oligopoly) share this rule so "fallback
+// to the scheme already running" never fires a redundant retry.
+func FallbackName(primary, fallback string) (string, bool) {
+	if fallback == "" {
+		return "", false
+	}
+	if primary == "" {
+		primary = DefaultName
+	}
+	if fallback == primary {
+		return "", false
+	}
+	return fallback, true
+}
+
 var (
 	regMu    sync.RWMutex
 	registry = map[string]func() FixedPoint{}

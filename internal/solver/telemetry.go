@@ -11,10 +11,11 @@ import "sync/atomic"
 // instances (one-shot adapters, tests) run without a conditional at every
 // call site.
 //
-// Today the only scheme with a decision to report is the "auto"
-// meta-solver; the plain schemes never touch their telemetry.
+// Today the schemes with a decision to report are the "auto" meta-solver
+// and the fallback ladder the workspace layers run when a configured
+// primary fails to converge; the plain schemes never touch their telemetry.
 type Telemetry struct {
-	gs, sor, anderson atomic.Uint64
+	gs, sor, anderson, fallback atomic.Uint64
 }
 
 // BranchCounts is a snapshot of the auto meta-solver's committed branches:
@@ -33,9 +34,16 @@ type BranchCounts struct {
 	// Anderson counts solves delegated to safeguarded Anderson acceleration
 	// (slow or non-contracting probe).
 	Anderson uint64
+	// Fallbacks counts fallback-ladder retries: a configured primary scheme
+	// exhausted its iterations without converging and the point was retried
+	// through the fallback scheme. Recorded when the retry is issued,
+	// whether or not it converges — like the branch counters, it reports
+	// scheduling decisions, not successes.
+	Fallbacks uint64
 }
 
-// Total returns the number of recorded solves.
+// Total returns the number of recorded auto-branch solves. Fallback retries
+// are a separate ladder, not an auto branch, and are excluded.
 func (c BranchCounts) Total() uint64 { return c.GaussSeidel + c.SOR + c.Anderson }
 
 // Snapshot returns the current counters. Safe for concurrent use; a nil
@@ -48,6 +56,16 @@ func (t *Telemetry) Snapshot() BranchCounts {
 		GaussSeidel: t.gs.Load(),
 		SOR:         t.sor.Load(),
 		Anderson:    t.anderson.Load(),
+		Fallbacks:   t.fallback.Load(),
+	}
+}
+
+// RecordFallback counts one fallback-ladder retry. Exported because the
+// ladder runs in the workspace layers (game, duopoly, oligopoly), not inside
+// a scheme; nil-safe like the branch recorders.
+func (t *Telemetry) RecordFallback() {
+	if t != nil {
+		t.fallback.Add(1)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -96,6 +97,15 @@ type AdaptiveResult struct {
 // fixed list of warm chains, and chains are solved on the same deterministic
 // pool as dense sweeps with their results folded in chain order.
 func RunAdaptive(sys *model.System, grid Grid, cfg AdaptiveConfig) (*AdaptiveResult, error) {
+	return RunAdaptiveCtx(context.Background(), sys, grid, cfg)
+}
+
+// RunAdaptiveCtx is RunAdaptive with cooperative cancellation: the
+// refinement loop checks ctx.Err() before each batch solve and the batch
+// pool polls it at its segment claims, so an uncancelled run is
+// bit-identical to RunAdaptive and a cancelled one returns ctx.Err() with
+// no partial result.
+func RunAdaptiveCtx(ctx context.Context, sys *model.System, grid Grid, cfg AdaptiveConfig) (*AdaptiveResult, error) {
 	cfg.Config.Emit = nil
 	pr, err := prepare(sys, grid, cfg.Config)
 	if err != nil {
@@ -143,7 +153,7 @@ func RunAdaptive(sys *model.System, grid Grid, cfg AdaptiveConfig) (*AdaptiveRes
 			bufs[i] = make([]Point, len(chains[i]))
 		}
 		cpl := path.New([]int{len(chains)}, 1)
-		err := path.Run(cpl, cfg.Workers,
+		err := path.RunCtx(ctx, cpl, cfg.Workers,
 			func() *chainWorker { return &chainWorker{ws: game.NewWorkspace()} },
 			func(w *chainWorker, lo, hi int) error {
 				for ci := lo; ci < hi; ci++ {
@@ -172,7 +182,7 @@ func RunAdaptive(sys *model.System, grid Grid, cfg AdaptiveConfig) (*AdaptiveRes
 		return nil
 	}
 
-	stats, err := path.Adaptive(dims, path.AdaptiveConfig{
+	stats, err := path.AdaptiveCtx(ctx, dims, path.AdaptiveConfig{
 		Coarse:     cfg.Coarse,
 		Budget:     budget,
 		MaxDepth:   cfg.MaxDepth,

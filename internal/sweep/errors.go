@@ -1,0 +1,72 @@
+package sweep
+
+import (
+	"fmt"
+
+	"neutralnet/internal/solver"
+)
+
+// Surface names a SolveError's originating sweep surface; the rendered
+// message matches the historical fmt.Errorf wrap of that surface bit for
+// bit, so typed errors changed no output.
+const (
+	// SurfaceGrid is the Engine's (p, q, µ) grid sweep.
+	SurfaceGrid = "sweep"
+	// SurfaceDuopoly is the duopoly session's (p₁, p₂) price plane.
+	SurfaceDuopoly = "duopoly session"
+	// SurfaceOligopoly is the oligopoly session's (p₁..p_N) hypercube.
+	SurfaceOligopoly = "oligopoly session"
+)
+
+// SolveError is a per-point solve failure with its grid location attached:
+// the structured replacement for the ad-hoc "solve at ..." error wraps. It
+// carries the grid coordinates (P/Q/Mu for the engine sweep, Prices for the
+// session price sweeps), the configured primary solver scheme, and the
+// iterations the failed solve consumed. Unwrap exposes the cause, so
+// errors.Is reaches the stack's sentinels (game.ErrNotConverged,
+// numeric.ErrNoBracket, numeric.ErrMaxIter) and errors.As extracts the
+// location from any sweep failure.
+type SolveError struct {
+	// Surface is the originating sweep surface (SurfaceGrid,
+	// SurfaceDuopoly, SurfaceOligopoly); it selects the rendering.
+	Surface string
+	// P, Q, Mu locate the failed point on the engine sweep's grid
+	// (Surface == SurfaceGrid).
+	P, Q, Mu float64
+	// Prices locate the failed point on a session price sweep
+	// (SurfaceDuopoly/SurfaceOligopoly); nil for the engine sweep.
+	Prices []float64
+	// Scheme is the solver scheme the point was configured to solve under,
+	// after empty→default resolution. When a fallback ladder fired and
+	// still failed, this remains the primary scheme.
+	Scheme string
+	// Iterations is the iteration count the failed solve reported (both
+	// rungs' sum when a fallback retried); 0 when the solve died before
+	// iterating.
+	Iterations int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the historical message of the originating surface.
+func (e *SolveError) Error() string {
+	switch e.Surface {
+	case SurfaceDuopoly:
+		return fmt.Sprintf("duopoly session: at p=(%g, %g): %v", e.Prices[0], e.Prices[1], e.Err)
+	case SurfaceOligopoly:
+		return fmt.Sprintf("oligopoly session: at p=%v: %v", e.Prices, e.Err)
+	}
+	return fmt.Sprintf("sweep: solve at p=%g q=%g mu=%g: %v", e.P, e.Q, e.Mu, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *SolveError) Unwrap() error { return e.Err }
+
+// ResolveScheme is the empty→default scheme-name resolution SolveError
+// constructors apply, shared with the session sweeps at the root.
+func ResolveScheme(name string) string {
+	if name == "" {
+		return solver.DefaultName
+	}
+	return name
+}

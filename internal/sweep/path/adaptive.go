@@ -2,6 +2,7 @@ package path
 
 import (
 	"container/heap"
+	"context"
 	"math"
 )
 
@@ -78,8 +79,19 @@ type AdaptiveStats struct {
 // their subdivision midpoints, until the frontier has no cell tying the
 // best solved objective, the budget is exhausted, or MaxDepth is reached.
 // Ties on the objective resolve to the lowest row-major rank, matching the
-// slab argmax.
+// slab argmax. Adaptive is AdaptiveCtx under context.Background(): never
+// cancelled.
 func Adaptive(dims []int, cfg AdaptiveConfig, solve func(chains [][][]int) error, score func(rank int) float64) (AdaptiveStats, error) {
+	return AdaptiveCtx(context.Background(), dims, cfg, solve, score)
+}
+
+// AdaptiveCtx is Adaptive with cooperative cancellation at batch boundaries:
+// ctx.Err() is checked before the coarse-lattice solve and before each
+// refinement round's batch solve — never inside one — so an uncancelled run
+// is bit-identical to Adaptive and a cancelled run stops issuing batches and
+// returns ctx.Err() with the stats accumulated so far. Callers that solve
+// each batch through RunCtx get the finer per-segment cancellation too.
+func AdaptiveCtx(ctx context.Context, dims []int, cfg AdaptiveConfig, solve func(chains [][][]int) error, score func(rank int) float64) (AdaptiveStats, error) {
 	dense := 1
 	for _, d := range dims {
 		dense *= d
@@ -144,6 +156,9 @@ func Adaptive(dims []int, cfg AdaptiveConfig, solve func(chains [][][]int) error
 			latticeChains = append(latticeChains, chain)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
 	if err := solve(latticeChains); err != nil {
 		return stats, err
 	}
@@ -184,6 +199,9 @@ func Adaptive(dims []int, cfg AdaptiveConfig, solve func(chains [][][]int) error
 		}
 		if len(chains) == 0 {
 			break
+		}
+		if err := ctx.Err(); err != nil {
+			return stats, err
 		}
 		if err := solve(chains); err != nil {
 			return stats, err

@@ -1,0 +1,42 @@
+package path
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a worker panic converted into an ordinary error by the
+// segment pools. A panic inside runSegment (or an ordered emit callback) is
+// recovered at the segment boundary, wrapped with the segment rank and the
+// goroutine stack captured at recovery time, and returned through the pool's
+// normal first-error path — the remaining segments are cancelled and the
+// process survives. Callers that staged side effects per segment see none of
+// them committed (the session sweeps commit only after the pool returns nil).
+type PanicError struct {
+	// Segment is the rank of the segment whose callback panicked.
+	Segment int
+	// Value is the value the callback panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack, captured by
+	// runtime/debug.Stack inside the deferred recovery.
+	Stack []byte
+}
+
+// Error summarizes the panic without the stack; inspect Stack (or format
+// with %+v via the fields) for the full trace.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("path: segment %d panicked: %v", e.Segment, e.Value)
+}
+
+// guard invokes fn, converting a panic into a *PanicError carrying the
+// segment rank c and the recovered stack. Non-panicking calls pass the
+// callback's error through unchanged, and the deferred recover costs no
+// allocation — the error path is the only one that allocates.
+func guard(c int, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Segment: c, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

@@ -23,6 +23,7 @@
 package path
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -133,10 +134,22 @@ func (pl Plan) Index(idx []int) int {
 // cold-starts and writes results only for its own path positions, so the
 // assembled output is identical for any worker count. workers is clamped
 // to [1, Chains()]. The first error stops the remaining segments and is
-// returned.
+// returned. Run is RunCtx under context.Background(): never cancelled.
 func Run[W any](pl Plan, workers int, newWorker func() W, runSegment func(w W, lo, hi int) error) error {
+	return RunCtx(context.Background(), pl, workers, newWorker, runSegment)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx.Err() is polled once per
+// segment claim — never inside a segment — so the solve hot path stays
+// zero-alloc and an uncancelled run is bit-identical to Run. When ctx is
+// cancelled the pool stops claiming segments, lets in-flight segments finish
+// their current chain, and returns ctx.Err() (unless a segment error arrived
+// first). A panicking runSegment is recovered at the segment boundary,
+// converted to a *PanicError, and cancels the remaining segments like any
+// other first error.
+func RunCtx[W any](ctx context.Context, pl Plan, workers int, newWorker func() W, runSegment func(w W, lo, hi int) error) error {
 	if pl.n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers < 1 {
 		workers = 1
@@ -159,7 +172,13 @@ func Run[W any](pl Plan, workers int, newWorker func() W, runSegment func(w W, l
 				if failed.Load() {
 					continue
 				}
-				if err := runSegment(st, ranges[c][0], ranges[c][1]); err != nil {
+				if err := ctx.Err(); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					continue
+				}
+				lo, hi := ranges[c][0], ranges[c][1]
+				if err := guard(c, func() error { return runSegment(st, lo, hi) }); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
 				}
@@ -205,10 +224,24 @@ func Lead(workers, chains int) int {
 // sweeps. Both runSegment and emit errors cancel the remaining segments;
 // the first error is returned. Like Run, results are bit-identical at any
 // worker count: the schedule only changes wall clock, never the segment
-// decomposition or the emission order.
+// decomposition or the emission order. RunOrdered is RunOrderedCtx under
+// context.Background(): never cancelled.
 func RunOrdered[W any](pl Plan, workers int, newWorker func() W, runSegment func(w W, c, lo, hi int) error, emit func(c, lo, hi int) error) error {
+	return RunOrderedCtx(context.Background(), pl, workers, newWorker, runSegment, emit)
+}
+
+// RunOrderedCtx is RunOrdered with cooperative cancellation at segment
+// claims: each claim checks ctx.Err() before waiting on the lead window, so
+// a cancelled context stops new segments, wakes parked workers, suppresses
+// every not-yet-emitted segment's emit, and returns ctx.Err() (unless a
+// runSegment/emit error arrived first). In-flight segments finish their
+// chain — cancellation is segment-granular, keeping the solve hot path
+// zero-alloc and an uncancelled run bit-identical to RunOrdered. Panics in
+// runSegment or emit are recovered at the boundary as *PanicError and cancel
+// the remaining segments like any other first error.
+func RunOrderedCtx[W any](ctx context.Context, pl Plan, workers int, newWorker func() W, runSegment func(w W, c, lo, hi int) error, emit func(c, lo, hi int) error) error {
 	if pl.n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers < 1 {
 		workers = 1
@@ -242,6 +275,10 @@ func RunOrdered[W any](pl Plan, workers int, newWorker func() W, runSegment func
 			st := newWorker()
 			for c := range segs {
 				mu.Lock()
+				if cerr := ctx.Err(); cerr != nil && !failed {
+					fail(cerr)
+					cond.Broadcast()
+				}
 				for c >= next+lead && !failed {
 					cond.Wait()
 				}
@@ -250,7 +287,8 @@ func RunOrdered[W any](pl Plan, workers int, newWorker func() W, runSegment func
 				if bad {
 					continue
 				}
-				err := runSegment(st, c, ranges[c][0], ranges[c][1])
+				lo, hi := ranges[c][0], ranges[c][1]
+				err := guard(c, func() error { return runSegment(st, c, lo, hi) })
 				mu.Lock()
 				if err != nil {
 					fail(err)
@@ -262,7 +300,8 @@ func RunOrdered[W any](pl Plan, workers int, newWorker func() W, runSegment func
 					// happens-after the worker's buffer writes.
 					for next < pl.chains && done[next%lead] {
 						done[next%lead] = false
-						if e := emit(next, ranges[next][0], ranges[next][1]); e != nil {
+						n := next
+						if e := guard(n, func() error { return emit(n, ranges[n][0], ranges[n][1]) }); e != nil {
 							fail(e)
 							break
 						}

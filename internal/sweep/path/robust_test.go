@@ -1,0 +1,310 @@
+package path
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The robustness contract of the pool layer: a cancelled context stops the
+// sweep at the next segment boundary and surfaces ctx.Err(), a panicking
+// worker or emit callback surfaces as a *PanicError instead of crashing
+// the process, and an injected segment error — wherever it lands on the
+// path — cancels the remaining segments. All suites run under -race in CI.
+
+// TestRunCtxCancelledBeforeStart asserts an already cancelled context
+// returns ctx.Err() without running a single segment.
+func TestRunCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := RunCtx(ctx, New([]int{8, 8}, 0), 4,
+		func() int { return 0 },
+		func(_ int, lo, hi int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("cancelled pool ran %d segments", ran.Load())
+	}
+}
+
+// TestRunCtxCancelMidSweep cancels from inside an early segment and
+// asserts the pool stops claiming: with a single worker the remaining
+// segments are all skipped, so the segment count stays well below the
+// chain count.
+func TestRunCtxCancelMidSweep(t *testing.T) {
+	pl := New([]int{32, 4}, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	err := RunCtx(ctx, pl, 1,
+		func() int { return 0 },
+		func(_ int, lo, hi int) error {
+			if ran.Add(1) == 2 {
+				cancel()
+			}
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := ran.Load(); n != 2 {
+		t.Fatalf("single worker ran %d segments after cancelling on the 2nd (of %d)", n, pl.Chains())
+	}
+}
+
+// TestRunPanicRecovery asserts a panicking worker surfaces as a
+// *PanicError carrying the segment rank, the recovered value and a stack,
+// with the remaining segments cancelled.
+func TestRunPanicRecovery(t *testing.T) {
+	pl := New([]int{16, 4}, 0)
+	boom := pl.Chains() / 2
+	err := Run(pl, 4,
+		func() int { return 0 },
+		func(_ int, lo, hi int) error {
+			lo0, _ := pl.Segment(boom)
+			if lo == lo0 {
+				panic("injected worker panic")
+			}
+			return nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T: %v", err, err)
+	}
+	if pe.Segment != boom {
+		t.Fatalf("panic segment = %d, want %d", pe.Segment, boom)
+	}
+	if pe.Value != "injected worker panic" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Fatalf("panic stack not captured: %q", pe.Stack)
+	}
+	if msg := pe.Error(); !strings.Contains(msg, "injected worker panic") {
+		t.Fatalf("Error() = %q", msg)
+	}
+}
+
+// TestRunErrorAnySegment injects a failure in the first, a middle and the
+// last segment and asserts the pool surfaces exactly that error at every
+// worker count.
+func TestRunErrorAnySegment(t *testing.T) {
+	pl := New([]int{12, 5}, 0)
+	sentinel := errors.New("injected segment failure")
+	for _, seg := range []int{0, pl.Chains() / 2, pl.Chains() - 1} {
+		for _, workers := range []int{1, 4, 9} {
+			t.Run(fmt.Sprintf("seg=%d/w=%d", seg, workers), func(t *testing.T) {
+				lo0, _ := pl.Segment(seg)
+				err := Run(pl, workers,
+					func() int { return 0 },
+					func(_ int, lo, hi int) error {
+						if lo == lo0 {
+							return sentinel
+						}
+						return nil
+					})
+				if !errors.Is(err, sentinel) {
+					t.Fatalf("want injected failure, got %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestRunOrderedCtxCancelStopsEmission cancels during an early emission
+// and asserts no later segment is emitted, the pool returns ctx.Err()
+// promptly (parked workers are woken, not deadlocked), and emission stayed
+// a strict in-order prefix.
+func TestRunOrderedCtxCancelStopsEmission(t *testing.T) {
+	pl := New([]int{32, 4}, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var emitted []int
+	err := RunOrderedCtx(ctx, pl, 4,
+		func() int { return 0 },
+		func(_ int, c, lo, hi int) error { return nil },
+		func(c, lo, hi int) error {
+			mu.Lock()
+			emitted = append(emitted, c)
+			mu.Unlock()
+			if c == 1 {
+				cancel()
+			}
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	for i, c := range emitted {
+		if c != i {
+			t.Fatalf("emission order broke: %v", emitted)
+		}
+	}
+	if len(emitted) >= pl.Chains() {
+		t.Fatalf("cancellation emitted all %d segments", len(emitted))
+	}
+}
+
+// TestRunOrderedEmitFailure asserts a mid-stream emit error cancels the
+// sweep and surfaces unchanged, and that no segment after the failing one
+// is ever emitted.
+func TestRunOrderedEmitFailure(t *testing.T) {
+	pl := New([]int{16, 4}, 0)
+	sentinel := errors.New("emit sink failed")
+	fail := pl.Chains() / 2
+	var last atomic.Int64
+	last.Store(-1)
+	err := RunOrdered(pl, 3,
+		func() int { return 0 },
+		func(_ int, c, lo, hi int) error { return nil },
+		func(c, lo, hi int) error {
+			last.Store(int64(c))
+			if c == fail {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want emit failure, got %v", err)
+	}
+	if last.Load() != int64(fail) {
+		t.Fatalf("emission continued past the failure: last=%d fail=%d", last.Load(), fail)
+	}
+}
+
+// TestRunOrderedEmitPanic asserts a panicking emit callback surfaces as a
+// *PanicError keyed on the emitted segment.
+func TestRunOrderedEmitPanic(t *testing.T) {
+	pl := New([]int{16, 4}, 0)
+	boom := 2
+	err := RunOrdered(pl, 3,
+		func() int { return 0 },
+		func(_ int, c, lo, hi int) error { return nil },
+		func(c, lo, hi int) error {
+			if c == boom {
+				panic(fmt.Sprintf("emit panic at %d", c))
+			}
+			return nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T: %v", err, err)
+	}
+	if pe.Segment != boom {
+		t.Fatalf("panic segment = %d, want %d", pe.Segment, boom)
+	}
+}
+
+// TestAdaptiveCtxCancelled asserts the refinement loop honors an already
+// cancelled context before solving anything.
+func TestAdaptiveCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var solves atomic.Int64
+	_, err := AdaptiveCtx(ctx, []int{16, 16}, AdaptiveConfig{},
+		func(chains [][][]int) error { solves.Add(1); return nil },
+		func(rank int) float64 { return 0 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if solves.Load() != 0 {
+		t.Fatalf("cancelled refinement solved %d rounds", solves.Load())
+	}
+}
+
+// TestAdaptiveCtxCancelBetweenRounds cancels after the coarse stage and
+// asserts no refinement round runs.
+func TestAdaptiveCtxCancelBetweenRounds(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var rounds atomic.Int64
+	_, err := AdaptiveCtx(ctx, []int{16, 16}, AdaptiveConfig{},
+		func(chains [][][]int) error {
+			if rounds.Add(1) == 1 {
+				cancel() // cancel right after the coarse lattice solves
+			}
+			return nil
+		},
+		func(rank int) float64 { return 1 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rounds.Load() != 1 {
+		t.Fatalf("refinement ran %d solve rounds after cancellation", rounds.Load())
+	}
+}
+
+// TestCtxVariantsMatchPlainPool pins the wrapper contract: under
+// context.Background() the *Ctx pools visit exactly the segments, order
+// (for the ordered pool) and results the plain pools do, at 1, 4 and 9
+// workers.
+func TestCtxVariantsMatchPlainPool(t *testing.T) {
+	pl := New([]int{9, 7}, 0)
+	collect := func(run func(store func(int))) []int {
+		var mu sync.Mutex
+		var got []int
+		run(func(k int) { mu.Lock(); got = append(got, k); mu.Unlock() })
+		return got
+	}
+	for _, workers := range []int{1, 4, 9} {
+		t.Run(fmt.Sprintf("w=%d", workers), func(t *testing.T) {
+			plain := collect(func(store func(int)) {
+				if err := Run(pl, workers, func() int { return 0 }, func(_ int, lo, hi int) error {
+					for k := lo; k < hi; k++ {
+						store(k)
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			})
+			ctxed := collect(func(store func(int)) {
+				if err := RunCtx(context.Background(), pl, workers, func() int { return 0 }, func(_ int, lo, hi int) error {
+					for k := lo; k < hi; k++ {
+						store(k)
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if len(plain) != pl.Len() || len(ctxed) != pl.Len() {
+				t.Fatalf("coverage: plain=%d ctx=%d want %d", len(plain), len(ctxed), pl.Len())
+			}
+			seen := make(map[int]bool, len(ctxed))
+			for _, k := range ctxed {
+				seen[k] = true
+			}
+			if len(seen) != pl.Len() {
+				t.Fatalf("ctx pool revisited positions: %d unique of %d", len(seen), pl.Len())
+			}
+
+			var plainEmit, ctxEmit []int
+			if err := RunOrdered(pl, workers, func() int { return 0 },
+				func(_ int, c, lo, hi int) error { return nil },
+				func(c, lo, hi int) error { plainEmit = append(plainEmit, c); return nil }); err != nil {
+				t.Fatal(err)
+			}
+			if err := RunOrderedCtx(context.Background(), pl, workers, func() int { return 0 },
+				func(_ int, c, lo, hi int) error { return nil },
+				func(c, lo, hi int) error { ctxEmit = append(ctxEmit, c); return nil }); err != nil {
+				t.Fatal(err)
+			}
+			if len(plainEmit) != len(ctxEmit) {
+				t.Fatalf("emission length: plain=%d ctx=%d", len(plainEmit), len(ctxEmit))
+			}
+			for i := range plainEmit {
+				if plainEmit[i] != ctxEmit[i] {
+					t.Fatalf("emission order diverged at %d: %v vs %v", i, plainEmit, ctxEmit)
+				}
+			}
+		})
+	}
+}

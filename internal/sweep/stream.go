@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"math"
 
 	"neutralnet/internal/game"
@@ -313,6 +314,15 @@ func (s *Summary) fold(rank int, pt Point) {
 // Summary — argmaxes included — is bit-identical to Summarize over the slab
 // Run would have produced, at any worker count.
 func Stream(sys *model.System, grid Grid, cfg Config, emit func(Segment) error) (*Summary, error) {
+	return StreamCtx(context.Background(), sys, grid, cfg, emit)
+}
+
+// StreamCtx is Stream with cooperative cancellation at segment boundaries:
+// ctx.Err() is polled once per segment claim, so an uncancelled run is
+// bit-identical to Stream, and a cancelled run stops claiming segments,
+// suppresses the remaining emits, and returns ctx.Err() (a summary is never
+// returned alongside an error).
+func StreamCtx(ctx context.Context, sys *model.System, grid Grid, cfg Config, emit func(Segment) error) (*Summary, error) {
 	// cfg.Emit is the slab-observer hook; the emit argument is this mode's
 	// channel. Clear it so prepare's config snapshot is unambiguous.
 	cfg.Emit = nil
@@ -338,7 +348,7 @@ func Stream(sys *model.System, grid Grid, cfg Config, emit func(Segment) error) 
 	}
 	slots := make([]slot, path.Lead(workers, pl.Chains()))
 
-	err = path.RunOrdered(pl, cfg.Workers,
+	err = path.RunOrderedCtx(ctx, pl, cfg.Workers,
 		func() *chainWorker { return &chainWorker{ws: game.NewWorkspace()} },
 		func(w *chainWorker, c, lo, hi int) error {
 			sl := &slots[c%len(slots)]

@@ -28,6 +28,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -118,7 +119,19 @@ type Config struct {
 	// streaming revenue/welfare quantile sketches of a Stream run's
 	// Summary. Ignored by Run; empty tracks none.
 	Quantiles []float64
+	// FaultHook is the deterministic fault seam the regression suites
+	// inject through (internal/faultinject): when non-nil it is called
+	// once per point, keyed by the point's row-major rank — a function of
+	// the grid alone, so injected faults land on the same point at any
+	// worker count. A returned error fails the point exactly like a solve
+	// failure (wrapped in *SolveError); poisonNaN lets the solve complete
+	// and then poisons the point's Revenue/Welfare with NaN. Production
+	// paths leave it nil and pay one predictable branch per point.
+	FaultHook FaultHook
 }
+
+// FaultHook is a rank-keyed fault seam: see Config.FaultHook.
+type FaultHook func(rank int) (poisonNaN bool, err error)
 
 // Result is a solved sweep with points in deterministic order:
 // µ-major, then q, then p (index = (mi·len(Q)+qi)·len(P)+pi).
@@ -214,8 +227,17 @@ func prepare(sys *model.System, grid Grid, cfg Config) (*prepared, error) {
 // as read-only; capacity variants are solved on shallow copies. The grid
 // slices are copied into the result, so later caller mutation of the input
 // grid cannot corrupt it. When cfg.Emit is set, the completed segments are
-// additionally emitted in strict snake order while the slab is built.
+// additionally emitted in strict snake order while the slab is built. Run
+// is RunCtx under context.Background(): never cancelled.
 func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), sys, grid, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation at segment boundaries: the
+// worker pool polls ctx.Err() once per segment claim, so an uncancelled run
+// is bit-identical to Run and a cancelled one returns ctx.Err() (no partial
+// result escapes — the slab is discarded on any error).
+func RunCtx(ctx context.Context, sys *model.System, grid Grid, cfg Config) (*Result, error) {
 	pr, err := prepare(sys, grid, cfg)
 	if err != nil {
 		return nil, err
@@ -231,7 +253,7 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 	store := func(_, rank int, pt Point) { res.Points[rank] = pt }
 
 	if cfg.Emit == nil {
-		err = path.Run(pl, cfg.Workers, newWorker,
+		err = path.RunCtx(ctx, pl, cfg.Workers, newWorker,
 			func(w *chainWorker, lo, hi int) error {
 				return runChain(pr, pl, lo, hi, store, w)
 			})
@@ -241,7 +263,7 @@ func Run(sys *model.System, grid Grid, cfg Config) (*Result, error) {
 		// Emission is serialized by the scheduler, so one shared scratch
 		// view (points gathered back into path order) suffices.
 		view := segmentView{pl: pl}
-		err = path.RunOrdered(pl, cfg.Workers, newWorker,
+		err = path.RunOrderedCtx(ctx, pl, cfg.Workers, newWorker,
 			func(w *chainWorker, _, lo, hi int) error {
 				return runChain(pr, pl, lo, hi, store, w)
 			},
@@ -297,12 +319,13 @@ func runChain(pr *prepared, pl path.Plan, lo, hi int, store func(k, rank int, pt
 	var warm []float64
 	for k := lo; k < hi; k++ {
 		pl.Coords(k, w.idx[:])
-		pt, nextWarm, err := solveOne(pr, &g, w.idx[0], w.idx[1], w.idx[2], k > lo, warm, w)
+		rank := pl.Index(w.idx[:])
+		pt, nextWarm, err := solveOne(pr, &g, rank, w.idx[0], w.idx[1], w.idx[2], k > lo, warm, w)
 		if err != nil {
 			return err
 		}
 		warm = nextWarm
-		store(k, pl.Index(w.idx[:]), pt)
+		store(k, rank, pt)
 	}
 	return nil
 }
@@ -314,7 +337,8 @@ func runCoordChain(pr *prepared, chain [][]int, out []Point, w *chainWorker) err
 	var g game.Game
 	var warm []float64
 	for i, c := range chain {
-		pt, nextWarm, err := solveOne(pr, &g, c[0], c[1], c[2], i > 0, warm, w)
+		rank := pr.pl.Index(c)
+		pt, nextWarm, err := solveOne(pr, &g, rank, c[0], c[1], c[2], i > 0, warm, w)
 		if err != nil {
 			return err
 		}
@@ -331,7 +355,7 @@ func runCoordChain(pr *prepared, chain [][]int, out []Point, w *chainWorker) err
 // is warm; the warm profile is copied into the worker's own buffer because
 // the freshly solved equilibrium still borrows the workspace and the
 // retained Point needs an owning clone anyway.
-func solveOne(pr *prepared, g *game.Game, mi, qi, pi int, chained bool, warm []float64, w *chainWorker) (Point, []float64, error) {
+func solveOne(pr *prepared, g *game.Game, rank, mi, qi, pi int, chained bool, warm []float64, w *chainWorker) (Point, []float64, error) {
 	g.Sys, g.P, g.Q = pr.systems[mi], pr.grid.P[pi], pr.grid.Q[qi]
 	opts := pr.cfg.Solver
 	opts.Initial = nil
@@ -339,19 +363,40 @@ func solveOne(pr *prepared, g *game.Game, mi, qi, pi int, chained bool, warm []f
 		opts.Initial = warm
 	}
 	opts.CarryUtilSeed = chained
+	poison := false
+	if pr.cfg.FaultHook != nil {
+		var ferr error
+		if poison, ferr = pr.cfg.FaultHook(rank); ferr != nil {
+			return Point{}, warm, &SolveError{
+				Surface: SurfaceGrid, P: g.P, Q: g.Q, Mu: g.Sys.Mu,
+				Scheme: ResolveScheme(string(opts.Method)), Err: ferr,
+			}
+		}
+	}
 	eq, err := g.SolveNashWS(w.ws, opts)
 	if err != nil {
-		return Point{}, warm, fmt.Errorf("sweep: solve at p=%g q=%g mu=%g: %w", g.P, g.Q, g.Sys.Mu, err)
+		//lint:ignore noalias only the int Iterations is projected out of the borrowed equilibrium; no workspace storage escapes
+		return Point{}, warm, &SolveError{
+			Surface: SurfaceGrid, P: g.P, Q: g.Q, Mu: g.Sys.Mu,
+			Scheme: ResolveScheme(string(opts.Method)), Iterations: eq.Iterations, Err: err,
+		}
 	}
 	owned := eq.Clone() // escape the workspace-borrowed state
 	if pr.cfg.WarmStart {
 		warm = game.CopyProfile(&w.warmBuf, owned.S)
 	}
-	return Point{
+	pt := Point{
 		P: g.P, Q: g.Q, Mu: g.Sys.Mu, Eq: owned,
 		Revenue: g.Revenue(owned.State),
 		Welfare: g.Welfare(owned.State),
-	}, warm, nil
+	}
+	if poison {
+		// Injected NaN mode: the solve ran normally (the warm chain is
+		// intact) but the point's objectives are poisoned, exercising the
+		// reductions' non-finite skipping.
+		pt.Revenue, pt.Welfare = math.NaN(), math.NaN()
+	}
+	return pt, warm, nil
 }
 
 // At returns the point at price index pi, cap index qi and capacity index

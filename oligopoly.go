@@ -1,6 +1,7 @@
 package neutralnet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"neutralnet/internal/numeric"
 	"neutralnet/internal/oligopoly"
 	"neutralnet/internal/solver"
+	"neutralnet/internal/sweep"
 	"neutralnet/internal/sweep/path"
 )
 
@@ -42,6 +44,12 @@ type OligopolySession struct {
 	// telem accumulates the solver layer's scheme decisions for this
 	// session, shared with every sweep worker; read through SolverStats.
 	telem solver.Telemetry
+
+	// faultHook is the test-only deterministic fault seam (see
+	// internal/faultinject), called once per sweep point with its
+	// row-major rank. Settable only from export_test.go; nil in
+	// production.
+	faultHook sweep.FaultHook
 
 	mu      sync.Mutex
 	ws      *oligopoly.Workspace
@@ -120,6 +128,7 @@ func (e *Engine) Oligopoly(mu []float64, sigma, q float64) (*OligopolySession, e
 			Mu: append([]float64(nil), mu...), Sigma: sigma, Q: q,
 			Solver:     string(e.cfg.solver.Method),
 			UtilSolver: e.cfg.solver.UtilSolver,
+			Fallback:   string(e.cfg.solver.Fallback),
 		},
 		workers:      e.cfg.workers,
 		objective:    e.cfg.objective,
@@ -170,7 +179,12 @@ func (s *OligopolySession) CachedPrices() [][]float64 {
 // running sweep.
 func (s *OligopolySession) SolverStats() SolverStats {
 	c := s.telem.Snapshot()
-	return SolverStats{AutoGaussSeidel: c.GaussSeidel, AutoSOR: c.SOR, AutoAnderson: c.Anderson}
+	return SolverStats{
+		AutoGaussSeidel: c.GaussSeidel,
+		AutoSOR:         c.SOR,
+		AutoAnderson:    c.Anderson,
+		FallbackSolves:  c.Fallbacks,
+	}
 }
 
 // Solve returns the CP subsidization equilibrium of the oligopoly at access
@@ -185,6 +199,17 @@ func (s *OligopolySession) Solve(p ...float64) (OligopolyOutcome, error) {
 	return s.solveLocked(p)
 }
 
+// SolveCtx is Solve with cooperative cancellation: a single solve is one
+// cancellation segment, so ctx is checked once on entry — an already
+// cancelled context returns ctx.Err() with the session cache and warm
+// store untouched, and an uncancelled call is bit-identical to Solve.
+func (s *OligopolySession) SolveCtx(ctx context.Context, p ...float64) (OligopolyOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return OligopolyOutcome{}, err
+	}
+	return s.Solve(p...)
+}
+
 func (s *OligopolySession) solveLocked(p []float64) (OligopolyOutcome, error) {
 	key := priceKey(p)
 	if out, ok := s.cache[key]; ok {
@@ -196,7 +221,10 @@ func (s *OligopolySession) solveLocked(p []float64) (OligopolyOutcome, error) {
 	}
 	prof, st, err := s.m.CPEquilibriumWS(s.ws, p, s.warm)
 	if err != nil {
-		return OligopolyOutcome{}, fmt.Errorf("oligopoly session: at p=%v: %w", p, err)
+		return OligopolyOutcome{}, &SolveError{
+			Surface: sweep.SurfaceOligopoly, Prices: append([]float64(nil), p...),
+			Scheme: sweep.ResolveScheme(s.m.Solver), Err: err,
+		}
 	}
 	s.warm = numeric.CopyProfile(&s.warmBuf, prof)
 	out := s.outcome(p, prof, st)
@@ -296,8 +324,20 @@ func (r *OligopolySweepResult) At(idx ...int) OligopolyOutcome {
 // Solved points populate the cache afterwards in snake order — under a
 // cache bound the sweep's last points stay resident — and the warm store is
 // refreshed from the final path point, so follow-up Solve calls continue
-// the chain.
+// the chain. SweepPrices is SweepPricesCtx under context.Background():
+// never cancelled.
 func (s *OligopolySession) SweepPrices(grids ...[]float64) (*OligopolySweepResult, error) {
+	return s.SweepPricesCtx(context.Background(), grids...)
+}
+
+// SweepPricesCtx is SweepPrices with cooperative cancellation at segment
+// boundaries: the worker pool polls ctx.Err() once per claimed warm-start
+// segment, so an uncancelled run is bit-identical to SweepPrices at any
+// worker count, and a cancelled run returns ctx.Err() with the session
+// cache and warm store exactly as they were before the call — the fold
+// into the session happens only after the whole sweep succeeds. A
+// panicking worker likewise surfaces as a *PanicError with nothing folded.
+func (s *OligopolySession) SweepPricesCtx(ctx context.Context, grids ...[]float64) (*OligopolySweepResult, error) {
 	dims, err := s.sweepDims(grids)
 	if err != nil {
 		return nil, err
@@ -312,7 +352,7 @@ func (s *OligopolySession) SweepPrices(grids ...[]float64) (*OligopolySweepResul
 		Chains:   pl.Chains(),
 	}
 
-	err = path.Run(pl, workers,
+	err = path.RunCtx(ctx, pl, workers,
 		func() *oligoWorker { return s.newOligoWorker() },
 		func(w *oligoWorker, lo, hi int) error {
 			return s.runPriceChain(pl, res.Grids, lo, hi, func(_, rank int, out OligopolyOutcome) {

@@ -1,8 +1,10 @@
 package neutralnet
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"neutralnet/internal/numeric"
@@ -46,14 +48,58 @@ func (s *OligopolySession) runPriceChain(pl path.Plan, grids [][]float64, lo, hi
 		for d, i := range w.idx {
 			w.p[d] = grids[d][i]
 		}
-		prof, st, err := s.m.CPEquilibriumChainWS(w.ws, w.p, warm, k > lo)
+		rank := pl.Index(w.idx)
+		prof, st, poison, err := s.solvePointWS(w, rank, warm, k > lo)
 		if err != nil {
-			return fmt.Errorf("oligopoly session: at p=%v: %w", w.p, err)
+			return err
 		}
 		warm = numeric.CopyProfile(&w.warmBuf, prof)
-		store(k, pl.Index(w.idx), s.outcome(w.p, prof, st))
+		store(k, rank, s.pointOutcome(w.p, prof, st, poison))
 	}
 	return nil
+}
+
+// solvePointWS is the session's per-point CP-equilibrium solve at the
+// worker's staged price vector w.p, with the test-only fault seam
+// (consulted exactly once per point, keyed on the point's row-major rank)
+// and the typed error wrap applied: an armed Fail rank dies before the
+// solve, and any failure surfaces as a *SolveError locating the point on
+// the price hypercube. poison reports whether the fault seam asked for
+// the point's objectives to be NaN-poisoned.
+func (s *OligopolySession) solvePointWS(w *oligoWorker, rank int, warm []float64, chained bool) (prof []float64, st oligopoly.State, poison bool, err error) {
+	if s.faultHook != nil {
+		var ferr error
+		poison, ferr = s.faultHook(rank)
+		if ferr != nil {
+			return nil, oligopoly.State{}, false, &SolveError{
+				Surface: sweep.SurfaceOligopoly, Prices: append([]float64(nil), w.p...),
+				Scheme: sweep.ResolveScheme(s.m.Solver), Err: ferr,
+			}
+		}
+	}
+	prof, st, err = s.m.CPEquilibriumChainWS(w.ws, w.p, warm, chained)
+	if err != nil {
+		return nil, oligopoly.State{}, false, &SolveError{
+			Surface: sweep.SurfaceOligopoly, Prices: append([]float64(nil), w.p...),
+			Scheme: sweep.ResolveScheme(s.m.Solver), Err: err,
+		}
+	}
+	return prof, st, poison, nil
+}
+
+// pointOutcome assembles the point's outcome, applying the fault seam's
+// NaN poisoning when asked (the solve itself ran normally, keeping the
+// warm chain intact — only the point's objectives turn non-finite,
+// exercising the reductions' non-finite skipping).
+func (s *OligopolySession) pointOutcome(p []float64, prof []float64, st oligopoly.State, poison bool) OligopolyOutcome {
+	out := s.outcome(p, prof, st)
+	if poison {
+		for k := range out.Revenue {
+			out.Revenue[k] = math.NaN()
+		}
+		out.Welfare = math.NaN()
+	}
+	return out
 }
 
 // solveCoordChain is runPriceChain over an explicit coordinate list — the
@@ -61,15 +107,17 @@ func (s *OligopolySession) runPriceChain(pl path.Plan, grids [][]float64, lo, hi
 func (s *OligopolySession) solveCoordChain(grids [][]float64, chain [][]int, out []OligopolyOutcome, w *oligoWorker) error {
 	var warm []float64
 	for n, c := range chain {
+		rank := 0
 		for d, i := range c {
 			w.p[d] = grids[d][i]
+			rank = rank*len(grids[d]) + i
 		}
-		prof, st, err := s.m.CPEquilibriumChainWS(w.ws, w.p, warm, n > 0)
+		prof, st, poison, err := s.solvePointWS(w, rank, warm, n > 0)
 		if err != nil {
-			return fmt.Errorf("oligopoly session: at p=%v: %w", w.p, err)
+			return err
 		}
 		warm = numeric.CopyProfile(&w.warmBuf, prof)
-		out[n] = s.outcome(w.p, prof, st)
+		out[n] = s.pointOutcome(w.p, prof, st, poison)
 	}
 	return nil
 }
@@ -120,10 +168,24 @@ type OligopolySweepSummary struct {
 // returned summary, holding O(segment · workers) outcomes live regardless
 // of grid size. The summary is bit-identical at any worker count and
 // session history. The session is left exactly as SweepPrices leaves it:
-// solved points fold into the cache progressively in snake order (under a
-// cache bound the sweep's tail stays resident) and the warm store continues
-// from the final path point.
+// solved points fold into the cache in snake order (under a cache bound
+// the sweep's tail stays resident) and the warm store continues from the
+// final path point — but only when the whole sweep succeeds. A failed,
+// cancelled or panicking sweep leaves the cache and warm store exactly as
+// they were before the call: the fold is staged during the sweep and
+// committed atomically after the last segment, so a follow-up Solve on a
+// failed session is bit-identical to one on a session that never swept.
+// SweepPricesStream is SweepPricesStreamCtx under context.Background().
 func (s *OligopolySession) SweepPricesStream(grids [][]float64, emit func(OligopolySweepSegment) error) (*OligopolySweepSummary, error) {
+	return s.SweepPricesStreamCtx(context.Background(), grids, emit)
+}
+
+// SweepPricesStreamCtx is SweepPricesStream with cooperative cancellation
+// at segment boundaries: the ordered pool polls ctx.Err() once per claimed
+// segment, an uncancelled run is bit-identical to SweepPricesStream at any
+// worker count, and a cancelled run returns ctx.Err() with no further emit
+// calls and the session cache and warm store untouched.
+func (s *OligopolySession) SweepPricesStreamCtx(ctx context.Context, grids [][]float64, emit func(OligopolySweepSegment) error) (*OligopolySweepSummary, error) {
 	dims, err := s.sweepDims(grids)
 	if err != nil {
 		return nil, err
@@ -158,7 +220,15 @@ func (s *OligopolySession) SweepPricesStream(grids [][]float64, emit func(Oligop
 		cacheFrom = pl.Len() - s.cap
 	}
 
-	err = path.RunOrdered(pl, workers,
+	// Failure atomicity: nothing touches the session until the whole sweep
+	// succeeds. Cache-worthy outcomes are staged in emission (snake) order
+	// and the final path point's profile retained — each outcome owns its
+	// slices, so staging survives the slot ring's reuse — then committed in
+	// one step after the pool returns clean.
+	staged := make([]OligopolyOutcome, 0, pl.Len()-cacheFrom)
+	var lastS []float64
+
+	err = path.RunOrderedCtx(ctx, pl, workers,
 		func() *oligoWorker { return s.newOligoWorker() },
 		func(w *oligoWorker, c, lo, hi int) error {
 			sl := &slots[c%len(slots)]
@@ -171,10 +241,9 @@ func (s *OligopolySession) SweepPricesStream(grids [][]float64, emit func(Oligop
 		},
 		func(c, lo, hi int) error {
 			sl := &slots[c%len(slots)]
-			// Fold into the summary and the session cache. The progressive
-			// snake-order store leaves the same final FIFO state as
+			// Fold into the summary and stage the cache fold. The staged
+			// snake-order replay leaves the same final FIFO state as
 			// SweepPrices' tail fold: only the last cap insertions survive.
-			s.mu.Lock()
 			for n, out := range sl.outs {
 				sum.Points++
 				if sum.TotalRevenue.Add(sl.ranks[n], out.TotalRevenue()) {
@@ -184,15 +253,12 @@ func (s *OligopolySession) SweepPricesStream(grids [][]float64, emit func(Oligop
 					sum.BestWelfare = out
 				}
 				if lo+n >= cacheFrom {
-					s.storeLocked(priceKey(out.P), out)
+					staged = append(staged, out)
 				}
 			}
-			// Continue the warm chain from the newest emitted point, as a
-			// sequential walk would.
 			if n := len(sl.outs); n > 0 {
-				s.warm = numeric.CopyProfile(&s.warmBuf, sl.outs[n-1].S)
+				lastS = sl.outs[n-1].S
 			}
-			s.mu.Unlock()
 			if emit == nil {
 				return nil
 			}
@@ -201,6 +267,17 @@ func (s *OligopolySession) SweepPricesStream(grids [][]float64, emit func(Oligop
 	if err != nil {
 		return nil, err
 	}
+	// Commit: the sweep succeeded end to end, fold the staged tail into the
+	// cache and continue the warm chain from the final path point, as a
+	// sequential walk would.
+	s.mu.Lock()
+	for i := range staged {
+		s.storeLocked(priceKey(staged[i].P), staged[i])
+	}
+	if lastS != nil {
+		s.warm = numeric.CopyProfile(&s.warmBuf, lastS)
+	}
+	s.mu.Unlock()
 	return sum, nil
 }
 
@@ -238,7 +315,17 @@ type OligopolyAdaptiveResult struct {
 // SweepPrices, the session cache and warm store are left untouched: the
 // refinement's chains jump around the hypercube, and folding them in would
 // make the session's warm chain depend on the refinement trajectory.
+// SweepPricesAdaptive is SweepPricesAdaptiveCtx under context.Background().
 func (s *OligopolySession) SweepPricesAdaptive(grids ...[]float64) (*OligopolyAdaptiveResult, error) {
+	return s.SweepPricesAdaptiveCtx(context.Background(), grids...)
+}
+
+// SweepPricesAdaptiveCtx is SweepPricesAdaptive with cooperative
+// cancellation: ctx is polled between refinement rounds and at every
+// chain-segment boundary inside each round's pool. An uncancelled run is
+// bit-identical to SweepPricesAdaptive; a cancelled one returns ctx.Err()
+// (the session was untouched either way).
+func (s *OligopolySession) SweepPricesAdaptiveCtx(ctx context.Context, grids ...[]float64) (*OligopolyAdaptiveResult, error) {
 	dims, err := s.sweepDims(grids)
 	if err != nil {
 		return nil, err
@@ -286,7 +373,7 @@ func (s *OligopolySession) SweepPricesAdaptive(grids ...[]float64) (*OligopolyAd
 			bufs[i] = make([]OligopolyOutcome, len(chains[i]))
 		}
 		cpl := path.New([]int{len(chains)}, 1)
-		err := path.Run(cpl, workers,
+		err := path.RunCtx(ctx, cpl, workers,
 			func() *oligoWorker { return s.newOligoWorker() },
 			func(w *oligoWorker, lo, hi int) error {
 				for ci := lo; ci < hi; ci++ {
@@ -315,7 +402,7 @@ func (s *OligopolySession) SweepPricesAdaptive(grids ...[]float64) (*OligopolyAd
 		return nil
 	}
 
-	stats, err := path.Adaptive(dims, path.AdaptiveConfig{
+	stats, err := path.AdaptiveCtx(ctx, dims, path.AdaptiveConfig{
 		Budget:   budget,
 		MaxDepth: s.refineDepth,
 	}, solve, func(rank int) float64 { return values[rank] })

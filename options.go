@@ -54,6 +54,12 @@ type engineConfig struct {
 	objective    string                   // adaptive refinement objective; "" → revenue
 	refineBudget int                      // adaptive solved-point cap; ≤ 0 → 40% of dense
 	refineDepth  int                      // adaptive refinement-round bound; ≤ 0 → unbounded
+
+	// faultHook is the test-only deterministic fault seam (see
+	// internal/faultinject), threaded into every sweep's per-point solve.
+	// Settable only from the package's export_test.go; always nil in
+	// production.
+	faultHook sweep.FaultHook
 }
 
 func defaultConfig() engineConfig {
@@ -73,6 +79,20 @@ func defaultConfig() engineConfig {
 // first Solve/Sweep call.
 func WithSolver(m SolverMethod) Option {
 	return func(c *engineConfig) { c.solver.Method = m }
+}
+
+// WithFallbackSolver arms the graceful-degradation ladder: a solve whose
+// primary scheme (WithSolver) exhausts its iteration budget without
+// converging is retried once through scheme m, continuing from the
+// primary's final iterate under the same tolerance and budget. GaussSeidel
+// — the scheme the subsidization game provably converges under (Theorem
+// 4's contraction) — is the intended rung. The ladder reaches every solve
+// surface the primary does: Solve, the sweeps, and the duopoly/oligopoly
+// sessions' CP equilibria. Retries are visible in SolverStats
+// (FallbackSolves) and never fire when m resolves to the same scheme as
+// the primary. An unknown name surfaces only when the ladder fires.
+func WithFallbackSolver(m SolverMethod) Option {
+	return func(c *engineConfig) { c.solver.Fallback = m }
 }
 
 // The available utilization root kernels, re-exported from the model

@@ -11,6 +11,15 @@
 # to unchanged code — a code regression, not a hardware gap. Exits non-zero
 # on regression; CI runs this with continue-on-error so the failure
 # surfaces as a loud warning, not a red build.
+#
+# Since PR 9 every plain sweep delegates through its *Ctx twin, so both
+# sides of each ratio (the hot paths AND the coldkernel-1w pin) run the
+# ctx-threaded code: cancellation polled once per claimed segment, the
+# per-point fault-seam nil check, the typed-error wrap on failure. Paired
+# interleaved before/after binaries put that cost within measurement noise
+# (<2%; see the *_ctx_overhead_* entries in BENCH_solver.json — allocs/op
+# unchanged, the -0.7%/+3.5% deltas flip sign when the interleave order is
+# reversed), and this gate keeps watching the same ratios from here on.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
