@@ -1,12 +1,14 @@
 // Command neutralnetlint runs the repo's static-analysis suite (package
-// neutralnet/internal/analysis): determinism, noalias, noalloc and
-// solvername. It speaks two protocols:
+// neutralnet/internal/analysis): the determinism, noalias, noalloc and
+// solvername invariant analyzers plus the ctxflow, errwrap, goguard and
+// locksafe robustness-contract analyzers. It speaks two protocols:
 //
 // Standalone, over the whole module containing the working directory
 // (package-pattern arguments are accepted for familiarity but the module
 // is always checked in full — the invariants are cross-package):
 //
 //	neutralnetlint ./...
+//	neutralnetlint -timings ./...   # add a per-analyzer wall-clock profile
 //
 // As a go vet tool, one package per invocation, driven by the build
 // system's dependency graph and cache:
@@ -27,6 +29,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"neutralnet/internal/analysis"
 )
@@ -40,6 +43,7 @@ func run(args []string) int {
 	version := fs.String("V", "", "print version and exit (go vet tool protocol)")
 	printFlags := fs.Bool("flags", false, "print analyzer flags as JSON (go vet tool protocol)")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	timings := fs.Bool("timings", false, "print per-analyzer wall clock after a standalone run")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -65,11 +69,14 @@ func run(args []string) int {
 	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return runVetCfg(rest[0])
 	}
-	return runStandalone()
+	return runStandalone(*timings)
 }
 
-// runStandalone loads and checks every package of the enclosing module.
-func runStandalone() int {
+// runStandalone loads and checks every package of the enclosing module,
+// through the process-wide memoized module loader (a repeated run in the
+// same process — editor integrations, the analysis tests — typechecks the
+// tree once).
+func runStandalone(timings bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		return fail(err)
@@ -78,17 +85,21 @@ func runStandalone() int {
 	if err != nil {
 		return fail(err)
 	}
-	loader, err := analysis.NewLoader(root)
+	loadStart := time.Now()
+	pkgs, err := analysis.LoadModule(root)
 	if err != nil {
 		return fail(err)
 	}
-	pkgs, err := loader.LoadAll()
+	loadElapsed := time.Since(loadStart)
+	diags, profile, err := analysis.RunAnalyzersTimed(pkgs, analysis.All())
 	if err != nil {
 		return fail(err)
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
-	if err != nil {
-		return fail(err)
+	if timings {
+		fmt.Printf("%-12s %12v\n", "load+check", loadElapsed.Round(time.Microsecond))
+		for _, tm := range profile {
+			fmt.Printf("%-12s %12v\n", tm.Name, tm.Elapsed.Round(time.Microsecond))
+		}
 	}
 	return report(diags)
 }

@@ -1,0 +1,275 @@
+package neutralnet_test
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"neutralnet"
+	"neutralnet/internal/analysis"
+)
+
+// The *Ctx twin contract, mechanized: every exported method with a Ctx
+// variant is pinned here by reflection (signature: same shape with a
+// leading context.Context) and by behavior (under context.Background() the
+// twin is bit-identical to the plain method on a fresh identical session).
+// The twin-name inventory is then reconciled against the ctxflow analyzer's
+// shim whitelist, so adding a twin without teaching the analyzer — or
+// whitelisting a shim that no longer exists — fails here.
+
+// packageLevelCtxShims are the plain→*Ctx delegation shims that live as
+// free functions in internal/sweep and internal/sweep/path rather than as
+// methods: sweep.Run/Stream/RunAdaptive and path.Run/RunOrdered/Adaptive.
+// They are generic or take unexported config types, so reflection cannot
+// enumerate them; the path side is independently pinned by the analysis
+// package's TestKnownPoolEntrypointsMatch.
+var packageLevelCtxShims = []string{"Adaptive", "Run", "RunAdaptive", "RunOrdered", "Stream"}
+
+// ctxTwinBases returns the base names of every exported XCtx/X method pair
+// on t, failing the test when a pair's signatures disagree or when a
+// context-taking method lacks a plain twin.
+func ctxTwinBases(t *testing.T, typ reflect.Type) []string {
+	t.Helper()
+	ctxType := reflect.TypeOf((*context.Context)(nil)).Elem()
+	var bases []string
+	for i := 0; i < typ.NumMethod(); i++ {
+		m := typ.Method(i)
+		if !strings.HasSuffix(m.Name, "Ctx") {
+			continue
+		}
+		base := strings.TrimSuffix(m.Name, "Ctx")
+		plain, ok := typ.MethodByName(base)
+		if !ok {
+			t.Errorf("%s.%s has no plain twin %s", typ, m.Name, base)
+			continue
+		}
+		mt, pt := m.Type, plain.Type
+		// In(0) is the receiver; the Ctx twin inserts context.Context at In(1).
+		if mt.NumIn() != pt.NumIn()+1 || mt.NumIn() < 2 || mt.In(1) != ctxType {
+			t.Errorf("%s.%s does not take a leading context.Context over %s's parameters", typ, m.Name, base)
+			continue
+		}
+		for j := 1; j < pt.NumIn(); j++ {
+			if pt.In(j) != mt.In(j+1) {
+				t.Errorf("%s.%s parameter %d is %v; twin %s has %v", typ, base, j, pt.In(j), m.Name, mt.In(j+1))
+			}
+		}
+		if mt.NumOut() != pt.NumOut() {
+			t.Errorf("%s.%s and %s return different value counts", typ, base, m.Name)
+		} else {
+			for j := 0; j < pt.NumOut(); j++ {
+				if pt.Out(j) != mt.Out(j) {
+					t.Errorf("%s.%s result %d is %v; twin %s has %v", typ, base, j, pt.Out(j), m.Name, mt.Out(j))
+				}
+			}
+		}
+		if mt.IsVariadic() != pt.IsVariadic() {
+			t.Errorf("%s.%s and %s disagree on variadicity", typ, base, m.Name)
+		}
+		bases = append(bases, base)
+	}
+	// The inverse direction: a context-taking method must be the Ctx-named
+	// twin of a plain method — no Ctx-only surfaces slipping in unnamed.
+	for i := 0; i < typ.NumMethod(); i++ {
+		m := typ.Method(i)
+		if m.Type.NumIn() >= 2 && m.Type.In(1) == ctxType && !strings.HasSuffix(m.Name, "Ctx") {
+			t.Errorf("%s.%s takes context.Context but is not named *Ctx", typ, m.Name)
+		}
+	}
+	return bases
+}
+
+// TestCtxTwinsDelegate pins the twin inventory: every XCtx method on the
+// Engine and the session types has a matching plain X, and the union of
+// twin base names (methods plus the package-level pool/sweep shims) is
+// exactly the ctxflow analyzer's delegation-shim whitelist.
+func TestCtxTwinsDelegate(t *testing.T) {
+	union := map[string]bool{}
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf((*neutralnet.Engine)(nil)),
+		reflect.TypeOf((*neutralnet.DuopolySession)(nil)),
+		reflect.TypeOf((*neutralnet.OligopolySession)(nil)),
+	} {
+		for _, base := range ctxTwinBases(t, typ) {
+			union[base] = true
+		}
+	}
+	for _, name := range packageLevelCtxShims {
+		union[name] = true
+	}
+	got := make([]string, 0, len(union))
+	for name := range union {
+		got = append(got, name)
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, analysis.KnownCtxShims) {
+		t.Errorf("ctx twin inventory %q does not match analysis.KnownCtxShims %q", got, analysis.KnownCtxShims)
+	}
+}
+
+// twinGrid is a small but multi-segment Engine sweep domain.
+func twinGrid() neutralnet.Grid {
+	return neutralnet.Grid{
+		P:  neutralnet.UniformGrid(0.1, 1.5, 5),
+		Q:  []float64{0.5, 1},
+		Mu: []float64{1},
+	}
+}
+
+// TestEngineCtxTwinsBitIdentical runs every Engine twin pair under
+// context.Background() on fresh identical engines and requires bitwise
+// equal results — the uncancelled Ctx path must be the plain path.
+func TestEngineCtxTwinsBitIdentical(t *testing.T) {
+	bg := context.Background()
+	grid := twinGrid()
+
+	plain, ctxed := newEngine(t, paperTwoCP()), newEngine(t, paperTwoCP())
+	a, errA := plain.Solve(1, 1)
+	b, errB := ctxed.SolveCtx(bg, 1, 1)
+	if errA != nil || errB != nil {
+		t.Fatalf("Solve: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("SolveCtx(Background) diverged from Solve")
+	}
+
+	a, errA = plain.SolveAt(0.8, 1, 1.2)
+	b, errB = ctxed.SolveAtCtx(bg, 0.8, 1, 1.2)
+	if errA != nil || errB != nil {
+		t.Fatalf("SolveAt: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("SolveAtCtx(Background) diverged from SolveAt")
+	}
+
+	sa, errA := newEngine(t, paperTwoCP()).Sweep(grid)
+	sb, errB := newEngine(t, paperTwoCP()).SweepCtx(bg, grid)
+	if errA != nil || errB != nil {
+		t.Fatalf("Sweep: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(sa, sb) {
+		t.Error("SweepCtx(Background) diverged from Sweep")
+	}
+
+	var segA, segB []int
+	ma, errA := newEngine(t, paperTwoCP()).SweepStream(grid, func(seg neutralnet.SweepSegment) error {
+		segA = append(segA, seg.Index)
+		return nil
+	})
+	mb, errB := newEngine(t, paperTwoCP()).SweepStreamCtx(bg, grid, func(seg neutralnet.SweepSegment) error {
+		segB = append(segB, seg.Index)
+		return nil
+	})
+	if errA != nil || errB != nil {
+		t.Fatalf("SweepStream: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(ma, mb) || !reflect.DeepEqual(segA, segB) {
+		t.Error("SweepStreamCtx(Background) diverged from SweepStream")
+	}
+
+	ra, errA := newEngine(t, paperTwoCP()).SweepAdaptive(grid)
+	rb, errB := newEngine(t, paperTwoCP()).SweepAdaptiveCtx(bg, grid)
+	if errA != nil || errB != nil {
+		t.Fatalf("SweepAdaptive: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Error("SweepAdaptiveCtx(Background) diverged from SweepAdaptive")
+	}
+}
+
+// TestSessionCtxTwinsBitIdentical does the same for the duopoly and
+// oligopoly session twins, on fresh identical sessions per pair.
+func TestSessionCtxTwinsBitIdentical(t *testing.T) {
+	bg := context.Background()
+	p1 := neutralnet.UniformGrid(0.5, 1.0, 4)
+	p2 := neutralnet.UniformGrid(0.6, 1.1, 4)
+
+	da, errA := newDuopoly(t).Solve(0.7, 0.9)
+	db, errB := newDuopoly(t).SolveCtx(bg, 0.7, 0.9)
+	if errA != nil || errB != nil {
+		t.Fatalf("duopoly Solve: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(da, db) {
+		t.Error("duopoly SolveCtx(Background) diverged from Solve")
+	}
+
+	ra, errA := newDuopoly(t).SweepPrices(p1, p2)
+	rb, errB := newDuopoly(t).SweepPricesCtx(bg, p1, p2)
+	if errA != nil || errB != nil {
+		t.Fatalf("duopoly SweepPrices: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Error("duopoly SweepPricesCtx(Background) diverged from SweepPrices")
+	}
+
+	var segA, segB []int
+	sa, errA := newDuopoly(t).SweepPricesStream(p1, p2, func(seg neutralnet.DuopolySweepSegment) error {
+		segA = append(segA, seg.Index)
+		return nil
+	})
+	sb, errB := newDuopoly(t).SweepPricesStreamCtx(bg, p1, p2, func(seg neutralnet.DuopolySweepSegment) error {
+		segB = append(segB, seg.Index)
+		return nil
+	})
+	if errA != nil || errB != nil {
+		t.Fatalf("duopoly SweepPricesStream: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(sa, sb) || !reflect.DeepEqual(segA, segB) {
+		t.Error("duopoly SweepPricesStreamCtx(Background) diverged from SweepPricesStream")
+	}
+
+	aa, errA := newDuopoly(t).SweepPricesAdaptive(p1, p2)
+	ab, errB := newDuopoly(t).SweepPricesAdaptiveCtx(bg, p1, p2)
+	if errA != nil || errB != nil {
+		t.Fatalf("duopoly SweepPricesAdaptive: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(aa, ab) {
+		t.Error("duopoly SweepPricesAdaptiveCtx(Background) diverged from SweepPricesAdaptive")
+	}
+
+	mu := []float64{0.5, 0.6}
+	oa, errA := newOligopoly(t, mu).Solve(0.7, 0.9)
+	ob, errB := newOligopoly(t, mu).SolveCtx(bg, 0.7, 0.9)
+	if errA != nil || errB != nil {
+		t.Fatalf("oligopoly Solve: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(oa, ob) {
+		t.Error("oligopoly SolveCtx(Background) diverged from Solve")
+	}
+
+	osa, errA := newOligopoly(t, mu).SweepPrices(p1, p2)
+	osb, errB := newOligopoly(t, mu).SweepPricesCtx(bg, p1, p2)
+	if errA != nil || errB != nil {
+		t.Fatalf("oligopoly SweepPrices: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(osa, osb) {
+		t.Error("oligopoly SweepPricesCtx(Background) diverged from SweepPrices")
+	}
+
+	segA, segB = nil, nil
+	ossA, errA := newOligopoly(t, mu).SweepPricesStream([][]float64{p1, p2}, func(seg neutralnet.OligopolySweepSegment) error {
+		segA = append(segA, seg.Index)
+		return nil
+	})
+	ossB, errB := newOligopoly(t, mu).SweepPricesStreamCtx(bg, [][]float64{p1, p2}, func(seg neutralnet.OligopolySweepSegment) error {
+		segB = append(segB, seg.Index)
+		return nil
+	})
+	if errA != nil || errB != nil {
+		t.Fatalf("oligopoly SweepPricesStream: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(ossA, ossB) || !reflect.DeepEqual(segA, segB) {
+		t.Error("oligopoly SweepPricesStreamCtx(Background) diverged from SweepPricesStream")
+	}
+
+	oaa, errA := newOligopoly(t, mu).SweepPricesAdaptive(p1, p2)
+	oab, errB := newOligopoly(t, mu).SweepPricesAdaptiveCtx(bg, p1, p2)
+	if errA != nil || errB != nil {
+		t.Fatalf("oligopoly SweepPricesAdaptive: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(oaa, oab) {
+		t.Error("oligopoly SweepPricesAdaptiveCtx(Background) diverged from SweepPricesAdaptive")
+	}
+}

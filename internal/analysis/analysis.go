@@ -1,7 +1,7 @@
 // Package analysis is the repo's static-analysis layer: a small,
 // stdlib-only framework modeled on golang.org/x/tools/go/analysis (which
 // this module deliberately does not depend on — the tree is
-// dependency-free), plus the four neutralnet analyzers that mechanize the
+// dependency-free), plus the eight neutralnet analyzers that mechanize the
 // invariants the reproduction's guarantees rest on:
 //
 //   - determinism: no nondeterministic constructs (map iteration order,
@@ -18,6 +18,20 @@
 //   - solvername: registry solver/kernel names must flow into their sinks
 //     (WithSolver, Market.Solver, Config.UtilSolver, ...) as named
 //     constants whose values the registry actually knows.
+//   - ctxflow: a received context.Context must flow downstream, never be
+//     stored in a struct field or dropped; context.Background()/TODO() is
+//     legal only inside the designated plain→*Ctx delegation shims; hot
+//     paths must not poll ctx.Err() per point (segment-boundary polling is
+//     the contract).
+//   - errwrap: in solve-path packages, failures stay classifiable under
+//     the typed-error taxonomy — fmt.Errorf wraps causes with %w, sentinel
+//     tests use errors.Is, type classification uses errors.As.
+//   - goguard: every `go` statement in solve-path packages runs its body
+//     under the guard/recover discipline of internal/sweep/path; bare
+//     goroutines (process-killing panics) are flagged.
+//   - locksafe: a sync.Mutex/RWMutex is never held across a path pool
+//     call, a user-supplied emit/observer callback, or a channel operation
+//     (the deadlock shapes the stage-and-commit session folds prevent).
 //
 // The framework mirrors the x/tools shapes (Analyzer, Pass, Diagnostic) so
 // the analyzers could be ported to a real multichecker by swapping imports
@@ -43,6 +57,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one static-analysis pass.
@@ -117,14 +132,32 @@ func (d *ignoreDirective) covers(analyzer string) bool {
 // Malformed lint:ignore directives (no reason) are reported under the
 // "lint" pseudo-analyzer.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// AnalyzerTiming is one analyzer's wall clock accumulated across every
+// package of a RunAnalyzersTimed call.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus a per-analyzer wall-clock profile,
+// in the analyzers' given order. The analyzers run interleaved per package
+// in a single pass — timing costs nothing beyond two clock reads per
+// (package, analyzer) pair, and the suppression/lint bookkeeping is not
+// duplicated the way per-analyzer RunAnalyzers calls would duplicate it.
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming, error) {
 	var diags []Diagnostic
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		// Test files are exempt: the invariants gate shipped solve-path
 		// code, and tests deliberately exercise invalid registry names,
 		// error paths and allocation patterns. (The module loader never
 		// parses them; this matters for go vet -vettool, which does.)
 		files := nonTestFiles(pkg)
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{
 				Analyzer:   a,
 				Fset:       pkg.Fset,
@@ -134,8 +167,11 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				ModulePath: pkg.ModulePath,
 				diags:      &diags,
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: running %s: %w", pkg.Path, a.Name, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[i] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: running %s: %w", pkg.Path, a.Name, err)
 			}
 		}
 		diags = applyIgnores(pkg, diags)
@@ -150,7 +186,11 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Column < b.Column
 	})
-	return diags, nil
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = AnalyzerTiming{Name: a.Name, Elapsed: elapsed[i]}
+	}
+	return diags, timings, nil
 }
 
 // applyIgnores marks diagnostics of pkg covered by its lint:ignore
@@ -274,7 +314,10 @@ func fileHasDirective(f *ast.File, directive string) bool {
 	return false
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the four invariant
+// analyzers from the original suite, then the four robustness-contract
+// analyzers (ctxflow, errwrap, goguard, locksafe).
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, NoAlias, NoAlloc, SolverName}
+	return []*Analyzer{Determinism, NoAlias, NoAlloc, SolverName,
+		CtxFlow, ErrWrap, GoGuard, LockSafe}
 }

@@ -1,6 +1,9 @@
 package analysis
 
 import (
+	"go/ast"
+	"go/token"
+	"go/types"
 	"path/filepath"
 	"reflect"
 	"sort"
@@ -39,6 +42,40 @@ func TestSolverNameFixture(t *testing.T) {
 	RunFixture(t, fixture("solvername"), SolverName)
 }
 
+func TestCtxFlowFixture(t *testing.T) {
+	RunFixture(t, fixture("ctxflow"), CtxFlow)
+}
+
+// TestCtxFlowScopeGate runs the analyzer over a fixture with the same
+// violations but no robust directive: out of scope, zero findings.
+func TestCtxFlowScopeGate(t *testing.T) {
+	RunFixture(t, fixture("ctxflowscope"), CtxFlow)
+}
+
+func TestErrWrapFixture(t *testing.T) {
+	RunFixture(t, fixture("errwrap"), ErrWrap)
+}
+
+func TestErrWrapScopeGate(t *testing.T) {
+	RunFixture(t, fixture("errwrapscope"), ErrWrap)
+}
+
+func TestGoGuardFixture(t *testing.T) {
+	RunFixture(t, fixture("goguard"), GoGuard)
+}
+
+func TestGoGuardScopeGate(t *testing.T) {
+	RunFixture(t, fixture("goguardscope"), GoGuard)
+}
+
+func TestLockSafeFixture(t *testing.T) {
+	RunFixture(t, fixture("locksafe"), LockSafe)
+}
+
+func TestLockSafeScopeGate(t *testing.T) {
+	RunFixture(t, fixture("locksafescope"), LockSafe)
+}
+
 // TestMalformedIgnoreReported checks the directive grammar is itself
 // linted: a reasonless //lint:ignore is reported under the "lint"
 // pseudo-analyzer and suppresses nothing.
@@ -72,6 +109,137 @@ func TestMalformedIgnoreReported(t *testing.T) {
 		t.Errorf("got %d unsuppressed determinism findings, want 1 (time.Now must not be suppressed):\n%s",
 			unsuppressed, FormatDiagnostics(diags))
 	}
+}
+
+// TestMalformedRobustIgnoreReported mirrors TestMalformedIgnoreReported
+// for the robustness analyzers: a reasonless //lint:ignore ctxflow is
+// reported under "lint" and the ctxflow finding stays unsuppressed.
+func TestMalformedRobustIgnoreReported(t *testing.T) {
+	pkg, err := LoadDir(fixture("robustreason"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{CtxFlow})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	var lintCount, unsuppressed int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == lintAnalyzerName:
+			lintCount++
+			if !strings.Contains(d.Message, "malformed") {
+				t.Errorf("lint diagnostic does not explain itself: %s", d.Message)
+			}
+		case d.Analyzer == CtxFlow.Name && !d.Suppressed:
+			unsuppressed++
+		case d.Suppressed:
+			t.Errorf("reasonless directive suppressed a finding: %s", d.String())
+		}
+	}
+	if lintCount != 1 {
+		t.Errorf("got %d lint diagnostics, want 1:\n%s", lintCount, FormatDiagnostics(diags))
+	}
+	if unsuppressed != 1 {
+		t.Errorf("got %d unsuppressed ctxflow findings, want 1 (the Background call must not be suppressed):\n%s",
+			unsuppressed, FormatDiagnostics(diags))
+	}
+}
+
+// TestKnownPoolEntrypointsMatch pins KnownPoolEntrypoints to the live
+// internal/sweep/path package: every name in the table is an exported
+// function there, and every exported blocking entry point (the Run* and
+// Adaptive* families) is in the table, so adding a pool variant without
+// teaching locksafe fails here.
+func TestKnownPoolEntrypointsMatch(t *testing.T) {
+	exported := parsePathFuncNames(t, func(name string) bool {
+		return ast.IsExported(name)
+	})
+	for _, name := range KnownPoolEntrypoints {
+		if !exported[name] {
+			t.Errorf("KnownPoolEntrypoints lists %s, but internal/sweep/path declares no such function", name)
+		}
+	}
+	table := map[string]bool{}
+	for _, name := range KnownPoolEntrypoints {
+		table[name] = true
+	}
+	for name := range exported {
+		if (strings.HasPrefix(name, "Run") || strings.HasPrefix(name, "Adaptive")) && !table[name] {
+			t.Errorf("internal/sweep/path exports blocking entry point %s missing from KnownPoolEntrypoints", name)
+		}
+	}
+	sorted := append([]string(nil), KnownPoolEntrypoints...)
+	sort.Strings(sorted)
+	if !reflect.DeepEqual(KnownPoolEntrypoints, sorted) {
+		t.Errorf("KnownPoolEntrypoints is not sorted: %q", KnownPoolEntrypoints)
+	}
+}
+
+// TestGuardShapePinned pins the guard wrapper goguard keys on: the live
+// internal/sweep/path package must declare guard with the exact shape
+// func(int, func() error) error. Renaming or reshaping it would silently
+// disarm the goroutine-guard analyzer.
+func TestGuardShapePinned(t *testing.T) {
+	var decl *ast.FuncDecl
+	parsePathDecls(t, func(fd *ast.FuncDecl) {
+		if fd.Name.Name == guardFuncName && fd.Recv == nil {
+			decl = fd
+		}
+	})
+	if decl == nil {
+		t.Fatalf("internal/sweep/path declares no function %q; goguard's discipline anchor is gone", guardFuncName)
+	}
+	params := decl.Type.Params
+	if params == nil || params.NumFields() != 2 {
+		t.Fatalf("guard has %d parameters, want 2 (segment rank, func() error)", params.NumFields())
+	}
+	if id, ok := params.List[0].Type.(*ast.Ident); !ok || id.Name != "int" {
+		t.Errorf("guard's first parameter is %v, want int", types.ExprString(params.List[0].Type))
+	}
+	if ft, ok := params.List[1].Type.(*ast.FuncType); !ok ||
+		ft.Params.NumFields() != 0 || ft.Results.NumFields() != 1 {
+		t.Errorf("guard's second parameter is %v, want func() error", types.ExprString(params.List[1].Type))
+	}
+	results := decl.Type.Results
+	if results == nil || results.NumFields() != 1 {
+		t.Fatalf("guard returns %d values, want 1 (error)", results.NumFields())
+	}
+	if id, ok := results.List[0].Type.(*ast.Ident); !ok || id.Name != "error" {
+		t.Errorf("guard returns %v, want error", types.ExprString(results.List[0].Type))
+	}
+}
+
+// parsePathDecls parses the live internal/sweep/path sources and calls
+// visit on every top-level function declaration.
+func parsePathDecls(t *testing.T, visit func(*ast.FuncDecl)) {
+	t.Helper()
+	dir := filepath.Join("..", "sweep", "path")
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", dir, err)
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				visit(fd)
+			}
+		}
+	}
+}
+
+// parsePathFuncNames collects the names of internal/sweep/path's top-level
+// functions (no methods) matching keep.
+func parsePathFuncNames(t *testing.T, keep func(string) bool) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	parsePathDecls(t, func(fd *ast.FuncDecl) {
+		if fd.Recv == nil && keep(fd.Name.Name) {
+			names[fd.Name.Name] = true
+		}
+	})
+	return names
 }
 
 // TestKnownNamesMatchRegistry pins the solvername analyzer's name tables
@@ -110,13 +278,9 @@ func TestTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("typechecks the whole module (stdlib from source); skipped in -short")
 	}
-	l, err := NewLoader(filepath.Join("..", ".."))
+	pkgs, err := LoadModule(filepath.Join("..", ".."))
 	if err != nil {
-		t.Fatalf("NewLoader: %v", err)
-	}
-	pkgs, err := l.LoadAll()
-	if err != nil {
-		t.Fatalf("LoadAll: %v", err)
+		t.Fatalf("LoadModule: %v", err)
 	}
 	if len(pkgs) < 5 {
 		t.Fatalf("loaded only %d packages; loader is missing the tree", len(pkgs))

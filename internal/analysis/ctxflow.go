@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the PR 9 cancellation contract: a context received by a
+// solve-path function is the ONLY context its downstream calls may see, it
+// must not be parked in a struct field, and it must not be dropped. The
+// contract keeps cancellation cooperative end to end — handler ctx →
+// SolveCtx → sweep.RunCtx → path.RunCtx — with exactly one sanctioned
+// break in the chain: the plain→*Ctx delegation shims (Sweep is SweepCtx
+// under context.Background(), and so on), whose names KnownCtxShims pins.
+//
+// Scope: the packages listed in robustScope, and any package carrying a
+// //neutralnet:robust comment.
+//
+// Checks:
+//
+//   - context.Background()/context.TODO() anywhere except inside a
+//     designated shim, as an immediate argument to the shim's own <name>Ctx
+//     twin. Anywhere else a fresh root context either severs a caller's
+//     cancellation (inside a ctx-receiving function) or hides a missing
+//     *Ctx variant (the function should receive a context instead).
+//   - a context.Context parameter that is named but never referenced: the
+//     function promises cancellation it cannot deliver. Rename it _ (and
+//     say why) or thread it through.
+//   - a context stored into a struct field (assignment or composite
+//     literal): contexts are call-scoped per the context package contract;
+//     a stored context outlives its cancellation scope and revives dead
+//     requests. Pass ctx explicitly instead.
+//   - ctx.Err() polled inside a for/range loop of a //neutralnet:hotpath
+//     function: the cancellation contract is segment-boundary polling
+//     (path.RunCtx checks once per segment claim). Per-point polling puts
+//     an atomic load + interface comparison on the zero-alloc solve path
+//     for no added responsiveness.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background()/TODO() outside the designated *Ctx delegation shims,\n" +
+		"dropped ctx parameters, contexts stored in struct fields, and per-point\n" +
+		"ctx.Err() polling inside //neutralnet:hotpath loops",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if !inRobustScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBackgroundCalls(pass, fd)
+			checkDroppedCtxParam(pass, fd)
+			if hasDirective(fd.Doc, hotpathDirective) {
+				checkHotpathPolling(pass, fd)
+			}
+		}
+		// Field stores can appear outside function bodies too (package-level
+		// composite literals), so this check walks whole files.
+		checkCtxStores(pass, f)
+	}
+	return nil
+}
+
+// isBackgroundCall reports whether e calls context.Background or
+// context.TODO, returning the function name.
+func isBackgroundCall(pass *Pass, e ast.Expr) (string, bool) {
+	call, ok := stripParens(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name, true
+	}
+	return "", false
+}
+
+// checkBackgroundCalls flags context.Background()/TODO() calls in fd unless
+// fd is a designated delegation shim and the call is an immediate argument
+// to fd's own *Ctx twin.
+func checkBackgroundCalls(pass *Pass, fd *ast.FuncDecl) {
+	shim := knownCtxShim(fd.Name.Name)
+	twin := fd.Name.Name + "Ctx"
+	// First pass: collect the sanctioned positions — in a shim, a
+	// Background/TODO call sitting directly in the argument list of the
+	// shim's own *Ctx twin.
+	sanctioned := map[ast.Node]bool{}
+	if shim {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleeName(call) != twin {
+				return true
+			}
+			for _, arg := range call.Args {
+				if _, ok := isBackgroundCall(pass, arg); ok {
+					sanctioned[stripParens(arg)] = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sanctioned[call] {
+			return true
+		}
+		if name, ok := isBackgroundCall(pass, call); ok {
+			if hasCtxParam(pass, fd) != nil {
+				pass.Reportf(call.Pos(),
+					"context.%s() severs the received ctx's cancellation; forward ctx into the downstream call", name)
+			} else if shim {
+				pass.Reportf(call.Pos(),
+					"context.%s() in shim %s must be an immediate argument to %s", name, fd.Name.Name, twin)
+			} else {
+				pass.Reportf(call.Pos(),
+					"context.%s() outside a designated delegation shim (%s is not in KnownCtxShims); accept a ctx parameter or add a *Ctx twin", name, fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// hasCtxParam returns fd's first named, non-blank context.Context parameter
+// object, or nil.
+func hasCtxParam(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(name)
+			if obj != nil && isContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// checkDroppedCtxParam flags a named ctx parameter with no use in the body.
+func checkDroppedCtxParam(pass *Pass, fd *ast.FuncDecl) {
+	obj := hasCtxParam(pass, fd)
+	if obj == nil {
+		return
+	}
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	if !used {
+		pass.Reportf(obj.Pos(),
+			"context parameter %s is dropped: the function promises cancellation it never delivers; thread it through or rename it _ with a reasoned lint:ignore", obj.Name())
+	}
+}
+
+// checkCtxStores flags contexts written into struct fields, by assignment
+// or by composite-literal field.
+func checkCtxStores(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := stripParens(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if _, isField := pass.TypesInfo.Selections[sel]; !isField {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if rhs == nil {
+					continue
+				}
+				if tv, ok := pass.TypesInfo.Types[rhs]; ok && isContextType(tv.Type) {
+					pass.Reportf(rhs.Pos(),
+						"context stored in struct field %s: contexts are call-scoped; pass ctx as a parameter instead", sel.Sel.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok {
+				return true
+			}
+			t := tv.Type
+			if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if _, isStruct := t.Underlying().(*types.Struct); !isStruct {
+				return true
+			}
+			for _, el := range n.Elts {
+				v := el
+				name := "(positional)"
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						name = id.Name
+					}
+				}
+				if vt, ok := pass.TypesInfo.Types[v]; ok && isContextType(vt.Type) {
+					pass.Reportf(v.Pos(),
+						"context stored in struct field %s: contexts are call-scoped; pass ctx as a parameter instead", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotpathPolling flags ctx.Err() calls inside loops of a hotpath
+// function: cancellation polls belong at segment boundaries, outside the
+// per-point solve.
+func checkHotpathPolling(pass *Pass, fd *ast.FuncDecl) {
+	var inspectLoop func(body ast.Node)
+	inspectLoop = func(body ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Err" {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isContextType(tv.Type) {
+				pass.Reportf(call.Pos(),
+					"ctx.Err() polled inside a //neutralnet:hotpath loop: the cancellation contract is segment-boundary polling (path.RunCtx checks per claim); hoist the poll out of the per-point loop")
+			}
+			return true
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			inspectLoop(n.Body)
+			return false
+		case *ast.RangeStmt:
+			inspectLoop(n.Body)
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the PR 9 error taxonomy in solve-path packages: every
+// failure must stay classifiable with errors.Is / errors.As all the way up
+// the call stack (the planned serving layer maps typed errors to HTTP
+// status codes), so error identity must never be laundered through an
+// unwrapped fmt.Errorf or tested with identity comparison.
+//
+// Scope: the packages listed in robustScope, and any package carrying a
+// //neutralnet:robust comment.
+//
+// Checks:
+//
+//   - fmt.Errorf whose format has no %w verb but whose arguments include
+//     an error: the cause is flattened to text and errors.Is/As stop
+//     seeing it. Wrap with %w (the taxonomy survives) or, if hiding the
+//     cause is the point, suppress with a reason.
+//   - comparing two errors with == or != (or switching on an error value
+//     with error-valued cases): identity comparison misses wrapped
+//     sentinels. Use errors.Is. The one sanctioned identity comparison is
+//     inside an Is(target error) bool method — that IS the errors.Is
+//     protocol's unwrap terminator.
+//   - type-asserting or type-switching an error to a concrete error type:
+//     assertion misses wrapped values. Use errors.As.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "flag fmt.Errorf without %w on an error argument, ==/!= sentinel comparison\n" +
+		"(use errors.Is), and type assertions/switches on error types (use errors.As)\n" +
+		"in robustness-scoped packages",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	if !inRobustScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkErrWrapFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkErrWrapFunc(pass *Pass, fd *ast.FuncDecl) {
+	isProtocol := isErrorsIsMethod(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkErrorfWrap(pass, n)
+		case *ast.BinaryExpr:
+			if !isProtocol {
+				checkErrorIdentity(pass, n)
+			}
+		case *ast.SwitchStmt:
+			if !isProtocol {
+				checkErrorValueSwitch(pass, n)
+			}
+		case *ast.TypeAssertExpr:
+			checkErrorTypeAssert(pass, n)
+		case *ast.TypeSwitchStmt:
+			checkErrorTypeSwitch(pass, n)
+		}
+		return true
+	})
+}
+
+// isErrorsIsMethod reports whether fd is an Is(target error) bool method —
+// the errors.Is protocol implementation, where identity comparison against
+// the target is the contract, not a violation.
+func isErrorsIsMethod(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Is" || fd.Recv == nil {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[fd.Name]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return errorLike(sig.Params().At(0).Type()) &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose (constant) format string has
+// no %w verb while an argument is error-typed.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: cannot see the verbs, stay silent
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(strings.ReplaceAll(format, "%%", ""), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		atv, ok := pass.TypesInfo.Types[arg]
+		if !ok || atv.IsNil() || !errorLike(atv.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"fmt.Errorf flattens an error argument without %%w: the cause leaves the errors.Is/errors.As taxonomy; wrap it with %%w")
+		return
+	}
+}
+
+// checkErrorIdentity flags ==/!= where both operands are errors and
+// neither is nil.
+func checkErrorIdentity(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	xt, xok := pass.TypesInfo.Types[be.X]
+	yt, yok := pass.TypesInfo.Types[be.Y]
+	if !xok || !yok || xt.IsNil() || yt.IsNil() {
+		return
+	}
+	if errorLike(xt.Type) && errorLike(yt.Type) {
+		pass.Reportf(be.OpPos,
+			"error compared with %s: identity comparison misses wrapped sentinels; use errors.Is", be.Op)
+	}
+}
+
+// checkErrorValueSwitch flags `switch err { case ErrFoo: }` — a chain of
+// identity comparisons in disguise.
+func checkErrorValueSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tagTV, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || !errorLike(tagTV.Type) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, v := range cc.List {
+			vt, ok := pass.TypesInfo.Types[v]
+			if !ok || vt.IsNil() || !errorLike(vt.Type) {
+				continue
+			}
+			pass.Reportf(sw.Switch,
+				"switch on an error value compares sentinels by identity; use errors.Is in an if/else chain")
+			return
+		}
+	}
+}
+
+// checkErrorTypeAssert flags err.(SomeErrorType) outside type switches.
+func checkErrorTypeAssert(pass *Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return // the x.(type) of a type switch; handled separately
+	}
+	xt, ok := pass.TypesInfo.Types[ta.X]
+	if !ok || !errorLike(xt.Type) {
+		return
+	}
+	tt, ok := pass.TypesInfo.Types[ta.Type]
+	if !ok || isErrorType(tt.Type) {
+		return // re-asserting to plain error is identity, not classification
+	}
+	pass.Reportf(ta.Pos(),
+		"type assertion on an error misses wrapped values; use errors.As")
+}
+
+// checkErrorTypeSwitch flags `switch err.(type) { case *SolveError: }`.
+func checkErrorTypeSwitch(pass *Pass, ts *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch assign := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := assign.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(assign.Rhs) == 1 {
+			if ta, ok := assign.Rhs[0].(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	}
+	if x == nil {
+		return
+	}
+	xt, ok := pass.TypesInfo.Types[x]
+	if !ok || !errorLike(xt.Type) {
+		return
+	}
+	for _, stmt := range ts.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, t := range cc.List {
+			tt, ok := pass.TypesInfo.Types[t]
+			if !ok || tt.Type == nil {
+				continue
+			}
+			if tv := tt.Type; !isErrorType(tv) && !tt.IsNil() {
+				pass.Reportf(ts.Switch,
+					"type switch on an error misses wrapped values; use errors.As per candidate type")
+				return
+			}
+		}
+	}
+}

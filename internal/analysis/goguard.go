@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoGuard enforces the panic-isolation discipline of internal/sweep/path
+// on every goroutine launched in a solve-path package: a panic on a bare
+// goroutine kills the whole process — for the planned serving daemon, the
+// whole service — no matter how well the synchronous call stack guards
+// itself. The pool's contract is that every worker body runs under
+// guard(c, fn) (recover → *PanicError → normal first-error path), so the
+// process survives and the failure surfaces as a typed error.
+//
+// Scope: the packages listed in robustScope, and any package carrying a
+// //neutralnet:robust comment.
+//
+// A `go` statement is compliant when the goroutine body demonstrably
+// recovers: it calls guard (the path wrapper's name, pinned by
+// TestGuardShapePinned), or it defers a function literal containing
+// recover(). The body is the statement's function literal, the resolved
+// same-package function declaration, or the guard call itself (go
+// guard(...)); goroutines launched through external or dynamic callees
+// cannot be inspected and are flagged — wrap them in a guarded closure or
+// suppress with a reason.
+var GoGuard = &Analyzer{
+	Name: "goguard",
+	Doc: "flag `go` statements in robustness-scoped packages whose body does not run\n" +
+		"under the guard/recover discipline of internal/sweep/path",
+	Run: runGoGuard,
+}
+
+func runGoGuard(pass *Pass) error {
+	if !inRobustScope(pass) {
+		return nil
+	}
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, g, decls)
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncDecls maps the package's function objects to their
+// declarations, so goroutines launched through named same-package
+// functions can be inspected.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) {
+	// go guard(c, fn): the launched call IS the recover wrapper.
+	if calleeName(g.Call) == guardFuncName {
+		return
+	}
+	var body *ast.BlockStmt
+	switch fun := stripParens(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := calleeFunc(pass, g.Call); fn != nil {
+			if fd, ok := decls[fn]; ok && fd.Body != nil {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		pass.Reportf(g.Pos(),
+			"goroutine body cannot be inspected for a panic guard (external or dynamic callee); wrap it in a guarded closure (go func() { _ = guard(...) }()) or suppress with a reason")
+		return
+	}
+	if bodyRecovers(pass, body) {
+		return
+	}
+	pass.Reportf(g.Pos(),
+		"bare goroutine: a panic here kills the process; run the body under guard (internal/sweep/path discipline) or a deferred recover")
+}
+
+// bodyRecovers reports whether the goroutine body runs its work under the
+// guard wrapper or installs a deferred recover. Nested `go` statements are
+// not descended into — each goroutine must guard itself (and is checked by
+// its own GoStmt visit).
+func bodyRecovers(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // a nested goroutine's guard does not cover this one
+		case *ast.DeferStmt:
+			if lit, ok := stripParens(n.Call.Fun).(*ast.FuncLit); ok && callsRecover(pass, lit.Body) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if calleeName(n) == guardFuncName {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callsRecover reports whether the block calls the recover builtin.
+func callsRecover(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := stripParens(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // This file is the package loader behind the standalone multichecker and
@@ -232,6 +233,41 @@ func typecheck(fset *token.FileSet, ipath string, files []*ast.File, imp types.I
 	return &Package{Path: ipath, ModulePath: modPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
+// moduleCache memoizes LoadModule: the typechecked package set of a module
+// root. Loading the module from source (including the stdlib source
+// importer's transitive work) dominates lint wall clock, and every analyzer
+// in a run — as well as TestTreeClean and the per-analyzer timing mode —
+// shares one immutable package set, so the second and later loads are free.
+var (
+	moduleCacheMu sync.Mutex
+	moduleCache   = map[string][]*Package{}
+)
+
+// LoadModule loads every package of the module rooted at rootDir, memoized
+// process-wide by the root's absolute path. Callers must treat the result
+// as immutable.
+func LoadModule(rootDir string) ([]*Package, error) {
+	abs, err := filepath.Abs(rootDir)
+	if err != nil {
+		return nil, err
+	}
+	moduleCacheMu.Lock()
+	defer moduleCacheMu.Unlock()
+	if pkgs, ok := moduleCache[abs]; ok {
+		return pkgs, nil
+	}
+	l, err := NewLoader(abs)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	moduleCache[abs] = pkgs
+	return pkgs, nil
+}
+
 // FindModule walks up from dir to the nearest go.mod and returns the
 // module root directory and module path.
 func FindModule(dir string) (root, modPath string, err error) {
@@ -273,10 +309,52 @@ func ParseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
 	return files, nil
 }
 
-// LoadDir loads a single standalone package (fixture dirs under testdata)
-// whose imports are standard-library only. The import path is taken from
-// the directory name.
+// LoadDir loads a single standalone package (fixture dirs under testdata).
+// Imports resolve GOPATH-style against the fixture root (the parent of
+// dir): `import "locksafe/path"` from testdata/src/locksafe loads
+// testdata/src/locksafe/path, so fixtures can exercise cross-package
+// shapes (a fake pool package, multi-package flows). Everything else is
+// assumed to be standard library. The import path is dir's path relative
+// to the fixture root.
 func LoadDir(dir string) (*Package, error) {
+	root := filepath.Dir(dir)
+	imp := &fixtureImporter{root: root, pkgs: map[string]*Package{}}
+	pkg, err := imp.load(filepath.Base(dir))
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// fixtureImporter resolves imports for fixture packages: paths that name a
+// directory under the fixture root load through the importer itself
+// (memoized); all others delegate to the shared stdlib source importer.
+type fixtureImporter struct {
+	root string
+	pkgs map[string]*Package // by root-relative import path; nil = in progress
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	if hasGoFiles(dir) {
+		pkg, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return sharedStd.Import(path)
+}
+
+func (fi *fixtureImporter) load(path string) (*Package, error) {
+	if pkg, ok := fi.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: fixture import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	fi.pkgs[path] = nil
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
 	files, err := parseDir(sharedFset, dir)
 	if err != nil {
 		return nil, err
@@ -284,10 +362,11 @@ func LoadDir(dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	pkg, err := typecheck(sharedFset, filepath.Base(dir), files, sharedStd, "")
+	pkg, err := typecheck(sharedFset, path, files, fi, "")
 	if err != nil {
 		return nil, err
 	}
 	pkg.Dir = dir
+	fi.pkgs[path] = pkg
 	return pkg, nil
 }

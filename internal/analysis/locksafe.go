@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockSafe enforces the stage-and-commit lock discipline of the session
+// layer: a sync.Mutex / sync.RWMutex must never be held across a blocking
+// rendezvous — a path pool entry point (whose workers or emit callback may
+// need the same lock: classic self-deadlock), a user-supplied
+// emit/observer/hook callback (user code under a library lock deadlocks
+// the moment it calls back in, and blocks every other session user while
+// it runs), or a channel operation (unbounded wait under lock). PR 9
+// rewrote the session sweeps to stage results while unlocked and take the
+// lock only for the final cache fold; this analyzer keeps that shape.
+//
+// Scope: the packages listed in robustScope, and any package carrying a
+// //neutralnet:robust comment.
+//
+// The tracking is syntactic, intra-procedural and source-ordered, like
+// noalias: Lock/RLock adds the receiver expression to the held set,
+// Unlock/RUnlock removes it, defer Unlock holds to function end. While any
+// mutex is held, the analyzer flags
+//
+//   - calls to path.Run / RunCtx / RunOrdered / RunOrderedCtx / Adaptive /
+//     AdaptiveCtx (KnownPoolEntrypoints, pinned to the live package),
+//   - dynamic calls through func values whose name contains emit,
+//     observer, hook or callback (case-insensitive),
+//   - channel sends, receives, selects and ranges over channels,
+//   - same-package helpers whose own body performs a channel operation or
+//     pool call (one level deep — the multi-file helper case).
+//
+// Goroutine and deferred function literals start with a fresh held set
+// (they run elsewhere in time); synchronous literals (IIFEs, guard
+// callbacks) inherit the current one. Branches are walked in source order,
+// not control-flow order — a Lock inside one branch leaks into the next
+// sibling; suppress with a reason where that approximation bites.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc: "flag sync.Mutex/RWMutex regions spanning a path.Run* pool call, a\n" +
+		"user-supplied emit/observer callback, or a channel operation in\n" +
+		"robustness-scoped packages",
+	Run: runLockSafe,
+}
+
+// callbackNameFragments mark func-value names treated as user-supplied
+// callbacks when called under a lock.
+var callbackNameFragments = []string{"emit", "observer", "hook", "callback"}
+
+func runLockSafe(pass *Pass) error {
+	if !inRobustScope(pass) {
+		return nil
+	}
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			newLockChecker(pass, decls).walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+type lockChecker struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	held  map[string]token.Pos // mutex expr string → Lock position
+}
+
+func newLockChecker(pass *Pass, decls map[*types.Func]*ast.FuncDecl) *lockChecker {
+	return &lockChecker{pass: pass, decls: decls, held: map[string]token.Pos{}}
+}
+
+// heldNames renders the held set for diagnostics, sorted for determinism.
+func (c *lockChecker) heldNames() string {
+	names := make([]string, 0, len(c.held))
+	for k := range c.held {
+		names = append(names, k)
+	}
+	// insertion sort: the set is tiny and sort.Strings would be overkill
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// mutexOp classifies a call as a Lock/Unlock-family method on a
+// sync.Mutex/RWMutex receiver, returning the held-set key.
+func (c *lockChecker) mutexOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := stripParens(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	rt := recv.Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// walk visits n's statements in source order, maintaining the held set.
+func (c *lockChecker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock(): the lock is held to function end by
+			// design — keep it held, and do not treat the deferred call as
+			// an in-order release. Deferred function literals run at
+			// return, outside this walk's timeline: check them with a
+			// fresh held set.
+			if _, op, ok := c.mutexOp(n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				return false
+			}
+			if lit, ok := stripParens(n.Call.Fun).(*ast.FuncLit); ok {
+				newLockChecker(c.pass, c.decls).walk(lit.Body)
+				return false
+			}
+			return false
+		case *ast.GoStmt:
+			// A goroutine body runs on its own timeline with no locks held.
+			if lit, ok := stripParens(n.Call.Fun).(*ast.FuncLit); ok {
+				newLockChecker(c.pass, c.decls).walk(lit.Body)
+			}
+			return false
+		case *ast.CallExpr:
+			c.call(n)
+			return true
+		case *ast.SendStmt:
+			if len(c.held) > 0 {
+				c.pass.Reportf(n.Arrow,
+					"channel send while holding %s: an unbounded wait under lock; release the lock first (stage-and-commit)", c.heldNames())
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(c.held) > 0 {
+				c.pass.Reportf(n.OpPos,
+					"channel receive while holding %s: an unbounded wait under lock; release the lock first (stage-and-commit)", c.heldNames())
+			}
+			return true
+		case *ast.SelectStmt:
+			if len(c.held) > 0 {
+				c.pass.Reportf(n.Select,
+					"select while holding %s: an unbounded wait under lock; release the lock first (stage-and-commit)", c.heldNames())
+				// One finding per select: the comm clauses' channel
+				// operations are part of the same rendezvous.
+				return false
+			}
+			return true
+		case *ast.RangeStmt:
+			if len(c.held) > 0 {
+				if tv, ok := c.pass.TypesInfo.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						c.pass.Reportf(n.For,
+							"range over a channel while holding %s: an unbounded wait under lock; release the lock first (stage-and-commit)", c.heldNames())
+					}
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// call processes one call expression: held-set bookkeeping for mutex
+// methods, rendezvous detection for everything else.
+func (c *lockChecker) call(call *ast.CallExpr) {
+	if key, op, ok := c.mutexOp(call); ok {
+		switch op {
+		case "Lock", "RLock":
+			c.held[key] = call.Pos()
+		case "Unlock", "RUnlock":
+			delete(c.held, key)
+		}
+		return
+	}
+	if len(c.held) == 0 {
+		return
+	}
+	if fn := calleeFunc(c.pass, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Name() == "path" && knownPoolEntrypoint(fn.Name()) {
+			c.pass.Reportf(call.Pos(),
+				"path.%s called while holding %s: the pool blocks until every segment ran, and a worker or emit needing the lock deadlocks; stage results and lock only for the fold", fn.Name(), c.heldNames())
+			return
+		}
+		// One level into same-package helpers: a helper that itself blocks
+		// makes the call site a rendezvous under lock (the multi-file
+		// helper-locking case).
+		if fd, ok := c.decls[fn]; ok && fd.Body != nil {
+			if why := blockingOpIn(c.pass, fd.Body); why != "" {
+				c.pass.Reportf(call.Pos(),
+					"call to %s while holding %s: its body performs a %s; release the lock first", fn.Name(), c.heldNames(), why)
+			}
+		}
+		return
+	}
+	// Dynamic call through a func value: user-supplied callbacks by name.
+	name := calleeName(call)
+	lower := strings.ToLower(name)
+	for _, frag := range callbackNameFragments {
+		if strings.Contains(lower, frag) {
+			c.pass.Reportf(call.Pos(),
+				"user-supplied callback %s invoked while holding %s: user code under a library lock deadlocks on re-entry and serializes every other user; call it after unlocking", name, c.heldNames())
+			return
+		}
+	}
+}
+
+// blockingOpIn reports (as a short description) the first channel
+// operation or pool entry point called directly in body, or "". It does
+// not recurse into further calls or into goroutine/defer literals.
+func blockingOpIn(pass *Pass, body *ast.BlockStmt) string {
+	why := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			why = "channel send"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				why = "channel receive"
+			}
+		case *ast.SelectStmt:
+			why = "select"
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Name() == "path" && knownPoolEntrypoint(fn.Name()) {
+				why = "path." + fn.Name() + " pool call"
+			}
+		}
+		return why == ""
+	})
+	return why
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file holds the scope gate and name tables shared by the four
+// robustness analyzers (ctxflow, errwrap, goguard, locksafe) that
+// mechanize the PR 9 contracts: cooperative cancellation through *Ctx
+// twins, the typed error taxonomy under errors.Is/errors.As, panic-guarded
+// goroutines, and lock regions that never span a pool call, a user
+// callback, or a channel operation.
+
+// robustDirective opts a package into the robustness analyzers' scope (in
+// addition to the built-in package list). Fixture packages, which load
+// outside the module, use it to enter scope.
+const robustDirective = "//neutralnet:robust"
+
+// robustScope is the built-in set of packages the robustness contracts
+// gate, as module-relative paths ("" is the module root). It is the
+// determinism scope plus internal/oligopoly: every package that sits on
+// the solve path between the public session API and the worker pools.
+var robustScope = map[string]bool{
+	"":                    true, // root package: Engine, sessions, sweep bindings
+	"internal/solver":     true,
+	"internal/sweep":      true,
+	"internal/sweep/path": true,
+	"internal/duopoly":    true,
+	"internal/oligopoly":  true,
+	"internal/longrun":    true,
+	"internal/model":      true,
+	"internal/game":       true,
+}
+
+// inRobustScope reports whether the package is gated by the robustness
+// analyzers: member of the built-in scope list, or opted in by directive.
+func inRobustScope(pass *Pass) bool {
+	if pass.ModulePath != "" {
+		rel := pass.Pkg.Path()
+		if rel == pass.ModulePath {
+			rel = ""
+		} else if after, ok := cutModulePrefix(rel, pass.ModulePath); ok {
+			rel = after
+		} else {
+			return false
+		}
+		if robustScope[rel] {
+			return true
+		}
+	}
+	for _, f := range pass.Files {
+		if fileHasDirective(f, robustDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// KnownCtxShims lists, sorted, the base names of the designated plain→*Ctx
+// delegation shims: the only functions in scope allowed to materialize a
+// context with context.Background() — and only as an immediate argument to
+// their own <name>Ctx twin. The set is pinned to the live API by
+// TestCtxTwinsDelegate in the root package: every exported method or
+// package-level function with a *Ctx twin appears here, and every name
+// here has a live twin.
+var KnownCtxShims = []string{
+	"Adaptive",            // path.Adaptive → path.AdaptiveCtx
+	"Run",                 // sweep.Run, path.Run → *Ctx
+	"RunAdaptive",         // sweep.RunAdaptive → sweep.RunAdaptiveCtx
+	"RunOrdered",          // path.RunOrdered → path.RunOrderedCtx
+	"Solve",               // Engine/session Solve → SolveCtx
+	"SolveAt",             // Engine.SolveAt → Engine.SolveAtCtx
+	"Stream",              // sweep.Stream → sweep.StreamCtx
+	"Sweep",               // Engine.Sweep → Engine.SweepCtx
+	"SweepAdaptive",       // Engine.SweepAdaptive → Engine.SweepAdaptiveCtx
+	"SweepPrices",         // session SweepPrices → SweepPricesCtx
+	"SweepPricesAdaptive", // session SweepPricesAdaptive → *Ctx
+	"SweepPricesStream",   // session SweepPricesStream → *Ctx
+	"SweepStream",         // Engine.SweepStream → Engine.SweepStreamCtx
+}
+
+// knownCtxShim reports whether name is a designated delegation shim.
+func knownCtxShim(name string) bool {
+	for _, s := range KnownCtxShims {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// KnownPoolEntrypoints lists, sorted, the exported entry points of
+// internal/sweep/path — the traversal-scheduler calls that block until a
+// whole grid's segments are solved. Holding a mutex across one is the
+// deadlock shape locksafe exists to flag (a worker or emit callback that
+// needs the same lock can never run). Pinned to the live package by
+// TestKnownPoolEntrypointsMatch.
+var KnownPoolEntrypoints = []string{
+	"Adaptive",
+	"AdaptiveCtx",
+	"Run",
+	"RunCtx",
+	"RunOrdered",
+	"RunOrderedCtx",
+}
+
+// knownPoolEntrypoint reports whether a call to path.<name> is a blocking
+// pool entry point.
+func knownPoolEntrypoint(name string) bool {
+	for _, s := range KnownPoolEntrypoints {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// guardFuncName is the name of the recover wrapper in internal/sweep/path
+// whose discipline goguard enforces: every goroutine body in scope must
+// run under it (or under an explicit deferred recover). Its shape —
+// func(int, func() error) error — is pinned by TestGuardShapePinned.
+const guardFuncName = "guard"
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// errorLike reports whether a value of type t can be assigned to the
+// built-in error interface (the type either is error or implements it).
+// Untyped nil is assignable too — callers exclude nil operands explicitly.
+func errorLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (through a plain identifier or a selector), or nil for dynamic calls
+// through func-typed values, conversions and builtins.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := stripParens(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := stripParens(fun.X).(*ast.Ident); ok {
+			fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+			return fn
+		}
+		if sel, ok := stripParens(fun.X).(*ast.SelectorExpr); ok {
+			fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			return fn
+		}
+	case *ast.IndexListExpr: // generic instantiation f[T1, T2](...)
+		if id, ok := stripParens(fun.X).(*ast.Ident); ok {
+			fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+			return fn
+		}
+		if sel, ok := stripParens(fun.X).(*ast.SelectorExpr); ok {
+			fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeName returns the syntactic name of the function being called (the
+// identifier or selector member), or "" when there is none.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := stripParens(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.IndexExpr:
+		return calleeName(&ast.CallExpr{Fun: fun.X})
+	case *ast.IndexListExpr:
+		return calleeName(&ast.CallExpr{Fun: fun.X})
+	}
+	return ""
+}

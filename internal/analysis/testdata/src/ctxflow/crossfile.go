@@ -1,0 +1,30 @@
+package ctxflow
+
+import "context"
+
+// This file exercises the cross-function, cross-file flow cases of the
+// multi-file fixture harness: helper lives here, callers in ctxflow.go's
+// file and below thread (or fail to thread) a context into it.
+
+// helper accepts a context and honors it.
+func helper(ctx context.Context, x float64) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return x
+}
+
+// CrossFileFlow forwards the received context into the other file's
+// helper: the sanctioned shape, no finding.
+func CrossFileFlow(ctx context.Context, x float64) float64 {
+	return helper(ctx, x)
+}
+
+// CrossFileSever materializes a root context for the helper although one
+// was received.
+func CrossFileSever(ctx context.Context, x float64) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return helper(context.Background(), x) // want "severs the received ctx"
+}

@@ -1,0 +1,92 @@
+// Package ctxflow seeds violations of the context-flow contract: fresh
+// root contexts outside the designated delegation shims, dropped ctx
+// parameters, contexts parked in struct fields, and per-point ctx.Err()
+// polling inside a hotpath loop.
+//
+//neutralnet:robust
+package ctxflow
+
+import "context"
+
+// SolveCtx is the context-threading implementation.
+func SolveCtx(ctx context.Context, x float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return x, nil
+}
+
+// Solve is a designated shim (the name is in KnownCtxShims): Background
+// as an immediate argument to its own Ctx twin is the sanctioned position.
+func Solve(x float64) (float64, error) {
+	return SolveCtx(context.Background(), x)
+}
+
+// Rogue is not a shim: materializing a root context hides a missing *Ctx
+// variant.
+func Rogue(x float64) (float64, error) {
+	return SolveCtx(context.Background(), x) // want "outside a designated delegation shim"
+}
+
+// Sever receives a context and then severs it downstream.
+func Sever(ctx context.Context, x float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return SolveCtx(context.TODO(), x) // want "severs the received ctx"
+}
+
+// Dropped promises cancellation it never delivers.
+func Dropped(ctx context.Context, x float64) float64 { // want "context parameter ctx is dropped"
+	return x
+}
+
+// session parks a context in a field.
+type session struct {
+	ctx context.Context
+	x   float64
+}
+
+// NewSession stores the context through a composite literal.
+func NewSession(ctx context.Context) *session {
+	return &session{ctx: ctx, x: 1} // want "context stored in struct field ctx"
+}
+
+// rebind stores the context through a field assignment.
+func (s *session) rebind(ctx context.Context) {
+	s.ctx = ctx // want "context stored in struct field ctx"
+}
+
+// solveChain polls per point inside a hotpath loop; the contract is
+// segment-boundary polling.
+//
+//neutralnet:hotpath
+func solveChain(ctx context.Context, xs []float64) error {
+	for i := range xs {
+		if err := ctx.Err(); err != nil { // want "polled inside a //neutralnet:hotpath loop"
+			return err
+		}
+		xs[i]++
+	}
+	return nil
+}
+
+// boundaryPoll checks once before the loop: the sanctioned shape.
+//
+//neutralnet:hotpath
+func boundaryPoll(ctx context.Context, xs []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := range xs {
+		xs[i]++
+	}
+	return nil
+}
+
+// Legacy keeps a transitional Background call under a reasoned ignore:
+// silence expected (the escape hatch works).
+func Legacy(x float64) (float64, error) {
+	//lint:ignore ctxflow transitional caller, removed when the serve daemon lands
+	return SolveCtx(context.Background(), x)
+}

@@ -1,0 +1,32 @@
+// Package ctxflowscope contains the same violations as the ctxflow
+// fixture but carries no neutralnet:robust directive and is not one of
+// the built-in scoped packages: the analyzer must stay silent here. No
+// want comments on purpose.
+package ctxflowscope
+
+import "context"
+
+// SolveCtx is the context-threading implementation.
+func SolveCtx(ctx context.Context, x float64) (float64, error) {
+	return x, ctx.Err()
+}
+
+// Rogue materializes a root context, but this package is out of scope.
+func Rogue(x float64) (float64, error) {
+	return SolveCtx(context.Background(), x)
+}
+
+// Dropped never uses its context, but this package is out of scope.
+func Dropped(ctx context.Context, x float64) float64 {
+	return x
+}
+
+// holder parks a context in a field, but this package is out of scope.
+type holder struct {
+	ctx context.Context
+}
+
+// NewHolder stores the context, but this package is out of scope.
+func NewHolder(ctx context.Context) *holder {
+	return &holder{ctx: ctx}
+}

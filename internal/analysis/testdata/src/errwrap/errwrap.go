@@ -1,0 +1,96 @@
+// Package errwrap seeds violations of the typed-error-taxonomy contract:
+// fmt.Errorf flattening a cause without %w, sentinel identity comparison,
+// and type assertions/switches where errors.Is / errors.As belong.
+//
+//neutralnet:robust
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotConverged stands in for the taxonomy's sentinels.
+var ErrNotConverged = errors.New("errwrap: not converged")
+
+// SolveError stands in for the taxonomy's typed errors.
+type SolveError struct{ Iterations int }
+
+func (e *SolveError) Error() string { return "errwrap: solve failed" }
+
+// Is sanctions identity comparison against the sentinel: this method IS
+// the errors.Is protocol's unwrap terminator, no finding.
+func (e *SolveError) Is(target error) bool {
+	return target == ErrNotConverged
+}
+
+// Flatten launders the cause out of the taxonomy.
+func Flatten(err error) error {
+	return fmt.Errorf("solve: %v", err) // want "without %w"
+}
+
+// Wrapped keeps the cause classifiable: no finding.
+func Wrapped(err error) error {
+	return fmt.Errorf("solve: %w", err)
+}
+
+// Textual has no error argument to lose: no finding.
+func Textual(p float64) error {
+	return fmt.Errorf("negative price %g", p)
+}
+
+// Identity compares a sentinel by identity.
+func Identity(err error) bool {
+	return err == ErrNotConverged // want "identity comparison misses wrapped sentinels"
+}
+
+// NilCheck is the ordinary nil test: no finding.
+func NilCheck(err error) bool {
+	return err != nil
+}
+
+// Assert classifies by type assertion.
+func Assert(err error) bool {
+	_, ok := err.(*SolveError) // want "use errors.As"
+	return ok
+}
+
+// Classify uses the sanctioned APIs: no finding.
+func Classify(err error) int {
+	if errors.Is(err, ErrNotConverged) {
+		return -1
+	}
+	var se *SolveError
+	if errors.As(err, &se) {
+		return se.Iterations
+	}
+	return 0
+}
+
+// SwitchValue chains identity comparisons in disguise.
+func SwitchValue(err error) string {
+	switch err { // want "switch on an error value"
+	case ErrNotConverged:
+		return "not converged"
+	case nil:
+		return ""
+	}
+	return "other"
+}
+
+// SwitchType classifies by type switch.
+func SwitchType(err error) int {
+	switch e := err.(type) { // want "type switch on an error"
+	case *SolveError:
+		return e.Iterations
+	default:
+		return 0
+	}
+}
+
+// Hidden flattens deliberately under a reasoned ignore: silence expected
+// (the escape hatch works).
+func Hidden(err error) error {
+	//lint:ignore errwrap rendered message is pinned by a golden; cause must not resurface
+	return fmt.Errorf("solve: %v", err)
+}

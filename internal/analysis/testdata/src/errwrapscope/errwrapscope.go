@@ -1,0 +1,23 @@
+// Package errwrapscope contains the same violations as the errwrap
+// fixture but carries no neutralnet:robust directive and is not one of
+// the built-in scoped packages: the analyzer must stay silent here. No
+// want comments on purpose.
+package errwrapscope
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrX is a sentinel, compared by identity below.
+var ErrX = errors.New("errwrapscope: x")
+
+// Flatten launders a cause, but this package is out of scope.
+func Flatten(err error) error {
+	return fmt.Errorf("x: %v", err)
+}
+
+// Identity compares by identity, but this package is out of scope.
+func Identity(err error) bool {
+	return err == ErrX
+}

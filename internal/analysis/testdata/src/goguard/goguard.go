@@ -1,0 +1,91 @@
+// Package goguard seeds bare-goroutine violations of the panic-isolation
+// contract: every `go` statement must run its body under the
+// guard/recover discipline.
+//
+//neutralnet:robust
+package goguard
+
+import (
+	"fmt"
+	"sync"
+)
+
+// guard mirrors the internal/sweep/path recover wrapper's name and shape.
+func guard(c int, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("goguard: segment %d panicked: %v", c, v)
+		}
+	}()
+	return fn()
+}
+
+// Guarded runs the body under guard: no finding.
+func Guarded(work func() error) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = guard(0, work)
+	}()
+	wg.Wait()
+}
+
+// DeferRecover installs an explicit deferred recover: no finding.
+func DeferRecover(work func()) {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		work()
+	}()
+}
+
+// Direct launches the guard itself: no finding.
+func Direct(work func() error) {
+	go guard(1, work)
+}
+
+// Bare launches an unguarded literal: a panic kills the process.
+func Bare(work func()) {
+	go func() { // want "bare goroutine"
+		work()
+	}()
+}
+
+// BareNamed launches an unguarded same-package function.
+func BareNamed() {
+	go named() // want "bare goroutine"
+}
+
+func named() {}
+
+// GuardedNamed launches a same-package function that recovers: no finding.
+func GuardedNamed() {
+	go guardedNamed()
+}
+
+func guardedNamed() {
+	defer func() { _ = recover() }()
+}
+
+// Dynamic launches through a func value the analyzer cannot inspect.
+func Dynamic(work func()) {
+	go work() // want "cannot be inspected"
+}
+
+// Nested: the inner goroutine's guard does not cover the outer body.
+func Nested(work func() error) {
+	go func() { // want "bare goroutine"
+		go func() {
+			_ = guard(0, work)
+		}()
+	}()
+}
+
+// Fire launches a bare goroutine under a reasoned ignore: silence
+// expected (the escape hatch works).
+func Fire(work func()) {
+	//lint:ignore goguard best-effort telemetry flush; a panic here is survivable
+	go work()
+}

@@ -1,0 +1,10 @@
+// Package goguardscope contains the same violations as the goguard
+// fixture but carries no neutralnet:robust directive and is not one of
+// the built-in scoped packages: the analyzer must stay silent here. No
+// want comments on purpose.
+package goguardscope
+
+// Bare launches an unguarded goroutine, but this package is out of scope.
+func Bare(work func()) {
+	go work()
+}

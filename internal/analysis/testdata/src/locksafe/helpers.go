@@ -1,0 +1,35 @@
+package locksafe
+
+import "locksafe/path"
+
+// This file exercises the one-level helper case across files: the lock is
+// taken in locksafe.go's type, the blocking body lives here.
+
+// helperBlocks performs a channel receive in its own body.
+func (s *session) helperBlocks(ch chan int) int {
+	return <-ch
+}
+
+// helperPool runs the pool in its own body.
+func (s *session) helperPool(pl path.Plan) error {
+	return path.Run(pl, 1, func(lo, hi int) error { return nil })
+}
+
+// HelperUnderLock calls a channel-blocking helper while holding the lock.
+func (s *session) HelperUnderLock(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.helperBlocks(ch) // want "its body performs a channel receive"
+}
+
+// HelperPoolUnderLock calls a pool-running helper while holding the lock.
+func (s *session) HelperPoolUnderLock(pl path.Plan) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.helperPool(pl) // want "its body performs a path.Run pool call"
+}
+
+// HelperUnlocked calls the helper with no lock held: no finding.
+func (s *session) HelperUnlocked(ch chan int) int {
+	return s.helperBlocks(ch)
+}

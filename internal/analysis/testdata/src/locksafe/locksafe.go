@@ -1,0 +1,125 @@
+// Package locksafe seeds lock-discipline violations: mutexes held across
+// pool calls, user callbacks and channel operations. The fake pool lives
+// in the locksafe/path subpackage — the multi-package fixture case.
+//
+//neutralnet:robust
+package locksafe
+
+import (
+	"sync"
+
+	"locksafe/path"
+)
+
+// session mimics the session layer: one mutex guarding a cache.
+type session struct {
+	mu    sync.Mutex
+	cache map[int]float64
+}
+
+// HeldAcrossPool holds the session lock across the blocking pool run.
+func (s *session) HeldAcrossPool(pl path.Plan) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return path.Run(pl, 2, func(lo, hi int) error { return nil }) // want "path.Run called while holding s.mu"
+}
+
+// StageAndCommit is the sanctioned shape: pool while unlocked, lock only
+// for the fold. No finding.
+func (s *session) StageAndCommit(pl path.Plan) error {
+	staged := make([]float64, pl.N+1)
+	err := path.Run(pl, 2, func(lo, hi int) error {
+		staged[lo] = float64(hi)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range staged {
+		s.cache[k] = v
+	}
+	return nil
+}
+
+// EmitLocked invokes a user-supplied callback under the session lock.
+func (s *session) EmitLocked(emit func(int) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return emit(1) // want "user-supplied callback emit invoked while holding s.mu"
+}
+
+// EmitUnlocked releases before calling back out: no finding.
+func (s *session) EmitUnlocked(emit func(int) error) error {
+	s.mu.Lock()
+	v := len(s.cache)
+	s.mu.Unlock()
+	return emit(v)
+}
+
+// SendLocked sends on a channel under the lock.
+func (s *session) SendLocked(ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+// RecvLocked receives under a deferred unlock.
+func (s *session) RecvLocked(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want "channel receive while holding s.mu"
+}
+
+// SelectLocked parks in a select under the lock.
+func (s *session) SelectLocked(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select while holding s.mu"
+	case <-ch:
+	default:
+	}
+}
+
+// DrainLocked ranges over a channel under the lock.
+func (s *session) DrainLocked(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for range ch { // want "range over a channel while holding s.mu"
+		n++
+	}
+	return n
+}
+
+// store exercises the RWMutex variants.
+type store struct {
+	rw sync.RWMutex
+}
+
+// ReadLocked holds a read lock across a receive.
+func (st *store) ReadLocked(ch chan int) int {
+	st.rw.RLock()
+	defer st.rw.RUnlock()
+	return <-ch // want "channel receive while holding st.rw"
+}
+
+// GoroutineFresh: a goroutine body starts with no locks held — the send
+// inside runs on its own timeline. No finding.
+func (s *session) GoroutineFresh(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}
+
+// FoldLocked emits under a serialization lock by documented contract:
+// silence expected (the escape hatch works).
+func (s *session) FoldLocked(emit func(int) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore locksafe emission is serialized under this local lock by design
+	return emit(0)
+}

@@ -1,0 +1,17 @@
+// Package path is a stub of the traversal-pool package carrying the
+// entry-point names locksafe pins (KnownPoolEntrypoints), so the fixture
+// can exercise the held-across-pool shape without importing the module.
+package path
+
+// Plan is a stub traversal plan.
+type Plan struct{ N int }
+
+// Run mimics the blocking pool entry point.
+func Run(pl Plan, workers int, runSegment func(lo, hi int) error) error {
+	return runSegment(0, pl.N)
+}
+
+// RunCtx mimics the cancellable pool entry point.
+func RunCtx(pl Plan, workers int, runSegment func(lo, hi int) error) error {
+	return Run(pl, workers, runSegment)
+}

@@ -1,0 +1,25 @@
+// Package locksafescope contains the same violations as the locksafe
+// fixture but carries no neutralnet:robust directive and is not one of
+// the built-in scoped packages: the analyzer must stay silent here. No
+// want comments on purpose.
+package locksafescope
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+}
+
+// SendLocked sends under the lock, but this package is out of scope.
+func (b *box) SendLocked(ch chan int) {
+	b.mu.Lock()
+	ch <- 1
+	b.mu.Unlock()
+}
+
+// EmitLocked calls back under the lock, but this package is out of scope.
+func (b *box) EmitLocked(emit func() error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return emit()
+}

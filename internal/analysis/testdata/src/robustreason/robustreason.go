@@ -1,0 +1,22 @@
+// Package robustreason checks the reasonless-directive rule against the
+// robustness analyzers: a //lint:ignore ctxflow with no reason is itself
+// reported and suppresses nothing. Checked by a direct RunAnalyzers test,
+// not RunFixture.
+//
+//neutralnet:robust
+package robustreason
+
+import "context"
+
+func process(ctx context.Context, x float64) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return x
+}
+
+// Broken tries to suppress a ctxflow finding without giving a reason.
+func Broken(x float64) float64 {
+	//lint:ignore ctxflow
+	return process(context.Background(), x)
+}

@@ -5,6 +5,11 @@ import (
 	"runtime/debug"
 )
 
+// workerSegment is the PanicError.Segment rank reported when a panic is
+// recovered outside any segment — today only newWorker, which runs once per
+// worker before the first claim. Real segment ranks are non-negative.
+const workerSegment = -1
+
 // PanicError is a worker panic converted into an ordinary error by the
 // segment pools. A panic inside runSegment (or an ordered emit callback) is
 // recovered at the segment boundary, wrapped with the segment rank and the
@@ -13,7 +18,8 @@ import (
 // process survives. Callers that staged side effects per segment see none of
 // them committed (the session sweeps commit only after the pool returns nil).
 type PanicError struct {
-	// Segment is the rank of the segment whose callback panicked.
+	// Segment is the rank of the segment whose callback panicked, or -1
+	// when the panic happened outside any segment (worker construction).
 	Segment int
 	// Value is the value the callback panicked with.
 	Value any
@@ -25,6 +31,9 @@ type PanicError struct {
 // Error summarizes the panic without the stack; inspect Stack (or format
 // with %+v via the fields) for the full trace.
 func (e *PanicError) Error() string {
+	if e.Segment < 0 {
+		return fmt.Sprintf("path: worker construction panicked: %v", e.Value)
+	}
 	return fmt.Sprintf("path: segment %d panicked: %v", e.Segment, e.Value)
 }
 

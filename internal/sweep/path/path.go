@@ -167,7 +167,19 @@ func RunCtx[W any](ctx context.Context, pl Plan, workers int, newWorker func() W
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st := newWorker()
+			// Worker construction runs under the same guard as segments: a
+			// panicking newWorker (corrupt system state, impossible grid)
+			// surfaces as a *PanicError with Segment -1 instead of killing
+			// the process. The failed worker keeps draining the segment
+			// channel so the main send loop never blocks on a dead pool.
+			var st W
+			if err := guard(workerSegment, func() error { st = newWorker(); return nil }); err != nil {
+				errOnce.Do(func() { firstErr = err })
+				failed.Store(true)
+				for range segs {
+				}
+				return
+			}
 			for c := range segs {
 				if failed.Load() {
 					continue
@@ -272,7 +284,19 @@ func RunOrderedCtx[W any](ctx context.Context, pl Plan, workers int, newWorker f
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st := newWorker()
+			// Same construction guard as RunCtx: a panicking newWorker
+			// fails the run with a *PanicError (Segment -1), wakes parked
+			// workers, and drains the channel so the send loop finishes.
+			var st W
+			if cerr := guard(workerSegment, func() error { st = newWorker(); return nil }); cerr != nil {
+				mu.Lock()
+				fail(cerr)
+				cond.Broadcast()
+				mu.Unlock()
+				for range segs {
+				}
+				return
+			}
 			for c := range segs {
 				mu.Lock()
 				if cerr := ctx.Err(); cerr != nil && !failed {
@@ -301,6 +325,7 @@ func RunOrderedCtx[W any](ctx context.Context, pl Plan, workers int, newWorker f
 					for next < pl.chains && done[next%lead] {
 						done[next%lead] = false
 						n := next
+						//lint:ignore locksafe mu is function-local to this pool, not a session lock: serialized under-lock emission IS the ordered-emission happens-before contract, and emit has no path back to mu
 						if e := guard(n, func() error { return emit(n, ranges[n][0], ranges[n][1]) }); e != nil {
 							fail(e)
 							break

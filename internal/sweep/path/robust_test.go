@@ -91,6 +91,72 @@ func TestRunPanicRecovery(t *testing.T) {
 	}
 }
 
+// TestRunNewWorkerPanic asserts a panicking worker constructor fails the
+// run with a *PanicError at Segment -1 instead of killing the process or
+// deadlocking the segment send loop, for both pools at 1 and 4 workers.
+// The pool must return even though a dead worker never claims a segment —
+// the construction guard drains the channel on its way out.
+func TestRunNewWorkerPanic(t *testing.T) {
+	pl := New([]int{16, 4}, 0)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("Run/w=%d", workers), func(t *testing.T) {
+			err := Run(pl, workers,
+				func() int { panic("constructor blew up") },
+				func(_ int, lo, hi int) error { return nil })
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *PanicError, got %T: %v", err, err)
+			}
+			if pe.Segment != -1 {
+				t.Fatalf("constructor panic segment = %d, want -1", pe.Segment)
+			}
+			if !strings.Contains(pe.Error(), "worker construction") {
+				t.Fatalf("Error() = %q, want a worker-construction message", pe.Error())
+			}
+		})
+		t.Run(fmt.Sprintf("RunOrdered/w=%d", workers), func(t *testing.T) {
+			var emitted atomic.Int64
+			err := RunOrdered(pl, workers,
+				func() int { panic("constructor blew up") },
+				func(_ int, c, lo, hi int) error { return nil },
+				func(c, lo, hi int) error { emitted.Add(1); return nil })
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *PanicError, got %T: %v", err, err)
+			}
+			if pe.Segment != -1 {
+				t.Fatalf("constructor panic segment = %d, want -1", pe.Segment)
+			}
+			if emitted.Load() != 0 {
+				t.Fatalf("dead pool emitted %d segments", emitted.Load())
+			}
+		})
+	}
+}
+
+// TestRunNewWorkerPanicPartial panics in only one of four constructors and
+// asserts the pool still fails (construction is all-or-nothing: a partial
+// pool would silently change the schedule) without losing the error.
+func TestRunNewWorkerPanicPartial(t *testing.T) {
+	pl := New([]int{16, 4}, 0)
+	var built atomic.Int64
+	err := Run(pl, 4,
+		func() int {
+			if built.Add(1) == 1 {
+				panic("first constructor blew up")
+			}
+			return 0
+		},
+		func(_ int, lo, hi int) error { return nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T: %v", err, err)
+	}
+	if pe.Value != "first constructor blew up" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+}
+
 // TestRunErrorAnySegment injects a failure in the first, a middle and the
 // last segment and asserts the pool surfaces exactly that error at every
 // worker count.

@@ -5,18 +5,37 @@
 # Usage:
 #   ./scripts/lint.sh            # standalone multichecker (module-wide)
 #   ./scripts/lint.sh --vet      # same analyzers via go vet -vettool
+#   ./scripts/lint.sh --timings  # standalone, with per-analyzer wall clock
 #
 # The --vet form goes through the go command's build graph and cache, so
 # it also covers configurations the standalone loader does not (it is the
-# form to use from editors/IDE integrations).
+# form to use from editors/IDE integrations). --timings applies to the
+# standalone form only: the vet driver runs one package per process, so
+# per-analyzer numbers there would be meaningless fragments.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+vet=0
+timings=0
+for arg in "$@"; do
+  case "$arg" in
+    --vet) vet=1 ;;
+    --timings) timings=1 ;;
+    *) echo "lint.sh: unknown argument $arg" >&2; exit 1 ;;
+  esac
+done
+if [[ $vet == 1 && $timings == 1 ]]; then
+  echo "lint.sh: --timings applies to the standalone form only" >&2
+  exit 1
+fi
 
 mkdir -p bin
 go build -o bin/neutralnetlint ./cmd/neutralnetlint
 
-if [[ "${1:-}" == "--vet" ]]; then
+if [[ $vet == 1 ]]; then
   go vet -vettool="$(pwd)/bin/neutralnetlint" ./...
+elif [[ $timings == 1 ]]; then
+  ./bin/neutralnetlint -timings ./...
 else
   ./bin/neutralnetlint ./...
 fi
